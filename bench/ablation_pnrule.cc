@@ -1,0 +1,69 @@
+// Ablation study of PNrule's design choices (not a paper table; DESIGN.md
+// calls these out as the load-bearing pieces of the method):
+//
+//   full         — PNrule as shipped (two phases, ScoreMatrix, ranges)
+//   no-nphase    — P-rules only (classic sequential covering with relaxed
+//                  accuracy): recall holds, precision collapses
+//   no-score     — strict P AND NOT-N semantics (N-rules always veto):
+//                  N-phase overfitting erases recall
+//   no-range     — one-sided numeric conditions only: peak signatures need
+//                  two conditions and may be cut off early
+//   metric=gini / metric=info-gain — Z-number replaced by other metrics
+//
+// Run on nsyn3 (numeric peaks) and syngen (mixed).
+//
+// Flags: --paper-scale | --scale=<f> | --quick | --seed=<n>
+
+#include <cstdio>
+#include <functional>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pnr;
+  const ExperimentScale scale = ScaleFromArgsWithDefault(argc, argv, 0.4);
+  std::printf("PNrule ablations (%s)\n\n", DescribeScale(scale).c_str());
+
+  struct Ablation {
+    const char* name;
+    std::function<void(PnruleConfig*)> apply;
+  };
+  const std::vector<Ablation> ablations = {
+      {"full", [](PnruleConfig*) {}},
+      {"no-nphase", [](PnruleConfig* c) { c->max_n_rules = 0; }},
+      {"no-score", [](PnruleConfig* c) { c->use_score_matrix = false; }},
+      {"no-range",
+       [](PnruleConfig* c) { c->enable_range_conditions = false; }},
+      {"metric=gini", [](PnruleConfig* c) { c->metric = RuleMetricKind::kGini; }},
+      {"metric=info-gain",
+       [](PnruleConfig* c) { c->metric = RuleMetricKind::kInfoGain; }},
+  };
+
+  TablePrinter table({"dataset", "ablation", "Rec", "Prec", "F"});
+  for (const char* dataset : {"nsyn3", "syngen"}) {
+    TrainTestPair data =
+        dataset == std::string("nsyn3")
+            ? MakeNumericPair(NsynParams(3), scale.train_records,
+                              scale.test_records, scale.seed + 600)
+            : MakeGeneralPair(GeneralModelParams{}, scale.train_records,
+                              scale.test_records, scale.seed + 601);
+    for (const Ablation& ablation : ablations) {
+      PnruleConfig config;
+      config.min_coverage_fraction = 0.99;
+      config.n_recall_lower_limit = 0.95;
+      ablation.apply(&config);
+      auto result = RunPnruleConfigured(config, data, "C");
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s %s: %s\n", dataset, ablation.name,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> row = {dataset, ablation.name};
+      AppendMetricsCells(*result, &row);
+      table.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks: training and classification throughput
+// of the three learners, plus the cost of the condition search with and
+// without the paper's range-condition extra scan.
+
+#include <benchmark/benchmark.h>
+
+#include "c45/rules.h"
+#include "c45/tree_classifier.h"
+#include "induction/condition_search.h"
+#include "induction/metric.h"
+#include "pnrule/pnrule.h"
+#include "ripper/ripper.h"
+#include "synth/sweep.h"
+
+namespace {
+
+using namespace pnr;
+
+const TrainTestPair& SharedData() {
+  static const TrainTestPair data =
+      MakeNumericPair(NsynParams(3), 20000, 10000, 99);
+  return data;
+}
+
+CategoryId Target() {
+  return SharedData().train.schema().class_attr().FindCategory("C");
+}
+
+void BM_TrainPnrule(benchmark::State& state) {
+  const TrainTestPair& data = SharedData();
+  PnruleLearner learner;
+  for (auto _ : state) {
+    auto model = learner.Train(data.train, Target());
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(data.train.num_rows()));
+}
+BENCHMARK(BM_TrainPnrule)->Unit(benchmark::kMillisecond);
+
+void BM_TrainRipper(benchmark::State& state) {
+  const TrainTestPair& data = SharedData();
+  RipperLearner learner;
+  for (auto _ : state) {
+    auto model = learner.Train(data.train, Target());
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(data.train.num_rows()));
+}
+BENCHMARK(BM_TrainRipper)->Unit(benchmark::kMillisecond);
+
+void BM_TrainC45Rules(benchmark::State& state) {
+  const TrainTestPair& data = SharedData();
+  C45RulesLearner learner;
+  for (auto _ : state) {
+    auto model = learner.Train(data.train, Target());
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(data.train.num_rows()));
+}
+BENCHMARK(BM_TrainC45Rules)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyPnrule(benchmark::State& state) {
+  const TrainTestPair& data = SharedData();
+  PnruleLearner learner;
+  auto model = learner.Train(data.train, Target());
+  for (auto _ : state) {
+    double total = 0.0;
+    for (RowId row = 0; row < data.test.num_rows(); ++row) {
+      total += model->Score(data.test, row);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(data.test.num_rows()));
+}
+BENCHMARK(BM_ClassifyPnrule)->Unit(benchmark::kMillisecond);
+
+void ConditionSearchBody(benchmark::State& state, bool enable_ranges) {
+  const TrainTestPair& data = SharedData();
+  const RowSubset rows = data.train.AllRows();
+  const auto metric = MakeRuleMetric(RuleMetricKind::kZNumber);
+  ClassDistribution dist;
+  dist.positives = data.train.ClassWeight(rows, Target());
+  dist.negatives = data.train.TotalWeight(rows) - dist.positives;
+  ConditionSearchOptions options;
+  options.enable_range_conditions = enable_ranges;
+  ConditionScorer scorer = [&](const RuleStats& stats) {
+    return metric->Evaluate(stats, dist);
+  };
+  for (auto _ : state) {
+    auto best =
+        FindBestCondition(data.train, rows, Target(), scorer, options);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(rows.size()));
+}
+
+void BM_ConditionSearchWithRanges(benchmark::State& state) {
+  ConditionSearchBody(state, true);
+}
+BENCHMARK(BM_ConditionSearchWithRanges)->Unit(benchmark::kMillisecond);
+
+void BM_ConditionSearchOneSided(benchmark::State& state) {
+  ConditionSearchBody(state, false);
+}
+BENCHMARK(BM_ConditionSearchOneSided)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

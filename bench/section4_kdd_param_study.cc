@@ -1,0 +1,94 @@
+// Reproduces the section-4 parameter studies on the simulated KDD'99 data:
+// the four small tables sweeping PNrule's rp (minimum target coverage in
+// the P-phase) and rn (lower recall limit in the N-phase), with and without
+// restricting P-rules to length 1 (the "r2l.P1" / "probe.P1" variants).
+//
+// Paper shape to verify:
+//   * unrestricted P-rules: rn has little effect at rp=0.95; results are
+//     close to RIPPER's;
+//   * P-rule length 1 ("very general P-rules") boosts F substantially —
+//     probe jumps from ~.80 to ~.88, r2l from ~.15 to ~.23 — because the
+//     N-phase gets more collective false positives to learn from;
+//   * rp too high overfits late P-rules; rn too low/high trades recall
+//     against precision in the documented directions.
+//
+// Flags: --paper-scale | --scale=<f> | --quick | --seed=<n>
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "synth/kdd_sim.h"
+
+namespace {
+
+void RunStudy(const pnr::TrainTestPair& data, const std::string& target,
+              bool restrict_p_rule_length, bool use_info_gain) {
+  using namespace pnr;
+  std::printf("--- %s%s ---\n", target.c_str(),
+              restrict_p_rule_length ? ".P1 (P-rule length = 1)" : "");
+  TablePrinter table({"rp", "rn", "Rec", "Prec", "F", "detail"});
+  for (double rp : {0.95, 0.995}) {
+    for (double rn : {0.8, 0.9, 0.95, 0.995}) {
+      PnruleConfig config;
+      config.min_coverage_fraction = rp;
+      config.n_recall_lower_limit = rn;
+      // The paper ran these with RIPPER's information-gain metric inside
+      // its framework; our split-based info-gain formulation is a poor
+      // substitute on rare classes (see the ablation bench), so the study
+      // uses the Z-number. Pass --info-gain to reproduce the weaker
+      // variant.
+      if (use_info_gain) config.metric = RuleMetricKind::kInfoGain;
+      if (restrict_p_rule_length) config.max_p_rule_length = 1;
+      auto result = RunPnruleConfigured(config, data, target);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s rp=%.3f rn=%.3f: %s\n", target.c_str(),
+                     rp, rn, result.status().ToString().c_str());
+        continue;
+      }
+      std::vector<std::string> row = {FormatDouble(rp, 3),
+                                      FormatDouble(rn, 3)};
+      AppendMetricsCells(*result, &row);
+      row.push_back(result->detail);
+      table.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pnr;
+  const ExperimentScale scale = ScaleFromArgs(argc, argv);
+  std::printf("Section 4: PNrule rp x rn parameter study on simulated "
+              "KDD'99 (%s)\n\n",
+              DescribeScale(scale).c_str());
+
+  KddSimParams params;
+  params.train_records = scale.train_records;
+  params.test_records = scale.test_records;
+  params.seed = scale.seed;
+  auto data_or = GenerateKddSim(params);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "kdd_sim: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  KddSimData kdd = std::move(data_or).value();
+  const TrainTestPair data{std::move(kdd.train), std::move(kdd.test)};
+
+  bool use_info_gain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--info-gain") use_info_gain = true;
+  }
+  for (const std::string target : {"r2l", "probe"}) {
+    RunStudy(data, target, /*restrict_p_rule_length=*/false, use_info_gain);
+    RunStudy(data, target, /*restrict_p_rule_length=*/true, use_info_gain);
+  }
+  std::printf("paper best F: r2l rp=.995,rn=.995 -> .1531; "
+              "r2l.P1 rp=.95,rn=.95 -> .2299; "
+              "probe rp=.95 -> .8041; probe.P1 rp=.95,rn=.9 -> .8837\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Table 3: categorical-only datasets coa1..coa6 and
+// coad1..coad4, comparing C4.5rules, RIPPER and PNrule.
+//
+// Paper shape to verify: RIPPER keeps 100% recall with hopeless precision
+// (13-17% on coa*, ~2-7% on coad*); C4.5rules degrades as the number of
+// non-target subclasses/signatures grows and collapses on coad2 (F=.0060);
+// PNrule stays between .58 and .92 everywhere.
+//
+// Flags: --paper-scale | --scale=<f> | --quick | --seed=<n>
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pnr;
+  const ExperimentScale scale = ScaleFromArgs(argc, argv);
+  std::printf("Table 3: categorical-only datasets (%s)\n\n",
+              DescribeScale(scale).c_str());
+
+  const std::vector<std::string> names = {"coa1",  "coa2",  "coa3", "coa4",
+                                          "coa5",  "coa6",  "coad1",
+                                          "coad2", "coad3", "coad4"};
+  const std::vector<std::string> variants = {"C", "R", "P"};
+  TablePrinter table({"dataset", "M", "Rec", "Prec", "F"});
+  uint64_t salt = 200;
+  for (const std::string& name : names) {
+    const CategoricalModelParams params = CoaParams(name);
+    const TrainTestPair data = MakeCategoricalPair(
+        params, scale.train_records, scale.test_records, scale.seed + ++salt);
+    for (const std::string& variant : variants) {
+      auto result = RunVariant(variant, data, "C", scale.seed);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s %s: %s\n", name.c_str(), variant.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> row = {name, result->variant};
+      AppendMetricsCells(*result, &row);
+      table.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper F: coa1 C=.9035 R=.2868 P=.8462 | "
+              "coa6 C=.3685 R=.2326 P=.8323 | "
+              "coad2 C=.0060 R=.1325 P=.5758 | coad4 C=.3454 R=.0377 "
+              "P=.8377\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Network intrusion detection on the simulated KDD'99 data: learn binary
+// signatures for the two rare attack classes the paper studies (probe,
+// 0.83% of training; r2l, 0.23%) and compare the ordinary PNrule
+// configuration with the paper's "very general P-rules" trick (P-rule
+// length 1), which trades training-set purity for robustness against the
+// shifted test distribution.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/intrusion_detection
+
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "pnrule/multiclass.h"
+#include "pnrule/pnrule.h"
+#include "synth/kdd_sim.h"
+
+namespace {
+
+using namespace pnr;
+
+void Report(const char* label, const PnruleClassifier& model,
+            const Dataset& test, CategoryId target) {
+  const Confusion c = EvaluateClassifier(model, test, target);
+  std::printf("  %-28s R=%5.1f%%  P=%5.1f%%  F=%.4f   (%zu P-rules, %zu "
+              "N-rules)\n",
+              label, 100.0 * c.recall(), 100.0 * c.precision(),
+              c.f_measure(), model.p_rules().size(), model.n_rules().size());
+}
+
+}  // namespace
+
+int main() {
+  // 1. Generate the train/test pair. The test split deliberately has a
+  //    different class distribution and novel attack subclasses, mirroring
+  //    the real KDDCUP'99 contest data.
+  KddSimParams params;
+  params.train_records = 80000;
+  params.test_records = 40000;
+  auto data = GenerateKddSim(params);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& train = data->train;
+  const Dataset& test = data->test;
+
+  for (const char* attack : {"probe", "r2l"}) {
+    const CategoryId target =
+        train.schema().class_attr().FindCategory(attack);
+    std::printf("\n=== class %s: %zu/%zu training records (%.2f%%) ===\n",
+                attack, train.CountClass(target), train.num_rows(),
+                100.0 * static_cast<double>(train.CountClass(target)) /
+                    static_cast<double>(train.num_rows()));
+
+    // 2. Standard configuration.
+    PnruleConfig standard;
+    standard.min_coverage_fraction = 0.95;  // rp
+    standard.n_recall_lower_limit = 0.9;    // rn
+    auto model = PnruleLearner(standard).Train(train, target);
+    if (!model.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    Report("PNrule", *model, test, target);
+
+    // 3. The paper's section-4 variant: restrict P-rules to one condition
+    //    so the first phase stays very general and the N-phase gets all the
+    //    false positives at once.
+    PnruleConfig general = standard;
+    general.max_p_rule_length = 1;
+    general.n_recall_lower_limit = 0.95;
+    auto p1 = PnruleLearner(general).Train(train, target);
+    if (!p1.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   p1.status().ToString().c_str());
+      return 1;
+    }
+    Report("PNrule (P-rule length 1)", *p1, test, target);
+
+    // 4. Show the P1 model's rules: broad presence signatures plus the
+    //    absence rules that restore precision.
+    std::printf("\n%s", p1->Describe(train.schema()).c_str());
+  }
+
+  // 5. Full five-class triage: one binary PNrule model per class, highest
+  //    score wins (the companion framework's multi-class setting).
+  MultiClassPnruleLearner committee_learner;
+  auto committee = committee_learner.Train(train);
+  if (committee.ok()) {
+    std::printf("\n=== five-class committee ===\n");
+    std::printf("test accuracy: %.2f%% (majority-class baseline: dos)\n",
+                100.0 * MultiClassAccuracy(*committee, test));
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Rarity study: how the advantage of two-phase induction depends on how
+// rare the target class is (the paper's Table 5, as a library tour).
+// Trains PNrule, RIPPER and C4.5rules on the syngen model while the target
+// share rises from 0.3% to ~25% by subsampling the non-target class.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/rarity_study
+
+#include <cstdio>
+
+#include "c45/rules.h"
+#include "eval/metrics.h"
+#include "pnrule/pnrule.h"
+#include "ripper/ripper.h"
+#include "synth/sweep.h"
+
+int main() {
+  using namespace pnr;
+
+  GeneralModelParams params;  // syngen, tr = nr = 0.2
+  const TrainTestPair base = MakeGeneralPair(params, /*train_records=*/150000,
+                                             /*test_records=*/75000,
+                                             /*seed=*/21);
+  const CategoryId target =
+      base.train.schema().class_attr().FindCategory("C");
+
+  std::printf("%-8s %-6s %-22s %-22s %-22s\n", "ntcfrac", "tc%", "PNrule",
+              "RIPPER", "C4.5rules");
+  for (double fraction : {1.0, 0.1, 0.05, 0.01}) {
+    const TrainTestPair data = SubsamplePair(base, target, fraction, 7);
+    const double share =
+        static_cast<double>(data.train.CountClass(target)) /
+        static_cast<double>(data.train.num_rows());
+
+    auto format = [](const Confusion& c) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "R=%4.2f P=%4.2f F=%.3f", c.recall(),
+                    c.precision(), c.f_measure());
+      return std::string(buf);
+    };
+
+    PnruleConfig config;
+    config.min_coverage_fraction = 0.99;
+    config.n_recall_lower_limit = 0.95;
+    auto pn = PnruleLearner(config).Train(data.train, target);
+    auto rip = RipperLearner().Train(data.train, target);
+    auto c45 = C45RulesLearner().Train(data.train, target);
+    if (!pn.ok() || !rip.ok() || !c45.ok()) {
+      std::fprintf(stderr, "training failed\n");
+      return 1;
+    }
+    std::printf("%-8.3f %-6.1f %-22s %-22s %-22s\n", fraction, 100.0 * share,
+                format(EvaluateClassifier(*pn, data.test, target)).c_str(),
+                format(EvaluateClassifier(*rip, data.test, target)).c_str(),
+                format(EvaluateClassifier(*c45, data.test, target)).c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper, Table 5): the rarer the class, the larger\n"
+      "PNrule's edge; as the class becomes prevalent the methods converge.\n");
+  return 0;
+}

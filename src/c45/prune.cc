@@ -1,0 +1,48 @@
+#include "c45/prune.h"
+
+#include "common/math_util.h"
+
+namespace pnr {
+namespace {
+
+// Returns the pessimistic error estimate of the subtree rooted at `index`,
+// replacing nodes with leaves where that is no worse.
+double PruneRec(const C45Config& config, DecisionTree* tree, int32_t index) {
+  TreeNode& node = tree->mutable_nodes()[static_cast<size_t>(index)];
+  const double leaf_errors = PessimisticLeafErrors(node, config.cf);
+  if (node.is_leaf) return leaf_errors;
+
+  double subtree_errors = 0.0;
+  for (int32_t child : node.children) {
+    if (child >= 0) subtree_errors += PruneRec(config, tree, child);
+  }
+  // C4.5 replaces the subtree when the leaf estimate is within 0.1 errors
+  // of the subtree estimate.
+  if (leaf_errors <= subtree_errors + 0.1) {
+    TreeNode& mutable_node =
+        tree->mutable_nodes()[static_cast<size_t>(index)];
+    mutable_node.is_leaf = true;
+    mutable_node.children.clear();
+    mutable_node.largest_child = -1;
+    return leaf_errors;
+  }
+  return subtree_errors;
+}
+
+}  // namespace
+
+double PessimisticLeafErrors(const TreeNode& node, double cf) {
+  if (node.total_weight <= 0.0) return 0.0;
+  return BinomialUpperLimit(node.total_weight, node.error_weight(), cf) *
+         node.total_weight;
+}
+
+void PruneC45Tree(const Dataset& dataset, const RowSubset& rows,
+                  const C45Config& config, DecisionTree* tree) {
+  (void)dataset;  // Pruning uses the training statistics stored in nodes.
+  (void)rows;
+  if (tree->root() < 0) return;
+  PruneRec(config, tree, tree->root());
+}
+
+}  // namespace pnr

@@ -1,0 +1,23 @@
+// Pessimistic (confidence-limit) pruning of C4.5 trees.
+
+#ifndef PNR_C45_PRUNE_H_
+#define PNR_C45_PRUNE_H_
+
+#include "c45/tree.h"
+
+namespace pnr {
+
+/// Upper-limit error estimate of a node treated as a leaf:
+/// U_cf(total, errors) * total.
+double PessimisticLeafErrors(const TreeNode& node, double cf);
+
+/// Prunes `tree` bottom-up by subtree replacement: an internal node becomes
+/// a leaf whenever its pessimistic leaf error does not exceed the sum of its
+/// children's pessimistic errors (plus C4.5's 0.1 tolerance). Branch
+/// raising is not implemented (documented simplification; see DESIGN.md).
+void PruneC45Tree(const Dataset& dataset, const RowSubset& rows,
+                  const C45Config& config, DecisionTree* tree);
+
+}  // namespace pnr
+
+#endif  // PNR_C45_PRUNE_H_

@@ -1,0 +1,102 @@
+// C4.5rules (Quinlan 1993, ch. 5): rule extraction from an overfitted
+// decision tree, per-rule generalization by pessimistic error, MDL-guided
+// rule-subset selection per class, class ranking, and a default class.
+//
+// Documented simplifications vs. Quinlan's release (see DESIGN.md):
+//   * subset selection is greedy backward elimination on the same
+//     exception-coding DL objective (the release tries greedy hill-climbing
+//     and falls back to simulated annealing);
+//   * rules within a class group are ordered by ascending pessimistic error.
+
+#ifndef PNR_C45_RULES_H_
+#define PNR_C45_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "c45/tree.h"
+#include "eval/classifier.h"
+#include "rules/rule.h"
+
+namespace pnr {
+
+/// C4.5rules parameters.
+struct C45RulesConfig {
+  /// Parameters for the initial (deliberately overfitted) tree. `prune` is
+  /// ignored: the initial tree is always unpruned.
+  C45Config tree;
+
+  /// Confidence factor for the pessimistic error estimates used during rule
+  /// generalization.
+  double cf = 0.25;
+
+  /// Safety cap on the number of initial rules (tree leaves).
+  size_t max_initial_rules = 4096;
+
+  Status Validate() const;
+};
+
+/// A trained C4.5rules model: a ranked decision list of (rule, class) pairs
+/// with a default class.
+class C45RulesClassifier : public BinaryClassifier {
+ public:
+  /// One ranked rule predicting `cls`; train_stats are with respect to
+  /// `cls` over the full training set.
+  struct ClassRule {
+    Rule rule;
+    CategoryId cls = 0;
+  };
+
+  C45RulesClassifier(std::vector<ClassRule> rules, CategoryId default_class,
+                     CategoryId target, double default_target_score);
+
+  /// First-matching-rule score: the rule's Laplace accuracy if it predicts
+  /// the target class, (1 - accuracy) otherwise; the default class score
+  /// when nothing matches.
+  double Score(const Dataset& dataset, RowId row) const override;
+
+  /// First-matching-rule class (default class when nothing matches)
+  /// compared against the target.
+  bool Predict(const Dataset& dataset, RowId row) const override;
+
+  std::string Describe(const Schema& schema) const override;
+
+  const std::vector<ClassRule>& rules() const { return rules_; }
+  CategoryId default_class() const { return default_class_; }
+
+ private:
+  std::vector<ClassRule> rules_;
+  CategoryId default_class_;
+  CategoryId target_;
+  double default_target_score_;
+};
+
+/// Trains C4.5rules models.
+class C45RulesLearner {
+ public:
+  explicit C45RulesLearner(C45RulesConfig config = {});
+
+  const C45RulesConfig& config() const { return config_; }
+
+  /// Learns from all rows of `dataset`, reporting for `target`.
+  StatusOr<C45RulesClassifier> Train(const Dataset& dataset,
+                                     CategoryId target) const;
+
+  /// Learns from an explicit subset of rows.
+  StatusOr<C45RulesClassifier> TrainOnRows(const Dataset& dataset,
+                                           const RowSubset& rows,
+                                           CategoryId target) const;
+
+ private:
+  C45RulesConfig config_;
+};
+
+/// Extracts one rule per leaf of `tree` (conditions along the path, with
+/// same-attribute numeric bounds merged to the tightest). Exposed for
+/// testing.
+std::vector<C45RulesClassifier::ClassRule> ExtractTreeRules(
+    const DecisionTree& tree, const Schema& schema, size_t max_rules);
+
+}  // namespace pnr
+
+#endif  // PNR_C45_RULES_H_

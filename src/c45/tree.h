@@ -1,0 +1,115 @@
+// C4.5 decision-tree induction (Quinlan 1993), reimplemented from the
+// published algorithm: gain-ratio split selection with the average-gain
+// constraint, midpoint thresholds with Release-8's log2(d)/|D| penalty on
+// continuous attributes, weighted examples, and minimum-branch constraints.
+
+#ifndef PNR_C45_TREE_H_
+#define PNR_C45_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// C4.5 parameters (defaults mirror Quinlan's release defaults).
+struct C45Config {
+  /// Minimum weight of examples in at least two branches of any split
+  /// (Quinlan's MINOBJS).
+  double min_objs = 2.0;
+
+  /// Confidence factor for pessimistic error estimates (pruning and
+  /// C4.5rules generalization).
+  double cf = 0.25;
+
+  /// Select splits by gain ratio (true) or raw information gain (false).
+  bool use_gain_ratio = true;
+
+  /// Apply the Release-8 penalty log2(distinct - 1)/|D| to continuous
+  /// attribute gains.
+  bool numeric_gain_penalty = true;
+
+  /// Prune the tree with pessimistic (confidence-limit) subtree
+  /// replacement.
+  bool prune = true;
+
+  /// Safety cap on tree depth.
+  size_t max_depth = 64;
+
+  Status Validate() const;
+};
+
+/// One node of a decision tree. Numeric splits have exactly two children
+/// (<= threshold, > threshold); categorical splits have one child per
+/// category id.
+struct TreeNode {
+  bool is_leaf = true;
+  AttrIndex attr = -1;       ///< split attribute (internal nodes)
+  double threshold = 0.0;    ///< numeric split point
+  std::vector<int32_t> children;  ///< node indices; -1 for empty branches
+  int32_t largest_child = -1;     ///< fallback route for unseen values
+
+  CategoryId predicted_class = 0;      ///< majority class at this node
+  double total_weight = 0.0;           ///< training weight reaching the node
+  std::vector<double> class_weights;   ///< per-class training weight
+
+  /// Training weight not of the majority class.
+  double error_weight() const {
+    return total_weight - (predicted_class >= 0 &&
+                                   static_cast<size_t>(predicted_class) <
+                                       class_weights.size()
+                               ? class_weights[static_cast<size_t>(
+                                     predicted_class)]
+                               : 0.0);
+  }
+};
+
+/// A trained (multiclass) C4.5 decision tree.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Index of the leaf a record is routed to.
+  int32_t RouteToLeaf(const Dataset& dataset, RowId row) const;
+
+  /// Majority class of the routed leaf.
+  CategoryId Classify(const Dataset& dataset, RowId row) const;
+
+  /// Laplace-smoothed probability of `cls` at the routed leaf.
+  double ClassProbability(const Dataset& dataset, RowId row,
+                          CategoryId cls) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  std::vector<TreeNode>& mutable_nodes() { return nodes_; }
+  int32_t root() const { return root_; }
+  size_t num_classes() const { return num_classes_; }
+
+  /// Number of leaves.
+  size_t CountLeaves() const;
+
+  /// Indented multi-line rendering.
+  std::string ToString(const Schema& schema) const;
+
+  // Internal: used by the builder and pruner.
+  void set_root(int32_t root) { root_ = root; }
+  void set_num_classes(size_t n) { num_classes_ = n; }
+  int32_t AddNode(TreeNode node);
+
+ private:
+  std::vector<TreeNode> nodes_;
+  int32_t root_ = -1;
+  size_t num_classes_ = 0;
+};
+
+/// Builds a C4.5 tree from `rows` of `dataset` (all classes of the schema).
+/// The tree is pruned per `config.prune`.
+StatusOr<DecisionTree> BuildC45Tree(const Dataset& dataset,
+                                    const RowSubset& rows,
+                                    const C45Config& config);
+
+}  // namespace pnr
+
+#endif  // PNR_C45_TREE_H_

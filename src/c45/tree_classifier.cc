@@ -1,0 +1,37 @@
+#include "c45/tree_classifier.h"
+
+namespace pnr {
+
+C45TreeClassifier::C45TreeClassifier(DecisionTree tree, CategoryId target)
+    : tree_(std::move(tree)), target_(target) {}
+
+double C45TreeClassifier::Score(const Dataset& dataset, RowId row) const {
+  return tree_.ClassProbability(dataset, row, target_);
+}
+
+bool C45TreeClassifier::Predict(const Dataset& dataset, RowId row) const {
+  return tree_.Classify(dataset, row) == target_;
+}
+
+std::string C45TreeClassifier::Describe(const Schema& schema) const {
+  return "C4.5 tree (" + std::to_string(tree_.CountLeaves()) +
+         " leaves), target = " + schema.class_attr().CategoryName(target_) +
+         "\n" + tree_.ToString(schema);
+}
+
+C45TreeLearner::C45TreeLearner(C45Config config)
+    : config_(std::move(config)) {}
+
+StatusOr<C45TreeClassifier> C45TreeLearner::Train(const Dataset& dataset,
+                                                  CategoryId target) const {
+  return TrainOnRows(dataset, dataset.AllRows(), target);
+}
+
+StatusOr<C45TreeClassifier> C45TreeLearner::TrainOnRows(
+    const Dataset& dataset, const RowSubset& rows, CategoryId target) const {
+  auto tree = BuildC45Tree(dataset, rows, config_);
+  if (!tree.ok()) return tree.status();
+  return C45TreeClassifier(std::move(tree).value(), target);
+}
+
+}  // namespace pnr

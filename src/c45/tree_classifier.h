@@ -1,0 +1,56 @@
+// Binary-classifier adapter over a (multiclass) C4.5 tree — the paper's
+// "C4.5" / "C4.5-we (tree model)" rows.
+
+#ifndef PNR_C45_TREE_CLASSIFIER_H_
+#define PNR_C45_TREE_CLASSIFIER_H_
+
+#include <string>
+
+#include "c45/tree.h"
+#include "eval/classifier.h"
+
+namespace pnr {
+
+/// Wraps a decision tree as a binary classifier for `target`.
+class C45TreeClassifier : public BinaryClassifier {
+ public:
+  C45TreeClassifier(DecisionTree tree, CategoryId target);
+
+  /// Laplace-smoothed probability of the target class at the routed leaf.
+  double Score(const Dataset& dataset, RowId row) const override;
+
+  /// C4.5 semantics: predict the majority class of the routed leaf.
+  bool Predict(const Dataset& dataset, RowId row) const override;
+
+  std::string Describe(const Schema& schema) const override;
+
+  const DecisionTree& tree() const { return tree_; }
+
+ private:
+  DecisionTree tree_;
+  CategoryId target_;
+};
+
+/// Trains C4.5 tree classifiers.
+class C45TreeLearner {
+ public:
+  explicit C45TreeLearner(C45Config config = {});
+
+  const C45Config& config() const { return config_; }
+
+  /// Builds a tree from all rows and wraps it for `target`.
+  StatusOr<C45TreeClassifier> Train(const Dataset& dataset,
+                                    CategoryId target) const;
+
+  /// Builds from an explicit subset of rows.
+  StatusOr<C45TreeClassifier> TrainOnRows(const Dataset& dataset,
+                                          const RowSubset& rows,
+                                          CategoryId target) const;
+
+ private:
+  C45Config config_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_C45_TREE_CLASSIFIER_H_

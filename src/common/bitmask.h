@@ -1,0 +1,127 @@
+// Dense bitmask over row indices, used by C4.5rules' generalization and
+// rule-subset selection to make repeated coverage queries cheap.
+
+#ifndef PNR_COMMON_BITMASK_H_
+#define PNR_COMMON_BITMASK_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pnr {
+
+/// Fixed-size bit vector with block-wise boolean algebra.
+class BitMask {
+ public:
+  BitMask() = default;
+  /// Creates `size` bits, all equal to `value`.
+  explicit BitMask(size_t size, bool value = false)
+      : size_(size),
+        blocks_((size + 63) / 64, value ? ~uint64_t{0} : uint64_t{0}) {
+    TrimTail();
+  }
+
+  size_t size() const { return size_; }
+
+  bool Get(size_t index) const {
+    assert(index < size_);
+    return (blocks_[index / 64] >> (index % 64)) & 1u;
+  }
+
+  void Set(size_t index, bool value = true) {
+    assert(index < size_);
+    const uint64_t bit = uint64_t{1} << (index % 64);
+    if (value) {
+      blocks_[index / 64] |= bit;
+    } else {
+      blocks_[index / 64] &= ~bit;
+    }
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t count = 0;
+    for (uint64_t block : blocks_) count += std::popcount(block);
+    return count;
+  }
+
+  /// Number of set bits in (*this & other).
+  size_t CountAnd(const BitMask& other) const {
+    assert(size_ == other.size_);
+    size_t count = 0;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      count += std::popcount(blocks_[i] & other.blocks_[i]);
+    }
+    return count;
+  }
+
+  /// Number of set bits in (*this & ~other).
+  size_t CountAndNot(const BitMask& other) const {
+    assert(size_ == other.size_);
+    size_t count = 0;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      count += std::popcount(blocks_[i] & ~other.blocks_[i]);
+    }
+    return count;
+  }
+
+  BitMask& operator&=(const BitMask& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      blocks_[i] &= other.blocks_[i];
+    }
+    return *this;
+  }
+
+  BitMask& operator|=(const BitMask& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      blocks_[i] |= other.blocks_[i];
+    }
+    return *this;
+  }
+
+  friend BitMask operator&(BitMask lhs, const BitMask& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+
+  friend BitMask operator|(BitMask lhs, const BitMask& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+
+  bool operator==(const BitMask& other) const {
+    return size_ == other.size_ && blocks_ == other.blocks_;
+  }
+
+  /// Calls `fn(index)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      uint64_t block = blocks_[b];
+      while (block != 0) {
+        const int bit = std::countr_zero(block);
+        fn(b * 64 + static_cast<size_t>(bit));
+        block &= block - 1;
+      }
+    }
+  }
+
+ private:
+  void TrimTail() {
+    const size_t tail = size_ % 64;
+    if (tail != 0 && !blocks_.empty()) {
+      blocks_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> blocks_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_COMMON_BITMASK_H_

@@ -1,0 +1,159 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pnr {
+
+double XLog2X(double x) {
+  assert(x >= 0.0);
+  if (x <= 0.0) return 0.0;
+  return x * std::log2(x);
+}
+
+double SafeLog2(double x) {
+  if (x <= 0.0) return 0.0;
+  return std::log2(x);
+}
+
+double BinaryEntropy(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return -XLog2X(p) - XLog2X(1.0 - p);
+}
+
+double LogGamma(double x) {
+  assert(x > 0.0);
+  return std::lgamma(x);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Numerical Recipes' betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                         a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - std::exp(LogGamma(a + b) - LogGamma(b) - LogGamma(a) +
+                        b * std::log(1.0 - x) + a * std::log(x)) *
+                   BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+namespace {
+
+// P[Binomial(n, p) <= k] via the regularized incomplete beta identity,
+// with k allowed to be fractional (linear interpolation between integer
+// CDF values is replaced by the continuous beta form C4.5 effectively uses).
+double BinomialCdf(double n, double k, double p) {
+  if (k < 0.0) return 0.0;
+  if (k >= n) return 1.0;
+  // P[X <= k] = I_{1-p}(n - k, k + 1).
+  return IncompleteBeta(n - k, k + 1.0, 1.0 - p);
+}
+
+}  // namespace
+
+double BinomialUpperLimit(double n, double errors, double cf) {
+  assert(n > 0.0);
+  assert(errors >= 0.0);
+  assert(cf > 0.0 && cf < 1.0);
+  if (errors >= n) return 1.0;
+  // C4.5 special case: zero observed errors.
+  if (errors < 1e-12) {
+    return 1.0 - std::pow(cf, 1.0 / n);
+  }
+  // C4.5 interpolates between the zero-error limit and the errors==1 limit
+  // when 0 < errors < 1; the continuous beta form below already handles the
+  // fractional-error case smoothly, so solve directly.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (BinomialCdf(n, errors, mid) > cf) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Log2Choose(double n, double k) {
+  assert(n >= k && k >= 0.0);
+  if (k <= 0.0 || k >= n) return 0.0;
+  constexpr double kLn2 = 0.6931471805599453;
+  return (LogGamma(n + 1.0) - LogGamma(k + 1.0) - LogGamma(n - k + 1.0)) /
+         kLn2;
+}
+
+double SubsetDescriptionBits(double n, double k, double p) {
+  assert(n >= 0.0 && k >= 0.0 && k <= n + 1e-9);
+  if (n <= 0.0) return 0.0;
+  if (p <= 0.0) return k > 0.0 ? 1e30 : 0.0;
+  if (p >= 1.0) return (n - k) > 1e-12 ? 1e30 : 0.0;
+  return -k * std::log2(p) - (n - k) * std::log2(1.0 - p);
+}
+
+double IntegerCodingBits(double k) {
+  // Rissanen's log* universal code: log2(c) + log2 k + log2 log2 k + ...
+  constexpr double kLog2C = 1.5186;  // log2(2.865064)
+  double bits = kLog2C;
+  double term = std::log2(std::max(k, 1.0));
+  while (term > 0.0) {
+    bits += term;
+    term = std::log2(term);
+  }
+  return bits;
+}
+
+bool ApproxEqual(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace pnr

@@ -1,0 +1,59 @@
+// Numeric helpers shared across induction algorithms:
+//  - safe log2 / entropy terms,
+//  - binomial upper confidence limits (C4.5 pessimistic error estimates),
+//  - subset/description-length coding helpers for MDL computations.
+
+#ifndef PNR_COMMON_MATH_UTIL_H_
+#define PNR_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+
+namespace pnr {
+
+/// x * log2(x) with the convention 0 * log2(0) == 0. Requires x >= 0.
+double XLog2X(double x);
+
+/// log2(x) for x > 0; returns 0 for x <= 0 (callers guard semantics).
+double SafeLog2(double x);
+
+/// Binary entropy of a Bernoulli(p): -p log2 p - (1-p) log2 (1-p).
+/// p is clamped into [0, 1].
+double BinaryEntropy(double p);
+
+/// Upper confidence limit on the true error probability given `errors`
+/// observed errors in `n` trials, at confidence level `cf` (C4.5 uses 0.25).
+///
+/// This mirrors C4.5 Release 8's pessimistic error estimate: the value U
+/// such that P[Binomial(n, U) <= errors] == cf, computed with the usual
+/// C4.5 special cases for errors == 0 and errors < 1, using a continuous
+/// (incomplete-beta) interpolation. Returns a probability in [0, 1].
+double BinomialUpperLimit(double n, double errors, double cf);
+
+/// Natural-log of Gamma(x) for x > 0.
+double LogGamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+double IncompleteBeta(double a, double b, double x);
+
+/// log2 of C(n, k) computed via LogGamma; n >= k >= 0.
+double Log2Choose(double n, double k);
+
+/// Quinlan/Cohen "subset" description length in bits: the cost of
+/// identifying which `k` of `n` elements are exceptions when each element is
+/// an exception with prior probability `p`.
+///
+///   S(n, k, p) = -k*log2(p) - (n-k)*log2(1-p)   (0 when k==0 and p==0)
+double SubsetDescriptionBits(double n, double k, double p);
+
+/// Universal-prior style cost of transmitting a non-negative integer k
+/// (used by RIPPER's rule coding): log2(k+1) smoothed. Cohen's
+/// implementation approximates ||k|| ~ log2(k) + log2(log2(k)) + ...;
+/// we use the standard log*(k) truncated sum.
+double IntegerCodingBits(double k);
+
+/// True iff |a - b| <= tol * max(1, |a|, |b|).
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace pnr
+
+#endif  // PNR_COMMON_MATH_UTIL_H_

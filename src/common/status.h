@@ -1,0 +1,130 @@
+// Lightweight Status / StatusOr error-handling primitives (RocksDB-style).
+//
+// Fallible operations (I/O, configuration validation, parsing) return a
+// Status or a StatusOr<T>; programming errors use assertions instead.
+
+#ifndef PNR_COMMON_STATUS_H_
+#define PNR_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pnr {
+
+/// Result state of a fallible operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail without producing a value.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// message. Statuses are cheap to copy (message is shared only by value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with `message`.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns a NotFound status with `message`.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Returns an IOError status with `message`.
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  /// Returns an OutOfRange status with `message`.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Returns a FailedPrecondition status with `message`.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// Returns an Internal status with `message`.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return message_; }
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+///
+/// Access to the value asserts that the status is OK.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (OK).
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status.
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "StatusOr must not be constructed from an OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status (OK when a value is present).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// The contained value; asserts ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  /// Moves out the contained value; asserts ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(payload_));
+  }
+  /// Pointer-like access; asserts ok().
+  const T* operator->() const {
+    assert(ok());
+    return &std::get<T>(payload_);
+  }
+  /// Dereference; asserts ok().
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers used by CSV parsing and table formatting.
+
+#ifndef PNR_COMMON_STRING_UTIL_H_
+#define PNR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pnr {
+
+/// Splits `text` on `delim` (no trimming; empty fields preserved).
+std::vector<std::string> SplitString(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a fraction as a percentage string, e.g. 0.1234 -> "12.34".
+std::string FormatPercent(double fraction, int digits = 2);
+
+/// True iff `text` parses fully as a floating point number.
+bool ParseDouble(std::string_view text, double* out);
+
+/// True iff `text` parses fully as a signed 64-bit integer.
+bool ParseInt64(std::string_view text, long long* out);
+
+}  // namespace pnr
+
+#endif  // PNR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,247 @@
+#include "data/arff.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pnr {
+namespace {
+
+// Case-insensitive prefix test.
+bool StartsWithNoCase(std::string_view text, std::string_view prefix) {
+  if (text.size() < prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Unquote(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.size() >= 2 &&
+      ((text.front() == '\'' && text.back() == '\'') ||
+       (text.front() == '"' && text.back() == '"'))) {
+    return std::string(text.substr(1, text.size() - 2));
+  }
+  return std::string(text);
+}
+
+struct ArffAttribute {
+  std::string name;
+  bool numeric = true;
+  std::vector<std::string> values;  // nominal domain
+};
+
+Status ParseError(size_t line_number, const std::string& detail) {
+  return Status::InvalidArgument("ARFF line " + std::to_string(line_number) +
+                                 ": " + detail);
+}
+
+StatusOr<ArffAttribute> ParseAttributeDecl(const std::string& body,
+                                           size_t line_number) {
+  // body = "<name> <type>" where name may be quoted.
+  std::string_view view = TrimWhitespace(body);
+  if (view.empty()) return ParseError(line_number, "empty @attribute");
+  std::string name;
+  std::string_view rest;
+  if (view.front() == '\'' || view.front() == '"') {
+    const char quote = view.front();
+    const size_t end = view.find(quote, 1);
+    if (end == std::string_view::npos) {
+      return ParseError(line_number, "unterminated quoted attribute name");
+    }
+    name = std::string(view.substr(1, end - 1));
+    rest = TrimWhitespace(view.substr(end + 1));
+  } else {
+    const size_t space = view.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      return ParseError(line_number, "missing attribute type");
+    }
+    name = std::string(view.substr(0, space));
+    rest = TrimWhitespace(view.substr(space));
+  }
+  ArffAttribute attr;
+  attr.name = std::move(name);
+  if (rest.empty()) return ParseError(line_number, "missing attribute type");
+  if (rest.front() == '{') {
+    if (rest.back() != '}') {
+      return ParseError(line_number, "unterminated nominal domain");
+    }
+    attr.numeric = false;
+    for (const std::string& value :
+         SplitString(rest.substr(1, rest.size() - 2), ',')) {
+      attr.values.push_back(Unquote(value));
+    }
+    if (attr.values.empty()) {
+      return ParseError(line_number, "empty nominal domain");
+    }
+    return attr;
+  }
+  const std::string type(rest);
+  if (StartsWithNoCase(type, "numeric") || StartsWithNoCase(type, "real") ||
+      StartsWithNoCase(type, "integer")) {
+    attr.numeric = true;
+    return attr;
+  }
+  if (StartsWithNoCase(type, "string") || StartsWithNoCase(type, "date")) {
+    return ParseError(line_number,
+                      "unsupported attribute type '" + type + "'");
+  }
+  return ParseError(line_number, "unknown attribute type '" + type + "'");
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadArffFromString(const std::string& text,
+                                     const ArffReadOptions& options) {
+  std::istringstream stream(text);
+  std::string raw;
+  size_t line_number = 0;
+
+  std::vector<ArffAttribute> attributes;
+  bool in_data = false;
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    // Strip comments and whitespace.
+    const size_t comment = raw.find('%');
+    if (comment != std::string::npos) raw.resize(comment);
+    const std::string line(TrimWhitespace(raw));
+    if (line.empty()) continue;
+    if (!in_data) {
+      if (StartsWithNoCase(line, "@relation")) continue;
+      if (StartsWithNoCase(line, "@attribute")) {
+        auto attr = ParseAttributeDecl(line.substr(10), line_number);
+        if (!attr.ok()) return attr.status();
+        attributes.push_back(std::move(attr).value());
+        continue;
+      }
+      if (StartsWithNoCase(line, "@data")) {
+        in_data = true;
+        continue;
+      }
+      return ParseError(line_number, "unexpected header line '" + line + "'");
+    }
+    std::vector<std::string> fields = SplitString(line, ',');
+    if (fields.size() != attributes.size()) {
+      return ParseError(line_number,
+                        "row has " + std::to_string(fields.size()) +
+                            " fields, expected " +
+                            std::to_string(attributes.size()));
+    }
+    for (std::string& field : fields) field = Unquote(field);
+    rows.push_back(std::move(fields));
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("ARFF declares no attributes");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("ARFF has no data rows");
+  }
+
+  // Choose the class attribute.
+  size_t class_index = attributes.size();
+  if (!options.class_attribute.empty()) {
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      if (attributes[i].name == options.class_attribute) {
+        class_index = i;
+        break;
+      }
+    }
+    if (class_index == attributes.size()) {
+      return Status::NotFound("class attribute '" + options.class_attribute +
+                              "' not declared");
+    }
+  } else {
+    for (size_t i = attributes.size(); i-- > 0;) {
+      if (!attributes[i].numeric) {
+        class_index = i;
+        break;
+      }
+    }
+    if (class_index == attributes.size()) {
+      return Status::InvalidArgument(
+          "no nominal attribute available as the class");
+    }
+  }
+  if (attributes[class_index].numeric) {
+    return Status::InvalidArgument("class attribute must be nominal");
+  }
+
+  Schema schema;
+  std::vector<AttrIndex> attr_of(attributes.size(), -1);
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i == class_index) {
+      for (const std::string& value : attributes[i].values) {
+        schema.GetOrAddClass(value);
+      }
+      continue;
+    }
+    attr_of[i] = schema.AddAttribute(
+        attributes[i].numeric
+            ? Attribute::Numeric(attributes[i].name)
+            : Attribute::Categorical(attributes[i].name,
+                                     attributes[i].values));
+  }
+
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const RowId row = dataset.AddRow();
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      const std::string& field = rows[r][i];
+      if (i == class_index) {
+        const CategoryId label =
+            dataset.schema().class_attr().FindCategory(field);
+        if (label == kInvalidCategory) {
+          return Status::InvalidArgument("undeclared class value '" + field +
+                                         "'");
+        }
+        dataset.set_label(row, label);
+        continue;
+      }
+      const AttrIndex attr = attr_of[i];
+      if (attributes[i].numeric) {
+        double value = 0.0;
+        if (field == "?") {
+          value = 0.0;  // documented missing-value convention
+        } else if (!ParseDouble(field, &value)) {
+          return Status::InvalidArgument("non-numeric value '" + field +
+                                         "' in attribute '" +
+                                         attributes[i].name + "'");
+        }
+        dataset.set_numeric(row, attr, value);
+      } else {
+        if (field == "?") {
+          dataset.set_categorical(row, attr, kInvalidCategory);
+          continue;
+        }
+        const CategoryId id =
+            dataset.schema().attribute(attr).FindCategory(field);
+        if (id == kInvalidCategory) {
+          return Status::InvalidArgument(
+              "value '" + field + "' not in the declared domain of '" +
+              attributes[i].name + "'");
+        }
+        dataset.set_categorical(row, attr, id);
+      }
+    }
+  }
+  return dataset;
+}
+
+StatusOr<Dataset> ReadArff(const std::string& path,
+                           const ArffReadOptions& options) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadArffFromString(buffer.str(), options);
+}
+
+}  // namespace pnr

@@ -1,0 +1,39 @@
+// ARFF import (Weka's Attribute-Relation File Format) — the canonical
+// distribution format for the rule-learning datasets of the paper's era.
+//
+// Supported subset: @relation, @attribute <name> numeric/real/integer,
+// @attribute <name> {v1, v2, ...} (nominal), @data with comma-separated
+// rows, '%' comments, quoted nominal values, and '?' missing values
+// (mapped to kInvalidCategory for nominal attributes and NaN-free 0.0 for
+// numeric ones — PNrule's condition semantics treat both as
+// "matches nothing specific"). The last nominal attribute is the class
+// unless `class_attribute` names another.
+
+#ifndef PNR_DATA_ARFF_H_
+#define PNR_DATA_ARFF_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Options controlling ARFF import.
+struct ArffReadOptions {
+  /// Name of the attribute to use as the class; empty = the last declared
+  /// nominal attribute.
+  std::string class_attribute;
+};
+
+/// Parses ARFF text into a Dataset.
+StatusOr<Dataset> ReadArffFromString(const std::string& text,
+                                     const ArffReadOptions& options = {});
+
+/// Reads an .arff file.
+StatusOr<Dataset> ReadArff(const std::string& path,
+                           const ArffReadOptions& options = {});
+
+}  // namespace pnr
+
+#endif  // PNR_DATA_ARFF_H_

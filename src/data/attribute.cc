@@ -1,0 +1,54 @@
+#include "data/attribute.h"
+
+#include <cassert>
+
+namespace pnr {
+
+const char* AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kNumeric:
+      return "numeric";
+    case AttributeType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Attribute Attribute::Numeric(std::string name) {
+  return Attribute(std::move(name), AttributeType::kNumeric);
+}
+
+Attribute Attribute::Categorical(std::string name) {
+  return Attribute(std::move(name), AttributeType::kCategorical);
+}
+
+Attribute Attribute::Categorical(std::string name,
+                                 std::vector<std::string> values) {
+  Attribute attr(std::move(name), AttributeType::kCategorical);
+  for (auto& value : values) {
+    attr.GetOrAddCategory(value);
+  }
+  return attr;
+}
+
+const std::string& Attribute::CategoryName(CategoryId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < categories_.size());
+  return categories_[static_cast<size_t>(id)];
+}
+
+CategoryId Attribute::FindCategory(const std::string& value) const {
+  auto it = category_index_.find(value);
+  return it == category_index_.end() ? kInvalidCategory : it->second;
+}
+
+CategoryId Attribute::GetOrAddCategory(const std::string& value) {
+  assert(is_categorical());
+  auto it = category_index_.find(value);
+  if (it != category_index_.end()) return it->second;
+  const CategoryId id = static_cast<CategoryId>(categories_.size());
+  categories_.push_back(value);
+  category_index_.emplace(value, id);
+  return id;
+}
+
+}  // namespace pnr

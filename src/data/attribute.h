@@ -1,0 +1,75 @@
+// Attribute descriptors: every column of a dataset is either numeric
+// (continuous double) or categorical (dictionary-encoded small integers).
+
+#ifndef PNR_DATA_ATTRIBUTE_H_
+#define PNR_DATA_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pnr {
+
+/// Kind of values an attribute holds.
+enum class AttributeType {
+  kNumeric,
+  kCategorical,
+};
+
+/// Returns "numeric" or "categorical".
+const char* AttributeTypeName(AttributeType type);
+
+/// Dictionary-encoded id of a categorical value.
+using CategoryId = int32_t;
+
+/// Sentinel for "value not present in the dictionary".
+inline constexpr CategoryId kInvalidCategory = -1;
+
+/// Metadata for one column: name, type, and (for categorical columns) the
+/// value dictionary mapping strings to dense CategoryIds.
+class Attribute {
+ public:
+  /// Creates a numeric attribute.
+  static Attribute Numeric(std::string name);
+
+  /// Creates a categorical attribute with an initially empty dictionary.
+  static Attribute Categorical(std::string name);
+
+  /// Creates a categorical attribute with a fixed dictionary.
+  static Attribute Categorical(std::string name,
+                               std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  AttributeType type() const { return type_; }
+  bool is_numeric() const { return type_ == AttributeType::kNumeric; }
+  bool is_categorical() const { return type_ == AttributeType::kCategorical; }
+
+  /// Number of distinct categorical values. 0 for numeric attributes.
+  size_t num_categories() const { return categories_.size(); }
+
+  /// The string for a category id; requires a valid id.
+  const std::string& CategoryName(CategoryId id) const;
+
+  /// Id for `value`, or kInvalidCategory if absent.
+  CategoryId FindCategory(const std::string& value) const;
+
+  /// Id for `value`, inserting it into the dictionary if absent.
+  /// Only valid on categorical attributes.
+  CategoryId GetOrAddCategory(const std::string& value);
+
+ private:
+  Attribute(std::string name, AttributeType type)
+      : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  AttributeType type_;
+  std::vector<std::string> categories_;
+  std::unordered_map<std::string, CategoryId> category_index_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_DATA_ATTRIBUTE_H_

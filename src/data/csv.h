@@ -1,0 +1,41 @@
+// CSV import/export for datasets.
+//
+// Import infers a schema: a column whose every non-empty field parses as a
+// double becomes numeric; anything else becomes categorical. One column is
+// designated the class column (by name, or the last column by default).
+
+#ifndef PNR_DATA_CSV_H_
+#define PNR_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Options controlling CSV import.
+struct CsvReadOptions {
+  /// Field delimiter.
+  char delimiter = ',';
+  /// Whether the first row is a header with attribute names.
+  bool has_header = true;
+  /// Name of the class column; empty means "last column".
+  std::string class_column;
+};
+
+/// Reads `path` into a Dataset. All rows must have the same arity.
+StatusOr<Dataset> ReadCsv(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+/// Parses CSV from an in-memory string (same semantics as ReadCsv).
+StatusOr<Dataset> ReadCsvFromString(const std::string& text,
+                                    const CsvReadOptions& options = {});
+
+/// Writes `dataset` to `path` with a header row; the class column is last.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char delimiter = ',');
+
+}  // namespace pnr
+
+#endif  // PNR_DATA_CSV_H_

@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <cassert>
+
+namespace pnr {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+RowId Dataset::AddRow() {
+  const RowId row = static_cast<RowId>(num_rows());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Attribute& attr = schema_.attribute(static_cast<AttrIndex>(i));
+    if (attr.is_numeric()) {
+      columns_[i].numeric.push_back(0.0);
+    } else {
+      columns_[i].categorical.push_back(
+          attr.num_categories() > 0 ? 0 : kInvalidCategory);
+    }
+  }
+  labels_.push_back(0);
+  weights_.push_back(1.0);
+  return row;
+}
+
+void Dataset::Reserve(size_t n) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Attribute& attr = schema_.attribute(static_cast<AttrIndex>(i));
+    if (attr.is_numeric()) {
+      columns_[i].numeric.reserve(n);
+    } else {
+      columns_[i].categorical.reserve(n);
+    }
+  }
+  labels_.reserve(n);
+  weights_.reserve(n);
+}
+
+double Dataset::numeric(RowId row, AttrIndex attr) const {
+  assert(schema_.attribute(attr).is_numeric());
+  assert(row < num_rows());
+  return columns_[static_cast<size_t>(attr)].numeric[row];
+}
+
+void Dataset::set_numeric(RowId row, AttrIndex attr, double value) {
+  assert(schema_.attribute(attr).is_numeric());
+  assert(row < num_rows());
+  columns_[static_cast<size_t>(attr)].numeric[row] = value;
+}
+
+CategoryId Dataset::categorical(RowId row, AttrIndex attr) const {
+  assert(schema_.attribute(attr).is_categorical());
+  assert(row < num_rows());
+  return columns_[static_cast<size_t>(attr)].categorical[row];
+}
+
+void Dataset::set_categorical(RowId row, AttrIndex attr, CategoryId value) {
+  assert(schema_.attribute(attr).is_categorical());
+  assert(row < num_rows());
+  columns_[static_cast<size_t>(attr)].categorical[row] = value;
+}
+
+const std::vector<double>& Dataset::numeric_column(AttrIndex attr) const {
+  assert(schema_.attribute(attr).is_numeric());
+  return columns_[static_cast<size_t>(attr)].numeric;
+}
+
+const std::vector<CategoryId>& Dataset::categorical_column(
+    AttrIndex attr) const {
+  assert(schema_.attribute(attr).is_categorical());
+  return columns_[static_cast<size_t>(attr)].categorical;
+}
+
+void Dataset::SetAllWeights(std::vector<double> weights) {
+  assert(weights.size() == num_rows());
+  weights_ = std::move(weights);
+}
+
+void Dataset::ResetWeights() {
+  weights_.assign(num_rows(), 1.0);
+}
+
+double Dataset::ClassWeight(const RowSubset& rows, CategoryId cls) const {
+  double total = 0.0;
+  for (RowId row : rows) {
+    if (labels_[row] == cls) total += weights_[row];
+  }
+  return total;
+}
+
+double Dataset::TotalWeight(const RowSubset& rows) const {
+  double total = 0.0;
+  for (RowId row : rows) total += weights_[row];
+  return total;
+}
+
+size_t Dataset::CountClass(CategoryId cls) const {
+  size_t count = 0;
+  for (CategoryId label : labels_) {
+    if (label == cls) ++count;
+  }
+  return count;
+}
+
+RowSubset Dataset::AllRows() const {
+  RowSubset rows(num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<RowId>(i);
+  return rows;
+}
+
+RowSubset Dataset::FilterByClass(const RowSubset& rows, CategoryId cls,
+                                 bool matches) const {
+  RowSubset out;
+  out.reserve(rows.size());
+  for (RowId row : rows) {
+    if ((labels_[row] == cls) == matches) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace pnr

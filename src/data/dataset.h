@@ -1,0 +1,117 @@
+// Columnar in-memory dataset: typed feature columns, class labels, and
+// per-record weights. All learners in this library read from Dataset and
+// operate on subsets of row ids, which makes sequential covering (repeatedly
+// removing covered records) cheap.
+
+#ifndef PNR_DATA_DATASET_H_
+#define PNR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace pnr {
+
+/// Index of a record within a Dataset.
+using RowId = uint32_t;
+
+/// An explicit subset of rows (the unit sequential covering works on).
+using RowSubset = std::vector<RowId>;
+
+/// Columnar dataset.
+///
+/// Each feature column physically stores either doubles (numeric) or
+/// CategoryIds (categorical), matching the schema. Labels are CategoryIds of
+/// the schema's class attribute. Every record carries a weight (1.0 unless
+/// stratification has been applied).
+class Dataset {
+ public:
+  /// Creates an empty dataset over `schema`.
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  /// Number of records.
+  size_t num_rows() const { return labels_.size(); }
+
+  /// Appends a record with default values (0.0 / category 0 when the
+  /// dictionary is non-empty, else kInvalidCategory), label 0, weight 1.
+  /// Returns the new row id.
+  RowId AddRow();
+
+  /// Reserves capacity for `n` records.
+  void Reserve(size_t n);
+
+  // -- Cell accessors (bounds are assert-checked) ---------------------------
+
+  double numeric(RowId row, AttrIndex attr) const;
+  void set_numeric(RowId row, AttrIndex attr, double value);
+
+  CategoryId categorical(RowId row, AttrIndex attr) const;
+  void set_categorical(RowId row, AttrIndex attr, CategoryId value);
+
+  CategoryId label(RowId row) const { return labels_[row]; }
+  void set_label(RowId row, CategoryId value) { labels_[row] = value; }
+
+  double weight(RowId row) const { return weights_[row]; }
+  void set_weight(RowId row, double value) { weights_[row] = value; }
+
+  // -- Whole-column access (for sorted scans) -------------------------------
+
+  /// Underlying storage of a numeric column.
+  const std::vector<double>& numeric_column(AttrIndex attr) const;
+
+  /// Underlying storage of a categorical column.
+  const std::vector<CategoryId>& categorical_column(AttrIndex attr) const;
+
+  /// All labels.
+  const std::vector<CategoryId>& labels() const { return labels_; }
+
+  /// All weights.
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Overwrites every record's weight; `weights` must have num_rows()
+  /// entries.
+  void SetAllWeights(std::vector<double> weights);
+
+  /// Resets every record's weight to 1.
+  void ResetWeights();
+
+  // -- Aggregates ------------------------------------------------------------
+
+  /// Sum of weights of records labelled `cls` among `rows`.
+  double ClassWeight(const RowSubset& rows, CategoryId cls) const;
+
+  /// Sum of weights of all records among `rows`.
+  double TotalWeight(const RowSubset& rows) const;
+
+  /// Count (unweighted) of records labelled `cls`.
+  size_t CountClass(CategoryId cls) const;
+
+  /// Row ids 0..num_rows()-1.
+  RowSubset AllRows() const;
+
+  /// Rows from `rows` whose label equals (matches==true) / differs from
+  /// (matches==false) `cls`.
+  RowSubset FilterByClass(const RowSubset& rows, CategoryId cls,
+                          bool matches) const;
+
+ private:
+  struct Column {
+    std::vector<double> numeric;
+    std::vector<CategoryId> categorical;
+  };
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  std::vector<CategoryId> labels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_DATA_DATASET_H_

@@ -1,0 +1,29 @@
+#include "data/schema.h"
+
+#include <cassert>
+
+namespace pnr {
+
+AttrIndex Schema::AddAttribute(Attribute attr) {
+  attributes_.push_back(std::move(attr));
+  return static_cast<AttrIndex>(attributes_.size() - 1);
+}
+
+const Attribute& Schema::attribute(AttrIndex index) const {
+  assert(index >= 0 && static_cast<size_t>(index) < attributes_.size());
+  return attributes_[static_cast<size_t>(index)];
+}
+
+Attribute& Schema::attribute(AttrIndex index) {
+  assert(index >= 0 && static_cast<size_t>(index) < attributes_.size());
+  return attributes_[static_cast<size_t>(index)];
+}
+
+StatusOr<AttrIndex> Schema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name() == name) return static_cast<AttrIndex>(i);
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+}  // namespace pnr

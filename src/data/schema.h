@@ -1,0 +1,55 @@
+// Schema: an ordered list of attributes plus the class attribute.
+
+#ifndef PNR_DATA_SCHEMA_H_
+#define PNR_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/attribute.h"
+
+namespace pnr {
+
+/// Index of an attribute within a schema.
+using AttrIndex = int32_t;
+
+/// Ordered collection of feature attributes plus a categorical class
+/// attribute. The class attribute is stored separately from the features.
+class Schema {
+ public:
+  Schema() : class_attr_(Attribute::Categorical("class")) {}
+
+  /// Appends a feature attribute; returns its index.
+  AttrIndex AddAttribute(Attribute attr);
+
+  /// Number of feature attributes.
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Feature attribute at `index` (0 <= index < num_attributes()).
+  const Attribute& attribute(AttrIndex index) const;
+  Attribute& attribute(AttrIndex index);
+
+  /// Index of the feature named `name`, or error if absent.
+  StatusOr<AttrIndex> FindAttribute(const std::string& name) const;
+
+  /// The class attribute (categorical; labels are its CategoryIds).
+  const Attribute& class_attr() const { return class_attr_; }
+  Attribute& class_attr() { return class_attr_; }
+
+  /// Registers (or finds) a class label and returns its id.
+  CategoryId GetOrAddClass(const std::string& label) {
+    return class_attr_.GetOrAddCategory(label);
+  }
+
+  /// Number of distinct class labels.
+  size_t num_classes() const { return class_attr_.num_categories(); }
+
+ private:
+  std::vector<Attribute> attributes_;
+  Attribute class_attr_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_DATA_SCHEMA_H_

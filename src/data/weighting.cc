@@ -1,0 +1,78 @@
+#include "data/weighting.h"
+
+#include <cassert>
+
+namespace pnr {
+
+std::vector<double> StratifiedWeights(const Dataset& dataset,
+                                      CategoryId target) {
+  size_t target_count = 0;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (dataset.label(r) == target) ++target_count;
+  }
+  const size_t non_target_count = dataset.num_rows() - target_count;
+  assert(target_count > 0 && non_target_count > 0);
+  const double target_weight =
+      static_cast<double>(non_target_count) / static_cast<double>(target_count);
+  std::vector<double> weights(dataset.num_rows(), 1.0);
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (dataset.label(r) == target) weights[r] = target_weight;
+  }
+  return weights;
+}
+
+std::pair<RowSubset, RowSubset> SplitRows(const RowSubset& rows,
+                                          double first_fraction, Rng* rng) {
+  assert(first_fraction >= 0.0 && first_fraction <= 1.0);
+  RowSubset shuffled = rows;
+  rng->Shuffle(&shuffled);
+  const size_t cut = static_cast<size_t>(
+      first_fraction * static_cast<double>(shuffled.size()) + 0.5);
+  RowSubset first(shuffled.begin(), shuffled.begin() + cut);
+  RowSubset second(shuffled.begin() + cut, shuffled.end());
+  return {std::move(first), std::move(second)};
+}
+
+std::pair<RowSubset, RowSubset> StratifiedSplitRows(const Dataset& dataset,
+                                                    const RowSubset& rows,
+                                                    CategoryId target,
+                                                    double first_fraction,
+                                                    Rng* rng) {
+  RowSubset positives = dataset.FilterByClass(rows, target, true);
+  RowSubset negatives = dataset.FilterByClass(rows, target, false);
+  auto [pos_first, pos_second] = SplitRows(positives, first_fraction, rng);
+  auto [neg_first, neg_second] = SplitRows(negatives, first_fraction, rng);
+  RowSubset first = std::move(pos_first);
+  first.insert(first.end(), neg_first.begin(), neg_first.end());
+  RowSubset second = std::move(pos_second);
+  second.insert(second.end(), neg_second.begin(), neg_second.end());
+  rng->Shuffle(&first);
+  rng->Shuffle(&second);
+  return {std::move(first), std::move(second)};
+}
+
+Dataset SubsampleNonTarget(const Dataset& source, CategoryId target,
+                           double non_target_fraction, Rng* rng) {
+  assert(non_target_fraction >= 0.0 && non_target_fraction <= 1.0);
+  Dataset out(source.schema());
+  const Schema& schema = source.schema();
+  for (RowId r = 0; r < source.num_rows(); ++r) {
+    if (source.label(r) != target && !rng->NextBool(non_target_fraction)) {
+      continue;
+    }
+    const RowId nr = out.AddRow();
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttrIndex attr = static_cast<AttrIndex>(a);
+      if (schema.attribute(attr).is_numeric()) {
+        out.set_numeric(nr, attr, source.numeric(r, attr));
+      } else {
+        out.set_categorical(nr, attr, source.categorical(r, attr));
+      }
+    }
+    out.set_label(nr, source.label(r));
+    out.set_weight(nr, source.weight(r));
+  }
+  return out;
+}
+
+}  // namespace pnr

@@ -1,0 +1,46 @@
+// Record-weighting and splitting utilities.
+//
+// The paper's "-we" classifier variants use a *stratified* training set in
+// which every target-class record is up-weighted so the two classes carry
+// equal total weight. Grow/prune splits (RIPPER) and rarity sweeps (Table 5)
+// also live here.
+
+#ifndef PNR_DATA_WEIGHTING_H_
+#define PNR_DATA_WEIGHTING_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Weights for the paper's stratified ("-we") training variant: each record
+/// of `target` gets weight (total non-target records) / (target records);
+/// every other record gets weight 1. Requires at least one record per side.
+std::vector<double> StratifiedWeights(const Dataset& dataset,
+                                      CategoryId target);
+
+/// Randomly partitions `rows` into (first, second) with `first_fraction` of
+/// the rows in the first part (RIPPER uses 2/3 grow / 1/3 prune).
+std::pair<RowSubset, RowSubset> SplitRows(const RowSubset& rows,
+                                          double first_fraction, Rng* rng);
+
+/// Stratified variant of SplitRows: the split preserves the proportion of
+/// `target` labels on both sides (so a very rare class cannot end up
+/// entirely in one part by chance).
+std::pair<RowSubset, RowSubset> StratifiedSplitRows(const Dataset& dataset,
+                                                    const RowSubset& rows,
+                                                    CategoryId target,
+                                                    double first_fraction,
+                                                    Rng* rng);
+
+/// Builds a new dataset that keeps every `target` record of `source` and a
+/// random `non_target_fraction` of the rest (Table 5's rarity sweep).
+Dataset SubsampleNonTarget(const Dataset& source, CategoryId target,
+                           double non_target_fraction, Rng* rng);
+
+}  // namespace pnr
+
+#endif  // PNR_DATA_WEIGHTING_H_

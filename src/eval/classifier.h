@@ -1,0 +1,42 @@
+// Abstract binary classifier interface shared by PNrule, RIPPER and C4.5.
+
+#ifndef PNR_EVAL_CLASSIFIER_H_
+#define PNR_EVAL_CLASSIFIER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// A trained binary model for one target class.
+///
+/// Implementations return a score in [0, 1] interpretable as (an
+/// approximation of) the probability that the record belongs to the target
+/// class; Predict() thresholds the score.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Score in [0, 1] for the record belonging to the target class.
+  virtual double Score(const Dataset& dataset, RowId row) const = 0;
+
+  /// True iff the record is predicted to be of the target class.
+  virtual bool Predict(const Dataset& dataset, RowId row) const {
+    return Score(dataset, row) > threshold_;
+  }
+
+  /// Decision threshold applied by the default Predict() (default 0.5).
+  double threshold() const { return threshold_; }
+  void set_threshold(double threshold) { threshold_ = threshold; }
+
+  /// Human-readable description of the learned model.
+  virtual std::string Describe(const Schema& schema) const = 0;
+
+ private:
+  double threshold_ = 0.5;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_EVAL_CLASSIFIER_H_

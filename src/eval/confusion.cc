@@ -1,0 +1,62 @@
+#include "eval/confusion.h"
+
+#include "common/string_util.h"
+
+namespace pnr {
+
+double Confusion::recall() const {
+  const double p = actual_positives();
+  return p > 0.0 ? true_positives / p : 0.0;
+}
+
+double Confusion::precision() const {
+  const double q = predicted_positives();
+  return q > 0.0 ? true_positives / q : 0.0;
+}
+
+double Confusion::f_measure() const {
+  const double r = recall();
+  const double p = precision();
+  return (r + p) > 0.0 ? 2.0 * r * p / (r + p) : 0.0;
+}
+
+double Confusion::f_beta(double beta) const {
+  const double r = recall();
+  const double p = precision();
+  const double b2 = beta * beta;
+  const double denom = b2 * p + r;
+  return denom > 0.0 ? (1.0 + b2) * r * p / denom : 0.0;
+}
+
+double Confusion::accuracy() const {
+  const double n = total();
+  return n > 0.0 ? (true_positives + true_negatives) / n : 0.0;
+}
+
+void Confusion::Add(bool actual_positive, bool predicted_positive,
+                    double weight) {
+  if (actual_positive) {
+    (predicted_positive ? true_positives : false_negatives) += weight;
+  } else {
+    (predicted_positive ? false_positives : true_negatives) += weight;
+  }
+}
+
+void Confusion::Merge(const Confusion& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  true_negatives += other.true_negatives;
+  false_negatives += other.false_negatives;
+}
+
+std::string Confusion::ToString() const {
+  return "TP=" + FormatDouble(true_positives, 1) +
+         " FP=" + FormatDouble(false_positives, 1) +
+         " TN=" + FormatDouble(true_negatives, 1) +
+         " FN=" + FormatDouble(false_negatives, 1) +
+         " R=" + FormatDouble(recall(), 4) +
+         " P=" + FormatDouble(precision(), 4) +
+         " F=" + FormatDouble(f_measure(), 4);
+}
+
+}  // namespace pnr

@@ -1,0 +1,56 @@
+// Binary confusion matrix and the recall / precision / F-measure metrics
+// the paper evaluates with (van Rijsbergen's F with equal weights).
+
+#ifndef PNR_EVAL_CONFUSION_H_
+#define PNR_EVAL_CONFUSION_H_
+
+#include <string>
+
+namespace pnr {
+
+/// Counts of a binary classifier's outcomes on a labelled set.
+struct Confusion {
+  double true_positives = 0.0;
+  double false_positives = 0.0;
+  double true_negatives = 0.0;
+  double false_negatives = 0.0;
+
+  /// Number of actual target-class records.
+  double actual_positives() const {
+    return true_positives + false_negatives;
+  }
+  /// Number of records predicted as target class.
+  double predicted_positives() const {
+    return true_positives + false_positives;
+  }
+  /// Total number of records.
+  double total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+
+  /// R = q / p: fraction of actual positives recovered (0 if none exist).
+  double recall() const;
+  /// P = q / (q + r): fraction of predicted positives that are correct
+  /// (0 if nothing predicted positive).
+  double precision() const;
+  /// F = 2RP / (R + P); 0 when R + P == 0.
+  double f_measure() const;
+  /// F_beta = (1 + b^2) RP / (b^2 P + R).
+  double f_beta(double beta) const;
+  /// Plain accuracy (TP + TN) / total.
+  double accuracy() const;
+
+  /// Adds one (possibly weighted) observation.
+  void Add(bool actual_positive, bool predicted_positive, double weight = 1.0);
+
+  /// Accumulates another confusion matrix.
+  void Merge(const Confusion& other);
+
+  /// "TP=.. FP=.. TN=.. FN=.. R=.. P=.. F=.."
+  std::string ToString() const;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_EVAL_CONFUSION_H_

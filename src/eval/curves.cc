@@ -1,0 +1,72 @@
+#include "eval/curves.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pnr {
+
+std::vector<CurvePoint> OperatingPoints(const BinaryClassifier& classifier,
+                                        const Dataset& dataset,
+                                        CategoryId target) {
+  const auto sweep = ThresholdSweep(classifier, dataset, target);
+  std::vector<CurvePoint> points;
+  points.reserve(sweep.size());
+  for (const auto& [threshold, confusion] : sweep) {
+    CurvePoint point;
+    point.threshold = threshold;
+    point.recall = confusion.recall();
+    point.precision = confusion.precision();
+    const double negatives =
+        confusion.false_positives + confusion.true_negatives;
+    point.false_positive_rate =
+        negatives > 0.0 ? confusion.false_positives / negatives : 0.0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+double RocAuc(const std::vector<CurvePoint>& points) {
+  if (points.size() < 2) return 0.0;
+  // Points are ordered by ascending threshold: recall and FPR both fall.
+  double area = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double width =
+        points[i - 1].false_positive_rate - points[i].false_positive_rate;
+    const double height =
+        0.5 * (points[i - 1].recall + points[i].recall);
+    area += width * height;
+  }
+  return area;
+}
+
+double PrAuc(const std::vector<CurvePoint>& points) {
+  if (points.empty()) return 0.0;
+  // Average-precision convention with the interpolated envelope
+  // p_interp(r) = max over points with recall >= r of their precision.
+  std::vector<CurvePoint> ordered = points;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CurvePoint& a, const CurvePoint& b) {
+              return a.recall < b.recall;
+            });
+  std::vector<double> envelope(ordered.size(), 0.0);
+  double running_max = 0.0;
+  for (size_t i = ordered.size(); i-- > 0;) {
+    running_max = std::max(running_max, ordered[i].precision);
+    envelope[i] = running_max;
+  }
+  double area = 0.0;
+  double previous_recall = 0.0;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    area += (ordered[i].recall - previous_recall) * envelope[i];
+    previous_recall = ordered[i].recall;
+  }
+  return area;
+}
+
+RankingSummary SummarizeRanking(const BinaryClassifier& classifier,
+                                const Dataset& dataset, CategoryId target) {
+  const auto points = OperatingPoints(classifier, dataset, target);
+  return RankingSummary{RocAuc(points), PrAuc(points)};
+}
+
+}  // namespace pnr

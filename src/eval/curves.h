@@ -1,0 +1,47 @@
+// Ranking-quality summaries built on top of ThresholdSweep: ROC and
+// precision/recall curves with their areas. For a 0.3%-rare class,
+// PR-AUC is the informative number; ROC-AUC saturates (the paper makes the
+// equivalent argument about accuracy vs recall/precision).
+
+#ifndef PNR_EVAL_CURVES_H_
+#define PNR_EVAL_CURVES_H_
+
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace pnr {
+
+/// One operating point of a scoring classifier.
+struct CurvePoint {
+  double threshold = 0.0;
+  double recall = 0.0;            ///< = true-positive rate
+  double precision = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+/// All distinct operating points of `classifier` on `dataset`, ordered by
+/// ascending threshold (descending recall).
+std::vector<CurvePoint> OperatingPoints(const BinaryClassifier& classifier,
+                                        const Dataset& dataset,
+                                        CategoryId target);
+
+/// Area under the ROC curve (trapezoidal over the operating points).
+/// 0.5 = random ranking, 1.0 = perfect.
+double RocAuc(const std::vector<CurvePoint>& points);
+
+/// Area under the precision/recall curve (step-wise interpolation, the
+/// conservative convention). The no-skill baseline is the class prior.
+double PrAuc(const std::vector<CurvePoint>& points);
+
+/// Convenience: both areas computed from one sweep.
+struct RankingSummary {
+  double roc_auc = 0.0;
+  double pr_auc = 0.0;
+};
+RankingSummary SummarizeRanking(const BinaryClassifier& classifier,
+                                const Dataset& dataset, CategoryId target);
+
+}  // namespace pnr
+
+#endif  // PNR_EVAL_CURVES_H_

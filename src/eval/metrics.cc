@@ -1,0 +1,76 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace pnr {
+
+Confusion EvaluateClassifier(const BinaryClassifier& classifier,
+                             const Dataset& dataset, CategoryId target) {
+  Confusion confusion;
+  for (RowId row = 0; row < dataset.num_rows(); ++row) {
+    confusion.Add(dataset.label(row) == target,
+                  classifier.Predict(dataset, row));
+  }
+  return confusion;
+}
+
+Confusion EvaluateClassifierOnRows(const BinaryClassifier& classifier,
+                                   const Dataset& dataset,
+                                   const RowSubset& rows, CategoryId target) {
+  Confusion confusion;
+  for (RowId row : rows) {
+    confusion.Add(dataset.label(row) == target,
+                  classifier.Predict(dataset, row));
+  }
+  return confusion;
+}
+
+BinaryMetrics Metrics(const Confusion& confusion) {
+  return BinaryMetrics{confusion.recall(), confusion.precision(),
+                       confusion.f_measure()};
+}
+
+std::vector<std::pair<double, Confusion>> ThresholdSweep(
+    const BinaryClassifier& classifier, const Dataset& dataset,
+    CategoryId target) {
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(dataset.num_rows());
+  double total_positives = 0.0;
+  for (RowId row = 0; row < dataset.num_rows(); ++row) {
+    const bool positive = dataset.label(row) == target;
+    scored.emplace_back(classifier.Score(dataset, row), positive);
+    if (positive) total_positives += 1.0;
+  }
+  std::sort(scored.begin(), scored.end());
+
+  std::vector<std::pair<double, Confusion>> sweep;
+  // Walk thresholds upward; records with score > threshold are positive.
+  double tp = total_positives;
+  double fp = static_cast<double>(scored.size()) - total_positives;
+  size_t i = 0;
+  // Threshold below all scores: everything predicted positive.
+  const double lowest =
+      scored.empty() ? 0.0 : scored.front().first - 1.0;
+  for (double threshold = lowest;;) {
+    Confusion c;
+    c.true_positives = tp;
+    c.false_positives = fp;
+    c.false_negatives = total_positives - tp;
+    c.true_negatives =
+        (static_cast<double>(scored.size()) - total_positives) - fp;
+    sweep.emplace_back(threshold, c);
+    if (i >= scored.size()) break;
+    threshold = scored[i].first;
+    while (i < scored.size() && scored[i].first <= threshold) {
+      if (scored[i].second) {
+        tp -= 1.0;
+      } else {
+        fp -= 1.0;
+      }
+      ++i;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace pnr

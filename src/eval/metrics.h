@@ -1,0 +1,42 @@
+// Evaluation of trained classifiers against labelled datasets.
+
+#ifndef PNR_EVAL_METRICS_H_
+#define PNR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "eval/classifier.h"
+#include "eval/confusion.h"
+
+namespace pnr {
+
+/// Recall / precision / F triple as the paper's tables report them.
+struct BinaryMetrics {
+  double recall = 0.0;
+  double precision = 0.0;
+  double f_measure = 0.0;
+};
+
+/// Evaluates `classifier` on every row of `dataset` (unweighted counts, as
+/// test sets are never stratified) with `target` as the positive class.
+Confusion EvaluateClassifier(const BinaryClassifier& classifier,
+                             const Dataset& dataset, CategoryId target);
+
+/// Same as EvaluateClassifier but restricted to `rows`.
+Confusion EvaluateClassifierOnRows(const BinaryClassifier& classifier,
+                                   const Dataset& dataset,
+                                   const RowSubset& rows, CategoryId target);
+
+/// Convenience wrapper returning the metric triple directly.
+BinaryMetrics Metrics(const Confusion& confusion);
+
+/// Sweeps decision thresholds over the classifier's scores and returns the
+/// (threshold, confusion) pairs for every distinct score cut, sorted by
+/// threshold. Useful for recall/precision trade-off curves.
+std::vector<std::pair<double, Confusion>> ThresholdSweep(
+    const BinaryClassifier& classifier, const Dataset& dataset,
+    CategoryId target);
+
+}  // namespace pnr
+
+#endif  // PNR_EVAL_METRICS_H_

@@ -1,0 +1,60 @@
+#include "harness/experiment.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace pnr {
+namespace {
+
+constexpr size_t kPaperTrain = 500000;
+constexpr size_t kPaperTest = 250000;
+
+void ApplyFactor(ExperimentScale* scale, double factor) {
+  scale->factor = factor;
+  scale->train_records =
+      static_cast<size_t>(static_cast<double>(kPaperTrain) * factor + 0.5);
+  scale->test_records =
+      static_cast<size_t>(static_cast<double>(kPaperTest) * factor + 0.5);
+}
+
+}  // namespace
+
+ExperimentScale ScaleFromArgs(int argc, char** argv) {
+  return ScaleFromArgsWithDefault(argc, argv, 0.2);
+}
+
+ExperimentScale ScaleFromArgsWithDefault(int argc, char** argv,
+                                         double default_factor) {
+  ExperimentScale scale;
+  ApplyFactor(&scale, default_factor);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--paper-scale") {
+      ApplyFactor(&scale, 1.0);
+    } else if (arg == "--quick") {
+      ApplyFactor(&scale, 0.05);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      double factor = 0.0;
+      if (ParseDouble(arg.substr(8), &factor) && factor > 0.0) {
+        ApplyFactor(&scale, factor);
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      long long seed = 0;
+      if (ParseInt64(arg.substr(7), &seed)) {
+        scale.seed = static_cast<uint64_t>(seed);
+      }
+    }
+  }
+  return scale;
+}
+
+std::string DescribeScale(const ExperimentScale& scale) {
+  return "scale=" + FormatDouble(scale.factor, 2) +
+         " train=" + std::to_string(scale.train_records) +
+         " test=" + std::to_string(scale.test_records) +
+         " seed=" + std::to_string(scale.seed);
+}
+
+}  // namespace pnr

@@ -1,0 +1,40 @@
+// Experiment scaling and shared bench plumbing.
+//
+// The paper's experiments use 500k training / 250k test records with a
+// 0.3% target class. Benchmarks default to a 0.2x scale (100k / 50k) so
+// that the whole suite runs in minutes; pass --paper-scale for full size or
+// --scale=<f> / --quick for other factors. The class geometry (fractions,
+// peak widths) is scale-invariant.
+
+#ifndef PNR_HARNESS_EXPERIMENT_H_
+#define PNR_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pnr {
+
+/// Sizes of one experiment's train/test splits.
+struct ExperimentScale {
+  size_t train_records = 100000;
+  size_t test_records = 50000;
+  double factor = 0.2;
+  uint64_t seed = 20010521;
+};
+
+/// Parses --paper-scale / --scale=<f> / --quick / --seed=<n> from argv.
+/// Unknown arguments are ignored (benchmarks may define their own).
+ExperimentScale ScaleFromArgs(int argc, char** argv);
+
+/// Same, but with a bench-specific default factor used when the caller
+/// passes no scale flag (syngen-based tables need 0.4 for the paper shape
+/// to emerge; see EXPERIMENTS.md).
+ExperimentScale ScaleFromArgsWithDefault(int argc, char** argv,
+                                         double default_factor);
+
+/// Header line describing the scale ("scale=0.2 train=100000 test=50000").
+std::string DescribeScale(const ExperimentScale& scale);
+
+}  // namespace pnr
+
+#endif  // PNR_HARNESS_EXPERIMENT_H_

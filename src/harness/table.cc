@@ -1,0 +1,63 @@
+#include "harness/table.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace pnr {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string PercentCell(double fraction) {
+  return FormatPercent(fraction, 2);
+}
+
+std::string FMeasureCell(double f) {
+  std::string cell = FormatDouble(f, 4);
+  // Paper style: ".9792" rather than "0.9792".
+  if (cell.size() > 1 && cell[0] == '0') cell.erase(0, 1);
+  return cell;
+}
+
+void AppendMetricsCells(const VariantResult& result,
+                        std::vector<std::string>* row) {
+  row->push_back(PercentCell(result.metrics.recall));
+  row->push_back(PercentCell(result.metrics.precision));
+  row->push_back(FMeasureCell(result.metrics.f_measure));
+}
+
+}  // namespace pnr

@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark binaries, matching the
+// paper's Rec / Prec / F reporting style.
+
+#ifndef PNR_HARNESS_TABLE_H_
+#define PNR_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/variants.h"
+
+namespace pnr {
+
+/// Column-aligned ASCII table builder.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a header separator.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "97.07" — recall/precision as percentages, paper style.
+std::string PercentCell(double fraction);
+
+/// ".9792" — F-measure with 4 digits, paper style.
+std::string FMeasureCell(double f);
+
+/// Appends one variant's Rec / Prec / F cells to `row`.
+void AppendMetricsCells(const VariantResult& result,
+                        std::vector<std::string>* row);
+
+}  // namespace pnr
+
+#endif  // PNR_HARNESS_TABLE_H_

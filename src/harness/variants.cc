@@ -1,0 +1,153 @@
+#include "harness/variants.h"
+
+#include "c45/rules.h"
+#include "c45/tree_classifier.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "data/weighting.h"
+#include "ripper/ripper.h"
+
+namespace pnr {
+namespace {
+
+StatusOr<CategoryId> ResolveTarget(const Dataset& dataset,
+                                   const std::string& target_class) {
+  const CategoryId target =
+      dataset.schema().class_attr().FindCategory(target_class);
+  if (target == kInvalidCategory) {
+    return Status::NotFound("class '" + target_class +
+                            "' not present in the training schema");
+  }
+  return target;
+}
+
+VariantResult Finish(const std::string& name, const BinaryClassifier& model,
+                     const Dataset& test, CategoryId target,
+                     double train_seconds, std::string detail = {}) {
+  VariantResult result;
+  result.variant = name;
+  result.confusion = EvaluateClassifier(model, test, target);
+  result.metrics = Metrics(result.confusion);
+  result.train_seconds = train_seconds;
+  result.detail = std::move(detail);
+  return result;
+}
+
+// Stratified copy of the training set for the "-we" variants.
+Dataset StratifiedCopy(const Dataset& train, CategoryId target) {
+  Dataset copy = train;
+  copy.SetAllWeights(StratifiedWeights(train, target));
+  return copy;
+}
+
+StatusOr<VariantResult> RunPnruleBestOfFour(const TrainTestPair& data,
+                                            CategoryId target) {
+  VariantResult best;
+  bool have_best = false;
+  for (double rp : {0.95, 0.99}) {
+    for (double rn : {0.7, 0.95}) {
+      PnruleConfig config;
+      config.min_coverage_fraction = rp;
+      config.n_recall_lower_limit = rn;
+      Timer timer;
+      PnruleLearner learner(config);
+      auto model = learner.Train(data.train, target);
+      if (!model.ok()) return model.status();
+      VariantResult result =
+          Finish("P", *model, data.test, target, timer.ElapsedSeconds(),
+                 "rp=" + FormatDouble(rp, 2) + ",rn=" + FormatDouble(rn, 2));
+      if (!have_best || result.metrics.f_measure > best.metrics.f_measure) {
+        best = result;
+        have_best = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const std::vector<std::string>& StandardVariants() {
+  static const std::vector<std::string> kVariants = {"C", "Cte", "R", "Re",
+                                                     "P"};
+  return kVariants;
+}
+
+StatusOr<VariantResult> RunVariant(const std::string& name,
+                                   const TrainTestPair& data,
+                                   const std::string& target_class,
+                                   uint64_t seed) {
+  auto target_or = ResolveTarget(data.train, target_class);
+  if (!target_or.ok()) return target_or.status();
+  const CategoryId target = *target_or;
+
+  if (name == "C") {
+    Timer timer;
+    C45RulesLearner learner;
+    auto model = learner.Train(data.train, target);
+    if (!model.ok()) return model.status();
+    return Finish(name, *model, data.test, target, timer.ElapsedSeconds());
+  }
+  if (name == "Cte") {
+    Timer timer;
+    const Dataset stratified = StratifiedCopy(data.train, target);
+    C45TreeLearner learner;
+    auto model = learner.Train(stratified, target);
+    if (!model.ok()) return model.status();
+    return Finish(name, *model, data.test, target, timer.ElapsedSeconds());
+  }
+  if (name == "R" || name == "Re") {
+    Timer timer;
+    RipperConfig config;
+    config.seed = seed;
+    RipperLearner learner(config);
+    if (name == "Re") {
+      const Dataset stratified = StratifiedCopy(data.train, target);
+      auto model = learner.Train(stratified, target);
+      if (!model.ok()) return model.status();
+      return Finish(name, *model, data.test, target, timer.ElapsedSeconds());
+    }
+    auto model = learner.Train(data.train, target);
+    if (!model.ok()) return model.status();
+    return Finish(name, *model, data.test, target, timer.ElapsedSeconds());
+  }
+  if (name == "P") {
+    return RunPnruleBestOfFour(data, target);
+  }
+  if (name == "P1") {
+    PnruleConfig config;
+    config.max_p_rule_length = 1;
+    config.min_coverage_fraction = 0.95;
+    config.n_recall_lower_limit = 0.95;
+    auto result = RunPnruleConfigured(config, data, target_class);
+    if (!result.ok()) return result.status();
+    VariantResult named = *result;
+    named.variant = "P1";
+    return named;
+  }
+  if (name == "Pold") {
+    PnruleConfig config;
+    config.legacy_mode = true;
+    auto result = RunPnruleConfigured(config, data, target_class);
+    if (!result.ok()) return result.status();
+    VariantResult named = *result;
+    named.variant = "Pold";
+    return named;
+  }
+  return Status::NotFound("unknown variant '" + name + "'");
+}
+
+StatusOr<VariantResult> RunPnruleConfigured(const PnruleConfig& config,
+                                            const TrainTestPair& data,
+                                            const std::string& target_class) {
+  auto target_or = ResolveTarget(data.train, target_class);
+  if (!target_or.ok()) return target_or.status();
+  Timer timer;
+  PnruleLearner learner(config);
+  auto model = learner.Train(data.train, *target_or);
+  if (!model.ok()) return model.status();
+  return Finish("P", *model, data.test, *target_or, timer.ElapsedSeconds(),
+                config.ToString());
+}
+
+}  // namespace pnr

@@ -1,0 +1,55 @@
+// Classifier-variant registry used by every benchmark table.
+//
+// Variant names follow the paper's notation:
+//   "C"   — C4.5rules, unit-weight training set
+//   "Cte" — C4.5-we: pruned C4.5 *tree* trained on the stratified set
+//   "R"   — RIPPER (RIPPER2), unit weights
+//   "Re"  — RIPPER-we: RIPPER on the stratified set
+//   "P"   — PNrule: best of the paper's four (rp, rn) combinations,
+//           rp in {0.95, 0.99} x rn in {0.7, 0.95}, selected by test F
+//           (the paper's comparison strategy, section 3.1)
+//   "P1"  — PNrule with P-rule length restricted to 1 (section 4)
+//   "Pold"— legacy-mode PNrule approximating the SDM'01 version (Table 6)
+
+#ifndef PNR_HARNESS_VARIANTS_H_
+#define PNR_HARNESS_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "pnrule/pnrule.h"
+#include "synth/sweep.h"
+
+namespace pnr {
+
+/// Outcome of training + evaluating one variant on one train/test pair.
+struct VariantResult {
+  std::string variant;
+  BinaryMetrics metrics;
+  Confusion confusion;
+  double train_seconds = 0.0;
+  /// Variant-specific detail (e.g. the (rp, rn) combination P selected).
+  std::string detail;
+};
+
+/// Names of the paper's five standard comparison variants, in table order.
+const std::vector<std::string>& StandardVariants();
+
+/// Trains variant `name` on `data.train` for class `target_class` and
+/// evaluates on `data.test`. `seed` controls any internal randomness
+/// (RIPPER's grow/prune splits).
+StatusOr<VariantResult> RunVariant(const std::string& name,
+                                   const TrainTestPair& data,
+                                   const std::string& target_class,
+                                   uint64_t seed);
+
+/// Runs PNrule with an explicit configuration (the section-4 parameter
+/// studies sweep rp / rn / P-rule length directly).
+StatusOr<VariantResult> RunPnruleConfigured(const PnruleConfig& config,
+                                            const TrainTestPair& data,
+                                            const std::string& target_class);
+
+}  // namespace pnr
+
+#endif  // PNR_HARNESS_VARIANTS_H_

@@ -1,0 +1,199 @@
+#include "induction/condition_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace pnr {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+// Mutable search state threaded through the per-attribute scans.
+struct SearchState {
+  const ConditionScorer* scorer = nullptr;
+  const ConditionSearchOptions* options = nullptr;
+  double total_weight = 0.0;
+  double best_value = kNegInf;
+  std::optional<CandidateCondition> best;
+
+  // Scores `stats`; records the candidate if it is admissible and improves
+  // on the best so far. Returns the score (kNegInf if inadmissible).
+  double Consider(const Condition& condition, const RuleStats& stats) {
+    if (stats.covered <= kEps) return kNegInf;
+    if (stats.covered >= total_weight - kEps) return kNegInf;  // no refinement
+    if (stats.covered < options->min_covered_weight - kEps) return kNegInf;
+    if (stats.positive < options->min_positive_weight - kEps) return kNegInf;
+    const double value = (*scorer)(stats);
+    if (!std::isfinite(value)) return kNegInf;
+    if (value > best_value) {
+      best_value = value;
+      best = CandidateCondition{condition, stats, value};
+    }
+    return value;
+  }
+};
+
+void ScanCategorical(const Dataset& dataset, const RowSubset& rows,
+                     CategoryId target, AttrIndex attr, SearchState* state) {
+  const size_t num_categories =
+      dataset.schema().attribute(attr).num_categories();
+  if (num_categories == 0) return;
+  std::vector<double> weight(num_categories, 0.0);
+  std::vector<double> positive(num_categories, 0.0);
+  for (RowId row : rows) {
+    const CategoryId c = dataset.categorical(row, attr);
+    if (c == kInvalidCategory) continue;
+    const double w = dataset.weight(row);
+    weight[static_cast<size_t>(c)] += w;
+    if (dataset.label(row) == target) positive[static_cast<size_t>(c)] += w;
+  }
+  for (size_t c = 0; c < num_categories; ++c) {
+    if (weight[c] <= kEps) continue;
+    RuleStats stats;
+    stats.covered = weight[c];
+    stats.positive = positive[c];
+    state->Consider(
+        Condition::CatEqual(attr, static_cast<CategoryId>(c)), stats);
+  }
+}
+
+// One entry per row, sorted by value, with prefix sums over weight/positive.
+struct SortedColumn {
+  std::vector<double> values;
+  std::vector<double> prefix_weight;    // weight of entries [0, i)
+  std::vector<double> prefix_positive;  // positive weight of entries [0, i)
+  // Indices i such that values[i-1] < values[i]: candidate cut positions.
+  std::vector<size_t> boundaries;
+  double total_weight = 0.0;
+  double total_positive = 0.0;
+
+  double CutValue(size_t boundary) const {
+    // Midpoint between the adjacent distinct values; no data point can be
+    // equal to it, so <=/&gt; semantics are unambiguous.
+    return 0.5 * (values[boundary - 1] + values[boundary]);
+  }
+};
+
+SortedColumn BuildSortedColumn(const Dataset& dataset, const RowSubset& rows,
+                               CategoryId target, AttrIndex attr) {
+  struct Entry {
+    double value;
+    double weight;
+    double positive;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(rows.size());
+  for (RowId row : rows) {
+    const double w = dataset.weight(row);
+    entries.push_back({dataset.numeric(row, attr), w,
+                       dataset.label(row) == target ? w : 0.0});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.value < b.value; });
+
+  SortedColumn col;
+  col.values.resize(entries.size());
+  col.prefix_weight.resize(entries.size() + 1, 0.0);
+  col.prefix_positive.resize(entries.size() + 1, 0.0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    col.values[i] = entries[i].value;
+    col.prefix_weight[i + 1] = col.prefix_weight[i] + entries[i].weight;
+    col.prefix_positive[i + 1] =
+        col.prefix_positive[i] + entries[i].positive;
+    if (i > 0 && entries[i].value > entries[i - 1].value) {
+      col.boundaries.push_back(i);
+    }
+  }
+  col.total_weight = col.prefix_weight.back();
+  col.total_positive = col.prefix_positive.back();
+  return col;
+}
+
+// Stats of the slice [from, to) of the sorted column.
+RuleStats SliceStats(const SortedColumn& col, size_t from, size_t to) {
+  RuleStats stats;
+  stats.covered = col.prefix_weight[to] - col.prefix_weight[from];
+  stats.positive = col.prefix_positive[to] - col.prefix_positive[from];
+  return stats;
+}
+
+void ScanNumeric(const Dataset& dataset, const RowSubset& rows,
+                 CategoryId target, AttrIndex attr, SearchState* state) {
+  const SortedColumn col = BuildSortedColumn(dataset, rows, target, attr);
+  if (col.boundaries.empty()) return;  // constant attribute
+
+  // Single scan: best one-sided conditions.
+  double best_le_value = kNegInf;
+  double best_gt_value = kNegInf;
+  size_t best_le_boundary = 0;
+  size_t best_gt_boundary = 0;
+  for (size_t b : col.boundaries) {
+    const double cut = col.CutValue(b);
+    const double le_value =
+        state->Consider(Condition::LessEqual(attr, cut), SliceStats(col, 0, b));
+    if (le_value > best_le_value) {
+      best_le_value = le_value;
+      best_le_boundary = b;
+    }
+    const double gt_value = state->Consider(
+        Condition::Greater(attr, cut), SliceStats(col, b, col.values.size()));
+    if (gt_value > best_gt_value) {
+      best_gt_value = gt_value;
+      best_gt_boundary = b;
+    }
+  }
+
+  if (!state->options->enable_range_conditions) return;
+  if (!std::isfinite(best_le_value) && !std::isfinite(best_gt_value)) return;
+
+  // Extra scan for a range condition (paper, section 2.2): fix the limit of
+  // the better one-sided condition, scan for the opposite limit.
+  if (best_gt_value >= best_le_value) {
+    // Fix the left limit vl = cut(best_gt_boundary); scan right limits.
+    const size_t left = best_gt_boundary;
+    const double lo = col.CutValue(left);
+    for (size_t b : col.boundaries) {
+      if (b <= left) continue;
+      state->Consider(Condition::InRange(attr, lo, col.CutValue(b)),
+                      SliceStats(col, left, b));
+    }
+  } else {
+    // Fix the right limit vr = cut(best_le_boundary); scan left limits.
+    const size_t right = best_le_boundary;
+    const double hi = col.CutValue(right);
+    for (size_t b : col.boundaries) {
+      if (b >= right) break;
+      state->Consider(Condition::InRange(attr, col.CutValue(b), hi),
+                      SliceStats(col, b, right));
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<CandidateCondition> FindBestCondition(
+    const Dataset& dataset, const RowSubset& rows, CategoryId target,
+    const ConditionScorer& scorer, const ConditionSearchOptions& options) {
+  if (rows.empty()) return std::nullopt;
+  SearchState state;
+  state.scorer = &scorer;
+  state.options = &options;
+  state.total_weight = dataset.TotalWeight(rows);
+
+  const Schema& schema = dataset.schema();
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const AttrIndex attr = static_cast<AttrIndex>(a);
+    if (schema.attribute(attr).is_categorical()) {
+      ScanCategorical(dataset, rows, target, attr, &state);
+    } else {
+      ScanNumeric(dataset, rows, target, attr, &state);
+    }
+  }
+  return state.best;
+}
+
+}  // namespace pnr

@@ -1,0 +1,59 @@
+// Greedy search for the best single condition to append to a rule.
+//
+// All learners grow rules one conjunct at a time; they differ only in the
+// scoring function (PNrule: Z-number against the remaining-data
+// distribution; RIPPER: FOIL gain against the parent rule). The search
+// enumerates:
+//   - every categorical value test (attr = v),
+//   - every one-sided numeric cut (attr <= c, attr > c) via a single scan of
+//     the rows sorted on the attribute,
+//   - and, when enabled, a range condition (vl < attr <= vr) found with the
+//     paper's one-extra-scan procedure: fix the limit of the better
+//     one-sided condition and scan for the opposite limit.
+
+#ifndef PNR_INDUCTION_CONDITION_SEARCH_H_
+#define PNR_INDUCTION_CONDITION_SEARCH_H_
+
+#include <functional>
+#include <optional>
+
+#include "rules/rule.h"
+
+namespace pnr {
+
+/// A scored candidate refinement.
+struct CandidateCondition {
+  Condition condition;
+  RuleStats stats;     ///< coverage of the refined rule over the search rows
+  double value = 0.0;  ///< scorer value (higher is better)
+};
+
+/// Scores the stats of the refined rule; return -infinity to reject.
+using ConditionScorer = std::function<double(const RuleStats&)>;
+
+/// Knobs for FindBestCondition.
+struct ConditionSearchOptions {
+  /// Evaluate explicit range conditions on numeric attributes (the paper's
+  /// extra-scan method). When false only one-sided cuts are considered.
+  bool enable_range_conditions = true;
+
+  /// Candidates whose covered weight is below this are skipped (PNrule's
+  /// minimum-support constraint).
+  double min_covered_weight = 0.0;
+
+  /// Candidates whose covered *positive* weight is below this are skipped.
+  double min_positive_weight = 0.0;
+};
+
+/// Finds the highest-scoring condition over `rows` (the records matched by
+/// the rule being grown). Returns nullopt when no candidate is admissible.
+///
+/// Candidates that cover all of `rows` are skipped (they would not refine
+/// the rule), as are candidates covering nothing.
+std::optional<CandidateCondition> FindBestCondition(
+    const Dataset& dataset, const RowSubset& rows, CategoryId target,
+    const ConditionScorer& scorer, const ConditionSearchOptions& options = {});
+
+}  // namespace pnr
+
+#endif  // PNR_INDUCTION_CONDITION_SEARCH_H_

@@ -1,0 +1,109 @@
+#include "induction/mdl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace pnr {
+
+double CountPossibleConditions(const Dataset& dataset) {
+  const Schema& schema = dataset.schema();
+  double count = 0.0;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const AttrIndex attr = static_cast<AttrIndex>(a);
+    if (schema.attribute(attr).is_categorical()) {
+      count += static_cast<double>(schema.attribute(attr).num_categories());
+    } else {
+      const auto& column = dataset.numeric_column(attr);
+      std::unordered_set<double> distinct(column.begin(), column.end());
+      if (distinct.size() > 1) {
+        count += 2.0 * static_cast<double>(distinct.size() - 1);
+      }
+    }
+  }
+  return std::max(count, 1.0);
+}
+
+double RuleTheoryBits(size_t num_conditions, double possible_conditions) {
+  if (num_conditions == 0) return 0.0;
+  const double k = static_cast<double>(num_conditions);
+  const double n = std::max(possible_conditions, k);
+  const double bits = IntegerCodingBits(k) + SubsetDescriptionBits(n, k, k / n);
+  return 0.5 * bits;  // Cohen's redundancy discount.
+}
+
+double ExceptionBits(double expected_fp_ratio, double cover, double uncover,
+                     double fp, double fn) {
+  assert(fp <= cover + 1e-9 && fn <= uncover + 1e-9);
+  const double total_bits = SafeLog2(cover + uncover + 1.0);
+  double cover_bits = 0.0;
+  double uncover_bits = 0.0;
+  if (cover > uncover) {
+    // Code false positives against their expected rate, false negatives
+    // against their empirical rate.
+    const double expected_errors = expected_fp_ratio * (fp + fn);
+    cover_bits = cover > 0.0
+                     ? SubsetDescriptionBits(
+                           cover, fp,
+                           std::clamp(expected_errors / cover, 1e-12, 1.0))
+                     : 0.0;
+    uncover_bits =
+        uncover > 0.0 ? SubsetDescriptionBits(uncover, fn, fn / uncover) : 0.0;
+  } else {
+    const double expected_errors = (1.0 - expected_fp_ratio) * (fp + fn);
+    cover_bits =
+        cover > 0.0 ? SubsetDescriptionBits(cover, fp, fp / cover) : 0.0;
+    uncover_bits = uncover > 0.0
+                       ? SubsetDescriptionBits(
+                             uncover, fn,
+                             std::clamp(expected_errors / uncover, 1e-12, 1.0))
+                       : 0.0;
+  }
+  return total_bits + cover_bits + uncover_bits;
+}
+
+double ExceptionBitsEmpirical(double cover, double uncover, double fp,
+                              double fn) {
+  assert(fp <= cover + 1e-9 && fn <= uncover + 1e-9);
+  const double total_bits = SafeLog2(cover + uncover + 1.0);
+  const double cover_bits =
+      cover > 0.0 ? SubsetDescriptionBits(cover, fp, fp / cover) : 0.0;
+  const double uncover_bits =
+      uncover > 0.0 ? SubsetDescriptionBits(uncover, fn, fn / uncover) : 0.0;
+  return total_bits + cover_bits + uncover_bits;
+}
+
+double RuleSetDescriptionLength(const Dataset& dataset, const RowSubset& rows,
+                                CategoryId target, const RuleSet& rules,
+                                double possible_conditions,
+                                double expected_fp_ratio,
+                                bool invert_target) {
+  double theory = 0.0;
+  for (const Rule& rule : rules.rules()) {
+    theory += RuleTheoryBits(rule.size(), possible_conditions);
+  }
+  double cover = 0.0;
+  double uncover = 0.0;
+  double fp = 0.0;
+  double fn = 0.0;
+  for (RowId row : rows) {
+    const double w = dataset.weight(row);
+    const bool positive = (dataset.label(row) == target) != invert_target;
+    if (rules.AnyMatch(dataset, row)) {
+      cover += w;
+      if (!positive) fp += w;
+    } else {
+      uncover += w;
+      if (positive) fn += w;
+    }
+  }
+  if (expected_fp_ratio < 0.0) {
+    return theory + ExceptionBitsEmpirical(cover, uncover, fp, fn);
+  }
+  return theory + ExceptionBits(expected_fp_ratio, cover, uncover, fp, fn);
+}
+
+}  // namespace pnr

@@ -1,0 +1,77 @@
+// Rule evaluation metrics.
+//
+// PNrule's default metric is the Z-number of [1] (a one-sample z-test of the
+// rule's accuracy against the class prior, weighted by sqrt(support)); the
+// paper notes that gini, information gain, gain ratio or chi-squared can be
+// substituted, so all of them are provided behind one interface. RIPPER's
+// FOIL information gain, which scores a refinement against its parent rule,
+// is exposed as a free function.
+
+#ifndef PNR_INDUCTION_METRIC_H_
+#define PNR_INDUCTION_METRIC_H_
+
+#include <memory>
+#include <string>
+
+#include "rules/rule.h"
+
+namespace pnr {
+
+/// Weighted class distribution of the data a rule is being judged against
+/// (for PNrule: the records remaining after earlier rules were removed).
+struct ClassDistribution {
+  double positives = 0.0;  ///< total weight of target-class records
+  double negatives = 0.0;  ///< total weight of the rest
+
+  double total() const { return positives + negatives; }
+  /// Prior probability of the target class (0 when empty).
+  double prior() const {
+    const double t = total();
+    return t > 0.0 ? positives / t : 0.0;
+  }
+};
+
+/// Identifier for the selectable metrics.
+enum class RuleMetricKind {
+  kZNumber,
+  kInfoGain,
+  kGainRatio,
+  kGini,
+  kChiSquared,
+};
+
+/// Returns the metric's canonical name ("z-number", "info-gain", ...).
+const char* RuleMetricKindName(RuleMetricKind kind);
+
+/// Scores a candidate rule given its coverage stats and the distribution of
+/// the data it was evaluated on. Higher is better; values are only compared
+/// within one metric.
+class RuleMetric {
+ public:
+  virtual ~RuleMetric() = default;
+
+  /// Value of a rule with coverage `stats` against distribution `dist`.
+  virtual double Evaluate(const RuleStats& stats,
+                          const ClassDistribution& dist) const = 0;
+
+  /// The metric's kind tag.
+  virtual RuleMetricKind kind() const = 0;
+};
+
+/// Factory for the built-in metrics.
+std::unique_ptr<RuleMetric> MakeRuleMetric(RuleMetricKind kind);
+
+/// Z-number of a rule: sqrt(cov) * (acc - p0) / sqrt(p0 * (1 - p0)).
+/// Positive values mean the rule's accuracy beats the prior; the magnitude
+/// grows with statistical support. Returns 0 for empty coverage.
+double ZNumber(const RuleStats& stats, const ClassDistribution& dist);
+
+/// FOIL information gain of refining `parent` into `refined`:
+///   pos_r * (log2(acc_r) - log2(acc_p))
+/// with the standard +1/+2 Laplace guard against log(0). Used by RIPPER's
+/// grow step.
+double FoilGain(const RuleStats& parent, const RuleStats& refined);
+
+}  // namespace pnr
+
+#endif  // PNR_INDUCTION_METRIC_H_

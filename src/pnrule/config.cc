@@ -1,0 +1,53 @@
+#include "pnrule/config.h"
+
+#include "common/string_util.h"
+
+namespace pnr {
+
+Status PnruleConfig::Validate() const {
+  if (min_coverage_fraction <= 0.0 || min_coverage_fraction > 1.0) {
+    return Status::InvalidArgument("min_coverage_fraction must be in (0, 1]");
+  }
+  if (p_accuracy_after_coverage < 0.0 || p_accuracy_after_coverage > 1.0) {
+    return Status::InvalidArgument(
+        "p_accuracy_after_coverage must be in [0, 1]");
+  }
+  if (min_support_fraction < 0.0 || min_support_fraction > 1.0) {
+    return Status::InvalidArgument("min_support_fraction must be in [0, 1]");
+  }
+  if (n_recall_lower_limit < 0.0 || n_recall_lower_limit > 1.0) {
+    return Status::InvalidArgument("n_recall_lower_limit must be in [0, 1]");
+  }
+  if (max_p_rules == 0) {
+    return Status::InvalidArgument("max_p_rules must be positive");
+  }
+  if (mdl_window_bits < 0.0) {
+    return Status::InvalidArgument("mdl_window_bits must be >= 0");
+  }
+  if (score_min_cell_weight < 0.0) {
+    return Status::InvalidArgument("score_min_cell_weight must be >= 0");
+  }
+  if (score_smoothing < 0.0) {
+    return Status::InvalidArgument("score_smoothing must be >= 0");
+  }
+  if (min_refinement_gain < 0.0) {
+    return Status::InvalidArgument("min_refinement_gain must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string PnruleConfig::ToString() const {
+  std::string out = "PnruleConfig{rp=" + FormatDouble(min_coverage_fraction, 3);
+  out += ", rn=" + FormatDouble(n_recall_lower_limit, 3);
+  out += ", min_support=" + FormatDouble(min_support_fraction, 3);
+  out += ", metric=" + std::string(RuleMetricKindName(metric));
+  if (max_p_rule_length > 0) {
+    out += ", maxPlen=" + std::to_string(max_p_rule_length);
+  }
+  if (!enable_range_conditions) out += ", no-range";
+  if (legacy_mode) out += ", legacy";
+  out += "}";
+  return out;
+}
+
+}  // namespace pnr

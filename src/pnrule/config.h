@@ -1,0 +1,112 @@
+// PNrule configuration: the control parameters the paper exposes.
+//
+// The two headline knobs of the improved (SIGMOD'01) algorithm:
+//   * min_coverage_fraction (the paper's "rp") — the P-phase keeps adding
+//     rules until this fraction of the target class is covered; afterwards a
+//     rule is only added if it clears an accuracy threshold. Acts as an
+//     *upper* limit on recall.
+//   * n_recall_lower_limit (the paper's "rn") — the N-phase may only refine
+//     a rule past its metric optimum when accepting the unrefined rule would
+//     push the model's recall of the original target class below this
+//     limit. Acts as a *lower* limit on recall.
+// Together they give the user implicit control over recall vs precision.
+
+#ifndef PNR_PNRULE_CONFIG_H_
+#define PNR_PNRULE_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "induction/metric.h"
+
+namespace pnr {
+
+/// All user-visible PNrule parameters, with the defaults used by the
+/// experiment harness ("very conservative values", per the paper).
+struct PnruleConfig {
+  // ----- P-phase -----------------------------------------------------------
+
+  /// rp: fraction of the target class the P-phase must cover before the
+  /// accuracy gate kicks in (paper sweeps {0.95, 0.99, 0.995}).
+  double min_coverage_fraction = 0.99;
+
+  /// Accuracy a new P-rule must reach once rp coverage is achieved.
+  double p_accuracy_after_coverage = 0.9;
+
+  /// Minimum support of any P-rule, as a fraction of the target class
+  /// population (prevents statistically insignificant small disjuncts).
+  double min_support_fraction = 0.01;
+
+  /// Maximum number of conditions per P-rule; 0 = governed only by the
+  /// metric-improvement growth criterion. The paper's "P1" variants set 1.
+  size_t max_p_rule_length = 0;
+
+  /// Hard cap on the number of P-rules (safety net).
+  size_t max_p_rules = 128;
+
+  // ----- N-phase -----------------------------------------------------------
+
+  /// rn: lower limit on the recall of the original target class that the
+  /// N-phase must preserve (paper sweeps {0.7, 0.8, 0.9, 0.95, 0.995}).
+  double n_recall_lower_limit = 0.9;
+
+  /// Maximum number of conditions per N-rule; 0 = unlimited.
+  size_t max_n_rule_length = 0;
+
+  /// Hard cap on the number of N-rules; 0 disables the N-phase entirely
+  /// (classic one-phase sequential covering — used by the ablation bench).
+  size_t max_n_rules = 128;
+
+  /// MDL stop window for adding N-rules (bits over the minimum DL so far).
+  double mdl_window_bits = 64.0;
+
+  // ----- Rule building ------------------------------------------------------
+
+  /// Evaluation metric used to grow rules in both phases.
+  RuleMetricKind metric = RuleMetricKind::kZNumber;
+
+  /// Minimum *relative* metric improvement a refinement must deliver to be
+  /// accepted (both phases). Genuine signature conjuncts improve the
+  /// Z-number by tens of percent; marginal noise-clipping conditions gain
+  /// only a few percent on the training set yet randomly exclude matching
+  /// test records, so a small threshold materially improves generalization.
+  double min_refinement_gain = 0.05;
+
+  /// Evaluate explicit range conditions on numeric attributes.
+  bool enable_range_conditions = true;
+
+  // ----- Scoring ------------------------------------------------------------
+
+  /// Minimum training weight a ScoreMatrix cell needs before its empirical
+  /// probability is trusted; lighter cells inherit the P-rule's row score,
+  /// which is how an N-rule gets "selectively ignored" for that P-rule.
+  double score_min_cell_weight = 5.0;
+
+  /// Laplace smoothing constant for cell probabilities.
+  double score_smoothing = 1.0;
+
+  /// When false the ScoreMatrix is bypassed and the classifier uses the
+  /// strict P ∧ ¬N semantics (score 1 when a P-rule fires and no N-rule
+  /// does, else 0). Exposed for the ablation benchmarks.
+  bool use_score_matrix = true;
+
+  // ----- Compatibility ------------------------------------------------------
+
+  /// Approximate the previous (SDM'01) version: no rp/rn recall controls and
+  /// no explicit range conditions; rule growth is governed purely by metric
+  /// improvement, and P-rules stop when the best rule's Z-value is no longer
+  /// positive. Used for Table 6's "old PNrule" column.
+  bool legacy_mode = false;
+
+  /// Validates ranges; returns InvalidArgument with a description if any
+  /// parameter is out of bounds.
+  Status Validate() const;
+
+  /// One-line summary of the non-default parameters.
+  std::string ToString() const;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_PNRULE_CONFIG_H_

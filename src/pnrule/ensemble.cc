@@ -1,0 +1,89 @@
+#include "pnrule/ensemble.h"
+
+#include "common/rng.h"
+
+namespace pnr {
+
+Status PnruleEnsembleConfig::Validate() const {
+  Status base_status = base.Validate();
+  if (!base_status.ok()) return base_status;
+  if (num_members == 0) {
+    return Status::InvalidArgument("num_members must be positive");
+  }
+  if (sample_fraction <= 0.0 || sample_fraction > 1.0) {
+    return Status::InvalidArgument("sample_fraction must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+PnruleEnsembleClassifier::PnruleEnsembleClassifier(
+    std::vector<PnruleClassifier> members)
+    : members_(std::move(members)) {}
+
+double PnruleEnsembleClassifier::Score(const Dataset& dataset,
+                                       RowId row) const {
+  if (members_.empty()) return 0.0;
+  double total = 0.0;
+  for (const PnruleClassifier& member : members_) {
+    total += member.Score(dataset, row);
+  }
+  return total / static_cast<double>(members_.size());
+}
+
+std::string PnruleEnsembleClassifier::Describe(const Schema& schema) const {
+  std::string out = "PNrule bagging ensemble (" +
+                    std::to_string(members_.size()) + " members)\n";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    out += "--- member " + std::to_string(i) + " ---\n";
+    out += members_[i].Describe(schema);
+  }
+  return out;
+}
+
+PnruleEnsembleLearner::PnruleEnsembleLearner(PnruleEnsembleConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<PnruleEnsembleClassifier> PnruleEnsembleLearner::Train(
+    const Dataset& dataset, CategoryId target) const {
+  Status status = config_.Validate();
+  if (!status.ok()) return status;
+
+  // Stratified bootstrap pools.
+  RowSubset positives;
+  RowSubset negatives;
+  for (RowId row = 0; row < dataset.num_rows(); ++row) {
+    (dataset.label(row) == target ? positives : negatives).push_back(row);
+  }
+  if (positives.empty() || negatives.empty()) {
+    return Status::InvalidArgument(
+        "ensemble training needs examples of both classes");
+  }
+
+  Rng rng(config_.seed);
+  PnruleLearner learner(config_.base);
+  std::vector<PnruleClassifier> members;
+  members.reserve(config_.num_members);
+  for (size_t m = 0; m < config_.num_members; ++m) {
+    Rng member_rng = rng.Fork();
+    RowSubset sample;
+    const size_t pos_draws = static_cast<size_t>(
+        config_.sample_fraction * static_cast<double>(positives.size()) +
+        0.5);
+    const size_t neg_draws = static_cast<size_t>(
+        config_.sample_fraction * static_cast<double>(negatives.size()) +
+        0.5);
+    sample.reserve(pos_draws + neg_draws);
+    for (size_t i = 0; i < pos_draws; ++i) {
+      sample.push_back(positives[member_rng.NextBelow(positives.size())]);
+    }
+    for (size_t i = 0; i < neg_draws; ++i) {
+      sample.push_back(negatives[member_rng.NextBelow(negatives.size())]);
+    }
+    auto model = learner.TrainOnRows(dataset, sample, target);
+    if (!model.ok()) return model.status();
+    members.push_back(std::move(model).value());
+  }
+  return PnruleEnsembleClassifier(std::move(members));
+}
+
+}  // namespace pnr

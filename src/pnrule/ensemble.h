@@ -1,0 +1,66 @@
+// Bagged PNrule ensembles.
+//
+// The paper positions PNrule as a *core* learner that boosting/bagging
+// meta-techniques can wrap "just the way RIPPER is used at the core of
+// SLIPPER" (section 1.1). This is the bagging instantiation: each member
+// is trained on a stratified bootstrap resample and the ensemble averages
+// member scores, which smooths the variance of small-disjunct decisions.
+
+#ifndef PNR_PNRULE_ENSEMBLE_H_
+#define PNR_PNRULE_ENSEMBLE_H_
+
+#include <vector>
+
+#include "pnrule/pnrule.h"
+
+namespace pnr {
+
+/// Bagging parameters.
+struct PnruleEnsembleConfig {
+  /// Member configuration.
+  PnruleConfig base;
+  /// Number of bootstrap members.
+  size_t num_members = 10;
+  /// Resample size as a fraction of the training rows.
+  double sample_fraction = 1.0;
+  /// Resampling seed.
+  uint64_t seed = 7;
+
+  Status Validate() const;
+};
+
+/// Averages the scores of the member models.
+class PnruleEnsembleClassifier : public BinaryClassifier {
+ public:
+  explicit PnruleEnsembleClassifier(std::vector<PnruleClassifier> members);
+
+  double Score(const Dataset& dataset, RowId row) const override;
+  std::string Describe(const Schema& schema) const override;
+
+  size_t num_members() const { return members_.size(); }
+  const PnruleClassifier& member(size_t index) const {
+    return members_[index];
+  }
+
+ private:
+  std::vector<PnruleClassifier> members_;
+};
+
+/// Trains bagged PNrule ensembles.
+class PnruleEnsembleLearner {
+ public:
+  explicit PnruleEnsembleLearner(PnruleEnsembleConfig config = {});
+
+  /// Trains `num_members` models on stratified bootstrap resamples of
+  /// `dataset` (each resample keeps the positive/negative ratio of the
+  /// original, so a rare class cannot vanish from a member's sample).
+  StatusOr<PnruleEnsembleClassifier> Train(const Dataset& dataset,
+                                           CategoryId target) const;
+
+ private:
+  PnruleEnsembleConfig config_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_PNRULE_ENSEMBLE_H_

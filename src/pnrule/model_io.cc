@@ -1,0 +1,260 @@
+#include "pnrule/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pnr {
+namespace {
+
+void WriteCondition(std::ostringstream* out, const Condition& condition,
+                    const Schema& schema) {
+  const Attribute& attr = schema.attribute(condition.attr);
+  *out << "cond ";
+  switch (condition.op) {
+    case ConditionOp::kCatEqual:
+      *out << "cat " << attr.name() << ' '
+           << attr.CategoryName(condition.category);
+      break;
+    case ConditionOp::kLessEqual:
+      *out << "le " << attr.name() << ' ' << condition.hi;
+      break;
+    case ConditionOp::kGreater:
+      *out << "gt " << attr.name() << ' ' << condition.lo;
+      break;
+    case ConditionOp::kInRange:
+      *out << "range " << attr.name() << ' ' << condition.lo << ' '
+           << condition.hi;
+      break;
+  }
+  *out << '\n';
+}
+
+void WriteRuleSet(std::ostringstream* out, const RuleSet& rules,
+                  const Schema& schema, const char* header) {
+  *out << header << ' ' << rules.size() << '\n';
+  for (const Rule& rule : rules.rules()) {
+    *out << "rule " << rule.size() << ' ' << rule.train_stats.covered << ' '
+         << rule.train_stats.positive << '\n';
+    for (const Condition& condition : rule.conditions()) {
+      WriteCondition(out, condition, schema);
+    }
+  }
+}
+
+// Line-cursor over the serialized text.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : stream_(text) {}
+
+  /// Next non-empty line (trimmed); false at end of input.
+  bool Next(std::string* line) {
+    while (std::getline(stream_, *line)) {
+      *line = std::string(TrimWhitespace(*line));
+      if (!line->empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::istringstream stream_;
+};
+
+Status ParseError(const std::string& detail) {
+  return Status::InvalidArgument("model parse error: " + detail);
+}
+
+StatusOr<Condition> ParseCondition(const std::vector<std::string>& tokens,
+                                   const Schema& schema) {
+  if (tokens.size() < 4 || tokens[0] != "cond") {
+    return ParseError("expected a condition line");
+  }
+  auto attr_or = schema.FindAttribute(tokens[2]);
+  if (!attr_or.ok()) return attr_or.status();
+  const AttrIndex attr = *attr_or;
+  const std::string& kind = tokens[1];
+  if (kind == "cat") {
+    if (!schema.attribute(attr).is_categorical()) {
+      return ParseError("'" + tokens[2] + "' is not categorical");
+    }
+    const CategoryId value = schema.attribute(attr).FindCategory(tokens[3]);
+    if (value == kInvalidCategory) {
+      return Status::NotFound("category '" + tokens[3] +
+                              "' not in attribute '" + tokens[2] + "'");
+    }
+    return Condition::CatEqual(attr, value);
+  }
+  if (!schema.attribute(attr).is_numeric()) {
+    return ParseError("'" + tokens[2] + "' is not numeric");
+  }
+  double a = 0.0;
+  if (!ParseDouble(tokens[3], &a)) return ParseError("bad number");
+  if (kind == "le") return Condition::LessEqual(attr, a);
+  if (kind == "gt") return Condition::Greater(attr, a);
+  if (kind == "range") {
+    double b = 0.0;
+    if (tokens.size() < 5 || !ParseDouble(tokens[4], &b) || b < a) {
+      return ParseError("bad range bounds");
+    }
+    return Condition::InRange(attr, a, b);
+  }
+  return ParseError("unknown condition kind '" + kind + "'");
+}
+
+StatusOr<RuleSet> ParseRuleSet(LineReader* reader, const Schema& schema,
+                               const std::string& header_line,
+                               const char* expected_header) {
+  const auto header = SplitString(header_line, ' ');
+  long long count = 0;
+  if (header.size() != 2 || header[0] != expected_header ||
+      !ParseInt64(header[1], &count) || count < 0) {
+    return ParseError(std::string("expected '") + expected_header +
+                      " <count>'");
+  }
+  RuleSet rules;
+  std::string line;
+  for (long long r = 0; r < count; ++r) {
+    if (!reader->Next(&line)) return ParseError("truncated rule list");
+    const auto rule_header = SplitString(line, ' ');
+    long long num_conditions = 0;
+    double covered = 0.0;
+    double positive = 0.0;
+    if (rule_header.size() != 4 || rule_header[0] != "rule" ||
+        !ParseInt64(rule_header[1], &num_conditions) ||
+        !ParseDouble(rule_header[2], &covered) ||
+        !ParseDouble(rule_header[3], &positive)) {
+      return ParseError("bad rule header '" + line + "'");
+    }
+    Rule rule;
+    for (long long c = 0; c < num_conditions; ++c) {
+      if (!reader->Next(&line)) return ParseError("truncated conditions");
+      auto condition = ParseCondition(SplitString(line, ' '), schema);
+      if (!condition.ok()) return condition.status();
+      rule.AddCondition(*condition);
+    }
+    rule.train_stats.covered = covered;
+    rule.train_stats.positive = positive;
+    rules.AddRule(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace
+
+std::string SerializePnruleModel(const PnruleClassifier& model,
+                                 const Schema& schema) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "pnrule-model v1\n";
+  out << "threshold " << model.threshold() << '\n';
+  out << "use_score_matrix " << (model.use_score_matrix() ? 1 : 0) << '\n';
+  WriteRuleSet(&out, model.p_rules(), schema, "p-rules");
+  WriteRuleSet(&out, model.n_rules(), schema, "n-rules");
+  const ScoreMatrix& scores = model.score_matrix();
+  out << "scores " << scores.num_p_rules() << ' ' << scores.num_n_rules()
+      << '\n';
+  for (size_t p = 0; p < scores.num_p_rules(); ++p) {
+    for (size_t n = 0; n <= scores.num_n_rules(); ++n) {
+      if (n > 0) out << ' ';
+      out << scores.Score(p, n) << ':' << scores.CellWeight(p, n);
+    }
+    out << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
+                                            const Schema& schema) {
+  LineReader reader(text);
+  std::string line;
+  if (!reader.Next(&line) || line != "pnrule-model v1") {
+    return ParseError("missing 'pnrule-model v1' header");
+  }
+  if (!reader.Next(&line)) return ParseError("truncated input");
+  auto tokens = SplitString(line, ' ');
+  double threshold = 0.5;
+  if (tokens.size() != 2 || tokens[0] != "threshold" ||
+      !ParseDouble(tokens[1], &threshold)) {
+    return ParseError("expected 'threshold <t>'");
+  }
+  if (!reader.Next(&line)) return ParseError("truncated input");
+  tokens = SplitString(line, ' ');
+  long long use_matrix = 1;
+  if (tokens.size() != 2 || tokens[0] != "use_score_matrix" ||
+      !ParseInt64(tokens[1], &use_matrix)) {
+    return ParseError("expected 'use_score_matrix <0|1>'");
+  }
+
+  if (!reader.Next(&line)) return ParseError("truncated input");
+  auto p_rules = ParseRuleSet(&reader, schema, line, "p-rules");
+  if (!p_rules.ok()) return p_rules.status();
+  if (!reader.Next(&line)) return ParseError("truncated input");
+  auto n_rules = ParseRuleSet(&reader, schema, line, "n-rules");
+  if (!n_rules.ok()) return n_rules.status();
+
+  if (!reader.Next(&line)) return ParseError("truncated input");
+  tokens = SplitString(line, ' ');
+  long long num_p = 0;
+  long long num_n = 0;
+  if (tokens.size() != 3 || tokens[0] != "scores" ||
+      !ParseInt64(tokens[1], &num_p) || !ParseInt64(tokens[2], &num_n) ||
+      num_p != static_cast<long long>(p_rules->size()) ||
+      num_n != static_cast<long long>(n_rules->size())) {
+    return ParseError("score matrix header mismatch");
+  }
+  std::vector<double> scores;
+  std::vector<double> weights;
+  scores.reserve(static_cast<size_t>(num_p * (num_n + 1)));
+  for (long long p = 0; p < num_p; ++p) {
+    if (!reader.Next(&line)) return ParseError("truncated score matrix");
+    const auto cells = SplitString(line, ' ');
+    if (cells.size() != static_cast<size_t>(num_n + 1)) {
+      return ParseError("wrong score-row arity");
+    }
+    for (const std::string& cell : cells) {
+      const auto parts = SplitString(cell, ':');
+      double score = 0.0;
+      double weight = 0.0;
+      if (parts.size() != 2 || !ParseDouble(parts[0], &score) ||
+          !ParseDouble(parts[1], &weight)) {
+        return ParseError("bad score cell '" + cell + "'");
+      }
+      scores.push_back(score);
+      weights.push_back(weight);
+    }
+  }
+  if (!reader.Next(&line) || line != "end") {
+    return ParseError("missing 'end' marker");
+  }
+
+  PnruleClassifier model(
+      std::move(*p_rules), std::move(*n_rules),
+      ScoreMatrix::FromValues(static_cast<size_t>(num_p),
+                              static_cast<size_t>(num_n), std::move(scores),
+                              std::move(weights)),
+      use_matrix != 0);
+  model.set_threshold(threshold);
+  return model;
+}
+
+Status SavePnruleModel(const PnruleClassifier& model, const Schema& schema,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for write");
+  file << SerializePnruleModel(model, schema);
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<PnruleClassifier> LoadPnruleModel(const std::string& path,
+                                           const Schema& schema) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParsePnruleModel(buffer.str(), schema);
+}
+
+}  // namespace pnr

@@ -1,0 +1,52 @@
+// Text serialization of trained PNrule models.
+//
+// Models are written in a line-oriented, human-diffable format that
+// references attributes and classes *by name*, so a model can be loaded
+// against any dataset whose schema contains the same attributes (a
+// production deployment rarely classifies against the exact Dataset object
+// it was trained on).
+//
+// Format (v1):
+//   pnrule-model v1
+//   threshold <t>
+//   use_score_matrix <0|1>
+//   p-rules <n>
+//   rule <k> <covered> <positive>
+//   cond cat <attr> <value>            | cond le <attr> <hi>
+//   cond gt <attr> <lo>                | cond range <attr> <lo> <hi>
+//   ...
+//   n-rules <n>
+//   ...
+//   scores <num_p> <num_n>
+//   <num_p lines of num_n+1 "score:weight" cells>
+//   end
+
+#ifndef PNR_PNRULE_MODEL_IO_H_
+#define PNR_PNRULE_MODEL_IO_H_
+
+#include <string>
+
+#include "pnrule/pnrule.h"
+
+namespace pnr {
+
+/// Renders `model` in the v1 text format. `schema` must be the schema the
+/// model was trained on (attribute/category ids are resolved to names).
+std::string SerializePnruleModel(const PnruleClassifier& model,
+                                 const Schema& schema);
+
+/// Parses a v1 model against `schema`, re-resolving attribute and category
+/// names to the schema's ids. Fails with InvalidArgument on malformed
+/// input and NotFound when the schema lacks a referenced attribute/value.
+StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
+                                            const Schema& schema);
+
+/// Convenience wrappers writing to / reading from a file.
+Status SavePnruleModel(const PnruleClassifier& model, const Schema& schema,
+                       const std::string& path);
+StatusOr<PnruleClassifier> LoadPnruleModel(const std::string& path,
+                                           const Schema& schema);
+
+}  // namespace pnr
+
+#endif  // PNR_PNRULE_MODEL_IO_H_

@@ -1,0 +1,104 @@
+#include "pnrule/multi_phase.h"
+
+#include "pnrule/p_phase.h"
+
+namespace pnr {
+
+Status MultiPhaseConfig::Validate() const {
+  Status base_status = base.Validate();
+  if (!base_status.ok()) return base_status;
+  if (r_min_support_fraction < 0.0 || r_min_support_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "r_min_support_fraction must be in [0, 1]");
+  }
+  if (r_min_precision < 0.0 || r_min_precision > 1.0) {
+    return Status::InvalidArgument("r_min_precision must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+MultiPhasePnruleClassifier::MultiPhasePnruleClassifier(PnruleClassifier base,
+                                                       RuleSet r_rules)
+    : base_(std::move(base)), r_rules_(std::move(r_rules)) {}
+
+double MultiPhasePnruleClassifier::Score(const Dataset& dataset,
+                                         RowId row) const {
+  const int p = base_.p_rules().FirstMatch(dataset, row);
+  if (p == kNoRule) return 0.0;
+  const int n = base_.n_rules().FirstMatch(dataset, row);
+  if (n != kNoRule) {
+    // Vetoed: give the recovery rules a chance to override.
+    const int r = r_rules_.FirstMatch(dataset, row);
+    if (r != kNoRule) {
+      const RuleStats& stats =
+          r_rules_.rule(static_cast<size_t>(r)).train_stats;
+      return (stats.positive + 1.0) / (stats.covered + 2.0);
+    }
+  }
+  return base_.Score(dataset, row);
+}
+
+std::string MultiPhasePnruleClassifier::Describe(const Schema& schema) const {
+  std::string out = base_.Describe(schema);
+  out += "R-rules (recovery of vetoed positives):\n";
+  out += r_rules_.empty() ? "(none)\n" : r_rules_.ToString(schema);
+  return out;
+}
+
+MultiPhasePnruleLearner::MultiPhasePnruleLearner(MultiPhaseConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<MultiPhasePnruleClassifier> MultiPhasePnruleLearner::Train(
+    const Dataset& dataset, CategoryId target) const {
+  Status status = config_.Validate();
+  if (!status.ok()) return status;
+
+  PnruleLearner learner(config_.base);
+  auto base = learner.Train(dataset, target);
+  if (!base.ok()) return base.status();
+
+  // Collect the vetoed records: covered by a P-rule, vetoed by an N-rule.
+  RowSubset vetoed;
+  for (RowId row = 0; row < dataset.num_rows(); ++row) {
+    if (base->p_rules().FirstMatch(dataset, row) == kNoRule) continue;
+    if (base->n_rules().FirstMatch(dataset, row) == kNoRule) continue;
+    vetoed.push_back(row);
+  }
+
+  RuleSet r_rules;
+  const double vetoed_positive = dataset.ClassWeight(vetoed, target);
+  if (vetoed_positive > 0.0) {
+    PnruleConfig r_config = config_.base;
+    r_config.min_support_fraction = config_.r_min_support_fraction;
+    r_config.max_p_rules = config_.max_r_rules;
+    // The recovery phase is precision-critical: cover only what clears the
+    // precision bar rather than chasing full coverage.
+    r_config.min_coverage_fraction = 0.0;
+    r_config.p_accuracy_after_coverage = config_.r_min_precision;
+    const PPhaseResult recovery =
+        RunPPhase(dataset, vetoed, target, r_config);
+    r_rules = recovery.rules;
+
+    // First-match attribution of the vetoed records, then drop rules whose
+    // Laplace precision cannot flip a veto.
+    for (Rule& rule : r_rules.mutable_rules()) rule.train_stats = RuleStats();
+    for (RowId row : vetoed) {
+      const int match = r_rules.FirstMatch(dataset, row);
+      if (match == kNoRule) continue;
+      RuleStats& stats =
+          r_rules.mutable_rule(static_cast<size_t>(match)).train_stats;
+      const double w = dataset.weight(row);
+      stats.covered += w;
+      if (dataset.label(row) == target) stats.positive += w;
+    }
+    for (size_t i = r_rules.size(); i-- > 0;) {
+      const RuleStats& stats = r_rules.rule(i).train_stats;
+      const double laplace = (stats.positive + 1.0) / (stats.covered + 2.0);
+      if (laplace < config_.r_min_precision) r_rules.RemoveRule(i);
+    }
+  }
+  return MultiPhasePnruleClassifier(std::move(base).value(),
+                                    std::move(r_rules));
+}
+
+}  // namespace pnr

@@ -1,0 +1,77 @@
+// Multi-phase rule induction — the paper's closing future-work direction
+// ("finally, extending the two-phase approach to a multi-phase approach").
+//
+// The third phase mirrors the logic of the second: just as the N-phase
+// pools the false positives of all P-rules and learns absence rules on
+// the collection, the R-phase ("recovery") pools the records that P-rules
+// covered *and* an N-rule vetoed — the model's candidate false negatives —
+// and learns presence rules on that collection to win back the true
+// positives the collective veto erased. Decision order:
+//
+//   no P-rule fires                     -> score 0
+//   P fires, no N fires                 -> ScoreMatrix cell (as two-phase)
+//   P fires, N fires, an R-rule fires   -> the R-rule's recovery score
+//   P fires, N fires, no R-rule fires   -> ScoreMatrix cell (as two-phase)
+
+#ifndef PNR_PNRULE_MULTI_PHASE_H_
+#define PNR_PNRULE_MULTI_PHASE_H_
+
+#include <string>
+
+#include "pnrule/pnrule.h"
+
+namespace pnr {
+
+/// Parameters of the three-phase learner.
+struct MultiPhaseConfig {
+  /// Configuration of the underlying two-phase model.
+  PnruleConfig base;
+
+  /// Minimum support of an R-rule as a fraction of the *vetoed* target
+  /// weight (the R-phase works on a small collection, so this is stricter
+  /// than the P-phase default).
+  double r_min_support_fraction = 0.05;
+
+  /// Cap on the number of recovery rules.
+  size_t max_r_rules = 32;
+
+  /// Minimum Laplace precision (on the vetoed training records) an R-rule
+  /// needs for its recovery score to flip a veto.
+  double r_min_precision = 0.5;
+
+  Status Validate() const;
+};
+
+/// A two-phase model plus recovery rules.
+class MultiPhasePnruleClassifier : public BinaryClassifier {
+ public:
+  MultiPhasePnruleClassifier(PnruleClassifier base, RuleSet r_rules);
+
+  double Score(const Dataset& dataset, RowId row) const override;
+  std::string Describe(const Schema& schema) const override;
+
+  const PnruleClassifier& base() const { return base_; }
+  /// Recovery rules; each rule's train_stats hold its first-match coverage
+  /// over the vetoed training records (positive = target weight).
+  const RuleSet& r_rules() const { return r_rules_; }
+
+ private:
+  PnruleClassifier base_;
+  RuleSet r_rules_;
+};
+
+/// Trains three-phase models.
+class MultiPhasePnruleLearner {
+ public:
+  explicit MultiPhasePnruleLearner(MultiPhaseConfig config = {});
+
+  StatusOr<MultiPhasePnruleClassifier> Train(const Dataset& dataset,
+                                             CategoryId target) const;
+
+ private:
+  MultiPhaseConfig config_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_PNRULE_MULTI_PHASE_H_

@@ -1,0 +1,100 @@
+#include "pnrule/multiclass.h"
+
+#include <cassert>
+
+namespace pnr {
+
+MultiClassPnruleClassifier::MultiClassPnruleClassifier(
+    std::vector<std::optional<PnruleClassifier>> models,
+    std::vector<double> class_weights, CategoryId default_class)
+    : models_(std::move(models)),
+      class_weights_(std::move(class_weights)),
+      default_class_(default_class) {
+  if (class_weights_.empty()) {
+    class_weights_.assign(models_.size(), 1.0);
+  }
+  assert(class_weights_.size() == models_.size());
+}
+
+double MultiClassPnruleClassifier::Score(const Dataset& dataset, RowId row,
+                                         CategoryId cls) const {
+  const size_t index = static_cast<size_t>(cls);
+  if (index >= models_.size() || !models_[index].has_value()) return 0.0;
+  return class_weights_[index] * models_[index]->Score(dataset, row);
+}
+
+CategoryId MultiClassPnruleClassifier::Classify(const Dataset& dataset,
+                                                RowId row) const {
+  CategoryId best = default_class_;
+  double best_score = 0.0;
+  for (size_t cls = 0; cls < models_.size(); ++cls) {
+    const double score =
+        Score(dataset, row, static_cast<CategoryId>(cls));
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<CategoryId>(cls);
+    }
+  }
+  return best;
+}
+
+const PnruleClassifier* MultiClassPnruleClassifier::model_for(
+    CategoryId cls) const {
+  const size_t index = static_cast<size_t>(cls);
+  if (index >= models_.size() || !models_[index].has_value()) return nullptr;
+  return &*models_[index];
+}
+
+MultiClassPnruleLearner::MultiClassPnruleLearner(PnruleConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<MultiClassPnruleClassifier> MultiClassPnruleLearner::Train(
+    const Dataset& dataset) const {
+  Status status = config_.Validate();
+  if (!status.ok()) return status;
+  const size_t num_classes = dataset.schema().num_classes();
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  if (!class_weights_.empty() && class_weights_.size() != num_classes) {
+    return Status::InvalidArgument(
+        "class_weights must match the number of classes");
+  }
+
+  std::vector<std::optional<PnruleClassifier>> models(num_classes);
+  size_t trained = 0;
+  CategoryId majority = 0;
+  size_t majority_count = 0;
+  PnruleLearner learner(config_);
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    const CategoryId target = static_cast<CategoryId>(cls);
+    const size_t count = dataset.CountClass(target);
+    if (count > majority_count) {
+      majority_count = count;
+      majority = target;
+    }
+    if (count == 0 || count == dataset.num_rows()) continue;
+    auto model = learner.Train(dataset, target);
+    if (!model.ok()) continue;  // untrainable class: committee falls back
+    models[cls] = std::move(model).value();
+    ++trained;
+  }
+  if (trained == 0) {
+    return Status::FailedPrecondition("no class produced a trainable model");
+  }
+  return MultiClassPnruleClassifier(std::move(models), class_weights_,
+                                    majority);
+}
+
+double MultiClassAccuracy(const MultiClassPnruleClassifier& classifier,
+                          const Dataset& dataset) {
+  if (dataset.num_rows() == 0) return 0.0;
+  size_t correct = 0;
+  for (RowId row = 0; row < dataset.num_rows(); ++row) {
+    if (classifier.Classify(dataset, row) == dataset.label(row)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(dataset.num_rows());
+}
+
+}  // namespace pnr

@@ -1,0 +1,76 @@
+// Multi-class PNrule via one-vs-rest decomposition.
+//
+// The SIGMOD paper studies the binary problem; its companion framework [1]
+// applies the same two-phase models to multi-class data (with optional
+// misclassification costs). This wrapper trains one binary PNrule model
+// per class and predicts the class with the highest (optionally
+// cost-weighted) score — falling back to the training-majority class when
+// no model fires.
+
+#ifndef PNR_PNRULE_MULTICLASS_H_
+#define PNR_PNRULE_MULTICLASS_H_
+
+#include <optional>
+#include <vector>
+
+#include "pnrule/pnrule.h"
+
+namespace pnr {
+
+/// One-vs-rest committee of binary PNrule models.
+class MultiClassPnruleClassifier {
+ public:
+  MultiClassPnruleClassifier(
+      std::vector<std::optional<PnruleClassifier>> models,
+      std::vector<double> class_weights, CategoryId default_class);
+
+  /// Score of `cls` for the record: the binary model's score times the
+  /// class's weight (0 for classes that had no trainable model).
+  double Score(const Dataset& dataset, RowId row, CategoryId cls) const;
+
+  /// Class with the highest score; the default class when every score is
+  /// zero.
+  CategoryId Classify(const Dataset& dataset, RowId row) const;
+
+  /// Number of classes the committee was built over.
+  size_t num_classes() const { return models_.size(); }
+
+  /// The binary model for `cls` (nullptr when the class was untrainable,
+  /// e.g. it had no training examples).
+  const PnruleClassifier* model_for(CategoryId cls) const;
+
+  CategoryId default_class() const { return default_class_; }
+
+ private:
+  std::vector<std::optional<PnruleClassifier>> models_;  // by class id
+  std::vector<double> class_weights_;
+  CategoryId default_class_;
+};
+
+/// Trains one-vs-rest PNrule committees.
+class MultiClassPnruleLearner {
+ public:
+  explicit MultiClassPnruleLearner(PnruleConfig config = {});
+
+  /// Per-class score weights (misclassification-cost surrogate): the score
+  /// of class c is multiplied by weights[c]. Empty = all 1.
+  void set_class_weights(std::vector<double> weights) {
+    class_weights_ = std::move(weights);
+  }
+
+  /// Trains a binary model for every class of the schema that has at least
+  /// one training example. Fails only if *no* class is trainable.
+  StatusOr<MultiClassPnruleClassifier> Train(const Dataset& dataset) const;
+
+ private:
+  PnruleConfig config_;
+  std::vector<double> class_weights_;
+};
+
+/// Multiclass accuracy of `classifier` over all rows of `dataset`.
+double MultiClassAccuracy(const MultiClassPnruleClassifier& classifier,
+                          const Dataset& dataset);
+
+}  // namespace pnr
+
+#endif  // PNR_PNRULE_MULTICLASS_H_

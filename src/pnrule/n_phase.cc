@@ -1,0 +1,168 @@
+#include "pnrule/n_phase.h"
+
+#include "pnrule/p_phase.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "induction/condition_search.h"
+#include "induction/mdl.h"
+
+namespace pnr {
+namespace {
+
+// Flips coverage stats so that "positive" means the pseudo-target of the
+// N-phase: absence of the original target class.
+RuleStats FlipStats(const RuleStats& stats) {
+  RuleStats flipped;
+  flipped.covered = stats.covered;
+  flipped.positive = stats.negative();
+  return flipped;
+}
+
+// Grows one N-rule over `remaining`. `recall_floor_weight` is the minimum
+// target-class weight the model must keep; `kept_positive_weight` is what it
+// currently keeps (before this rule). The rn guard: if stopping at the
+// current rule R would drop kept weight below the floor, refinement is
+// forced even when the metric does not improve.
+Rule GrowAbsenceRule(const Dataset& dataset, const RowSubset& remaining,
+                     CategoryId target, const RuleMetric& metric,
+                     const ClassDistribution& absence_dist,
+                     double kept_positive_weight, double recall_floor_weight,
+                     size_t max_length, bool enable_range_conditions,
+                     bool legacy_mode, double min_refinement_gain) {
+  Rule rule;
+  RowSubset covered = remaining;
+  double current_value = 0.0;
+  // True-positive weight the current rule R erases (empty rule: all of it).
+  double rule_erased = dataset.ClassWeight(remaining, target);
+
+  ConditionSearchOptions options;
+  options.enable_range_conditions = enable_range_conditions;
+
+  ConditionScorer scorer = [&](const RuleStats& stats) {
+    return metric.Evaluate(FlipStats(stats), absence_dist);
+  };
+
+  while (max_length == 0 || rule.size() < max_length) {
+    const auto candidate =
+        FindBestCondition(dataset, covered, target, scorer, options);
+    if (!candidate.has_value()) break;
+    const bool improves = ClearsRefinementGain(
+        candidate->value, current_value, min_refinement_gain);
+    if (rule.empty()) {
+      // The first condition must carry a positive metric value; an empty
+      // N-rule (match-everything) is never admissible.
+      if (!improves) break;
+    } else {
+      // Paper section 2.2: accept R1 when the metric improves, or when
+      // keeping R would push recall below the lower limit rn. Forced
+      // refinement only makes sense while the rule erases true positives
+      // and the refinement actually reduces that erasure — otherwise the
+      // loop would grow unboundedly specific rules whenever the floor is
+      // unreachable (e.g. the P-phase coverage already sits at the floor).
+      const bool recall_violated =
+          !legacy_mode && rule_erased > 0.0 &&
+          kept_positive_weight - rule_erased < recall_floor_weight;
+      if (!improves &&
+          (!recall_violated || candidate->stats.positive >= rule_erased)) {
+        break;
+      }
+    }
+    rule.AddCondition(candidate->condition);
+    rule.train_stats = FlipStats(candidate->stats);
+    current_value = improves ? candidate->value : current_value;
+    covered = rule.CoveredRows(dataset, covered);
+    rule_erased = candidate->stats.positive;
+    if (rule.train_stats.negative() <= 0.0) break;  // pure absence rule
+  }
+  return rule;
+}
+
+}  // namespace
+
+NPhaseResult RunNPhase(const Dataset& dataset, const RowSubset& covered_rows,
+                       CategoryId target, double total_positive_weight,
+                       double covered_positive_weight,
+                       const PnruleConfig& config) {
+  NPhaseResult result;
+  if (covered_rows.empty()) return result;
+
+  const auto metric = MakeRuleMetric(config.metric);
+  const bool enable_range =
+      config.enable_range_conditions && !config.legacy_mode;
+  const double possible_conditions = CountPossibleConditions(dataset);
+  const double recall_floor_weight =
+      config.n_recall_lower_limit * total_positive_weight;
+
+  RowSubset remaining = covered_rows;
+  double min_dl = RuleSetDescriptionLength(dataset, covered_rows, target,
+                                           result.rules, possible_conditions,
+                                           -1.0, /*invert_target=*/true);
+
+  while (result.rules.size() < config.max_n_rules) {
+    ClassDistribution absence_dist;
+    const double remaining_pos = dataset.ClassWeight(remaining, target);
+    const double remaining_total = dataset.TotalWeight(remaining);
+    absence_dist.positives = remaining_total - remaining_pos;  // absence
+    absence_dist.negatives = remaining_pos;
+    if (absence_dist.positives <= 0.0) break;  // no false positives left
+
+    const double kept_positive_weight =
+        covered_positive_weight - result.erased_positive_weight;
+    Rule rule = GrowAbsenceRule(
+        dataset, remaining, target, *metric, absence_dist,
+        kept_positive_weight, recall_floor_weight, config.max_n_rule_length,
+        enable_range, config.legacy_mode, config.min_refinement_gain);
+    static const bool debug = std::getenv("PNR_DEBUG_NPHASE") != nullptr;
+    if (debug) {
+      std::fprintf(stderr,
+                   "[nphase] rule %zu: size=%zu cov=%.1f abs=%.1f "
+                   "(remaining abs=%.1f pos=%.1f)\n",
+                   result.rules.size(), rule.size(), rule.train_stats.covered,
+                   rule.train_stats.positive, absence_dist.positives,
+                   absence_dist.negatives);
+    }
+    if (rule.empty() || rule.train_stats.positive <= 0.0) break;
+
+    const double rule_erased =
+        rule.train_stats.negative();  // original-target weight it removes
+    result.rules.AddRule(rule);
+
+    // MDL stop (paper section 2.1): keep the rule only while the total
+    // description length stays within the window of the minimum seen.
+    const double dl = RuleSetDescriptionLength(
+        dataset, covered_rows, target, result.rules, possible_conditions, -1.0,
+        /*invert_target=*/true);
+    if (debug) {
+      double cover = 0.0, uncover = 0.0, fp = 0.0, fn = 0.0;
+      for (RowId row : covered_rows) {
+        const double w = dataset.weight(row);
+        const bool absence = dataset.label(row) != target;
+        if (result.rules.AnyMatch(dataset, row)) {
+          cover += w;
+          if (!absence) fp += w;
+        } else {
+          uncover += w;
+          if (absence) fn += w;
+        }
+      }
+      std::fprintf(stderr,
+                   "[nphase]   dl=%.1f min_dl=%.1f cover=%.0f uncover=%.0f "
+                   "fp=%.0f fn=%.0f\n",
+                   dl, min_dl, cover, uncover, fp, fn);
+    }
+    if (dl > min_dl + config.mdl_window_bits) {
+      result.rules.RemoveRule(result.rules.size() - 1);
+      break;
+    }
+    if (dl < min_dl) min_dl = dl;
+
+    result.erased_positive_weight += rule_erased;
+    remaining = rule.UncoveredRows(dataset, remaining);
+  }
+  return result;
+}
+
+}  // namespace pnr

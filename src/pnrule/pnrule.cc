@@ -1,0 +1,79 @@
+#include "pnrule/pnrule.h"
+
+#include "pnrule/n_phase.h"
+#include "pnrule/p_phase.h"
+
+namespace pnr {
+
+PnruleClassifier::PnruleClassifier(RuleSet p_rules, RuleSet n_rules,
+                                   ScoreMatrix scores, bool use_score_matrix)
+    : p_rules_(std::move(p_rules)),
+      n_rules_(std::move(n_rules)),
+      scores_(std::move(scores)),
+      use_score_matrix_(use_score_matrix) {}
+
+double PnruleClassifier::Score(const Dataset& dataset, RowId row) const {
+  const int p = p_rules_.FirstMatch(dataset, row);
+  if (p == kNoRule) return 0.0;
+  const int n = n_rules_.FirstMatch(dataset, row);
+  if (!use_score_matrix_) {
+    return n == kNoRule ? 1.0 : 0.0;
+  }
+  const size_t n_index =
+      n == kNoRule ? n_rules_.size() : static_cast<size_t>(n);
+  return scores_.Score(static_cast<size_t>(p), n_index);
+}
+
+std::string PnruleClassifier::Describe(const Schema& schema) const {
+  std::string out = "PNrule model\nP-rules (presence of target):\n";
+  out += p_rules_.ToString(schema);
+  out += "N-rules (absence of target):\n";
+  out += n_rules_.empty() ? "(none)\n" : n_rules_.ToString(schema);
+  if (use_score_matrix_) {
+    out += "ScoreMatrix:\n" + scores_.ToString();
+  } else {
+    out += "ScoreMatrix: disabled (strict P AND NOT N semantics)\n";
+  }
+  return out;
+}
+
+PnruleLearner::PnruleLearner(PnruleConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<PnruleClassifier> PnruleLearner::Train(const Dataset& dataset,
+                                                CategoryId target) const {
+  return TrainOnRows(dataset, dataset.AllRows(), target);
+}
+
+StatusOr<PnruleClassifier> PnruleLearner::TrainOnRows(
+    const Dataset& dataset, const RowSubset& rows, CategoryId target,
+    PnruleTrainInfo* info) const {
+  Status status = config_.Validate();
+  if (!status.ok()) return status;
+  if (rows.empty()) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  if (dataset.ClassWeight(rows, target) <= 0.0) {
+    return Status::InvalidArgument(
+        "training set has no examples of the target class");
+  }
+
+  PPhaseResult p_phase = RunPPhase(dataset, rows, target, config_);
+  NPhaseResult n_phase =
+      RunNPhase(dataset, p_phase.covered_rows, target,
+                p_phase.total_positive_weight,
+                p_phase.covered_positive_weight, config_);
+  ScoreMatrix scores = ScoreMatrix::Build(dataset, rows, target,
+                                          p_phase.rules, n_phase.rules,
+                                          config_);
+  if (info != nullptr) {
+    info->num_p_rules = p_phase.rules.size();
+    info->num_n_rules = n_phase.rules.size();
+    info->p_coverage_fraction = p_phase.coverage_fraction();
+    info->erased_positive_weight = n_phase.erased_positive_weight;
+  }
+  return PnruleClassifier(std::move(p_phase.rules), std::move(n_phase.rules),
+                          std::move(scores), config_.use_score_matrix);
+}
+
+}  // namespace pnr

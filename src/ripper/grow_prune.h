@@ -1,0 +1,29 @@
+// IREP* grow and prune primitives shared by RIPPER's covering loop and its
+// optimization passes.
+
+#ifndef PNR_RIPPER_GROW_PRUNE_H_
+#define PNR_RIPPER_GROW_PRUNE_H_
+
+#include "rules/rule.h"
+
+namespace pnr {
+
+/// Grows a rule over `grow_rows` by repeatedly adding the condition with the
+/// highest FOIL information gain, starting from `seed` (empty for a fresh
+/// rule; the current rule for RIPPER's "revision" variant). Growth stops
+/// when the rule covers no negatives or no condition has positive gain.
+Rule GrowRuleFoil(const Dataset& dataset, const RowSubset& grow_rows,
+                  CategoryId target, const Rule& seed);
+
+/// IREP* pruning: among all truncations of `rule` to a prefix of its
+/// conditions (deleting a final sequence), returns the one maximizing
+///   v(R) = (p - n) / (p + n)
+/// on `prune_rows`. Ties prefer the shorter rule. May return an empty rule
+/// (rejected later by the error gate). The returned rule's train_stats hold
+/// its prune-set coverage.
+Rule PruneRuleIrep(const Dataset& dataset, const RowSubset& prune_rows,
+                   CategoryId target, const Rule& rule);
+
+}  // namespace pnr
+
+#endif  // PNR_RIPPER_GROW_PRUNE_H_

@@ -1,0 +1,136 @@
+#include "ripper/optimize.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "data/weighting.h"
+#include "induction/mdl.h"
+#include "ripper/grow_prune.h"
+
+namespace pnr {
+namespace {
+
+double RuleSetDl(const Dataset& dataset, const RowSubset& rows,
+                 CategoryId target, const RuleSet& rules,
+                 double possible_conditions) {
+  return RuleSetDescriptionLength(dataset, rows, target, rules,
+                                  possible_conditions);
+}
+
+}  // namespace
+
+void CoverPositives(const Dataset& dataset, const RowSubset& all_rows,
+                    const RowSubset& remaining_in, CategoryId target,
+                    const RipperConfig& config, double possible_conditions,
+                    Rng* rng, RuleSet* rules) {
+  RowSubset remaining = remaining_in;
+  double min_dl =
+      RuleSetDl(dataset, all_rows, target, *rules, possible_conditions);
+
+  while (rules->size() < config.max_rules &&
+         dataset.ClassWeight(remaining, target) > 0.0) {
+    auto [grow_rows, prune_rows] = StratifiedSplitRows(
+        dataset, remaining, target, config.grow_fraction, rng);
+    Rule rule = GrowRuleFoil(dataset, grow_rows, target, Rule());
+    rule = PruneRuleIrep(dataset, prune_rows, target, rule);
+    if (rule.empty()) break;
+
+    // Prune-set error gate (Cohen): reject rules that are wrong more often
+    // than not on held-out data, and stop adding rules.
+    const RuleStats prune_stats = rule.train_stats;  // set by PruneRuleIrep
+    if (prune_stats.covered > 0.0 &&
+        prune_stats.negative() / prune_stats.covered >=
+            config.max_prune_error_rate) {
+      break;
+    }
+
+    const RuleStats remaining_stats =
+        rule.Evaluate(dataset, remaining, target);
+    if (remaining_stats.positive <= 0.0) break;
+    rule.train_stats = remaining_stats;
+
+    rules->AddRule(rule);
+    const double dl =
+        RuleSetDl(dataset, all_rows, target, *rules, possible_conditions);
+    if (dl > min_dl + config.mdl_window_bits) {
+      rules->RemoveRule(rules->size() - 1);
+      break;
+    }
+    min_dl = std::min(min_dl, dl);
+    remaining = rule.UncoveredRows(dataset, remaining);
+  }
+}
+
+void DeleteHarmfulRules(const Dataset& dataset, const RowSubset& rows,
+                        CategoryId target, double possible_conditions,
+                        RuleSet* rules) {
+  double current_dl =
+      RuleSetDl(dataset, rows, target, *rules, possible_conditions);
+  for (size_t i = rules->size(); i-- > 0;) {
+    RuleSet without = *rules;
+    without.RemoveRule(i);
+    const double dl =
+        RuleSetDl(dataset, rows, target, without, possible_conditions);
+    if (dl < current_dl) {
+      *rules = std::move(without);
+      current_dl = dl;
+    }
+  }
+}
+
+void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
+                     CategoryId target, const RipperConfig& config,
+                     double possible_conditions, Rng* rng, RuleSet* rules) {
+  for (size_t i = 0; i < rules->size(); ++i) {
+    // The rule's niche: records no *other* rule covers. The replacement and
+    // revision are grown/pruned on this context so they compete for the
+    // same part of the space.
+    RuleSet others = *rules;
+    others.RemoveRule(i);
+    RowSubset context;
+    context.reserve(rows.size());
+    for (RowId row : rows) {
+      if (!others.AnyMatch(dataset, row)) context.push_back(row);
+    }
+    if (dataset.ClassWeight(context, target) <= 0.0) continue;
+
+    auto [grow_rows, prune_rows] = StratifiedSplitRows(
+        dataset, context, target, config.grow_fraction, rng);
+
+    Rule replacement = GrowRuleFoil(dataset, grow_rows, target, Rule());
+    replacement = PruneRuleIrep(dataset, prune_rows, target, replacement);
+
+    Rule revision = GrowRuleFoil(dataset, grow_rows, target, rules->rule(i));
+    revision = PruneRuleIrep(dataset, prune_rows, target, revision);
+
+    // Choose among {original, replacement, revision} by the DL of the whole
+    // rule set with the variant substituted.
+    const Rule original = rules->rule(i);
+    double best_dl =
+        RuleSetDl(dataset, rows, target, *rules, possible_conditions);
+    Rule best = original;
+    for (const Rule* variant : {&replacement, &revision}) {
+      if (variant->empty()) continue;
+      RuleSet trial = *rules;
+      trial.mutable_rule(i) = *variant;
+      const double dl =
+          RuleSetDl(dataset, rows, target, trial, possible_conditions);
+      if (dl < best_dl) {
+        best_dl = dl;
+        best = *variant;
+      }
+    }
+    rules->mutable_rule(i) = std::move(best);
+  }
+
+  // Cover any positives the optimized rules no longer reach.
+  RowSubset uncovered;
+  for (RowId row : rows) {
+    if (!rules->AnyMatch(dataset, row)) uncovered.push_back(row);
+  }
+  CoverPositives(dataset, rows, uncovered, target, config,
+                 possible_conditions, rng, rules);
+  DeleteHarmfulRules(dataset, rows, target, possible_conditions, rules);
+}
+
+}  // namespace pnr

@@ -1,0 +1,37 @@
+// RIPPER's global optimization pass (the "k" in RIPPERk).
+
+#ifndef PNR_RIPPER_OPTIMIZE_H_
+#define PNR_RIPPER_OPTIMIZE_H_
+
+#include "common/rng.h"
+#include "ripper/ripper.h"
+
+namespace pnr {
+
+/// One optimization pass: for every rule, construct a *replacement* (grown
+/// and pruned from scratch) and a *revision* (the rule grown further, then
+/// pruned), and keep whichever of {original, replacement, revision}
+/// minimizes the description length of the whole rule set. Afterwards any
+/// positives left uncovered are covered by additional IREP* rules, and rules
+/// whose deletion reduces the DL are removed.
+void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
+                     CategoryId target, const RipperConfig& config,
+                     double possible_conditions, Rng* rng, RuleSet* rules);
+
+/// IREP* covering loop: appends rules to `rules` learned from `remaining`
+/// until the MDL window or the prune-error gate stops it. Exposed so the
+/// optimization pass can cover residual positives.
+void CoverPositives(const Dataset& dataset, const RowSubset& all_rows,
+                    const RowSubset& remaining, CategoryId target,
+                    const RipperConfig& config, double possible_conditions,
+                    Rng* rng, RuleSet* rules);
+
+/// Removes (greedily, scanning from the last rule backwards) every rule
+/// whose deletion reduces the rule set's description length.
+void DeleteHarmfulRules(const Dataset& dataset, const RowSubset& rows,
+                        CategoryId target, double possible_conditions,
+                        RuleSet* rules);
+
+}  // namespace pnr
+
+#endif  // PNR_RIPPER_OPTIMIZE_H_

@@ -1,0 +1,89 @@
+#include "ripper/ripper.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "induction/mdl.h"
+#include "ripper/optimize.h"
+
+namespace pnr {
+
+Status RipperConfig::Validate() const {
+  if (grow_fraction <= 0.0 || grow_fraction >= 1.0) {
+    return Status::InvalidArgument("grow_fraction must be in (0, 1)");
+  }
+  if (mdl_window_bits < 0.0) {
+    return Status::InvalidArgument("mdl_window_bits must be >= 0");
+  }
+  if (max_prune_error_rate <= 0.0 || max_prune_error_rate > 1.0) {
+    return Status::InvalidArgument("max_prune_error_rate must be in (0, 1]");
+  }
+  if (max_rules == 0) {
+    return Status::InvalidArgument("max_rules must be positive");
+  }
+  return Status::OK();
+}
+
+RipperClassifier::RipperClassifier(RuleSet rules)
+    : rules_(std::move(rules)) {}
+
+double RipperClassifier::Score(const Dataset& dataset, RowId row) const {
+  const int match = rules_.FirstMatch(dataset, row);
+  if (match == kNoRule) return 0.0;
+  const RuleStats& stats = rules_.rule(static_cast<size_t>(match)).train_stats;
+  return (stats.positive + 1.0) / (stats.covered + 2.0);
+}
+
+std::string RipperClassifier::Describe(const Schema& schema) const {
+  std::string out = "RIPPER model (default = not-target)\n";
+  out += rules_.empty() ? "(no rules: always predicts not-target)\n"
+                        : rules_.ToString(schema);
+  return out;
+}
+
+RipperLearner::RipperLearner(RipperConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<RipperClassifier> RipperLearner::Train(const Dataset& dataset,
+                                                CategoryId target) const {
+  return TrainOnRows(dataset, dataset.AllRows(), target);
+}
+
+StatusOr<RipperClassifier> RipperLearner::TrainOnRows(
+    const Dataset& dataset, const RowSubset& rows, CategoryId target) const {
+  Status status = config_.Validate();
+  if (!status.ok()) return status;
+  if (rows.empty()) {
+    return Status::InvalidArgument("training set is empty");
+  }
+
+  Rng rng(config_.seed);
+  const double possible_conditions = CountPossibleConditions(dataset);
+
+  RuleSet rules;
+  CoverPositives(dataset, rows, rows, target, config_, possible_conditions,
+                 &rng, &rules);
+  for (size_t pass = 0; pass < config_.optimization_passes; ++pass) {
+    OptimizeRuleSet(dataset, rows, target, config_, possible_conditions, &rng,
+                    &rules);
+  }
+  DeleteHarmfulRules(dataset, rows, target, possible_conditions, &rules);
+
+  // Final per-rule stats under decision-list semantics: each training record
+  // is attributed to the first rule matching it, which is what the
+  // classifier's Laplace score uses.
+  for (Rule& rule : rules.mutable_rules()) {
+    rule.train_stats = RuleStats{};
+  }
+  for (RowId row : rows) {
+    const int match = rules.FirstMatch(dataset, row);
+    if (match == kNoRule) continue;
+    RuleStats& stats = rules.mutable_rule(static_cast<size_t>(match))
+                           .train_stats;
+    const double w = dataset.weight(row);
+    stats.covered += w;
+    if (dataset.label(row) == target) stats.positive += w;
+  }
+  return RipperClassifier(std::move(rules));
+}
+
+}  // namespace pnr

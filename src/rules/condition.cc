@@ -1,0 +1,92 @@
+#include "rules/condition.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace pnr {
+
+Condition Condition::CatEqual(AttrIndex attr, CategoryId category) {
+  Condition c;
+  c.attr = attr;
+  c.op = ConditionOp::kCatEqual;
+  c.category = category;
+  return c;
+}
+
+Condition Condition::LessEqual(AttrIndex attr, double v) {
+  Condition c;
+  c.attr = attr;
+  c.op = ConditionOp::kLessEqual;
+  c.hi = v;
+  return c;
+}
+
+Condition Condition::Greater(AttrIndex attr, double v) {
+  Condition c;
+  c.attr = attr;
+  c.op = ConditionOp::kGreater;
+  c.lo = v;
+  return c;
+}
+
+Condition Condition::InRange(AttrIndex attr, double lo, double hi) {
+  assert(lo <= hi);
+  Condition c;
+  c.attr = attr;
+  c.op = ConditionOp::kInRange;
+  c.lo = lo;
+  c.hi = hi;
+  return c;
+}
+
+bool Condition::Matches(const Dataset& dataset, RowId row) const {
+  switch (op) {
+    case ConditionOp::kCatEqual:
+      return dataset.categorical(row, attr) == category;
+    case ConditionOp::kLessEqual:
+      return dataset.numeric(row, attr) <= hi;
+    case ConditionOp::kGreater:
+      return dataset.numeric(row, attr) > lo;
+    case ConditionOp::kInRange: {
+      const double v = dataset.numeric(row, attr);
+      return v >= lo && v <= hi;
+    }
+  }
+  return false;
+}
+
+std::string Condition::ToString(const Schema& schema) const {
+  const Attribute& a = schema.attribute(attr);
+  switch (op) {
+    case ConditionOp::kCatEqual:
+      return a.name() + " = " +
+             (category == kInvalidCategory ? std::string("?")
+                                           : a.CategoryName(category));
+    case ConditionOp::kLessEqual:
+      return a.name() + " <= " + FormatDouble(hi, 4);
+    case ConditionOp::kGreater:
+      return a.name() + " > " + FormatDouble(lo, 4);
+    case ConditionOp::kInRange:
+      return a.name() + " in [" + FormatDouble(lo, 4) + ", " +
+             FormatDouble(hi, 4) + "]";
+  }
+  return "?";
+}
+
+bool Condition::operator==(const Condition& other) const {
+  if (attr != other.attr || op != other.op) return false;
+  switch (op) {
+    case ConditionOp::kCatEqual:
+      return category == other.category;
+    case ConditionOp::kLessEqual:
+      return hi == other.hi;
+    case ConditionOp::kGreater:
+      return lo == other.lo;
+    case ConditionOp::kInRange:
+      return lo == other.lo && hi == other.hi;
+  }
+  return false;
+}
+
+}  // namespace pnr

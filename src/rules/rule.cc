@@ -1,0 +1,65 @@
+#include "rules/rule.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace pnr {
+
+void Rule::RemoveCondition(size_t index) {
+  assert(index < conditions_.size());
+  conditions_.erase(conditions_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void Rule::TruncateTo(size_t count) {
+  assert(count <= conditions_.size());
+  conditions_.resize(count);
+}
+
+bool Rule::Matches(const Dataset& dataset, RowId row) const {
+  for (const Condition& condition : conditions_) {
+    if (!condition.Matches(dataset, row)) return false;
+  }
+  return true;
+}
+
+RuleStats Rule::Evaluate(const Dataset& dataset, const RowSubset& rows,
+                         CategoryId target) const {
+  RuleStats stats;
+  for (RowId row : rows) {
+    if (!Matches(dataset, row)) continue;
+    const double w = dataset.weight(row);
+    stats.covered += w;
+    if (dataset.label(row) == target) stats.positive += w;
+  }
+  return stats;
+}
+
+RowSubset Rule::CoveredRows(const Dataset& dataset,
+                            const RowSubset& rows) const {
+  RowSubset out;
+  for (RowId row : rows) {
+    if (Matches(dataset, row)) out.push_back(row);
+  }
+  return out;
+}
+
+RowSubset Rule::UncoveredRows(const Dataset& dataset,
+                              const RowSubset& rows) const {
+  RowSubset out;
+  for (RowId row : rows) {
+    if (!Matches(dataset, row)) out.push_back(row);
+  }
+  return out;
+}
+
+std::string Rule::ToString(const Schema& schema) const {
+  if (conditions_.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += conditions_[i].ToString(schema);
+  }
+  return out;
+}
+
+}  // namespace pnr

@@ -1,0 +1,130 @@
+#include "synth/categorical_model.h"
+
+#include <cassert>
+
+namespace pnr {
+
+Status CategoricalModelParams::Validate() const {
+  for (const CategoricalClassParams* cls : {&target, &non_target}) {
+    if (cls->na < 1 || cls->nspa < 1 || cls->words < 1 || cls->vocab < 2) {
+      return Status::InvalidArgument(
+          "na/nspa/words must be >= 1 and vocab >= 2");
+    }
+    // Signatures use disjoint word sets per attribute.
+    if (cls->nspa * cls->words > cls->vocab) {
+      return Status::InvalidArgument(
+          "vocabulary too small for disjoint signatures");
+    }
+  }
+  if (target_fraction <= 0.0 || target_fraction >= 1.0) {
+    return Status::InvalidArgument("target_fraction must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+CategoricalModelParams CoaParams(const std::string& name) {
+  CategoricalModelParams params;
+  auto set = [&](int tna, int tnspa, int tvocab, int nna, int nnspa,
+                 int nvocab) {
+    params.target = {tna, tnspa, 2, tvocab};
+    params.non_target = {nna, nnspa, 2, nvocab};
+  };
+  if (name == "coa1") {
+    set(1, 3, 400, 2, 3, 100);
+  } else if (name == "coa2") {
+    set(1, 3, 400, 3, 3, 100);
+  } else if (name == "coa3") {
+    set(1, 3, 400, 4, 3, 100);
+  } else if (name == "coa4") {
+    set(1, 4, 400, 2, 4, 100);
+  } else if (name == "coa5") {
+    set(1, 4, 400, 3, 4, 100);
+  } else if (name == "coa6") {
+    set(1, 4, 400, 4, 4, 100);
+  } else if (name == "coad1") {
+    set(2, 4, 400, 4, 4, 400);
+  } else if (name == "coad2") {
+    set(2, 4, 400, 4, 4, 100);
+  } else if (name == "coad3") {
+    set(2, 4, 100, 4, 4, 400);
+  } else if (name == "coad4") {
+    set(2, 4, 100, 4, 4, 100);
+  } else {
+    assert(false && "unknown categorical dataset name");
+  }
+  return params;
+}
+
+namespace {
+
+// Registers `vocab` words ("w0".."w{vocab-1}") on a fresh attribute so that
+// CategoryId k corresponds to word k for uniform sampling.
+Attribute MakeWordAttribute(const std::string& name, int vocab) {
+  Attribute attr = Attribute::Categorical(name);
+  for (int w = 0; w < vocab; ++w) {
+    attr.GetOrAddCategory("w" + std::to_string(w));
+  }
+  return attr;
+}
+
+}  // namespace
+
+Dataset GenerateCategoricalDataset(const CategoricalModelParams& params,
+                                   size_t num_records, Rng* rng) {
+  assert(params.Validate().ok());
+  Schema schema;
+  // Attribute layout: target pairs first, then non-target pairs.
+  std::vector<int> attr_vocab;
+  for (int s = 0; s < params.target.na; ++s) {
+    for (const char* side : {"a", "b"}) {
+      schema.AddAttribute(MakeWordAttribute(
+          "ct" + std::to_string(s) + side, params.target.vocab));
+      attr_vocab.push_back(params.target.vocab);
+    }
+  }
+  for (int s = 0; s < params.non_target.na; ++s) {
+    for (const char* side : {"a", "b"}) {
+      schema.AddAttribute(MakeWordAttribute(
+          "cn" + std::to_string(s) + side, params.non_target.vocab));
+      attr_vocab.push_back(params.non_target.vocab);
+    }
+  }
+  const CategoryId target_id = schema.GetOrAddClass("C");
+  const CategoryId non_target_id = schema.GetOrAddClass("NC");
+  const size_t num_attrs = attr_vocab.size();
+
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(num_records);
+  for (size_t r = 0; r < num_records; ++r) {
+    const RowId row = dataset.AddRow();
+    const bool is_target = rng->NextBool(params.target_fraction);
+    dataset.set_label(row, is_target ? target_id : non_target_id);
+    const CategoricalClassParams& cls =
+        is_target ? params.target : params.non_target;
+
+    const int subclass =
+        static_cast<int>(rng->NextBelow(static_cast<uint64_t>(cls.na)));
+    const int signature =
+        static_cast<int>(rng->NextBelow(static_cast<uint64_t>(cls.nspa)));
+    const size_t pair_base =
+        is_target ? static_cast<size_t>(2 * subclass)
+                  : static_cast<size_t>(2 * (params.target.na + subclass));
+
+    for (size_t a = 0; a < num_attrs; ++a) {
+      CategoryId word;
+      if (a == pair_base || a == pair_base + 1) {
+        // Signature word: one of the signature's `words` disjoint words.
+        const int offset = static_cast<int>(
+            rng->NextBelow(static_cast<uint64_t>(cls.words)));
+        word = static_cast<CategoryId>(signature * cls.words + offset);
+      } else {
+        word = static_cast<CategoryId>(
+            rng->NextBelow(static_cast<uint64_t>(attr_vocab[a])));
+      }
+      dataset.set_categorical(row, static_cast<AttrIndex>(a), word);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace pnr

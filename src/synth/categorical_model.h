@@ -1,0 +1,52 @@
+// Categorical-only synthetic model (paper section 3.2.2, Figure 2,
+// Table 3).
+//
+// Each class has `na` subclasses; each subclass is distinguished by `nspa`
+// disjoint signatures over its own *pair* of categorical attributes. A
+// signature is the conjunction of small word sets on the two attributes
+// (the paper's nwps = "2/400" means 2 words per attribute — 2x2 = 4
+// word combinations per signature — drawn from a 400-word vocabulary).
+// Records of other subclasses take uniformly random words on that pair, so
+// a smaller vocabulary means more accidental collisions with signatures.
+
+#ifndef PNR_SYNTH_CATEGORICAL_MODEL_H_
+#define PNR_SYNTH_CATEGORICAL_MODEL_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Per-class structure parameters of the categorical model.
+struct CategoricalClassParams {
+  int na = 1;        ///< number of subclasses
+  int nspa = 3;      ///< signatures per subclass
+  int words = 2;     ///< words per attribute in each signature
+  int vocab = 400;   ///< vocabulary size of the subclass's attributes
+};
+
+/// Full parameters of the categorical-only model.
+struct CategoricalModelParams {
+  CategoricalClassParams target;
+  CategoricalClassParams non_target;
+  /// Fraction of records belonging to the target class (paper: 0.3%).
+  double target_fraction = 0.003;
+
+  Status Validate() const;
+};
+
+/// The paper's Table-3 configurations: "coa1".."coa6", "coad1".."coad4".
+CategoricalModelParams CoaParams(const std::string& name);
+
+/// Generates `num_records` records. Attributes are paired per subclass:
+/// target subclass s owns attributes ct<s>a / ct<s>b, non-target subclass s
+/// owns cn<s>a / cn<s>b. Labels are "C" / "NC".
+Dataset GenerateCategoricalDataset(const CategoricalModelParams& params,
+                                   size_t num_records, Rng* rng);
+
+}  // namespace pnr
+
+#endif  // PNR_SYNTH_CATEGORICAL_MODEL_H_

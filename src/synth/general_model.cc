@@ -1,0 +1,141 @@
+#include "synth/general_model.h"
+
+#include <cassert>
+
+namespace pnr {
+
+Status GeneralModelParams::Validate() const {
+  if (tr <= 0.0 || nr <= 0.0) {
+    return Status::InvalidArgument("tr and nr must be positive");
+  }
+  // Each numeric attribute carries 4 interleaved peak slots (2 per class);
+  // slot spacing is domain/5, each peak is width/2 wide.
+  if (tr / 2.0 >= kNumericDomain / 5.0 || nr / 2.0 >= kNumericDomain / 5.0) {
+    return Status::InvalidArgument("peaks would overlap: width too large");
+  }
+  if (target_fraction <= 0.0 || target_fraction >= 1.0) {
+    return Status::InvalidArgument("target_fraction must be in (0, 1)");
+  }
+  if (vocab < 8) {
+    return Status::InvalidArgument("vocab must be >= 8 (NC3 uses 8 words)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Numeric attributes host 4 peak slots each (uniformly spaced): target
+// subclasses own slots {0, 2}, non-target subclasses slots {1, 3}.
+double SampleSlotPeak(int slot, double total_width, PeakShape shape,
+                      Rng* rng) {
+  // A subclass has 2 peaks on the attribute, so each is total_width / 2.
+  const double width = total_width / 2.0;
+  const double center = PeakCenter(slot, 4);
+  const double lo = center - 0.5 * width;
+  const double hi = center + 0.5 * width;
+  switch (shape) {
+    case PeakShape::kRectangular:
+      return rng->NextDouble(lo, hi);
+    case PeakShape::kTriangular:
+      return rng->NextTriangular(lo, hi);
+    case PeakShape::kGaussian: {
+      const double sigma = width / 6.0;
+      double v = 0.0;
+      do {
+        v = center + sigma * rng->NextGaussian();
+      } while (v < lo || v > hi);
+      return v;
+    }
+  }
+  return center;
+}
+
+}  // namespace
+
+Dataset GenerateGeneralDataset(const GeneralModelParams& params,
+                               size_t num_records, Rng* rng) {
+  assert(params.Validate().ok());
+  Schema schema;
+  for (int a = 0; a < 4; ++a) {
+    schema.AddAttribute(Attribute::Numeric("n" + std::to_string(a)));
+  }
+  for (int a = 0; a < 4; ++a) {
+    Attribute attr = Attribute::Categorical("c" + std::to_string(a));
+    for (int w = 0; w < params.vocab; ++w) {
+      attr.GetOrAddCategory("w" + std::to_string(w));
+    }
+    schema.AddAttribute(std::move(attr));
+  }
+  const CategoryId target_id = schema.GetOrAddClass("C");
+  const CategoryId non_target_id = schema.GetOrAddClass("NC");
+
+  constexpr AttrIndex kN0 = 0, kN1 = 1, kN2 = 2, kN3 = 3;
+  constexpr AttrIndex kC0 = 4, kC1 = 5, kC2 = 6, kC3 = 7;
+
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(num_records);
+  for (size_t r = 0; r < num_records; ++r) {
+    const RowId row = dataset.AddRow();
+    const bool is_target = rng->NextBool(params.target_fraction);
+    dataset.set_label(row, is_target ? target_id : non_target_id);
+    const double width = is_target ? params.tr : params.nr;
+    // Target subclasses use even peak slots, non-target odd slots.
+    const int slot_base = is_target ? 0 : 1;
+
+    // Background: everything uniform; the subclass then overwrites its
+    // distinguishing attributes.
+    for (AttrIndex a = kN0; a <= kN3; ++a) {
+      dataset.set_numeric(row, a, rng->NextDouble(0.0, kNumericDomain));
+    }
+    for (AttrIndex a = kC0; a <= kC3; ++a) {
+      dataset.set_categorical(
+          row, a,
+          static_cast<CategoryId>(
+              rng->NextBelow(static_cast<uint64_t>(params.vocab))));
+    }
+
+    const int subclass = static_cast<int>(rng->NextBelow(3));
+    switch (subclass) {
+      case 0: {
+        // C1/NC1: disjunction of two conjunctions over (n0, n1) — the same
+        // peak index is used on both attributes.
+        const int conj = static_cast<int>(rng->NextBelow(2));
+        const int slot = slot_base + 2 * conj;
+        dataset.set_numeric(row, kN0,
+                            SampleSlotPeak(slot, width, params.shape, rng));
+        dataset.set_numeric(row, kN1,
+                            SampleSlotPeak(slot, width, params.shape, rng));
+        break;
+      }
+      case 1: {
+        // C2/NC2: disjunction of peaks — a peak in n2 OR a peak in n3.
+        const AttrIndex attr = rng->NextBool(0.5) ? kN2 : kN3;
+        const int peak = static_cast<int>(rng->NextBelow(2));
+        const int slot = slot_base + 2 * peak;
+        dataset.set_numeric(row, attr,
+                            SampleSlotPeak(slot, width, params.shape, rng));
+        break;
+      }
+      case 2: {
+        // C3: nspa=2 signatures over (c0, c1); NC3: nspa=4 over (c2, c3);
+        // 2 words per attribute each, disjoint word blocks per signature.
+        const int nspa = is_target ? 2 : 4;
+        const int signature =
+            static_cast<int>(rng->NextBelow(static_cast<uint64_t>(nspa)));
+        const AttrIndex pair_a = is_target ? kC0 : kC2;
+        const AttrIndex pair_b = is_target ? kC1 : kC3;
+        for (AttrIndex a : {pair_a, pair_b}) {
+          const int offset = static_cast<int>(rng->NextBelow(2));
+          dataset.set_categorical(
+              row, a, static_cast<CategoryId>(signature * 2 + offset));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace pnr

@@ -1,0 +1,42 @@
+// The general mixed dataset "syngen" (paper section 3.2.3, Figure 3,
+// Tables 4 and 5): 4 numeric + 4 categorical attributes, three target
+// subclasses and three non-target subclasses with qualitatively different
+// signature styles:
+//   C1 / NC1 — conjunctive signatures over the numeric pair (n0, n1):
+//              a disjunction of two conjunctions of peaks;
+//   C2 / NC2 — disjunctive signatures: a peak in n2 *or* a peak in n3;
+//   C3 / NC3 — categorical signatures over (c0, c1) / (c2, c3)
+//              (C3: nspa=2, NC3: nspa=4; 2 words per attribute each).
+// tr scales the widths of all target peaks, nr all non-target peaks.
+
+#ifndef PNR_SYNTH_GENERAL_MODEL_H_
+#define PNR_SYNTH_GENERAL_MODEL_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "synth/numeric_model.h"
+
+namespace pnr {
+
+/// Parameters of the syngen model.
+struct GeneralModelParams {
+  double tr = 0.2;  ///< total width of each target subclass's peaks
+  double nr = 0.2;  ///< total width of each non-target subclass's peaks
+  PeakShape shape = PeakShape::kTriangular;
+  /// Fraction of records belonging to the target class (paper: 0.3%).
+  double target_fraction = 0.003;
+  /// Vocabulary size of the categorical attributes.
+  int vocab = 50;
+
+  Status Validate() const;
+};
+
+/// Generates `num_records` syngen records. Attributes n0..n3 are numeric,
+/// c0..c3 categorical; labels are "C" / "NC".
+Dataset GenerateGeneralDataset(const GeneralModelParams& params,
+                               size_t num_records, Rng* rng);
+
+}  // namespace pnr
+
+#endif  // PNR_SYNTH_GENERAL_MODEL_H_

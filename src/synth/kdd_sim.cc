@@ -1,0 +1,560 @@
+#include "synth/kdd_sim.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace pnr {
+
+Status KddSimParams::Validate() const {
+  if (train_records < 1000 || test_records < 1000) {
+    return Status::InvalidArgument(
+        "kdd_sim needs at least 1000 train and test records");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Feature sampling specs
+// ---------------------------------------------------------------------------
+
+/// How a numeric feature is drawn for one subclass.
+struct NumSpec {
+  enum class Kind { kConst, kUniform, kLogUniform, kGaussian, kZeroInflated };
+  Kind kind = Kind::kConst;
+  double a = 0.0;  ///< const value / lo / mean / P(nonzero)
+  double b = 0.0;  ///< hi / stddev
+
+  double Sample(Rng* rng) const {
+    switch (kind) {
+      case Kind::kConst:
+        return a;
+      case Kind::kUniform:
+        return rng->NextDouble(a, b);
+      case Kind::kLogUniform: {
+        const double lo = std::log(std::max(a, 1.0));
+        const double hi = std::log(std::max(b, a + 1.0));
+        return std::exp(rng->NextDouble(lo, hi));
+      }
+      case Kind::kGaussian: {
+        const double v = a + b * rng->NextGaussian();
+        return v < 0.0 ? 0.0 : v;
+      }
+      case Kind::kZeroInflated:
+        // Exactly zero most of the time (like real error-rate features);
+        // uniform on (0, b] otherwise. Prevents "== 0" razor signatures.
+        return rng->NextBool(a) ? rng->NextDouble(0.01, b) : 0.0;
+    }
+    return a;
+  }
+};
+
+NumSpec Const(double v) { return {NumSpec::Kind::kConst, v, 0.0}; }
+NumSpec Uniform(double lo, double hi) {
+  return {NumSpec::Kind::kUniform, lo, hi};
+}
+NumSpec LogUniform(double lo, double hi) {
+  return {NumSpec::Kind::kLogUniform, lo, hi};
+}
+NumSpec Gauss(double mean, double sd) {
+  return {NumSpec::Kind::kGaussian, mean, sd};
+}
+NumSpec ZeroInflated(double p_nonzero, double hi) {
+  return {NumSpec::Kind::kZeroInflated, p_nonzero, hi};
+}
+
+/// Weighted categorical choice by value name.
+struct CatSpec {
+  std::vector<std::pair<const char*, double>> choices;
+
+  const char* Sample(Rng* rng) const {
+    assert(!choices.empty());
+    double total = 0.0;
+    for (const auto& [name, w] : choices) total += w;
+    double pick = rng->NextDouble() * total;
+    for (const auto& [name, w] : choices) {
+      pick -= w;
+      if (pick < 0.0) return name;
+    }
+    return choices.back().first;
+  }
+};
+
+/// Generative profile of one attack (or normal-traffic) subclass.
+struct SubclassProfile {
+  const char* name;
+  const char* cls;  ///< normal / dos / probe / r2l / u2r
+  CatSpec protocol;
+  CatSpec service;
+  CatSpec flag;
+  NumSpec duration;
+  NumSpec src_bytes;
+  NumSpec dst_bytes;
+  double logged_in_prob = 0.0;
+  NumSpec hot;
+  NumSpec num_failed_logins;
+  NumSpec count;
+  NumSpec srv_count;
+  NumSpec serror_rate;
+};
+
+/// A subclass and its share of the class's records.
+struct MixEntry {
+  const SubclassProfile* profile;
+  double weight;
+};
+
+// ---------------------------------------------------------------------------
+// Subclass profiles (training-time and test-only)
+// ---------------------------------------------------------------------------
+
+// -- normal traffic --
+const SubclassProfile kNormalHttp = {
+    "normal_http", "normal",
+    {{{"tcp", 1}}},
+    {{{"http", 1}}},
+    {{{"SF", 0.95}, {"REJ", 0.04}, {"RSTO", 0.01}}},
+    LogUniform(1, 30), Gauss(300, 120), Gauss(4000, 2500),
+    0.7, Const(0), Const(0), Uniform(1, 60), Uniform(1, 60),
+    ZeroInflated(0.15, 0.4)};
+
+const SubclassProfile kNormalSmtp = {
+    "normal_smtp", "normal",
+    {{{"tcp", 1}}},
+    {{{"smtp", 1}}},
+    {{{"SF", 1}}},
+    LogUniform(1, 20), Gauss(1200, 400), Gauss(350, 120),
+    0.3, Const(0), Const(0), Uniform(1, 12), Uniform(1, 12),
+    ZeroInflated(0.08, 0.3)};
+
+// Benign ftp sessions overlap ftp_write / warezclient on logged_in, hot
+// and byte volumes — another of the paper's impure-signature situations.
+const SubclassProfile kNormalFtp = {
+    "normal_ftp", "normal",
+    {{{"tcp", 1}}},
+    {{{"ftp", 0.5}, {"ftp_data", 0.5}}},
+    {{{"SF", 1}}},
+    LogUniform(2, 400), LogUniform(50, 200000), LogUniform(100, 50000),
+    0.85, Uniform(0, 2.4), Uniform(0, 1.1), Uniform(1, 8), Uniform(1, 8),
+    ZeroInflated(0.08, 0.3)};
+
+const SubclassProfile kNormalDns = {
+    "normal_dns", "normal",
+    {{{"udp", 1}}},
+    {{{"domain_u", 0.85}, {"private", 0.15}}},
+    {{{"SF", 1}}},
+    Const(0), Gauss(45, 10), Gauss(90, 30),
+    0.0, Const(0), Const(0), Uniform(1, 90), Uniform(1, 90),
+    Const(0)};
+
+// Interactive logins: a realistic fraction carries mistyped passwords
+// (num_failed_logins 1-2), which collides with the guess_passwd attack's
+// headline feature and keeps naive "failed > 0" rules imprecise.
+const SubclassProfile kNormalTelnet = {
+    "normal_telnet", "normal",
+    {{{"tcp", 1}}},
+    {{{"telnet", 0.6}, {"pop3", 0.4}}},
+    {{{"SF", 0.97}, {"RSTO", 0.03}}},
+    LogUniform(3, 2000), LogUniform(100, 3000), LogUniform(200, 30000),
+    0.9, Uniform(0, 0.8), Uniform(0, 2.6), Uniform(1, 5), Uniform(1, 5),
+    ZeroInflated(0.06, 0.25)};
+
+
+// Benign connection noise: refused / reset / empty connections that every
+// real network carries. Their tiny byte counts and REJ flags overlap the
+// probe sweeps, so "small connection" alone can never be a probe signature.
+const SubclassProfile kNormalFrag = {
+    "normal_frag", "normal",
+    {{{"tcp", 0.8}, {"udp", 0.2}}},
+    {{{"http", 0.3}, {"private", 0.4}, {"other", 0.3}}},
+    {{{"REJ", 0.45}, {"RSTO", 0.2}, {"SF", 0.25}, {"S0", 0.1}}},
+    ZeroInflated(0.3, 15), Uniform(0, 25), Uniform(0, 25),
+    0.0, Const(0), Const(0), Uniform(1, 70), Uniform(1, 12),
+    ZeroInflated(0.5, 0.6)};
+
+// -- dos --
+const SubclassProfile kSmurf = {
+    "smurf", "dos",
+    {{{"icmp", 1}}},
+    {{{"eco_i", 1}}},
+    {{{"SF", 1}}},
+    Const(0), Gauss(1032, 30), Const(0),
+    0.0, Const(0), Const(0), Gauss(500, 60), Gauss(500, 60),
+    Const(0)};
+
+// Neptune's count / srv_count / flag profile deliberately overlaps the
+// probe sweeps so that probe rules capture dos false positives — the
+// splintered-false-positive regime for the probe class.
+const SubclassProfile kNeptune = {
+    "neptune", "dos",
+    {{{"tcp", 1}}},
+    {{{"private", 0.8}, {"other", 0.2}}},
+    {{{"S0", 0.8}, {"REJ", 0.2}}},
+    Const(0), Const(0), Const(0),
+    0.0, Const(0), Const(0), Gauss(170, 60), Gauss(8, 5),
+    Uniform(0.7, 1.0)};
+
+const SubclassProfile kBack = {
+    "back", "dos",
+    {{{"tcp", 1}}},
+    {{{"http", 1}}},
+    {{{"SF", 0.9}, {"RSTO", 0.1}}},
+    LogUniform(1, 10), Gauss(54540, 300), Gauss(8000, 2000),
+    0.5, Uniform(0, 2.4), Const(0), Uniform(2, 12), Uniform(2, 12),
+    ZeroInflated(0.2, 0.4)};
+
+// The paper's motivating impurity: a dos flood over ftp data connections,
+// sharing service=ftp with r2l's ftp subclasses and with normal ftp.
+const SubclassProfile kFtpFlood = {
+    "ftp_flood", "dos",
+    {{{"tcp", 1}}},
+    {{{"ftp", 0.6}, {"ftp_data", 0.4}}},
+    {{{"S0", 0.7}, {"REJ", 0.3}}},
+    Const(0), Const(0), Const(0),
+    0.0, Const(0), Const(0), Gauss(320, 50), Gauss(300, 50),
+    Uniform(0.75, 1.0)};
+
+// -- probe --
+const SubclassProfile kPortsweep = {
+    "portsweep", "probe",
+    {{{"tcp", 1}}},
+    {{{"private", 0.7}, {"other", 0.3}}},
+    {{{"REJ", 0.55}, {"S0", 0.3}, {"SF", 0.15}}},
+    LogUniform(1, 1000), Const(0), Const(0),
+    0.0, Const(0), Const(0), Gauss(120, 45), Uniform(1, 6),
+    Uniform(0.45, 0.9)};
+
+const SubclassProfile kIpsweep = {
+    "ipsweep", "probe",
+    {{{"icmp", 0.85}, {"tcp", 0.15}}},
+    {{{"eco_i", 0.85}, {"private", 0.15}}},
+    {{{"SF", 1}}},
+    Const(0), Gauss(10, 3), Const(0),
+    0.0, Const(0), Const(0), Uniform(1, 6), Gauss(120, 30),
+    ZeroInflated(0.05, 0.2)};
+
+const SubclassProfile kSatan = {
+    "satan", "probe",
+    {{{"tcp", 0.8}, {"udp", 0.2}}},
+    {{{"private", 0.5}, {"other", 0.3}, {"telnet", 0.2}}},
+    {{{"REJ", 0.5}, {"SF", 0.3}, {"RSTO", 0.2}}},
+    Const(0), Uniform(0, 8), Const(0),
+    0.0, Const(0), Const(0), Gauss(130, 50), Gauss(14, 7),
+    Uniform(0.3, 0.85)};
+
+const SubclassProfile kNmap = {
+    "nmap", "probe",
+    {{{"tcp", 0.5}, {"udp", 0.3}, {"icmp", 0.2}}},
+    {{{"private", 0.8}, {"other", 0.2}}},
+    {{{"SH", 0.6}, {"SF", 0.4}}},
+    Const(0), Uniform(0, 10), Const(0),
+    0.0, Const(0), Const(0), Uniform(1, 30), Uniform(1, 10),
+    ZeroInflated(0.4, 0.5)};
+
+
+// A stealthy scan that hides in the benign connection noise: its region is
+// ~half normal_frag, so precision-first learners drop it entirely. The
+// recoverable structure: slowscan connections always have zero duration
+// and nonzero serror, while much of the noise has either a nonzero
+// duration or a zero error rate — absence signatures a second phase can
+// learn collectively.
+const SubclassProfile kSlowscan = {
+    "slowscan", "probe",
+    {{{"tcp", 0.85}, {"udp", 0.15}}},
+    {{{"private", 0.45}, {"other", 0.35}, {"http", 0.2}}},
+    {{{"REJ", 0.4}, {"RSTO", 0.2}, {"SF", 0.3}, {"S0", 0.1}}},
+    Const(0), Uniform(0, 25), Uniform(0, 25),
+    0.0, Const(0), Const(0), Uniform(20, 90), Uniform(1, 12),
+    Uniform(0.05, 0.6)};
+
+// Test-only probes: similar intent, shifted signatures.
+const SubclassProfile kSaint = {
+    "saint", "probe",
+    {{{"tcp", 0.9}, {"udp", 0.1}}},
+    {{{"other", 0.5}, {"private", 0.3}, {"http", 0.2}}},
+    {{{"SF", 0.5}, {"REJ", 0.35}, {"RSTO", 0.15}}},
+    LogUniform(1, 50), Uniform(0, 30), Uniform(0, 40),
+    0.0, Const(0), Const(0), Gauss(90, 30), Gauss(30, 10),
+    Uniform(0.2, 0.6)};
+
+const SubclassProfile kMscan = {
+    "mscan", "probe",
+    {{{"tcp", 1}}},
+    {{{"private", 0.4}, {"http", 0.3}, {"ftp", 0.3}}},
+    {{{"SF", 0.4}, {"S0", 0.4}, {"REJ", 0.2}}},
+    Const(0), Uniform(0, 25), Const(0),
+    0.0, Const(0), Const(0), Gauss(180, 50), Uniform(1, 8),
+    Uniform(0.5, 1.0)};
+
+// -- r2l --
+// Password guessing looks like a short interactive login with failed
+// attempts — but normal telnet/pop3 sessions also carry failed attempts,
+// so the signature is inherently impure.
+const SubclassProfile kGuessPasswd = {
+    "guess_passwd", "r2l",
+    {{{"tcp", 1}}},
+    {{{"telnet", 0.55}, {"pop3", 0.3}, {"ftp", 0.15}}},
+    {{{"SF", 0.8}, {"RSTO", 0.2}}},
+    LogUniform(1, 40), LogUniform(80, 1500), LogUniform(150, 2000),
+    0.1, Uniform(0, 0.6), Uniform(1, 4.2), Uniform(1, 5), Uniform(1, 5),
+    ZeroInflated(0.2, 0.35)};
+
+const SubclassProfile kFtpWrite = {
+    "ftp_write", "r2l",
+    {{{"tcp", 1}}},
+    {{{"ftp", 0.7}, {"ftp_data", 0.3}}},
+    {{{"SF", 1}}},
+    LogUniform(5, 600), LogUniform(100, 5000), LogUniform(200, 8000),
+    0.9, Uniform(1, 4.2), Uniform(0, 0.8), Uniform(1, 5), Uniform(1, 5),
+    ZeroInflated(0.05, 0.2)};
+
+const SubclassProfile kWarezclient = {
+    "warezclient", "r2l",
+    {{{"tcp", 1}}},
+    {{{"ftp", 0.4}, {"ftp_data", 0.6}}},
+    {{{"SF", 1}}},
+    LogUniform(2, 300), LogUniform(1000, 500000), Uniform(0, 3000),
+    0.8, Uniform(0, 2.8), Const(0), Uniform(1, 6), Uniform(1, 6),
+    ZeroInflated(0.05, 0.2)};
+
+const SubclassProfile kImap = {
+    "imap", "r2l",
+    {{{"tcp", 1}}},
+    {{{"other", 0.7}, {"pop3", 0.3}}},
+    {{{"SF", 0.6}, {"RSTO", 0.4}}},
+    LogUniform(1, 30), Gauss(300, 100), Gauss(400, 150),
+    0.1, Uniform(0, 1.4), Uniform(0, 1.4), Uniform(1, 3), Uniform(1, 3),
+    ZeroInflated(0.3, 0.4)};
+
+// Test-time drift of guess_passwd (the real KDD test traces drift even
+// within known attack types): the attack moves to ftp and RSTO flags and
+// uses fewer attempts per connection, so training-era rules only catch a
+// slice of it.
+const SubclassProfile kGuessPasswdTest = {
+    "guess_passwd_drift", "r2l",
+    {{{"tcp", 1}}},
+    {{{"ftp", 0.45}, {"telnet", 0.3}, {"pop3", 0.25}}},
+    {{{"SF", 0.55}, {"RSTO", 0.45}}},
+    LogUniform(1, 120), LogUniform(60, 2500), LogUniform(100, 3000),
+    0.15, Uniform(0, 0.8), Uniform(0, 2.6), Uniform(1, 6), Uniform(1, 6),
+    ZeroInflated(0.25, 0.4)};
+
+// Test-only r2l: snmp-style attacks over udp — a different protocol from
+// every training r2l subclass, so no trained signature can reach them.
+const SubclassProfile kSnmpGetAttack = {
+    "snmpgetattack", "r2l",
+    {{{"udp", 1}}},
+    {{{"private", 0.8}, {"other", 0.2}}},
+    {{{"SF", 1}}},
+    Const(0), Gauss(60, 15), Gauss(70, 20),
+    0.0, Const(0), Const(0), Uniform(1, 30), Uniform(1, 30),
+    ZeroInflated(0.05, 0.2)};
+
+const SubclassProfile kSnmpGuess = {
+    "snmpguess", "r2l",
+    {{{"udp", 1}}},
+    {{{"private", 1}}},
+    {{{"SF", 1}}},
+    Const(0), Gauss(50, 10), Const(0),
+    0.0, Const(0), Const(0), Uniform(1, 60), Uniform(1, 60),
+    ZeroInflated(0.05, 0.2)};
+
+const SubclassProfile kWarezmaster = {
+    "warezmaster", "r2l",
+    {{{"tcp", 1}}},
+    {{{"ftp", 0.5}, {"ftp_data", 0.5}}},
+    {{{"SF", 1}}},
+    LogUniform(5, 600), Uniform(0, 3000), LogUniform(5000, 800000),
+    0.85, Uniform(0, 2.4), Const(0), Uniform(1, 6), Uniform(1, 6),
+    ZeroInflated(0.05, 0.2)};
+
+// -- u2r --
+const SubclassProfile kBufferOverflow = {
+    "buffer_overflow", "u2r",
+    {{{"tcp", 1}}},
+    {{{"telnet", 0.8}, {"ftp", 0.2}}},
+    {{{"SF", 1}}},
+    LogUniform(30, 1000), LogUniform(500, 6000), LogUniform(200, 8000),
+    1.0, Uniform(8, 30), Uniform(0, 1.4), Uniform(1, 3), Uniform(1, 3),
+    ZeroInflated(0.05, 0.2)};
+
+// ---------------------------------------------------------------------------
+// Class mixtures
+// ---------------------------------------------------------------------------
+
+struct ClassMix {
+  const char* cls;
+  double fraction;  ///< of the whole dataset
+  std::vector<MixEntry> subclasses;
+};
+
+// Training distribution mirrors the 10% KDDCUP sample: dos dominates,
+// probe 0.83%, r2l 0.23%, u2r 0.01%.
+std::vector<ClassMix> TrainMix() {
+  return {
+      {"normal",
+       0.1969,
+       {{&kNormalHttp, 0.47},
+        {&kNormalSmtp, 0.14},
+        {&kNormalFtp, 0.11},
+        {&kNormalDns, 0.12},
+        {&kNormalTelnet, 0.06},
+        {&kNormalFrag, 0.10}}},
+      {"dos",
+       0.7924,
+       {{&kSmurf, 0.57},
+        {&kNeptune, 0.41},
+        {&kBack, 0.01},
+        {&kFtpFlood, 0.01}}},
+      {"probe",
+       0.0083,
+       {{&kPortsweep, 0.20},
+        {&kIpsweep, 0.25},
+        {&kSatan, 0.28},
+        {&kNmap, 0.07},
+        {&kSlowscan, 0.20}}},
+      {"r2l",
+       0.0023,
+       {{&kGuessPasswd, 0.47},
+        {&kFtpWrite, 0.08},
+        {&kWarezclient, 0.40},
+        {&kImap, 0.05}}},
+      {"u2r", 0.0001, {{&kBufferOverflow, 1.0}}},
+  };
+}
+
+// Test distribution mirrors the contest test data: r2l jumps to 5.2%,
+// probe to 1.34%, with heavy novel-subclass shares.
+std::vector<ClassMix> TestMix() {
+  return {
+      {"normal",
+       0.1949,
+       {{&kNormalHttp, 0.43},
+        {&kNormalSmtp, 0.15},
+        {&kNormalFtp, 0.12},
+        {&kNormalDns, 0.13},
+        {&kNormalTelnet, 0.07},
+        {&kNormalFrag, 0.10}}},
+      {"dos",
+       0.7390,
+       {{&kSmurf, 0.60},
+        {&kNeptune, 0.37},
+        {&kBack, 0.015},
+        {&kFtpFlood, 0.015}}},
+      {"probe",
+       0.0134,
+       {{&kPortsweep, 0.14},
+        {&kIpsweep, 0.12},
+        {&kSatan, 0.18},
+        {&kNmap, 0.04},
+        {&kSlowscan, 0.18},
+        {&kSaint, 0.20},
+        {&kMscan, 0.14}}},
+      {"r2l",
+       0.0520,
+       {{&kGuessPasswd, 0.08},
+        {&kGuessPasswdTest, 0.12},
+        {&kFtpWrite, 0.02},
+        {&kWarezclient, 0.03},
+        {&kImap, 0.02},
+        {&kSnmpGetAttack, 0.50},
+        {&kSnmpGuess, 0.16},
+        {&kWarezmaster, 0.07}}},
+      {"u2r", 0.0007, {{&kBufferOverflow, 1.0}}},
+  };
+}
+
+Schema MakeKddSchema() {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("duration"));
+  schema.AddAttribute(Attribute::Categorical(
+      "protocol_type", {"tcp", "udp", "icmp"}));
+  schema.AddAttribute(Attribute::Categorical(
+      "service", {"http", "smtp", "ftp", "ftp_data", "telnet", "pop3",
+                  "domain_u", "private", "eco_i", "other"}));
+  schema.AddAttribute(
+      Attribute::Categorical("flag", {"SF", "S0", "REJ", "RSTO", "SH"}));
+  schema.AddAttribute(Attribute::Numeric("src_bytes"));
+  schema.AddAttribute(Attribute::Numeric("dst_bytes"));
+  schema.AddAttribute(Attribute::Categorical("logged_in", {"no", "yes"}));
+  schema.AddAttribute(Attribute::Numeric("hot"));
+  schema.AddAttribute(Attribute::Numeric("num_failed_logins"));
+  schema.AddAttribute(Attribute::Numeric("count"));
+  schema.AddAttribute(Attribute::Numeric("srv_count"));
+  schema.AddAttribute(Attribute::Numeric("serror_rate"));
+  for (const char* cls : {"normal", "dos", "probe", "r2l", "u2r"}) {
+    schema.GetOrAddClass(cls);
+  }
+  return schema;
+}
+
+void EmitRecord(const SubclassProfile& profile, Dataset* dataset, Rng* rng) {
+  Schema& schema = dataset->mutable_schema();
+  const RowId row = dataset->AddRow();
+  dataset->set_label(row, schema.class_attr().FindCategory(profile.cls));
+
+  auto set_cat = [&](const char* attr_name, const char* value) {
+    const AttrIndex attr = schema.FindAttribute(attr_name).value();
+    const CategoryId id = schema.attribute(attr).FindCategory(value);
+    assert(id != kInvalidCategory);
+    dataset->set_categorical(row, attr, id);
+  };
+  auto set_num = [&](const char* attr_name, double value) {
+    const AttrIndex attr = schema.FindAttribute(attr_name).value();
+    dataset->set_numeric(row, attr, value);
+  };
+
+  set_num("duration", std::floor(profile.duration.Sample(rng)));
+  set_cat("protocol_type", profile.protocol.Sample(rng));
+  set_cat("service", profile.service.Sample(rng));
+  set_cat("flag", profile.flag.Sample(rng));
+  set_num("src_bytes", std::floor(profile.src_bytes.Sample(rng)));
+  set_num("dst_bytes", std::floor(profile.dst_bytes.Sample(rng)));
+  set_cat("logged_in", rng->NextBool(profile.logged_in_prob) ? "yes" : "no");
+  set_num("hot", std::floor(profile.hot.Sample(rng)));
+  set_num("num_failed_logins",
+          std::floor(profile.num_failed_logins.Sample(rng)));
+  set_num("count", std::floor(profile.count.Sample(rng)));
+  set_num("srv_count", std::floor(profile.srv_count.Sample(rng)));
+  set_num("serror_rate", profile.serror_rate.Sample(rng));
+}
+
+Dataset GenerateSplit(const std::vector<ClassMix>& mixes, size_t num_records,
+                      Rng* rng) {
+  Dataset dataset(MakeKddSchema());
+  dataset.Reserve(num_records);
+  std::vector<double> class_weights;
+  class_weights.reserve(mixes.size());
+  for (const ClassMix& mix : mixes) class_weights.push_back(mix.fraction);
+
+  for (size_t r = 0; r < num_records; ++r) {
+    const ClassMix& mix = mixes[rng->NextIndexWeighted(class_weights)];
+    std::vector<double> sub_weights;
+    sub_weights.reserve(mix.subclasses.size());
+    for (const MixEntry& entry : mix.subclasses) {
+      sub_weights.push_back(entry.weight);
+    }
+    const MixEntry& entry =
+        mix.subclasses[rng->NextIndexWeighted(sub_weights)];
+    EmitRecord(*entry.profile, &dataset, rng);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+StatusOr<KddSimData> GenerateKddSim(const KddSimParams& params) {
+  Status status = params.Validate();
+  if (!status.ok()) return status;
+  Rng rng(params.seed);
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  KddSimData data{GenerateSplit(TrainMix(), params.train_records, &train_rng),
+                  GenerateSplit(TestMix(), params.test_records, &test_rng)};
+  return data;
+}
+
+}  // namespace pnr

@@ -1,0 +1,162 @@
+#include "synth/numeric_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pnr {
+
+Status NumericModelParams::Validate() const {
+  if (tc < 1 || ntc < 1) {
+    return Status::InvalidArgument("tc and ntc must be >= 1");
+  }
+  if (nsptc < 1 || nspntc < 1) {
+    return Status::InvalidArgument("nsptc and nspntc must be >= 1");
+  }
+  if (tr <= 0.0 || nr <= 0.0) {
+    return Status::InvalidArgument("tr and nr must be positive");
+  }
+  // Peak centers are domain/(n+1) apart; a peak of width total/n must fit
+  // between neighbouring centers.
+  if (tr / nsptc >= kNumericDomain / (nsptc + 1) ||
+      nr / nspntc >= kNumericDomain / (nspntc + 1)) {
+    return Status::InvalidArgument("peaks would overlap: width too large");
+  }
+  if (target_fraction <= 0.0 || target_fraction >= 1.0) {
+    return Status::InvalidArgument("target_fraction must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+NumericModelParams NsynParams(int index) {
+  NumericModelParams params;  // tr = nr = 0.2, triangular, 0.3% target
+  switch (index) {
+    case 1:
+      params.tc = 1;
+      params.nsptc = 1;
+      params.ntc = 2;
+      params.nspntc = 3;
+      break;
+    case 2:
+      params.tc = 1;
+      params.nsptc = 4;
+      params.ntc = 2;
+      params.nspntc = 3;
+      break;
+    case 3:
+      params.tc = 1;
+      params.nsptc = 4;
+      params.ntc = 2;
+      params.nspntc = 4;
+      break;
+    case 4:
+      params.tc = 1;
+      params.nsptc = 4;
+      params.ntc = 2;
+      params.nspntc = 5;
+      break;
+    case 5:
+      params.tc = 1;
+      params.nsptc = 4;
+      params.ntc = 3;
+      params.nspntc = 4;
+      break;
+    case 6:
+      params.tc = 1;
+      params.nsptc = 4;
+      params.ntc = 3;
+      params.nspntc = 5;
+      break;
+    default:
+      assert(false && "nsyn index must be 1..6");
+  }
+  return params;
+}
+
+double PeakCenter(int index, int num_peaks, double domain) {
+  assert(index >= 0 && index < num_peaks);
+  // Uniformly spaced, away from the domain edges.
+  return domain * (static_cast<double>(index) + 1.0) /
+         (static_cast<double>(num_peaks) + 1.0);
+}
+
+double SamplePeakValue(int index, int num_peaks, double total_width,
+                       PeakShape shape, Rng* rng, double domain) {
+  const double width = total_width / static_cast<double>(num_peaks);
+  const double center = PeakCenter(index, num_peaks, domain);
+  const double lo = center - 0.5 * width;
+  const double hi = center + 0.5 * width;
+  switch (shape) {
+    case PeakShape::kRectangular:
+      return rng->NextDouble(lo, hi);
+    case PeakShape::kTriangular:
+      return rng->NextTriangular(lo, hi);
+    case PeakShape::kGaussian: {
+      const double sigma = width / 6.0;
+      double v = 0.0;
+      do {
+        v = center + sigma * rng->NextGaussian();
+      } while (v < lo || v > hi);
+      return v;
+    }
+  }
+  return center;
+}
+
+Dataset GenerateNumericDataset(const NumericModelParams& params,
+                               size_t num_records, Rng* rng) {
+  assert(params.Validate().ok());
+  Schema schema;
+  const int num_attrs = params.tc + params.ntc;
+  for (int a = 0; a < num_attrs; ++a) {
+    schema.AddAttribute(Attribute::Numeric("a" + std::to_string(a)));
+  }
+  const CategoryId target_id = schema.GetOrAddClass("C");
+  const CategoryId non_target_id = schema.GetOrAddClass("NC");
+
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(num_records);
+  for (size_t r = 0; r < num_records; ++r) {
+    const RowId row = dataset.AddRow();
+    const bool is_target = rng->NextBool(params.target_fraction);
+    dataset.set_label(row, is_target ? target_id : non_target_id);
+
+    // Pick the record's subclass; its distinguishing attribute index and
+    // peak geometry depend on class membership.
+    int subclass = 0;
+    int distinguishing_attr = 0;
+    int num_peaks = 0;
+    double total_width = 0.0;
+    if (is_target) {
+      subclass = static_cast<int>(
+          rng->NextBelow(static_cast<uint64_t>(params.tc)));
+      distinguishing_attr = subclass;
+      num_peaks = params.nsptc;
+      total_width = params.tr;
+    } else {
+      subclass = static_cast<int>(
+          rng->NextBelow(static_cast<uint64_t>(params.ntc)));
+      distinguishing_attr = params.tc + subclass;
+      num_peaks = params.nspntc;
+      total_width = params.nr;
+    }
+    // The training examples of a subclass are equally divided among its
+    // disjoint signatures.
+    const int peak = static_cast<int>(
+        rng->NextBelow(static_cast<uint64_t>(num_peaks)));
+
+    for (int a = 0; a < num_attrs; ++a) {
+      double value = 0.0;
+      if (a == distinguishing_attr) {
+        value = SamplePeakValue(peak, num_peaks, total_width, params.shape,
+                                rng);
+      } else {
+        value = rng->NextDouble(0.0, kNumericDomain);
+      }
+      dataset.set_numeric(row, static_cast<AttrIndex>(a), value);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace pnr

@@ -1,0 +1,73 @@
+// Numeric-only synthetic model (paper section 3.2.1, Table 1, Figure 1).
+//
+// Both the target class C and the non-target class NC consist of
+// subclasses; each subclass is distinguished by one numeric attribute in
+// which its records concentrate into `nsp` disjoint, uniformly spaced,
+// identical peaks. Records of every other subclass are uniform over that
+// attribute. The dataset has (tc + ntc) attributes, one per subclass.
+//
+// Widths are the paper's tr / nr parameters: the *total* width of a
+// subclass's peaks, in units of the [0, 100) attribute domain, so tr = 0.2
+// means all peaks together span 0.2% of the domain. Large widths make
+// signatures impure (each target peak inevitably captures uniform
+// non-target records), which is the regime the paper studies.
+
+#ifndef PNR_SYNTH_NUMERIC_MODEL_H_
+#define PNR_SYNTH_NUMERIC_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Shape of a signature peak's distribution.
+enum class PeakShape {
+  kRectangular,  ///< uniform within the peak
+  kTriangular,   ///< symmetric triangular, mode at the peak center
+  kGaussian,     ///< normal, sigma = width / 6, clipped to the peak
+};
+
+/// Parameters of the numeric-only model (names follow the paper).
+struct NumericModelParams {
+  int tc = 1;         ///< number of target subclasses
+  int nsptc = 4;      ///< signatures (peaks) per target subclass
+  double tr = 0.2;    ///< total width of target peaks (domain units of 100)
+  int ntc = 2;        ///< number of non-target subclasses
+  int nspntc = 3;     ///< signatures per non-target subclass
+  double nr = 0.2;    ///< total width of non-target peaks
+  PeakShape shape = PeakShape::kTriangular;
+
+  /// Fraction of records belonging to the target class (paper: 0.3%).
+  double target_fraction = 0.003;
+
+  Status Validate() const;
+};
+
+/// The paper's six Table-1 configurations (nsyn1 .. nsyn6), index 1-based.
+NumericModelParams NsynParams(int index);
+
+/// Domain width of every attribute ([0, kNumericDomain)).
+inline constexpr double kNumericDomain = 100.0;
+
+/// Generates `num_records` records from the model. Class labels are
+/// "C" (target) and "NC"; the returned dataset's schema names attributes
+/// a0..a(tc+ntc-1), where a0..a(tc-1) distinguish target subclasses.
+Dataset GenerateNumericDataset(const NumericModelParams& params,
+                               size_t num_records, Rng* rng);
+
+/// Center of peak `index` (0-based) out of `num_peaks`, on [0, domain).
+double PeakCenter(int index, int num_peaks, double domain = kNumericDomain);
+
+/// Samples a value inside peak `index` of `num_peaks` peaks whose total
+/// width is `total_width`, with the given shape.
+double SamplePeakValue(int index, int num_peaks, double total_width,
+                       PeakShape shape, Rng* rng, double domain =
+                           kNumericDomain);
+
+}  // namespace pnr
+
+#endif  // PNR_SYNTH_NUMERIC_MODEL_H_

@@ -1,0 +1,51 @@
+#include "synth/sweep.h"
+
+#include "data/weighting.h"
+
+namespace pnr {
+
+TrainTestPair MakeNumericPair(const NumericModelParams& params,
+                              size_t train_records, size_t test_records,
+                              uint64_t seed) {
+  Rng rng(seed);
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  return TrainTestPair{
+      GenerateNumericDataset(params, train_records, &train_rng),
+      GenerateNumericDataset(params, test_records, &test_rng)};
+}
+
+TrainTestPair MakeCategoricalPair(const CategoricalModelParams& params,
+                                  size_t train_records, size_t test_records,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  return TrainTestPair{
+      GenerateCategoricalDataset(params, train_records, &train_rng),
+      GenerateCategoricalDataset(params, test_records, &test_rng)};
+}
+
+TrainTestPair MakeGeneralPair(const GeneralModelParams& params,
+                              size_t train_records, size_t test_records,
+                              uint64_t seed) {
+  Rng rng(seed);
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  return TrainTestPair{
+      GenerateGeneralDataset(params, train_records, &train_rng),
+      GenerateGeneralDataset(params, test_records, &test_rng)};
+}
+
+TrainTestPair SubsamplePair(const TrainTestPair& base, CategoryId target,
+                            double non_target_fraction, uint64_t seed) {
+  Rng rng(seed);
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  return TrainTestPair{
+      SubsampleNonTarget(base.train, target, non_target_fraction,
+                         &train_rng),
+      SubsampleNonTarget(base.test, target, non_target_fraction, &test_rng)};
+}
+
+}  // namespace pnr

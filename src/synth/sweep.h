@@ -1,0 +1,44 @@
+// Train/test pair construction and the Table-5 rarity sweep.
+
+#ifndef PNR_SYNTH_SWEEP_H_
+#define PNR_SYNTH_SWEEP_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "synth/categorical_model.h"
+#include "synth/general_model.h"
+#include "synth/numeric_model.h"
+
+namespace pnr {
+
+/// A train/test pair drawn independently from the same generative model.
+struct TrainTestPair {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates a numeric-model pair (independent streams from `seed`).
+TrainTestPair MakeNumericPair(const NumericModelParams& params,
+                              size_t train_records, size_t test_records,
+                              uint64_t seed);
+
+/// Generates a categorical-model pair.
+TrainTestPair MakeCategoricalPair(const CategoricalModelParams& params,
+                                  size_t train_records, size_t test_records,
+                                  uint64_t seed);
+
+/// Generates a syngen pair.
+TrainTestPair MakeGeneralPair(const GeneralModelParams& params,
+                              size_t train_records, size_t test_records,
+                              uint64_t seed);
+
+/// Table 5's rarity transform: keeps every target record of both splits and
+/// a random `non_target_fraction` of the non-target records, raising the
+/// target class's relative proportion.
+TrainTestPair SubsamplePair(const TrainTestPair& base, CategoryId target,
+                            double non_target_fraction, uint64_t seed);
+
+}  // namespace pnr
+
+#endif  // PNR_SYNTH_SWEEP_H_

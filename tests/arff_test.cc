@@ -1,0 +1,133 @@
+#include "data/arff.h"
+
+#include <gtest/gtest.h>
+
+namespace pnr {
+namespace {
+
+constexpr const char* kWeatherArff = R"(% the classic toy dataset
+@relation weather
+
+@attribute outlook {sunny, overcast, rainy}
+@attribute temperature numeric
+@attribute humidity real
+@attribute windy {'TRUE', 'FALSE'}
+@attribute play {yes, no}
+
+@data
+sunny, 85, 85, 'FALSE', no
+sunny, 80, 90, 'TRUE', no
+overcast, 83, 86, 'FALSE', yes
+rainy, 70, 96, 'FALSE', yes
+rainy, 68, 80, 'FALSE', yes
+)";
+
+TEST(ArffTest, ParsesWeatherDataset) {
+  auto dataset = ReadArffFromString(kWeatherArff);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_rows(), 5u);
+  const Schema& schema = dataset->schema();
+  ASSERT_EQ(schema.num_attributes(), 4u);  // play is the class
+  EXPECT_TRUE(schema.attribute(0).is_categorical());
+  EXPECT_EQ(schema.attribute(0).num_categories(), 3u);
+  EXPECT_TRUE(schema.attribute(1).is_numeric());
+  EXPECT_TRUE(schema.attribute(2).is_numeric());
+  EXPECT_EQ(schema.num_classes(), 2u);
+  EXPECT_DOUBLE_EQ(dataset->numeric(0, 1), 85.0);
+  EXPECT_EQ(schema.class_attr().CategoryName(dataset->label(0)), "no");
+  EXPECT_EQ(schema.attribute(3).CategoryName(dataset->categorical(1, 3)),
+            "TRUE");
+}
+
+TEST(ArffTest, LastNominalIsClassByDefault) {
+  // windy (not the numeric column) must not be chosen; play is last.
+  auto dataset = ReadArffFromString(kWeatherArff);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_NE(dataset->schema().class_attr().FindCategory("yes"),
+            kInvalidCategory);
+}
+
+TEST(ArffTest, ExplicitClassAttribute) {
+  ArffReadOptions options;
+  options.class_attribute = "outlook";
+  auto dataset = ReadArffFromString(kWeatherArff, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->schema().num_classes(), 3u);
+  EXPECT_EQ(dataset->schema().num_attributes(), 4u);  // play is a feature
+}
+
+TEST(ArffTest, MissingValues) {
+  const std::string text =
+      "@relation m\n"
+      "@attribute a numeric\n"
+      "@attribute b {x, y}\n"
+      "@attribute c {p, q}\n"
+      "@data\n"
+      "?, ?, p\n"
+      "1, x, q\n";
+  auto dataset = ReadArffFromString(text);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_DOUBLE_EQ(dataset->numeric(0, 0), 0.0);
+  EXPECT_EQ(dataset->categorical(0, 1), kInvalidCategory);
+}
+
+TEST(ArffTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(ReadArffFromString("").ok());
+  EXPECT_FALSE(ReadArffFromString("@relation r\n@data\n1\n").ok());
+  // Undeclared nominal value.
+  EXPECT_FALSE(ReadArffFromString("@relation r\n"
+                                  "@attribute a {x}\n"
+                                  "@attribute c {p, q}\n"
+                                  "@data\nz, p\n")
+                   .ok());
+  // Wrong arity.
+  EXPECT_FALSE(ReadArffFromString("@relation r\n"
+                                  "@attribute a numeric\n"
+                                  "@attribute c {p, q}\n"
+                                  "@data\n1, p, extra\n")
+                   .ok());
+  // Unsupported type.
+  EXPECT_FALSE(ReadArffFromString("@relation r\n"
+                                  "@attribute s string\n"
+                                  "@attribute c {p, q}\n"
+                                  "@data\nhello, p\n")
+                   .ok());
+  // No nominal class available.
+  EXPECT_FALSE(ReadArffFromString("@relation r\n"
+                                  "@attribute a numeric\n"
+                                  "@data\n1\n")
+                   .ok());
+  // Numeric class requested.
+  ArffReadOptions options;
+  options.class_attribute = "a";
+  EXPECT_FALSE(ReadArffFromString("@relation r\n"
+                                  "@attribute a numeric\n"
+                                  "@attribute c {p, q}\n"
+                                  "@data\n1, p\n",
+                                  options)
+                   .ok());
+}
+
+TEST(ArffTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "% header comment\n"
+      "@relation r\n"
+      "\n"
+      "@attribute a numeric   % inline comment\n"
+      "@attribute c {p, q}\n"
+      "@data\n"
+      "% data comment\n"
+      "1, p\n"
+      "\n"
+      "2, q\n";
+  auto dataset = ReadArffFromString(text);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_rows(), 2u);
+}
+
+TEST(ArffTest, ReadFileErrors) {
+  EXPECT_FALSE(ReadArff("/nonexistent/data.arff").ok());
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,274 @@
+#include "c45/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "synth/sweep.h"
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeNumericDataset;
+
+TEST(C45RulesConfigTest, Validation) {
+  EXPECT_TRUE(C45RulesConfig().Validate().ok());
+  C45RulesConfig config;
+  config.cf = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = C45RulesConfig();
+  config.max_initial_rules = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = C45RulesConfig();
+  config.tree.min_objs = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ExtractTreeRulesTest, OneRulePerLeafWithPathConditions) {
+  // Hand-build a small tree: root splits x0 at 5; right child splits x0 at
+  // 7 (tests same-attribute bound merging).
+  DecisionTree tree;
+  tree.set_num_classes(2);
+  TreeNode leaf_low;
+  leaf_low.is_leaf = true;
+  leaf_low.predicted_class = 0;
+  leaf_low.total_weight = 10.0;
+  leaf_low.class_weights = {10.0, 0.0};
+  TreeNode leaf_mid = leaf_low;
+  leaf_mid.predicted_class = 1;
+  leaf_mid.class_weights = {0.0, 10.0};
+  TreeNode leaf_high = leaf_low;
+  const int32_t low = tree.AddNode(leaf_low);
+  const int32_t mid = tree.AddNode(leaf_mid);
+  const int32_t high = tree.AddNode(leaf_high);
+  TreeNode right;
+  right.is_leaf = false;
+  right.attr = 0;
+  right.threshold = 7.0;
+  right.children = {mid, high};
+  right.total_weight = 20.0;
+  right.class_weights = {10.0, 10.0};
+  const int32_t right_id = tree.AddNode(right);
+  TreeNode root = right;
+  root.threshold = 5.0;
+  root.children = {low, right_id};
+  const int32_t root_id = tree.AddNode(root);
+  tree.set_root(root_id);
+
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x0"));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  const auto rules = ExtractTreeRules(tree, schema, 100);
+  ASSERT_EQ(rules.size(), 3u);
+  // The (5, 7] path must merge into Greater(5) AND LessEqual(7).
+  bool found_mid = false;
+  for (const auto& entry : rules) {
+    if (entry.cls != 1) continue;
+    found_mid = true;
+    ASSERT_EQ(entry.rule.size(), 2u);
+    EXPECT_EQ(entry.rule.conditions()[0], Condition::Greater(0, 5.0));
+    EXPECT_EQ(entry.rule.conditions()[1], Condition::LessEqual(0, 7.0));
+  }
+  EXPECT_TRUE(found_mid);
+}
+
+TEST(ExtractTreeRulesTest, MergesToTightestBound) {
+  // Root: x0 <= 8; child: x0 <= 3 -> the leftmost path keeps only <= 3.
+  DecisionTree tree;
+  tree.set_num_classes(2);
+  TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.total_weight = 5.0;
+  leaf.class_weights = {5.0, 0.0};
+  const int32_t l0 = tree.AddNode(leaf);
+  const int32_t l1 = tree.AddNode(leaf);
+  const int32_t l2 = tree.AddNode(leaf);
+  TreeNode inner;
+  inner.is_leaf = false;
+  inner.attr = 0;
+  inner.threshold = 3.0;
+  inner.children = {l0, l1};
+  inner.total_weight = 10.0;
+  inner.class_weights = {10.0, 0.0};
+  const int32_t inner_id = tree.AddNode(inner);
+  TreeNode root = inner;
+  root.threshold = 8.0;
+  root.children = {inner_id, l2};
+  tree.set_root(tree.AddNode(root));
+
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x0"));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  const auto rules = ExtractTreeRules(tree, schema, 100);
+  ASSERT_EQ(rules.size(), 3u);
+  bool found = false;
+  for (const auto& entry : rules) {
+    if (entry.rule.size() == 1 &&
+        entry.rule.conditions()[0] == Condition::LessEqual(0, 3.0)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(C45RulesLearnerTest, LearnsSeparableConcept) {
+  Rng rng(66);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.NextDouble(0, 10);
+    const double b = rng.NextDouble(0, 10);
+    rows.push_back({{a, b}, a > 7.0 && b < 3.0});
+  }
+  const Dataset dataset = MakeNumericDataset(2, rows);
+  C45RulesLearner learner;
+  auto model = learner.Train(dataset, kPos);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const Confusion eval = EvaluateClassifier(*model, dataset, kPos);
+  EXPECT_GT(eval.f_measure(), 0.9) << eval.ToString();
+}
+
+TEST(C45RulesLearnerTest, GeneralizationSimplifiesRules) {
+  // Noisy irrelevant attribute x1: paths will condition on it, but
+  // generalization should strip most of those conditions.
+  Rng rng(67);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 1500; ++i) {
+    const double a = rng.NextDouble(0, 10);
+    rows.push_back({{a, rng.NextDouble(0, 10)}, a > 8.0});
+  }
+  const Dataset dataset = MakeNumericDataset(2, rows);
+  C45RulesLearner learner;
+  auto model = learner.Train(dataset, kPos);
+  ASSERT_TRUE(model.ok());
+  // Rules for the positive class should be single-condition (x0 > ~8).
+  for (const auto& entry : model->rules()) {
+    if (entry.cls == kPos) {
+      EXPECT_LE(entry.rule.size(), 2u)
+          << entry.rule.ToString(dataset.schema());
+    }
+  }
+}
+
+TEST(C45RulesLearnerTest, DefaultClassCoversUncovered) {
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, false}, {{2.0}, false}, {{3.0}, false}, {{4.0}, false}});
+  C45RulesLearner learner;
+  auto model = learner.Train(dataset, kPos);
+  ASSERT_TRUE(model.ok());
+  // All-negative data: the default must be the negative class.
+  EXPECT_EQ(model->default_class(), 0);
+  EXPECT_FALSE(model->Predict(dataset, 0));
+}
+
+TEST(C45RulesLearnerTest, RareClassEndToEnd) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 20000, 8000, 41);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  C45RulesLearner learner;
+  auto model = learner.Train(data.train, target);
+  ASSERT_TRUE(model.ok());
+  const Confusion test = EvaluateClassifier(*model, data.test, target);
+  EXPECT_GT(test.f_measure(), 0.4) << test.ToString();
+  const std::string text = model->Describe(data.train.schema());
+  EXPECT_NE(text.find("default:"), std::string::npos);
+}
+
+TEST(C45RulesLearnerTest, ScoresAreProbabilities) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 5000, 2000, 42);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  C45RulesLearner learner;
+  auto model = learner.Train(data.train, target);
+  ASSERT_TRUE(model.ok());
+  for (RowId row = 0; row < 500; ++row) {
+    const double score = model->Score(data.test, row);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+
+TEST(ExtractTreeRulesTest, CategoricalBranchesBecomeEqualityConditions) {
+  // Root splits on a 3-valued categorical attribute; every branch becomes
+  // one rule with a CatEqual condition for its value.
+  DecisionTree tree;
+  tree.set_num_classes(2);
+  TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.total_weight = 5.0;
+  leaf.class_weights = {5.0, 0.0};
+  TreeNode pos_leaf = leaf;
+  pos_leaf.predicted_class = 1;
+  pos_leaf.class_weights = {0.0, 5.0};
+  const int32_t l0 = tree.AddNode(leaf);
+  const int32_t l1 = tree.AddNode(pos_leaf);
+  const int32_t l2 = tree.AddNode(leaf);
+  TreeNode root;
+  root.is_leaf = false;
+  root.attr = 0;
+  root.children = {l0, l1, l2};
+  root.total_weight = 15.0;
+  root.class_weights = {10.0, 5.0};
+  tree.set_root(tree.AddNode(root));
+
+  Schema schema;
+  schema.AddAttribute(Attribute::Categorical("color", {"r", "g", "b"}));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  const auto rules = ExtractTreeRules(tree, schema, 100);
+  ASSERT_EQ(rules.size(), 3u);
+  bool found_pos = false;
+  for (const auto& entry : rules) {
+    ASSERT_EQ(entry.rule.size(), 1u);
+    EXPECT_EQ(entry.rule.conditions()[0].op, ConditionOp::kCatEqual);
+    if (entry.cls == 1) {
+      found_pos = true;
+      EXPECT_EQ(entry.rule.conditions()[0].category, 1);  // "g"
+    }
+  }
+  EXPECT_TRUE(found_pos);
+}
+
+TEST(ExtractTreeRulesTest, RespectsRuleCap) {
+  // A numeric chain of depth 4 has 5 leaves; cap at 2.
+  Rng rng(68);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    rows.push_back({{x, rng.NextDouble(0, 10)}, x > 5.0});
+  }
+  const Dataset dataset = MakeNumericDataset(2, rows);
+  C45Config config;
+  config.prune = false;
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), config);
+  ASSERT_TRUE(tree.ok());
+  const auto rules = ExtractTreeRules(*tree, dataset.schema(), 2);
+  EXPECT_LE(rules.size(), 2u);
+}
+
+TEST(C45RulesLearnerTest, WeightedTrainingIsSupported) {
+  // Stratified weights flip majority decisions; the learner must not choke
+  // on non-unit weights (it falls back to weighted coverage counting).
+  Rng rng(69);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    rows.push_back({{x, 0.0}, x > 8.0 && rng.NextBool(0.4)});
+  }
+  Dataset dataset = MakeNumericDataset(2, rows);
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (dataset.label(r) == kPos) dataset.set_weight(r, 10.0);
+  }
+  C45RulesLearner learner;
+  auto model = learner.Train(dataset, kPos);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const Confusion c = EvaluateClassifier(*model, dataset, kPos);
+  EXPECT_GT(c.recall(), 0.5);  // up-weighted positives win their region
+}
+
+}  // namespace
+}  // namespace pnr

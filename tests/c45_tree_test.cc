@@ -1,0 +1,175 @@
+#include "c45/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "c45/prune.h"
+#include "c45/tree_classifier.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "synth/sweep.h"
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeMixedDataset;
+using testutil::MakeNumericDataset;
+
+TEST(C45ConfigTest, Validation) {
+  EXPECT_TRUE(C45Config().Validate().ok());
+  C45Config config;
+  config.min_objs = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = C45Config();
+  config.cf = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = C45Config();
+  config.max_depth = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(C45TreeTest, PureDataYieldsSingleLeaf) {
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, true}, {{2.0}, true}, {{3.0}, true}});
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), C45Config());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->CountLeaves(), 1u);
+  EXPECT_EQ(tree->Classify(dataset, 0), kPos);
+}
+
+TEST(C45TreeTest, LearnsNumericThreshold) {
+  Rng rng(44);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    rows.push_back({{x}, x > 6.0});
+  }
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), C45Config());
+  ASSERT_TRUE(tree.ok());
+  // Perfect separation on training data.
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    EXPECT_EQ(tree->Classify(dataset, r), dataset.label(r));
+  }
+  // Root split should be near the true threshold.
+  const TreeNode& root = tree->nodes()[static_cast<size_t>(tree->root())];
+  ASSERT_FALSE(root.is_leaf);
+  EXPECT_NEAR(root.threshold, 6.0, 0.5);
+}
+
+TEST(C45TreeTest, LearnsCategoricalSplit) {
+  std::vector<testutil::MixedRow> rows;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({0.0, static_cast<CategoryId>(i % 3), i % 3 == 1});
+  }
+  const Dataset dataset = MakeMixedDataset(rows);
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), C45Config());
+  ASSERT_TRUE(tree.ok());
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    EXPECT_EQ(tree->Classify(dataset, r), dataset.label(r));
+  }
+}
+
+TEST(C45TreeTest, RespectsMinObjs) {
+  Rng rng(45);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({{rng.NextDouble(0, 10)}, rng.NextBool(0.5)});
+  }
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  C45Config config;
+  config.min_objs = 30.0;
+  config.prune = false;
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), config);
+  ASSERT_TRUE(tree.ok());
+  // Every split must leave >= min_objs on both numeric sides: with 100
+  // records that caps the depth severely.
+  EXPECT_LE(tree->CountLeaves(), 4u);
+}
+
+TEST(C45TreeTest, PruningShrinksNoisyTree) {
+  Rng rng(46);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 500; ++i) {
+    // Clear signal (x0 > 5) plus 15% label noise: the unpruned tree chases
+    // the noise, pruning should collapse (most of) those subtrees.
+    const double x = rng.NextDouble(0, 10);
+    const bool label = (x > 5.0) != rng.NextBool(0.15);
+    rows.push_back({{x, rng.NextDouble(0, 10)}, label});
+  }
+  const Dataset dataset = MakeNumericDataset(2, rows);
+  // Make the builder eager (no Release-8 gain penalty, minimal leaf size)
+  // so that overfitting actually happens, then isolate the pruner's effect.
+  C45Config unpruned_config;
+  unpruned_config.prune = false;
+  unpruned_config.numeric_gain_penalty = false;
+  unpruned_config.min_objs = 1.0;
+  C45Config pruned_config = unpruned_config;
+  pruned_config.prune = true;
+  auto unpruned = BuildC45Tree(dataset, dataset.AllRows(), unpruned_config);
+  auto pruned = BuildC45Tree(dataset, dataset.AllRows(), pruned_config);
+  ASSERT_TRUE(unpruned.ok());
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_GT(unpruned->CountLeaves(), 10u);
+  EXPECT_LT(pruned->CountLeaves(), unpruned->CountLeaves());
+}
+
+TEST(C45TreeTest, PessimisticLeafErrorsExceedObserved) {
+  TreeNode node;
+  node.total_weight = 100.0;
+  node.class_weights = {80.0, 20.0};
+  node.predicted_class = 0;
+  EXPECT_GT(PessimisticLeafErrors(node, 0.25), 20.0);
+  EXPECT_LT(PessimisticLeafErrors(node, 0.25), 40.0);
+}
+
+TEST(C45TreeTest, ClassProbabilityIsLaplaceSmoothed) {
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, true}, {{1.0}, true}, {{1.0}, false}});
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), C45Config());
+  ASSERT_TRUE(tree.ok());
+  // Single leaf: P(pos) = (2+1)/(3+2).
+  EXPECT_DOUBLE_EQ(tree->ClassProbability(dataset, 0, kPos), 0.6);
+  EXPECT_DOUBLE_EQ(tree->ClassProbability(dataset, 0, 0), 0.4);
+}
+
+TEST(C45TreeTest, WeightedRecordsShiftMajority) {
+  Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, true}, {{1.0}, false}, {{1.0}, false}});
+  dataset.set_weight(0, 10.0);  // the single positive dominates
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), C45Config());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Classify(dataset, 1), kPos);
+}
+
+TEST(C45TreeClassifierTest, EndToEndOnRareClass) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 20000, 8000, 31);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  C45TreeLearner learner;
+  auto model = learner.Train(data.train, target);
+  ASSERT_TRUE(model.ok());
+  const Confusion test = EvaluateClassifier(*model, data.test, target);
+  EXPECT_GT(test.f_measure(), 0.4) << test.ToString();
+  const std::string text = model->Describe(data.train.schema());
+  EXPECT_NE(text.find("C4.5 tree"), std::string::npos);
+}
+
+TEST(C45TreeTest, ToStringRendersSplits) {
+  Rng rng(47);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    rows.push_back({{x}, x > 5.0});
+  }
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  auto tree = BuildC45Tree(dataset, dataset.AllRows(), C45Config());
+  ASSERT_TRUE(tree.ok());
+  const std::string text = tree->ToString(dataset.schema());
+  EXPECT_NE(text.find("split x0"), std::string::npos);
+  EXPECT_NE(text.find("class"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnr

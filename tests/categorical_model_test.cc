@@ -1,0 +1,110 @@
+#include "synth/categorical_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pnr {
+namespace {
+
+TEST(CategoricalModelTest, ParamsValidation) {
+  EXPECT_TRUE(CategoricalModelParams().Validate().ok());
+  CategoricalModelParams params;
+  params.target.na = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = CategoricalModelParams();
+  params.non_target.vocab = 4;
+  params.non_target.nspa = 3;
+  params.non_target.words = 2;  // 6 > 4: signatures cannot be disjoint
+  EXPECT_FALSE(params.Validate().ok());
+  params = CategoricalModelParams();
+  params.target_fraction = 1.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(CategoricalModelTest, CoaConfigurationsMatchTable3) {
+  const CategoricalModelParams coa1 = CoaParams("coa1");
+  EXPECT_EQ(coa1.target.na, 1);
+  EXPECT_EQ(coa1.target.nspa, 3);
+  EXPECT_EQ(coa1.target.vocab, 400);
+  EXPECT_EQ(coa1.non_target.na, 2);
+  EXPECT_EQ(coa1.non_target.vocab, 100);
+  const CategoricalModelParams coa6 = CoaParams("coa6");
+  EXPECT_EQ(coa6.non_target.na, 4);
+  EXPECT_EQ(coa6.non_target.nspa, 4);
+  const CategoricalModelParams coad3 = CoaParams("coad3");
+  EXPECT_EQ(coad3.target.na, 2);
+  EXPECT_EQ(coad3.target.vocab, 100);
+  EXPECT_EQ(coad3.non_target.vocab, 400);
+  for (const char* name : {"coa1", "coa2", "coa3", "coa4", "coa5", "coa6",
+                           "coad1", "coad2", "coad3", "coad4"}) {
+    EXPECT_TRUE(CoaParams(name).Validate().ok()) << name;
+  }
+}
+
+TEST(CategoricalModelTest, SchemaHasOnePairPerSubclass) {
+  const CategoricalModelParams params = CoaParams("coad1");
+  Rng rng(11);
+  const Dataset dataset = GenerateCategoricalDataset(params, 1000, &rng);
+  // 2 target subclasses + 4 non-target subclasses, 2 attributes each.
+  EXPECT_EQ(dataset.schema().num_attributes(), 12u);
+  EXPECT_EQ(dataset.schema().attribute(0).name(), "ct0a");
+  EXPECT_EQ(dataset.schema().attribute(4).name(), "cn0a");
+  EXPECT_EQ(dataset.schema().attribute(0).num_categories(), 400u);
+  EXPECT_EQ(dataset.schema().attribute(4).num_categories(), 400u);
+}
+
+TEST(CategoricalModelTest, TargetSignaturesUseSignatureWords) {
+  const CategoricalModelParams params = CoaParams("coa1");
+  Rng rng(12);
+  const Dataset dataset = GenerateCategoricalDataset(params, 50000, &rng);
+  const CategoryId target =
+      dataset.schema().class_attr().FindCategory("C");
+  const int max_word = params.target.nspa * params.target.words;  // 6
+  size_t targets = 0;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (dataset.label(r) != target) continue;
+    ++targets;
+    // Target subclass 0 owns the pair (ct0a, ct0b): both must be signature
+    // words, and from the SAME signature block.
+    const CategoryId a = dataset.categorical(r, 0);
+    const CategoryId b = dataset.categorical(r, 1);
+    EXPECT_LT(a, max_word);
+    EXPECT_LT(b, max_word);
+    EXPECT_EQ(a / params.target.words, b / params.target.words);
+  }
+  EXPECT_GT(targets, 50u);
+}
+
+TEST(CategoricalModelTest, NonTargetUniformOnTargetPair) {
+  const CategoricalModelParams params = CoaParams("coa1");
+  Rng rng(13);
+  const Dataset dataset = GenerateCategoricalDataset(params, 20000, &rng);
+  const CategoryId target =
+      dataset.schema().class_attr().FindCategory("C");
+  // Non-target values on ct0a should span far more than the signature
+  // words.
+  std::vector<bool> seen(400, false);
+  size_t distinct = 0;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (dataset.label(r) == target) continue;
+    const CategoryId a = dataset.categorical(r, 0);
+    if (!seen[static_cast<size_t>(a)]) {
+      seen[static_cast<size_t>(a)] = true;
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 350u);
+}
+
+TEST(CategoricalModelTest, TargetFractionApproximatelyRespected) {
+  const CategoricalModelParams params = CoaParams("coa4");
+  Rng rng(14);
+  const Dataset dataset = GenerateCategoricalDataset(params, 60000, &rng);
+  const CategoryId target =
+      dataset.schema().class_attr().FindCategory("C");
+  const double fraction =
+      static_cast<double>(dataset.CountClass(target)) / 60000.0;
+  EXPECT_NEAR(fraction, 0.003, 0.001);
+}
+
+}  // namespace
+}  // namespace pnr

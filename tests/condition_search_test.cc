@@ -1,0 +1,208 @@
+#include "induction/condition_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "induction/metric.h"
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeMixedDataset;
+using testutil::MakeNumericDataset;
+
+// Scorer: plain accuracy * coverage (monotone, easy to reason about).
+double PosMinusNeg(const RuleStats& stats) {
+  return stats.positive - stats.negative();
+}
+
+TEST(ConditionSearchTest, FindsDiscriminativeCategoricalValue) {
+  // Category b is perfectly positive; others negative.
+  const Dataset dataset = MakeMixedDataset({
+      {0.0, 0, false}, {0.0, 0, false}, {0.0, 1, true},
+      {0.0, 1, true},  {0.0, 2, false},
+  });
+  const auto best = FindBestCondition(dataset, dataset.AllRows(), kPos,
+                                      PosMinusNeg);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->condition, Condition::CatEqual(1, 1));
+  EXPECT_DOUBLE_EQ(best->stats.positive, 2.0);
+  EXPECT_DOUBLE_EQ(best->stats.covered, 2.0);
+}
+
+TEST(ConditionSearchTest, FindsOneSidedNumericThreshold) {
+  // Positives all above 5.
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, false}, {{2.0}, false}, {{3.0}, false},
+          {{6.0}, true},  {{7.0}, true},  {{8.0}, true}});
+  ConditionSearchOptions options;
+  options.enable_range_conditions = false;
+  const auto best = FindBestCondition(dataset, dataset.AllRows(), kPos,
+                                      PosMinusNeg, options);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->condition.op, ConditionOp::kGreater);
+  EXPECT_GT(best->condition.lo, 3.0);
+  EXPECT_LT(best->condition.lo, 6.0);
+  EXPECT_DOUBLE_EQ(best->stats.positive, 3.0);
+  EXPECT_DOUBLE_EQ(best->stats.negative(), 0.0);
+}
+
+TEST(ConditionSearchTest, FindsInteriorRangeCondition) {
+  // Positives form an interior peak; one-sided cuts cannot isolate it, the
+  // paper's extra-scan range finder can. The finder anchors on the best
+  // one-sided condition, which is meaningful under the Z-number (the
+  // paper's metric), so score with it.
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({{static_cast<double>(i)}, i >= 8 && i <= 11});
+  }
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  const auto metric = MakeRuleMetric(RuleMetricKind::kZNumber);
+  ClassDistribution dist;
+  dist.positives = 4.0;
+  dist.negatives = 16.0;
+  const ConditionScorer scorer = [&](const RuleStats& stats) {
+    return metric->Evaluate(stats, dist);
+  };
+  const auto best =
+      FindBestCondition(dataset, dataset.AllRows(), kPos, scorer);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->condition.op, ConditionOp::kInRange);
+  EXPECT_GT(best->condition.lo, 7.0);
+  EXPECT_LT(best->condition.lo, 8.0);
+  EXPECT_GT(best->condition.hi, 11.0);
+  EXPECT_LT(best->condition.hi, 12.0);
+  EXPECT_DOUBLE_EQ(best->stats.positive, 4.0);
+  EXPECT_DOUBLE_EQ(best->stats.negative(), 0.0);
+}
+
+TEST(ConditionSearchTest, RangeDisabledFallsBackToOneSided) {
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({{static_cast<double>(i)}, i >= 8 && i <= 11});
+  }
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  ConditionSearchOptions options;
+  options.enable_range_conditions = false;
+  const auto best = FindBestCondition(dataset, dataset.AllRows(), kPos,
+                                      PosMinusNeg, options);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NE(best->condition.op, ConditionOp::kInRange);
+}
+
+TEST(ConditionSearchTest, MinSupportRejectsSmallCandidates) {
+  const Dataset dataset = MakeMixedDataset({
+      {0.0, 1, true},  {0.0, 0, false}, {0.0, 0, false},
+      {0.0, 0, false}, {0.0, 0, false},
+  });
+  ConditionSearchOptions options;
+  options.min_covered_weight = 2.0;  // the pure b-category covers only 1
+  const auto best = FindBestCondition(dataset, dataset.AllRows(), kPos,
+                                      PosMinusNeg, options);
+  ASSERT_TRUE(best.has_value());
+  // Only the 4-record a-category is admissible.
+  EXPECT_EQ(best->condition, Condition::CatEqual(1, 0));
+}
+
+TEST(ConditionSearchTest, NonRefiningCandidatesAreSkipped) {
+  // All rows share category a: "c = a" covers everything -> no refinement;
+  // x is constant -> no numeric boundary. Nothing admissible.
+  const Dataset dataset = MakeMixedDataset({
+      {1.0, 0, true}, {1.0, 0, false}, {1.0, 0, true},
+  });
+  const auto best =
+      FindBestCondition(dataset, dataset.AllRows(), kPos, PosMinusNeg);
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(ConditionSearchTest, EmptyRowsYieldNothing) {
+  const Dataset dataset = MakeMixedDataset({{1.0, 0, true}});
+  const auto best = FindBestCondition(dataset, {}, kPos, PosMinusNeg);
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(ConditionSearchTest, ScorerRejectionViaInfinity) {
+  const Dataset dataset = MakeMixedDataset({
+      {1.0, 0, true}, {2.0, 1, false}, {3.0, 1, false},
+  });
+  const auto best = FindBestCondition(
+      dataset, dataset.AllRows(), kPos,
+      [](const RuleStats&) { return -std::numeric_limits<double>::infinity(); });
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(ConditionSearchTest, RespectsRecordWeights) {
+  // Category b holds one positive with weight 10; category a holds two
+  // unit-weight positives. With weights, b wins on positive weight.
+  Dataset dataset = MakeMixedDataset({
+      {0.0, 1, true}, {0.0, 0, true}, {0.0, 0, true}, {0.0, 2, false},
+  });
+  dataset.set_weight(0, 10.0);
+  const auto best =
+      FindBestCondition(dataset, dataset.AllRows(), kPos, PosMinusNeg);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->condition, Condition::CatEqual(1, 1));
+  EXPECT_DOUBLE_EQ(best->stats.positive, 10.0);
+}
+
+// Property: the search's best Z-number candidate is never beaten by any
+// brute-force single condition on small random datasets.
+class SearchVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SearchVsBruteForce, OneSidedSearchIsExhaustive) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 60; ++i) {
+    rows.push_back({{rng.NextDouble(0, 10), rng.NextDouble(0, 10)},
+                    rng.NextBool(0.3)});
+  }
+  const Dataset dataset = MakeNumericDataset(2, rows);
+  const auto metric = MakeRuleMetric(RuleMetricKind::kZNumber);
+  ClassDistribution dist;
+  dist.positives = dataset.ClassWeight(dataset.AllRows(), kPos);
+  dist.negatives = dataset.TotalWeight(dataset.AllRows()) - dist.positives;
+  if (dist.positives == 0.0 || dist.negatives == 0.0) GTEST_SKIP();
+
+  ConditionScorer scorer = [&](const RuleStats& stats) {
+    return metric->Evaluate(stats, dist);
+  };
+  ConditionSearchOptions options;
+  options.enable_range_conditions = false;
+  const auto best = FindBestCondition(dataset, dataset.AllRows(), kPos,
+                                      scorer, options);
+  ASSERT_TRUE(best.has_value());
+
+  // Brute force: every one-sided cut at every midpoint of both attributes.
+  double brute_best = -1e300;
+  for (AttrIndex attr = 0; attr < 2; ++attr) {
+    std::vector<double> values = dataset.numeric_column(attr);
+    std::sort(values.begin(), values.end());
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      if (values[i + 1] <= values[i]) continue;
+      const double cut = 0.5 * (values[i] + values[i + 1]);
+      for (const Condition& cond :
+           {Condition::LessEqual(attr, cut), Condition::Greater(attr, cut)}) {
+        Rule rule({cond});
+        const RuleStats stats =
+            rule.Evaluate(dataset, dataset.AllRows(), kPos);
+        if (stats.covered <= 0.0 ||
+            stats.covered >= dist.total() - 1e-12) {
+          continue;
+        }
+        brute_best = std::max(brute_best, scorer(stats));
+      }
+    }
+  }
+  EXPECT_NEAR(best->value, brute_best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchVsBruteForce,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace pnr

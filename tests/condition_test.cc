@@ -1,0 +1,71 @@
+#include "rules/condition.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::MakeMixedDataset;
+
+TEST(ConditionTest, CatEqualMatches) {
+  const Dataset dataset = MakeMixedDataset({{1.0, 0, false}, {1.0, 1, true}});
+  const Condition cond = Condition::CatEqual(1, 1);
+  EXPECT_FALSE(cond.Matches(dataset, 0));
+  EXPECT_TRUE(cond.Matches(dataset, 1));
+}
+
+TEST(ConditionTest, LessEqualBoundaryIsInclusive) {
+  const Dataset dataset =
+      MakeMixedDataset({{1.0, 0, false}, {2.0, 0, false}, {2.1, 0, false}});
+  const Condition cond = Condition::LessEqual(0, 2.0);
+  EXPECT_TRUE(cond.Matches(dataset, 0));
+  EXPECT_TRUE(cond.Matches(dataset, 1));
+  EXPECT_FALSE(cond.Matches(dataset, 2));
+}
+
+TEST(ConditionTest, GreaterBoundaryIsExclusive) {
+  const Dataset dataset =
+      MakeMixedDataset({{1.0, 0, false}, {2.0, 0, false}, {2.1, 0, false}});
+  const Condition cond = Condition::Greater(0, 2.0);
+  EXPECT_FALSE(cond.Matches(dataset, 0));
+  EXPECT_FALSE(cond.Matches(dataset, 1));
+  EXPECT_TRUE(cond.Matches(dataset, 2));
+}
+
+TEST(ConditionTest, InRangeIsInclusiveBothEnds) {
+  const Dataset dataset = MakeMixedDataset(
+      {{0.9, 0, false}, {1.0, 0, false}, {1.5, 0, false}, {2.0, 0, false},
+       {2.1, 0, false}});
+  const Condition cond = Condition::InRange(0, 1.0, 2.0);
+  EXPECT_FALSE(cond.Matches(dataset, 0));
+  EXPECT_TRUE(cond.Matches(dataset, 1));
+  EXPECT_TRUE(cond.Matches(dataset, 2));
+  EXPECT_TRUE(cond.Matches(dataset, 3));
+  EXPECT_FALSE(cond.Matches(dataset, 4));
+}
+
+TEST(ConditionTest, ToStringRendersReadably) {
+  const Dataset dataset = MakeMixedDataset({{1.0, 0, false}});
+  const Schema& schema = dataset.schema();
+  EXPECT_EQ(Condition::CatEqual(1, 2).ToString(schema), "c = c");
+  EXPECT_EQ(Condition::LessEqual(0, 2.5).ToString(schema), "x <= 2.5000");
+  EXPECT_EQ(Condition::Greater(0, 1.0).ToString(schema), "x > 1.0000");
+  EXPECT_EQ(Condition::InRange(0, 1.0, 2.0).ToString(schema),
+            "x in [1.0000, 2.0000]");
+}
+
+TEST(ConditionTest, EqualityIsStructural) {
+  EXPECT_EQ(Condition::CatEqual(1, 2), Condition::CatEqual(1, 2));
+  EXPECT_FALSE(Condition::CatEqual(1, 2) == Condition::CatEqual(1, 1));
+  EXPECT_FALSE(Condition::CatEqual(0, 2) == Condition::CatEqual(1, 2));
+  EXPECT_EQ(Condition::LessEqual(0, 2.0), Condition::LessEqual(0, 2.0));
+  EXPECT_FALSE(Condition::LessEqual(0, 2.0) == Condition::Greater(0, 2.0));
+  EXPECT_EQ(Condition::InRange(0, 1.0, 2.0), Condition::InRange(0, 1.0, 2.0));
+  EXPECT_FALSE(Condition::InRange(0, 1.0, 2.0) ==
+               Condition::InRange(0, 1.0, 3.0));
+}
+
+}  // namespace
+}  // namespace pnr

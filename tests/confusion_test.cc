@@ -1,0 +1,105 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace pnr {
+namespace {
+
+Confusion PaperR2lC45() {
+  // Table 6, C4.5rules on r2l: Rec 5.23, Prec 96.36, F .0993. Reconstruct
+  // counts consistent with those rates.
+  Confusion c;
+  c.true_positives = 846.0;    // 5.23% of 16175 actual positives
+  c.false_negatives = 16175.0 - 846.0;
+  c.false_positives = 32.0;    // precision 846 / 878 ~ 96.36%
+  c.true_negatives = 100000.0;
+  return c;
+}
+
+TEST(ConfusionTest, RecallPrecisionFMatchPaperDefinition) {
+  const Confusion c = PaperR2lC45();
+  EXPECT_NEAR(c.recall(), 0.0523, 0.0001);
+  EXPECT_NEAR(c.precision(), 0.9636, 0.001);
+  // F = 2RP/(R+P).
+  const double expected_f = 2.0 * c.recall() * c.precision() /
+                            (c.recall() + c.precision());
+  EXPECT_DOUBLE_EQ(c.f_measure(), expected_f);
+  EXPECT_NEAR(c.f_measure(), 0.0993, 0.001);
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f_measure(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+
+  Confusion all_negative;
+  all_negative.true_negatives = 100.0;
+  EXPECT_DOUBLE_EQ(all_negative.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(all_negative.accuracy(), 1.0);
+}
+
+TEST(ConfusionTest, FIsInZeroOneAndBoundedByMinMax) {
+  Confusion c;
+  c.true_positives = 30.0;
+  c.false_negatives = 70.0;
+  c.false_positives = 10.0;
+  c.true_negatives = 890.0;
+  const double f = c.f_measure();
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  EXPECT_LE(f, std::max(c.recall(), c.precision()));
+  EXPECT_GE(f, std::min(c.recall(), c.precision()));
+}
+
+TEST(ConfusionTest, FBetaWeighting) {
+  Confusion c;
+  c.true_positives = 50.0;
+  c.false_negatives = 50.0;  // recall 0.5
+  c.false_positives = 5.0;   // precision ~0.909
+  c.true_negatives = 895.0;
+  // beta=1 equals F.
+  EXPECT_DOUBLE_EQ(c.f_beta(1.0), c.f_measure());
+  // beta > 1 weights recall more: with recall < precision, F2 < F1... F2
+  // moves toward recall.
+  EXPECT_LT(c.f_beta(2.0), c.f_measure() + 1e-12);
+  // beta < 1 moves toward precision.
+  EXPECT_GT(c.f_beta(0.5), c.f_measure());
+}
+
+TEST(ConfusionTest, AddAccumulatesWeightedOutcomes) {
+  Confusion c;
+  c.Add(true, true, 2.0);    // TP weight 2
+  c.Add(true, false);        // FN
+  c.Add(false, true, 3.0);   // FP weight 3
+  c.Add(false, false);       // TN
+  EXPECT_DOUBLE_EQ(c.true_positives, 2.0);
+  EXPECT_DOUBLE_EQ(c.false_negatives, 1.0);
+  EXPECT_DOUBLE_EQ(c.false_positives, 3.0);
+  EXPECT_DOUBLE_EQ(c.true_negatives, 1.0);
+  EXPECT_DOUBLE_EQ(c.total(), 7.0);
+  EXPECT_DOUBLE_EQ(c.actual_positives(), 3.0);
+  EXPECT_DOUBLE_EQ(c.predicted_positives(), 5.0);
+}
+
+TEST(ConfusionTest, MergeSumsAllCells) {
+  Confusion a;
+  a.Add(true, true);
+  Confusion b;
+  b.Add(false, true);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.true_positives, 1.0);
+  EXPECT_DOUBLE_EQ(a.false_positives, 1.0);
+}
+
+TEST(ConfusionTest, ToStringContainsMetrics) {
+  Confusion c;
+  c.Add(true, true);
+  const std::string text = c.ToString();
+  EXPECT_NE(text.find("TP=1.0"), std::string::npos);
+  EXPECT_NE(text.find("F=1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnr

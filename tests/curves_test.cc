@@ -1,0 +1,98 @@
+#include "eval/curves.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pnrule/pnrule.h"
+#include "synth/sweep.h"
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeNumericDataset;
+
+// Score = x / 10 (a perfect ranker when positives have the largest x).
+class ScoreByX : public BinaryClassifier {
+ public:
+  double Score(const Dataset& dataset, RowId row) const override {
+    return dataset.numeric(row, 0) / 10.0;
+  }
+  std::string Describe(const Schema&) const override { return "x/10"; }
+};
+
+TEST(CurvesTest, PerfectRankerHasUnitAreas) {
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, false}, {{2.0}, false}, {{3.0}, false},
+          {{8.0}, true},  {{9.0}, true}});
+  ScoreByX classifier;
+  const auto points = OperatingPoints(classifier, dataset, kPos);
+  EXPECT_NEAR(RocAuc(points), 1.0, 1e-9);
+  EXPECT_NEAR(PrAuc(points), 1.0, 1e-9);
+}
+
+TEST(CurvesTest, InvertedRankerHasZeroRocAuc) {
+  // Positives get the LOWEST scores.
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, true}, {{2.0}, true}, {{8.0}, false}, {{9.0}, false}});
+  ScoreByX classifier;
+  const auto points = OperatingPoints(classifier, dataset, kPos);
+  EXPECT_NEAR(RocAuc(points), 0.0, 1e-9);
+}
+
+TEST(CurvesTest, RandomScoresGiveHalfRocAuc) {
+  Rng rng(123);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back({{rng.NextDouble(0, 10)}, rng.NextBool(0.2)});
+  }
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  ScoreByX classifier;  // score independent of label
+  const auto points = OperatingPoints(classifier, dataset, kPos);
+  EXPECT_NEAR(RocAuc(points), 0.5, 0.03);
+  // PR-AUC of a random ranker approaches the prior.
+  EXPECT_NEAR(PrAuc(points), 0.2, 0.03);
+}
+
+TEST(CurvesTest, OperatingPointsAreMonotone) {
+  Rng rng(321);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    rows.push_back({{x}, rng.NextBool(x / 12.0)});
+  }
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  ScoreByX classifier;
+  const auto points = OperatingPoints(classifier, dataset, kPos);
+  ASSERT_GE(points.size(), 2u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].recall, points[i - 1].recall + 1e-12);
+    EXPECT_LE(points[i].false_positive_rate,
+              points[i - 1].false_positive_rate + 1e-12);
+    EXPECT_GT(points[i].threshold, points[i - 1].threshold);
+  }
+}
+
+TEST(CurvesTest, PnruleRanksRareClassWell) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(3), 20000, 8000, 77);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  auto model = PnruleLearner().Train(data.train, target);
+  ASSERT_TRUE(model.ok());
+  const RankingSummary summary =
+      SummarizeRanking(*model, data.test, target);
+  EXPECT_GT(summary.roc_auc, 0.8);
+  EXPECT_GT(summary.pr_auc, 0.5);
+  // For a 0.3% class, PR-AUC is far below ROC-AUC — the reason the paper
+  // argues accuracy-like metrics mislead on rare classes.
+  EXPECT_LT(summary.pr_auc, summary.roc_auc);
+}
+
+TEST(CurvesTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(RocAuc({}), 0.0);
+  EXPECT_DOUBLE_EQ(PrAuc({}), 0.0);
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,114 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace pnr {
+namespace {
+
+Schema TwoColumnSchema() {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  schema.AddAttribute(Attribute::Categorical("color", {"red", "green"}));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  return schema;
+}
+
+TEST(AttributeTest, CategoricalDictionary) {
+  Attribute attr = Attribute::Categorical("service");
+  EXPECT_EQ(attr.num_categories(), 0u);
+  const CategoryId http = attr.GetOrAddCategory("http");
+  const CategoryId ftp = attr.GetOrAddCategory("ftp");
+  EXPECT_EQ(attr.GetOrAddCategory("http"), http);  // idempotent
+  EXPECT_EQ(attr.num_categories(), 2u);
+  EXPECT_EQ(attr.CategoryName(ftp), "ftp");
+  EXPECT_EQ(attr.FindCategory("http"), http);
+  EXPECT_EQ(attr.FindCategory("smtp"), kInvalidCategory);
+}
+
+TEST(SchemaTest, FindAttribute) {
+  Schema schema = TwoColumnSchema();
+  EXPECT_EQ(schema.num_attributes(), 2u);
+  auto x = schema.FindAttribute("x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, 0);
+  EXPECT_FALSE(schema.FindAttribute("missing").ok());
+  EXPECT_EQ(schema.num_classes(), 2u);
+}
+
+TEST(DatasetTest, AddRowDefaultsAndCellAccess) {
+  Dataset dataset(TwoColumnSchema());
+  EXPECT_EQ(dataset.num_rows(), 0u);
+  const RowId r0 = dataset.AddRow();
+  const RowId r1 = dataset.AddRow();
+  EXPECT_EQ(dataset.num_rows(), 2u);
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(r1, 1u);
+  EXPECT_DOUBLE_EQ(dataset.numeric(r0, 0), 0.0);
+  EXPECT_EQ(dataset.categorical(r0, 1), 0);  // dictionary non-empty
+  EXPECT_DOUBLE_EQ(dataset.weight(r0), 1.0);
+
+  dataset.set_numeric(r0, 0, 3.5);
+  dataset.set_categorical(r0, 1, 1);
+  dataset.set_label(r0, 1);
+  dataset.set_weight(r0, 2.0);
+  EXPECT_DOUBLE_EQ(dataset.numeric(r0, 0), 3.5);
+  EXPECT_EQ(dataset.categorical(r0, 1), 1);
+  EXPECT_EQ(dataset.label(r0), 1);
+  EXPECT_DOUBLE_EQ(dataset.weight(r0), 2.0);
+}
+
+TEST(DatasetTest, ColumnAccess) {
+  Dataset dataset(TwoColumnSchema());
+  for (int i = 0; i < 5; ++i) {
+    const RowId r = dataset.AddRow();
+    dataset.set_numeric(r, 0, static_cast<double>(i));
+  }
+  const auto& column = dataset.numeric_column(0);
+  ASSERT_EQ(column.size(), 5u);
+  EXPECT_DOUBLE_EQ(column[3], 3.0);
+  EXPECT_EQ(dataset.categorical_column(1).size(), 5u);
+}
+
+TEST(DatasetTest, WeightsBulkOperations) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.AddRow();
+  dataset.AddRow();
+  dataset.SetAllWeights({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(dataset.weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(dataset.weight(1), 3.0);
+  dataset.ResetWeights();
+  EXPECT_DOUBLE_EQ(dataset.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(dataset.weight(1), 1.0);
+}
+
+TEST(DatasetTest, Aggregates) {
+  Dataset dataset(TwoColumnSchema());
+  for (int i = 0; i < 6; ++i) {
+    const RowId r = dataset.AddRow();
+    dataset.set_label(r, i % 3 == 0 ? 1 : 0);  // rows 0, 3 positive
+  }
+  dataset.set_weight(0, 4.0);
+  const RowSubset all = dataset.AllRows();
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_DOUBLE_EQ(dataset.ClassWeight(all, 1), 5.0);  // 4 + 1
+  EXPECT_DOUBLE_EQ(dataset.TotalWeight(all), 9.0);
+  EXPECT_EQ(dataset.CountClass(1), 2u);
+  EXPECT_EQ(dataset.CountClass(0), 4u);
+
+  const RowSubset positives = dataset.FilterByClass(all, 1, true);
+  EXPECT_EQ(positives, (RowSubset{0, 3}));
+  const RowSubset negatives = dataset.FilterByClass(all, 1, false);
+  EXPECT_EQ(negatives.size(), 4u);
+}
+
+TEST(DatasetTest, ReserveDoesNotChangeSize) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Reserve(100);
+  EXPECT_EQ(dataset.num_rows(), 0u);
+  dataset.AddRow();
+  EXPECT_EQ(dataset.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace pnr

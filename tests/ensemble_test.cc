@@ -1,0 +1,114 @@
+#include "pnrule/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "synth/sweep.h"
+
+namespace pnr {
+namespace {
+
+TEST(EnsembleConfigTest, Validation) {
+  EXPECT_TRUE(PnruleEnsembleConfig().Validate().ok());
+  PnruleEnsembleConfig config;
+  config.num_members = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PnruleEnsembleConfig();
+  config.sample_fraction = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PnruleEnsembleConfig();
+  config.base.min_coverage_fraction = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(EnsembleTest, TrainsAndAveragesScores) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(3), 15000, 6000, 61);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  PnruleEnsembleConfig config;
+  config.num_members = 5;
+  PnruleEnsembleLearner learner(config);
+  auto ensemble = learner.Train(data.train, target);
+  ASSERT_TRUE(ensemble.ok()) << ensemble.status().ToString();
+  EXPECT_EQ(ensemble->num_members(), 5u);
+  // The averaged score must equal the mean of member scores.
+  for (RowId row = 0; row < 200; ++row) {
+    double mean = 0.0;
+    for (size_t m = 0; m < ensemble->num_members(); ++m) {
+      mean += ensemble->member(m).Score(data.test, row);
+    }
+    mean /= static_cast<double>(ensemble->num_members());
+    EXPECT_NEAR(ensemble->Score(data.test, row), mean, 1e-12);
+  }
+}
+
+TEST(EnsembleTest, AveragingBeatsTheMeanMember) {
+  // The variance-reduction claim: the committee's F should not be worse
+  // than the average of its (bootstrap-weakened) members' F. Note that on
+  // clean data a single model trained on the full set can still beat the
+  // ensemble — bagging pays off on noisy/unstable problems, not pure ones.
+  const TrainTestPair data = MakeNumericPair(NsynParams(3), 30000, 15000, 62);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+
+  PnruleEnsembleConfig config;
+  config.num_members = 7;
+  PnruleEnsembleLearner learner(config);
+  auto ensemble = learner.Train(data.train, target);
+  ASSERT_TRUE(ensemble.ok());
+  const double f_ensemble =
+      EvaluateClassifier(*ensemble, data.test, target).f_measure();
+
+  double mean_member_f = 0.0;
+  for (size_t m = 0; m < ensemble->num_members(); ++m) {
+    mean_member_f += EvaluateClassifier(ensemble->member(m), data.test,
+                                        target)
+                         .f_measure();
+  }
+  mean_member_f /= static_cast<double>(ensemble->num_members());
+  EXPECT_GT(f_ensemble, mean_member_f - 0.05)
+      << "mean member=" << mean_member_f << " ensemble=" << f_ensemble;
+}
+
+TEST(EnsembleTest, DeterministicGivenSeed) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 8000, 4000, 63);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  PnruleEnsembleConfig config;
+  config.num_members = 3;
+  config.seed = 17;
+  auto a = PnruleEnsembleLearner(config).Train(data.train, target);
+  auto b = PnruleEnsembleLearner(config).Train(data.train, target);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (RowId row = 0; row < 500; ++row) {
+    EXPECT_DOUBLE_EQ(a->Score(data.test, row), b->Score(data.test, row));
+  }
+}
+
+TEST(EnsembleTest, RejectsSingleClassData) {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  Dataset dataset(std::move(schema));
+  for (int i = 0; i < 10; ++i) dataset.AddRow();  // all label 0
+  PnruleEnsembleLearner learner;
+  EXPECT_FALSE(learner.Train(dataset, 1).ok());
+}
+
+TEST(EnsembleTest, DescribeMentionsMembers) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 6000, 2000, 64);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  PnruleEnsembleConfig config;
+  config.num_members = 2;
+  auto ensemble = PnruleEnsembleLearner(config).Train(data.train, target);
+  ASSERT_TRUE(ensemble.ok());
+  const std::string text = ensemble->Describe(data.train.schema());
+  EXPECT_NE(text.find("2 members"), std::string::npos);
+  EXPECT_NE(text.find("member 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnr

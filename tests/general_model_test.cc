@@ -1,0 +1,101 @@
+#include "synth/general_model.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/sweep.h"
+
+namespace pnr {
+namespace {
+
+TEST(GeneralModelTest, ParamsValidation) {
+  EXPECT_TRUE(GeneralModelParams().Validate().ok());
+  GeneralModelParams params;
+  params.tr = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = GeneralModelParams();
+  params.nr = 100.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = GeneralModelParams();
+  params.vocab = 4;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(GeneralModelTest, SchemaIsFourNumericFourCategorical) {
+  GeneralModelParams params;
+  Rng rng(15);
+  const Dataset dataset = GenerateGeneralDataset(params, 1000, &rng);
+  ASSERT_EQ(dataset.schema().num_attributes(), 8u);
+  for (AttrIndex a = 0; a < 4; ++a) {
+    EXPECT_TRUE(dataset.schema().attribute(a).is_numeric());
+  }
+  for (AttrIndex a = 4; a < 8; ++a) {
+    EXPECT_TRUE(dataset.schema().attribute(a).is_categorical());
+    EXPECT_EQ(dataset.schema().attribute(a).num_categories(), 50u);
+  }
+}
+
+TEST(GeneralModelTest, TargetFractionApproximatelyRespected) {
+  GeneralModelParams params;
+  Rng rng(16);
+  const Dataset dataset = GenerateGeneralDataset(params, 60000, &rng);
+  const CategoryId target =
+      dataset.schema().class_attr().FindCategory("C");
+  const double fraction =
+      static_cast<double>(dataset.CountClass(target)) / 60000.0;
+  EXPECT_NEAR(fraction, 0.003, 0.001);
+}
+
+TEST(GeneralModelTest, ValuesStayInDomains) {
+  GeneralModelParams params;
+  params.tr = 4.0;
+  params.nr = 4.0;
+  Rng rng(17);
+  const Dataset dataset = GenerateGeneralDataset(params, 5000, &rng);
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    for (AttrIndex a = 0; a < 4; ++a) {
+      const double v = dataset.numeric(r, a);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, kNumericDomain);
+    }
+    for (AttrIndex a = 4; a < 8; ++a) {
+      const CategoryId c = dataset.categorical(r, a);
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 50);
+    }
+  }
+}
+
+TEST(GeneralModelTest, SubsamplePairRaisesTargetShare) {
+  GeneralModelParams params;
+  const TrainTestPair base = MakeGeneralPair(params, 30000, 10000, 18);
+  const CategoryId target =
+      base.train.schema().class_attr().FindCategory("C");
+  const TrainTestPair sampled = SubsamplePair(base, target, 0.01, 19);
+  EXPECT_EQ(sampled.train.CountClass(target),
+            base.train.CountClass(target));
+  EXPECT_EQ(sampled.test.CountClass(target), base.test.CountClass(target));
+  const double base_share =
+      static_cast<double>(base.train.CountClass(target)) /
+      static_cast<double>(base.train.num_rows());
+  const double sampled_share =
+      static_cast<double>(sampled.train.CountClass(target)) /
+      static_cast<double>(sampled.train.num_rows());
+  EXPECT_GT(sampled_share, 20.0 * base_share);
+}
+
+TEST(GeneralModelTest, TrainTestPairsAreIndependentButModelIdentical) {
+  GeneralModelParams params;
+  const TrainTestPair pair = MakeGeneralPair(params, 2000, 2000, 20);
+  // Same size, same schema, different records.
+  ASSERT_EQ(pair.train.num_rows(), pair.test.num_rows());
+  bool any_difference = false;
+  for (RowId r = 0; r < pair.train.num_rows() && !any_difference; ++r) {
+    if (pair.train.numeric(r, 0) != pair.test.numeric(r, 0)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "harness/variants.h"
+#include "synth/sweep.h"
+
+namespace pnr {
+namespace {
+
+TEST(ExperimentScaleTest, DefaultIsFifthOfPaperScale) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const ExperimentScale scale = ScaleFromArgs(1, argv);
+  EXPECT_EQ(scale.train_records, 100000u);
+  EXPECT_EQ(scale.test_records, 50000u);
+  EXPECT_DOUBLE_EQ(scale.factor, 0.2);
+}
+
+TEST(ExperimentScaleTest, PaperScaleFlag) {
+  char prog[] = "bench";
+  char flag[] = "--paper-scale";
+  char* argv[] = {prog, flag};
+  const ExperimentScale scale = ScaleFromArgs(2, argv);
+  EXPECT_EQ(scale.train_records, 500000u);
+  EXPECT_EQ(scale.test_records, 250000u);
+}
+
+TEST(ExperimentScaleTest, ExplicitScaleAndSeed) {
+  char prog[] = "bench";
+  char flag1[] = "--scale=0.1";
+  char flag2[] = "--seed=99";
+  char* argv[] = {prog, flag1, flag2};
+  const ExperimentScale scale = ScaleFromArgs(3, argv);
+  EXPECT_EQ(scale.train_records, 50000u);
+  EXPECT_EQ(scale.seed, 99u);
+}
+
+TEST(ExperimentScaleTest, UnknownArgsIgnored) {
+  char prog[] = "bench";
+  char flag1[] = "--hard";
+  char flag2[] = "--quick";
+  char* argv[] = {prog, flag1, flag2};
+  const ExperimentScale scale = ScaleFromArgs(3, argv);
+  EXPECT_EQ(scale.train_records, 25000u);
+  EXPECT_NE(DescribeScale(scale).find("train=25000"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name  22"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableCellsTest, PaperStyleFormatting) {
+  EXPECT_EQ(PercentCell(0.9707), "97.07");
+  EXPECT_EQ(FMeasureCell(0.9792), ".9792");
+  EXPECT_EQ(FMeasureCell(1.0), "1.0000");
+}
+
+class VariantSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VariantSweep, TrainsAndEvaluatesOnSmallData) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 8000, 4000, 88);
+  auto result = RunVariant(GetParam(), data, "C", 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->variant, GetParam());
+  EXPECT_GE(result->metrics.f_measure, 0.0);
+  EXPECT_LE(result->metrics.f_measure, 1.0);
+  EXPECT_GE(result->train_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantSweep,
+                         ::testing::Values("C", "Cte", "R", "Re", "P", "P1",
+                                           "Pold"));
+
+TEST(RunVariantTest, UnknownVariantRejected) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 3000, 1000, 89);
+  auto result = RunVariant("bogus", data, "C", 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RunVariantTest, UnknownClassRejected) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 3000, 1000, 90);
+  auto result = RunVariant("P", data, "no-such-class", 1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RunVariantTest, PnruleBestOfFourReportsChosenParams) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 8000, 4000, 91);
+  auto result = RunVariant("P", data, "C", 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->detail.find("rp="), std::string::npos);
+  EXPECT_NE(result->detail.find("rn="), std::string::npos);
+}
+
+TEST(RunPnruleConfiguredTest, UsesProvidedConfig) {
+  const TrainTestPair data = MakeNumericPair(NsynParams(1), 8000, 4000, 92);
+  PnruleConfig config;
+  config.max_p_rule_length = 1;
+  auto result = RunPnruleConfigured(config, data, "C");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->detail.find("maxPlen=1"), std::string::npos);
+}
+
+TEST(StandardVariantsTest, MatchesPaperTableOrder) {
+  EXPECT_EQ(StandardVariants(),
+            (std::vector<std::string>{"C", "Cte", "R", "Re", "P"}));
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,165 @@
+// Cross-module integration tests verifying the paper's headline claims at
+// test-suite scale (small datasets, loose thresholds — the bench binaries
+// verify the full-scale shape).
+
+#include <gtest/gtest.h>
+
+#include "c45/rules.h"
+#include "c45/tree_classifier.h"
+#include "eval/metrics.h"
+#include "harness/variants.h"
+#include "pnrule/pnrule.h"
+#include "ripper/ripper.h"
+#include "synth/kdd_sim.h"
+#include "synth/sweep.h"
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+CategoryId TargetOf(const TrainTestPair& data,
+                    const std::string& name = "C") {
+  return data.train.schema().class_attr().FindCategory(name);
+}
+
+double TrainAndScore(const BinaryClassifier& model, const TrainTestPair& data,
+                     CategoryId target) {
+  return EvaluateClassifier(model, data.test, target).f_measure();
+}
+
+TEST(IntegrationTest, PnruleBeatsBaselinesOnHardNumericData) {
+  // nsyn5-style: many non-target subclasses; the regime where the paper's
+  // baselines splinter.
+  const TrainTestPair data =
+      MakeNumericPair(NsynParams(5), 60000, 30000, 1234);
+  const CategoryId target = TargetOf(data);
+
+  PnruleConfig pn_config;
+  pn_config.min_coverage_fraction = 0.99;
+  pn_config.n_recall_lower_limit = 0.95;
+  auto pnrule = PnruleLearner(pn_config).Train(data.train, target);
+  ASSERT_TRUE(pnrule.ok());
+  const double f_pnrule = TrainAndScore(*pnrule, data, target);
+
+  auto ripper = RipperLearner().Train(data.train, target);
+  ASSERT_TRUE(ripper.ok());
+  const double f_ripper = TrainAndScore(*ripper, data, target);
+
+  auto c45 = C45RulesLearner().Train(data.train, target);
+  ASSERT_TRUE(c45.ok());
+  const double f_c45 = TrainAndScore(*c45, data, target);
+
+  EXPECT_GT(f_pnrule, 0.7);
+  EXPECT_GE(f_pnrule, f_ripper - 0.02)
+      << "PNrule=" << f_pnrule << " RIPPER=" << f_ripper;
+  EXPECT_GE(f_pnrule, f_c45 - 0.02)
+      << "PNrule=" << f_pnrule << " C4.5rules=" << f_c45;
+}
+
+TEST(IntegrationTest, PnruleWinsOnCategoricalConjunctions) {
+  const TrainTestPair data = MakeCategoricalPair(
+      CoaParams("coad1"), 60000, 30000, 1235);
+  const CategoryId target = TargetOf(data);
+  auto pnrule = PnruleLearner().Train(data.train, target);
+  ASSERT_TRUE(pnrule.ok());
+  const double f_pnrule = TrainAndScore(*pnrule, data, target);
+  EXPECT_GT(f_pnrule, 0.5);
+}
+
+TEST(IntegrationTest, RarityNarrowsTheGap) {
+  // Table 5's dynamic: as the target class becomes prevalent, baseline F
+  // improves substantially relative to its rare-class value.
+  GeneralModelParams params;
+  const TrainTestPair base = MakeGeneralPair(params, 60000, 30000, 1236);
+  const CategoryId target = TargetOf(base);
+  const TrainTestPair prevalent = SubsamplePair(base, target, 0.01, 7);
+
+  auto rare_r = RipperLearner().Train(base.train, target);
+  ASSERT_TRUE(rare_r.ok());
+  const double f_rare =
+      EvaluateClassifier(*rare_r, base.test, target).f_measure();
+
+  auto prev_r = RipperLearner().Train(prevalent.train, target);
+  ASSERT_TRUE(prev_r.ok());
+  const double f_prev =
+      EvaluateClassifier(*prev_r, prevalent.test, target).f_measure();
+  EXPECT_GT(f_prev, f_rare);
+}
+
+TEST(IntegrationTest, NPhaseLiftsPrecisionOnImpureSignatures) {
+  // nsyn3: target peaks inevitably capture uniform negatives; the N-phase
+  // must remove them. Compare PNrule with and without the N-phase.
+  const TrainTestPair data =
+      MakeNumericPair(NsynParams(3), 60000, 30000, 1237);
+  const CategoryId target = TargetOf(data);
+
+  PnruleConfig full_config;
+  auto full = PnruleLearner(full_config).Train(data.train, target);
+  ASSERT_TRUE(full.ok());
+
+  PnruleConfig p_only_config;
+  p_only_config.max_n_rules = 0;
+  auto p_only = PnruleLearner(p_only_config).Train(data.train, target);
+  ASSERT_TRUE(p_only.ok());
+
+  const Confusion full_eval = EvaluateClassifier(*full, data.test, target);
+  const Confusion p_only_eval =
+      EvaluateClassifier(*p_only, data.test, target);
+  EXPECT_GT(full_eval.precision(), p_only_eval.precision() + 0.05)
+      << "full: " << full_eval.ToString()
+      << " p-only: " << p_only_eval.ToString();
+}
+
+TEST(IntegrationTest, KddRareClassesEndToEnd) {
+  KddSimParams params;
+  params.train_records = 60000;
+  params.test_records = 30000;
+  params.seed = 4242;
+  auto data_or = GenerateKddSim(params);
+  ASSERT_TRUE(data_or.ok());
+  KddSimData kdd = std::move(data_or).value();
+  const TrainTestPair data{std::move(kdd.train), std::move(kdd.test)};
+
+  for (const std::string target_name : {"probe", "r2l"}) {
+    auto result = RunVariant("P", data, target_name, 1);
+    ASSERT_TRUE(result.ok()) << target_name;
+    EXPECT_GT(result->metrics.f_measure, 0.1) << target_name;
+  }
+  // r2l recall is capped by the novel test-only subclasses.
+  auto r2l = RunVariant("P", data, "r2l", 1);
+  ASSERT_TRUE(r2l.ok());
+  EXPECT_LT(r2l->metrics.recall, 0.7);
+}
+
+TEST(IntegrationTest, StratificationFlipsMinorityRegions) {
+  // Deterministic version of the "-we" effect: in the region x > 5 the
+  // target is a 30/70 minority, so an unweighted tree predicts negative
+  // there (recall 0); after stratification the up-weighted positives own
+  // the region (recall 1, precision 3/7).
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({{static_cast<double>(i) / 25.0}, false});  // x < 4
+  }
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({{6.0 + static_cast<double>(i) / 30.0}, true});
+  }
+  for (int i = 0; i < 70; ++i) {
+    rows.push_back({{6.0 + static_cast<double>(i) / 70.0}, false});
+  }
+  Dataset train = testutil::MakeNumericDataset(1, rows);
+  const TrainTestPair data{train, train};
+
+  auto plain = RunVariant("Cte", data, "pos", 2);  // stratified tree
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(plain->metrics.recall, 1.0);
+  EXPECT_NEAR(plain->metrics.precision, 0.3, 0.05);
+
+  C45TreeLearner unweighted;
+  auto tree = unweighted.Train(train, testutil::kPos);
+  ASSERT_TRUE(tree.ok());
+  const Confusion c = EvaluateClassifier(*tree, train, testutil::kPos);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace pnr

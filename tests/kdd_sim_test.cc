@@ -1,0 +1,196 @@
+#include "synth/kdd_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace pnr {
+namespace {
+
+KddSimData Generate(size_t train = 60000, size_t test = 40000,
+                    uint64_t seed = 77) {
+  KddSimParams params;
+  params.train_records = train;
+  params.test_records = test;
+  params.seed = seed;
+  auto data = GenerateKddSim(params);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+TEST(KddSimTest, ParamsValidation) {
+  KddSimParams params;
+  params.train_records = 10;
+  EXPECT_FALSE(params.Validate().ok());
+  EXPECT_TRUE(KddSimParams().Validate().ok());
+}
+
+TEST(KddSimTest, SchemaHasKddAttributes) {
+  const KddSimData data = Generate(2000, 2000);
+  const Schema& schema = data.train.schema();
+  EXPECT_EQ(schema.num_attributes(), 12u);
+  EXPECT_TRUE(schema.FindAttribute("protocol_type").ok());
+  EXPECT_TRUE(schema.FindAttribute("service").ok());
+  EXPECT_TRUE(schema.FindAttribute("src_bytes").ok());
+  EXPECT_EQ(schema.num_classes(), 5u);
+  EXPECT_NE(schema.class_attr().FindCategory("probe"), kInvalidCategory);
+  EXPECT_NE(schema.class_attr().FindCategory("r2l"), kInvalidCategory);
+}
+
+TEST(KddSimTest, TrainClassProportionsMatchContestSample) {
+  const KddSimData data = Generate(120000, 4000);
+  const Schema& schema = data.train.schema();
+  const double n = static_cast<double>(data.train.num_rows());
+  const double probe =
+      static_cast<double>(
+          data.train.CountClass(schema.class_attr().FindCategory("probe"))) /
+      n;
+  const double r2l =
+      static_cast<double>(
+          data.train.CountClass(schema.class_attr().FindCategory("r2l"))) /
+      n;
+  const double dos =
+      static_cast<double>(
+          data.train.CountClass(schema.class_attr().FindCategory("dos"))) /
+      n;
+  EXPECT_NEAR(probe, 0.0083, 0.003);
+  EXPECT_NEAR(r2l, 0.0023, 0.0015);
+  EXPECT_NEAR(dos, 0.79, 0.02);
+}
+
+TEST(KddSimTest, TestDistributionIsShifted) {
+  const KddSimData data = Generate(4000, 120000);
+  const Schema& schema = data.test.schema();
+  const double n = static_cast<double>(data.test.num_rows());
+  const double r2l =
+      static_cast<double>(
+          data.test.CountClass(schema.class_attr().FindCategory("r2l"))) /
+      n;
+  const double probe =
+      static_cast<double>(
+          data.test.CountClass(schema.class_attr().FindCategory("probe"))) /
+      n;
+  // The paper's test set: r2l ~5.2%, probe ~1.34%.
+  EXPECT_NEAR(r2l, 0.052, 0.01);
+  EXPECT_NEAR(probe, 0.0134, 0.005);
+}
+
+TEST(KddSimTest, NovelR2lSubclassesOnlyInTest) {
+  // snmp-style r2l attacks ride udp; no training r2l record does.
+  const KddSimData data = Generate(60000, 60000);
+  const Schema& schema = data.train.schema();
+  const CategoryId r2l = schema.class_attr().FindCategory("r2l");
+  const AttrIndex proto = schema.FindAttribute("protocol_type").value();
+  const CategoryId udp =
+      schema.attribute(proto).FindCategory("udp");
+  size_t train_udp_r2l = 0;
+  for (RowId r = 0; r < data.train.num_rows(); ++r) {
+    if (data.train.label(r) == r2l &&
+        data.train.categorical(r, proto) == udp) {
+      ++train_udp_r2l;
+    }
+  }
+  EXPECT_EQ(train_udp_r2l, 0u);
+  size_t test_udp_r2l = 0;
+  size_t test_r2l = 0;
+  for (RowId r = 0; r < data.test.num_rows(); ++r) {
+    if (data.test.label(r) != r2l) continue;
+    ++test_r2l;
+    if (data.test.categorical(r, proto) == udp) ++test_udp_r2l;
+  }
+  ASSERT_GT(test_r2l, 0u);
+  // The novel udp subclasses dominate the test r2l mix (paper: the test
+  // set contains new subclasses that cap achievable recall).
+  EXPECT_GT(static_cast<double>(test_udp_r2l) /
+                static_cast<double>(test_r2l),
+            0.4);
+}
+
+TEST(KddSimTest, FtpImpurityIsPresent) {
+  // The paper's motivating example: service=ftp spans r2l, dos (flood) and
+  // normal traffic, so a pure presence rule on ftp cannot be precise.
+  const KddSimData data = Generate(120000, 4000);
+  const Schema& schema = data.train.schema();
+  const AttrIndex service = schema.FindAttribute("service").value();
+  const CategoryId ftp = schema.attribute(service).FindCategory("ftp");
+  const CategoryId r2l = schema.class_attr().FindCategory("r2l");
+  const CategoryId dos = schema.class_attr().FindCategory("dos");
+  const CategoryId normal = schema.class_attr().FindCategory("normal");
+  size_t ftp_r2l = 0;
+  size_t ftp_dos = 0;
+  size_t ftp_normal = 0;
+  for (RowId r = 0; r < data.train.num_rows(); ++r) {
+    if (data.train.categorical(r, service) != ftp) continue;
+    const CategoryId label = data.train.label(r);
+    if (label == r2l) ++ftp_r2l;
+    if (label == dos) ++ftp_dos;
+    if (label == normal) ++ftp_normal;
+  }
+  EXPECT_GT(ftp_r2l, 0u);
+  EXPECT_GT(ftp_dos, 0u);
+  EXPECT_GT(ftp_normal, 0u);
+}
+
+TEST(KddSimTest, DeterministicGivenSeed) {
+  const KddSimData a = Generate(3000, 3000, 123);
+  const KddSimData b = Generate(3000, 3000, 123);
+  for (RowId r = 0; r < a.train.num_rows(); ++r) {
+    EXPECT_EQ(a.train.label(r), b.train.label(r));
+    EXPECT_DOUBLE_EQ(a.train.numeric(r, 0), b.train.numeric(r, 0));
+  }
+}
+
+TEST(KddSimTest, NumericFeaturesNonNegative) {
+  const KddSimData data = Generate(5000, 2000);
+  const Schema& schema = data.train.schema();
+  for (RowId r = 0; r < data.train.num_rows(); ++r) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttrIndex attr = static_cast<AttrIndex>(a);
+      if (!schema.attribute(attr).is_numeric()) continue;
+      EXPECT_GE(data.train.numeric(r, attr), 0.0);
+    }
+  }
+}
+
+
+TEST(KddSimTest, ProbeMixContainsTestOnlyStructure) {
+  // The test split's probe mix includes novel sweep variants; verify that
+  // the class proportions of probe differ between splits (the paper's
+  // "different distribution" property) beyond sampling noise.
+  const KddSimData data = Generate(80000, 80000);
+  const Schema& schema = data.train.schema();
+  const CategoryId probe = schema.class_attr().FindCategory("probe");
+  const double train_share =
+      static_cast<double>(data.train.CountClass(probe)) /
+      static_cast<double>(data.train.num_rows());
+  const double test_share =
+      static_cast<double>(data.test.CountClass(probe)) /
+      static_cast<double>(data.test.num_rows());
+  EXPECT_GT(test_share, 1.3 * train_share);
+}
+
+TEST(KddSimTest, SerrorRateIsZeroInflated) {
+  // Regression for the "== 0 razor signature" generator flaw: both exact
+  // zeros and positive error rates must be common among normal traffic.
+  const KddSimData data = Generate(40000, 2000);
+  const Schema& schema = data.train.schema();
+  const AttrIndex serror = schema.FindAttribute("serror_rate").value();
+  const CategoryId normal = schema.class_attr().FindCategory("normal");
+  size_t zeros = 0;
+  size_t positives = 0;
+  size_t normals = 0;
+  for (RowId r = 0; r < data.train.num_rows(); ++r) {
+    if (data.train.label(r) != normal) continue;
+    ++normals;
+    if (data.train.numeric(r, serror) == 0.0) {
+      ++zeros;
+    } else {
+      ++positives;
+    }
+  }
+  ASSERT_GT(normals, 0u);
+  EXPECT_GT(static_cast<double>(zeros) / static_cast<double>(normals), 0.3);
+  EXPECT_GT(static_cast<double>(positives) / static_cast<double>(normals),
+            0.05);
+}
+
+}  // namespace
+}  // namespace pnr

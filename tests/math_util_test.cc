@@ -1,0 +1,122 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnr {
+namespace {
+
+TEST(MathUtilTest, XLog2XZeroConvention) {
+  EXPECT_DOUBLE_EQ(XLog2X(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(XLog2X(1.0), 0.0);
+  EXPECT_NEAR(XLog2X(0.5), -0.5, 1e-12);
+  EXPECT_NEAR(XLog2X(2.0), 2.0, 1e-12);
+}
+
+TEST(MathUtilTest, BinaryEntropyProperties) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+  EXPECT_NEAR(BinaryEntropy(0.5), 1.0, 1e-12);
+  // Symmetry.
+  for (double p : {0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(BinaryEntropy(p), BinaryEntropy(1.0 - p), 1e-12);
+  }
+  // Clamping outside [0, 1].
+  EXPECT_DOUBLE_EQ(BinaryEntropy(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.5), 0.0);
+}
+
+TEST(MathUtilTest, LogGammaMatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(MathUtilTest, IncompleteBetaBoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(IncompleteBeta(2.5, 4.0, x),
+                1.0 - IncompleteBeta(4.0, 2.5, 1.0 - x), 1e-9);
+  }
+  // I_x(1, 1) is the identity.
+  EXPECT_NEAR(IncompleteBeta(1.0, 1.0, 0.37), 0.37, 1e-9);
+}
+
+TEST(MathUtilTest, BinomialUpperLimitZeroErrorsClosedForm) {
+  // With no observed errors, U solves (1 - U)^n = cf.
+  for (double n : {1.0, 6.0, 20.0, 100.0}) {
+    const double u = BinomialUpperLimit(n, 0.0, 0.25);
+    EXPECT_NEAR(std::pow(1.0 - u, n), 0.25, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(MathUtilTest, BinomialUpperLimitExceedsObservedRate) {
+  for (double n : {10.0, 50.0, 500.0}) {
+    for (double e : {1.0, 3.0, 0.3 * n}) {
+      const double u = BinomialUpperLimit(n, e, 0.25);
+      EXPECT_GT(u, e / n) << "n=" << n << " e=" << e;
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(MathUtilTest, BinomialUpperLimitShrinksWithMoreEvidence) {
+  // Same observed rate, more trials => tighter (smaller) upper limit.
+  const double u_small = BinomialUpperLimit(10.0, 2.0, 0.25);
+  const double u_large = BinomialUpperLimit(1000.0, 200.0, 0.25);
+  EXPECT_GT(u_small, u_large);
+  EXPECT_NEAR(u_large, 0.2, 0.02);  // converges to the empirical rate
+}
+
+TEST(MathUtilTest, BinomialUpperLimitMonotoneInErrors) {
+  double prev = 0.0;
+  for (double e = 0.0; e <= 10.0; e += 1.0) {
+    const double u = BinomialUpperLimit(20.0, e, 0.25);
+    EXPECT_GE(u, prev);
+    prev = u;
+  }
+}
+
+TEST(MathUtilTest, BinomialUpperLimitAllErrors) {
+  EXPECT_DOUBLE_EQ(BinomialUpperLimit(5.0, 5.0, 0.25), 1.0);
+}
+
+TEST(MathUtilTest, Log2ChooseMatchesSmallCases) {
+  EXPECT_DOUBLE_EQ(Log2Choose(5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Choose(5.0, 5.0), 0.0);
+  EXPECT_NEAR(Log2Choose(5.0, 2.0), std::log2(10.0), 1e-9);
+  EXPECT_NEAR(Log2Choose(10.0, 3.0), std::log2(120.0), 1e-9);
+}
+
+TEST(MathUtilTest, SubsetDescriptionBitsBasics) {
+  // Perfectly predicted exceptions with matching prior.
+  EXPECT_NEAR(SubsetDescriptionBits(8.0, 4.0, 0.5), 8.0, 1e-9);
+  // k == 0 with p == 0 costs nothing.
+  EXPECT_DOUBLE_EQ(SubsetDescriptionBits(10.0, 0.0, 0.0), 0.0);
+  // Impossible encodings are effectively infinite.
+  EXPECT_GT(SubsetDescriptionBits(10.0, 1.0, 0.0), 1e20);
+}
+
+TEST(MathUtilTest, IntegerCodingBitsGrowsSlowly) {
+  const double b1 = IntegerCodingBits(1.0);
+  const double b10 = IntegerCodingBits(10.0);
+  const double b100 = IntegerCodingBits(100.0);
+  EXPECT_LT(b1, b10);
+  EXPECT_LT(b10, b100);
+  // log* growth: going 10 -> 100 adds roughly log2(10) bits.
+  EXPECT_LT(b100 - b10, 6.0);
+}
+
+TEST(MathUtilTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e9, 1e9 + 1.0, 1e-8));
+  EXPECT_TRUE(ApproxEqual(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,131 @@
+#include "induction/metric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnr {
+namespace {
+
+RuleStats Stats(double covered, double positive) {
+  RuleStats stats;
+  stats.covered = covered;
+  stats.positive = positive;
+  return stats;
+}
+
+ClassDistribution Dist(double positives, double negatives) {
+  ClassDistribution dist;
+  dist.positives = positives;
+  dist.negatives = negatives;
+  return dist;
+}
+
+TEST(ZNumberTest, MatchesClosedForm) {
+  // prior p0 = 100 / 10000 = 0.01, sigma0 = sqrt(0.01 * 0.99).
+  const ClassDistribution dist = Dist(100, 9900);
+  const RuleStats stats = Stats(50, 40);  // accuracy 0.8
+  const double expected =
+      std::sqrt(50.0) * (0.8 - 0.01) / std::sqrt(0.01 * 0.99);
+  EXPECT_NEAR(ZNumber(stats, dist), expected, 1e-9);
+}
+
+TEST(ZNumberTest, ZeroWhenAccuracyEqualsPrior) {
+  const ClassDistribution dist = Dist(500, 500);
+  EXPECT_NEAR(ZNumber(Stats(100, 50), dist), 0.0, 1e-9);
+}
+
+TEST(ZNumberTest, NegativeForAntiCorrelatedRule) {
+  const ClassDistribution dist = Dist(500, 500);
+  EXPECT_LT(ZNumber(Stats(100, 10), dist), 0.0);
+}
+
+TEST(ZNumberTest, GrowsWithSupportAtFixedAccuracy) {
+  const ClassDistribution dist = Dist(100, 9900);
+  const double z_small = ZNumber(Stats(10, 8), dist);
+  const double z_large = ZNumber(Stats(1000, 800), dist);
+  EXPECT_GT(z_large, z_small);
+  EXPECT_NEAR(z_large / z_small, std::sqrt(100.0), 1e-9);
+}
+
+TEST(ZNumberTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ZNumber(Stats(0, 0), Dist(10, 90)), 0.0);
+  EXPECT_DOUBLE_EQ(ZNumber(Stats(10, 5), Dist(0, 90)), 0.0);   // p0 == 0
+  EXPECT_DOUBLE_EQ(ZNumber(Stats(10, 5), Dist(10, 0)), 0.0);   // p0 == 1
+}
+
+TEST(FoilGainTest, PositiveWhenAccuracyImproves) {
+  const RuleStats parent = Stats(100, 50);
+  const RuleStats refined = Stats(40, 35);
+  EXPECT_GT(FoilGain(parent, refined), 0.0);
+}
+
+TEST(FoilGainTest, NonPositiveWhenAccuracyDrops) {
+  const RuleStats parent = Stats(100, 80);
+  const RuleStats refined = Stats(50, 30);
+  EXPECT_LE(FoilGain(parent, refined), 0.0);
+}
+
+TEST(FoilGainTest, ZeroWithoutPositives) {
+  EXPECT_DOUBLE_EQ(FoilGain(Stats(100, 50), Stats(10, 0)), 0.0);
+}
+
+TEST(FoilGainTest, ScalesWithPositiveCoverage) {
+  const RuleStats parent = Stats(1000, 100);
+  const double g1 = FoilGain(parent, Stats(100, 90));
+  const double g2 = FoilGain(parent, Stats(200, 180));
+  EXPECT_GT(g2, g1);
+}
+
+TEST(MetricFactoryTest, AllKindsConstructible) {
+  for (RuleMetricKind kind :
+       {RuleMetricKind::kZNumber, RuleMetricKind::kInfoGain,
+        RuleMetricKind::kGainRatio, RuleMetricKind::kGini,
+        RuleMetricKind::kChiSquared}) {
+    auto metric = MakeRuleMetric(kind);
+    ASSERT_NE(metric, nullptr);
+    EXPECT_EQ(metric->kind(), kind);
+    EXPECT_STRNE(RuleMetricKindName(kind), "unknown");
+  }
+}
+
+// Property sweep: every metric must (a) score a discriminative rule above a
+// random one, and (b) give ~0 to a rule whose accuracy matches the prior.
+class MetricProperty : public ::testing::TestWithParam<RuleMetricKind> {};
+
+TEST_P(MetricProperty, PrefersDiscriminativeRules) {
+  const auto metric = MakeRuleMetric(GetParam());
+  const ClassDistribution dist = Dist(100, 9900);
+  const double good = metric->Evaluate(Stats(80, 70), dist);
+  const double random = metric->Evaluate(Stats(80, 1), dist);  // ~prior
+  EXPECT_GT(good, random);
+}
+
+TEST_P(MetricProperty, NearZeroForNonDiscriminativeSplit) {
+  const auto metric = MakeRuleMetric(GetParam());
+  const ClassDistribution dist = Dist(1000, 9000);
+  // Covered subset mirrors the prior exactly.
+  const double value = metric->Evaluate(Stats(500, 50), dist);
+  EXPECT_NEAR(value, 0.0, 1e-6);
+}
+
+TEST_P(MetricProperty, ZeroForEmptyCoverage) {
+  const auto metric = MakeRuleMetric(GetParam());
+  EXPECT_DOUBLE_EQ(metric->Evaluate(Stats(0, 0), Dist(100, 900)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricProperty,
+    ::testing::Values(RuleMetricKind::kZNumber, RuleMetricKind::kInfoGain,
+                      RuleMetricKind::kGainRatio, RuleMetricKind::kGini,
+                      RuleMetricKind::kChiSquared),
+    [](const ::testing::TestParamInfo<RuleMetricKind>& info) {
+      std::string name = RuleMetricKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pnr

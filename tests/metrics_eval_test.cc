@@ -1,0 +1,101 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeNumericDataset;
+
+// Classifier with a fixed score per row: score = x / 10.
+class ScoreByX : public BinaryClassifier {
+ public:
+  double Score(const Dataset& dataset, RowId row) const override {
+    return dataset.numeric(row, 0) / 10.0;
+  }
+  std::string Describe(const Schema&) const override { return "score=x/10"; }
+};
+
+TEST(EvaluateClassifierTest, CountsConfusionAtDefaultThreshold) {
+  // Positives at x=8, 9; negatives at 2, 7 (7 -> score .7 -> predicted
+  // positive: one FP).
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{8.0}, true}, {{9.0}, true}, {{2.0}, false}, {{7.0}, false},
+          {{3.0}, true}});
+  ScoreByX classifier;
+  const Confusion c = EvaluateClassifier(classifier, dataset, kPos);
+  EXPECT_DOUBLE_EQ(c.true_positives, 2.0);
+  EXPECT_DOUBLE_EQ(c.false_positives, 1.0);
+  EXPECT_DOUBLE_EQ(c.false_negatives, 1.0);  // x=3 positive scored .3
+  EXPECT_DOUBLE_EQ(c.true_negatives, 1.0);
+}
+
+TEST(EvaluateClassifierTest, OnRowsRestrictsEvaluation) {
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{8.0}, true}, {{2.0}, false}, {{9.0}, true}});
+  ScoreByX classifier;
+  const Confusion c =
+      EvaluateClassifierOnRows(classifier, dataset, {0, 1}, kPos);
+  EXPECT_DOUBLE_EQ(c.total(), 2.0);
+  EXPECT_DOUBLE_EQ(c.true_positives, 1.0);
+}
+
+TEST(MetricsTest, WrapsConfusion) {
+  Confusion c;
+  c.true_positives = 8.0;
+  c.false_negatives = 2.0;
+  c.false_positives = 2.0;
+  const BinaryMetrics m = Metrics(c);
+  EXPECT_DOUBLE_EQ(m.recall, 0.8);
+  EXPECT_DOUBLE_EQ(m.precision, 0.8);
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.8);
+}
+
+TEST(ThresholdSweepTest, TracesFullCurve) {
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, false}, {{4.0}, false}, {{6.0}, true}, {{9.0}, true}});
+  ScoreByX classifier;
+  const auto sweep = ThresholdSweep(classifier, dataset, kPos);
+  ASSERT_GE(sweep.size(), 2u);
+  // Lowest threshold: everything predicted positive.
+  EXPECT_DOUBLE_EQ(sweep.front().second.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(sweep.front().second.precision(), 0.5);
+  // Highest threshold: nothing predicted positive.
+  EXPECT_DOUBLE_EQ(sweep.back().second.predicted_positives(), 0.0);
+  // Monotonicity: predicted positives never increase with the threshold.
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].second.predicted_positives(),
+              sweep[i - 1].second.predicted_positives());
+    EXPECT_GT(sweep[i].first, sweep[i - 1].first);
+  }
+  // Somewhere on the curve the classifier is perfect (cut between .4, .6).
+  bool perfect = false;
+  for (const auto& [threshold, confusion] : sweep) {
+    if (confusion.recall() == 1.0 && confusion.precision() == 1.0) {
+      perfect = true;
+    }
+  }
+  EXPECT_TRUE(perfect);
+}
+
+TEST(ThresholdSweepTest, ConsistentWithDirectEvaluation) {
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{1.0}, false}, {{5.0}, true}, {{6.0}, false}, {{9.0}, true}});
+  ScoreByX classifier;
+  const auto sweep = ThresholdSweep(classifier, dataset, kPos);
+  for (const auto& [threshold, confusion] : sweep) {
+    ScoreByX check;
+    check.set_threshold(threshold);
+    const Confusion direct = EvaluateClassifier(check, dataset, kPos);
+    EXPECT_DOUBLE_EQ(direct.true_positives, confusion.true_positives)
+        << "threshold=" << threshold;
+    EXPECT_DOUBLE_EQ(direct.false_positives, confusion.false_positives)
+        << "threshold=" << threshold;
+  }
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,100 @@
+#include "pnrule/multiclass.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/kdd_sim.h"
+
+namespace pnr {
+namespace {
+
+KddSimData SmallKdd() {
+  KddSimParams params;
+  params.train_records = 30000;
+  params.test_records = 15000;
+  params.seed = 5151;
+  auto data = GenerateKddSim(params);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(MultiClassTest, TrainsOneModelPerTrainableClass) {
+  const KddSimData kdd = SmallKdd();
+  MultiClassPnruleLearner learner;
+  auto committee = learner.Train(kdd.train);
+  ASSERT_TRUE(committee.ok()) << committee.status().ToString();
+  EXPECT_EQ(committee->num_classes(), 5u);
+  const Schema& schema = kdd.train.schema();
+  // The prevalent classes must have models; u2r may be too thin at this
+  // scale but normal/dos certainly train.
+  EXPECT_NE(committee->model_for(
+                schema.class_attr().FindCategory("normal")),
+            nullptr);
+  EXPECT_NE(committee->model_for(schema.class_attr().FindCategory("dos")),
+            nullptr);
+}
+
+TEST(MultiClassTest, AccuracyWellAboveMajorityBaseline) {
+  const KddSimData kdd = SmallKdd();
+  MultiClassPnruleLearner learner;
+  auto committee = learner.Train(kdd.train);
+  ASSERT_TRUE(committee.ok());
+  const double accuracy = MultiClassAccuracy(*committee, kdd.test);
+  // dos is ~74% of the test split; the committee should clearly beat
+  // always-dos.
+  EXPECT_GT(accuracy, 0.85) << accuracy;
+}
+
+TEST(MultiClassTest, ScoresAreZeroForModellessClass) {
+  const KddSimData kdd = SmallKdd();
+  MultiClassPnruleLearner learner;
+  auto committee = learner.Train(kdd.train);
+  ASSERT_TRUE(committee.ok());
+  EXPECT_DOUBLE_EQ(committee->Score(kdd.test, 0, 99), 0.0);
+}
+
+TEST(MultiClassTest, ClassWeightsBiasPrediction) {
+  const KddSimData kdd = SmallKdd();
+  const Schema& schema = kdd.train.schema();
+  const CategoryId dos = schema.class_attr().FindCategory("dos");
+
+  MultiClassPnruleLearner plain;
+  auto base = plain.Train(kdd.train);
+  ASSERT_TRUE(base.ok());
+
+  // Crush every class except dos: predictions collapse toward dos.
+  std::vector<double> weights(5, 1e-6);
+  weights[static_cast<size_t>(dos)] = 1.0;
+  MultiClassPnruleLearner biased;
+  biased.set_class_weights(weights);
+  auto skewed = biased.Train(kdd.train);
+  ASSERT_TRUE(skewed.ok());
+
+  size_t base_dos = 0;
+  size_t skewed_dos = 0;
+  for (RowId row = 0; row < kdd.test.num_rows(); ++row) {
+    if (base->Classify(kdd.test, row) == dos) ++base_dos;
+    if (skewed->Classify(kdd.test, row) == dos) ++skewed_dos;
+  }
+  EXPECT_GE(skewed_dos, base_dos);
+}
+
+TEST(MultiClassTest, RejectsBadWeights) {
+  const KddSimData kdd = SmallKdd();
+  MultiClassPnruleLearner learner;
+  learner.set_class_weights({1.0, 1.0});  // 2 weights, 5 classes
+  auto committee = learner.Train(kdd.train);
+  EXPECT_FALSE(committee.ok());
+}
+
+TEST(MultiClassTest, RejectsSingleClassSchema) {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  schema.GetOrAddClass("only");
+  Dataset dataset(std::move(schema));
+  dataset.AddRow();
+  MultiClassPnruleLearner learner;
+  EXPECT_FALSE(learner.Train(dataset).ok());
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,148 @@
+#include "pnrule/n_phase.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pnrule/p_phase.h"
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeNumericDataset;
+
+// x0 holds a single impure target peak around 5; x1 separates the false
+// positives: negatives inside the peak sit in a narrow x1 band around 2,
+// while positives are uniform on x1 — the paper's absence-signature setup.
+Dataset AbsenceSignatureDataset(int pos, int neg_in_peak, int background) {
+  Rng rng(202);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < pos; ++i) {
+    rows.push_back(
+        {{5.0 + rng.NextDouble(-0.05, 0.05), rng.NextDouble(0, 10)}, true});
+  }
+  for (int i = 0; i < neg_in_peak; ++i) {
+    rows.push_back({{5.0 + rng.NextDouble(-0.05, 0.05),
+                     2.0 + rng.NextDouble(-0.05, 0.05)},
+                    false});
+  }
+  for (int i = 0; i < background; ++i) {
+    rows.push_back({{rng.NextDouble(0, 10), rng.NextDouble(0, 10)}, false});
+  }
+  return MakeNumericDataset(2, rows);
+}
+
+PnruleConfig DefaultConfig() {
+  PnruleConfig config;
+  config.min_coverage_fraction = 0.99;
+  config.n_recall_lower_limit = 0.9;
+  config.min_support_fraction = 0.05;
+  return config;
+}
+
+struct PhaseOutputs {
+  PPhaseResult p;
+  NPhaseResult n;
+};
+
+PhaseOutputs RunBothPhases(const Dataset& dataset,
+                           const PnruleConfig& config) {
+  PhaseOutputs out;
+  out.p = RunPPhase(dataset, dataset.AllRows(), kPos, config);
+  out.n = RunNPhase(dataset, out.p.covered_rows, kPos,
+                    out.p.total_positive_weight,
+                    out.p.covered_positive_weight, config);
+  return out;
+}
+
+TEST(NPhaseTest, LearnsAbsenceSignature) {
+  const Dataset dataset = AbsenceSignatureDataset(60, 30, 500);
+  const PhaseOutputs out = RunBothPhases(dataset, DefaultConfig());
+  ASSERT_FALSE(out.p.rules.empty());
+  ASSERT_FALSE(out.n.rules.empty());
+  // The N-rules should remove most covered negatives (the x1 ~ 2 band)
+  // while erasing few positives.
+  double removed_negatives = 0.0;
+  for (const Rule& rule : out.n.rules.rules()) {
+    removed_negatives += rule.train_stats.positive;  // pseudo-target
+  }
+  const double covered_negatives =
+      dataset.TotalWeight(out.p.covered_rows) -
+      out.p.covered_positive_weight;
+  EXPECT_GT(removed_negatives, 0.7 * covered_negatives);
+  EXPECT_LT(out.n.erased_positive_weight,
+            0.1 * out.p.covered_positive_weight + 1e-9);
+}
+
+TEST(NPhaseTest, RespectsRecallFloor) {
+  const Dataset dataset = AbsenceSignatureDataset(60, 30, 500);
+  PnruleConfig config = DefaultConfig();
+  config.n_recall_lower_limit = 0.95;
+  const PhaseOutputs out = RunBothPhases(dataset, config);
+  const double kept = out.p.covered_positive_weight -
+                      out.n.erased_positive_weight;
+  EXPECT_GE(kept / out.p.total_positive_weight, 0.95 - 1e-9);
+}
+
+TEST(NPhaseTest, NoFalsePositivesMeansNoNRules) {
+  // Pure target peak: the P-rule covers no negatives, so there is nothing
+  // for the N-phase to do.
+  Rng rng(7);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back(
+        {{5.0 + rng.NextDouble(-0.01, 0.01), rng.NextDouble(0, 10)}, true});
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    if (x > 4.8 && x < 5.2) continue;  // keep the peak pure
+    rows.push_back({{x, rng.NextDouble(0, 10)}, false});
+  }
+  const Dataset dataset = MakeNumericDataset(2, rows);
+  const PhaseOutputs out = RunBothPhases(dataset, DefaultConfig());
+  EXPECT_TRUE(out.n.rules.empty());
+  EXPECT_DOUBLE_EQ(out.n.erased_positive_weight, 0.0);
+}
+
+TEST(NPhaseTest, EmptyCoverageYieldsNothing) {
+  const Dataset dataset = AbsenceSignatureDataset(10, 5, 50);
+  const NPhaseResult result =
+      RunNPhase(dataset, {}, kPos, 10.0, 0.0, DefaultConfig());
+  EXPECT_TRUE(result.rules.empty());
+}
+
+TEST(NPhaseTest, DisabledWithZeroCap) {
+  const Dataset dataset = AbsenceSignatureDataset(60, 30, 500);
+  PnruleConfig config = DefaultConfig();
+  config.max_n_rules = 0;
+  const PhaseOutputs out = RunBothPhases(dataset, config);
+  EXPECT_TRUE(out.n.rules.empty());
+}
+
+TEST(NPhaseTest, NRuleStatsUsePseudoTarget) {
+  const Dataset dataset = AbsenceSignatureDataset(60, 30, 500);
+  const PhaseOutputs out = RunBothPhases(dataset, DefaultConfig());
+  for (const Rule& rule : out.n.rules.rules()) {
+    // positive (pseudo-target = absence) never exceeds coverage.
+    EXPECT_LE(rule.train_stats.positive, rule.train_stats.covered + 1e-9);
+    EXPECT_GT(rule.train_stats.positive, 0.0);
+  }
+}
+
+
+TEST(NPhaseTest, UnreachableRecallFloorDoesNotGrowMonsterRules) {
+  // Regression: when the P-phase coverage already sits below rn, the
+  // forced-refinement guard must not grow unbounded rules (which used to
+  // explode the MDL and kill the phase).
+  const Dataset dataset = AbsenceSignatureDataset(60, 30, 500);
+  PnruleConfig config = DefaultConfig();
+  config.n_recall_lower_limit = 1.0;  // unreachable: any erasure violates
+  const PhaseOutputs out = RunBothPhases(dataset, config);
+  for (const Rule& rule : out.n.rules.rules()) {
+    EXPECT_LE(rule.size(), 12u) << rule.ToString(dataset.schema());
+  }
+}
+
+}  // namespace
+}  // namespace pnr

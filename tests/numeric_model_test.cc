@@ -1,0 +1,141 @@
+#include "synth/numeric_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnr {
+namespace {
+
+TEST(NumericModelTest, ParamsValidation) {
+  EXPECT_TRUE(NumericModelParams().Validate().ok());
+  NumericModelParams params;
+  params.tc = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = NumericModelParams();
+  params.tr = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = NumericModelParams();
+  params.target_fraction = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = NumericModelParams();
+  params.tr = 1000.0;  // peaks would overlap
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(NumericModelTest, NsynConfigurationsMatchTable1) {
+  // Table 1's dataset descriptions.
+  const NumericModelParams n1 = NsynParams(1);
+  EXPECT_EQ(n1.tc, 1);
+  EXPECT_EQ(n1.nsptc, 1);
+  EXPECT_EQ(n1.ntc, 2);
+  EXPECT_EQ(n1.nspntc, 3);
+  const NumericModelParams n3 = NsynParams(3);
+  EXPECT_EQ(n3.nsptc, 4);
+  EXPECT_EQ(n3.nspntc, 4);
+  const NumericModelParams n6 = NsynParams(6);
+  EXPECT_EQ(n6.ntc, 3);
+  EXPECT_EQ(n6.nspntc, 5);
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_TRUE(NsynParams(i).Validate().ok()) << "nsyn" << i;
+    EXPECT_DOUBLE_EQ(NsynParams(i).tr, 0.2);
+    EXPECT_DOUBLE_EQ(NsynParams(i).target_fraction, 0.003);
+  }
+}
+
+TEST(NumericModelTest, PeakCentersAreUniformlySpaced) {
+  EXPECT_DOUBLE_EQ(PeakCenter(0, 1), 50.0);
+  EXPECT_DOUBLE_EQ(PeakCenter(0, 4), 20.0);
+  EXPECT_DOUBLE_EQ(PeakCenter(3, 4), 80.0);
+}
+
+TEST(NumericModelTest, SamplePeakValueStaysInsidePeak) {
+  Rng rng(5);
+  for (PeakShape shape :
+       {PeakShape::kRectangular, PeakShape::kTriangular,
+        PeakShape::kGaussian}) {
+    for (int i = 0; i < 500; ++i) {
+      const double v = SamplePeakValue(1, 4, 2.0, shape, &rng);
+      // Peak 1 of 4: center 40, width 0.5.
+      EXPECT_GE(v, 40.0 - 0.25);
+      EXPECT_LE(v, 40.0 + 0.25);
+    }
+  }
+}
+
+TEST(NumericModelTest, GeneratedDatasetShape) {
+  NumericModelParams params = NsynParams(3);
+  Rng rng(6);
+  const Dataset dataset = GenerateNumericDataset(params, 50000, &rng);
+  EXPECT_EQ(dataset.num_rows(), 50000u);
+  EXPECT_EQ(dataset.schema().num_attributes(), 3u);  // tc + ntc
+  const CategoryId target =
+      dataset.schema().class_attr().FindCategory("C");
+  ASSERT_NE(target, kInvalidCategory);
+  const double fraction =
+      static_cast<double>(dataset.CountClass(target)) / 50000.0;
+  EXPECT_NEAR(fraction, 0.003, 0.001);
+  // All attribute values inside the domain.
+  for (RowId r = 0; r < 1000; ++r) {
+    for (AttrIndex a = 0; a < 3; ++a) {
+      const double v = dataset.numeric(r, a);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, kNumericDomain);
+    }
+  }
+}
+
+TEST(NumericModelTest, TargetRecordsConcentrateInPeaks) {
+  NumericModelParams params = NsynParams(3);
+  Rng rng(7);
+  const Dataset dataset = GenerateNumericDataset(params, 100000, &rng);
+  const CategoryId target =
+      dataset.schema().class_attr().FindCategory("C");
+  // Every target record's a0 value lies inside one of the 4 peaks
+  // (centers 20/40/60/80, half-width 0.025 for tr=0.2).
+  const double half_width = 0.5 * params.tr / params.nsptc;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (dataset.label(r) != target) continue;
+    const double v = dataset.numeric(r, 0);
+    bool in_peak = false;
+    for (int p = 0; p < 4; ++p) {
+      if (std::fabs(v - PeakCenter(p, 4)) <= half_width + 1e-9) {
+        in_peak = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(in_peak) << "a0=" << v;
+  }
+}
+
+TEST(NumericModelTest, DeterministicGivenSeed) {
+  NumericModelParams params = NsynParams(2);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const Dataset a = GenerateNumericDataset(params, 2000, &rng_a);
+  const Dataset b = GenerateNumericDataset(params, 2000, &rng_b);
+  for (RowId r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.label(r), b.label(r));
+    for (AttrIndex attr = 0; attr < 3; ++attr) {
+      EXPECT_DOUBLE_EQ(a.numeric(r, attr), b.numeric(r, attr));
+    }
+  }
+}
+
+class ShapeSweep : public ::testing::TestWithParam<PeakShape> {};
+
+TEST_P(ShapeSweep, AllShapesGenerateValidData) {
+  NumericModelParams params = NsynParams(1);
+  params.shape = GetParam();
+  Rng rng(10);
+  const Dataset dataset = GenerateNumericDataset(params, 5000, &rng);
+  EXPECT_EQ(dataset.num_rows(), 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Values(PeakShape::kRectangular,
+                                           PeakShape::kTriangular,
+                                           PeakShape::kGaussian));
+
+}  // namespace
+}  // namespace pnr

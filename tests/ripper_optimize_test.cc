@@ -1,0 +1,126 @@
+#include "ripper/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "induction/mdl.h"
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeNumericDataset;
+
+// Positives: x0 > 7 (quarter of the space), plus mild label noise.
+Dataset NoisyThreshold(size_t n, uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    const bool label = (x > 7.0) != rng.NextBool(noise);
+    rows.push_back({{x, rng.NextDouble(0, 10)}, label});
+  }
+  return MakeNumericDataset(2, rows);
+}
+
+TEST(DeleteHarmfulRulesTest, RemovesCoverNothingRules) {
+  const Dataset dataset = NoisyThreshold(500, 1);
+  const RowSubset all = dataset.AllRows();
+  const double possible = CountPossibleConditions(dataset);
+
+  RuleSet rules;
+  Rule good({Condition::Greater(0, 7.0)});
+  rules.AddRule(good);
+  // A rule that covers only negatives: pure DL harm.
+  rules.AddRule(Rule({Condition::LessEqual(0, 1.0)}));
+  DeleteHarmfulRules(dataset, all, kPos, possible, &rules);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules.rule(0) == good);
+}
+
+TEST(DeleteHarmfulRulesTest, KeepsComplementaryRules) {
+  // Positives live in two disjoint regions; both rules are needed.
+  Rng rng(2);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    rows.push_back({{x, 0.0}, x < 1.0 || x > 9.0});
+  }
+  const Dataset dataset = MakeNumericDataset(2, rows);
+  const RowSubset all = dataset.AllRows();
+  const double possible = CountPossibleConditions(dataset);
+  RuleSet rules;
+  rules.AddRule(Rule({Condition::LessEqual(0, 1.0)}));
+  rules.AddRule(Rule({Condition::Greater(0, 9.0)}));
+  DeleteHarmfulRules(dataset, all, kPos, possible, &rules);
+  EXPECT_EQ(rules.size(), 2u);
+}
+
+TEST(CoverPositivesTest, CoversMostPositives) {
+  const Dataset dataset = NoisyThreshold(2000, 3);
+  const RowSubset all = dataset.AllRows();
+  RipperConfig config;
+  Rng rng(config.seed);
+  RuleSet rules;
+  CoverPositives(dataset, all, all, kPos, config,
+                 CountPossibleConditions(dataset), &rng, &rules);
+  ASSERT_FALSE(rules.empty());
+  size_t covered_positives = 0;
+  size_t positives = 0;
+  for (RowId row : all) {
+    if (dataset.label(row) != kPos) continue;
+    ++positives;
+    if (rules.AnyMatch(dataset, row)) ++covered_positives;
+  }
+  EXPECT_GT(static_cast<double>(covered_positives) /
+                static_cast<double>(positives),
+            0.9);
+}
+
+TEST(CoverPositivesTest, RespectsMaxRules) {
+  const Dataset dataset = NoisyThreshold(2000, 4, 0.1);
+  const RowSubset all = dataset.AllRows();
+  RipperConfig config;
+  config.max_rules = 2;
+  Rng rng(config.seed);
+  RuleSet rules;
+  CoverPositives(dataset, all, all, kPos, config,
+                 CountPossibleConditions(dataset), &rng, &rules);
+  EXPECT_LE(rules.size(), 2u);
+}
+
+TEST(OptimizeRuleSetTest, DoesNotHurtTrainingDescriptionLength) {
+  const Dataset dataset = NoisyThreshold(2000, 5, 0.05);
+  const RowSubset all = dataset.AllRows();
+  RipperConfig config;
+  const double possible = CountPossibleConditions(dataset);
+  Rng rng(config.seed);
+  RuleSet rules;
+  CoverPositives(dataset, all, all, kPos, config, possible, &rng, &rules);
+  const double dl_before =
+      RuleSetDescriptionLength(dataset, all, kPos, rules, possible);
+  OptimizeRuleSet(dataset, all, kPos, config, possible, &rng, &rules);
+  const double dl_after =
+      RuleSetDescriptionLength(dataset, all, kPos, rules, possible);
+  EXPECT_LE(dl_after, dl_before + 1e-6);
+}
+
+TEST(OptimizeRuleSetTest, NoopOnEmptyRuleSet) {
+  const Dataset dataset = NoisyThreshold(200, 6);
+  const RowSubset all = dataset.AllRows();
+  RipperConfig config;
+  Rng rng(config.seed);
+  RuleSet rules;
+  // No positives reachable: positives exist, so the residual-coverage step
+  // may add rules — that is the documented behaviour; just assert it does
+  // not crash and leaves a consistent rule set.
+  OptimizeRuleSet(dataset, all, kPos, config,
+                  CountPossibleConditions(dataset), &rng, &rules);
+  for (const Rule& rule : rules.rules()) {
+    EXPECT_FALSE(rule.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pnr

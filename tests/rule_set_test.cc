@@ -1,0 +1,74 @@
+#include "rules/rule_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::MakeMixedDataset;
+
+Dataset ThreeRows() {
+  return MakeMixedDataset({
+      {1.0, 0, true},   // row 0
+      {2.0, 1, false},  // row 1
+      {3.0, 2, false},  // row 2
+  });
+}
+
+TEST(RuleSetTest, FirstMatchRespectsOrder) {
+  const Dataset dataset = ThreeRows();
+  RuleSet rules;
+  rules.AddRule(Rule({Condition::Greater(0, 1.5)}));   // rows 1, 2
+  rules.AddRule(Rule({Condition::CatEqual(1, 1)}));    // row 1 (shadowed)
+  rules.AddRule(Rule({Condition::LessEqual(0, 1.0)})); // row 0
+  EXPECT_EQ(rules.FirstMatch(dataset, 0), 2);
+  EXPECT_EQ(rules.FirstMatch(dataset, 1), 0);  // rule 0 shadows rule 1
+  EXPECT_EQ(rules.FirstMatch(dataset, 2), 0);
+}
+
+TEST(RuleSetTest, NoMatchReturnsSentinel) {
+  const Dataset dataset = ThreeRows();
+  RuleSet rules;
+  rules.AddRule(Rule({Condition::Greater(0, 99.0)}));
+  EXPECT_EQ(rules.FirstMatch(dataset, 0), kNoRule);
+  EXPECT_FALSE(rules.AnyMatch(dataset, 0));
+  RuleSet empty;
+  EXPECT_EQ(empty.FirstMatch(dataset, 0), kNoRule);
+}
+
+TEST(RuleSetTest, CoveredRowsIsUnionInRowOrder) {
+  const Dataset dataset = ThreeRows();
+  RuleSet rules;
+  rules.AddRule(Rule({Condition::LessEqual(0, 1.0)}));  // row 0
+  rules.AddRule(Rule({Condition::Greater(0, 2.5)}));    // row 2
+  EXPECT_EQ(rules.CoveredRows(dataset, dataset.AllRows()),
+            (RowSubset{0, 2}));
+}
+
+TEST(RuleSetTest, RemoveRuleShiftsIndices) {
+  const Dataset dataset = ThreeRows();
+  RuleSet rules;
+  rules.AddRule(Rule({Condition::Greater(0, 1.5)}));
+  rules.AddRule(Rule({Condition::LessEqual(0, 1.0)}));
+  rules.RemoveRule(0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules.FirstMatch(dataset, 0), 0);
+  EXPECT_EQ(rules.FirstMatch(dataset, 2), kNoRule);
+}
+
+TEST(RuleSetTest, ToStringListsRulesWithStats) {
+  const Dataset dataset = ThreeRows();
+  RuleSet rules;
+  Rule rule({Condition::LessEqual(0, 1.0)});
+  rule.train_stats.covered = 10.0;
+  rule.train_stats.positive = 9.0;
+  rules.AddRule(rule);
+  const std::string text = rules.ToString(dataset.schema());
+  EXPECT_NE(text.find("x <= 1.0000"), std::string::npos);
+  EXPECT_NE(text.find("acc=0.9000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,133 @@
+#include "pnrule/score_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pnr {
+namespace {
+
+using testutil::kPos;
+using testutil::MakeMixedDataset;
+
+// P-rule 0: x <= 5 (everything in this toy set); N-rule 0: c == b.
+RuleSet OnePRule() {
+  RuleSet rules;
+  Rule rule({Condition::LessEqual(0, 5.0)});
+  rule.train_stats.covered = 10.0;
+  rule.train_stats.positive = 6.0;
+  rules.AddRule(rule);
+  return rules;
+}
+
+RuleSet OneNRule() {
+  RuleSet rules;
+  rules.AddRule(Rule({Condition::CatEqual(1, 1)}));
+  return rules;
+}
+
+PnruleConfig ConfigWithMinCell(double min_cell) {
+  PnruleConfig config;
+  config.score_min_cell_weight = min_cell;
+  config.score_smoothing = 1.0;
+  return config;
+}
+
+TEST(ScoreMatrixTest, EmpiricalCellProbabilities) {
+  // 6 records hit (P0, N0): 5 positive. 8 records hit (P0, none): 2 pos.
+  std::vector<testutil::MixedRow> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back({1.0, 1, true});
+  rows.push_back({1.0, 1, false});
+  for (int i = 0; i < 2; ++i) rows.push_back({1.0, 0, true});
+  for (int i = 0; i < 6; ++i) rows.push_back({1.0, 0, false});
+  const Dataset dataset = MakeMixedDataset(rows);
+
+  const ScoreMatrix matrix =
+      ScoreMatrix::Build(dataset, dataset.AllRows(), kPos, OnePRule(),
+                         OneNRule(), ConfigWithMinCell(3.0));
+  ASSERT_EQ(matrix.num_p_rules(), 1u);
+  ASSERT_EQ(matrix.num_n_rules(), 1u);
+  // Cell (0, 0): weight 6, positives 5 -> (5+1)/(6+2).
+  EXPECT_DOUBLE_EQ(matrix.CellWeight(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(matrix.Score(0, 0), 6.0 / 8.0);
+  // Cell (0, none): weight 8, positives 2 -> (2+1)/(8+2).
+  EXPECT_DOUBLE_EQ(matrix.CellWeight(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(matrix.Score(0, 1), 3.0 / 10.0);
+}
+
+TEST(ScoreMatrixTest, SignificantCellCanOverrideNRule) {
+  // The N-rule fires but the cell is mostly positive: the score stays above
+  // 0.5, i.e. the N-rule is ignored for this P-rule — the paper's key
+  // scoring behaviour.
+  std::vector<testutil::MixedRow> rows;
+  for (int i = 0; i < 9; ++i) rows.push_back({1.0, 1, true});
+  rows.push_back({1.0, 1, false});
+  const Dataset dataset = MakeMixedDataset(rows);
+  const ScoreMatrix matrix =
+      ScoreMatrix::Build(dataset, dataset.AllRows(), kPos, OnePRule(),
+                         OneNRule(), ConfigWithMinCell(3.0));
+  EXPECT_GT(matrix.Score(0, 0), 0.5);
+}
+
+TEST(ScoreMatrixTest, InsignificantNCellHonorsNRule) {
+  // Only 1 record lands in (P0, N0) — below min cell weight — so the cell
+  // falls back to the default veto semantics (score 0).
+  std::vector<testutil::MixedRow> rows;
+  rows.push_back({1.0, 1, true});
+  for (int i = 0; i < 8; ++i) rows.push_back({1.0, 0, i % 2 == 0});
+  const Dataset dataset = MakeMixedDataset(rows);
+  const ScoreMatrix matrix =
+      ScoreMatrix::Build(dataset, dataset.AllRows(), kPos, OnePRule(),
+                         OneNRule(), ConfigWithMinCell(3.0));
+  EXPECT_DOUBLE_EQ(matrix.Score(0, 0), 0.0);
+}
+
+TEST(ScoreMatrixTest, InsignificantNoneCellFallsBackToPRuleAccuracy) {
+  // Nothing lands in the (P0, none) cell; it inherits the P-rule's
+  // training accuracy (0.6 from OnePRule's stats).
+  std::vector<testutil::MixedRow> rows;
+  for (int i = 0; i < 4; ++i) rows.push_back({1.0, 1, true});
+  const Dataset dataset = MakeMixedDataset(rows);
+  const ScoreMatrix matrix =
+      ScoreMatrix::Build(dataset, dataset.AllRows(), kPos, OnePRule(),
+                         OneNRule(), ConfigWithMinCell(3.0));
+  EXPECT_DOUBLE_EQ(matrix.CellWeight(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Score(0, 1), 0.6);
+}
+
+TEST(ScoreMatrixTest, RecordsOutsidePRulesAreIgnored) {
+  std::vector<testutil::MixedRow> rows;
+  rows.push_back({9.0, 1, true});  // x > 5: no P-rule fires
+  rows.push_back({1.0, 0, true});
+  const Dataset dataset = MakeMixedDataset(rows);
+  const ScoreMatrix matrix =
+      ScoreMatrix::Build(dataset, dataset.AllRows(), kPos, OnePRule(),
+                         OneNRule(), ConfigWithMinCell(0.0));
+  EXPECT_DOUBLE_EQ(matrix.CellWeight(0, 0) + matrix.CellWeight(0, 1), 1.0);
+}
+
+TEST(ScoreMatrixTest, EmptyPRulesProduceEmptyMatrix) {
+  const Dataset dataset = MakeMixedDataset({{1.0, 0, true}});
+  const ScoreMatrix matrix =
+      ScoreMatrix::Build(dataset, dataset.AllRows(), kPos, RuleSet(),
+                         OneNRule(), ConfigWithMinCell(1.0));
+  EXPECT_EQ(matrix.num_p_rules(), 0u);
+}
+
+TEST(ScoreMatrixTest, ScoresAreProbabilities) {
+  std::vector<testutil::MixedRow> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({1.0, i % 3, i % 2 == 0});
+  const Dataset dataset = MakeMixedDataset(rows);
+  const ScoreMatrix matrix =
+      ScoreMatrix::Build(dataset, dataset.AllRows(), kPos, OnePRule(),
+                         OneNRule(), ConfigWithMinCell(2.0));
+  for (size_t p = 0; p < matrix.num_p_rules(); ++p) {
+    for (size_t n = 0; n <= matrix.num_n_rules(); ++n) {
+      EXPECT_GE(matrix.Score(p, n), 0.0);
+      EXPECT_LE(matrix.Score(p, n), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,98 @@
+#include "data/weighting.h"
+
+#include <gtest/gtest.h>
+
+namespace pnr {
+namespace {
+
+Dataset RareClassDataset(size_t positives, size_t negatives) {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  const CategoryId neg = schema.GetOrAddClass("neg");
+  const CategoryId pos = schema.GetOrAddClass("pos");
+  Dataset dataset(std::move(schema));
+  for (size_t i = 0; i < positives + negatives; ++i) {
+    const RowId r = dataset.AddRow();
+    dataset.set_numeric(r, 0, static_cast<double>(i));
+    dataset.set_label(r, i < positives ? pos : neg);
+  }
+  return dataset;
+}
+
+TEST(WeightingTest, StratifiedWeightsBalanceClasses) {
+  Dataset dataset = RareClassDataset(10, 990);
+  const CategoryId pos = dataset.schema().class_attr().FindCategory("pos");
+  const auto weights = StratifiedWeights(dataset, pos);
+  ASSERT_EQ(weights.size(), dataset.num_rows());
+  double pos_weight = 0.0;
+  double neg_weight = 0.0;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    (dataset.label(r) == pos ? pos_weight : neg_weight) += weights[r];
+  }
+  EXPECT_NEAR(pos_weight, neg_weight, 1e-9);
+  EXPECT_DOUBLE_EQ(weights.back(), 1.0);  // negatives keep unit weight
+  EXPECT_DOUBLE_EQ(weights.front(), 99.0);
+}
+
+TEST(WeightingTest, SplitRowsPartitions) {
+  Dataset dataset = RareClassDataset(5, 95);
+  Rng rng(3);
+  const RowSubset all = dataset.AllRows();
+  auto [first, second] = SplitRows(all, 2.0 / 3.0, &rng);
+  EXPECT_EQ(first.size() + second.size(), all.size());
+  EXPECT_NEAR(static_cast<double>(first.size()), 66.7, 1.0);
+  // Partition: no overlap, union == all.
+  std::vector<bool> seen(all.size(), false);
+  for (RowId r : first) {
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+  for (RowId r : second) {
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(WeightingTest, StratifiedSplitKeepsRareClassOnBothSides) {
+  Dataset dataset = RareClassDataset(6, 294);
+  const CategoryId pos = dataset.schema().class_attr().FindCategory("pos");
+  Rng rng(9);
+  auto [grow, prune] =
+      StratifiedSplitRows(dataset, dataset.AllRows(), pos, 2.0 / 3.0, &rng);
+  size_t grow_pos = 0;
+  size_t prune_pos = 0;
+  for (RowId r : grow) {
+    if (dataset.label(r) == pos) ++grow_pos;
+  }
+  for (RowId r : prune) {
+    if (dataset.label(r) == pos) ++prune_pos;
+  }
+  EXPECT_EQ(grow_pos + prune_pos, 6u);
+  EXPECT_EQ(grow_pos, 4u);  // exactly 2/3 of the positives
+  EXPECT_EQ(prune_pos, 2u);
+  EXPECT_EQ(grow.size() + prune.size(), 300u);
+}
+
+TEST(WeightingTest, SubsampleNonTargetKeepsAllTargets) {
+  Dataset dataset = RareClassDataset(20, 2000);
+  const CategoryId pos = dataset.schema().class_attr().FindCategory("pos");
+  Rng rng(13);
+  const Dataset sampled = SubsampleNonTarget(dataset, pos, 0.1, &rng);
+  EXPECT_EQ(sampled.CountClass(pos), 20u);
+  const size_t negatives = sampled.num_rows() - 20;
+  EXPECT_NEAR(static_cast<double>(negatives), 200.0, 45.0);
+  // Attribute values are copied faithfully.
+  EXPECT_DOUBLE_EQ(sampled.numeric(0, 0), 0.0);
+}
+
+TEST(WeightingTest, SubsampleZeroFractionLeavesOnlyTargets) {
+  Dataset dataset = RareClassDataset(5, 100);
+  const CategoryId pos = dataset.schema().class_attr().FindCategory("pos");
+  Rng rng(17);
+  const Dataset sampled = SubsampleNonTarget(dataset, pos, 0.0, &rng);
+  EXPECT_EQ(sampled.num_rows(), 5u);
+}
+
+}  // namespace
+}  // namespace pnr

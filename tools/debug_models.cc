@@ -1,0 +1,24 @@
+#include <cstdio>
+#include "c45/rules.h"
+#include "c45/tree_classifier.h"
+#include "ripper/ripper.h"
+#include "eval/metrics.h"
+#include "synth/sweep.h"
+int main(int argc, char** argv) {
+  using namespace pnr;
+  int idx = argc > 1 ? atoi(argv[1]) : 3;
+  NumericModelParams params = NsynParams(idx);
+  TrainTestPair data = MakeNumericPair(params, argc > 2 ? (size_t)atoll(argv[2]) : 100000, argc > 3 ? (size_t)atoll(argv[3]) : 50000, 20010521 + (uint64_t)idx);
+  CategoryId target = data.train.schema().class_attr().FindCategory("C");
+
+  RipperLearner ripper;
+  auto rmodel = ripper.Train(data.train, target);
+  printf("=== RIPPER ===\n%s\n", rmodel->Describe(data.train.schema()).c_str());
+  printf("test: %s\n\n", EvaluateClassifier(*rmodel, data.test, target).ToString().c_str());
+
+  C45RulesLearner c45r;
+  auto cmodel = c45r.Train(data.train, target);
+  printf("=== C4.5rules ===\n%s\n", cmodel->Describe(data.train.schema()).c_str());
+  printf("test: %s\n", EvaluateClassifier(*cmodel, data.test, target).ToString().c_str());
+  return 0;
+}

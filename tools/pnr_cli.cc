@@ -1,0 +1,201 @@
+// pnr: command-line PNrule — train on a CSV, evaluate, save/load models,
+// score new data. The "downstream user" entry point that needs no C++.
+//
+// Usage:
+//   pnr train   --data train.csv --target fraud [--model model.txt]
+//               [--rp 0.99] [--rn 0.9] [--min-support 0.01] [--p1]
+//               [--class-column label]
+//   pnr eval    --data test.csv --target fraud --model model.txt
+//               [--class-column label]
+//   pnr predict --data new.csv --target fraud --model model.txt
+//               [--class-column label]   (prints one score per row)
+//
+// `--target` is the class value treated as positive. Training prints the
+// learned rules; eval prints recall / precision / F and ranking areas.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "eval/curves.h"
+#include "eval/metrics.h"
+#include "pnrule/model_io.h"
+#include "pnrule/pnrule.h"
+
+namespace {
+
+using namespace pnr;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool p1 = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--p1") {
+      args.p1 = true;
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[arg.substr(2)] = argv[++i];
+    } else {
+      std::fprintf(stderr, "unrecognized argument '%s'\n", arg.c_str());
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pnr <train|eval|predict> --data <csv> --target "
+               "<class> [--model <file>]\n"
+               "           [--rp <f>] [--rn <f>] [--min-support <f>] "
+               "[--p1] [--threshold <f>]\n"
+               "           [--class-column <name>]\n");
+  return 2;
+}
+
+StatusOr<Dataset> LoadData(const Args& args) {
+  const auto data_it = args.options.find("data");
+  if (data_it == args.options.end()) {
+    return Status::InvalidArgument("--data is required");
+  }
+  CsvReadOptions options;
+  const auto class_it = args.options.find("class-column");
+  if (class_it != args.options.end()) options.class_column = class_it->second;
+  return ReadCsv(data_it->second, options);
+}
+
+StatusOr<CategoryId> ResolveTarget(const Args& args, const Dataset& data) {
+  const auto it = args.options.find("target");
+  if (it == args.options.end()) {
+    return Status::InvalidArgument("--target is required");
+  }
+  const CategoryId target = data.schema().class_attr().FindCategory(it->second);
+  if (target == kInvalidCategory) {
+    return Status::NotFound("class '" + it->second +
+                            "' does not occur in the data");
+  }
+  return target;
+}
+
+double OptionOr(const Args& args, const std::string& key,
+                double fallback) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end()) return fallback;
+  double value = fallback;
+  ParseDouble(it->second, &value);
+  return value;
+}
+
+int Train(const Args& args) {
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto target = ResolveTarget(args, *data);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
+  PnruleConfig config;
+  config.min_coverage_fraction = OptionOr(args, "rp", 0.99);
+  config.n_recall_lower_limit = OptionOr(args, "rn", 0.9);
+  config.min_support_fraction = OptionOr(args, "min-support", 0.01);
+  if (args.p1) config.max_p_rule_length = 1;
+
+  auto model = PnruleLearner(config).Train(*data, *target);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", model->Describe(data->schema()).c_str());
+  const Confusion train_eval = EvaluateClassifier(*model, *data, *target);
+  std::printf("training-set fit: %s\n", train_eval.ToString().c_str());
+
+  const auto model_it = args.options.find("model");
+  if (model_it != args.options.end()) {
+    Status saved = SavePnruleModel(*model, data->schema(), model_it->second);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("model written to %s\n", model_it->second.c_str());
+  }
+  return 0;
+}
+
+StatusOr<PnruleClassifier> LoadModel(const Args& args, const Dataset& data) {
+  const auto it = args.options.find("model");
+  if (it == args.options.end()) {
+    return Status::InvalidArgument("--model is required");
+  }
+  auto model = LoadPnruleModel(it->second, data.schema());
+  if (!model.ok()) return model.status();
+  PnruleClassifier classifier = std::move(model).value();
+  classifier.set_threshold(
+      OptionOr(args, "threshold", classifier.threshold()));
+  return classifier;
+}
+
+int Eval(const Args& args) {
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto target = ResolveTarget(args, *data);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
+  auto model = LoadModel(args, *data);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const Confusion c = EvaluateClassifier(*model, *data, *target);
+  std::printf("%s\n", c.ToString().c_str());
+  const RankingSummary ranking = SummarizeRanking(*model, *data, *target);
+  std::printf("ROC-AUC=%.4f PR-AUC=%.4f\n", ranking.roc_auc,
+              ranking.pr_auc);
+  return 0;
+}
+
+int Predict(const Args& args) {
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto model = LoadModel(args, *data);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("row,score,predicted\n");
+  for (RowId row = 0; row < data->num_rows(); ++row) {
+    const double score = model->Score(*data, row);
+    std::printf("%u,%.6f,%d\n", row, score,
+                model->Predict(*data, row) ? 1 : 0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.command == "train") return Train(args);
+  if (args.command == "eval") return Eval(args);
+  if (args.command == "predict") return Predict(args);
+  return Usage();
+}
