@@ -1,8 +1,23 @@
 // google-benchmark microbenchmarks: training and classification throughput
 // of the three learners, plus the cost of the condition search with and
-// without the paper's range-condition extra scan.
+// without the paper's range-condition extra scan, and the persistent
+// ConditionSearchEngine (sorted-column cache + thread pool) against the
+// transient per-call search.
+//
+// Besides the regular google-benchmark output, the binary writes a
+// machine-readable serial-vs-engine comparison to the path in the
+// PNR_BENCH_JSON environment variable when it is set (see
+// BENCH_condition_search.json at the repo root). PNR_BENCH_COMPARE_ITERS
+// overrides the number of timed calls per configuration (default 20).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "c45/rules.h"
 #include "c45/tree_classifier.h"
@@ -82,26 +97,36 @@ void BM_ClassifyPnrule(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassifyPnrule)->Unit(benchmark::kMillisecond);
 
-void ConditionSearchBody(benchmark::State& state, bool enable_ranges) {
+// Scorer/options shared by every condition-search benchmark below.
+struct SearchFixture {
   const TrainTestPair& data = SharedData();
-  const RowSubset rows = data.train.AllRows();
-  const auto metric = MakeRuleMetric(RuleMetricKind::kZNumber);
+  RowSubset rows = data.train.AllRows();
+  std::shared_ptr<RuleMetric> metric = MakeRuleMetric(RuleMetricKind::kZNumber);
   ClassDistribution dist;
-  dist.positives = data.train.ClassWeight(rows, Target());
-  dist.negatives = data.train.TotalWeight(rows) - dist.positives;
   ConditionSearchOptions options;
-  options.enable_range_conditions = enable_ranges;
-  ConditionScorer scorer = [&](const RuleStats& stats) {
-    return metric->Evaluate(stats, dist);
-  };
+  ConditionScorer scorer;
+
+  explicit SearchFixture(bool enable_ranges) {
+    dist.positives = data.train.ClassWeight(rows, Target());
+    dist.negatives = data.train.TotalWeight(rows) - dist.positives;
+    options.enable_range_conditions = enable_ranges;
+    scorer = [this](const RuleStats& stats) {
+      return metric->Evaluate(stats, dist);
+    };
+  }
+};
+
+void ConditionSearchBody(benchmark::State& state, bool enable_ranges) {
+  SearchFixture fx(enable_ranges);
   for (auto _ : state) {
     auto best =
-        FindBestCondition(data.train, rows, Target(), scorer, options);
+        FindBestCondition(fx.data.train, fx.rows, Target(), fx.scorer,
+                          fx.options);
     benchmark::DoNotOptimize(best);
   }
   state.SetItemsProcessed(
       static_cast<int64_t>(state.iterations()) *
-      static_cast<int64_t>(rows.size()));
+      static_cast<int64_t>(fx.rows.size()));
 }
 
 void BM_ConditionSearchWithRanges(benchmark::State& state) {
@@ -114,6 +139,133 @@ void BM_ConditionSearchOneSided(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionSearchOneSided)->Unit(benchmark::kMillisecond);
 
+// Persistent engine: the sorted-column cache is warm after the first call,
+// so steady-state cost is the prefix-sum scans only. Arg = thread count.
+void BM_ConditionSearchEngine(benchmark::State& state) {
+  SearchFixture fx(/*enable_ranges=*/true);
+  ConditionSearchEngine engine(fx.data.train,
+                               static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto best = engine.FindBest(fx.rows, Target(), fx.scorer, fx.options);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(fx.rows.size()));
+}
+BENCHMARK(BM_ConditionSearchEngine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Serial-vs-engine comparison written as JSON (satellite: perf evidence).
+
+double MillisPerCall(const std::function<void()>& call, int iterations) {
+  call();  // warm-up (also warms the engine's sorted-column cache)
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) call();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         iterations;
+}
+
+int WriteConditionSearchComparison(const char* path) {
+  const int iterations = [] {
+    const char* s = std::getenv("PNR_BENCH_COMPARE_ITERS");
+    const int n = s != nullptr ? std::atoi(s) : 0;
+    return n > 0 ? n : 20;
+  }();
+
+  SearchFixture fx(/*enable_ranges=*/true);
+  const CategoryId target = Target();
+
+  // Baseline: the transient search, which re-sorts every numeric column on
+  // every call (the pre-engine behaviour all learners had).
+  const double serial_ms = MillisPerCall(
+      [&] {
+        auto best = FindBestCondition(fx.data.train, fx.rows, target,
+                                      fx.scorer, fx.options);
+        benchmark::DoNotOptimize(best);
+      },
+      iterations);
+  const auto reference =
+      FindBestCondition(fx.data.train, fx.rows, target, fx.scorer, fx.options);
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"condition_search\",\n";
+  json += "  \"dataset\": {\"rows\": " +
+          std::to_string(fx.data.train.num_rows()) + ", \"attributes\": " +
+          std::to_string(fx.data.train.schema().num_attributes()) + "},\n";
+  json += "  \"iterations\": " + std::to_string(iterations) + ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", serial_ms);
+  json += "  \"transient_search_ms_per_call\": " + std::string(buf) + ",\n";
+  json += "  \"engine\": [\n";
+
+  bool deterministic = true;
+  double best_speedup = 0.0;
+  const size_t thread_counts[] = {1, 2, 8};
+  for (size_t t = 0; t < 3; ++t) {
+    const size_t threads = thread_counts[t];
+    ConditionSearchEngine engine(fx.data.train, threads);
+    const double ms = MillisPerCall(
+        [&] {
+          auto best = engine.FindBest(fx.rows, target, fx.scorer, fx.options);
+          benchmark::DoNotOptimize(best);
+        },
+        iterations);
+    const auto got = engine.FindBest(fx.rows, target, fx.scorer, fx.options);
+    const bool same =
+        got.has_value() == reference.has_value() &&
+        (!got.has_value() ||
+         (!CandidateBetter(*got, *reference) &&
+          !CandidateBetter(*reference, *got) &&
+          got->value == reference->value));
+    deterministic = deterministic && same;
+    const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
+    if (speedup > best_speedup) best_speedup = speedup;
+    std::snprintf(buf, sizeof(buf), "%.4f", ms);
+    json += "    {\"threads\": " + std::to_string(threads) +
+            ", \"ms_per_call\": " + std::string(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", speedup);
+    json += ", \"speedup_vs_transient\": " + std::string(buf) +
+            ", \"matches_serial_result\": " + (same ? "true" : "false") +
+            "}";
+    json += t + 1 < 3 ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf), "%.2f", best_speedup);
+  json += "  \"best_speedup\": " + std::string(buf) + ",\n";
+  json += std::string("  \"deterministic\": ") +
+          (deterministic ? "true" : "false") + "\n";
+  json += "}\n";
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s (best speedup %.2fx, deterministic=%s)\n", path,
+              best_speedup, deterministic ? "true" : "false");
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Opt-in JSON comparison: set PNR_BENCH_JSON=<path> (kept out of the
+  // default run so the ctest smoke registration stays fast).
+  const char* json_path = std::getenv("PNR_BENCH_JSON");
+  if (json_path != nullptr) return WriteConditionSearchComparison(json_path);
+  return 0;
+}

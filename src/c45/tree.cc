@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace pnr {
 
@@ -146,6 +148,7 @@ struct Builder {
   const C45Config& config;
   DecisionTree* tree;
   size_t num_classes;
+  ThreadPool* pool = nullptr;  ///< null when serial
 
   std::vector<double> NodeClassWeights(const RowSubset& rows) const {
     std::vector<double> weights(num_classes, 0.0);
@@ -292,16 +295,27 @@ struct Builder {
 
     const double parent_entropy =
         Entropy(node.class_weights, node.total_weight);
-    std::vector<SplitCandidate> candidates;
-    for (size_t a = 0; a < dataset.schema().num_attributes(); ++a) {
+    // Evaluate every attribute's best split into a private slot; collecting
+    // the valid candidates in attribute order afterwards keeps the
+    // average-gain sum and the winner identical for any thread count.
+    const size_t num_attrs = dataset.schema().num_attributes();
+    std::vector<SplitCandidate> slots(num_attrs);
+    const auto evaluate = [&](size_t a) {
       const AttrIndex attr = static_cast<AttrIndex>(a);
-      SplitCandidate cand =
-          dataset.schema().attribute(attr).is_numeric()
-              ? EvaluateNumeric(rows, attr, parent_entropy,
-                                node.total_weight)
-              : EvaluateCategorical(rows, attr, parent_entropy,
-                                    node.total_weight);
-      if (cand.valid) candidates.push_back(cand);
+      slots[a] = dataset.schema().attribute(attr).is_numeric()
+                     ? EvaluateNumeric(rows, attr, parent_entropy,
+                                       node.total_weight)
+                     : EvaluateCategorical(rows, attr, parent_entropy,
+                                           node.total_weight);
+    };
+    if (pool != nullptr && num_attrs > 1) {
+      pool->ParallelFor(num_attrs, evaluate);
+    } else {
+      for (size_t a = 0; a < num_attrs; ++a) evaluate(a);
+    }
+    std::vector<SplitCandidate> candidates;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (slots[a].valid) candidates.push_back(slots[a]);
     }
     if (candidates.empty()) return tree->AddNode(std::move(node));
 
@@ -388,7 +402,11 @@ StatusOr<DecisionTree> BuildC45Tree(const Dataset& dataset,
   }
   DecisionTree tree;
   tree.set_num_classes(dataset.schema().num_classes());
-  Builder builder{dataset, config, &tree, dataset.schema().num_classes()};
+  const size_t num_threads = ThreadPool::ResolveThreadCount(config.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  Builder builder{dataset, config, &tree, dataset.schema().num_classes(),
+                  pool.get()};
   tree.set_root(builder.Build(rows, 0));
   if (config.prune) {
     PruneC45Tree(dataset, rows, config, &tree);

@@ -39,6 +39,12 @@ struct C45Config {
   /// Safety cap on tree depth.
   size_t max_depth = 64;
 
+  /// Threads used to evaluate candidate splits at each node: 1 = serial,
+  /// 0 = hardware concurrency. Each attribute's candidate is computed in a
+  /// private slot and the winner selected in attribute order, so any thread
+  /// count builds the identical tree.
+  size_t num_threads = 1;
+
   Status Validate() const;
 };
 

@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace pnr {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+size_t ThreadPool::ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+void ThreadPool::DrainJob(std::unique_lock<std::mutex>& lock) {
+  while (job_fn_ != nullptr && next_index_ < job_count_) {
+    const size_t index = next_index_++;
+    const std::function<void(size_t)>* fn = job_fn_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !error_) error_ = error;
+    ++completed_;
+    if (completed_ == job_count_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || (job_fn_ != nullptr && next_index_ < job_count_);
+    });
+    if (shutdown_) return;
+    DrainJob(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_fn_ = &fn;
+  job_count_ = count;
+  next_index_ = 0;
+  completed_ = 0;
+  error_ = nullptr;
+  work_cv_.notify_all();
+  DrainJob(lock);  // the caller participates instead of idling
+  done_cv_.wait(lock, [this] { return completed_ == job_count_; });
+  job_fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace pnr

@@ -1,0 +1,71 @@
+// A small fixed-size thread pool for data-parallel loops.
+//
+// The pool is built for the induction engine's attribute-parallel scans:
+// one blocking ParallelFor at a time, issued from one controlling thread,
+// with the workers and the caller draining a shared index range. Results
+// must be written to per-index slots; the caller then reduces them in a
+// deterministic order, which is how parallel runs stay bit-identical to
+// serial ones (see induction/condition_search.h).
+
+#ifndef PNR_COMMON_THREAD_POOL_H_
+#define PNR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pnr {
+
+/// Fixed pool of worker threads executing indexed loop bodies.
+///
+/// Thread-safety contract: ParallelFor may not be called concurrently from
+/// two threads, and loop bodies must not call back into the same pool
+/// (no nesting). Loop bodies run concurrently and must only write state
+/// disjoint per index.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 or 1 spawns none: every ParallelFor
+  /// runs inline on the calling thread (the degenerate serial pool).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Number of worker threads (0 for the serial pool).
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(0) .. fn(count - 1), distributing indices over the workers and
+  /// the calling thread; blocks until every index completed. The first
+  /// exception thrown by a body is rethrown here (remaining indices still
+  /// run).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Maps a user-facing thread-count knob to a concrete count: 0 means
+  /// "auto" (hardware concurrency, at least 1); anything else is itself.
+  static size_t ResolveThreadCount(size_t requested);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indices of the current job while any remain. Must be
+  /// entered with `lock` held; returns with it held.
+  void DrainJob(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signals workers: job posted/shutdown
+  std::condition_variable done_cv_;  ///< signals the caller: job finished
+  const std::function<void(size_t)>* job_fn_ = nullptr;  // non-null while a job runs
+  size_t job_count_ = 0;
+  size_t next_index_ = 0;
+  size_t completed_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_COMMON_THREAD_POOL_H_

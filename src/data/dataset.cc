@@ -21,6 +21,7 @@ RowId Dataset::AddRow() {
   }
   labels_.push_back(0);
   weights_.push_back(1.0);
+  ++data_version_;
   return row;
 }
 
@@ -47,6 +48,7 @@ void Dataset::set_numeric(RowId row, AttrIndex attr, double value) {
   assert(schema_.attribute(attr).is_numeric());
   assert(row < num_rows());
   columns_[static_cast<size_t>(attr)].numeric[row] = value;
+  ++data_version_;
 }
 
 CategoryId Dataset::categorical(RowId row, AttrIndex attr) const {
@@ -59,6 +61,7 @@ void Dataset::set_categorical(RowId row, AttrIndex attr, CategoryId value) {
   assert(schema_.attribute(attr).is_categorical());
   assert(row < num_rows());
   columns_[static_cast<size_t>(attr)].categorical[row] = value;
+  ++data_version_;
 }
 
 const std::vector<double>& Dataset::numeric_column(AttrIndex attr) const {
@@ -75,10 +78,12 @@ const std::vector<CategoryId>& Dataset::categorical_column(
 void Dataset::SetAllWeights(std::vector<double> weights) {
   assert(weights.size() == num_rows());
   weights_ = std::move(weights);
+  ++weight_version_;
 }
 
 void Dataset::ResetWeights() {
   weights_.assign(num_rows(), 1.0);
+  ++weight_version_;
 }
 
 double Dataset::ClassWeight(const RowSubset& rows, CategoryId cls) const {

@@ -58,7 +58,21 @@ class Dataset {
   void set_label(RowId row, CategoryId value) { labels_[row] = value; }
 
   double weight(RowId row) const { return weights_[row]; }
-  void set_weight(RowId row, double value) { weights_[row] = value; }
+  void set_weight(RowId row, double value) {
+    weights_[row] = value;
+    ++weight_version_;
+  }
+
+  // -- Mutation counters (cache invalidation) -------------------------------
+
+  /// Incremented whenever rows are added or cell values change. Caches of
+  /// derived per-column structure (e.g. sorted orders) key on this.
+  uint64_t data_version() const { return data_version_; }
+
+  /// Incremented whenever any record weight changes (stratification,
+  /// N-phase re-weighting). Caches of weight-derived aggregates key on
+  /// this; value-derived structure stays valid across weight changes.
+  uint64_t weight_version() const { return weight_version_; }
 
   // -- Whole-column access (for sorted scans) -------------------------------
 
@@ -110,6 +124,8 @@ class Dataset {
   std::vector<Column> columns_;
   std::vector<CategoryId> labels_;
   std::vector<double> weights_;
+  uint64_t data_version_ = 0;
+  uint64_t weight_version_ = 0;
 };
 
 }  // namespace pnr

@@ -12,12 +12,27 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;
 
-// Mutable search state threaded through the per-attribute scans.
+int ConditionKindRank(ConditionOp op) {
+  switch (op) {
+    case ConditionOp::kCatEqual:
+      return 0;
+    case ConditionOp::kLessEqual:
+      return 1;
+    case ConditionOp::kGreater:
+      return 2;
+    case ConditionOp::kInRange:
+      return 3;
+  }
+  return 4;
+}
+
+// Mutable per-attribute search state. Each attribute is scanned by exactly
+// one thread, which accumulates its own best candidate; the engine then
+// reduces the per-attribute winners under CandidateBetter.
 struct SearchState {
   const ConditionScorer* scorer = nullptr;
   const ConditionSearchOptions* options = nullptr;
   double total_weight = 0.0;
-  double best_value = kNegInf;
   std::optional<CandidateCondition> best;
 
   // Scores `stats`; records the candidate if it is admissible and improves
@@ -29,9 +44,9 @@ struct SearchState {
     if (stats.positive < options->min_positive_weight - kEps) return kNegInf;
     const double value = (*scorer)(stats);
     if (!std::isfinite(value)) return kNegInf;
-    if (value > best_value) {
-      best_value = value;
-      best = CandidateCondition{condition, stats, value};
+    const CandidateCondition candidate{condition, stats, value};
+    if (!best.has_value() || CandidateBetter(candidate, *best)) {
+      best = candidate;
     }
     return value;
   }
@@ -61,58 +76,6 @@ void ScanCategorical(const Dataset& dataset, const RowSubset& rows,
   }
 }
 
-// One entry per row, sorted by value, with prefix sums over weight/positive.
-struct SortedColumn {
-  std::vector<double> values;
-  std::vector<double> prefix_weight;    // weight of entries [0, i)
-  std::vector<double> prefix_positive;  // positive weight of entries [0, i)
-  // Indices i such that values[i-1] < values[i]: candidate cut positions.
-  std::vector<size_t> boundaries;
-  double total_weight = 0.0;
-  double total_positive = 0.0;
-
-  double CutValue(size_t boundary) const {
-    // Midpoint between the adjacent distinct values; no data point can be
-    // equal to it, so <=/&gt; semantics are unambiguous.
-    return 0.5 * (values[boundary - 1] + values[boundary]);
-  }
-};
-
-SortedColumn BuildSortedColumn(const Dataset& dataset, const RowSubset& rows,
-                               CategoryId target, AttrIndex attr) {
-  struct Entry {
-    double value;
-    double weight;
-    double positive;
-  };
-  std::vector<Entry> entries;
-  entries.reserve(rows.size());
-  for (RowId row : rows) {
-    const double w = dataset.weight(row);
-    entries.push_back({dataset.numeric(row, attr), w,
-                       dataset.label(row) == target ? w : 0.0});
-  }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.value < b.value; });
-
-  SortedColumn col;
-  col.values.resize(entries.size());
-  col.prefix_weight.resize(entries.size() + 1, 0.0);
-  col.prefix_positive.resize(entries.size() + 1, 0.0);
-  for (size_t i = 0; i < entries.size(); ++i) {
-    col.values[i] = entries[i].value;
-    col.prefix_weight[i + 1] = col.prefix_weight[i] + entries[i].weight;
-    col.prefix_positive[i + 1] =
-        col.prefix_positive[i] + entries[i].positive;
-    if (i > 0 && entries[i].value > entries[i - 1].value) {
-      col.boundaries.push_back(i);
-    }
-  }
-  col.total_weight = col.prefix_weight.back();
-  col.total_positive = col.prefix_positive.back();
-  return col;
-}
-
 // Stats of the slice [from, to) of the sorted column.
 RuleStats SliceStats(const SortedColumn& col, size_t from, size_t to) {
   RuleStats stats;
@@ -121,9 +84,8 @@ RuleStats SliceStats(const SortedColumn& col, size_t from, size_t to) {
   return stats;
 }
 
-void ScanNumeric(const Dataset& dataset, const RowSubset& rows,
-                 CategoryId target, AttrIndex attr, SearchState* state) {
-  const SortedColumn col = BuildSortedColumn(dataset, rows, target, attr);
+void ScanNumeric(const SortedColumn& col, AttrIndex attr,
+                 SearchState* state) {
   if (col.boundaries.empty()) return;  // constant attribute
 
   // Single scan: best one-sided conditions.
@@ -151,11 +113,12 @@ void ScanNumeric(const Dataset& dataset, const RowSubset& rows,
   if (!std::isfinite(best_le_value) && !std::isfinite(best_gt_value)) return;
 
   // Extra scan for a range condition (paper, section 2.2): fix the limit of
-  // the better one-sided condition, scan for the opposite limit.
+  // the better one-sided condition, scan for the opposite limit. The lower
+  // limit uses the round-up cut because kInRange's lower test is inclusive.
   if (best_gt_value >= best_le_value) {
     // Fix the left limit vl = cut(best_gt_boundary); scan right limits.
     const size_t left = best_gt_boundary;
-    const double lo = col.CutValue(left);
+    const double lo = col.LowerCutValue(left);
     for (size_t b : col.boundaries) {
       if (b <= left) continue;
       state->Consider(Condition::InRange(attr, lo, col.CutValue(b)),
@@ -167,7 +130,7 @@ void ScanNumeric(const Dataset& dataset, const RowSubset& rows,
     const double hi = col.CutValue(right);
     for (size_t b : col.boundaries) {
       if (b >= right) break;
-      state->Consider(Condition::InRange(attr, col.CutValue(b), hi),
+      state->Consider(Condition::InRange(attr, col.LowerCutValue(b), hi),
                       SliceStats(col, b, right));
     }
   }
@@ -175,25 +138,88 @@ void ScanNumeric(const Dataset& dataset, const RowSubset& rows,
 
 }  // namespace
 
+bool CandidateBetter(const CandidateCondition& a, const CandidateCondition& b) {
+  if (a.value != b.value) return a.value > b.value;
+  if (a.condition.attr != b.condition.attr) {
+    return a.condition.attr < b.condition.attr;
+  }
+  const int rank_a = ConditionKindRank(a.condition.op);
+  const int rank_b = ConditionKindRank(b.condition.op);
+  if (rank_a != rank_b) return rank_a < rank_b;
+  if (a.condition.category != b.condition.category) {
+    return a.condition.category < b.condition.category;
+  }
+  if (a.condition.lo != b.condition.lo) return a.condition.lo < b.condition.lo;
+  return a.condition.hi < b.condition.hi;
+}
+
+ConditionSearchEngine::ConditionSearchEngine(const Dataset& dataset,
+                                            size_t num_threads)
+    : dataset_(dataset),
+      num_threads_(ThreadPool::ResolveThreadCount(num_threads)),
+      cache_(dataset),
+      scratch_columns_(dataset.schema().num_attributes()) {
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+std::optional<CandidateCondition> ConditionSearchEngine::FindBest(
+    const RowSubset& rows, CategoryId target, const ConditionScorer& scorer,
+    const ConditionSearchOptions& options) {
+  if (rows.empty()) return std::nullopt;
+
+  const Schema& schema = dataset_.schema();
+  const size_t num_attrs = schema.num_attributes();
+  const double total_weight = dataset_.TotalWeight(rows);
+
+  // Membership mask, read-only during the parallel phase. Only needed when
+  // `rows` is a strict subset served via the cached sorted orders.
+  const bool full = rows.size() == dataset_.num_rows();
+  if (!full) {
+    membership_.assign(dataset_.num_rows(), 0);
+    for (RowId row : rows) membership_[row] = 1;
+  }
+
+  // Per-attribute winners: each slot written by exactly one task.
+  std::vector<std::optional<CandidateCondition>> results(num_attrs);
+  const auto scan_attribute = [&](size_t a) {
+    const AttrIndex attr = static_cast<AttrIndex>(a);
+    SearchState state;
+    state.scorer = &scorer;
+    state.options = &options;
+    state.total_weight = total_weight;
+    if (schema.attribute(attr).is_categorical()) {
+      ScanCategorical(dataset_, rows, target, attr, &state);
+    } else {
+      const SortedColumn& col = cache_.Column(attr, target, rows, membership_,
+                                              &scratch_columns_[a]);
+      ScanNumeric(col, attr, &state);
+    }
+    results[a] = std::move(state.best);
+  };
+
+  if (pool_ != nullptr && num_attrs > 1) {
+    pool_->ParallelFor(num_attrs, scan_attribute);
+  } else {
+    for (size_t a = 0; a < num_attrs; ++a) scan_attribute(a);
+  }
+
+  // Deterministic reduction: attribute order plus the CandidateBetter total
+  // order makes the result independent of task scheduling.
+  std::optional<CandidateCondition> best;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (!results[a].has_value()) continue;
+    if (!best.has_value() || CandidateBetter(*results[a], *best)) {
+      best = std::move(results[a]);
+    }
+  }
+  return best;
+}
+
 std::optional<CandidateCondition> FindBestCondition(
     const Dataset& dataset, const RowSubset& rows, CategoryId target,
     const ConditionScorer& scorer, const ConditionSearchOptions& options) {
-  if (rows.empty()) return std::nullopt;
-  SearchState state;
-  state.scorer = &scorer;
-  state.options = &options;
-  state.total_weight = dataset.TotalWeight(rows);
-
-  const Schema& schema = dataset.schema();
-  for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    const AttrIndex attr = static_cast<AttrIndex>(a);
-    if (schema.attribute(attr).is_categorical()) {
-      ScanCategorical(dataset, rows, target, attr, &state);
-    } else {
-      ScanNumeric(dataset, rows, target, attr, &state);
-    }
-  }
-  return state.best;
+  ConditionSearchEngine engine(dataset, options.num_threads);
+  return engine.FindBest(rows, target, scorer, options);
 }
 
 }  // namespace pnr

@@ -10,13 +10,24 @@
 //   - and, when enabled, a range condition (vl < attr <= vr) found with the
 //     paper's one-extra-scan procedure: fix the limit of the better
 //     one-sided condition and scan for the opposite limit.
+//
+// ConditionSearchEngine is the stateful fast path: it keeps a per-dataset
+// SortedColumnCache (each numeric attribute sorted once, prefix sums derived
+// per refinement instead of re-sorting) and an optional thread pool that
+// evaluates the attributes of one call in parallel. Results are reduced
+// under a total order on candidates — (score, attr index, condition kind,
+// cut value) — so a parallel search returns bit-identical results to a
+// serial one, for any thread count.
 
 #ifndef PNR_INDUCTION_CONDITION_SEARCH_H_
 #define PNR_INDUCTION_CONDITION_SEARCH_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 
+#include "common/thread_pool.h"
+#include "induction/sorted_column_cache.h"
 #include "rules/rule.h"
 
 namespace pnr {
@@ -28,7 +39,16 @@ struct CandidateCondition {
   double value = 0.0;  ///< scorer value (higher is better)
 };
 
+/// The deterministic total order used to reduce per-attribute results:
+/// higher score first, ties broken by lower attribute index, then condition
+/// kind (categorical, <=, >, range), then cut value / category. Exposed for
+/// the determinism tests.
+bool CandidateBetter(const CandidateCondition& a, const CandidateCondition& b);
+
 /// Scores the stats of the refined rule; return -infinity to reject.
+/// When the search runs multi-threaded the scorer is invoked concurrently
+/// from pool workers and must be thread-safe (the built-in metrics are pure
+/// functions and qualify).
 using ConditionScorer = std::function<double(const RuleStats&)>;
 
 /// Knobs for FindBestCondition.
@@ -43,13 +63,54 @@ struct ConditionSearchOptions {
 
   /// Candidates whose covered *positive* weight is below this are skipped.
   double min_positive_weight = 0.0;
+
+  /// Threads used by the free FindBestCondition function (which builds a
+  /// transient engine per call): 1 = serial, 0 = hardware concurrency.
+  /// Persistent engines take their thread count at construction instead.
+  size_t num_threads = 1;
 };
 
-/// Finds the highest-scoring condition over `rows` (the records matched by
-/// the rule being grown). Returns nullopt when no candidate is admissible.
+/// Reusable search engine bound to one dataset.
 ///
-/// Candidates that cover all of `rows` are skipped (they would not refine
-/// the rule), as are candidates covering nothing.
+/// Construct once per training run and issue every FindBest through it: the
+/// sorted-column cache then amortizes all O(n log n) sorting across the
+/// run's refinement calls. Calls must be issued serially from one thread
+/// (the engine parallelizes internally).
+class ConditionSearchEngine {
+ public:
+  /// `num_threads`: 1 = serial, 0 = hardware concurrency, n = n workers.
+  explicit ConditionSearchEngine(const Dataset& dataset,
+                                 size_t num_threads = 1);
+
+  const Dataset& dataset() const { return dataset_; }
+
+  /// Resolved thread count (never 0).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Cache introspection for tests and diagnostics.
+  const SortedColumnCache& cache() const { return cache_; }
+
+  /// Finds the highest-scoring condition over `rows` (the records matched
+  /// by the rule being grown). Returns nullopt when no candidate is
+  /// admissible. Candidates that cover all of `rows` are skipped (they
+  /// would not refine the rule), as are candidates covering nothing.
+  std::optional<CandidateCondition> FindBest(
+      const RowSubset& rows, CategoryId target, const ConditionScorer& scorer,
+      const ConditionSearchOptions& options = {});
+
+ private:
+  const Dataset& dataset_;
+  size_t num_threads_;
+  SortedColumnCache cache_;
+  std::unique_ptr<ThreadPool> pool_;          ///< null when serial
+  std::vector<SortedColumn> scratch_columns_; ///< one per attribute
+  std::vector<uint8_t> membership_;           ///< row mask scratch
+};
+
+/// One-shot convenience wrapper: builds a transient engine (thread count
+/// from `options.num_threads`) and runs a single search. Training loops
+/// should hold a ConditionSearchEngine instead so column sorts are cached
+/// across refinements.
 std::optional<CandidateCondition> FindBestCondition(
     const Dataset& dataset, const RowSubset& rows, CategoryId target,
     const ConditionScorer& scorer, const ConditionSearchOptions& options = {});

@@ -1,0 +1,154 @@
+#include "induction/sorted_column_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace pnr {
+
+double MidpointBetween(double lo, double hi, bool round_up) {
+  assert(lo < hi);
+  double mid = 0.5 * (lo + hi);
+  if (!std::isfinite(mid)) mid = lo + 0.5 * (hi - lo);  // |lo + hi| overflowed
+  if (mid > lo && mid < hi) return mid;
+  // No representable double strictly between (adjacent values, denormals):
+  // collapse onto the endpoint that keeps the cut's slice semantics exact.
+  return round_up ? hi : lo;
+}
+
+void SortedColumn::Clear() {
+  values.clear();
+  prefix_weight.clear();
+  prefix_positive.clear();
+  boundaries.clear();
+  total_weight = 0.0;
+  total_positive = 0.0;
+}
+
+SortedColumnCache::SortedColumnCache(const Dataset& dataset)
+    : dataset_(dataset), per_attr_(dataset.schema().num_attributes()) {}
+
+void SortedColumnCache::BuildOrder(AttrIndex attr, PerAttr* slot) {
+  const std::vector<double>& column = dataset_.numeric_column(attr);
+  slot->order.resize(column.size());
+  for (size_t i = 0; i < column.size(); ++i) {
+    slot->order[i] = static_cast<RowId>(i);
+  }
+  std::sort(slot->order.begin(), slot->order.end(),
+            [&column](RowId a, RowId b) {
+              if (column[a] != column[b]) return column[a] < column[b];
+              return a < b;
+            });
+  slot->order_version = dataset_.data_version();
+  slot->order_valid = true;
+  sort_count_.fetch_add(1);
+}
+
+const std::vector<RowId>& SortedColumnCache::SortedOrder(AttrIndex attr) {
+  PerAttr& slot = per_attr_[static_cast<size_t>(attr)];
+  if (!slot.order_valid || slot.order_version != dataset_.data_version()) {
+    BuildOrder(attr, &slot);
+  }
+  return slot.order;
+}
+
+void SortedColumnCache::FinishColumn(SortedColumn* out) {
+  out->total_weight = out->prefix_weight.back();
+  out->total_positive = out->prefix_positive.back();
+}
+
+namespace {
+
+// Appends sorted entries of `source` to `out` (which must be pre-cleared and
+// pre-reserved by the caller through Clear()). Kept as a template so the
+// full-order gather and the mask-filter share one accumulation loop — both
+// visit rows in (value, row id) order, so the float prefix sums are
+// bit-identical whichever strategy built the row sequence.
+template <typename RowRange, typename Filter>
+void FillColumn(const Dataset& dataset, const std::vector<double>& column,
+                CategoryId target, const RowRange& source,
+                const Filter& keep, SortedColumn* out) {
+  const std::vector<double>& weights = dataset.weights();
+  const std::vector<CategoryId>& labels = dataset.labels();
+  out->prefix_weight.push_back(0.0);
+  out->prefix_positive.push_back(0.0);
+  size_t j = 0;
+  for (RowId row : source) {
+    if (!keep(row)) continue;
+    const double value = column[row];
+    const double w = weights[row];
+    out->values.push_back(value);
+    out->prefix_weight.push_back(out->prefix_weight.back() + w);
+    out->prefix_positive.push_back(out->prefix_positive.back() +
+                                   (labels[row] == target ? w : 0.0));
+    if (j > 0 && value > out->values[j - 1]) out->boundaries.push_back(j);
+    ++j;
+  }
+}
+
+}  // namespace
+
+void SortedColumnCache::BuildSubsetColumn(AttrIndex attr, CategoryId target,
+                                          const RowSubset& rows,
+                                          const std::vector<uint8_t>& mask,
+                                          SortedColumn* out) {
+  const std::vector<double>& column = dataset_.numeric_column(attr);
+  out->Clear();
+  out->values.reserve(rows.size());
+  out->prefix_weight.reserve(rows.size() + 1);
+  out->prefix_positive.reserve(rows.size() + 1);
+
+  const size_t k = rows.size();
+  const size_t log_k = static_cast<size_t>(std::bit_width(k));
+  if (k * (log_k + 2) < dataset_.num_rows()) {
+    // Small subset: sorting it directly is cheaper than filtering the
+    // full-dataset order. The (value, row id) key reproduces the cached
+    // order exactly, so both strategies yield the same column bytes.
+    std::vector<RowId> sorted(rows);
+    std::sort(sorted.begin(), sorted.end(), [&column](RowId a, RowId b) {
+      if (column[a] != column[b]) return column[a] < column[b];
+      return a < b;
+    });
+    FillColumn(dataset_, column, target, sorted, [](RowId) { return true; },
+               out);
+  } else {
+    FillColumn(dataset_, column, target, SortedOrder(attr),
+               [&mask](RowId row) { return mask[row] != 0; }, out);
+  }
+  FinishColumn(out);
+}
+
+const SortedColumn& SortedColumnCache::Column(AttrIndex attr,
+                                              CategoryId target,
+                                              const RowSubset& rows,
+                                              const std::vector<uint8_t>& mask,
+                                              SortedColumn* scratch) {
+  const bool full = rows.size() == dataset_.num_rows();
+  if (!full) {
+    BuildSubsetColumn(attr, target, rows, mask, scratch);
+    return *scratch;
+  }
+  PerAttr& slot = per_attr_[static_cast<size_t>(attr)];
+  if (slot.full_valid && slot.full_target == target &&
+      slot.full_weight_version == dataset_.weight_version() &&
+      slot.full_data_version == dataset_.data_version()) {
+    return slot.full;
+  }
+  const std::vector<double>& column = dataset_.numeric_column(attr);
+  slot.full.Clear();
+  slot.full.values.reserve(rows.size());
+  slot.full.prefix_weight.reserve(rows.size() + 1);
+  slot.full.prefix_positive.reserve(rows.size() + 1);
+  FillColumn(dataset_, column, target, SortedOrder(attr),
+             [](RowId) { return true; }, &slot.full);
+  FinishColumn(&slot.full);
+  slot.full_target = target;
+  slot.full_weight_version = dataset_.weight_version();
+  slot.full_data_version = dataset_.data_version();
+  slot.full_valid = true;
+  full_build_count_.fetch_add(1);
+  return slot.full;
+}
+
+}  // namespace pnr

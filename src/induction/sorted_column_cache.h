@@ -1,0 +1,128 @@
+// Cached sorted views of numeric columns for the condition-search engine.
+//
+// The dominant cost of the naive condition search is re-sorting every
+// numeric attribute on every refinement call. Values never change during
+// training, so the cache sorts each column once per dataset — by
+// (value, row id), a total order that makes every downstream float
+// accumulation independent of the sort implementation and of the thread
+// count — and derives the per-refinement prefix sums from the cached order
+// with a linear pass. Weight-dependent aggregates (the full-dataset prefix
+// sums) are additionally cached and invalidated only when record weights
+// change (N-phase re-weighting, stratification); the sorted order survives.
+
+#ifndef PNR_INDUCTION_SORTED_COLUMN_CACHE_H_
+#define PNR_INDUCTION_SORTED_COLUMN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Midpoint between adjacent distinct values lo < hi, guaranteed to split
+/// them: the result is strictly inside (lo, hi) whenever such a double
+/// exists. When the true midpoint is not representable (adjacent doubles,
+/// denormals) it falls back to `hi` when `round_up` is set and `lo`
+/// otherwise, which callers pick so the degenerate cut still partitions the
+/// data exactly like the slice it was derived from.
+double MidpointBetween(double lo, double hi, bool round_up);
+
+/// One numeric column restricted to a row subset, sorted by value, with
+/// prefix sums over weight / target-class weight.
+struct SortedColumn {
+  std::vector<double> values;           ///< subset values, ascending
+  std::vector<double> prefix_weight;    ///< weight of entries [0, i)
+  std::vector<double> prefix_positive;  ///< positive weight of entries [0, i)
+  /// Indices i with values[i-1] < values[i]: candidate cut positions.
+  std::vector<size_t> boundaries;
+  double total_weight = 0.0;
+  double total_positive = 0.0;
+
+  /// Cut value for one-sided conditions at `boundary`: some c with
+  /// values[boundary-1] <= c < values[boundary], so that {x <= c} covers
+  /// exactly [0, boundary) and {x > c} exactly [boundary, n).
+  double CutValue(size_t boundary) const {
+    return MidpointBetween(values[boundary - 1], values[boundary],
+                           /*round_up=*/false);
+  }
+
+  /// Lower limit for range conditions at `boundary`: some c with
+  /// values[boundary-1] < c <= values[boundary], so that {x >= c} covers
+  /// exactly [boundary, n) under kInRange's inclusive lower test.
+  double LowerCutValue(size_t boundary) const {
+    return MidpointBetween(values[boundary - 1], values[boundary],
+                           /*round_up=*/true);
+  }
+
+  void Clear();
+};
+
+/// Per-dataset cache of sorted numeric columns.
+///
+/// Thread-safety contract (matching the engine's attribute-parallel scans):
+/// concurrent calls are allowed only for *distinct* attributes; the per-attr
+/// state is independent. The dataset must not be mutated during a batch of
+/// concurrent calls.
+class SortedColumnCache {
+ public:
+  explicit SortedColumnCache(const Dataset& dataset);
+
+  const Dataset& dataset() const { return dataset_; }
+
+  /// Row ids of the whole dataset sorted ascending by (value of `attr`,
+  /// row id). Built on first use; rebuilt when the dataset's rows or cell
+  /// values changed (data_version).
+  const std::vector<RowId>& SortedOrder(AttrIndex attr);
+
+  /// The column over `rows` of `attr` with positives counted for `target`.
+  /// When `rows` is the full dataset the result is served from a per-attr
+  /// cache keyed on (target, weight_version) — i.e. invalidated only when
+  /// record weights change. Otherwise `*scratch` is filled (via the cached
+  /// sorted order, or a direct sort when the subset is small enough that
+  /// sorting beats a full-order filter pass — both produce bit-identical
+  /// columns) and returned. `mask` must flag membership of every row in
+  /// `rows` and is only read in the subset case.
+  const SortedColumn& Column(AttrIndex attr, CategoryId target,
+                             const RowSubset& rows,
+                             const std::vector<uint8_t>& mask,
+                             SortedColumn* scratch);
+
+  // -- Introspection for tests ----------------------------------------------
+
+  /// Number of O(n log n) full-column sorts performed so far.
+  uint64_t sort_count() const { return sort_count_.load(); }
+  /// Number of full-dataset prefix-sum (re)builds performed so far.
+  uint64_t full_build_count() const { return full_build_count_.load(); }
+
+ private:
+  struct PerAttr {
+    std::vector<RowId> order;      ///< all rows by (value, row id)
+    uint64_t order_version = 0;    ///< data_version the order was built at
+    bool order_valid = false;
+
+    SortedColumn full;             ///< column over all rows
+    CategoryId full_target = kInvalidCategory;
+    uint64_t full_weight_version = 0;
+    uint64_t full_data_version = 0;
+    bool full_valid = false;
+  };
+
+  void BuildOrder(AttrIndex attr, PerAttr* slot);
+  /// Fills `out` for the subset case; entries appear in (value, row id)
+  /// order regardless of the build strategy.
+  void BuildSubsetColumn(AttrIndex attr, CategoryId target,
+                         const RowSubset& rows,
+                         const std::vector<uint8_t>& mask, SortedColumn* out);
+  static void FinishColumn(SortedColumn* out);
+
+  const Dataset& dataset_;
+  std::vector<PerAttr> per_attr_;
+  std::atomic<uint64_t> sort_count_{0};
+  std::atomic<uint64_t> full_build_count_{0};
+};
+
+}  // namespace pnr
+
+#endif  // PNR_INDUCTION_SORTED_COLUMN_CACHE_H_

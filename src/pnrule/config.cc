@@ -45,6 +45,7 @@ std::string PnruleConfig::ToString() const {
     out += ", maxPlen=" + std::to_string(max_p_rule_length);
   }
   if (!enable_range_conditions) out += ", no-range";
+  if (num_threads != 1) out += ", threads=" + std::to_string(num_threads);
   if (legacy_mode) out += ", legacy";
   out += "}";
   return out;

@@ -76,6 +76,11 @@ struct PnruleConfig {
   /// Evaluate explicit range conditions on numeric attributes.
   bool enable_range_conditions = true;
 
+  /// Threads used by the condition-search engine when growing rules:
+  /// 1 = serial, 0 = hardware concurrency, n = n workers. Any value
+  /// produces bit-identical models (deterministic parallel reduction).
+  size_t num_threads = 1;
+
   // ----- Scoring ------------------------------------------------------------
 
   /// Minimum training weight a ScoreMatrix cell needs before its empirical

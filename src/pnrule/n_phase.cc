@@ -26,12 +26,13 @@ RuleStats FlipStats(const RuleStats& stats) {
 // currently keeps (before this rule). The rn guard: if stopping at the
 // current rule R would drop kept weight below the floor, refinement is
 // forced even when the metric does not improve.
-Rule GrowAbsenceRule(const Dataset& dataset, const RowSubset& remaining,
+Rule GrowAbsenceRule(ConditionSearchEngine& engine, const RowSubset& remaining,
                      CategoryId target, const RuleMetric& metric,
                      const ClassDistribution& absence_dist,
                      double kept_positive_weight, double recall_floor_weight,
                      size_t max_length, bool enable_range_conditions,
                      bool legacy_mode, double min_refinement_gain) {
+  const Dataset& dataset = engine.dataset();
   Rule rule;
   RowSubset covered = remaining;
   double current_value = 0.0;
@@ -46,8 +47,7 @@ Rule GrowAbsenceRule(const Dataset& dataset, const RowSubset& remaining,
   };
 
   while (max_length == 0 || rule.size() < max_length) {
-    const auto candidate =
-        FindBestCondition(dataset, covered, target, scorer, options);
+    const auto candidate = engine.FindBest(covered, target, scorer, options);
     if (!candidate.has_value()) break;
     const bool improves = ClearsRefinementGain(
         candidate->value, current_value, min_refinement_gain);
@@ -82,10 +82,12 @@ Rule GrowAbsenceRule(const Dataset& dataset, const RowSubset& remaining,
 
 }  // namespace
 
-NPhaseResult RunNPhase(const Dataset& dataset, const RowSubset& covered_rows,
-                       CategoryId target, double total_positive_weight,
+NPhaseResult RunNPhase(ConditionSearchEngine& engine,
+                       const RowSubset& covered_rows, CategoryId target,
+                       double total_positive_weight,
                        double covered_positive_weight,
                        const PnruleConfig& config) {
+  const Dataset& dataset = engine.dataset();
   NPhaseResult result;
   if (covered_rows.empty()) return result;
 
@@ -112,7 +114,7 @@ NPhaseResult RunNPhase(const Dataset& dataset, const RowSubset& covered_rows,
     const double kept_positive_weight =
         covered_positive_weight - result.erased_positive_weight;
     Rule rule = GrowAbsenceRule(
-        dataset, remaining, target, *metric, absence_dist,
+        engine, remaining, target, *metric, absence_dist,
         kept_positive_weight, recall_floor_weight, config.max_n_rule_length,
         enable_range, config.legacy_mode, config.min_refinement_gain);
     static const bool debug = std::getenv("PNR_DEBUG_NPHASE") != nullptr;
@@ -163,6 +165,15 @@ NPhaseResult RunNPhase(const Dataset& dataset, const RowSubset& covered_rows,
     remaining = rule.UncoveredRows(dataset, remaining);
   }
   return result;
+}
+
+NPhaseResult RunNPhase(const Dataset& dataset, const RowSubset& covered_rows,
+                       CategoryId target, double total_positive_weight,
+                       double covered_positive_weight,
+                       const PnruleConfig& config) {
+  ConditionSearchEngine engine(dataset, config.num_threads);
+  return RunNPhase(engine, covered_rows, target, total_positive_weight,
+                   covered_positive_weight, config);
 }
 
 }  // namespace pnr

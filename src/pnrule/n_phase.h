@@ -16,6 +16,7 @@
 #ifndef PNR_PNRULE_N_PHASE_H_
 #define PNR_PNRULE_N_PHASE_H_
 
+#include "induction/condition_search.h"
 #include "pnrule/config.h"
 #include "rules/rule_set.h"
 
@@ -37,6 +38,13 @@ struct NPhaseResult {
 /// `total_positive_weight` is the target-class weight of the *full* training
 /// rows (the recall denominator); `covered_positive_weight` is the part the
 /// P-rules captured. `config` must already be validated.
+NPhaseResult RunNPhase(ConditionSearchEngine& engine,
+                       const RowSubset& covered_rows, CategoryId target,
+                       double total_positive_weight,
+                       double covered_positive_weight,
+                       const PnruleConfig& config);
+
+/// Convenience overload: builds a transient engine (config.num_threads).
 NPhaseResult RunNPhase(const Dataset& dataset, const RowSubset& covered_rows,
                        CategoryId target, double total_positive_weight,
                        double covered_positive_weight,

@@ -11,11 +11,12 @@ bool ClearsRefinementGain(double value, double current, double min_gain) {
   return value > current * (1.0 + min_gain);
 }
 
-Rule GrowPresenceRule(const Dataset& dataset, const RowSubset& remaining,
+Rule GrowPresenceRule(ConditionSearchEngine& engine, const RowSubset& remaining,
                       CategoryId target, const RuleMetric& metric,
                       const ClassDistribution& dist, double min_support_weight,
                       size_t max_length, bool enable_range_conditions,
                       double min_refinement_gain) {
+  const Dataset& dataset = engine.dataset();
   Rule rule;
   RowSubset covered = remaining;
   // The empty rule covers everything: metric value 0 by construction for
@@ -32,8 +33,7 @@ Rule GrowPresenceRule(const Dataset& dataset, const RowSubset& remaining,
   };
 
   while (max_length == 0 || rule.size() < max_length) {
-    const auto candidate =
-        FindBestCondition(dataset, covered, target, scorer, options);
+    const auto candidate = engine.FindBest(covered, target, scorer, options);
     if (!candidate.has_value()) break;
     // Accept the refinement R1 over R only if the metric value improves
     // meaningfully (paper section 2.2); the support constraint is enforced
@@ -52,8 +52,20 @@ Rule GrowPresenceRule(const Dataset& dataset, const RowSubset& remaining,
   return rule;
 }
 
-PPhaseResult RunPPhase(const Dataset& dataset, const RowSubset& rows,
+Rule GrowPresenceRule(const Dataset& dataset, const RowSubset& remaining,
+                      CategoryId target, const RuleMetric& metric,
+                      const ClassDistribution& dist, double min_support_weight,
+                      size_t max_length, bool enable_range_conditions,
+                      double min_refinement_gain) {
+  ConditionSearchEngine engine(dataset, /*num_threads=*/1);
+  return GrowPresenceRule(engine, remaining, target, metric, dist,
+                          min_support_weight, max_length,
+                          enable_range_conditions, min_refinement_gain);
+}
+
+PPhaseResult RunPPhase(ConditionSearchEngine& engine, const RowSubset& rows,
                        CategoryId target, const PnruleConfig& config) {
+  const Dataset& dataset = engine.dataset();
   PPhaseResult result;
   result.total_positive_weight = dataset.ClassWeight(rows, target);
   if (result.total_positive_weight <= 0.0) return result;
@@ -71,7 +83,7 @@ PPhaseResult RunPPhase(const Dataset& dataset, const RowSubset& rows,
     dist.negatives = dataset.TotalWeight(remaining) - dist.positives;
     if (dist.positives <= 0.0) break;
 
-    Rule rule = GrowPresenceRule(dataset, remaining, target, *metric, dist,
+    Rule rule = GrowPresenceRule(engine, remaining, target, *metric, dist,
                                  min_support_weight, config.max_p_rule_length,
                                  enable_range, config.min_refinement_gain);
     if (rule.empty() || rule.train_stats.positive <= 0.0) break;
@@ -103,6 +115,12 @@ PPhaseResult RunPPhase(const Dataset& dataset, const RowSubset& rows,
     remaining = std::move(next);
   }
   return result;
+}
+
+PPhaseResult RunPPhase(const Dataset& dataset, const RowSubset& rows,
+                       CategoryId target, const PnruleConfig& config) {
+  ConditionSearchEngine engine(dataset, config.num_threads);
+  return RunPPhase(engine, rows, target, config);
 }
 
 }  // namespace pnr

@@ -10,6 +10,7 @@
 #ifndef PNR_PNRULE_P_PHASE_H_
 #define PNR_PNRULE_P_PHASE_H_
 
+#include "induction/condition_search.h"
 #include "pnrule/config.h"
 #include "rules/rule_set.h"
 
@@ -35,8 +36,13 @@ struct PPhaseResult {
   }
 };
 
-/// Runs the P-phase of PNrule over `rows` of `dataset` for `target`.
-/// `config` must already be validated.
+/// Runs the P-phase of PNrule for `target` over `rows` of the engine's
+/// dataset. `config` must already be validated. The engine's sorted-column
+/// cache and thread pool are reused across every refinement search.
+PPhaseResult RunPPhase(ConditionSearchEngine& engine, const RowSubset& rows,
+                       CategoryId target, const PnruleConfig& config);
+
+/// Convenience overload: builds a transient engine (config.num_threads).
 PPhaseResult RunPPhase(const Dataset& dataset, const RowSubset& rows,
                        CategoryId target, const PnruleConfig& config);
 
@@ -45,6 +51,13 @@ PPhaseResult RunPPhase(const Dataset& dataset, const RowSubset& rows,
 /// accepting refinements only while the metric improves by at least
 /// `min_refinement_gain` (relative) and support stays above
 /// `min_support_weight`. Exposed for testing and reuse.
+Rule GrowPresenceRule(ConditionSearchEngine& engine, const RowSubset& remaining,
+                      CategoryId target, const RuleMetric& metric,
+                      const ClassDistribution& dist, double min_support_weight,
+                      size_t max_length, bool enable_range_conditions,
+                      double min_refinement_gain = 0.0);
+
+/// Convenience overload: builds a transient serial engine.
 Rule GrowPresenceRule(const Dataset& dataset, const RowSubset& remaining,
                       CategoryId target, const RuleMetric& metric,
                       const ClassDistribution& dist, double min_support_weight,

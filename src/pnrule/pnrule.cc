@@ -58,9 +58,12 @@ StatusOr<PnruleClassifier> PnruleLearner::TrainOnRows(
         "training set has no examples of the target class");
   }
 
-  PPhaseResult p_phase = RunPPhase(dataset, rows, target, config_);
+  // One engine for the whole run: the sorted-column cache survives across
+  // every refinement of both phases, and the thread pool is spun up once.
+  ConditionSearchEngine engine(dataset, config_.num_threads);
+  PPhaseResult p_phase = RunPPhase(engine, rows, target, config_);
   NPhaseResult n_phase =
-      RunNPhase(dataset, p_phase.covered_rows, target,
+      RunNPhase(engine, p_phase.covered_rows, target,
                 p_phase.total_positive_weight,
                 p_phase.covered_positive_weight, config_);
   ScoreMatrix scores = ScoreMatrix::Build(dataset, rows, target,

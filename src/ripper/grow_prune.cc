@@ -5,8 +5,9 @@
 
 namespace pnr {
 
-Rule GrowRuleFoil(const Dataset& dataset, const RowSubset& grow_rows,
+Rule GrowRuleFoil(ConditionSearchEngine& engine, const RowSubset& grow_rows,
                   CategoryId target, const Rule& seed) {
+  const Dataset& dataset = engine.dataset();
   Rule rule = seed;
   RowSubset covered = rule.empty() ? grow_rows
                                    : rule.CoveredRows(dataset, grow_rows);
@@ -23,8 +24,7 @@ Rule GrowRuleFoil(const Dataset& dataset, const RowSubset& grow_rows,
     ConditionScorer scorer = [&parent](const RuleStats& refined) {
       return FoilGain(parent, refined);
     };
-    const auto candidate =
-        FindBestCondition(dataset, covered, target, scorer, options);
+    const auto candidate = engine.FindBest(covered, target, scorer, options);
     if (!candidate.has_value() || candidate->value <= 0.0) break;
     rule.AddCondition(candidate->condition);
     covered = rule.CoveredRows(dataset, covered);
@@ -32,6 +32,12 @@ Rule GrowRuleFoil(const Dataset& dataset, const RowSubset& grow_rows,
     rule.train_stats = parent;
   }
   return rule;
+}
+
+Rule GrowRuleFoil(const Dataset& dataset, const RowSubset& grow_rows,
+                  CategoryId target, const Rule& seed) {
+  ConditionSearchEngine engine(dataset, /*num_threads=*/1);
+  return GrowRuleFoil(engine, grow_rows, target, seed);
 }
 
 Rule PruneRuleIrep(const Dataset& dataset, const RowSubset& prune_rows,

@@ -4,6 +4,7 @@
 #ifndef PNR_RIPPER_GROW_PRUNE_H_
 #define PNR_RIPPER_GROW_PRUNE_H_
 
+#include "induction/condition_search.h"
 #include "rules/rule.h"
 
 namespace pnr {
@@ -12,6 +13,10 @@ namespace pnr {
 /// highest FOIL information gain, starting from `seed` (empty for a fresh
 /// rule; the current rule for RIPPER's "revision" variant). Growth stops
 /// when the rule covers no negatives or no condition has positive gain.
+Rule GrowRuleFoil(ConditionSearchEngine& engine, const RowSubset& grow_rows,
+                  CategoryId target, const Rule& seed);
+
+/// Convenience overload: builds a transient serial engine.
 Rule GrowRuleFoil(const Dataset& dataset, const RowSubset& grow_rows,
                   CategoryId target, const Rule& seed);
 

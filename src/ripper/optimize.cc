@@ -19,10 +19,11 @@ double RuleSetDl(const Dataset& dataset, const RowSubset& rows,
 
 }  // namespace
 
-void CoverPositives(const Dataset& dataset, const RowSubset& all_rows,
+void CoverPositives(ConditionSearchEngine& engine, const RowSubset& all_rows,
                     const RowSubset& remaining_in, CategoryId target,
                     const RipperConfig& config, double possible_conditions,
                     Rng* rng, RuleSet* rules) {
+  const Dataset& dataset = engine.dataset();
   RowSubset remaining = remaining_in;
   double min_dl =
       RuleSetDl(dataset, all_rows, target, *rules, possible_conditions);
@@ -31,7 +32,7 @@ void CoverPositives(const Dataset& dataset, const RowSubset& all_rows,
          dataset.ClassWeight(remaining, target) > 0.0) {
     auto [grow_rows, prune_rows] = StratifiedSplitRows(
         dataset, remaining, target, config.grow_fraction, rng);
-    Rule rule = GrowRuleFoil(dataset, grow_rows, target, Rule());
+    Rule rule = GrowRuleFoil(engine, grow_rows, target, Rule());
     rule = PruneRuleIrep(dataset, prune_rows, target, rule);
     if (rule.empty()) break;
 
@@ -78,9 +79,10 @@ void DeleteHarmfulRules(const Dataset& dataset, const RowSubset& rows,
   }
 }
 
-void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
+void OptimizeRuleSet(ConditionSearchEngine& engine, const RowSubset& rows,
                      CategoryId target, const RipperConfig& config,
                      double possible_conditions, Rng* rng, RuleSet* rules) {
+  const Dataset& dataset = engine.dataset();
   for (size_t i = 0; i < rules->size(); ++i) {
     // The rule's niche: records no *other* rule covers. The replacement and
     // revision are grown/pruned on this context so they compete for the
@@ -97,10 +99,10 @@ void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
     auto [grow_rows, prune_rows] = StratifiedSplitRows(
         dataset, context, target, config.grow_fraction, rng);
 
-    Rule replacement = GrowRuleFoil(dataset, grow_rows, target, Rule());
+    Rule replacement = GrowRuleFoil(engine, grow_rows, target, Rule());
     replacement = PruneRuleIrep(dataset, prune_rows, target, replacement);
 
-    Rule revision = GrowRuleFoil(dataset, grow_rows, target, rules->rule(i));
+    Rule revision = GrowRuleFoil(engine, grow_rows, target, rules->rule(i));
     revision = PruneRuleIrep(dataset, prune_rows, target, revision);
 
     // Choose among {original, replacement, revision} by the DL of the whole
@@ -128,9 +130,26 @@ void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
   for (RowId row : rows) {
     if (!rules->AnyMatch(dataset, row)) uncovered.push_back(row);
   }
-  CoverPositives(dataset, rows, uncovered, target, config,
+  CoverPositives(engine, rows, uncovered, target, config,
                  possible_conditions, rng, rules);
   DeleteHarmfulRules(dataset, rows, target, possible_conditions, rules);
+}
+
+void CoverPositives(const Dataset& dataset, const RowSubset& all_rows,
+                    const RowSubset& remaining, CategoryId target,
+                    const RipperConfig& config, double possible_conditions,
+                    Rng* rng, RuleSet* rules) {
+  ConditionSearchEngine engine(dataset, config.num_threads);
+  CoverPositives(engine, all_rows, remaining, target, config,
+                 possible_conditions, rng, rules);
+}
+
+void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
+                     CategoryId target, const RipperConfig& config,
+                     double possible_conditions, Rng* rng, RuleSet* rules) {
+  ConditionSearchEngine engine(dataset, config.num_threads);
+  OptimizeRuleSet(engine, rows, target, config, possible_conditions, rng,
+                  rules);
 }
 
 }  // namespace pnr

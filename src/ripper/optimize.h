@@ -4,6 +4,7 @@
 #define PNR_RIPPER_OPTIMIZE_H_
 
 #include "common/rng.h"
+#include "induction/condition_search.h"
 #include "ripper/ripper.h"
 
 namespace pnr {
@@ -14,6 +15,11 @@ namespace pnr {
 /// minimizes the description length of the whole rule set. Afterwards any
 /// positives left uncovered are covered by additional IREP* rules, and rules
 /// whose deletion reduces the DL are removed.
+void OptimizeRuleSet(ConditionSearchEngine& engine, const RowSubset& rows,
+                     CategoryId target, const RipperConfig& config,
+                     double possible_conditions, Rng* rng, RuleSet* rules);
+
+/// Convenience overload: builds a transient engine (config.num_threads).
 void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
                      CategoryId target, const RipperConfig& config,
                      double possible_conditions, Rng* rng, RuleSet* rules);
@@ -21,6 +27,12 @@ void OptimizeRuleSet(const Dataset& dataset, const RowSubset& rows,
 /// IREP* covering loop: appends rules to `rules` learned from `remaining`
 /// until the MDL window or the prune-error gate stops it. Exposed so the
 /// optimization pass can cover residual positives.
+void CoverPositives(ConditionSearchEngine& engine, const RowSubset& all_rows,
+                    const RowSubset& remaining, CategoryId target,
+                    const RipperConfig& config, double possible_conditions,
+                    Rng* rng, RuleSet* rules);
+
+/// Convenience overload: builds a transient engine (config.num_threads).
 void CoverPositives(const Dataset& dataset, const RowSubset& all_rows,
                     const RowSubset& remaining, CategoryId target,
                     const RipperConfig& config, double possible_conditions,

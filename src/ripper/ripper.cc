@@ -59,11 +59,14 @@ StatusOr<RipperClassifier> RipperLearner::TrainOnRows(
   Rng rng(config_.seed);
   const double possible_conditions = CountPossibleConditions(dataset);
 
+  // One engine for the whole run: column sorts are cached across every
+  // grow/prune split and optimization pass.
+  ConditionSearchEngine engine(dataset, config_.num_threads);
   RuleSet rules;
-  CoverPositives(dataset, rows, rows, target, config_, possible_conditions,
+  CoverPositives(engine, rows, rows, target, config_, possible_conditions,
                  &rng, &rules);
   for (size_t pass = 0; pass < config_.optimization_passes; ++pass) {
-    OptimizeRuleSet(dataset, rows, target, config_, possible_conditions, &rng,
+    OptimizeRuleSet(engine, rows, target, config_, possible_conditions, &rng,
                     &rules);
   }
   DeleteHarmfulRules(dataset, rows, target, possible_conditions, &rules);

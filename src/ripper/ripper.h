@@ -42,6 +42,11 @@ struct RipperConfig {
   /// Safety cap on the number of rules.
   size_t max_rules = 256;
 
+  /// Threads used by the condition-search engine during rule growth:
+  /// 1 = serial, 0 = hardware concurrency. Any value produces bit-identical
+  /// models (deterministic parallel reduction).
+  size_t num_threads = 1;
+
   Status Validate() const;
 };
 

@@ -1,0 +1,289 @@
+// Brute-force oracle for the condition-search engine: on many small seeded
+// random datasets, enumerate *every* single condition directly and check
+// that the engine's one-sided search is exactly exhaustive, that its range
+// search never does worse than the one-sided optimum, that the stats it
+// reports match a from-scratch evaluation of the returned condition, and
+// that the multi-threaded search returns bit-identical results. The random
+// datasets deliberately include the degenerate shapes the cache must
+// handle: an all-missing categorical column, a single-distinct-value
+// numeric column, and zero-weight rows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "induction/condition_search.h"
+#include "induction/metric.h"
+#include "rules/rule.h"
+
+namespace pnr {
+namespace {
+
+constexpr double kEps = 1e-12;
+constexpr CategoryId kPos = 1;
+
+struct OracleCase {
+  Dataset dataset;
+  RowSubset rows;  ///< search subset (sometimes strict, sometimes all)
+};
+
+// Random dataset: two generic numeric attributes, one constant numeric
+// attribute, one categorical attribute that is entirely missing on every
+// third seed, plus zero-weight rows on every fourth seed. Searching a strict
+// subset on every other seed exercises the cache's subset path.
+OracleCase MakeCase(uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x0"));
+  schema.AddAttribute(Attribute::Numeric("x1"));
+  schema.AddAttribute(Attribute::Numeric("const"));
+  schema.AddAttribute(Attribute::Categorical("c", {"a", "b", "cc", "d"}));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  Dataset dataset(std::move(schema));
+
+  const bool missing_categorical = seed % 3 == 0;
+  const bool zero_weights = seed % 4 == 0;
+  const size_t num_rows = 30 + seed % 21;
+  for (size_t i = 0; i < num_rows; ++i) {
+    const RowId r = dataset.AddRow();
+    // Few distinct values => plenty of ties, the hard case for sorting
+    // determinism and boundary detection.
+    dataset.set_numeric(r, 0, std::floor(rng.NextDouble(0, 8)));
+    dataset.set_numeric(r, 1, rng.NextDouble(-5, 5));
+    dataset.set_numeric(r, 2, 3.25);  // single distinct value
+    dataset.set_categorical(
+        r, 3,
+        missing_categorical ? kInvalidCategory
+                            : static_cast<CategoryId>(rng.NextInt(0, 3)));
+    dataset.set_label(r, rng.NextBool(0.35) ? kPos : 0);
+    if (zero_weights && i % 7 == 0) dataset.set_weight(r, 0.0);
+  }
+
+  OracleCase c{std::move(dataset), {}};
+  if (seed % 2 == 0) {
+    c.rows = c.dataset.AllRows();
+  } else {
+    for (RowId r = 0; r < c.dataset.num_rows(); ++r) {
+      if (r % 3 != 1) c.rows.push_back(r);
+    }
+  }
+  return c;
+}
+
+RuleStats EvaluateCondition(const Dataset& dataset, const RowSubset& rows,
+                            const Condition& condition) {
+  RuleStats stats;
+  for (RowId row : rows) {
+    if (!condition.Matches(dataset, row)) continue;
+    const double w = dataset.weight(row);
+    stats.covered += w;
+    if (dataset.label(row) == kPos) stats.positive += w;
+  }
+  return stats;
+}
+
+// Mirrors the engine's admissibility gates.
+bool Admissible(const RuleStats& stats, double total_weight,
+                const ConditionSearchOptions& options) {
+  if (stats.covered <= kEps) return false;
+  if (stats.covered >= total_weight - kEps) return false;
+  if (stats.covered < options.min_covered_weight - kEps) return false;
+  if (stats.positive < options.min_positive_weight - kEps) return false;
+  return true;
+}
+
+// Every single condition the search space contains, scored directly.
+double BruteForceBest(const Dataset& dataset, const RowSubset& rows,
+                      const ConditionScorer& scorer,
+                      const ConditionSearchOptions& options) {
+  const double total_weight = dataset.TotalWeight(rows);
+  double best = -std::numeric_limits<double>::infinity();
+  const auto consider = [&](const Condition& condition) {
+    const RuleStats stats = EvaluateCondition(dataset, rows, condition);
+    if (!Admissible(stats, total_weight, options)) return;
+    const double value = scorer(stats);
+    if (std::isfinite(value)) best = std::max(best, value);
+  };
+  for (AttrIndex attr = 0;
+       attr < static_cast<AttrIndex>(dataset.schema().num_attributes());
+       ++attr) {
+    const Attribute& a = dataset.schema().attribute(attr);
+    if (a.is_categorical()) {
+      for (size_t c = 0; c < a.num_categories(); ++c) {
+        consider(Condition::CatEqual(attr, static_cast<CategoryId>(c)));
+      }
+      continue;
+    }
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (RowId row : rows) values.push_back(dataset.numeric(row, attr));
+    std::sort(values.begin(), values.end());
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      if (values[i + 1] <= values[i]) continue;
+      const double cut = 0.5 * (values[i] + values[i + 1]);
+      consider(Condition::LessEqual(attr, cut));
+      consider(Condition::Greater(attr, cut));
+    }
+  }
+  return best;
+}
+
+ConditionScorer MakeScorer(const Dataset& dataset, const RowSubset& rows) {
+  auto metric = MakeRuleMetric(RuleMetricKind::kZNumber);
+  ClassDistribution dist;
+  dist.positives = dataset.ClassWeight(rows, kPos);
+  dist.negatives = dataset.TotalWeight(rows) - dist.positives;
+  return [metric = std::shared_ptr<RuleMetric>(std::move(metric)),
+          dist](const RuleStats& stats) {
+    return metric->Evaluate(stats, dist);
+  };
+}
+
+class ConditionSearchOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConditionSearchOracle, OneSidedSearchMatchesBruteForce) {
+  OracleCase c = MakeCase(GetParam());
+  if (c.dataset.ClassWeight(c.rows, kPos) <= 0.0) GTEST_SKIP();
+  const ConditionScorer scorer = MakeScorer(c.dataset, c.rows);
+  ConditionSearchOptions options;
+  options.enable_range_conditions = false;
+
+  const auto best =
+      FindBestCondition(c.dataset, c.rows, kPos, scorer, options);
+  const double oracle = BruteForceBest(c.dataset, c.rows, scorer, options);
+
+  if (!std::isfinite(oracle)) {
+    EXPECT_FALSE(best.has_value());
+    return;
+  }
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->value, oracle, 1e-9);
+}
+
+TEST_P(ConditionSearchOracle, ReportedStatsMatchReevaluation) {
+  OracleCase c = MakeCase(GetParam());
+  if (c.dataset.ClassWeight(c.rows, kPos) <= 0.0) GTEST_SKIP();
+  const ConditionScorer scorer = MakeScorer(c.dataset, c.rows);
+  ConditionSearchOptions options;  // ranges on: also checks range stats
+
+  const auto best = FindBestCondition(c.dataset, c.rows, kPos, scorer,
+                                      options);
+  if (!best.has_value()) return;
+  // The slice-derived stats must equal a from-scratch evaluation of the
+  // returned condition — this is what guarantees the emitted cut values
+  // partition the data exactly like the internal sorted-column slices.
+  const RuleStats direct =
+      EvaluateCondition(c.dataset, c.rows, best->condition);
+  EXPECT_DOUBLE_EQ(best->stats.covered, direct.covered);
+  EXPECT_DOUBLE_EQ(best->stats.positive, direct.positive);
+  EXPECT_EQ(best->value, scorer(direct));
+}
+
+TEST_P(ConditionSearchOracle, RangeSearchNeverWorseThanOneSided) {
+  OracleCase c = MakeCase(GetParam());
+  if (c.dataset.ClassWeight(c.rows, kPos) <= 0.0) GTEST_SKIP();
+  const ConditionScorer scorer = MakeScorer(c.dataset, c.rows);
+  ConditionSearchOptions one_sided;
+  one_sided.enable_range_conditions = false;
+  ConditionSearchOptions with_ranges;
+
+  const auto narrow =
+      FindBestCondition(c.dataset, c.rows, kPos, scorer, one_sided);
+  const auto wide =
+      FindBestCondition(c.dataset, c.rows, kPos, scorer, with_ranges);
+  if (!narrow.has_value()) return;
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_GE(wide->value, narrow->value);
+}
+
+TEST_P(ConditionSearchOracle, ThreadedSearchIsBitIdentical) {
+  OracleCase c = MakeCase(GetParam());
+  if (c.dataset.ClassWeight(c.rows, kPos) <= 0.0) GTEST_SKIP();
+  const ConditionScorer scorer = MakeScorer(c.dataset, c.rows);
+  ConditionSearchOptions options;
+
+  ConditionSearchEngine serial(c.dataset, 1);
+  ConditionSearchEngine threaded(c.dataset, 4);
+  const auto a = serial.FindBest(c.rows, kPos, scorer, options);
+  const auto b = threaded.FindBest(c.rows, kPos, scorer, options);
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (!a.has_value()) return;
+  EXPECT_EQ(a->condition, b->condition);
+  // Bitwise, not approximate: the deterministic reduction promises it.
+  EXPECT_EQ(a->value, b->value);
+  EXPECT_EQ(a->stats.covered, b->stats.covered);
+  EXPECT_EQ(a->stats.positive, b->stats.positive);
+}
+
+// >= 100 seeds as required by the harness spec.
+INSTANTIATE_TEST_SUITE_P(Seeds, ConditionSearchOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{109}));
+
+// Directed edge cases on top of the random sweep.
+
+TEST(ConditionSearchOracleEdge, AllMissingCategoricalYieldsNoCandidate) {
+  Schema schema;
+  schema.AddAttribute(Attribute::Categorical("c", {"a", "b"}));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  Dataset dataset(std::move(schema));
+  for (int i = 0; i < 10; ++i) {
+    const RowId r = dataset.AddRow();
+    dataset.set_categorical(r, 0, kInvalidCategory);
+    dataset.set_label(r, i % 2 == 0 ? kPos : 0);
+  }
+  const auto best = FindBestCondition(
+      dataset, dataset.AllRows(), kPos,
+      [](const RuleStats& s) { return s.positive; });
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(ConditionSearchOracleEdge, SingleDistinctNumericYieldsNoCandidate) {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  Dataset dataset(std::move(schema));
+  for (int i = 0; i < 10; ++i) {
+    const RowId r = dataset.AddRow();
+    dataset.set_numeric(r, 0, 7.5);
+    dataset.set_label(r, i % 2 == 0 ? kPos : 0);
+  }
+  const auto best = FindBestCondition(
+      dataset, dataset.AllRows(), kPos,
+      [](const RuleStats& s) { return s.positive; });
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(ConditionSearchOracleEdge, ZeroWeightRowsDoNotCreateCandidates) {
+  // The only "positive" slice consists of weight-0 rows: covered weight is
+  // 0, so nothing is admissible on that side; the weighted side still is.
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  Dataset dataset(std::move(schema));
+  for (int i = 0; i < 8; ++i) {
+    const RowId r = dataset.AddRow();
+    dataset.set_numeric(r, 0, static_cast<double>(i));
+    dataset.set_label(r, i >= 6 ? kPos : 0);
+    if (i >= 6) dataset.set_weight(r, 0.0);  // positives weightless
+  }
+  const auto best = FindBestCondition(
+      dataset, dataset.AllRows(), kPos,
+      [](const RuleStats& s) { return s.positive - s.negative(); });
+  if (best.has_value()) {
+    // Whatever won must carry real weight and must not be the weightless
+    // positive slice.
+    EXPECT_GT(best->stats.covered, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pnr

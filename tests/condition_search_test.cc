@@ -204,5 +204,121 @@ TEST_P(SearchVsBruteForce, OneSidedSearchIsExhaustive) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SearchVsBruteForce,
                          ::testing::Range(uint64_t{1}, uint64_t{9}));
 
+// --- MidpointBetween / CutValue edge cases ---------------------------------
+// The cut emitted between adjacent sorted values must partition the data
+// exactly like the internal slice it was derived from, even when the two
+// values are adjacent doubles (no representable midpoint) or denormals.
+
+TEST(MidpointBetweenTest, OrdinaryValuesGetTheArithmeticMidpoint) {
+  EXPECT_DOUBLE_EQ(MidpointBetween(1.0, 2.0, false), 1.5);
+  EXPECT_DOUBLE_EQ(MidpointBetween(1.0, 2.0, true), 1.5);
+  EXPECT_DOUBLE_EQ(MidpointBetween(-4.0, 4.0, false), 0.0);
+}
+
+TEST(MidpointBetweenTest, AdjacentDoublesFallBackDirectionally) {
+  const double a = 1.0;
+  const double b = std::nextafter(a, 2.0);  // no double strictly between
+  // Round-down: c = a, so {x <= c} covers a and {x > c} covers b.
+  EXPECT_EQ(MidpointBetween(a, b, false), a);
+  // Round-up: c = b, so the inclusive lower range test {c <= x} covers b.
+  EXPECT_EQ(MidpointBetween(a, b, true), b);
+}
+
+TEST(MidpointBetweenTest, DenormalGapsDoNotEscapeTheInterval) {
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  // 0.5 * (0 + denorm_min) underflows to 0 == lo: must fall back, not
+  // return a value outside [lo, hi].
+  const double down = MidpointBetween(0.0, tiny, false);
+  const double up = MidpointBetween(0.0, tiny, true);
+  EXPECT_GE(down, 0.0);
+  EXPECT_LE(down, tiny);
+  EXPECT_GE(up, 0.0);
+  EXPECT_LE(up, tiny);
+  EXPECT_EQ(down, 0.0);
+  EXPECT_EQ(up, tiny);
+}
+
+TEST(MidpointBetweenTest, HugeValuesDoNotOverflowToInfinity) {
+  const double lo = 1.6e308;
+  const double hi = 1.75e308;  // lo + hi overflows to +inf
+  const double mid = MidpointBetween(lo, hi, false);
+  EXPECT_TRUE(std::isfinite(mid));
+  EXPECT_GT(mid, lo);
+  EXPECT_LT(mid, hi);
+}
+
+TEST(ConditionSearchTest, AdjacentDoubleValuesStillPartitionExactly) {
+  // Two populations separated only by one ULP: the emitted cut must still
+  // realize the internal slice, i.e. cover exactly the 3 positives.
+  const double lo = 1.0;
+  const double hi = std::nextafter(lo, 2.0);
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{lo}, false}, {{lo}, false}, {{lo}, false},
+          {{hi}, true},  {{hi}, true},  {{hi}, true}});
+  ConditionSearchOptions options;
+  options.enable_range_conditions = false;
+  const auto best = FindBestCondition(dataset, dataset.AllRows(), kPos,
+                                      PosMinusNeg, options);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->stats.positive, 3.0);
+  EXPECT_DOUBLE_EQ(best->stats.negative(), 0.0);
+  // And the condition really matches what the stats claim.
+  Rule rule({best->condition});
+  const RuleStats direct = rule.Evaluate(dataset, dataset.AllRows(), kPos);
+  EXPECT_DOUBLE_EQ(direct.covered, best->stats.covered);
+  EXPECT_DOUBLE_EQ(direct.positive, best->stats.positive);
+}
+
+TEST(ConditionSearchTest, AdjacentDoubleRangeConditionPartitionsExactly) {
+  // Interior positive peak whose left edge is one ULP from its neighbour:
+  // the range's inclusive lower cut must round *up* to stay exact.
+  const double left_neg = 1.0;
+  const double peak = std::nextafter(left_neg, 2.0);
+  std::vector<std::pair<std::vector<double>, bool>> rows;
+  for (int i = 0; i < 6; ++i) rows.push_back({{left_neg}, false});
+  for (int i = 0; i < 4; ++i) rows.push_back({{peak}, true});
+  for (int i = 0; i < 6; ++i) rows.push_back({{3.0}, false});
+  const Dataset dataset = MakeNumericDataset(1, rows);
+  const auto metric = MakeRuleMetric(RuleMetricKind::kZNumber);
+  ClassDistribution dist;
+  dist.positives = 4.0;
+  dist.negatives = 12.0;
+  const ConditionScorer scorer = [&](const RuleStats& stats) {
+    return metric->Evaluate(stats, dist);
+  };
+  const auto best =
+      FindBestCondition(dataset, dataset.AllRows(), kPos, scorer);
+  ASSERT_TRUE(best.has_value());
+  Rule rule({best->condition});
+  const RuleStats direct = rule.Evaluate(dataset, dataset.AllRows(), kPos);
+  EXPECT_DOUBLE_EQ(direct.covered, best->stats.covered);
+  EXPECT_DOUBLE_EQ(direct.positive, best->stats.positive);
+  EXPECT_DOUBLE_EQ(best->stats.positive, 4.0);
+  EXPECT_DOUBLE_EQ(best->stats.negative(), 0.0);
+}
+
+// --- CandidateBetter total order -------------------------------------------
+
+TEST(CandidateBetterTest, OrdersByScoreThenAttrThenKindThenCuts) {
+  const auto make = [](double value, Condition condition) {
+    CandidateCondition c;
+    c.value = value;
+    c.condition = condition;
+    return c;
+  };
+  const auto le0 = make(1.0, Condition::LessEqual(0, 5.0));
+  const auto gt0 = make(1.0, Condition::Greater(0, 5.0));
+  const auto le1 = make(1.0, Condition::LessEqual(1, 5.0));
+  const auto hi = make(2.0, Condition::Greater(3, 9.0));
+
+  EXPECT_TRUE(CandidateBetter(hi, le0));    // higher score wins
+  EXPECT_FALSE(CandidateBetter(le0, hi));
+  EXPECT_TRUE(CandidateBetter(le0, le1));   // lower attr wins on ties
+  EXPECT_TRUE(CandidateBetter(le0, gt0));   // <= ranks before >
+  EXPECT_FALSE(CandidateBetter(le0, le0));  // strict: irreflexive
+  const auto le0_lower_cut = make(1.0, Condition::LessEqual(0, 4.0));
+  EXPECT_TRUE(CandidateBetter(le0_lower_cut, le0));  // lower cut wins
+}
+
 }  // namespace
 }  // namespace pnr

@@ -1,0 +1,114 @@
+// End-to-end determinism harness: training with 1, 2 or 8 threads must
+// produce byte-identical models. PNrule models are compared through their
+// canonical serialization (model_io), RIPPER models through their full
+// textual description; a repeated same-seed fit loop guards against
+// flakiness from thread scheduling (the classic failure mode of
+// non-deterministic reductions: identical in one run, different in the
+// next).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "pnrule/model_io.h"
+#include "pnrule/pnrule.h"
+#include "ripper/ripper.h"
+#include "synth/kdd_sim.h"
+
+namespace pnr {
+namespace {
+
+const KddSimData& SharedKdd() {
+  static const KddSimData data = [] {
+    KddSimParams params;
+    params.train_records = 4000;
+    params.test_records = 2000;
+    params.seed = 77;
+    auto generated = GenerateKddSim(params);
+    EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+    return std::move(generated).value();
+  }();
+  return data;
+}
+
+CategoryId Target(const char* name) {
+  const CategoryId target =
+      SharedKdd().train.schema().class_attr().FindCategory(name);
+  EXPECT_NE(target, kInvalidCategory);
+  return target;
+}
+
+std::string TrainPnruleSerialized(size_t num_threads) {
+  const KddSimData& data = SharedKdd();
+  PnruleConfig config;
+  config.num_threads = num_threads;
+  auto model = PnruleLearner(config).Train(data.train, Target("probe"));
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return SerializePnruleModel(*model, data.train.schema());
+}
+
+std::string TrainRipperDescribed(size_t num_threads) {
+  const KddSimData& data = SharedKdd();
+  RipperConfig config;
+  config.num_threads = num_threads;
+  auto model =
+      RipperLearner(config).Train(data.train, Target("probe"));
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return model->Describe(data.train.schema());
+}
+
+TEST(ParallelDeterminismTest, PnruleModelsAreByteIdenticalAcrossThreads) {
+  const std::string serial = TrainPnruleSerialized(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, TrainPnruleSerialized(2)) << "2 threads diverged";
+  EXPECT_EQ(serial, TrainPnruleSerialized(8)) << "8 threads diverged";
+}
+
+TEST(ParallelDeterminismTest, RipperModelsAreByteIdenticalAcrossThreads) {
+  const std::string serial = TrainRipperDescribed(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, TrainRipperDescribed(2)) << "2 threads diverged";
+  EXPECT_EQ(serial, TrainRipperDescribed(8)) << "8 threads diverged";
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelFitsDoNotFlake) {
+  // Ten same-seed parallel fits: every model and every test-set confusion
+  // matrix must be identical. A racy reduction typically passes a single
+  // comparison but fails somewhere in a loop like this.
+  const KddSimData& data = SharedKdd();
+  const CategoryId target = Target("probe");
+  PnruleConfig config;
+  config.num_threads = 8;
+
+  std::string reference_model;
+  Confusion reference;
+  for (int fit = 0; fit < 10; ++fit) {
+    auto model = PnruleLearner(config).Train(data.train, target);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    const std::string serialized =
+        SerializePnruleModel(*model, data.train.schema());
+    const Confusion confusion =
+        EvaluateClassifier(*model, data.test, target);
+    if (fit == 0) {
+      reference_model = serialized;
+      reference = confusion;
+      continue;
+    }
+    ASSERT_EQ(serialized, reference_model) << "fit " << fit << " diverged";
+    EXPECT_EQ(confusion.true_positives, reference.true_positives);
+    EXPECT_EQ(confusion.false_positives, reference.false_positives);
+    EXPECT_EQ(confusion.true_negatives, reference.true_negatives);
+    EXPECT_EQ(confusion.false_negatives, reference.false_negatives);
+  }
+}
+
+TEST(ParallelDeterminismTest, AutoThreadCountAlsoMatchesSerial) {
+  // num_threads = 0 resolves to hardware concurrency — whatever that is on
+  // the host, the model must not change.
+  EXPECT_EQ(TrainPnruleSerialized(1), TrainPnruleSerialized(0));
+}
+
+}  // namespace
+}  // namespace pnr

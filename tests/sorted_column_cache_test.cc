@@ -1,0 +1,182 @@
+// SortedColumnCache invalidation semantics — the contract the engine's
+// correctness rests on: columns are sorted once per dataset, full-row
+// prefix sums are rebuilt only when weights (or values) change, and the
+// subset path produces bit-identical columns whichever build strategy it
+// picks. Registered under the `sanitize` ctest label so the TSan/ASan
+// builds exercise it (tools/run_sanitizers.sh).
+
+#include "induction/sorted_column_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pnr {
+namespace {
+
+constexpr CategoryId kPos = 1;
+
+Dataset MakeDataset(size_t num_rows, uint64_t seed) {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  schema.AddAttribute(Attribute::Numeric("y"));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  Dataset dataset(std::move(schema));
+  Rng rng(seed);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const RowId r = dataset.AddRow();
+    // Heavy ties on x: exercises the (value, row id) tie-break.
+    dataset.set_numeric(r, 0, std::floor(rng.NextDouble(0, 5)));
+    dataset.set_numeric(r, 1, rng.NextDouble(-1, 1));
+    dataset.set_label(r, rng.NextBool(0.4) ? kPos : 0);
+  }
+  return dataset;
+}
+
+TEST(SortedColumnCacheTest, SortsEachColumnExactlyOnce) {
+  Dataset dataset = MakeDataset(100, 1);
+  SortedColumnCache cache(dataset);
+  const RowSubset rows = dataset.AllRows();
+  SortedColumn scratch;
+
+  for (int call = 0; call < 5; ++call) {
+    cache.Column(0, kPos, rows, {}, &scratch);
+    cache.Column(1, kPos, rows, {}, &scratch);
+  }
+  EXPECT_EQ(cache.sort_count(), 2u);        // one sort per attribute
+  EXPECT_EQ(cache.full_build_count(), 2u);  // one prefix build per attribute
+}
+
+TEST(SortedColumnCacheTest, ColumnIsSortedWithPrefixSums) {
+  Dataset dataset = MakeDataset(64, 2);
+  dataset.set_weight(3, 2.5);
+  SortedColumnCache cache(dataset);
+  const RowSubset rows = dataset.AllRows();
+  SortedColumn scratch;
+  const SortedColumn& col = cache.Column(0, kPos, rows, {}, &scratch);
+
+  ASSERT_EQ(col.values.size(), dataset.num_rows());
+  for (size_t i = 1; i < col.values.size(); ++i) {
+    EXPECT_LE(col.values[i - 1], col.values[i]);
+  }
+  ASSERT_EQ(col.prefix_weight.size(), col.values.size() + 1);
+  EXPECT_DOUBLE_EQ(col.prefix_weight.front(), 0.0);
+  EXPECT_DOUBLE_EQ(col.prefix_weight.back(), dataset.TotalWeight(rows));
+  EXPECT_DOUBLE_EQ(col.prefix_positive.back(),
+                   dataset.ClassWeight(rows, kPos));
+  // Boundaries mark exactly the distinct-value steps.
+  for (size_t b : col.boundaries) {
+    ASSERT_GT(b, 0u);
+    EXPECT_LT(col.values[b - 1], col.values[b]);
+  }
+}
+
+TEST(SortedColumnCacheTest, WeightChangeRebuildsPrefixSumsButNotOrder) {
+  Dataset dataset = MakeDataset(80, 3);
+  SortedColumnCache cache(dataset);
+  const RowSubset rows = dataset.AllRows();
+  SortedColumn scratch;
+  cache.Column(0, kPos, rows, {}, &scratch);
+  ASSERT_EQ(cache.sort_count(), 1u);
+  ASSERT_EQ(cache.full_build_count(), 1u);
+
+  dataset.set_weight(10, 4.0);  // bumps weight_version only
+  const SortedColumn& col = cache.Column(0, kPos, rows, {}, &scratch);
+  EXPECT_EQ(cache.sort_count(), 1u) << "order must survive weight changes";
+  EXPECT_EQ(cache.full_build_count(), 2u) << "prefix sums must rebuild";
+  EXPECT_DOUBLE_EQ(col.prefix_weight.back(), dataset.TotalWeight(rows));
+
+  // Unchanged weights: fully cached again.
+  cache.Column(0, kPos, rows, {}, &scratch);
+  EXPECT_EQ(cache.full_build_count(), 2u);
+}
+
+TEST(SortedColumnCacheTest, ValueChangeRebuildsOrder) {
+  Dataset dataset = MakeDataset(80, 4);
+  SortedColumnCache cache(dataset);
+  const RowSubset rows = dataset.AllRows();
+  SortedColumn scratch;
+  cache.Column(0, kPos, rows, {}, &scratch);
+  ASSERT_EQ(cache.sort_count(), 1u);
+
+  dataset.set_numeric(5, 0, 1234.5);  // bumps data_version
+  const SortedColumn& col = cache.Column(0, kPos, rows, {}, &scratch);
+  EXPECT_EQ(cache.sort_count(), 2u) << "value change must re-sort";
+  EXPECT_DOUBLE_EQ(col.values.back(), 1234.5);
+}
+
+TEST(SortedColumnCacheTest, TargetChangeRebuildsPositivePrefix) {
+  Dataset dataset = MakeDataset(80, 5);
+  SortedColumnCache cache(dataset);
+  const RowSubset rows = dataset.AllRows();
+  SortedColumn scratch;
+  cache.Column(0, kPos, rows, {}, &scratch);
+  const SortedColumn& col = cache.Column(0, /*target=*/0, rows, {}, &scratch);
+  EXPECT_EQ(cache.sort_count(), 1u);
+  EXPECT_EQ(cache.full_build_count(), 2u);
+  EXPECT_DOUBLE_EQ(col.prefix_positive.back(),
+                   dataset.ClassWeight(rows, 0));
+}
+
+TEST(SortedColumnCacheTest, SubsetColumnsAreBitIdenticalToFullBuild) {
+  // The cache picks between a direct sort (small subsets) and filtering the
+  // cached full order (large subsets). Both must produce byte-identical
+  // columns — this is what keeps the search's float accumulation, and hence
+  // the learned models, independent of the path taken.
+  Dataset dataset = MakeDataset(200, 6);
+  const auto column_for = [&](const RowSubset& rows) {
+    SortedColumnCache cache(dataset);
+    std::vector<uint8_t> mask(dataset.num_rows(), 0);
+    for (RowId r : rows) mask[r] = 1;
+    SortedColumn scratch;
+    return cache.Column(0, kPos, rows, mask, &scratch);
+  };
+
+  // A small subset (direct-sort path) and a large one (filter path).
+  RowSubset small, large;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (r % 25 == 0) small.push_back(r);
+    if (r % 10 != 0) large.push_back(r);
+  }
+  for (const RowSubset& rows : {small, large}) {
+    const SortedColumn via_cache = column_for(rows);
+    // Reference: brute-force (value, row id) sort of the subset.
+    std::vector<std::pair<double, RowId>> entries;
+    for (RowId r : rows) entries.push_back({dataset.numeric(r, 0), r});
+    std::sort(entries.begin(), entries.end());
+    ASSERT_EQ(via_cache.values.size(), entries.size());
+    double w = 0.0, p = 0.0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(via_cache.values[i], entries[i].first);
+      w += dataset.weight(entries[i].second);
+      if (dataset.label(entries[i].second) == kPos) {
+        p += dataset.weight(entries[i].second);
+      }
+      // Bitwise: the accumulation order is pinned by the (value, row id)
+      // total order, so the sums are exactly reproducible.
+      EXPECT_EQ(via_cache.prefix_weight[i + 1], w);
+      EXPECT_EQ(via_cache.prefix_positive[i + 1], p);
+    }
+  }
+}
+
+TEST(SortedColumnCacheTest, SubsetCallsDoNotTouchFullCache) {
+  Dataset dataset = MakeDataset(100, 7);
+  SortedColumnCache cache(dataset);
+  RowSubset subset;
+  for (RowId r = 0; r < dataset.num_rows(); r += 2) subset.push_back(r);
+  std::vector<uint8_t> mask(dataset.num_rows(), 0);
+  for (RowId r : subset) mask[r] = 1;
+  SortedColumn scratch;
+  cache.Column(0, kPos, subset, mask, &scratch);
+  EXPECT_EQ(cache.full_build_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,85 @@
+// ThreadPool: correctness of the index distribution, inline fallback,
+// exception propagation, and reuse across many ParallelFor calls.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pnr {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);  // no workers spawned
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  pool.ParallelFor(ids.size(), [&](size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPoolTest, PerIndexSlotsNeedNoSynchronization) {
+  // The engine's usage pattern: each index writes its own slot; the caller
+  // reduces afterwards.
+  ThreadPool pool(8);
+  std::vector<double> slots(1000, 0.0);
+  pool.ParallelFor(slots.size(), [&](size_t i) {
+    slots[i] = static_cast<double>(i) * 0.5;
+  });
+  const double sum = std::accumulate(slots.begin(), slots.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * (999.0 * 1000.0 / 2.0));
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                         completed++;
+                       }),
+      std::runtime_error);
+  // Every non-throwing index still ran (the pool drains the job).
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(17, [&](size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 200L * 17L);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);  // auto: >= 1
+}
+
+}  // namespace
+}  // namespace pnr

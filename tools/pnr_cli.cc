@@ -4,7 +4,7 @@
 // Usage:
 //   pnr train   --data train.csv --target fraud [--model model.txt]
 //               [--rp 0.99] [--rn 0.9] [--min-support 0.01] [--p1]
-//               [--class-column label]
+//               [--threads n] [--class-column label]
 //   pnr eval    --data test.csv --target fraud --model model.txt
 //               [--class-column label]
 //   pnr predict --data new.csv --target fraud --model model.txt
@@ -57,7 +57,10 @@ int Usage() {
                "<class> [--model <file>]\n"
                "           [--rp <f>] [--rn <f>] [--min-support <f>] "
                "[--p1] [--threshold <f>]\n"
-               "           [--class-column <name>]\n");
+               "           [--threads <n>] [--class-column <name>]\n"
+               "  --threads: condition-search workers (1 = serial, 0 = all "
+               "hardware threads);\n"
+               "             the learned model is identical for any value.\n");
   return 2;
 }
 
@@ -109,6 +112,8 @@ int Train(const Args& args) {
   config.min_coverage_fraction = OptionOr(args, "rp", 0.99);
   config.n_recall_lower_limit = OptionOr(args, "rn", 0.9);
   config.min_support_fraction = OptionOr(args, "min-support", 0.01);
+  config.num_threads =
+      static_cast<size_t>(OptionOr(args, "threads", 1.0));
   if (args.p1) config.max_p_rule_length = 1;
 
   auto model = PnruleLearner(config).Train(*data, *target);
