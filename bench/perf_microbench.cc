@@ -21,6 +21,7 @@
 
 #include "c45/rules.h"
 #include "c45/tree_classifier.h"
+#include "common/thread_pool.h"
 #include "induction/condition_search.h"
 #include "induction/metric.h"
 #include "pnrule/pnrule.h"
@@ -201,6 +202,8 @@ int WriteConditionSearchComparison(const char* path) {
   json += "  \"iterations\": " + std::to_string(iterations) + ",\n";
   json += "  \"hardware_threads\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"min_rows_per_thread\": " +
+          std::to_string(ThreadPool::kMinRowsPerThread) + ",\n";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4f", serial_ms);
   json += "  \"transient_search_ms_per_call\": " + std::string(buf) + ",\n";
@@ -212,6 +215,12 @@ int WriteConditionSearchComparison(const char* path) {
   for (size_t t = 0; t < 3; ++t) {
     const size_t threads = thread_counts[t];
     ConditionSearchEngine engine(fx.data.train, threads);
+    // Record what the configuration actually ran with: the resolved worker
+    // count (0 = hardware threads) and the effective count after the
+    // min-rows-per-thread clamp that gates the parallel scan.
+    const size_t threads_resolved = engine.num_threads();
+    const size_t threads_effective =
+        ThreadPool::ClampThreadsForRows(threads, fx.rows.size());
     const double ms = MillisPerCall(
         [&] {
           auto best = engine.FindBest(fx.rows, target, fx.scorer, fx.options);
@@ -229,7 +238,9 @@ int WriteConditionSearchComparison(const char* path) {
     const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
     if (speedup > best_speedup) best_speedup = speedup;
     std::snprintf(buf, sizeof(buf), "%.4f", ms);
-    json += "    {\"threads\": " + std::to_string(threads) +
+    json += "    {\"threads_requested\": " + std::to_string(threads) +
+            ", \"threads_resolved\": " + std::to_string(threads_resolved) +
+            ", \"threads_effective\": " + std::to_string(threads_effective) +
             ", \"ms_per_call\": " + std::string(buf);
     std::snprintf(buf, sizeof(buf), "%.2f", speedup);
     json += ", \"speedup_vs_transient\": " + std::string(buf) +

@@ -1,0 +1,189 @@
+#include "c45/compiled_tree.h"
+
+#include <algorithm>
+
+namespace pnr {
+
+CompiledTree CompiledTree::Compile(const DecisionTree& tree,
+                                   const Schema& schema) {
+  CompiledTree compiled;
+  compiled.root_ = tree.root();
+  compiled.nodes_.reserve(tree.nodes().size());
+  for (const TreeNode& node : tree.nodes()) {
+    FlatNode flat;
+    flat.is_leaf = node.is_leaf;
+    flat.largest_child = node.largest_child;
+    if (!node.is_leaf) {
+      flat.attr = node.attr;
+      flat.is_numeric = schema.attribute(node.attr).is_numeric();
+      // RouteToLeaf falls back to largest_child whenever a child link is
+      // missing; folding that fallback into the links here removes the
+      // extra per-visit branch (-1 survives only when the fallback itself
+      // is missing, i.e. the walk stops at this node).
+      if (flat.is_numeric) {
+        flat.threshold = node.threshold;
+        flat.child_low = node.children.size() > 0 ? node.children[0] : -1;
+        flat.child_high = node.children.size() > 1 ? node.children[1] : -1;
+        if (flat.child_low < 0) flat.child_low = node.largest_child;
+        if (flat.child_high < 0) flat.child_high = node.largest_child;
+      } else {
+        flat.cat_begin = static_cast<uint32_t>(compiled.cat_children_.size());
+        flat.cat_count = static_cast<uint32_t>(node.children.size());
+        for (int32_t child : node.children) {
+          compiled.cat_children_.push_back(child >= 0 ? child
+                                                      : node.largest_child);
+        }
+        compiled.max_cat_fanout_ =
+            std::max(compiled.max_cat_fanout_, flat.cat_count + 1);
+      }
+      const bool seen = std::any_of(
+          compiled.used_attrs_.begin(), compiled.used_attrs_.end(),
+          [&](const UsedAttr& u) { return u.attr == node.attr; });
+      if (!seen) {
+        compiled.used_attrs_.push_back(UsedAttr{node.attr, flat.is_numeric});
+      }
+    }
+    compiled.nodes_.push_back(flat);
+  }
+  return compiled;
+}
+
+void CompiledTree::RouteBlock(const Dataset& dataset, const RowId* rows,
+                              size_t count, int32_t* out) const {
+  if (root_ < 0) {
+    for (size_t i = 0; i < count; ++i) out[i] = -1;
+    return;
+  }
+
+  // Hoist raw column pointers once per block; the per-row walk then reads
+  // cells with plain indexing instead of an accessor call per tree level.
+  size_t max_attr = 0;
+  for (const UsedAttr& u : used_attrs_) {
+    max_attr = std::max(max_attr, static_cast<size_t>(u.attr));
+  }
+  std::vector<const double*> numeric_cols(max_attr + 1, nullptr);
+  std::vector<const CategoryId*> categorical_cols(max_attr + 1, nullptr);
+  for (const UsedAttr& u : used_attrs_) {
+    if (u.is_numeric) {
+      numeric_cols[static_cast<size_t>(u.attr)] =
+          dataset.numeric_column(u.attr).data();
+    } else {
+      categorical_cols[static_cast<size_t>(u.attr)] =
+          dataset.categorical_column(u.attr).data();
+    }
+  }
+
+  const FlatNode* nodes = nodes_.data();
+  const int32_t* cat_children = cat_children_.data();
+
+  // Partition-based routing: instead of walking the tree once per row
+  // (whose data-dependent branches mispredict constantly), process one
+  // node at a time over the whole segment of rows that reached it. A
+  // numeric split is one branchless two-end partition pass — every row is
+  // stored to both bucket cursors and the comparison only moves them — so
+  // the loop has no unpredictable control flow at all. Segments ping-pong
+  // between two slot buffers; every row writes exactly its own out slot,
+  // so the visit order never affects results.
+  std::vector<uint32_t> buf0(count);
+  std::vector<uint32_t> buf1(count);
+  for (size_t i = 0; i < count; ++i) buf0[i] = static_cast<uint32_t>(i);
+  std::vector<uint32_t> bucket_at(max_cat_fanout_ + 1);
+
+  struct Segment {
+    int32_t node;
+    uint32_t offset;
+    uint32_t len;
+    uint8_t buf;
+  };
+  std::vector<Segment> pending;
+  pending.push_back({root_, 0, static_cast<uint32_t>(count), 0});
+
+  while (!pending.empty()) {
+    const Segment seg = pending.back();
+    pending.pop_back();
+    uint32_t* slots = (seg.buf != 0 ? buf1.data() : buf0.data()) + seg.offset;
+    uint32_t* next_slots =
+        (seg.buf != 0 ? buf0.data() : buf1.data()) + seg.offset;
+    const uint8_t next_buf = seg.buf != 0 ? 0 : 1;
+    const FlatNode& node = nodes[static_cast<size_t>(seg.node)];
+
+    // Terminal segment: a leaf, or a degenerate node with no viable child.
+    // (Child links < 0 survive compile-time folding only when the
+    // largest-child fallback is missing too, i.e. the walk stops here.)
+    if (node.is_leaf) {
+      for (uint32_t i = 0; i < seg.len; ++i) out[slots[i]] = seg.node;
+      continue;
+    }
+
+    if (node.is_numeric) {
+      const double* col = numeric_cols[static_cast<size_t>(node.attr)];
+      const double threshold = node.threshold;
+      uint32_t nl = 0;
+      uint32_t nh = seg.len;
+      for (uint32_t i = 0; i < seg.len; ++i) {
+        const uint32_t s = slots[i];
+        const bool low = col[rows[s]] <= threshold;
+        next_slots[nl] = s;
+        next_slots[nh - 1] = s;
+        nl += low;
+        nh -= !low;
+      }
+      if (nl > 0) {
+        if (node.child_low >= 0) {
+          pending.push_back({node.child_low, seg.offset, nl, next_buf});
+        } else {
+          for (uint32_t i = 0; i < nl; ++i) out[next_slots[i]] = seg.node;
+        }
+      }
+      if (nh < seg.len) {
+        if (node.child_high >= 0) {
+          pending.push_back(
+              {node.child_high, seg.offset + nh, seg.len - nh, next_buf});
+        } else {
+          for (uint32_t i = nh; i < seg.len; ++i) {
+            out[next_slots[i]] = seg.node;
+          }
+        }
+      }
+      continue;
+    }
+
+    // Categorical split: counting partition into one bucket per seen
+    // category plus an overflow bucket (missing / unseen values), which
+    // routes to the largest-child fallback.
+    const CategoryId* col = categorical_cols[static_cast<size_t>(node.attr)];
+    const uint32_t fanout = node.cat_count + 1;
+    const auto bucket_of = [&](uint32_t s) -> uint32_t {
+      const CategoryId c = col[rows[s]];
+      return c >= 0 && static_cast<uint32_t>(c) < node.cat_count
+                 ? static_cast<uint32_t>(c)
+                 : node.cat_count;
+    };
+    std::fill_n(bucket_at.begin(), fanout + 1, 0u);
+    for (uint32_t i = 0; i < seg.len; ++i) ++bucket_at[bucket_of(slots[i]) + 1];
+    for (uint32_t k = 1; k <= fanout; ++k) bucket_at[k] += bucket_at[k - 1];
+    for (uint32_t i = 0; i < seg.len; ++i) {
+      const uint32_t s = slots[i];
+      next_slots[bucket_at[bucket_of(s)]++] = s;
+    }
+    // bucket_at[k] now holds bucket k's END offset within the segment.
+    uint32_t begin = 0;
+    for (uint32_t k = 0; k < fanout; ++k) {
+      const uint32_t end = bucket_at[k];
+      if (end == begin) {
+        continue;
+      }
+      const int32_t child = k < node.cat_count
+                                ? cat_children[node.cat_begin + k]
+                                : node.largest_child;
+      if (child >= 0) {
+        pending.push_back({child, seg.offset + begin, end - begin, next_buf});
+      } else {
+        for (uint32_t i = begin; i < end; ++i) out[next_slots[i]] = seg.node;
+      }
+      begin = end;
+    }
+  }
+}
+
+}  // namespace pnr

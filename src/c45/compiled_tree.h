@@ -1,0 +1,66 @@
+// Compiled block routing for C4.5 decision trees.
+//
+// DecisionTree::RouteToLeaf resolves each node's attribute kind through the
+// schema on every visit of every row. CompiledTree flattens the tree into a
+// self-contained node array — attribute kind, threshold and child links
+// resolved at compile time, categorical child tables in one contiguous
+// vector — and routes whole blocks of rows through it. Node indices are
+// preserved, so a routed slot can be mapped through any per-node table
+// (leaf scores, majority classes) built against the source tree.
+
+#ifndef PNR_C45_COMPILED_TREE_H_
+#define PNR_C45_COMPILED_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "c45/tree.h"
+
+namespace pnr {
+
+/// A DecisionTree compiled for batch routing. Immutable; safe to share
+/// across threads.
+class CompiledTree {
+ public:
+  CompiledTree() = default;
+
+  /// Compiles `tree` against `schema` (resolves each split's attribute
+  /// kind once).
+  static CompiledTree Compile(const DecisionTree& tree, const Schema& schema);
+
+  /// Writes the routed leaf's node index (same indices as the source
+  /// tree's nodes()) to out[i] for each of rows[0..count). Identical to
+  /// DecisionTree::RouteToLeaf per row. An empty tree writes -1.
+  void RouteBlock(const Dataset& dataset, const RowId* rows, size_t count,
+                  int32_t* out) const;
+
+ private:
+  struct FlatNode {
+    bool is_leaf = true;
+    bool is_numeric = false;
+    AttrIndex attr = -1;
+    double threshold = 0.0;
+    int32_t largest_child = -1;
+    int32_t child_low = -1;      ///< numeric: <= threshold branch
+    int32_t child_high = -1;     ///< numeric: > threshold branch
+    uint32_t cat_begin = 0;      ///< categorical: span into cat_children_
+    uint32_t cat_count = 0;
+  };
+
+  /// A split attribute and its storage kind, for hoisting raw column
+  /// pointers once per routed block instead of per row visit.
+  struct UsedAttr {
+    AttrIndex attr = -1;
+    bool is_numeric = false;
+  };
+
+  std::vector<FlatNode> nodes_;
+  std::vector<int32_t> cat_children_;
+  std::vector<UsedAttr> used_attrs_;  ///< distinct split attributes
+  uint32_t max_cat_fanout_ = 0;       ///< widest categorical split + 1
+  int32_t root_ = -1;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_C45_COMPILED_TREE_H_

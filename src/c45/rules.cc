@@ -31,7 +31,19 @@ C45RulesClassifier::C45RulesClassifier(std::vector<ClassRule> rules,
     : rules_(std::move(rules)),
       default_class_(default_class),
       target_(target),
-      default_target_score_(default_target_score) {}
+      default_target_score_(default_target_score) {
+  RuleSet flat;
+  rule_scores_.reserve(rules_.size());
+  rule_positive_.reserve(rules_.size());
+  for (const ClassRule& entry : rules_) {
+    flat.AddRule(entry.rule);
+    const RuleStats& stats = entry.rule.train_stats;
+    const double laplace = (stats.positive + 1.0) / (stats.covered + 2.0);
+    rule_scores_.push_back(entry.cls == target_ ? laplace : 1.0 - laplace);
+    rule_positive_.push_back(entry.cls == target_ ? 1 : 0);
+  }
+  compiled_ = CompiledRuleSet::Compile(flat);
+}
 
 double C45RulesClassifier::Score(const Dataset& dataset, RowId row) const {
   for (const ClassRule& entry : rules_) {
@@ -48,6 +60,47 @@ bool C45RulesClassifier::Predict(const Dataset& dataset, RowId row) const {
     if (entry.rule.Matches(dataset, row)) return entry.cls == target_;
   }
   return default_class_ == target_;
+}
+
+void C45RulesClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
+                                    size_t count, double* out,
+                                    const BatchScoreOptions& options) const {
+  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+    const size_t n = end - begin;
+    // thread_local so consecutive blocks on a worker reuse the scratch
+    // masks instead of reallocating them; scratch contents never affect
+    // results, so reuse cannot perturb scores.
+    thread_local CompiledRuleSet::Scratch scratch;
+    thread_local std::vector<int32_t> first;
+    first.resize(n);
+    compiled_.FirstMatchBlock(dataset, rows + begin, n, first.data(),
+                              &scratch);
+    for (size_t i = 0; i < n; ++i) {
+      out[begin + i] = first[i] == kNoRule
+                           ? default_target_score_
+                           : rule_scores_[static_cast<size_t>(first[i])];
+    }
+  });
+}
+
+void C45RulesClassifier::PredictBatch(const Dataset& dataset,
+                                      const RowId* rows, size_t count,
+                                      uint8_t* out,
+                                      const BatchScoreOptions& options) const {
+  const uint8_t default_positive = default_class_ == target_ ? 1 : 0;
+  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+    const size_t n = end - begin;
+    thread_local CompiledRuleSet::Scratch scratch;
+    thread_local std::vector<int32_t> first;
+    first.resize(n);
+    compiled_.FirstMatchBlock(dataset, rows + begin, n, first.data(),
+                              &scratch);
+    for (size_t i = 0; i < n; ++i) {
+      out[begin + i] = first[i] == kNoRule
+                           ? default_positive
+                           : rule_positive_[static_cast<size_t>(first[i])];
+    }
+  });
 }
 
 std::string C45RulesClassifier::Describe(const Schema& schema) const {

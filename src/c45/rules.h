@@ -16,6 +16,7 @@
 
 #include "c45/tree.h"
 #include "eval/classifier.h"
+#include "rules/compiled_rule_set.h"
 #include "rules/rule.h"
 
 namespace pnr {
@@ -59,6 +60,17 @@ class C45RulesClassifier : public BinaryClassifier {
   /// compared against the target.
   bool Predict(const Dataset& dataset, RowId row) const override;
 
+  /// Compiled fast path: block-wise first match, then per-rule score /
+  /// class tables. Bit-identical to the per-row calls.
+  void ScoreBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                  double* out,
+                  const BatchScoreOptions& options = {}) const override;
+
+  /// Batched Predict (first-matching-rule class, NOT a score threshold).
+  void PredictBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                    uint8_t* out,
+                    const BatchScoreOptions& options = {}) const override;
+
   std::string Describe(const Schema& schema) const override;
 
   const std::vector<ClassRule>& rules() const { return rules_; }
@@ -69,6 +81,9 @@ class C45RulesClassifier : public BinaryClassifier {
   CategoryId default_class_;
   CategoryId target_;
   double default_target_score_;
+  CompiledRuleSet compiled_;           ///< matcher program for rules_
+  std::vector<double> rule_scores_;    ///< per-rule target score
+  std::vector<uint8_t> rule_positive_;  ///< per-rule class == target
 };
 
 /// Trains C4.5rules models.

@@ -1,9 +1,29 @@
 #include "c45/tree_classifier.h"
 
+#include <vector>
+
 namespace pnr {
 
 C45TreeClassifier::C45TreeClassifier(DecisionTree tree, CategoryId target)
-    : tree_(std::move(tree)), target_(target) {}
+    : tree_(std::move(tree)), target_(target) {
+  // Per-node lookup tables indexed by routed node id: the Laplace target
+  // probability and the majority-class vote, precomputed once so batch
+  // scoring is a pure table lookup after routing. (The routing program
+  // itself needs the schema for attribute kinds, so it is compiled per
+  // batch call — linear in node count, negligible against a batch.)
+  node_score_.reserve(tree_.nodes().size());
+  node_positive_.reserve(tree_.nodes().size());
+  const double k = static_cast<double>(tree_.num_classes());
+  for (const TreeNode& node : tree_.nodes()) {
+    const double cls_weight =
+        target_ >= 0 &&
+                static_cast<size_t>(target_) < node.class_weights.size()
+            ? node.class_weights[static_cast<size_t>(target_)]
+            : 0.0;
+    node_score_.push_back((cls_weight + 1.0) / (node.total_weight + k));
+    node_positive_.push_back(node.predicted_class == target_ ? 1 : 0);
+  }
+}
 
 double C45TreeClassifier::Score(const Dataset& dataset, RowId row) const {
   return tree_.ClassProbability(dataset, row, target_);
@@ -11,6 +31,37 @@ double C45TreeClassifier::Score(const Dataset& dataset, RowId row) const {
 
 bool C45TreeClassifier::Predict(const Dataset& dataset, RowId row) const {
   return tree_.Classify(dataset, row) == target_;
+}
+
+void C45TreeClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
+                                   size_t count, double* out,
+                                   const BatchScoreOptions& options) const {
+  const CompiledTree compiled = CompiledTree::Compile(tree_, dataset.schema());
+  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+    const size_t n = end - begin;
+    std::vector<int32_t> leaves(n);
+    compiled.RouteBlock(dataset, rows + begin, n, leaves.data());
+    for (size_t i = 0; i < n; ++i) {
+      out[begin + i] =
+          leaves[i] < 0 ? 0.0 : node_score_[static_cast<size_t>(leaves[i])];
+    }
+  });
+}
+
+void C45TreeClassifier::PredictBatch(const Dataset& dataset,
+                                     const RowId* rows, size_t count,
+                                     uint8_t* out,
+                                     const BatchScoreOptions& options) const {
+  const CompiledTree compiled = CompiledTree::Compile(tree_, dataset.schema());
+  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+    const size_t n = end - begin;
+    std::vector<int32_t> leaves(n);
+    compiled.RouteBlock(dataset, rows + begin, n, leaves.data());
+    for (size_t i = 0; i < n; ++i) {
+      out[begin + i] =
+          leaves[i] < 0 ? 0 : node_positive_[static_cast<size_t>(leaves[i])];
+    }
+  });
 }
 
 std::string C45TreeClassifier::Describe(const Schema& schema) const {

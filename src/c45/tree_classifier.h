@@ -5,7 +5,9 @@
 #define PNR_C45_TREE_CLASSIFIER_H_
 
 #include <string>
+#include <vector>
 
+#include "c45/compiled_tree.h"
 #include "c45/tree.h"
 #include "eval/classifier.h"
 
@@ -22,6 +24,19 @@ class C45TreeClassifier : public BinaryClassifier {
   /// C4.5 semantics: predict the majority class of the routed leaf.
   bool Predict(const Dataset& dataset, RowId row) const override;
 
+  /// Compiled fast path: block routing through the flattened tree
+  /// (c45/compiled_tree.h) plus a per-leaf score table. Bit-identical to
+  /// Score per row.
+  void ScoreBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                  double* out,
+                  const BatchScoreOptions& options = {}) const override;
+
+  /// Batched Predict with the same majority-leaf semantics (NOT a score
+  /// threshold, so the default thresholding batch would be wrong here).
+  void PredictBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                    uint8_t* out,
+                    const BatchScoreOptions& options = {}) const override;
+
   std::string Describe(const Schema& schema) const override;
 
   const DecisionTree& tree() const { return tree_; }
@@ -29,6 +44,8 @@ class C45TreeClassifier : public BinaryClassifier {
  private:
   DecisionTree tree_;
   CategoryId target_;
+  std::vector<double> node_score_;    ///< per-node target probability
+  std::vector<uint8_t> node_positive_;  ///< per-node majority == target
 };
 
 /// Trains C4.5 tree classifiers.

@@ -47,6 +47,14 @@ class BitMask {
     return count;
   }
 
+  /// True iff any bit is set.
+  bool AnySet() const {
+    for (uint64_t block : blocks_) {
+      if (block != 0) return true;
+    }
+    return false;
+  }
+
   /// Number of set bits in (*this & other).
   size_t CountAnd(const BitMask& other) const {
     assert(size_ == other.size_);
@@ -83,6 +91,15 @@ class BitMask {
     return *this;
   }
 
+  /// In-place *this &= ~other.
+  BitMask& AndNot(const BitMask& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      blocks_[i] &= ~other.blocks_[i];
+    }
+    return *this;
+  }
+
   friend BitMask operator&(BitMask lhs, const BitMask& rhs) {
     lhs &= rhs;
     return lhs;
@@ -95,6 +112,21 @@ class BitMask {
 
   bool operator==(const BitMask& other) const {
     return size_ == other.size_ && blocks_ == other.blocks_;
+  }
+
+  // -- Raw 64-bit block access (bulk mask construction) ---------------------
+
+  /// Number of 64-bit storage blocks.
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Block `index` (bit i of the mask is bit i%64 of block i/64).
+  uint64_t block(size_t index) const { return blocks_[index]; }
+
+  /// Overwrites block `index`; bits past size() are cleared.
+  void set_block(size_t index, uint64_t value) {
+    assert(index < blocks_.size());
+    blocks_[index] = value;
+    if (index + 1 == blocks_.size()) TrimTail();
   }
 
   /// Calls `fn(index)` for every set bit, ascending.

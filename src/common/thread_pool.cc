@@ -27,6 +27,12 @@ size_t ThreadPool::ResolveThreadCount(size_t requested) {
   return std::max(1u, hw);
 }
 
+size_t ThreadPool::ClampThreadsForRows(size_t requested, size_t rows) {
+  const size_t resolved = ResolveThreadCount(requested);
+  const size_t cap = std::max<size_t>(1, rows / kMinRowsPerThread);
+  return std::min(resolved, cap);
+}
+
 void ThreadPool::DrainJob(std::unique_lock<std::mutex>& lock) {
   while (job_fn_ != nullptr && next_index_ < job_count_) {
     const size_t index = next_index_++;

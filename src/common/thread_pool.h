@@ -48,6 +48,20 @@ class ThreadPool {
   /// "auto" (hardware concurrency, at least 1); anything else is itself.
   static size_t ResolveThreadCount(size_t requested);
 
+  /// Minimum rows of work each worker should receive before parallel
+  /// fan-out pays for itself. Shared by the condition-search engine and the
+  /// batch scorer: below the cutoff both run serially, so small inputs
+  /// never pay pool wake-up and cache-contention overhead (the regime where
+  /// BENCH_condition_search.json measured 2/8 threads slower than 1).
+  static constexpr size_t kMinRowsPerThread = 16384;
+
+  /// Threads actually worth using for `rows` rows of data-parallel work:
+  /// ResolveThreadCount(requested) capped so every thread gets at least
+  /// kMinRowsPerThread rows. Never returns 0; returning 1 means "run
+  /// serial". Using the clamped count never changes results — every
+  /// parallel loop here writes disjoint per-index slots.
+  static size_t ClampThreadsForRows(size_t requested, size_t rows);
+
  private:
   void WorkerLoop();
   /// Claims and runs indices of the current job while any remain. Must be

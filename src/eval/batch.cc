@@ -1,0 +1,27 @@
+#include "eval/batch.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace pnr {
+
+void ForEachRowBlock(size_t count, const BatchScoreOptions& options,
+                     const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  const size_t block = std::max<size_t>(1, options.block_size);
+  const size_t num_blocks = (count + block - 1) / block;
+  const auto run_block = [&](size_t b) {
+    fn(b * block, std::min(count, (b + 1) * block));
+  };
+  const size_t threads =
+      ThreadPool::ClampThreadsForRows(options.num_threads, count);
+  if (threads > 1 && num_blocks > 1) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(num_blocks, run_block);
+  } else {
+    for (size_t b = 0; b < num_blocks; ++b) run_block(b);
+  }
+}
+
+}  // namespace pnr

@@ -1,0 +1,40 @@
+// Block-parallel row batching shared by every BinaryClassifier::ScoreBatch
+// implementation.
+//
+// Scoring is embarrassingly parallel per row, so the driver splits the row
+// list into fixed-size blocks, fans the blocks out over a transient
+// ThreadPool, and has every block write only its own output slots — results
+// are bit-identical for any thread count by construction. Below
+// ThreadPool::kMinRowsPerThread rows per worker the driver runs serially,
+// so small inputs never pay fan-out overhead.
+
+#ifndef PNR_EVAL_BATCH_H_
+#define PNR_EVAL_BATCH_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace pnr {
+
+/// Knobs for batch scoring. The defaults (serial, 4096-row blocks) match
+/// the training-side convention that parallelism is opt-in.
+struct BatchScoreOptions {
+  /// Worker threads for block fan-out: 1 = serial, 0 = hardware
+  /// concurrency, n = n workers. Scores are bit-identical for any value.
+  size_t num_threads = 1;
+
+  /// Rows per evaluation block — the unit of fan-out and of the compiled
+  /// matchers' columnar sweeps.
+  size_t block_size = 4096;
+};
+
+/// Runs fn(begin, end) for consecutive [begin, end) slices of [0, count),
+/// options.block_size rows each. Blocks run in parallel when the clamped
+/// thread count (ThreadPool::ClampThreadsForRows) exceeds 1; fn must write
+/// only state disjoint per row.
+void ForEachRowBlock(size_t count, const BatchScoreOptions& options,
+                     const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace pnr
+
+#endif  // PNR_EVAL_BATCH_H_

@@ -1,0 +1,33 @@
+#include "eval/classifier.h"
+
+namespace pnr {
+
+void BinaryClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
+                                  size_t count, double* out,
+                                  const BatchScoreOptions& options) const {
+  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = Score(dataset, rows[i]);
+  });
+}
+
+void BinaryClassifier::PredictBatch(const Dataset& dataset, const RowId* rows,
+                                    size_t count, uint8_t* out,
+                                    const BatchScoreOptions& options) const {
+  // One scores buffer, thresholded in place: any ScoreBatch override (the
+  // compiled matchers) automatically accelerates prediction too.
+  std::vector<double> scores(count);
+  ScoreBatch(dataset, rows, count, scores.data(), options);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = scores[i] > threshold() ? 1 : 0;
+  }
+}
+
+std::vector<double> BinaryClassifier::ScoreRows(
+    const Dataset& dataset, const RowSubset& rows,
+    const BatchScoreOptions& options) const {
+  std::vector<double> scores(rows.size());
+  ScoreBatch(dataset, rows.data(), rows.size(), scores.data(), options);
+  return scores;
+}
+
+}  // namespace pnr

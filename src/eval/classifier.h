@@ -3,9 +3,12 @@
 #ifndef PNR_EVAL_CLASSIFIER_H_
 #define PNR_EVAL_CLASSIFIER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
+#include "eval/batch.h"
 
 namespace pnr {
 
@@ -14,6 +17,13 @@ namespace pnr {
 /// Implementations return a score in [0, 1] interpretable as (an
 /// approximation of) the probability that the record belongs to the target
 /// class; Predict() thresholds the score.
+///
+/// The batch entry points (ScoreBatch / PredictBatch) are the fast path for
+/// whole-dataset work: PNrule, RIPPER and C4.5 override them with compiled
+/// column-at-a-time matchers, and the defaults fall back to the virtual
+/// per-row calls. Every implementation must produce, for each row, exactly
+/// the per-row result — batch output is bit-identical to row-at-a-time
+/// output, for any thread count and block size.
 class BinaryClassifier {
  public:
   virtual ~BinaryClassifier() = default;
@@ -25,6 +35,23 @@ class BinaryClassifier {
   virtual bool Predict(const Dataset& dataset, RowId row) const {
     return Score(dataset, row) > threshold_;
   }
+
+  /// Writes Score(dataset, rows[i]) to out[i] for i in [0, count).
+  /// Default: row-at-a-time virtual Score, fanned out over row blocks.
+  virtual void ScoreBatch(const Dataset& dataset, const RowId* rows,
+                          size_t count, double* out,
+                          const BatchScoreOptions& options = {}) const;
+
+  /// Writes Predict(dataset, rows[i]) (0/1) to out[i] for i in [0, count).
+  /// Default thresholds ScoreBatch scores; classifiers whose Predict is not
+  /// a score threshold (C4.5's majority-leaf vote) override it.
+  virtual void PredictBatch(const Dataset& dataset, const RowId* rows,
+                            size_t count, uint8_t* out,
+                            const BatchScoreOptions& options = {}) const;
+
+  /// Convenience: scores an explicit row subset into a fresh vector.
+  std::vector<double> ScoreRows(const Dataset& dataset, const RowSubset& rows,
+                                const BatchScoreOptions& options = {}) const;
 
   /// Decision threshold applied by the default Predict() (default 0.5).
   double threshold() const { return threshold_; }

@@ -5,10 +5,10 @@
 
 namespace pnr {
 
-std::vector<CurvePoint> OperatingPoints(const BinaryClassifier& classifier,
-                                        const Dataset& dataset,
-                                        CategoryId target) {
-  const auto sweep = ThresholdSweep(classifier, dataset, target);
+std::vector<CurvePoint> OperatingPoints(
+    const BinaryClassifier& classifier, const Dataset& dataset,
+    CategoryId target, const BatchScoreOptions& options) {
+  const auto sweep = ThresholdSweep(classifier, dataset, target, options);
   std::vector<CurvePoint> points;
   points.reserve(sweep.size());
   for (const auto& [threshold, confusion] : sweep) {
@@ -64,8 +64,9 @@ double PrAuc(const std::vector<CurvePoint>& points) {
 }
 
 RankingSummary SummarizeRanking(const BinaryClassifier& classifier,
-                                const Dataset& dataset, CategoryId target) {
-  const auto points = OperatingPoints(classifier, dataset, target);
+                                const Dataset& dataset, CategoryId target,
+                                const BatchScoreOptions& options) {
+  const auto points = OperatingPoints(classifier, dataset, target, options);
   return RankingSummary{RocAuc(points), PrAuc(points)};
 }
 

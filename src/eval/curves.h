@@ -21,10 +21,11 @@ struct CurvePoint {
 };
 
 /// All distinct operating points of `classifier` on `dataset`, ordered by
-/// ascending threshold (descending recall).
-std::vector<CurvePoint> OperatingPoints(const BinaryClassifier& classifier,
-                                        const Dataset& dataset,
-                                        CategoryId target);
+/// ascending threshold (descending recall). Scores run through the batch
+/// engine; `options` tunes it.
+std::vector<CurvePoint> OperatingPoints(
+    const BinaryClassifier& classifier, const Dataset& dataset,
+    CategoryId target, const BatchScoreOptions& options = {});
 
 /// Area under the ROC curve (trapezoidal over the operating points).
 /// 0.5 = random ranking, 1.0 = perfect.
@@ -40,7 +41,8 @@ struct RankingSummary {
   double pr_auc = 0.0;
 };
 RankingSummary SummarizeRanking(const BinaryClassifier& classifier,
-                                const Dataset& dataset, CategoryId target);
+                                const Dataset& dataset, CategoryId target,
+                                const BatchScoreOptions& options = {});
 
 }  // namespace pnr
 

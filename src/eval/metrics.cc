@@ -1,26 +1,29 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <numeric>
+#include <vector>
 
 namespace pnr {
 
 Confusion EvaluateClassifier(const BinaryClassifier& classifier,
-                             const Dataset& dataset, CategoryId target) {
-  Confusion confusion;
-  for (RowId row = 0; row < dataset.num_rows(); ++row) {
-    confusion.Add(dataset.label(row) == target,
-                  classifier.Predict(dataset, row));
-  }
-  return confusion;
+                             const Dataset& dataset, CategoryId target,
+                             const BatchScoreOptions& options) {
+  std::vector<RowId> rows(dataset.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  return EvaluateClassifierOnRows(classifier, dataset, rows, target, options);
 }
 
 Confusion EvaluateClassifierOnRows(const BinaryClassifier& classifier,
                                    const Dataset& dataset,
-                                   const RowSubset& rows, CategoryId target) {
+                                   const RowSubset& rows, CategoryId target,
+                                   const BatchScoreOptions& options) {
+  std::vector<uint8_t> predicted(rows.size());
+  classifier.PredictBatch(dataset, rows.data(), rows.size(),
+                          predicted.data(), options);
   Confusion confusion;
-  for (RowId row : rows) {
-    confusion.Add(dataset.label(row) == target,
-                  classifier.Predict(dataset, row));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    confusion.Add(dataset.label(rows[i]) == target, predicted[i] != 0);
   }
   return confusion;
 }
@@ -32,13 +35,19 @@ BinaryMetrics Metrics(const Confusion& confusion) {
 
 std::vector<std::pair<double, Confusion>> ThresholdSweep(
     const BinaryClassifier& classifier, const Dataset& dataset,
-    CategoryId target) {
+    CategoryId target, const BatchScoreOptions& options) {
+  std::vector<RowId> rows(dataset.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<double> scores(rows.size());
+  classifier.ScoreBatch(dataset, rows.data(), rows.size(), scores.data(),
+                        options);
+
   std::vector<std::pair<double, bool>> scored;
   scored.reserve(dataset.num_rows());
   double total_positives = 0.0;
   for (RowId row = 0; row < dataset.num_rows(); ++row) {
     const bool positive = dataset.label(row) == target;
-    scored.emplace_back(classifier.Score(dataset, row), positive);
+    scored.emplace_back(scores[row], positive);
     if (positive) total_positives += 1.0;
   }
   std::sort(scored.begin(), scored.end());

@@ -19,23 +19,28 @@ struct BinaryMetrics {
 
 /// Evaluates `classifier` on every row of `dataset` (unweighted counts, as
 /// test sets are never stratified) with `target` as the positive class.
+/// Predictions run through PredictBatch; `options` tunes the batch engine
+/// (results are identical for any setting).
 Confusion EvaluateClassifier(const BinaryClassifier& classifier,
-                             const Dataset& dataset, CategoryId target);
+                             const Dataset& dataset, CategoryId target,
+                             const BatchScoreOptions& options = {});
 
 /// Same as EvaluateClassifier but restricted to `rows`.
 Confusion EvaluateClassifierOnRows(const BinaryClassifier& classifier,
                                    const Dataset& dataset,
-                                   const RowSubset& rows, CategoryId target);
+                                   const RowSubset& rows, CategoryId target,
+                                   const BatchScoreOptions& options = {});
 
 /// Convenience wrapper returning the metric triple directly.
 BinaryMetrics Metrics(const Confusion& confusion);
 
 /// Sweeps decision thresholds over the classifier's scores and returns the
 /// (threshold, confusion) pairs for every distinct score cut, sorted by
-/// threshold. Useful for recall/precision trade-off curves.
+/// threshold. Useful for recall/precision trade-off curves. Scores run
+/// through ScoreBatch.
 std::vector<std::pair<double, Confusion>> ThresholdSweep(
     const BinaryClassifier& classifier, const Dataset& dataset,
-    CategoryId target);
+    CategoryId target, const BatchScoreOptions& options = {});
 
 }  // namespace pnr
 

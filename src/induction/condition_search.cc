@@ -197,7 +197,14 @@ std::optional<CandidateCondition> ConditionSearchEngine::FindBest(
     results[a] = std::move(state.best);
   };
 
-  if (pool_ != nullptr && num_attrs > 1) {
+  // Small subsets are not worth fanning out: per-task overhead dominates
+  // (BENCH_condition_search.json shows multi-thread configs losing to the
+  // serial scan at 20k rows), so clamp by the shared rows-per-thread
+  // heuristic and fall back to the serial loop.
+  const bool parallel =
+      pool_ != nullptr && num_attrs > 1 &&
+      ThreadPool::ClampThreadsForRows(num_threads_, rows.size()) > 1;
+  if (parallel) {
     pool_->ParallelFor(num_attrs, scan_attribute);
   } else {
     for (size_t a = 0; a < num_attrs; ++a) scan_attribute(a);

@@ -1,5 +1,8 @@
 #include "pnrule/ensemble.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace pnr {
@@ -28,6 +31,22 @@ double PnruleEnsembleClassifier::Score(const Dataset& dataset,
     total += member.Score(dataset, row);
   }
   return total / static_cast<double>(members_.size());
+}
+
+void PnruleEnsembleClassifier::ScoreBatch(
+    const Dataset& dataset, const RowId* rows, size_t count, double* out,
+    const BatchScoreOptions& options) const {
+  std::fill(out, out + count, 0.0);
+  if (members_.empty() || count == 0) return;
+  // Accumulate member scores in member order — the same summation order as
+  // the per-row Score, so the averages are bit-identical.
+  std::vector<double> member_scores(count);
+  for (const PnruleClassifier& member : members_) {
+    member.ScoreBatch(dataset, rows, count, member_scores.data(), options);
+    for (size_t i = 0; i < count; ++i) out[i] += member_scores[i];
+  }
+  const double scale = static_cast<double>(members_.size());
+  for (size_t i = 0; i < count; ++i) out[i] /= scale;
 }
 
 std::string PnruleEnsembleClassifier::Describe(const Schema& schema) const {

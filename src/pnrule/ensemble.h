@@ -35,6 +35,13 @@ class PnruleEnsembleClassifier : public BinaryClassifier {
   explicit PnruleEnsembleClassifier(std::vector<PnruleClassifier> members);
 
   double Score(const Dataset& dataset, RowId row) const override;
+
+  /// Batched averaging over the members' compiled ScoreBatch paths
+  /// (members are scored sequentially; each parallelizes internally).
+  void ScoreBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                  double* out,
+                  const BatchScoreOptions& options = {}) const override;
+
   std::string Describe(const Schema& schema) const override;
 
   size_t num_members() const { return members_.size(); }

@@ -1,6 +1,9 @@
 #include "pnrule/multiclass.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
+#include <vector>
 
 namespace pnr {
 
@@ -36,6 +39,27 @@ CategoryId MultiClassPnruleClassifier::Classify(const Dataset& dataset,
     }
   }
   return best;
+}
+
+void MultiClassPnruleClassifier::ClassifyBatch(
+    const Dataset& dataset, const RowId* rows, size_t count, CategoryId* out,
+    const BatchScoreOptions& options) const {
+  if (count == 0) return;
+  std::fill(out, out + count, default_class_);
+  std::vector<double> best_score(count, 0.0);
+  std::vector<double> cls_score(count);
+  for (size_t cls = 0; cls < models_.size(); ++cls) {
+    if (!models_[cls].has_value()) continue;
+    models_[cls]->ScoreBatch(dataset, rows, count, cls_score.data(), options);
+    const double weight = class_weights_[cls];
+    for (size_t i = 0; i < count; ++i) {
+      const double score = weight * cls_score[i];
+      if (score > best_score[i]) {
+        best_score[i] = score;
+        out[i] = static_cast<CategoryId>(cls);
+      }
+    }
+  }
 }
 
 const PnruleClassifier* MultiClassPnruleClassifier::model_for(
@@ -87,11 +111,17 @@ StatusOr<MultiClassPnruleClassifier> MultiClassPnruleLearner::Train(
 }
 
 double MultiClassAccuracy(const MultiClassPnruleClassifier& classifier,
-                          const Dataset& dataset) {
+                          const Dataset& dataset,
+                          const BatchScoreOptions& options) {
   if (dataset.num_rows() == 0) return 0.0;
+  std::vector<RowId> rows(dataset.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<CategoryId> predicted(rows.size());
+  classifier.ClassifyBatch(dataset, rows.data(), rows.size(),
+                           predicted.data(), options);
   size_t correct = 0;
-  for (RowId row = 0; row < dataset.num_rows(); ++row) {
-    if (classifier.Classify(dataset, row) == dataset.label(row)) ++correct;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (predicted[i] == dataset.label(rows[i])) ++correct;
   }
   return static_cast<double>(correct) /
          static_cast<double>(dataset.num_rows());

@@ -32,6 +32,14 @@ class MultiClassPnruleClassifier {
   /// zero.
   CategoryId Classify(const Dataset& dataset, RowId row) const;
 
+  /// Batched Classify: one compiled ScoreBatch pass per class over the
+  /// whole row block instead of scoring every class per row. Bit-identical
+  /// to Classify (same weight multiply, same ascending-class strict-`>`
+  /// tie-break).
+  void ClassifyBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                     CategoryId* out,
+                     const BatchScoreOptions& options = {}) const;
+
   /// Number of classes the committee was built over.
   size_t num_classes() const { return models_.size(); }
 
@@ -67,9 +75,11 @@ class MultiClassPnruleLearner {
   std::vector<double> class_weights_;
 };
 
-/// Multiclass accuracy of `classifier` over all rows of `dataset`.
+/// Multiclass accuracy of `classifier` over all rows of `dataset`
+/// (classified via the batched path; `options` tunes it).
 double MultiClassAccuracy(const MultiClassPnruleClassifier& classifier,
-                          const Dataset& dataset);
+                          const Dataset& dataset,
+                          const BatchScoreOptions& options = {});
 
 }  // namespace pnr
 

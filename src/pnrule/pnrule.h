@@ -17,6 +17,7 @@
 #include "eval/classifier.h"
 #include "pnrule/config.h"
 #include "pnrule/score_matrix.h"
+#include "rules/compiled_rule_set.h"
 #include "rules/rule_set.h"
 
 namespace pnr {
@@ -34,6 +35,13 @@ class PnruleClassifier : public BinaryClassifier {
   /// first N-rule) combination.
   double Score(const Dataset& dataset, RowId row) const override;
 
+  /// Compiled fast path: first-match P and N resolution runs
+  /// column-at-a-time per row block (rules/compiled_rule_set.h), the
+  /// ScoreMatrix lookup per block. Bit-identical to Score per row.
+  void ScoreBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                  double* out,
+                  const BatchScoreOptions& options = {}) const override;
+
   std::string Describe(const Schema& schema) const override;
 
   const RuleSet& p_rules() const { return p_rules_; }
@@ -46,6 +54,8 @@ class PnruleClassifier : public BinaryClassifier {
   RuleSet n_rules_;
   ScoreMatrix scores_;
   bool use_score_matrix_;
+  CompiledRuleSet compiled_p_;  ///< matcher program for p_rules_
+  CompiledRuleSet compiled_n_;  ///< matcher program for n_rules_
 };
 
 /// Diagnostic summary of a training run.

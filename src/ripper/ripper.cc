@@ -1,5 +1,7 @@
 #include "ripper/ripper.h"
 
+#include <vector>
+
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "induction/mdl.h"
@@ -24,13 +26,39 @@ Status RipperConfig::Validate() const {
 }
 
 RipperClassifier::RipperClassifier(RuleSet rules)
-    : rules_(std::move(rules)) {}
+    : rules_(std::move(rules)), compiled_(CompiledRuleSet::Compile(rules_)) {
+  rule_scores_.reserve(rules_.size());
+  for (const Rule& rule : rules_.rules()) {
+    rule_scores_.push_back((rule.train_stats.positive + 1.0) /
+                           (rule.train_stats.covered + 2.0));
+  }
+}
 
 double RipperClassifier::Score(const Dataset& dataset, RowId row) const {
   const int match = rules_.FirstMatch(dataset, row);
   if (match == kNoRule) return 0.0;
-  const RuleStats& stats = rules_.rule(static_cast<size_t>(match)).train_stats;
-  return (stats.positive + 1.0) / (stats.covered + 2.0);
+  return rule_scores_[static_cast<size_t>(match)];
+}
+
+void RipperClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
+                                  size_t count, double* out,
+                                  const BatchScoreOptions& options) const {
+  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+    const size_t n = end - begin;
+    // thread_local so consecutive blocks on a worker reuse the scratch
+    // masks instead of reallocating them; scratch contents never affect
+    // results, so reuse cannot perturb scores.
+    thread_local CompiledRuleSet::Scratch scratch;
+    thread_local std::vector<int32_t> first;
+    first.resize(n);
+    compiled_.FirstMatchBlock(dataset, rows + begin, n, first.data(),
+                              &scratch);
+    for (size_t i = 0; i < n; ++i) {
+      out[begin + i] = first[i] == kNoRule
+                           ? 0.0
+                           : rule_scores_[static_cast<size_t>(first[i])];
+    }
+  });
 }
 
 std::string RipperClassifier::Describe(const Schema& schema) const {

@@ -15,7 +15,10 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "eval/classifier.h"
+#include "rules/compiled_rule_set.h"
 #include "rules/rule_set.h"
 
 namespace pnr {
@@ -60,12 +63,20 @@ class RipperClassifier : public BinaryClassifier {
   /// 0 when no rule matches (default class).
   double Score(const Dataset& dataset, RowId row) const override;
 
+  /// Compiled fast path: block-wise first match through the matcher
+  /// program, then a per-rule score table lookup. Bit-identical to Score.
+  void ScoreBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                  double* out,
+                  const BatchScoreOptions& options = {}) const override;
+
   std::string Describe(const Schema& schema) const override;
 
   const RuleSet& rules() const { return rules_; }
 
  private:
   RuleSet rules_;
+  CompiledRuleSet compiled_;          ///< matcher program for rules_
+  std::vector<double> rule_scores_;   ///< per-rule Laplace precision
 };
 
 /// Trains RIPPER models.

@@ -16,7 +16,9 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <numeric>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "data/csv.h"
@@ -58,9 +60,12 @@ int Usage() {
                "           [--rp <f>] [--rn <f>] [--min-support <f>] "
                "[--p1] [--threshold <f>]\n"
                "           [--threads <n>] [--class-column <name>]\n"
-               "  --threads: condition-search workers (1 = serial, 0 = all "
-               "hardware threads);\n"
-               "             the learned model is identical for any value.\n");
+               "  --threads: worker threads for condition search (train) and "
+               "batch scoring\n"
+               "             (eval/predict); 1 = serial, 0 = all hardware "
+               "threads. Models,\n"
+               "             metrics, and predictions are identical for any "
+               "value.\n");
   return 2;
 }
 
@@ -95,6 +100,12 @@ double OptionOr(const Args& args, const std::string& key,
   double value = fallback;
   ParseDouble(it->second, &value);
   return value;
+}
+
+BatchScoreOptions BatchOptions(const Args& args) {
+  BatchScoreOptions options;
+  options.num_threads = static_cast<size_t>(OptionOr(args, "threads", 1.0));
+  return options;
 }
 
 int Train(const Args& args) {
@@ -167,9 +178,11 @@ int Eval(const Args& args) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
-  const Confusion c = EvaluateClassifier(*model, *data, *target);
+  const BatchScoreOptions batch = BatchOptions(args);
+  const Confusion c = EvaluateClassifier(*model, *data, *target, batch);
   std::printf("%s\n", c.ToString().c_str());
-  const RankingSummary ranking = SummarizeRanking(*model, *data, *target);
+  const RankingSummary ranking =
+      SummarizeRanking(*model, *data, *target, batch);
   std::printf("ROC-AUC=%.4f PR-AUC=%.4f\n", ranking.roc_auc,
               ranking.pr_auc);
   return 0;
@@ -186,11 +199,17 @@ int Predict(const Args& args) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
+  const BatchScoreOptions batch = BatchOptions(args);
+  std::vector<RowId> rows(data->num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<double> scores(rows.size());
+  std::vector<uint8_t> predicted(rows.size());
+  model->ScoreBatch(*data, rows.data(), rows.size(), scores.data(), batch);
+  model->PredictBatch(*data, rows.data(), rows.size(), predicted.data(),
+                      batch);
   std::printf("row,score,predicted\n");
-  for (RowId row = 0; row < data->num_rows(); ++row) {
-    const double score = model->Score(*data, row);
-    std::printf("%u,%.6f,%d\n", row, score,
-                model->Predict(*data, row) ? 1 : 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%u,%.6f,%d\n", rows[i], scores[i], predicted[i] ? 1 : 0);
   }
   return 0;
 }
