@@ -56,14 +56,31 @@ std::string FormatPercent(double fraction, int digits) {
 bool ParseDouble(std::string_view text, double* out) {
   text = TrimWhitespace(text);
   if (text.empty()) return false;
-  // std::from_chars<double> is not universally available; use strtod on a
-  // bounded copy.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  // Allocation-free fast path; this runs once per numeric cell during
+  // ingestion, so it is on the hot path of every data load. from_chars does
+  // not accept a leading '+', which strtod did; strip it for compatibility.
+  if (text.front() == '+') {
+    text.remove_prefix(1);
+    if (text.empty()) return false;
+  }
+  double value = 0.0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+#else
+  // Fallback: strtod on a bounded copy.
   std::string buf(text);
   char* end = nullptr;
   const double value = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) return false;
   *out = value;
   return true;
+#endif
 }
 
 bool ParseInt64(std::string_view text, long long* out) {

@@ -33,6 +33,12 @@ size_t ThreadPool::ClampThreadsForRows(size_t requested, size_t rows) {
   return std::min(resolved, cap);
 }
 
+size_t ThreadPool::ClampThreadsForBytes(size_t requested, size_t bytes) {
+  const size_t resolved = ResolveThreadCount(requested);
+  const size_t cap = std::max<size_t>(1, bytes / kMinBytesPerThread);
+  return std::min(resolved, cap);
+}
+
 void ThreadPool::DrainJob(std::unique_lock<std::mutex>& lock) {
   while (job_fn_ != nullptr && next_index_ < job_count_) {
     const size_t index = next_index_++;

@@ -62,6 +62,17 @@ class ThreadPool {
   /// parallel loop here writes disjoint per-index slots.
   static size_t ClampThreadsForRows(size_t requested, size_t rows);
 
+  /// Minimum bytes of raw input each worker should receive before chunked
+  /// ingestion fans out. The ingest engine splits files into row-aligned
+  /// chunks of at least this size; smaller inputs parse serially, where the
+  /// structural pre-scan would otherwise dominate.
+  static constexpr size_t kMinBytesPerThread = size_t{1} << 20;
+
+  /// ClampThreadsForRows' byte-based counterpart for the ingest engine:
+  /// ResolveThreadCount(requested) capped so every thread gets at least
+  /// kMinBytesPerThread bytes of input. Never returns 0.
+  static size_t ClampThreadsForBytes(size_t requested, size_t bytes);
+
  private:
   void WorkerLoop();
   /// Claims and runs indices of the current job while any remain. Must be

@@ -1,10 +1,16 @@
+// ARFF header parsing and entry points. The @data section is parsed by the
+// ingest engine (data/ingest.cc); this file owns everything up to and
+// including the @data line: attribute declarations, class resolution, and
+// schema construction.
+
 #include "data/arff.h"
 
 #include <cctype>
-#include <fstream>
-#include <sstream>
+#include <cstring>
+#include <utility>
 
 #include "common/string_util.h"
+#include "data/ingest.h"
 
 namespace pnr {
 namespace {
@@ -21,16 +27,6 @@ bool StartsWithNoCase(std::string_view text, std::string_view prefix) {
   return true;
 }
 
-std::string Unquote(std::string_view text) {
-  text = TrimWhitespace(text);
-  if (text.size() >= 2 &&
-      ((text.front() == '\'' && text.back() == '\'') ||
-       (text.front() == '"' && text.back() == '"'))) {
-    return std::string(text.substr(1, text.size() - 2));
-  }
-  return std::string(text);
-}
-
 struct ArffAttribute {
   std::string name;
   bool numeric = true;
@@ -42,7 +38,7 @@ Status ParseError(size_t line_number, const std::string& detail) {
                                  ": " + detail);
 }
 
-StatusOr<ArffAttribute> ParseAttributeDecl(const std::string& body,
+StatusOr<ArffAttribute> ParseAttributeDecl(std::string_view body,
                                            size_t line_number) {
   // body = "<name> <type>" where name may be quoted.
   std::string_view view = TrimWhitespace(body);
@@ -75,7 +71,7 @@ StatusOr<ArffAttribute> ParseAttributeDecl(const std::string& body,
     attr.numeric = false;
     for (const std::string& value :
          SplitString(rest.substr(1, rest.size() - 2), ',')) {
-      attr.values.push_back(Unquote(value));
+      attr.values.push_back(ArffUnquote(value));
     }
     if (attr.values.empty()) {
       return ParseError(line_number, "empty nominal domain");
@@ -97,52 +93,61 @@ StatusOr<ArffAttribute> ParseAttributeDecl(const std::string& body,
 
 }  // namespace
 
-StatusOr<Dataset> ReadArffFromString(const std::string& text,
-                                     const ArffReadOptions& options) {
-  std::istringstream stream(text);
-  std::string raw;
-  size_t line_number = 0;
+std::string ArffUnquote(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.size() >= 2 && ((text.front() == '\'' && text.back() == '\'') ||
+                           (text.front() == '"' && text.back() == '"'))) {
+    return std::string(text.substr(1, text.size() - 2));
+  }
+  return std::string(text);
+}
 
+StatusOr<ArffLayout> ParseArffHeader(std::string_view text,
+                                     const ArffReadOptions& options) {
+  // Offsets in the returned layout are relative to `text` as passed in, so
+  // a BOM just advances the cursor.
+  size_t pos = 0;
+  if (text.size() >= 3 && std::memcmp(text.data(), "\xEF\xBB\xBF", 3) == 0) {
+    pos = 3;
+  }
+  size_t line_number = 0;
   std::vector<ArffAttribute> attributes;
   bool in_data = false;
-  std::vector<std::vector<std::string>> rows;
-  while (std::getline(stream, raw)) {
+  size_t data_offset = text.size();
+  size_t data_first_line = 1;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    const size_t line_end = (nl == std::string_view::npos) ? text.size() : nl;
+    std::string_view raw = text.substr(pos, line_end - pos);
+    pos = (nl == std::string_view::npos) ? text.size() : nl + 1;
     ++line_number;
-    // Strip comments and whitespace.
+    // Strip comments ('%' anywhere starts one) and whitespace.
     const size_t comment = raw.find('%');
-    if (comment != std::string::npos) raw.resize(comment);
-    const std::string line(TrimWhitespace(raw));
+    if (comment != std::string_view::npos) raw = raw.substr(0, comment);
+    const std::string_view line = TrimWhitespace(raw);
     if (line.empty()) continue;
-    if (!in_data) {
-      if (StartsWithNoCase(line, "@relation")) continue;
-      if (StartsWithNoCase(line, "@attribute")) {
-        auto attr = ParseAttributeDecl(line.substr(10), line_number);
-        if (!attr.ok()) return attr.status();
-        attributes.push_back(std::move(attr).value());
-        continue;
-      }
-      if (StartsWithNoCase(line, "@data")) {
-        in_data = true;
-        continue;
-      }
-      return ParseError(line_number, "unexpected header line '" + line + "'");
+    if (StartsWithNoCase(line, "@relation")) continue;
+    if (StartsWithNoCase(line, "@attribute")) {
+      auto attr = ParseAttributeDecl(line.substr(10), line_number);
+      if (!attr.ok()) return attr.status();
+      attributes.push_back(std::move(attr).value());
+      continue;
     }
-    std::vector<std::string> fields = SplitString(line, ',');
-    if (fields.size() != attributes.size()) {
-      return ParseError(line_number,
-                        "row has " + std::to_string(fields.size()) +
-                            " fields, expected " +
-                            std::to_string(attributes.size()));
+    if (StartsWithNoCase(line, "@data")) {
+      in_data = true;
+      data_offset = pos;
+      data_first_line = line_number + 1;
+      break;
     }
-    for (std::string& field : fields) field = Unquote(field);
-    rows.push_back(std::move(fields));
+    return ParseError(line_number,
+                      "unexpected header line '" + std::string(line) + "'");
   }
   if (attributes.empty()) {
     return Status::InvalidArgument("ARFF declares no attributes");
   }
-  if (rows.empty()) {
-    return Status::InvalidArgument("ARFF has no data rows");
-  }
+  // A header without @data yields an empty data section; the row parsers
+  // then report "ARFF has no data rows", matching the historical reader.
+  (void)in_data;
 
   // Choose the class attribute.
   size_t class_index = attributes.size();
@@ -173,75 +178,49 @@ StatusOr<Dataset> ReadArffFromString(const std::string& text,
     return Status::InvalidArgument("class attribute must be nominal");
   }
 
-  Schema schema;
-  std::vector<AttrIndex> attr_of(attributes.size(), -1);
+  ArffLayout layout;
+  layout.class_index = class_index;
+  layout.data_offset = data_offset;
+  layout.data_first_line = data_first_line;
+  layout.attr_of.assign(attributes.size(), -1);
+  layout.numeric.resize(attributes.size());
+  layout.names.resize(attributes.size());
   for (size_t i = 0; i < attributes.size(); ++i) {
+    layout.numeric[i] = attributes[i].numeric;
+    layout.names[i] = attributes[i].name;
     if (i == class_index) {
       for (const std::string& value : attributes[i].values) {
-        schema.GetOrAddClass(value);
+        layout.schema.GetOrAddClass(value);
       }
       continue;
     }
-    attr_of[i] = schema.AddAttribute(
+    layout.attr_of[i] = layout.schema.AddAttribute(
         attributes[i].numeric
             ? Attribute::Numeric(attributes[i].name)
             : Attribute::Categorical(attributes[i].name,
                                      attributes[i].values));
   }
+  return layout;
+}
 
-  Dataset dataset(std::move(schema));
-  dataset.Reserve(rows.size());
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const RowId row = dataset.AddRow();
-    for (size_t i = 0; i < attributes.size(); ++i) {
-      const std::string& field = rows[r][i];
-      if (i == class_index) {
-        const CategoryId label =
-            dataset.schema().class_attr().FindCategory(field);
-        if (label == kInvalidCategory) {
-          return Status::InvalidArgument("undeclared class value '" + field +
-                                         "'");
-        }
-        dataset.set_label(row, label);
-        continue;
-      }
-      const AttrIndex attr = attr_of[i];
-      if (attributes[i].numeric) {
-        double value = 0.0;
-        if (field == "?") {
-          value = 0.0;  // documented missing-value convention
-        } else if (!ParseDouble(field, &value)) {
-          return Status::InvalidArgument("non-numeric value '" + field +
-                                         "' in attribute '" +
-                                         attributes[i].name + "'");
-        }
-        dataset.set_numeric(row, attr, value);
-      } else {
-        if (field == "?") {
-          dataset.set_categorical(row, attr, kInvalidCategory);
-          continue;
-        }
-        const CategoryId id =
-            dataset.schema().attribute(attr).FindCategory(field);
-        if (id == kInvalidCategory) {
-          return Status::InvalidArgument(
-              "value '" + field + "' not in the declared domain of '" +
-              attributes[i].name + "'");
-        }
-        dataset.set_categorical(row, attr, id);
-      }
-    }
-  }
-  return dataset;
+namespace {
+
+IngestOptions EngineOptions(const ArffReadOptions& options) {
+  IngestOptions ingest;
+  ingest.num_threads = options.num_threads;
+  return ingest;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadArffFromString(const std::string& text,
+                                     const ArffReadOptions& options) {
+  return IngestEngine(EngineOptions(options)).ParseArff(text, options);
 }
 
 StatusOr<Dataset> ReadArff(const std::string& path,
                            const ArffReadOptions& options) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ReadArffFromString(buffer.str(), options);
+  return IngestEngine(EngineOptions(options)).LoadArff(path, options);
 }
 
 }  // namespace pnr

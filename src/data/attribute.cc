@@ -36,18 +36,18 @@ const std::string& Attribute::CategoryName(CategoryId id) const {
   return categories_[static_cast<size_t>(id)];
 }
 
-CategoryId Attribute::FindCategory(const std::string& value) const {
+CategoryId Attribute::FindCategory(std::string_view value) const {
   auto it = category_index_.find(value);
   return it == category_index_.end() ? kInvalidCategory : it->second;
 }
 
-CategoryId Attribute::GetOrAddCategory(const std::string& value) {
+CategoryId Attribute::GetOrAddCategory(std::string_view value) {
   assert(is_categorical());
   auto it = category_index_.find(value);
   if (it != category_index_.end()) return it->second;
   const CategoryId id = static_cast<CategoryId>(categories_.size());
-  categories_.push_back(value);
-  category_index_.emplace(value, id);
+  categories_.emplace_back(value);
+  category_index_.emplace(categories_.back(), id);
   return id;
 }
 

@@ -1,130 +1,32 @@
+// CSV entry points. Parsing lives in the ingest engine (data/ingest.cc):
+// these wrappers only pick the engine options from CsvReadOptions. WriteCsv
+// stays here.
+
 #include "data/csv.h"
 
 #include <fstream>
-#include <sstream>
 
-#include "common/string_util.h"
+#include "data/ingest.h"
 
 namespace pnr {
 namespace {
 
-StatusOr<Dataset> BuildDataset(
-    const std::vector<std::vector<std::string>>& cells,
-    const std::vector<std::string>& names, size_t class_col) {
-  const size_t num_cols = names.size();
-  // Pass 1: decide per-column type.
-  std::vector<bool> numeric(num_cols, true);
-  for (const auto& row : cells) {
-    for (size_t c = 0; c < num_cols; ++c) {
-      if (c == class_col || !numeric[c]) continue;
-      double value = 0.0;
-      if (!ParseDouble(row[c], &value)) numeric[c] = false;
-    }
-  }
-
-  Schema schema;
-  std::vector<AttrIndex> attr_of_col(num_cols, -1);
-  for (size_t c = 0; c < num_cols; ++c) {
-    if (c == class_col) continue;
-    attr_of_col[c] = schema.AddAttribute(
-        numeric[c] ? Attribute::Numeric(names[c])
-                   : Attribute::Categorical(names[c]));
-  }
-
-  Dataset dataset(std::move(schema));
-  dataset.Reserve(cells.size());
-  for (const auto& row : cells) {
-    const RowId r = dataset.AddRow();
-    for (size_t c = 0; c < num_cols; ++c) {
-      if (c == class_col) {
-        dataset.set_label(
-            r, dataset.mutable_schema().GetOrAddClass(row[c]));
-        continue;
-      }
-      const AttrIndex a = attr_of_col[c];
-      if (numeric[c]) {
-        double value = 0.0;
-        if (!ParseDouble(row[c], &value)) {
-          return Status::InvalidArgument("non-numeric cell in numeric column " +
-                                         names[c]);
-        }
-        dataset.set_numeric(r, a, value);
-      } else {
-        dataset.set_categorical(
-            r, a, dataset.mutable_schema().attribute(a).GetOrAddCategory(
-                      row[c]));
-      }
-    }
-  }
-  return dataset;
+IngestOptions EngineOptions(const CsvReadOptions& options) {
+  IngestOptions ingest;
+  ingest.num_threads = options.num_threads;
+  return ingest;
 }
 
 }  // namespace
 
 StatusOr<Dataset> ReadCsvFromString(const std::string& text,
                                     const CsvReadOptions& options) {
-  std::vector<std::vector<std::string>> cells;
-  std::vector<std::string> names;
-  std::istringstream stream(text);
-  std::string line;
-  size_t num_cols = 0;
-  bool first = true;
-  while (std::getline(stream, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (TrimWhitespace(line).empty()) continue;
-    std::vector<std::string> fields = SplitString(line, options.delimiter);
-    for (auto& field : fields) field = std::string(TrimWhitespace(field));
-    if (first) {
-      num_cols = fields.size();
-      if (num_cols < 2) {
-        return Status::InvalidArgument("CSV needs at least 2 columns");
-      }
-      if (options.has_header) {
-        names = fields;
-        first = false;
-        continue;
-      }
-      names.resize(num_cols);
-      for (size_t c = 0; c < num_cols; ++c) {
-        names[c] = "attr" + std::to_string(c);
-      }
-      first = false;
-    }
-    if (fields.size() != num_cols) {
-      return Status::InvalidArgument(
-          "row with " + std::to_string(fields.size()) + " fields, expected " +
-          std::to_string(num_cols));
-    }
-    cells.push_back(std::move(fields));
-  }
-  if (num_cols == 0) return Status::InvalidArgument("empty CSV input");
-  if (cells.empty()) return Status::InvalidArgument("CSV has no data rows");
-
-  size_t class_col = num_cols - 1;
-  if (!options.class_column.empty()) {
-    bool found = false;
-    for (size_t c = 0; c < num_cols; ++c) {
-      if (names[c] == options.class_column) {
-        class_col = c;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      return Status::NotFound("class column '" + options.class_column +
-                              "' not present");
-    }
-  }
-  return BuildDataset(cells, names, class_col);
+  return IngestEngine(EngineOptions(options)).ParseCsv(text, options);
 }
 
 StatusOr<Dataset> ReadCsv(const std::string& path,
                           const CsvReadOptions& options) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ReadCsvFromString(buffer.str(), options);
+  return IngestEngine(EngineOptions(options)).LoadCsv(path, options);
 }
 
 Status WriteCsv(const Dataset& dataset, const std::string& path,

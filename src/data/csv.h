@@ -1,12 +1,23 @@
 // CSV import/export for datasets.
 //
-// Import infers a schema: a column whose every non-empty field parses as a
-// double becomes numeric; anything else becomes categorical. One column is
+// Import infers a schema: a column whose every field parses as a double
+// becomes numeric; anything else becomes categorical. One column is
 // designated the class column (by name, or the last column by default).
+//
+// The grammar is quote-aware RFC-4180-style CSV: fields may be wrapped in
+// double quotes to embed the delimiter, newlines, or (doubled) quotes;
+// unquoted fields are trimmed of surrounding whitespace. A UTF-8 BOM and
+// CRLF line endings are tolerated, and a missing trailing newline is fine.
+// Parse errors report the line number, column index and offending token.
+//
+// Loading goes through the ingest engine (data/ingest.h): `num_threads = 1`
+// runs the serial reference parser, anything else the memory-mapped,
+// chunk-parallel engine. The loaded Dataset is byte-identical either way.
 
 #ifndef PNR_DATA_CSV_H_
 #define PNR_DATA_CSV_H_
 
+#include <cstddef>
 #include <string>
 
 #include "common/status.h"
@@ -22,9 +33,14 @@ struct CsvReadOptions {
   bool has_header = true;
   /// Name of the class column; empty means "last column".
   std::string class_column;
+  /// Worker threads for parsing: 1 = serial reference parser, 0 = all
+  /// hardware threads, n = chunk-parallel engine with n threads. The
+  /// result is bitwise-identical for every value.
+  size_t num_threads = 1;
 };
 
-/// Reads `path` into a Dataset. All rows must have the same arity.
+/// Reads `path` into a Dataset (memory-mapped when possible). All rows must
+/// have the same arity.
 StatusOr<Dataset> ReadCsv(const std::string& path,
                           const CsvReadOptions& options = {});
 

@@ -25,6 +25,24 @@ RowId Dataset::AddRow() {
   return row;
 }
 
+RowId Dataset::AppendRows(size_t n) {
+  const RowId first = static_cast<RowId>(num_rows());
+  const size_t total = num_rows() + n;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Attribute& attr = schema_.attribute(static_cast<AttrIndex>(i));
+    if (attr.is_numeric()) {
+      columns_[i].numeric.resize(total, 0.0);
+    } else {
+      columns_[i].categorical.resize(
+          total, attr.num_categories() > 0 ? 0 : kInvalidCategory);
+    }
+  }
+  labels_.resize(total, 0);
+  weights_.resize(total, 1.0);
+  ++data_version_;
+  return first;
+}
+
 void Dataset::Reserve(size_t n) {
   for (size_t i = 0; i < columns_.size(); ++i) {
     const Attribute& attr = schema_.attribute(static_cast<AttrIndex>(i));
@@ -73,6 +91,23 @@ const std::vector<CategoryId>& Dataset::categorical_column(
     AttrIndex attr) const {
   assert(schema_.attribute(attr).is_categorical());
   return columns_[static_cast<size_t>(attr)].categorical;
+}
+
+double* Dataset::mutable_numeric_data(AttrIndex attr) {
+  assert(schema_.attribute(attr).is_numeric());
+  ++data_version_;
+  return columns_[static_cast<size_t>(attr)].numeric.data();
+}
+
+CategoryId* Dataset::mutable_categorical_data(AttrIndex attr) {
+  assert(schema_.attribute(attr).is_categorical());
+  ++data_version_;
+  return columns_[static_cast<size_t>(attr)].categorical.data();
+}
+
+CategoryId* Dataset::mutable_label_data() {
+  ++data_version_;
+  return labels_.data();
 }
 
 void Dataset::SetAllWeights(std::vector<double> weights) {

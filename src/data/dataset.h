@@ -43,6 +43,11 @@ class Dataset {
   /// Returns the new row id.
   RowId AddRow();
 
+  /// Appends `n` records with the same defaults as AddRow in one step
+  /// (single data_version bump). Returns the id of the first new row. The
+  /// ingest engine sizes all storage with this before its parallel fill.
+  RowId AppendRows(size_t n);
+
   /// Reserves capacity for `n` records.
   void Reserve(size_t n);
 
@@ -84,6 +89,18 @@ class Dataset {
 
   /// All labels.
   const std::vector<CategoryId>& labels() const { return labels_; }
+
+  // -- Bulk mutable storage (parallel ingest) -------------------------------
+  //
+  // Raw pointers into column/label storage for bulk fills. Callers must
+  // write only existing rows (size the dataset with AppendRows first) and,
+  // when writing from several threads, only disjoint row ranges. Each call
+  // bumps data_version once; the pointers are invalidated by AddRow /
+  // AppendRows / Reserve.
+
+  double* mutable_numeric_data(AttrIndex attr);
+  CategoryId* mutable_categorical_data(AttrIndex attr);
+  CategoryId* mutable_label_data();
 
   /// All weights.
   const std::vector<double>& weights() const { return weights_; }

@@ -1,0 +1,1333 @@
+// Implementation of the parallel ingestion engine (see data/ingest.h for
+// the architecture). Layout of this file:
+//
+//   1. SWAR scanning primitives and the shared CSV grammar (SpanScanner for
+//      the engine, RecordScanner for the serial reference).
+//   2. The CSV prelude (BOM, header record, class-column resolution) shared
+//      by both paths.
+//   3. IngestCsvSerial — the materializing reference parser.
+//   4. IngestCsvParallel — structural scan, chunk passes, dictionary merge.
+//   5. ARFF row parsers (serial reference and chunk-parallel).
+//   6. IngestEngine method bodies.
+
+#include "data/ingest.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "data/mapped_file.h"
+
+namespace pnr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scanning primitives.
+// ---------------------------------------------------------------------------
+
+// Whitespace trimmed around CSV fields. '\n' is deliberately absent — it is
+// structural (record separator) and never part of a field.
+constexpr bool IsFieldSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+constexpr uint64_t BroadcastByte(char c) {
+  return 0x0101010101010101ULL * static_cast<unsigned char>(c);
+}
+
+// Classic SWAR zero-byte test: the high bit of every zero byte of `w` is
+// set in the result, every other high bit is clear.
+constexpr uint64_t HasZeroByte(uint64_t w) {
+  return (w - 0x0101010101010101ULL) & ~w & 0x8080808080808080ULL;
+}
+
+// First occurrence of `a` or `b` in [p, end), or end. Processes 8 bytes per
+// step on little-endian targets; the scalar tail doubles as the big-endian
+// fallback (countr_zero's byte arithmetic assumes little-endian lanes).
+inline const char* ScanFor2(const char* p, const char* end, char a, char b) {
+  if constexpr (std::endian::native == std::endian::little) {
+    const uint64_t broadcast_a = BroadcastByte(a);
+    const uint64_t broadcast_b = BroadcastByte(b);
+    while (end - p >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, sizeof(word));
+      const uint64_t hit =
+          HasZeroByte(word ^ broadcast_a) | HasZeroByte(word ^ broadcast_b);
+      if (hit != 0) return p + (std::countr_zero(hit) >> 3);
+      p += 8;
+    }
+  }
+  while (p < end && *p != a && *p != b) ++p;
+  return p;
+}
+
+inline size_t CountNewlines(const char* p, const char* q) {
+  return static_cast<size_t>(std::count(p, q, '\n'));
+}
+
+// ParseDouble minus its defensive re-trim, valid only for text with no
+// leading/trailing field-space — which tokenized unquoted fields guarantee.
+// Must accept exactly the strings ParseDouble accepts for such input, or
+// the serial and parallel type inference would diverge.
+inline bool ParseTrimmedDouble(std::string_view text, double* out) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  if (text.empty()) return false;
+  if (text.front() == '+') {
+    text.remove_prefix(1);
+    if (text.empty()) return false;
+  }
+  double value = 0.0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+#else
+  return ParseDouble(text, out);
+#endif
+}
+
+// Clinger fast path for plain decimal strings. A significand of at most 15
+// digits is exactly representable in a double, and 10^k is exact for
+// k <= 22, so one IEEE division of exact operands is correctly rounded —
+// bit-identical to from_chars. Anything else (exponents, specials, long
+// significands, junk) falls back to ParseTrimmedDouble.
+inline bool FastParseTrimmedDouble(std::string_view text, double* out) {
+  static constexpr double kPow10[] = {
+      1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+      1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22};
+  const char* p = text.data();
+  const char* end = p + text.size();
+  if (p == end) return false;
+  bool negative = false;
+  if (*p == '-' || *p == '+') {
+    negative = *p == '-';
+    ++p;
+  }
+  uint64_t mantissa = 0;
+  int digits = 0;
+  int frac = -1;  // digits after the '.'; -1 = no '.' seen yet
+  for (; p < end; ++p) {
+    const char c = *p;
+    if (c >= '0' && c <= '9') {
+      mantissa = mantissa * 10 + static_cast<uint64_t>(c - '0');
+      ++digits;
+      if (frac >= 0) ++frac;
+    } else if (c == '.' && frac < 0) {
+      frac = 0;
+    } else {
+      return ParseTrimmedDouble(text, out);
+    }
+  }
+  if (digits == 0 || digits > 15 || frac > 22) {
+    return ParseTrimmedDouble(text, out);
+  }
+  double value = static_cast<double>(mantissa);
+  if (frac > 0) value /= kPow10[frac];
+  *out = negative ? -value : value;
+  return true;
+}
+
+// Location of a parse error: physical (1-based) line of the record, 1-based
+// field index (0 = whole-record error), and the detail text (which carries
+// the offending token where there is one).
+struct Located {
+  size_t line = 0;
+  size_t column = 0;
+  std::string detail;
+};
+
+Status CsvError(const Located& e) {
+  std::string message = "CSV line " + std::to_string(e.line);
+  if (e.column > 0) message += ", column " + std::to_string(e.column);
+  message += ": " + e.detail;
+  return Status::InvalidArgument(std::move(message));
+}
+
+// ---------------------------------------------------------------------------
+// The CSV grammar. Both scanners implement exactly this; tests assert the
+// serial and parallel paths agree bitwise, which keeps them honest:
+//
+//   * A record is a delimiter-separated list of fields ending at '\n' or
+//     EOF. Records whose only content is one empty unquoted field (blank or
+//     whitespace-only lines) are skipped.
+//   * A field starts after optional field-space. If the first byte is '"'
+//     the field is quoted: content runs to the matching quote, '""' encodes
+//     a literal quote, and the content may contain the delimiter and
+//     newlines; it is NOT trimmed. Anything but field-space, the delimiter,
+//     or a record end after the closing quote is an error. A '"' anywhere
+//     else in a field is a literal character.
+//   * Unquoted fields run to the next delimiter/'\n' and are trimmed of
+//     field-space on both sides ('\r' before '\n' disappears here, which is
+//     what makes CRLF input free).
+//   * Line numbers are physical: every '\n' counts, including ones inside
+//     quoted fields; a record's line is the line its first byte sits on.
+// ---------------------------------------------------------------------------
+
+// A field as byte range into the input. `escaped` marks quoted fields that
+// contain doubled quotes and need unescaping (rare; keeps the common case
+// zero-copy).
+struct FieldRef {
+  const char* begin = nullptr;
+  uint32_t len = 0;
+  bool quoted = false;
+  bool escaped = false;
+};
+
+// Returns the decoded content of `f`, using `scratch` only when unescaping
+// is needed.
+std::string_view DecodeField(const FieldRef& f, std::string* scratch) {
+  if (!f.escaped) return {f.begin, f.len};
+  scratch->clear();
+  for (uint32_t i = 0; i < f.len; ++i) {
+    scratch->push_back(f.begin[i]);
+    if (f.begin[i] == '"') ++i;  // skip the second quote of a '""' pair
+  }
+  return *scratch;
+}
+
+// Zero-copy CSV record scanner used by the structural scan and the chunk
+// parsers. Yields FieldRefs into the input buffer.
+class SpanScanner {
+ public:
+  enum class Next { kRecord, kEof, kError };
+
+  SpanScanner(std::string_view text, char delim, size_t first_line)
+      : p_(text.data()),
+        end_(text.data() + text.size()),
+        delim_(delim),
+        line_(first_line) {}
+
+  // Scans the next non-blank record into `fields`. On kRecord,
+  // `*record_line` is the line the record starts on; on kError, `*error` is
+  // filled and the scanner must not be used further.
+  Next NextRecord(std::vector<FieldRef>* fields, size_t* record_line,
+                  Located* error) {
+    for (;;) {
+      if (p_ >= end_) return Next::kEof;
+      const size_t start_line = line_;
+      fields->clear();
+      bool saw_quote = false;
+      bool saw_delim = false;
+      bool saw_content = false;
+      for (;;) {  // one field per iteration
+        while (p_ < end_ && IsFieldSpace(*p_)) ++p_;
+        if (p_ < end_ && *p_ == '"') {
+          saw_quote = true;
+          const size_t open_line = line_;
+          const size_t open_column = fields->size() + 1;
+          ++p_;
+          const char* content = p_;
+          bool escaped = false;
+          for (;;) {
+            const char* q = static_cast<const char*>(
+                std::memchr(p_, '"', static_cast<size_t>(end_ - p_)));
+            if (q == nullptr) {
+              *error = {open_line, open_column, "unterminated quoted field"};
+              return Next::kError;
+            }
+            line_ += CountNewlines(p_, q);
+            p_ = q + 1;
+            if (p_ < end_ && *p_ == '"') {  // '""' -> literal quote
+              escaped = true;
+              ++p_;
+              continue;
+            }
+            fields->push_back(
+                {content, static_cast<uint32_t>(q - content), true, escaped});
+            break;
+          }
+          while (p_ < end_ && IsFieldSpace(*p_)) ++p_;
+          if (p_ < end_ && *p_ != delim_ && *p_ != '\n') {
+            *error = {line_, fields->size(),
+                      std::string("unexpected character '") + *p_ +
+                          "' after closing quote"};
+            return Next::kError;
+          }
+        } else {
+          const char* start = p_;
+          p_ = ScanFor2(p_, end_, delim_, '\n');
+          const char* stop = p_;
+          while (stop > start && IsFieldSpace(stop[-1])) --stop;
+          if (stop > start) saw_content = true;
+          fields->push_back(
+              {start, static_cast<uint32_t>(stop - start), false, false});
+        }
+        if (p_ < end_ && *p_ == delim_) {
+          saw_delim = true;
+          ++p_;
+          continue;
+        }
+        break;
+      }
+      if (p_ < end_ && *p_ == '\n') {
+        ++p_;
+        ++line_;
+      }
+      if (!saw_delim && !saw_quote && !saw_content) continue;  // blank line
+      *record_line = start_line;
+      return Next::kRecord;
+    }
+  }
+
+  const char* position() const { return p_; }
+  size_t line() const { return line_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  char delim_;
+  size_t line_;
+};
+
+// Boundary-only scanner for the structural pre-scan: advances over records
+// of the same grammar as SpanScanner without materializing fields, so the
+// chunking pass costs a fraction of a real tokenization. On a malformed
+// record it reports kError and the caller extends the current chunk to EOF
+// — the chunk parser then rediscovers the error with full location info.
+class RecordSkimmer {
+ public:
+  enum class Next { kRecord, kEof, kError };
+
+  RecordSkimmer(std::string_view text, char delim, size_t first_line)
+      : p_(text.data()),
+        end_(text.data() + text.size()),
+        delim_(delim),
+        line_(first_line) {}
+
+  // Landmark scan: instead of walking field by field, jump straight to the
+  // next '"' or '\n' — everything in between is structurally inert. A quote
+  // landmark opens a quoted field iff, walking back over field-space, it is
+  // preceded by the record start or a raw delimiter byte (raw delimiters
+  // are always structural outside quotes, and closed quoted fields admit
+  // only field-space before the next delimiter, so the walk never crosses
+  // other structure). This skims a record in O(landmarks) SWAR spans
+  // rather than O(fields) scanner iterations.
+  Next Skim() {
+    for (;;) {
+      if (p_ >= end_) return Next::kEof;
+      const char* record_start = p_;
+      bool saw_quote = false;
+      for (;;) {
+        const char* q = ScanFor2(p_, end_, '"', '\n');
+        if (q == end_ || *q == '\n') {  // record ends at newline or EOF
+          const char* record_end = q;
+          p_ = q == end_ ? end_ : q + 1;
+          if (q != end_) ++line_;
+          if (saw_quote) return Next::kRecord;
+          // Blank iff every byte is field-space (no quote was seen, and
+          // delimiters/content are non-space). First byte usually decides.
+          const char* r = record_start;
+          while (r < record_end && IsFieldSpace(*r)) ++r;
+          if (r < record_end) return Next::kRecord;
+          break;  // blank line: skip, rescan from p_
+        }
+        const char* r = q;  // classify the quote: opener or literal?
+        while (r > record_start && IsFieldSpace(r[-1])) --r;
+        if (r != record_start && r[-1] != delim_) {
+          p_ = q + 1;  // literal quote inside an unquoted field
+          continue;
+        }
+        saw_quote = true;
+        p_ = q + 1;
+        for (;;) {  // quoted content: scan to the closing quote
+          const char* c = static_cast<const char*>(
+              std::memchr(p_, '"', static_cast<size_t>(end_ - p_)));
+          if (c == nullptr) {  // unterminated quote
+            line_ += CountNewlines(p_, end_);
+            p_ = end_;
+            return Next::kError;
+          }
+          line_ += CountNewlines(p_, c);
+          p_ = c + 1;
+          if (p_ < end_ && *p_ == '"') {
+            ++p_;  // '""' escape
+            continue;
+          }
+          break;
+        }
+        while (p_ < end_ && IsFieldSpace(*p_)) ++p_;
+        if (p_ >= end_) return Next::kRecord;
+        if (*p_ == '\n') {
+          ++p_;
+          ++line_;
+          return Next::kRecord;
+        }
+        if (*p_ != delim_) return Next::kError;  // junk after closing quote
+        ++p_;
+        record_start = p_;  // next field starts a fresh walk-back bound
+      }
+    }
+  }
+
+  const char* position() const { return p_; }
+  size_t line() const { return line_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  char delim_;
+  size_t line_;
+};
+
+// Materializing scalar scanner for the serial reference path (and the
+// shared prelude). Same grammar as SpanScanner, independent implementation.
+class RecordScanner {
+ public:
+  enum class Next { kRecord, kEof, kError };
+
+  RecordScanner(std::string_view text, char delim, size_t first_line)
+      : p_(text.data()),
+        end_(text.data() + text.size()),
+        delim_(delim),
+        line_(first_line) {}
+
+  Next NextRecord(std::vector<std::string>* fields, size_t* record_line,
+                  Located* error) {
+    for (;;) {
+      if (p_ >= end_) return Next::kEof;
+      record_begin_ = p_;
+      record_line_ = line_;
+      fields->clear();
+      bool saw_quote = false;
+      bool saw_delim = false;
+      bool saw_content = false;
+      for (;;) {
+        while (p_ < end_ && IsFieldSpace(*p_)) ++p_;
+        if (p_ < end_ && *p_ == '"') {
+          saw_quote = true;
+          const size_t open_line = line_;
+          const size_t open_column = fields->size() + 1;
+          ++p_;
+          field_.clear();
+          for (;;) {
+            const char* q = static_cast<const char*>(
+                std::memchr(p_, '"', static_cast<size_t>(end_ - p_)));
+            if (q == nullptr) {
+              *error = {open_line, open_column, "unterminated quoted field"};
+              return Next::kError;
+            }
+            field_.append(p_, q);
+            line_ += CountNewlines(p_, q);
+            p_ = q + 1;
+            if (p_ < end_ && *p_ == '"') {
+              field_.push_back('"');
+              ++p_;
+              continue;
+            }
+            break;
+          }
+          while (p_ < end_ && IsFieldSpace(*p_)) ++p_;
+          if (p_ < end_ && *p_ != delim_ && *p_ != '\n') {
+            *error = {line_, fields->size() + 1,
+                      std::string("unexpected character '") + *p_ +
+                          "' after closing quote"};
+            return Next::kError;
+          }
+          fields->push_back(field_);
+        } else {
+          const char* start = p_;
+          while (p_ < end_ && *p_ != delim_ && *p_ != '\n') ++p_;
+          const char* stop = p_;
+          while (stop > start && IsFieldSpace(stop[-1])) --stop;
+          if (stop > start) saw_content = true;
+          fields->emplace_back(start, stop);
+        }
+        if (p_ < end_ && *p_ == delim_) {
+          saw_delim = true;
+          ++p_;
+          continue;
+        }
+        break;
+      }
+      if (p_ < end_ && *p_ == '\n') {
+        ++p_;
+        ++line_;
+      }
+      if (!saw_delim && !saw_quote && !saw_content) continue;
+      *record_line = record_line_;
+      return Next::kRecord;
+    }
+  }
+
+  const char* position() const { return p_; }
+  size_t line() const { return line_; }
+  // Where the last record returned by NextRecord began (byte + line); used
+  // by the prelude to rewind when the first record is data, not a header.
+  const char* record_begin() const { return record_begin_; }
+  size_t record_line_number() const { return record_line_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  char delim_;
+  size_t line_;
+  const char* record_begin_ = nullptr;
+  size_t record_line_ = 1;
+  std::string field_;
+};
+
+// ---------------------------------------------------------------------------
+// CSV prelude: BOM, header record, class column.
+// ---------------------------------------------------------------------------
+
+std::string_view StripBom(std::string_view text) {
+  if (text.size() >= 3 && std::memcmp(text.data(), "\xEF\xBB\xBF", 3) == 0) {
+    text.remove_prefix(3);
+  }
+  return text;
+}
+
+struct CsvPrelude {
+  std::vector<std::string> names;
+  size_t num_cols = 0;
+  size_t class_col = 0;
+  size_t data_offset = 0;      // into the BOM-stripped text
+  size_t data_first_line = 1;  // physical line at data_offset
+};
+
+StatusOr<CsvPrelude> ParseCsvPrelude(std::string_view text,
+                                     const CsvReadOptions& options) {
+  CsvPrelude out;
+  RecordScanner scanner(text, options.delimiter, 1);
+  std::vector<std::string> fields;
+  size_t line = 0;
+  Located error;
+  const RecordScanner::Next next = scanner.NextRecord(&fields, &line, &error);
+  if (next == RecordScanner::Next::kError) return CsvError(error);
+  if (next == RecordScanner::Next::kEof) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  out.num_cols = fields.size();
+  if (out.num_cols < 2) {
+    return Status::InvalidArgument("CSV needs at least 2 columns");
+  }
+  if (options.has_header) {
+    out.names = std::move(fields);
+    out.data_offset = static_cast<size_t>(scanner.position() - text.data());
+    out.data_first_line = scanner.line();
+  } else {
+    // The record we just read is data: rewind to its start.
+    out.names.resize(out.num_cols);
+    for (size_t c = 0; c < out.num_cols; ++c) {
+      out.names[c] = "attr" + std::to_string(c);
+    }
+    out.data_offset =
+        static_cast<size_t>(scanner.record_begin() - text.data());
+    out.data_first_line = scanner.record_line_number();
+  }
+  out.class_col = out.num_cols - 1;
+  if (!options.class_column.empty()) {
+    bool found = false;
+    for (size_t c = 0; c < out.num_cols; ++c) {
+      if (out.names[c] == options.class_column) {
+        out.class_col = c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("class column '" + options.class_column +
+                              "' not present");
+    }
+  }
+  return out;
+}
+
+Located RaggedRow(size_t line, size_t got, size_t expected) {
+  return {line, 0,
+          "row has " + std::to_string(got) + " fields, expected " +
+              std::to_string(expected)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Serial reference CSV parser.
+// ---------------------------------------------------------------------------
+
+StatusOr<Dataset> IngestCsvSerial(std::string_view text,
+                                  const CsvReadOptions& options) {
+  text = StripBom(text);
+  auto prelude_or = ParseCsvPrelude(text, options);
+  if (!prelude_or.ok()) return prelude_or.status();
+  const CsvPrelude prelude = std::move(prelude_or).value();
+  const size_t num_cols = prelude.num_cols;
+
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> row_lines;
+  {
+    RecordScanner scanner(text.substr(prelude.data_offset), options.delimiter,
+                          prelude.data_first_line);
+    std::vector<std::string> fields;
+    size_t line = 0;
+    Located error;
+    for (;;) {
+      const RecordScanner::Next next =
+          scanner.NextRecord(&fields, &line, &error);
+      if (next == RecordScanner::Next::kEof) break;
+      if (next == RecordScanner::Next::kError) return CsvError(error);
+      if (fields.size() != num_cols) {
+        return CsvError(RaggedRow(line, fields.size(), num_cols));
+      }
+      cells.push_back(std::move(fields));
+      row_lines.push_back(line);
+    }
+  }
+  if (cells.empty()) return Status::InvalidArgument("CSV has no data rows");
+
+  // Pass 1: per-column type inference. The class column is always
+  // categorical and never inferred.
+  std::vector<bool> numeric(num_cols, true);
+  numeric[prelude.class_col] = false;
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (c == prelude.class_col || !numeric[c]) continue;
+      double value = 0.0;
+      if (!ParseDouble(row[c], &value)) numeric[c] = false;
+    }
+  }
+
+  Schema schema;
+  std::vector<AttrIndex> attr_of(num_cols, -1);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (c == prelude.class_col) continue;
+    attr_of[c] = schema.AddAttribute(numeric[c]
+                                         ? Attribute::Numeric(prelude.names[c])
+                                         : Attribute::Categorical(
+                                               prelude.names[c]));
+  }
+
+  // Pass 2: build the dataset in row order.
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(cells.size());
+  for (size_t r = 0; r < cells.size(); ++r) {
+    const RowId row = dataset.AddRow();
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = cells[r][c];
+      if (c == prelude.class_col) {
+        dataset.set_label(row, dataset.mutable_schema().GetOrAddClass(cell));
+        continue;
+      }
+      const AttrIndex a = attr_of[c];
+      if (numeric[c]) {
+        double value = 0.0;
+        if (!ParseDouble(cell, &value)) {
+          return CsvError({row_lines[r], c + 1,
+                           "non-numeric cell '" + cell +
+                               "' in numeric column '" + prelude.names[c] +
+                               "'"});
+        }
+        dataset.set_numeric(row, a, value);
+      } else {
+        dataset.set_categorical(
+            row, a,
+            dataset.mutable_schema().attribute(a).GetOrAddCategory(cell));
+      }
+    }
+  }
+  return dataset;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-parallel CSV engine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A row-aligned slice of the data section.
+struct ChunkInfo {
+  size_t begin = 0;       // byte offsets into the data section
+  size_t end = 0;
+  size_t first_line = 1;  // physical line at `begin`
+  size_t first_row = 0;   // global index of the chunk's first record
+  size_t rows = 0;        // records in the chunk
+};
+
+// Serial structural scan: skims the whole data section with the chunk
+// parsers' grammar (record boundaries only, no field materialization) and
+// closes a chunk at the first record boundary past `target_bytes`. Quoted
+// newlines can therefore never split a record across chunks. If the scan
+// trips on a malformed record it stops and extends the current chunk to
+// EOF — the chunk parser rediscovers the error and reports it with full
+// location.
+std::vector<ChunkInfo> ScanChunks(std::string_view data, char delim,
+                                  size_t first_line, size_t target_bytes) {
+  std::vector<ChunkInfo> chunks;
+  RecordSkimmer scanner(data, delim, first_line);
+  ChunkInfo current{0, 0, first_line, 0, 0};
+  size_t total_rows = 0;
+  for (;;) {
+    const RecordSkimmer::Next next = scanner.Skim();
+    if (next == RecordSkimmer::Next::kEof) break;
+    if (next == RecordSkimmer::Next::kError) {
+      current.rows += 1;
+      current.end = data.size();
+      chunks.push_back(current);
+      return chunks;
+    }
+    current.rows += 1;
+    total_rows += 1;
+    const size_t pos = static_cast<size_t>(scanner.position() - data.data());
+    if (pos - current.begin >= target_bytes) {
+      current.end = pos;
+      chunks.push_back(current);
+      current = {pos, pos, scanner.line(), total_rows, 0};
+    }
+  }
+  if (current.rows > 0) {
+    current.end = data.size();
+    chunks.push_back(current);
+  }
+  return chunks;
+}
+
+// Per-chunk dictionary: values in chunk-local first-appearance order plus a
+// transparent-hash index for allocation-free lookups.
+// Thread-local string dictionary in first-appearance order. Open-addressing
+// (linear probing over a power-of-two table of id+1 slots, 0 = empty) keeps
+// the per-cell lookup to one hash, usually one cache line, and one string
+// compare — measurably cheaper than a node-based map in the pass-A hot
+// loop. Ids are dense first-appearance indices either way, so the table
+// layout has no effect on the deterministic merge.
+struct LocalDict {
+  std::vector<std::string> values;
+
+  CategoryId GetOrAdd(std::string_view value) {
+    // Last-hit memo: categorical columns (the class column above all) are
+    // dominated by runs of the same value, so a single equality check
+    // usually beats the hash lookup.
+    if (last_ != kInvalidCategory && values[last_] == value) return last_;
+    if (slots_.empty()) Grow();
+    const uint64_t hash = TransparentStringHash{}(value);
+    size_t i = static_cast<size_t>(hash) & mask_;
+    while (slots_[i] != 0) {
+      const CategoryId id = static_cast<CategoryId>(slots_[i] - 1);
+      if (hashes_[static_cast<size_t>(id)] == hash && values[id] == value) {
+        return last_ = id;
+      }
+      i = (i + 1) & mask_;
+    }
+    const CategoryId id = static_cast<CategoryId>(values.size());
+    values.emplace_back(value);
+    hashes_.push_back(hash);
+    slots_[i] = static_cast<uint32_t>(id) + 1;
+    if ((values.size() + 1) * 4 > slots_.size() * 3) Grow();
+    return last_ = id;
+  }
+
+ private:
+  void Grow() {
+    const size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+    slots_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (size_t id = 0; id < values.size(); ++id) {
+      size_t i = static_cast<size_t>(hashes_[id]) & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = static_cast<uint32_t>(id) + 1;
+    }
+  }
+
+  std::vector<uint32_t> slots_;  // id + 1; 0 marks an empty slot
+  std::vector<uint64_t> hashes_;  // per-id, avoids rehash on growth
+  size_t mask_ = 0;
+  CategoryId last_ = kInvalidCategory;
+};
+
+// One column's thread-local parse state. While `all_numeric` holds, cells
+// accumulate in `nums`; the first unparseable cell flips the column and
+// subsequent cells (including that one) are dictionary-coded. The class
+// column starts flipped.
+struct ColBlock {
+  bool all_numeric = true;
+  std::vector<double> nums;
+  LocalDict dict;
+  std::vector<CategoryId> codes;
+  std::vector<CategoryId> remap;  // local id -> global id, filled by merge
+};
+
+struct ChunkBlock {
+  std::vector<ColBlock> cols;
+  std::vector<CategoryId> class_remap;
+  std::optional<Located> error;
+  size_t rows_parsed = 0;
+};
+
+// Pass A: tokenize one chunk into thread-local columnar state.
+void ParseChunkPassA(std::string_view data, const ChunkInfo& chunk,
+                     const CsvPrelude& prelude, char delim,
+                     ChunkBlock* block) {
+  const size_t num_cols = prelude.num_cols;
+  block->cols.assign(num_cols, ColBlock{});
+  block->cols[prelude.class_col].all_numeric = false;
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (c == prelude.class_col) {
+      block->cols[c].codes.reserve(chunk.rows);
+    } else {
+      block->cols[c].nums.reserve(chunk.rows);
+    }
+  }
+  SpanScanner scanner(data.substr(chunk.begin, chunk.end - chunk.begin),
+                      delim, chunk.first_line);
+  std::vector<FieldRef> fields;
+  std::string scratch;
+  for (;;) {
+    size_t line = 0;
+    Located error;
+    const SpanScanner::Next next = scanner.NextRecord(&fields, &line, &error);
+    if (next == SpanScanner::Next::kEof) break;
+    if (next == SpanScanner::Next::kError) {
+      block->error = error;
+      return;
+    }
+    if (fields.size() != num_cols) {
+      block->error = RaggedRow(line, fields.size(), num_cols);
+      return;
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      ColBlock& col = block->cols[c];
+      const std::string_view cell = DecodeField(fields[c], &scratch);
+      if (col.all_numeric) {
+        // Unquoted cells are already trimmed by the scanner, so the no-trim
+        // from_chars fast path is exact; quoted content is untrimmed and
+        // must go through the full ParseDouble (which trims) to keep type
+        // inference identical to the serial reference.
+        double value = 0.0;
+        if (fields[c].quoted ? ParseDouble(cell, &value)
+                             : FastParseTrimmedDouble(cell, &value)) {
+          col.nums.push_back(value);
+          continue;
+        }
+        col.all_numeric = false;  // fall through: this cell gets coded
+      }
+      col.codes.push_back(col.dict.GetOrAdd(cell));
+    }
+    ++block->rows_parsed;
+  }
+}
+
+// Pass B: land the chunk's values in the pre-sized global storage. Columns
+// this chunk parsed (partly) as numbers but that another chunk proved
+// categorical are rebuilt by re-tokenizing the chunk — the rebuilt local
+// dictionary must be in row-first-appearance order, which splicing the
+// numeric prefix into the pass-A dictionary would violate.
+void ParseChunkPassB(std::string_view data, const ChunkInfo& chunk,
+                     const CsvPrelude& prelude, char delim,
+                     const std::vector<bool>& numeric_final,
+                     ChunkBlock* block, const std::vector<double*>& num_data,
+                     const std::vector<CategoryId*>& cat_data,
+                     CategoryId* labels) {
+  const size_t num_cols = prelude.num_cols;
+  const size_t rows = block->rows_parsed;
+  std::vector<size_t> rebuild;
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (c == prelude.class_col || numeric_final[c]) continue;
+    if (!block->cols[c].nums.empty()) rebuild.push_back(c);
+  }
+  if (!rebuild.empty()) {
+    for (const size_t c : rebuild) {
+      block->cols[c] = ColBlock{};
+      block->cols[c].all_numeric = false;
+      block->cols[c].codes.reserve(rows);
+    }
+    SpanScanner scanner(data.substr(chunk.begin, chunk.end - chunk.begin),
+                        delim, chunk.first_line);
+    std::vector<FieldRef> fields;
+    std::string scratch;
+    for (;;) {
+      size_t line = 0;
+      Located error;
+      const SpanScanner::Next next =
+          scanner.NextRecord(&fields, &line, &error);
+      if (next != SpanScanner::Next::kRecord) break;  // pass A vetted it
+      for (const size_t c : rebuild) {
+        ColBlock& col = block->cols[c];
+        const std::string_view cell = DecodeField(fields[c], &scratch);
+        col.codes.push_back(col.dict.GetOrAdd(cell));
+      }
+    }
+  }
+  const size_t off = chunk.first_row;
+  for (size_t c = 0; c < num_cols; ++c) {
+    ColBlock& col = block->cols[c];
+    if (c == prelude.class_col) {
+      std::memcpy(labels + off, col.codes.data(), rows * sizeof(CategoryId));
+    } else if (numeric_final[c]) {
+      std::memcpy(num_data[c] + off, col.nums.data(), rows * sizeof(double));
+    } else {
+      std::memcpy(cat_data[c] + off, col.codes.data(),
+                  rows * sizeof(CategoryId));
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Dataset> IngestCsvParallel(std::string_view text,
+                                    const CsvReadOptions& options,
+                                    const IngestOptions& ingest) {
+  text = StripBom(text);
+  auto prelude_or = ParseCsvPrelude(text, options);
+  if (!prelude_or.ok()) return prelude_or.status();
+  const CsvPrelude prelude = std::move(prelude_or).value();
+  const size_t num_cols = prelude.num_cols;
+  const std::string_view data = text.substr(prelude.data_offset);
+
+  size_t threads = 0;
+  size_t target_bytes = 0;
+  if (ingest.chunk_bytes > 0) {
+    // Explicit chunk size bypasses the byte clamp: tests use tiny chunks to
+    // force genuinely concurrent parses of small inputs.
+    threads = ThreadPool::ResolveThreadCount(ingest.num_threads);
+    target_bytes = ingest.chunk_bytes;
+  } else {
+    threads = ThreadPool::ClampThreadsForBytes(ingest.num_threads,
+                                               data.size());
+    // ~4 chunks per thread balances the pool without shrinking per-chunk
+    // dictionaries (more chunks = more merge work).
+    target_bytes = std::max(ThreadPool::kMinBytesPerThread,
+                            data.size() / (threads * 4) + 1);
+  }
+
+  const std::vector<ChunkInfo> chunks =
+      ScanChunks(data, options.delimiter, prelude.data_first_line,
+                 target_bytes);
+  if (chunks.empty()) return Status::InvalidArgument("CSV has no data rows");
+
+  ThreadPool pool(threads);
+  std::vector<ChunkBlock> blocks(chunks.size());
+  pool.ParallelFor(chunks.size(), [&](size_t k) {
+    ParseChunkPassA(data, chunks[k], prelude, options.delimiter, &blocks[k]);
+  });
+
+  // Chunk order is line order, so the first erroring chunk holds the same
+  // error the serial parse would report first.
+  for (const ChunkBlock& block : blocks) {
+    if (block.error) return CsvError(*block.error);
+  }
+  size_t total_rows = 0;
+  for (size_t k = 0; k < chunks.size(); ++k) {
+    if (blocks[k].rows_parsed != chunks[k].rows ||
+        chunks[k].first_row != total_rows) {
+      return Status::Internal("ingest chunk accounting mismatch");
+    }
+    total_rows += chunks[k].rows;
+  }
+
+  // A column is numeric iff every chunk kept it numeric.
+  std::vector<bool> numeric_final(num_cols, true);
+  numeric_final[prelude.class_col] = false;
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (c == prelude.class_col) continue;
+    for (const ChunkBlock& block : blocks) {
+      if (!block.cols[c].all_numeric) {
+        numeric_final[c] = false;
+        break;
+      }
+    }
+  }
+
+  Schema schema;
+  std::vector<AttrIndex> attr_of(num_cols, -1);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (c == prelude.class_col) continue;
+    attr_of[c] = schema.AddAttribute(
+        numeric_final[c] ? Attribute::Numeric(prelude.names[c])
+                         : Attribute::Categorical(prelude.names[c]));
+  }
+  Dataset dataset(std::move(schema));
+  dataset.AppendRows(total_rows);
+
+  std::vector<double*> num_data(num_cols, nullptr);
+  std::vector<CategoryId*> cat_data(num_cols, nullptr);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (c == prelude.class_col) continue;
+    if (numeric_final[c]) {
+      num_data[c] = dataset.mutable_numeric_data(attr_of[c]);
+    } else {
+      cat_data[c] = dataset.mutable_categorical_data(attr_of[c]);
+    }
+  }
+  CategoryId* labels = dataset.mutable_label_data();
+
+  pool.ParallelFor(chunks.size(), [&](size_t k) {
+    ParseChunkPassB(data, chunks[k], prelude, options.delimiter,
+                    numeric_final, &blocks[k], num_data, cat_data, labels);
+  });
+
+  // Deterministic dictionary merge: chunks first-to-last, each local
+  // dictionary in its first-appearance order. This visits every distinct
+  // string exactly in global first-appearance row order — the same order
+  // the serial parser's GetOrAddCategory calls see.
+  Schema& built = dataset.mutable_schema();
+  for (ChunkBlock& block : blocks) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (c == prelude.class_col || numeric_final[c]) continue;
+      ColBlock& col = block.cols[c];
+      Attribute& attr = built.attribute(attr_of[c]);
+      col.remap.reserve(col.dict.values.size());
+      for (const std::string& value : col.dict.values) {
+        col.remap.push_back(attr.GetOrAddCategory(value));
+      }
+    }
+    ColBlock& cls = block.cols[prelude.class_col];
+    block.class_remap.reserve(cls.dict.values.size());
+    for (const std::string& value : cls.dict.values) {
+      block.class_remap.push_back(built.GetOrAddClass(value));
+    }
+  }
+
+  // Pass C: rewrite local codes to global ids; every chunk owns a disjoint
+  // row range.
+  pool.ParallelFor(chunks.size(), [&](size_t k) {
+    const size_t off = chunks[k].first_row;
+    const size_t rows = chunks[k].rows;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (c == prelude.class_col || numeric_final[c]) continue;
+      const std::vector<CategoryId>& remap = blocks[k].cols[c].remap;
+      CategoryId* cells = cat_data[c];
+      for (size_t i = 0; i < rows; ++i) {
+        cells[off + i] = remap[static_cast<size_t>(cells[off + i])];
+      }
+    }
+    const std::vector<CategoryId>& class_remap = blocks[k].class_remap;
+    for (size_t i = 0; i < rows; ++i) {
+      labels[off + i] = class_remap[static_cast<size_t>(labels[off + i])];
+    }
+  });
+
+  return dataset;
+}
+
+// ---------------------------------------------------------------------------
+// ARFF @data row parsers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status ArffError(size_t line, size_t column, const std::string& detail) {
+  std::string message = "ARFF line " + std::to_string(line);
+  if (column > 0) message += ", column " + std::to_string(column);
+  return Status::InvalidArgument(message + ": " + detail);
+}
+
+// View-based twin of ArffUnquote: trims, then strips one layer of matching
+// quotes. No escape processing — ARFF nominal values have none.
+std::string_view ArffUnquoteView(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.size() >= 2 && ((text.front() == '\'' && text.back() == '\'') ||
+                           (text.front() == '"' && text.back() == '"'))) {
+    return text.substr(1, text.size() - 2);
+  }
+  return text;
+}
+
+// Calls fn(line_number, content) for every non-blank @data line, after
+// comment stripping ('%' anywhere starts a comment, matching the historical
+// reader) and trimming. Stops early if fn returns a non-OK status.
+template <typename Fn>
+Status ForEachArffRow(std::string_view data, size_t first_line, Fn&& fn) {
+  size_t pos = 0;
+  size_t line_number = first_line;
+  while (pos < data.size()) {
+    const size_t nl = data.find('\n', pos);
+    const size_t line_end = (nl == std::string_view::npos) ? data.size() : nl;
+    std::string_view raw = data.substr(pos, line_end - pos);
+    pos = (nl == std::string_view::npos) ? data.size() : nl + 1;
+    const size_t comment = raw.find('%');
+    if (comment != std::string_view::npos) raw = raw.substr(0, comment);
+    const std::string_view content = TrimWhitespace(raw);
+    if (!content.empty()) {
+      Status status = fn(line_number, content);
+      if (!status.ok()) return status;
+    }
+    ++line_number;
+  }
+  return Status::OK();
+}
+
+// Splits an ARFF row on ',' (no quote awareness — the historical grammar)
+// into trimmed+unquoted views.
+void SplitArffRow(std::string_view content, std::vector<std::string_view>* out) {
+  out->clear();
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = content.find(',', start);
+    if (comma == std::string_view::npos) {
+      out->push_back(ArffUnquoteView(content.substr(start)));
+      return;
+    }
+    out->push_back(ArffUnquoteView(content.substr(start, comma - start)));
+    start = comma + 1;
+  }
+}
+
+// Parses one ARFF row's field into the right columnar slot. Shared by the
+// serial and parallel paths so their value conversion is identical.
+struct ArffRowSink {
+  const ArffLayout* layout;
+  // Exactly one of these is used per declared attribute.
+  std::vector<std::vector<double>>* nums;
+  std::vector<std::vector<CategoryId>>* cats;
+  std::vector<CategoryId>* labels;
+  const Schema* schema;
+
+  Status Consume(size_t line, size_t decl, std::string_view field) {
+    if (decl == layout->class_index) {
+      const CategoryId label = schema->class_attr().FindCategory(field);
+      if (label == kInvalidCategory) {
+        return ArffError(line, decl + 1,
+                         "undeclared class value '" + std::string(field) +
+                             "'");
+      }
+      labels->push_back(label);
+      return Status::OK();
+    }
+    if (layout->numeric[decl]) {
+      double value = 0.0;
+      if (field == "?") {
+        value = 0.0;  // documented missing-value convention
+      } else if (!ParseDouble(field, &value)) {
+        return ArffError(line, decl + 1,
+                         "non-numeric value '" + std::string(field) +
+                             "' in attribute '" + layout->names[decl] + "'");
+      }
+      (*nums)[decl].push_back(value);
+      return Status::OK();
+    }
+    if (field == "?") {
+      (*cats)[decl].push_back(kInvalidCategory);
+      return Status::OK();
+    }
+    const AttrIndex attr = layout->attr_of[decl];
+    const CategoryId id = schema->attribute(attr).FindCategory(field);
+    if (id == kInvalidCategory) {
+      return ArffError(line, decl + 1,
+                       "value '" + std::string(field) +
+                           "' not in the declared domain of '" +
+                           layout->names[decl] + "'");
+    }
+    (*cats)[decl].push_back(id);
+    return Status::OK();
+  }
+};
+
+// Columnar staging for a run of ARFF rows plus the machinery to fill it.
+struct ArffBlock {
+  std::vector<std::vector<double>> nums;
+  std::vector<std::vector<CategoryId>> cats;
+  std::vector<CategoryId> labels;
+  size_t rows = 0;
+  Status error = Status::OK();
+
+  // Parses every row of `data` into this block; stops at the first error.
+  void Parse(std::string_view data, size_t first_line,
+             const ArffLayout& layout, const Schema& schema) {
+    const size_t num_decls = layout.attr_of.size();
+    nums.resize(num_decls);
+    cats.resize(num_decls);
+    ArffRowSink sink{&layout, &nums, &cats, &labels, &schema};
+    std::vector<std::string_view> fields;
+    error = ForEachArffRow(
+        data, first_line, [&](size_t line, std::string_view content) {
+          SplitArffRow(content, &fields);
+          if (fields.size() != num_decls) {
+            return ArffError(line, 0,
+                             "row has " + std::to_string(fields.size()) +
+                                 " fields, expected " +
+                                 std::to_string(num_decls));
+          }
+          for (size_t i = 0; i < num_decls; ++i) {
+            Status status = sink.Consume(line, i, fields[i]);
+            if (!status.ok()) return status;
+          }
+          ++rows;
+          return Status::OK();
+        });
+  }
+};
+
+// Copies a parsed block into the dataset's pre-sized storage at row `off`.
+void FlushArffBlock(const ArffBlock& block, const ArffLayout& layout,
+                    size_t off, const std::vector<double*>& num_data,
+                    const std::vector<CategoryId*>& cat_data,
+                    CategoryId* labels) {
+  for (size_t decl = 0; decl < layout.attr_of.size(); ++decl) {
+    if (decl == layout.class_index) continue;
+    if (layout.numeric[decl]) {
+      std::memcpy(num_data[decl] + off, block.nums[decl].data(),
+                  block.rows * sizeof(double));
+    } else {
+      std::memcpy(cat_data[decl] + off, block.cats[decl].data(),
+                  block.rows * sizeof(CategoryId));
+    }
+  }
+  std::memcpy(labels + off, block.labels.data(),
+              block.rows * sizeof(CategoryId));
+}
+
+// Gathers the per-declaration storage pointers for FlushArffBlock.
+void ArffStoragePointers(Dataset* dataset, const ArffLayout& layout,
+                         std::vector<double*>* num_data,
+                         std::vector<CategoryId*>* cat_data,
+                         CategoryId** labels) {
+  const size_t num_decls = layout.attr_of.size();
+  num_data->assign(num_decls, nullptr);
+  cat_data->assign(num_decls, nullptr);
+  for (size_t decl = 0; decl < num_decls; ++decl) {
+    if (decl == layout.class_index) continue;
+    if (layout.numeric[decl]) {
+      (*num_data)[decl] = dataset->mutable_numeric_data(layout.attr_of[decl]);
+    } else {
+      (*cat_data)[decl] =
+          dataset->mutable_categorical_data(layout.attr_of[decl]);
+    }
+  }
+  *labels = dataset->mutable_label_data();
+}
+
+}  // namespace
+
+StatusOr<Dataset> IngestArffRowsSerial(std::string_view text,
+                                       ArffLayout layout) {
+  const std::string_view data = text.substr(layout.data_offset);
+  ArffBlock block;
+  Schema schema = std::move(layout.schema);
+  block.Parse(data, layout.data_first_line, layout, schema);
+  if (!block.error.ok()) return block.error;
+  if (block.rows == 0) {
+    return Status::InvalidArgument("ARFF has no data rows");
+  }
+  Dataset dataset(std::move(schema));
+  dataset.AppendRows(block.rows);
+  std::vector<double*> num_data;
+  std::vector<CategoryId*> cat_data;
+  CategoryId* labels = nullptr;
+  ArffStoragePointers(&dataset, layout, &num_data, &cat_data, &labels);
+  FlushArffBlock(block, layout, 0, num_data, cat_data, labels);
+  return dataset;
+}
+
+StatusOr<Dataset> IngestArffRowsParallel(std::string_view text,
+                                         ArffLayout layout,
+                                         const IngestOptions& ingest) {
+  const std::string_view data = text.substr(layout.data_offset);
+
+  size_t threads = 0;
+  size_t target_bytes = 0;
+  if (ingest.chunk_bytes > 0) {
+    threads = ThreadPool::ResolveThreadCount(ingest.num_threads);
+    target_bytes = ingest.chunk_bytes;
+  } else {
+    threads = ThreadPool::ClampThreadsForBytes(ingest.num_threads,
+                                               data.size());
+    target_bytes = std::max(ThreadPool::kMinBytesPerThread,
+                            data.size() / (threads * 4) + 1);
+  }
+
+  // Newline-aligned chunks; ARFF rows never span lines, so no structural
+  // grammar scan is needed — just line accounting.
+  struct RowChunk {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t first_line = 1;
+  };
+  std::vector<RowChunk> chunks;
+  {
+    size_t pos = 0;
+    size_t line = layout.data_first_line;
+    while (pos < data.size()) {
+      size_t end = data.size();
+      if (pos + target_bytes < data.size()) {
+        const size_t nl = data.find('\n', pos + target_bytes);
+        end = (nl == std::string_view::npos) ? data.size() : nl + 1;
+      }
+      chunks.push_back({pos, end, line});
+      line += CountNewlines(data.data() + pos, data.data() + end);
+      pos = end;
+    }
+  }
+  if (chunks.empty()) {
+    return Status::InvalidArgument("ARFF has no data rows");
+  }
+
+  Schema schema = std::move(layout.schema);
+  ThreadPool pool(threads);
+  std::vector<ArffBlock> blocks(chunks.size());
+  pool.ParallelFor(chunks.size(), [&](size_t k) {
+    blocks[k].Parse(data.substr(chunks[k].begin, chunks[k].end - chunks[k].begin),
+                    chunks[k].first_line, layout, schema);
+  });
+  size_t total_rows = 0;
+  for (const ArffBlock& block : blocks) {
+    if (!block.error.ok()) return block.error;  // chunk order = line order
+    total_rows += block.rows;
+  }
+  if (total_rows == 0) {
+    return Status::InvalidArgument("ARFF has no data rows");
+  }
+
+  Dataset dataset(std::move(schema));
+  dataset.AppendRows(total_rows);
+  std::vector<double*> num_data;
+  std::vector<CategoryId*> cat_data;
+  CategoryId* labels = nullptr;
+  ArffStoragePointers(&dataset, layout, &num_data, &cat_data, &labels);
+  std::vector<size_t> offsets(chunks.size(), 0);
+  size_t off = 0;
+  for (size_t k = 0; k < chunks.size(); ++k) {
+    offsets[k] = off;
+    off += blocks[k].rows;
+  }
+  pool.ParallelFor(chunks.size(), [&](size_t k) {
+    FlushArffBlock(blocks[k], layout, offsets[k], num_data, cat_data, labels);
+  });
+  return dataset;
+}
+
+// ---------------------------------------------------------------------------
+// IngestEngine methods.
+// ---------------------------------------------------------------------------
+
+StatusOr<Dataset> IngestEngine::ParseCsv(std::string_view text,
+                                         const CsvReadOptions& options) const {
+  if (options_.num_threads == 1) return IngestCsvSerial(text, options);
+  return IngestCsvParallel(text, options, options_);
+}
+
+StatusOr<Dataset> IngestEngine::LoadCsv(const std::string& path,
+                                        const CsvReadOptions& options) const {
+  auto file = MappedFile::Open(path, options_.allow_mmap);
+  if (!file.ok()) return file.status();
+  return ParseCsv(file.value().bytes(), options);
+}
+
+StatusOr<Dataset> IngestEngine::ParseArff(
+    std::string_view text, const ArffReadOptions& options) const {
+  auto layout = ParseArffHeader(text, options);
+  if (!layout.ok()) return layout.status();
+  if (options_.num_threads == 1) {
+    return IngestArffRowsSerial(text, std::move(layout).value());
+  }
+  return IngestArffRowsParallel(text, std::move(layout).value(), options_);
+}
+
+StatusOr<Dataset> IngestEngine::LoadArff(const std::string& path,
+                                         const ArffReadOptions& options) const {
+  auto file = MappedFile::Open(path, options_.allow_mmap);
+  if (!file.ok()) return file.status();
+  return ParseArff(file.value().bytes(), options);
+}
+
+}  // namespace pnr

@@ -1,0 +1,97 @@
+#include "data/mapped_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PNR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pnr {
+namespace {
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IOError("read of '" + path + "' failed");
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  this->~MappedFile();
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  buffer_ = std::move(other.buffer_);
+  if (!mapped_) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if PNR_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path,
+                                      bool allow_mmap) {
+#if PNR_HAVE_MMAP
+  if (allow_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError("cannot open '" + path + "'");
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);  // pipes, devices etc. fall back to streaming below
+    } else if (st.st_size == 0) {
+      ::close(fd);
+      return MappedFile();  // mmap of length 0 is invalid; empty view
+    } else {
+      void* addr = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                          MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (addr != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+        ::madvise(addr, static_cast<size_t>(st.st_size), MADV_SEQUENTIAL);
+#endif
+        MappedFile file;
+        file.data_ = static_cast<const char*>(addr);
+        file.size_ = static_cast<size_t>(st.st_size);
+        file.mapped_ = true;
+        return file;
+      }
+    }
+  }
+#else
+  (void)allow_mmap;
+#endif
+  auto content = ReadWholeFile(path);
+  if (!content.ok()) return content.status();
+  MappedFile file;
+  file.buffer_ = std::move(content).value();
+  file.data_ = file.buffer_.data();
+  file.size_ = file.buffer_.size();
+  file.mapped_ = false;
+  return file;
+}
+
+}  // namespace pnr

@@ -1,0 +1,53 @@
+// Read-only memory-mapped file with a streaming fallback.
+//
+// The ingest engine parses straight out of the page cache via mmap when the
+// platform allows it; when mmap is unavailable (non-regular files, exotic
+// filesystems, or when the caller forces streaming) the whole file is read
+// into an owned buffer instead. Either way the content is exposed as one
+// contiguous std::string_view, so parsing code never branches on the
+// transport.
+
+#ifndef PNR_DATA_MAPPED_FILE_H_
+#define PNR_DATA_MAPPED_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pnr {
+
+/// A file's bytes, memory-mapped when possible, buffered otherwise.
+class MappedFile {
+ public:
+  /// Opens `path` read-only. With `allow_mmap` false (or when mapping
+  /// fails) the file is read into memory via streaming I/O instead; the
+  /// result is indistinguishable to callers apart from peak memory.
+  static StatusOr<MappedFile> Open(const std::string& path,
+                                   bool allow_mmap = true);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// The file content.
+  std::string_view bytes() const {
+    return data_ == nullptr ? std::string_view() : std::string_view(data_, size_);
+  }
+
+  /// True when the content is an actual mmap (false: owned buffer).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string buffer_;  // owns the bytes when !mapped_
+};
+
+}  // namespace pnr
+
+#endif  // PNR_DATA_MAPPED_FILE_H_

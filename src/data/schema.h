@@ -4,6 +4,7 @@
 #define PNR_DATA_SCHEMA_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -38,7 +39,7 @@ class Schema {
   Attribute& class_attr() { return class_attr_; }
 
   /// Registers (or finds) a class label and returns its id.
-  CategoryId GetOrAddClass(const std::string& label) {
+  CategoryId GetOrAddClass(std::string_view label) {
     return class_attr_.GetOrAddCategory(label);
   }
 

@@ -60,14 +60,17 @@ int Usage() {
                "           [--rp <f>] [--rn <f>] [--min-support <f>] "
                "[--p1] [--threshold <f>]\n"
                "           [--threads <n>] [--class-column <name>]\n"
-               "  --threads: worker threads for condition search (train) and "
-               "batch scoring\n"
-               "             (eval/predict); 1 = serial, 0 = all hardware "
-               "threads. Models,\n"
-               "             metrics, and predictions are identical for any "
-               "value.\n");
+               "  --threads: worker threads for data loading, condition "
+               "search (train),\n"
+               "             and batch scoring (eval/predict); 1 = serial, "
+               "0 = all hardware\n"
+               "             threads. The loaded data, models, metrics, and "
+               "predictions\n"
+               "             are identical for any value.\n");
   return 2;
 }
+
+double OptionOr(const Args& args, const std::string& key, double fallback);
 
 StatusOr<Dataset> LoadData(const Args& args) {
   const auto data_it = args.options.find("data");
@@ -77,6 +80,7 @@ StatusOr<Dataset> LoadData(const Args& args) {
   CsvReadOptions options;
   const auto class_it = args.options.find("class-column");
   if (class_it != args.options.end()) options.class_column = class_it->second;
+  options.num_threads = static_cast<size_t>(OptionOr(args, "threads", 1.0));
   return ReadCsv(data_it->second, options);
 }
 
