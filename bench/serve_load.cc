@@ -1,0 +1,297 @@
+// Load generator for the prediction server: measures end-to-end request
+// latency (p50/p99) and row throughput at 1 / 8 / 64 concurrent
+// connections, with micro-batching on vs off, against an in-process server
+// scoring a trained syngen model.
+//
+// Every response is checked bit-for-bit against offline ScoreBatch of the
+// same rows; the JSON writer (PNR_BENCH_JSON=<path>) refuses to write — and
+// the binary exits nonzero — if any served score ever differed, so the
+// committed numbers double as an equivalence proof.
+//
+// Requests carry one row each (the adversarial shape for a scoring
+// service: maximal per-request overhead), and the batched runs use
+// max_batch_rows = connections, the documented tuning of batch size to
+// expected concurrency. The syngen schema uses a 500-value categorical
+// vocabulary — the high-cardinality shape of production fraud/intrusion
+// features — which makes the per-ScoreBatch-call setup cost (materializing
+// the rows as a Dataset over the model schema) visible: that setup is what
+// micro-batching amortizes.
+//
+// Flags: --quick (short runs) | --seconds=<f> | --seed=<n>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "synth/sweep.h"
+
+namespace {
+
+using namespace pnr;
+
+struct LoadResult {
+  size_t connections = 0;
+  bool batching = false;
+  size_t requests = 0;
+  size_t rows = 0;
+  double seconds = 0;
+  double rows_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_batch_rows = 0;
+  bool scores_identical = true;
+};
+
+double Percentile(std::vector<uint64_t>* latencies, double q) {
+  if (latencies->empty()) return 0;
+  const size_t k = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(latencies->size())));
+  std::nth_element(latencies->begin(), latencies->begin() + k,
+                   latencies->end());
+  return static_cast<double>((*latencies)[k]);
+}
+
+// One-row predict body for `row` of `data`, numerics rendered %.17g so the
+// server recovers the exact doubles.
+std::string RowBody(const Dataset& data, RowId row) {
+  const Schema& schema = data.schema();
+  std::string body = "{\"model\":\"m\",\"rows\":[{";
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    if (a > 0) body += ',';
+    AppendJsonString(&body, schema.attribute(attr).name());
+    body += ':';
+    if (schema.attribute(attr).is_numeric()) {
+      AppendJsonNumber(&body, data.numeric(row, attr));
+    } else {
+      AppendJsonString(&body, schema.attribute(attr).CategoryName(
+                                  data.categorical(row, attr)));
+    }
+  }
+  body += "}]}";
+  return body;
+}
+
+LoadResult RunLoad(ModelRegistry* registry, const Dataset& test,
+                   const std::vector<double>& expected, size_t connections,
+                   bool batching, double seconds) {
+  ServerConfig config;
+  config.port = 0;
+  // Thread-per-connection so every client can have a request in flight —
+  // the shape that lets an open batch actually fill.
+  config.num_threads = connections;
+  config.batcher.enabled = batching;
+  config.batcher.max_batch_rows = connections;
+  config.batcher.max_delay_us = 1000;
+  PredictionServer server(config, registry);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start: %s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+
+  // Pre-render the request bodies (the generator must not be the
+  // bottleneck); each client walks its own stride of the test set.
+  const size_t num_bodies = test.num_rows();
+  std::vector<std::string> bodies(num_bodies);
+  for (RowId row = 0; row < num_bodies; ++row) {
+    bodies[row] = RowBody(test, row);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> mismatch{false};
+  std::atomic<size_t> total_requests{0};
+  std::vector<std::vector<uint64_t>> latencies(connections);
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  const auto bench_start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      auto connect = HttpClient::Connect(server.port());
+      if (!connect.ok()) {
+        mismatch.store(true);
+        return;
+      }
+      HttpClient client = std::move(connect).value();
+      size_t row = c;  // stride the test set per client
+      size_t sent = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        row = (row + connections) % num_bodies;
+        const auto start = std::chrono::steady_clock::now();
+        auto response =
+            client.Roundtrip("POST", "/v1/predict", bodies[row]);
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (!response.ok() || response->status != 200) {
+          mismatch.store(true);
+          return;
+        }
+        auto doc = ParseJson(response->body);
+        const JsonValue* scores = doc.ok() ? doc->Find("scores") : nullptr;
+        if (scores == nullptr || scores->array.size() != 1 ||
+            scores->array[0].number_value != expected[row]) {
+          mismatch.store(true);
+          return;
+        }
+        latencies[c].push_back(static_cast<uint64_t>(elapsed));
+        ++sent;
+      }
+      total_requests.fetch_add(sent);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  server.Shutdown();
+
+  LoadResult result;
+  result.connections = connections;
+  result.batching = batching;
+  result.requests = total_requests.load();
+  result.rows = result.requests;  // one row per request
+  result.seconds = elapsed;
+  result.rows_per_s = static_cast<double>(result.rows) / elapsed;
+  std::vector<uint64_t> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.p50_us = Percentile(&all, 0.50);
+  result.p99_us = Percentile(&all, 0.99);
+  const uint64_t flushed = server.metrics().batches_flushed.load();
+  result.mean_batch_rows =
+      flushed == 0 ? 0
+                   : static_cast<double>(
+                         server.metrics().batch_rows.sum()) /
+                         static_cast<double>(flushed);
+  result.scores_identical = !mismatch.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  uint64_t seed = 17;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      seconds = 0.25;
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      ParseDouble(argv[i] + 10, &seconds);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      double value = 17;
+      ParseDouble(argv[i] + 7, &value);
+      seed = static_cast<uint64_t>(value);
+    }
+  }
+
+  GeneralModelParams params;
+  params.target_fraction = 0.05;
+  params.vocab = 500;
+  TrainTestPair data = MakeGeneralPair(params, 8000, 2000, seed);
+  const CategoryId target =
+      data.train.schema().class_attr().FindCategory("C");
+  auto model = PnruleLearner().Train(data.train, target);
+  if (!model.ok()) {
+    std::fprintf(stderr, "train: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<RowId> rows(data.test.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<double> expected(rows.size());
+  model->ScoreBatch(data.test, rows.data(), rows.size(), expected.data());
+
+  ModelRegistry registry;
+  registry.Install("m", data.train.schema(), std::move(model).value());
+
+  std::printf("serve_load: 1-row requests, %.2fs per run, "
+              "threads = connections, max_batch = connections\n\n",
+              seconds);
+  std::printf("%5s %9s %10s %10s %10s %12s\n", "conns", "batching",
+              "p50_us", "p99_us", "rows/s", "batch_rows");
+  std::vector<LoadResult> results;
+  bool all_identical = true;
+  for (size_t connections : {1, 8, 64}) {
+    for (bool batching : {false, true}) {
+      LoadResult r = RunLoad(&registry, data.test, expected, connections,
+                             batching, seconds);
+      all_identical = all_identical && r.scores_identical;
+      std::printf("%5zu %9s %10.0f %10.0f %10.0f %12.1f%s\n",
+                  r.connections, r.batching ? "on" : "off", r.p50_us,
+                  r.p99_us, r.rows_per_s, r.mean_batch_rows,
+                  r.scores_identical ? "" : "  SCORE MISMATCH");
+      results.push_back(r);
+    }
+  }
+
+  double speedup_64 = 0;
+  for (const LoadResult& r : results) {
+    if (r.connections == 64 && r.batching) {
+      for (const LoadResult& base : results) {
+        if (base.connections == 64 && !base.batching &&
+            base.rows_per_s > 0) {
+          speedup_64 = r.rows_per_s / base.rows_per_s;
+        }
+      }
+    }
+  }
+  std::printf("\nbatching speedup at 64 connections: %.2fx\n", speedup_64);
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "served scores differed from offline ScoreBatch; "
+                 "refusing to write JSON\n");
+    return 1;
+  }
+  const char* json_path = std::getenv("PNR_BENCH_JSON");
+  if (json_path != nullptr) {
+    FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"serve_load\",\n"
+                 "  \"request_shape\": \"1 row, 8 attributes "
+                 "(categorical vocab 500)\",\n"
+                 "  \"seconds_per_run\": %.2f,\n"
+                 "  \"server\": {\"threads\": \"= connections\", "
+                 "\"max_batch_rows\": \"= connections\", "
+                 "\"max_delay_us\": 1000},\n  \"runs\": [\n",
+                 seconds);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const LoadResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"connections\": %zu, \"batching\": %s, "
+                   "\"requests\": %zu, \"p50_us\": %.0f, \"p99_us\": %.0f, "
+                   "\"rows_per_s\": %.0f, \"mean_batch_rows\": %.1f, "
+                   "\"scores_identical\": true}%s\n",
+                   r.connections, r.batching ? "true" : "false", r.requests,
+                   r.p50_us, r.p99_us, r.rows_per_s, r.mean_batch_rows,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"batching_speedup_at_64_connections\": %.2f,\n"
+                 "  \"bit_identical_to_offline\": true\n}\n",
+                 speedup_64);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pnr {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+StatusOr<UniqueFd> ListenTcp(uint16_t port, int backlog,
+                             uint16_t* bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+StatusOr<UniqueFd> ConnectLoopback(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+StatusOr<UniqueFd> AcceptConnection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return UniqueFd(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::NotFound("listener closed");
+    }
+    return Errno("accept");
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> WaitReadable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;  // readable, HUP, or error — recv reports which
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+StatusOr<int> WaitAnyReadable(const int* fds, size_t n, int timeout_ms) {
+  pollfd pfds[8];
+  if (n > 8) return Status::InvalidArgument("WaitAnyReadable: too many fds");
+  for (size_t i = 0; i < n; ++i) {
+    pfds[i].fd = fds[i];
+    pfds[i].events = POLLIN;
+    pfds[i].revents = 0;
+  }
+  for (;;) {
+    const int rc = ::poll(pfds, static_cast<nfds_t>(n), timeout_ms);
+    if (rc > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        if (pfds[i].revents != 0) return static_cast<int>(i);
+      }
+      return Status::IOError("poll: spurious readiness");
+    }
+    if (rc == 0) return -1;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+StatusOr<size_t> RecvSome(int fd, char* buf, size_t cap, int timeout_ms) {
+  auto readable = WaitReadable(fd, timeout_ms);
+  if (!readable.ok()) return readable.status();
+  if (!*readable) return Status::IOError("read timeout");
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+void WakePipe::Wake() const {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t rc = ::write(write_end.get(), &byte, 1);
+}
+
+StatusOr<WakePipe> MakeWakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return Errno("pipe");
+  WakePipe pipe;
+  pipe.read_end = UniqueFd(fds[0]);
+  pipe.write_end = UniqueFd(fds[1]);
+  // Non-blocking write end: Wake from a signal context must never block.
+  const int flags = ::fcntl(pipe.write_end.get(), F_GETFL, 0);
+  ::fcntl(pipe.write_end.get(), F_SETFL, flags | O_NONBLOCK);
+  return pipe;
+}
+
+}  // namespace pnr

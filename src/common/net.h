@@ -1,0 +1,94 @@
+// Minimal POSIX TCP helpers for the serving subsystem.
+//
+// Wraps the handful of socket calls the prediction server needs — bounded,
+// Status-returning, EINTR-safe — so src/serve/ contains no raw ::socket()
+// plumbing. Everything here is blocking-with-poll: readiness waits go
+// through poll(2) with millisecond timeouts, which is all a
+// thread-per-request server requires (no event loop).
+
+#ifndef PNR_COMMON_NET_H_
+#define PNR_COMMON_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pnr {
+
+/// Owning file descriptor (closes on destruction). Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { Reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Closes the descriptor (if any).
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a TCP listener on 127.0.0.1:`port` (SO_REUSEADDR). `port` 0 binds
+/// an ephemeral port; `*bound_port` receives the actual port either way.
+StatusOr<UniqueFd> ListenTcp(uint16_t port, int backlog,
+                             uint16_t* bound_port);
+
+/// Connects to 127.0.0.1:`port` (blocking). The client side used by tests
+/// and the load generator.
+StatusOr<UniqueFd> ConnectLoopback(uint16_t port);
+
+/// Accepts one connection; blocks. Returns NotFound when the listener was
+/// closed / shut down from another thread.
+StatusOr<UniqueFd> AcceptConnection(int listen_fd);
+
+/// Writes all of `data`, retrying short writes and EINTR. MSG_NOSIGNAL, so
+/// a peer that closed mid-response yields IOError instead of SIGPIPE.
+Status SendAll(int fd, std::string_view data);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. Returns true when
+/// readable, false on timeout; Status error on poll failure.
+StatusOr<bool> WaitReadable(int fd, int timeout_ms);
+
+/// Waits for any of `fds[0..n)` to become readable (`timeout_ms` < 0 waits
+/// forever). Returns the index of a readable descriptor, or -1 on timeout.
+StatusOr<int> WaitAnyReadable(const int* fds, size_t n, int timeout_ms);
+
+/// Reads at most `cap` bytes into `buf`. Returns the byte count, 0 at
+/// orderly EOF. Blocks until data, EOF, or `timeout_ms` elapses (timeout
+/// yields IOError "read timeout").
+StatusOr<size_t> RecvSome(int fd, char* buf, size_t cap, int timeout_ms);
+
+/// A pipe whose write end can wake a thread blocked in poll on the read
+/// end — the shutdown signal for accept loops.
+struct WakePipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+  /// Writes one byte (best-effort; never blocks).
+  void Wake() const;
+};
+StatusOr<WakePipe> MakeWakePipe();
+
+}  // namespace pnr
+
+#endif  // PNR_COMMON_NET_H_

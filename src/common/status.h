@@ -22,6 +22,8 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,        ///< transient overload — retry later (serving 503)
+  kDeadlineExceeded,   ///< request deadline elapsed (serving 504)
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +67,14 @@ class Status {
   /// Returns an Internal status with `message`.
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns an Unavailable status with `message`.
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  /// Returns a DeadlineExceeded status with `message`.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   /// True iff the status is OK.

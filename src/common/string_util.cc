@@ -19,6 +19,24 @@ std::vector<std::string> SplitString(std::string_view text, char delim) {
   return out;
 }
 
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
 std::string_view TrimWhitespace(std::string_view text) {
   size_t begin = 0;
   while (begin < text.size() &&

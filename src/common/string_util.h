@@ -12,6 +12,11 @@ namespace pnr {
 /// Splits `text` on `delim` (no trimming; empty fields preserved).
 std::vector<std::string> SplitString(std::string_view text, char delim);
 
+/// Splits `text` on runs of ASCII whitespace; never yields empty tokens.
+/// The forgiving tokenizer for line-oriented formats (model files, schema
+/// sidecars) that must survive CRLF endings, tabs, and doubled spaces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
 /// Removes leading and trailing ASCII whitespace.
 std::string_view TrimWhitespace(std::string_view text);
 

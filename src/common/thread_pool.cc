@@ -12,13 +12,21 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
+    workers.swap(threads_);  // second Shutdown finds nothing to join
   }
   work_cv_.notify_all();
-  for (std::thread& thread : threads_) thread.join();
+  for (std::thread& thread : workers) thread.join();
+  // A job in flight when Shutdown was called still completes: workers
+  // finish the indices they claimed before exiting, and the ParallelFor
+  // caller drains whatever remains. Later ParallelFors see an empty
+  // threads_ and run inline.
 }
 
 size_t ThreadPool::ResolveThreadCount(size_t requested) {

@@ -35,6 +35,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
   ~ThreadPool();
 
+  /// Drains the in-flight job (if any) and joins the workers. Idempotent,
+  /// and callable from a thread other than the controlling one — this is
+  /// the SIGTERM path for long-lived services, which must release pool
+  /// threads before process teardown without waiting for the destructor.
+  /// After Shutdown every ParallelFor still completes, running inline on
+  /// its calling thread (the pool degrades to the serial pool rather than
+  /// dropping work).
+  void Shutdown();
+
   /// Number of worker threads (0 for the serial pool).
   size_t num_threads() const { return threads_.size(); }
 

@@ -1,0 +1,175 @@
+#include "data/schema_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace pnr {
+namespace {
+
+Status ParseError(const std::string& detail) {
+  return Status::InvalidArgument("schema parse error: " + detail);
+}
+
+// Line cursor tolerating CRLF and trailing whitespace (every line is
+// trimmed before use). Unlike the model reader this one must preserve
+// blank *suffixes* of keyword lines ("value" with an empty value), so it
+// does not skip lines that trim to a bare keyword.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : stream_(text) {}
+
+  bool Next(std::string* line) {
+    while (std::getline(stream_, *line)) {
+      *line = std::string(TrimWhitespace(*line));
+      if (!line->empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::istringstream stream_;
+};
+
+// Splits a trimmed line into its first token and the trimmed remainder
+// ("categorical 3 proto type" -> "categorical", "3 proto type").
+void SplitKeyword(const std::string& line, std::string* keyword,
+                  std::string* rest) {
+  size_t space = 0;
+  while (space < line.size() && line[space] != ' ' && line[space] != '\t') {
+    ++space;
+  }
+  *keyword = line.substr(0, space);
+  *rest = std::string(TrimWhitespace(line.substr(space)));
+}
+
+// Splits `rest` into a leading integer and the trimmed remainder.
+bool SplitCount(const std::string& rest, long long* count,
+                std::string* name) {
+  std::string count_token;
+  SplitKeyword(rest, &count_token, name);
+  return ParseInt64(count_token, count) && *count >= 0;
+}
+
+}  // namespace
+
+std::string SerializeSchema(const Schema& schema) {
+  std::ostringstream out;
+  out << "pnrule-schema v1\n";
+  out << "attributes " << schema.num_attributes() << '\n';
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(static_cast<AttrIndex>(a));
+    if (attr.is_numeric()) {
+      out << "numeric " << attr.name() << '\n';
+    } else {
+      out << "categorical " << attr.num_categories() << ' ' << attr.name()
+          << '\n';
+      for (size_t v = 0; v < attr.num_categories(); ++v) {
+        out << "value " << attr.CategoryName(static_cast<CategoryId>(v))
+            << '\n';
+      }
+    }
+  }
+  const Attribute& cls = schema.class_attr();
+  out << "class " << cls.num_categories() << ' ' << cls.name() << '\n';
+  for (size_t v = 0; v < cls.num_categories(); ++v) {
+    out << "label " << cls.CategoryName(static_cast<CategoryId>(v)) << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<Schema> ParseSchema(const std::string& text) {
+  LineReader reader(text);
+  std::string line;
+  std::string keyword;
+  std::string rest;
+  if (!reader.Next(&line)) return ParseError("empty input");
+  SplitKeyword(line, &keyword, &rest);
+  if (keyword != "pnrule-schema") {
+    return ParseError("missing 'pnrule-schema v1' header");
+  }
+  if (rest != "v1") {
+    return Status::InvalidArgument("unsupported schema format version '" +
+                                   rest + "' (this build reads v1)");
+  }
+
+  if (!reader.Next(&line)) return ParseError("truncated input");
+  SplitKeyword(line, &keyword, &rest);
+  long long num_attrs = 0;
+  if (keyword != "attributes" || !ParseInt64(rest, &num_attrs) ||
+      num_attrs < 0) {
+    return ParseError("expected 'attributes <n>'");
+  }
+
+  Schema schema;
+  for (long long a = 0; a < num_attrs; ++a) {
+    if (!reader.Next(&line)) return ParseError("truncated attribute list");
+    SplitKeyword(line, &keyword, &rest);
+    if (keyword == "numeric") {
+      if (rest.empty()) return ParseError("numeric attribute without name");
+      schema.AddAttribute(Attribute::Numeric(rest));
+      continue;
+    }
+    if (keyword != "categorical") {
+      return ParseError("expected 'numeric' or 'categorical', got '" +
+                        keyword + "'");
+    }
+    long long num_values = 0;
+    std::string name;
+    if (!SplitCount(rest, &num_values, &name) || name.empty()) {
+      return ParseError("expected 'categorical <k> <name>'");
+    }
+    std::vector<std::string> values;
+    values.reserve(static_cast<size_t>(num_values));
+    for (long long v = 0; v < num_values; ++v) {
+      if (!reader.Next(&line)) return ParseError("truncated value list");
+      SplitKeyword(line, &keyword, &rest);
+      if (keyword != "value") return ParseError("expected 'value <v>'");
+      values.push_back(rest);
+    }
+    schema.AddAttribute(Attribute::Categorical(name, std::move(values)));
+  }
+
+  if (!reader.Next(&line)) return ParseError("truncated input");
+  SplitKeyword(line, &keyword, &rest);
+  long long num_labels = 0;
+  std::string class_name;
+  if (keyword != "class" || !SplitCount(rest, &num_labels, &class_name) ||
+      class_name.empty()) {
+    return ParseError("expected 'class <k> <name>'");
+  }
+  // The default-constructed class attribute is named "class"; rebuild it
+  // with the recorded name so round-trips are exact.
+  schema.class_attr() = Attribute::Categorical(class_name);
+  for (long long v = 0; v < num_labels; ++v) {
+    if (!reader.Next(&line)) return ParseError("truncated label list");
+    SplitKeyword(line, &keyword, &rest);
+    if (keyword != "label") return ParseError("expected 'label <v>'");
+    schema.GetOrAddClass(rest);
+  }
+  if (!reader.Next(&line) || line != "end") {
+    return ParseError("missing 'end' marker");
+  }
+  return schema;
+}
+
+Status SaveSchema(const Schema& schema, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for write");
+  file << SerializeSchema(schema);
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<Schema> LoadSchema(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseSchema(buffer.str());
+}
+
+}  // namespace pnr

@@ -43,7 +43,10 @@ void WriteRuleSet(std::ostringstream* out, const RuleSet& rules,
   }
 }
 
-// Line-cursor over the serialized text.
+// Line-cursor over the serialized text. Trimming each line makes the
+// parser indifferent to CRLF endings and trailing whitespace — model files
+// that round-tripped through Windows editors or copy-paste parse the same
+// as pristine ones.
 class LineReader {
  public:
   explicit LineReader(const std::string& text) : stream_(text) {}
@@ -105,7 +108,7 @@ StatusOr<Condition> ParseCondition(const std::vector<std::string>& tokens,
 StatusOr<RuleSet> ParseRuleSet(LineReader* reader, const Schema& schema,
                                const std::string& header_line,
                                const char* expected_header) {
-  const auto header = SplitString(header_line, ' ');
+  const auto header = SplitWhitespace(header_line);
   long long count = 0;
   if (header.size() != 2 || header[0] != expected_header ||
       !ParseInt64(header[1], &count) || count < 0) {
@@ -116,7 +119,7 @@ StatusOr<RuleSet> ParseRuleSet(LineReader* reader, const Schema& schema,
   std::string line;
   for (long long r = 0; r < count; ++r) {
     if (!reader->Next(&line)) return ParseError("truncated rule list");
-    const auto rule_header = SplitString(line, ' ');
+    const auto rule_header = SplitWhitespace(line);
     long long num_conditions = 0;
     double covered = 0.0;
     double positive = 0.0;
@@ -129,7 +132,7 @@ StatusOr<RuleSet> ParseRuleSet(LineReader* reader, const Schema& schema,
     Rule rule;
     for (long long c = 0; c < num_conditions; ++c) {
       if (!reader->Next(&line)) return ParseError("truncated conditions");
-      auto condition = ParseCondition(SplitString(line, ' '), schema);
+      auto condition = ParseCondition(SplitWhitespace(line), schema);
       if (!condition.ok()) return condition.status();
       rule.AddCondition(*condition);
     }
@@ -169,18 +172,28 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
                                             const Schema& schema) {
   LineReader reader(text);
   std::string line;
-  if (!reader.Next(&line) || line != "pnrule-model v1") {
+  if (!reader.Next(&line)) {
     return ParseError("missing 'pnrule-model v1' header");
   }
+  const auto header = SplitWhitespace(line);
+  if (header.size() != 2 || header[0] != "pnrule-model") {
+    return ParseError("missing 'pnrule-model v1' header");
+  }
+  if (header[1] != "v1") {
+    // Name the version so the operator knows it is a reader/writer skew,
+    // not a corrupt file.
+    return Status::InvalidArgument("unsupported model format version '" +
+                                   header[1] + "' (this build reads v1)");
+  }
   if (!reader.Next(&line)) return ParseError("truncated input");
-  auto tokens = SplitString(line, ' ');
+  auto tokens = SplitWhitespace(line);
   double threshold = 0.5;
   if (tokens.size() != 2 || tokens[0] != "threshold" ||
       !ParseDouble(tokens[1], &threshold)) {
     return ParseError("expected 'threshold <t>'");
   }
   if (!reader.Next(&line)) return ParseError("truncated input");
-  tokens = SplitString(line, ' ');
+  tokens = SplitWhitespace(line);
   long long use_matrix = 1;
   if (tokens.size() != 2 || tokens[0] != "use_score_matrix" ||
       !ParseInt64(tokens[1], &use_matrix)) {
@@ -195,7 +208,7 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
   if (!n_rules.ok()) return n_rules.status();
 
   if (!reader.Next(&line)) return ParseError("truncated input");
-  tokens = SplitString(line, ' ');
+  tokens = SplitWhitespace(line);
   long long num_p = 0;
   long long num_n = 0;
   if (tokens.size() != 3 || tokens[0] != "scores" ||
@@ -209,7 +222,7 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
   scores.reserve(static_cast<size_t>(num_p * (num_n + 1)));
   for (long long p = 0; p < num_p; ++p) {
     if (!reader.Next(&line)) return ParseError("truncated score matrix");
-    const auto cells = SplitString(line, ' ');
+    const auto cells = SplitWhitespace(line);
     if (cells.size() != static_cast<size_t>(num_n + 1)) {
       return ParseError("wrong score-row arity");
     }

@@ -1,0 +1,245 @@
+#include "serve/batcher.h"
+
+#include <numeric>
+#include <utility>
+
+#include "data/dataset.h"
+
+namespace pnr {
+
+namespace {
+
+std::chrono::steady_clock::duration DelayOf(const BatcherConfig& config) {
+  return std::chrono::microseconds(config.max_delay_us);
+}
+
+}  // namespace
+
+void RowBlock::InitFor(const Schema& schema) {
+  num_rows = 0;
+  numeric.assign(schema.num_attributes(), {});
+  categorical.assign(schema.num_attributes(), {});
+}
+
+void RowBlock::Append(const RowBlock& other) {
+  for (size_t a = 0; a < numeric.size(); ++a) {
+    numeric[a].insert(numeric[a].end(), other.numeric[a].begin(),
+                      other.numeric[a].end());
+    categorical[a].insert(categorical[a].end(), other.categorical[a].begin(),
+                          other.categorical[a].end());
+  }
+  num_rows += other.num_rows;
+}
+
+MicroBatcher::MicroBatcher(BatcherConfig config, ServerMetrics* metrics)
+    : config_(config), metrics_(metrics) {
+  if (config_.enabled && config_.max_batch_rows > 1) {
+    timer_ = std::thread([this] { TimerLoop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+void MicroBatcher::Shutdown() {
+  std::vector<PendingBatch> drained;
+  std::thread timer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& [key, batch] : pending_) drained.push_back(std::move(batch));
+    pending_.clear();
+    pending_rows_ = 0;
+    if (metrics_ != nullptr) metrics_->queue_rows.store(0);
+    timer.swap(timer_);
+  }
+  timer_cv_.notify_all();
+  if (timer.joinable()) timer.join();
+  // Graceful drain: rows accepted before shutdown still get scored.
+  for (auto& batch : drained) Execute(std::move(batch));
+}
+
+Status MicroBatcher::Score(std::shared_ptr<const ServedModel> model,
+                           RowBlock rows,
+                           std::chrono::steady_clock::time_point deadline,
+                           Result* out) {
+  if (rows.num_rows == 0) {
+    out->scores.clear();
+    out->predicted.clear();
+    return Status::OK();
+  }
+
+  // Per-request baseline: no coalescing, no queueing.
+  if (!config_.enabled || config_.max_batch_rows <= 1) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return Status::Unavailable("server shutting down");
+    }
+    auto waiter = std::make_shared<Waiter>();
+    PendingBatch batch;
+    batch.model = std::move(model);
+    batch.rows = std::move(rows);
+    batch.slices.push_back(Slice{waiter, 0, batch.rows.num_rows});
+    Execute(std::move(batch));
+    *out = std::move(waiter->result);
+    return waiter->status;
+  }
+
+  auto waiter = std::make_shared<Waiter>();
+  bool lead = false;
+  PendingBatch to_flush;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return Status::Unavailable("server shutting down");
+    if (pending_rows_ + rows.num_rows > config_.max_queue_rows) {
+      if (metrics_ != nullptr) {
+        metrics_->rejected_total.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::Unavailable("batch queue full");
+    }
+    PendingBatch& batch = pending_[model.get()];
+    if (batch.slices.empty()) {
+      batch.model = model;
+      batch.rows.InitFor(model->schema);
+      batch.opened_at = std::chrono::steady_clock::now();
+    }
+    batch.slices.push_back(
+        Slice{waiter, batch.rows.num_rows, rows.num_rows});
+    batch.rows.Append(rows);
+    pending_rows_ += rows.num_rows;
+    if (metrics_ != nullptr) {
+      metrics_->queue_rows.store(static_cast<int64_t>(pending_rows_),
+                                 std::memory_order_relaxed);
+    }
+    if (batch.rows.num_rows >= config_.max_batch_rows) {
+      // This request fills the batch: it becomes the leader and scores.
+      lead = true;
+      to_flush = std::move(batch);
+      pending_.erase(model.get());
+      pending_rows_ -= to_flush.rows.num_rows;
+      if (metrics_ != nullptr) {
+        metrics_->queue_rows.store(static_cast<int64_t>(pending_rows_),
+                                   std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (lead) {
+    Execute(std::move(to_flush));
+  } else {
+    timer_cv_.notify_one();  // batch opened/updated: recompute next flush
+  }
+
+  std::unique_lock<std::mutex> lock(waiter->mutex);
+  if (!waiter->cv.wait_until(lock, deadline, [&] { return waiter->done; })) {
+    if (metrics_ != nullptr) {
+      metrics_->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::DeadlineExceeded("request deadline exceeded");
+  }
+  *out = std::move(waiter->result);
+  return waiter->status;
+}
+
+void MicroBatcher::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_) return;
+    if (pending_.empty()) {
+      timer_cv_.wait(lock,
+                     [this] { return shutdown_ || !pending_.empty(); });
+      continue;
+    }
+    auto next_flush = std::chrono::steady_clock::time_point::max();
+    for (const auto& [key, batch] : pending_) {
+      next_flush = std::min(next_flush, batch.opened_at + DelayOf(config_));
+    }
+    if (std::chrono::steady_clock::now() < next_flush) {
+      timer_cv_.wait_until(lock, next_flush);
+      continue;  // re-evaluate: batches may have been flushed by leaders
+    }
+    // Collect everything past its delay bound, then score unlocked.
+    std::vector<PendingBatch> due;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.opened_at + DelayOf(config_) <= now) {
+        pending_rows_ -= it->second.rows.num_rows;
+        due.push_back(std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->queue_rows.store(static_cast<int64_t>(pending_rows_),
+                                 std::memory_order_relaxed);
+    }
+    lock.unlock();
+    for (auto& batch : due) Execute(std::move(batch));
+    lock.lock();
+  }
+}
+
+void MicroBatcher::Execute(PendingBatch batch) {
+  const size_t n = batch.rows.num_rows;
+  Status status;
+  std::vector<double> scores(n, 0.0);
+  std::vector<uint8_t> predicted(n, 0);
+  if (n > 0) {
+    // Materialize the coalesced rows as a Dataset over the model schema and
+    // score them in one compiled-kernel call.
+    Dataset data(batch.model->schema);
+    data.AppendRows(n);
+    const Schema& schema = data.schema();
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const auto attr = static_cast<AttrIndex>(a);
+      if (schema.attribute(attr).is_numeric()) {
+        double* column = data.mutable_numeric_data(attr);
+        std::copy(batch.rows.numeric[a].begin(), batch.rows.numeric[a].end(),
+                  column);
+      } else {
+        CategoryId* column = data.mutable_categorical_data(attr);
+        std::copy(batch.rows.categorical[a].begin(),
+                  batch.rows.categorical[a].end(), column);
+      }
+    }
+    std::vector<RowId> row_ids(n);
+    std::iota(row_ids.begin(), row_ids.end(), RowId{0});
+    const PnruleClassifier& model = batch.model->model;
+    model.ScoreBatch(data, row_ids.data(), n, scores.data(),
+                     config_.score_options);
+    // Predict is the score threshold (the classifier's PredictBatch default
+    // recomputes scores; thresholding here halves the work).
+    const double threshold = model.threshold();
+    for (size_t i = 0; i < n; ++i) {
+      predicted[i] = scores[i] > threshold ? 1 : 0;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->rows_scored.fetch_add(n, std::memory_order_relaxed);
+      metrics_->batches_flushed.fetch_add(1, std::memory_order_relaxed);
+      metrics_->batch_rows.Record(n);
+    }
+  }
+
+  for (Slice& slice : batch.slices) {
+    Waiter& waiter = *slice.waiter;
+    {
+      std::lock_guard<std::mutex> lock(waiter.mutex);
+      waiter.status = status;
+      if (status.ok()) {
+        waiter.result.scores.assign(
+            scores.begin() + static_cast<ptrdiff_t>(slice.offset),
+            scores.begin() + static_cast<ptrdiff_t>(slice.offset +
+                                                    slice.count));
+        waiter.result.predicted.assign(
+            predicted.begin() + static_cast<ptrdiff_t>(slice.offset),
+            predicted.begin() + static_cast<ptrdiff_t>(slice.offset +
+                                                       slice.count));
+      }
+      waiter.done = true;
+    }
+    waiter.cv.notify_all();
+  }
+}
+
+}  // namespace pnr

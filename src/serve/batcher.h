@@ -1,0 +1,135 @@
+// Dynamic micro-batcher: coalesces concurrent predict requests into row
+// blocks and scores each block with one CompiledRuleSet/ScoreBatch call.
+//
+// Why: the compiled scorers (rules/compiled_rule_set.h) are columnar —
+// their SIMD span kernels amortize over rows, so scoring 256 rows in one
+// call is far cheaper than 256 one-row calls. A server receiving many
+// small concurrent requests recovers that batch shape by *waiting a tiny
+// bounded time* for peers: rows append to a per-model open batch, and the
+// batch flushes when it reaches `max_batch_rows` (the arriving request
+// becomes the leader and scores it) or when it turns `max_delay_us` old
+// (a timer thread flushes it). Under load batches fill instantly and the
+// delay bound never binds; when idle a lone request pays at most
+// max_delay_us extra latency.
+//
+// Batching never changes results: ScoreBatch output is bit-identical per
+// row for any batch composition, thread count, and block size (the PR 2
+// contract), so a row scores the same whether it flushed alone or packed
+// with 4095 strangers.
+//
+// Backpressure: rows waiting in open batches are bounded by
+// `max_queue_rows`; past that, Score returns Unavailable immediately
+// (the server answers 503 + Retry-After) instead of queueing unboundedly.
+// Deadlines: a request whose deadline passes while its batch is queued
+// gets DeadlineExceeded; its rows still flush with the batch, the result
+// is simply discarded (waiters are shared_ptr, so late completion writes
+// to live memory).
+
+#ifndef PNR_SERVE_BATCHER_H_
+#define PNR_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/batch.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+
+namespace pnr {
+
+struct BatcherConfig {
+  /// false = score every request immediately on its own thread (the
+  /// per-request baseline the load generator compares against).
+  bool enabled = true;
+  /// Flush an open batch when it reaches this many rows.
+  size_t max_batch_rows = 1024;
+  /// Flush an open batch when its oldest row is this old.
+  uint64_t max_delay_us = 2000;
+  /// Admission bound on rows waiting in open batches (503 beyond).
+  size_t max_queue_rows = 1 << 16;
+  /// Threads/block size for the ScoreBatch call itself.
+  BatchScoreOptions score_options;
+};
+
+/// Column-major rows resolved against a model's schema: one vector per
+/// attribute, numeric or categorical per its type. The unit requests are
+/// parsed into and batches accumulate.
+struct RowBlock {
+  size_t num_rows = 0;
+  std::vector<std::vector<double>> numeric;
+  std::vector<std::vector<CategoryId>> categorical;
+
+  /// Sizes the per-attribute vectors for `schema` (empty columns).
+  void InitFor(const Schema& schema);
+  /// Appends all rows of `other` (same schema shape).
+  void Append(const RowBlock& other);
+};
+
+class MicroBatcher {
+ public:
+  struct Result {
+    std::vector<double> scores;
+    std::vector<uint8_t> predicted;
+  };
+
+  MicroBatcher(BatcherConfig config, ServerMetrics* metrics);
+  ~MicroBatcher();
+
+  /// Flushes every open batch and stops the timer thread. Idempotent;
+  /// Score calls after shutdown fail with Unavailable.
+  void Shutdown();
+
+  /// Scores `rows` against `model`, blocking until the enclosing batch
+  /// flushed (bounded by max_delay_us) or `deadline` passed.
+  Status Score(std::shared_ptr<const ServedModel> model, RowBlock rows,
+               std::chrono::steady_clock::time_point deadline, Result* out);
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  struct Waiter {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    Result result;
+  };
+  struct Slice {
+    std::shared_ptr<Waiter> waiter;
+    size_t offset = 0;
+    size_t count = 0;
+  };
+  struct PendingBatch {
+    std::shared_ptr<const ServedModel> model;
+    RowBlock rows;
+    std::vector<Slice> slices;
+    std::chrono::steady_clock::time_point opened_at;
+  };
+
+  void TimerLoop();
+  /// Scores a batch and completes its waiters. Runs outside the lock.
+  void Execute(PendingBatch batch);
+
+  BatcherConfig config_;
+  ServerMetrics* metrics_;
+
+  std::mutex mutex_;
+  std::condition_variable timer_cv_;
+  /// Open batches keyed by model snapshot — a hot-swap naturally starts a
+  /// fresh batch while the old snapshot's batch drains.
+  std::map<const ServedModel*, PendingBatch> pending_;
+  size_t pending_rows_ = 0;
+  bool shutdown_ = false;
+  std::thread timer_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_SERVE_BATCHER_H_

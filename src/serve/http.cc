@@ -1,0 +1,283 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace pnr {
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view FindHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return value;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  return FindHeader(headers, name);
+}
+
+std::string_view HttpResponse::Header(std::string_view name) const {
+  return FindHeader(headers, name);
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string_view connection = Header("Connection");
+  if (EqualsIgnoreCase(connection, "close")) return false;
+  if (version == "HTTP/1.0") {
+    return EqualsIgnoreCase(connection, "keep-alive");
+  }
+  return true;  // HTTP/1.1 default
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpReasonPhrase(response.status);
+  out += "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  if (response.close_connection) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view data) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  return Advance();
+}
+
+HttpRequestParser::State HttpRequestParser::Advance() {
+  if (!head_done_) {
+    // Tolerate bare-LF line endings alongside CRLF.
+    size_t head_end = buffer_.find("\r\n\r\n");
+    size_t delim = 4;
+    const size_t lf_end = buffer_.find("\n\n");
+    if (lf_end != std::string::npos &&
+        (head_end == std::string::npos || lf_end < head_end)) {
+      head_end = lf_end;
+      delim = 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(400, "request head too large");
+      }
+      state_ = State::kNeedMore;
+      return state_;
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return Fail(400, "request head too large");
+    }
+    const std::string head = buffer_.substr(0, head_end);
+    buffer_.erase(0, head_end + delim);
+
+    request_ = HttpRequest{};
+    size_t line_start = 0;
+    bool first = true;
+    while (line_start <= head.size()) {
+      size_t line_end = head.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = head.size();
+      std::string_view line(head.data() + line_start, line_end - line_start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      line_start = line_end + 1;
+      if (line.empty()) continue;
+      if (first) {
+        first = false;
+        const auto parts = SplitWhitespace(line);
+        if (parts.size() != 3) return Fail(400, "malformed request line");
+        request_.method = parts[0];
+        request_.target = parts[1];
+        request_.version = parts[2];
+        if (request_.version != "HTTP/1.1" &&
+            request_.version != "HTTP/1.0") {
+          return Fail(400, "unsupported HTTP version");
+        }
+        continue;
+      }
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) return Fail(400, "malformed header");
+      request_.headers.emplace_back(
+          std::string(TrimWhitespace(line.substr(0, colon))),
+          std::string(TrimWhitespace(line.substr(colon + 1))));
+    }
+    if (first) return Fail(400, "empty request head");
+
+    const std::string_view length = request_.Header("Content-Length");
+    body_needed_ = 0;
+    if (!length.empty()) {
+      long long parsed = 0;
+      if (!ParseInt64(length, &parsed) || parsed < 0) {
+        return Fail(400, "bad Content-Length");
+      }
+      if (static_cast<size_t>(parsed) > limits_.max_body_bytes) {
+        return Fail(413, "request body too large");
+      }
+      body_needed_ = static_cast<size_t>(parsed);
+    } else if (!request_.Header("Transfer-Encoding").empty()) {
+      return Fail(400, "chunked bodies not supported");
+    }
+    head_done_ = true;
+  }
+
+  if (buffer_.size() < body_needed_) {
+    state_ = State::kNeedMore;
+    return state_;
+  }
+  request_.body = buffer_.substr(0, body_needed_);
+  buffer_.erase(0, body_needed_);
+  state_ = State::kDone;
+  return state_;
+}
+
+HttpRequest HttpRequestParser::Take() {
+  HttpRequest request = std::move(request_);
+  request_ = HttpRequest{};
+  head_done_ = false;
+  body_needed_ = 0;
+  state_ = buffer_.empty() ? State::kNeedMore : Advance();
+  return request;
+}
+
+StatusOr<HttpClient> HttpClient::Connect(uint16_t port) {
+  auto fd = ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  return HttpClient(std::move(fd).value());
+}
+
+Status HttpClient::SendRaw(std::string_view data) {
+  return SendAll(fd_.get(), data);
+}
+
+StatusOr<HttpResponse> HttpClient::Roundtrip(const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body,
+                                             int timeout_ms) {
+  std::string request;
+  request.reserve(body.size() + 128);
+  request += method;
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: localhost\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: application/json\r\nContent-Length: ";
+    request += std::to_string(body.size());
+    request += "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  Status sent = SendAll(fd_.get(), request);
+  if (!sent.ok()) return sent;
+  return ReadResponse(timeout_ms);
+}
+
+StatusOr<HttpResponse> HttpClient::ReadResponse(int timeout_ms) {
+  // Reuse the request parser's framing by reading head + Content-Length.
+  std::string data = std::move(leftover_);
+  leftover_.clear();
+  char buf[8192];
+  size_t head_end = std::string::npos;
+  for (;;) {
+    head_end = data.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    auto n = RecvSome(fd_.get(), buf, sizeof(buf), timeout_ms);
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::IOError("connection closed mid-response");
+    data.append(buf, *n);
+  }
+  HttpResponse response;
+  const std::string head = data.substr(0, head_end);
+  data.erase(0, head_end + 4);
+
+  size_t line_start = 0;
+  bool first = true;
+  size_t content_length = 0;
+  while (line_start < head.size()) {
+    size_t line_end = head.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    std::string_view line(head.data() + line_start, line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    line_start = line_end + 1;
+    if (first) {
+      first = false;
+      const auto parts = SplitWhitespace(line);
+      long long status = 0;
+      if (parts.size() < 2 || !ParseInt64(parts[1], &status)) {
+        return Status::IOError("malformed status line");
+      }
+      response.status = static_cast<int>(status);
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    response.headers.emplace_back(
+        std::string(TrimWhitespace(line.substr(0, colon))),
+        std::string(TrimWhitespace(line.substr(colon + 1))));
+  }
+  const std::string_view length = response.Header("Content-Length");
+  long long parsed = 0;
+  if (!length.empty() && ParseInt64(length, &parsed) && parsed >= 0) {
+    content_length = static_cast<size_t>(parsed);
+  }
+  while (data.size() < content_length) {
+    auto n = RecvSome(fd_.get(), buf, sizeof(buf), timeout_ms);
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::IOError("connection closed mid-body");
+    data.append(buf, *n);
+  }
+  response.body = data.substr(0, content_length);
+  leftover_ = data.substr(content_length);
+  return response;
+}
+
+}  // namespace pnr

@@ -1,0 +1,131 @@
+// Line-oriented HTTP/1.1 subset for the prediction server.
+//
+// Covers exactly what an RPC-style scoring service needs: one request at a
+// time per connection, headers terminated by a blank line, bodies framed by
+// Content-Length (no chunked encoding, no multipart), keep-alive by
+// default. Both directions are incremental parsers fed from socket reads,
+// with explicit header/body byte bounds so a hostile peer cannot balloon
+// memory — the parser *is* the admission filter for malformed traffic
+// (oversized bodies surface as 413 before any allocation of that size).
+
+#ifndef PNR_SERVE_HTTP_H_
+#define PNR_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/net.h"
+#include "common/status.h"
+
+namespace pnr {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // "/v1/predict"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; empty view when absent.
+  std::string_view Header(std::string_view name) const;
+  /// False when the client sent "Connection: close" (or HTTP/1.0 without
+  /// keep-alive).
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool close_connection = false;  ///< server adds "Connection: close"
+
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Canonical reason phrase for the status codes this server emits.
+const char* HttpReasonPhrase(int status);
+
+/// Renders a response with Content-Length (and Connection: close when
+/// requested) added.
+std::string RenderHttpResponse(const HttpResponse& response);
+
+/// Incremental request parser. Feed raw bytes with Consume until Done or
+/// Error; `Take` then yields the request and resets the parser for the
+/// next one on the same connection (leftover pipelined bytes are kept).
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  struct Limits {
+    size_t max_head_bytes = 16 * 1024;
+    size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  /// Appends bytes and advances the parse.
+  State Consume(std::string_view data);
+  State state() const { return state_; }
+
+  /// True when no bytes of a next request are buffered — the connection is
+  /// between requests (safe to requeue for cooperative scheduling).
+  bool idle() const {
+    return !head_done_ && buffer_.empty() && state_ == State::kNeedMore;
+  }
+
+  /// On kError: the HTTP status to answer with (400 or 413) and a message.
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// On kDone: moves the request out and re-arms for the next request.
+  HttpRequest Take();
+
+ private:
+  State Fail(int status, std::string message);
+  State Advance();
+
+  Limits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  size_t body_needed_ = 0;
+  bool head_done_ = false;
+  State state_ = State::kNeedMore;
+  int error_status_ = 400;
+  std::string error_message_;
+};
+
+/// Blocking loopback HTTP client (tests and the load generator). One
+/// request at a time over a keep-alive connection.
+class HttpClient {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  static StatusOr<HttpClient> Connect(uint16_t port);
+
+  /// Sends `method target` with `body` and reads the full response.
+  StatusOr<HttpResponse> Roundtrip(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "",
+                                   int timeout_ms = 30000);
+
+  /// Sends bytes as-is (for malformed-request tests).
+  Status SendRaw(std::string_view data);
+  /// Reads one response (shared by Roundtrip).
+  StatusOr<HttpResponse> ReadResponse(int timeout_ms = 30000);
+
+  HttpClient(HttpClient&&) = default;
+  HttpClient& operator=(HttpClient&&) = default;
+
+ private:
+  explicit HttpClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  UniqueFd fd_;
+  std::string leftover_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_SERVE_HTTP_H_

@@ -1,0 +1,59 @@
+// Minimal JSON for the serving wire protocol.
+//
+// The predict endpoint exchanges small JSON documents (a model name plus an
+// array of row objects in; score arrays out). This parser covers exactly
+// RFC 8259 — objects, arrays, strings with escapes, numbers, booleans,
+// null — with a recursion-depth bound, and keeps the *raw text* of every
+// number alongside its parsed value: row cells are re-parsed with the same
+// ParseDouble used by CSV ingestion, which is how served scores stay
+// bit-identical to offline scoring of the same textual data.
+
+#ifndef PNR_SERVE_JSON_H_
+#define PNR_SERVE_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pnr {
+
+/// A parsed JSON value. Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  /// For numbers: the exact source token (e.g. "1e-3"); for strings: the
+  /// unescaped text.
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// First member named `key`, or nullptr.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Appends `text` to `out` as a quoted, escaped JSON string literal.
+void AppendJsonString(std::string* out, std::string_view text);
+
+/// Appends `value` to `out` in shortest round-trip form ("%.17g" — parsing
+/// the rendered token recovers the exact double).
+void AppendJsonNumber(std::string* out, double value);
+
+}  // namespace pnr
+
+#endif  // PNR_SERVE_JSON_H_

@@ -1,0 +1,134 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+namespace pnr {
+namespace {
+
+// Index of the highest set bit (0 for value 0 or 1).
+size_t BucketIndex(uint64_t value) {
+  size_t index = 0;
+  while (value > 1 && index + 1 < BucketHistogram::kNumBuckets) {
+    value >>= 1;
+    ++index;
+  }
+  return index;
+}
+
+void AppendCounter(std::string* out, const char* name, const char* labels,
+                   uint64_t value) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s%s %llu\n", name, labels,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+void AppendGauge(std::string* out, const char* name, int64_t value) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s %lld\n", name,
+                static_cast<long long>(value));
+  *out += buf;
+}
+
+void AppendQuantiles(std::string* out, const char* name, const char* endpoint,
+                     const BucketHistogram& histogram) {
+  char buf[200];
+  for (const double q : {0.5, 0.9, 0.99}) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{endpoint=\"%s\",quantile=\"%g\"} %.1f\n", name,
+                  endpoint, q, histogram.Quantile(q));
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s_count{endpoint=\"%s\"} %llu\n", name,
+                endpoint,
+                static_cast<unsigned long long>(histogram.count()));
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_sum{endpoint=\"%s\"} %llu\n", name,
+                endpoint, static_cast<unsigned long long>(histogram.sum()));
+  *out += buf;
+}
+
+void AppendEndpoint(std::string* out, const char* endpoint,
+                    const EndpointMetrics& metrics) {
+  char labels[64];
+  std::snprintf(labels, sizeof(labels), "{endpoint=\"%s\"}", endpoint);
+  AppendCounter(out, "pnr_requests_total", labels,
+                metrics.requests.load(std::memory_order_relaxed));
+  AppendCounter(out, "pnr_errors_4xx_total", labels,
+                metrics.errors_4xx.load(std::memory_order_relaxed));
+  AppendCounter(out, "pnr_errors_5xx_total", labels,
+                metrics.errors_5xx.load(std::memory_order_relaxed));
+  AppendQuantiles(out, "pnr_request_latency_us", endpoint,
+                  metrics.latency_us);
+}
+
+}  // namespace
+
+void BucketHistogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double BucketHistogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const double in_bucket = static_cast<double>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      const double lo = (i == 0) ? 0.0 : static_cast<double>(uint64_t{1} << i);
+      const double hi = static_cast<double>(uint64_t{1} << (i + 1));
+      const double within = (rank - seen) / in_bucket;
+      return lo + within * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(sum()) / static_cast<double>(total);
+}
+
+void EndpointMetrics::Record(int http_status, uint64_t latency_us_value) {
+  requests.fetch_add(1, std::memory_order_relaxed);
+  if (http_status >= 400 && http_status < 500) {
+    errors_4xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (http_status >= 500) {
+    errors_5xx.fetch_add(1, std::memory_order_relaxed);
+  }
+  latency_us.Record(latency_us_value);
+}
+
+std::string ServerMetrics::Render() const {
+  std::string out;
+  out.reserve(4096);
+  out += "# TYPE pnr_requests_total counter\n";
+  out += "# TYPE pnr_request_latency_us summary\n";
+  AppendEndpoint(&out, "predict", predict_);
+  AppendEndpoint(&out, "models", models_);
+  AppendEndpoint(&out, "healthz", healthz_);
+  AppendEndpoint(&out, "metrics", metrics_);
+  AppendEndpoint(&out, "other", other_);
+
+  AppendCounter(&out, "pnr_rows_scored_total", "",
+                rows_scored.load(std::memory_order_relaxed));
+  AppendCounter(&out, "pnr_batches_flushed_total", "",
+                batches_flushed.load(std::memory_order_relaxed));
+  AppendQuantiles(&out, "pnr_batch_rows", "predict", batch_rows);
+  AppendGauge(&out, "pnr_queue_rows",
+              queue_rows.load(std::memory_order_relaxed));
+  AppendCounter(&out, "pnr_rejected_total", "",
+                rejected_total.load(std::memory_order_relaxed));
+  AppendCounter(&out, "pnr_deadline_exceeded_total", "",
+                deadline_exceeded.load(std::memory_order_relaxed));
+  AppendGauge(&out, "pnr_connections_active",
+              connections_active.load(std::memory_order_relaxed));
+  AppendCounter(&out, "pnr_connections_total", "",
+                connections_total.load(std::memory_order_relaxed));
+  return out;
+}
+
+}  // namespace pnr

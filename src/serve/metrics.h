@@ -1,0 +1,82 @@
+// Lock-free serving metrics with a Prometheus-style text exposition.
+//
+// Counters are plain relaxed atomics — the hot path (one Record per
+// request) must not contend. Latency quantiles come from fixed
+// power-of-two bucket histograms: exact enough for p50/p99 dashboards,
+// constant memory, and mergeable without locks.
+
+#ifndef PNR_SERVE_METRICS_H_
+#define PNR_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pnr {
+
+/// Histogram over microsecond latencies (or any uint64 magnitude): bucket i
+/// holds samples in [2^i, 2^(i+1)), bucket 0 additionally holds 0.
+class BucketHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  void Record(uint64_t value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Approximate quantile (q in [0,1]): linear interpolation inside the
+  /// bucket holding the q-th sample. 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Per-endpoint request counters.
+struct EndpointMetrics {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors_4xx{0};
+  std::atomic<uint64_t> errors_5xx{0};
+  BucketHistogram latency_us;
+
+  void Record(int http_status, uint64_t latency_us_value);
+};
+
+/// All counters exposed on GET /metrics.
+class ServerMetrics {
+ public:
+  EndpointMetrics& endpoint_predict() { return predict_; }
+  EndpointMetrics& endpoint_models() { return models_; }
+  EndpointMetrics& endpoint_healthz() { return healthz_; }
+  EndpointMetrics& endpoint_metrics() { return metrics_; }
+  EndpointMetrics& endpoint_other() { return other_; }
+
+  // Batcher counters.
+  std::atomic<uint64_t> rows_scored{0};
+  std::atomic<uint64_t> batches_flushed{0};
+  BucketHistogram batch_rows;          ///< rows per flushed batch
+  std::atomic<int64_t> queue_rows{0};  ///< gauge: rows pending in batches
+
+  // Backpressure / lifecycle counters.
+  std::atomic<uint64_t> rejected_total{0};      ///< 503s (queue saturation)
+  std::atomic<uint64_t> deadline_exceeded{0};   ///< 504s
+  std::atomic<int64_t> connections_active{0};   ///< gauge
+  std::atomic<uint64_t> connections_total{0};
+
+  /// Renders every counter in Prometheus text format.
+  std::string Render() const;
+
+ private:
+  EndpointMetrics predict_;
+  EndpointMetrics models_;
+  EndpointMetrics healthz_;
+  EndpointMetrics metrics_;
+  EndpointMetrics other_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_SERVE_METRICS_H_

@@ -1,0 +1,72 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "data/schema_io.h"
+#include "pnrule/model_io.h"
+
+namespace pnr {
+
+Status ModelRegistry::Load(const std::string& name,
+                           const std::string& model_path,
+                           const std::string& schema_path) {
+  auto schema = LoadSchema(schema_path);
+  if (!schema.ok()) {
+    return Status(schema.status().code(),
+                  "model '" + name + "': " + schema.status().message());
+  }
+  Schema schema_value = std::move(schema).value();
+  auto model = LoadPnruleModel(model_path, schema_value);
+  if (!model.ok()) {
+    return Status(model.status().code(),
+                  "model '" + name + "': " + model.status().message());
+  }
+  auto entry = std::make_shared<ServedModel>(name, std::move(schema_value),
+                                             std::move(model).value());
+  std::lock_guard<std::mutex> lock(mutex_);
+  InstallLocked(name, std::move(entry));
+  return Status::OK();
+}
+
+void ModelRegistry::Install(const std::string& name, Schema schema,
+                            PnruleClassifier model) {
+  auto entry =
+      std::make_shared<ServedModel>(name, std::move(schema), std::move(model));
+  std::lock_guard<std::mutex> lock(mutex_);
+  InstallLocked(name, std::move(entry));
+}
+
+void ModelRegistry::InstallLocked(const std::string& name,
+                                  std::shared_ptr<ServedModel> entry) {
+  const auto it = models_.find(name);
+  if (it != models_.end()) entry->version = it->second->version + 1;
+  models_[name] = std::move(entry);  // atomic swap: old snapshot lives on
+                                     // until its last in-flight user drops it
+}
+
+bool ModelRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.erase(name) > 0;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<const ServedModel>> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const ServedModel>> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) out.push_back(entry);
+  return out;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace pnr

@@ -1,0 +1,76 @@
+// ModelRegistry: named, hot-swappable PNrule models for serving.
+//
+// Each entry is an immutable ServedModel snapshot held by shared_ptr.
+// Lookups copy the pointer under a short mutex; request handlers then score
+// against their snapshot with no further coordination, so a concurrent
+// Load (hot-swap) never stalls traffic and never changes a request's model
+// mid-flight — in-flight requests finish on the snapshot they grabbed, the
+// old model is freed when the last of them drops its reference.
+//
+// Loading is schema-checked: the model text is parsed against the schema
+// sidecar (data/schema_io.h), so attribute/category references that do not
+// resolve fail the Load, never a request.
+
+#ifndef PNR_SERVE_REGISTRY_H_
+#define PNR_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "pnrule/pnrule.h"
+
+namespace pnr {
+
+/// An immutable, shareable (model, schema) snapshot.
+struct ServedModel {
+  ServedModel(std::string name_in, Schema schema_in,
+              PnruleClassifier model_in)
+      : name(std::move(name_in)),
+        schema(std::move(schema_in)),
+        model(std::move(model_in)) {}
+
+  std::string name;
+  Schema schema;
+  PnruleClassifier model;
+  uint64_t version = 1;  ///< bumped on every hot-swap of this name
+};
+
+class ModelRegistry {
+ public:
+  /// Parses `model_path` against the schema at `schema_path` and installs
+  /// the result under `name`, atomically replacing any previous version.
+  Status Load(const std::string& name, const std::string& model_path,
+              const std::string& schema_path);
+
+  /// Installs an already-built model (tests, in-process benches).
+  void Install(const std::string& name, Schema schema,
+               PnruleClassifier model);
+
+  /// Removes `name`; true when something was removed. In-flight requests
+  /// holding the snapshot finish normally.
+  bool Remove(const std::string& name);
+
+  /// Snapshot for `name`, or nullptr.
+  std::shared_ptr<const ServedModel> Get(const std::string& name) const;
+
+  /// All current snapshots, ordered by name.
+  std::vector<std::shared_ptr<const ServedModel>> List() const;
+
+  size_t size() const;
+
+ private:
+  void InstallLocked(const std::string& name,
+                     std::shared_ptr<ServedModel> entry);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_SERVE_REGISTRY_H_

@@ -80,6 +80,43 @@ TEST(ModelIoTest, SaveAndLoadFile) {
   std::remove(path.c_str());
 }
 
+TEST(ModelIoTest, ToleratesCrlfAndTrailingWhitespace) {
+  // Models copied through Windows tooling arrive with CRLF endings and
+  // stray trailing blanks; parsing must be byte-for-byte insensitive.
+  TrainedModel trained = TrainSmallModel();
+  const Schema& schema = trained.data.train.schema();
+  const std::string text = SerializePnruleModel(trained.model, schema);
+  std::string windows;
+  for (const char c : text) {
+    if (c == '\n') {
+      windows += " \t\r\n";  // trailing whitespace + CRLF on every line
+    } else {
+      windows += c;
+    }
+  }
+  auto reloaded = ParsePnruleModel(windows, schema);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  for (RowId row = 0; row < 500 && row < trained.data.test.num_rows();
+       ++row) {
+    ASSERT_DOUBLE_EQ(reloaded->Score(trained.data.test, row),
+                     trained.model.Score(trained.data.test, row));
+  }
+}
+
+TEST(ModelIoTest, RejectsUnknownFormatVersionByName) {
+  TrainedModel trained = TrainSmallModel();
+  const Schema& schema = trained.data.train.schema();
+  std::string text = SerializePnruleModel(trained.model, schema);
+  const size_t pos = text.find("v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "v7");
+  auto parsed = ParsePnruleModel(text, schema);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("'v7'"), std::string::npos)
+      << parsed.status().message();
+}
+
 TEST(ModelIoTest, RejectsMalformedInput) {
   TrainedModel trained = TrainSmallModel();
   const Schema& schema = trained.data.train.schema();

@@ -1,0 +1,120 @@
+#include "data/schema_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "synth/sweep.h"
+
+namespace pnr {
+namespace {
+
+Schema MixedSchema() {
+  // A schema with both attribute kinds, names containing spaces, and a
+  // multi-label class — the shapes serving must reconstruct exactly.
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("annual income"));
+  schema.AddAttribute(Attribute::Categorical(
+      "home state", {"New York", "North Dakota", "TX"}));
+  schema.AddAttribute(Attribute::Numeric("n0"));
+  schema.GetOrAddClass("fraud");
+  schema.GetOrAddClass("not fraud");
+  return schema;
+}
+
+void ExpectSameSchema(const Schema& a, const Schema& b) {
+  ASSERT_EQ(a.num_attributes(), b.num_attributes());
+  for (size_t i = 0; i < a.num_attributes(); ++i) {
+    const auto attr = static_cast<AttrIndex>(i);
+    EXPECT_EQ(a.attribute(attr).name(), b.attribute(attr).name());
+    EXPECT_EQ(a.attribute(attr).type(), b.attribute(attr).type());
+    ASSERT_EQ(a.attribute(attr).num_categories(),
+              b.attribute(attr).num_categories());
+    for (size_t c = 0; c < a.attribute(attr).num_categories(); ++c) {
+      const auto id = static_cast<CategoryId>(c);
+      EXPECT_EQ(a.attribute(attr).CategoryName(id),
+                b.attribute(attr).CategoryName(id));
+    }
+  }
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  for (size_t c = 0; c < a.num_classes(); ++c) {
+    const auto id = static_cast<CategoryId>(c);
+    EXPECT_EQ(a.class_attr().CategoryName(id),
+              b.class_attr().CategoryName(id));
+  }
+}
+
+TEST(SchemaIoTest, RoundTripPreservesMixedSchema) {
+  const Schema schema = MixedSchema();
+  auto parsed = ParseSchema(SerializeSchema(schema));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameSchema(schema, *parsed);
+  // Ids must be assigned in file order: the dictionary encoding matches.
+  EXPECT_EQ(parsed->attribute(1).FindCategory("North Dakota"),
+            schema.attribute(1).FindCategory("North Dakota"));
+  EXPECT_EQ(parsed->class_attr().FindCategory("not fraud"),
+            schema.class_attr().FindCategory("not fraud"));
+}
+
+TEST(SchemaIoTest, RoundTripPreservesSyngenSchema) {
+  const TrainTestPair pair = MakeGeneralPair(GeneralModelParams{}, 2000,
+                                             100, 7);
+  auto parsed = ParseSchema(SerializeSchema(pair.train.schema()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameSchema(pair.train.schema(), *parsed);
+}
+
+TEST(SchemaIoTest, ToleratesCrlfAndTrailingWhitespace) {
+  const Schema schema = MixedSchema();
+  std::string text = SerializeSchema(schema);
+  std::string windows;
+  for (const char c : text) {
+    if (c == '\n') {
+      windows += "\r\n";
+    } else {
+      windows += c;
+    }
+  }
+  auto parsed = ParseSchema(windows);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameSchema(schema, *parsed);
+}
+
+TEST(SchemaIoTest, RejectsUnknownFormatVersionByName) {
+  std::string text = SerializeSchema(MixedSchema());
+  const size_t pos = text.find("v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "v9");
+  auto parsed = ParseSchema(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("'v9'"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(SchemaIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSchema("").ok());
+  EXPECT_FALSE(ParseSchema("bogus\n").ok());
+  std::string text = SerializeSchema(MixedSchema());
+  text.resize(text.size() / 2);  // truncated: missing class/end
+  EXPECT_FALSE(ParseSchema(text).ok());
+}
+
+TEST(SchemaIoTest, SaveAndLoadFile) {
+  const Schema schema = MixedSchema();
+  const std::string path = ::testing::TempDir() + "/pnr_schema_test.txt";
+  ASSERT_TRUE(SaveSchema(schema, path).ok());
+  auto loaded = LoadSchema(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameSchema(schema, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SchemaIoTest, LoadMissingFileFails) {
+  auto loaded = LoadSchema("/nonexistent/schema.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,378 @@
+// Loopback integration tests for the prediction server: bit-identical
+// scores vs offline ScoreBatch under heavy client concurrency, the
+// malformed-request 4xx paths, deterministic 503 under batcher saturation,
+// and graceful drain. Runs under TSan via the `sanitize` ctest label.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.h"
+#include "synth/sweep.h"
+
+namespace pnr {
+namespace {
+
+// One trained syngen model (4 numeric + 4 categorical attributes) shared
+// by every test — training once keeps the suite fast.
+struct Served {
+  TrainTestPair data;
+  PnruleClassifier model;
+};
+
+const Served& GetServed() {
+  static const Served* served = [] {
+    GeneralModelParams params;
+    params.target_fraction = 0.05;  // enough positives to train quickly
+    TrainTestPair data = MakeGeneralPair(params, 8000, 2000, 17);
+    const CategoryId target =
+        data.train.schema().class_attr().FindCategory("C");
+    auto model = PnruleLearner().Train(data.train, target);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return new Served{std::move(data), std::move(model).value()};
+  }();
+  return *served;
+}
+
+ModelRegistry* MakeRegistry() {
+  auto* registry = new ModelRegistry;
+  const Served& served = GetServed();
+  registry->Install("m", served.data.train.schema(), served.model);
+  return registry;
+}
+
+// Renders rows [begin, end) of `data` as a /v1/predict body. Numeric cells
+// are emitted with AppendJsonNumber (%.17g), so the server-side ParseDouble
+// recovers the exact doubles the offline scorer reads.
+std::string PredictBody(const Dataset& data, RowId begin, RowId end) {
+  const Schema& schema = data.schema();
+  std::string body = "{\"model\":\"m\",\"rows\":[";
+  for (RowId row = begin; row < end; ++row) {
+    if (row != begin) body += ',';
+    body += '{';
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const auto attr = static_cast<AttrIndex>(a);
+      if (a > 0) body += ',';
+      AppendJsonString(&body, schema.attribute(attr).name());
+      body += ':';
+      if (schema.attribute(attr).is_numeric()) {
+        AppendJsonNumber(&body, data.numeric(row, attr));
+      } else {
+        AppendJsonString(&body, schema.attribute(attr).CategoryName(
+                                    data.categorical(row, attr)));
+      }
+    }
+    body += '}';
+  }
+  body += "]}";
+  return body;
+}
+
+struct ParsedPrediction {
+  std::vector<double> scores;
+  std::vector<int> predicted;
+};
+
+HttpClient MustConnect(uint16_t port) {
+  auto client = HttpClient::Connect(port);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+ParsedPrediction ParsePrediction(const std::string& body) {
+  ParsedPrediction out;
+  auto doc = ParseJson(body);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString() << " in: " << body;
+  if (!doc.ok()) return out;
+  const JsonValue* scores = doc->Find("scores");
+  const JsonValue* predicted = doc->Find("predicted");
+  EXPECT_NE(scores, nullptr);
+  EXPECT_NE(predicted, nullptr);
+  if (scores == nullptr || predicted == nullptr) return out;
+  for (const JsonValue& v : scores->array) out.scores.push_back(v.number_value);
+  for (const JsonValue& v : predicted->array) {
+    out.predicted.push_back(static_cast<int>(v.number_value));
+  }
+  return out;
+}
+
+// The acceptance gate: `clients` concurrent connections, each scoring its
+// share of the test set in several keep-alive requests, must receive
+// byte-for-byte the scores offline ScoreBatch computes — for any server
+// thread count and batcher setting.
+void RunBitIdentityTest(size_t server_threads, bool batching,
+                        size_t clients) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+
+  ServerConfig config;
+  config.port = 0;
+  config.num_threads = server_threads;
+  config.batcher.enabled = batching;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  const size_t rows_per_client = 50;
+  const size_t requests_per_client = 5;  // 10 rows per request
+  const size_t total_rows = clients * rows_per_client;
+  ASSERT_LE(total_rows, test.num_rows());
+
+  std::vector<double> got_scores(total_rows, -1.0);
+  std::vector<int> got_predicted(total_rows, -1);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto connect = HttpClient::Connect(server.port());
+      if (!connect.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      HttpClient client = std::move(connect).value();
+      const RowId base = static_cast<RowId>(c * rows_per_client);
+      const size_t chunk = rows_per_client / requests_per_client;
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const RowId begin = base + static_cast<RowId>(r * chunk);
+        const RowId end = begin + static_cast<RowId>(chunk);
+        auto response =
+            client.Roundtrip("POST", "/v1/predict",
+                             PredictBody(test, begin, end));
+        if (!response.ok() || response->status != 200) {
+          failures.fetch_add(1);
+          return;
+        }
+        const ParsedPrediction parsed = ParsePrediction(response->body);
+        if (parsed.scores.size() != chunk) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t i = 0; i < chunk; ++i) {
+          got_scores[begin + i] = parsed.scores[i];
+          got_predicted[begin + i] = parsed.predicted[i];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  std::vector<RowId> rows(total_rows);
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<double> expected(total_rows);
+  served.model.ScoreBatch(test, rows.data(), rows.size(), expected.data());
+  for (size_t i = 0; i < total_rows; ++i) {
+    ASSERT_EQ(got_scores[i], expected[i])
+        << "row " << i << " (threads=" << server_threads
+        << " batching=" << batching << ")";
+    ASSERT_EQ(got_predicted[i],
+              expected[i] > served.model.threshold() ? 1 : 0)
+        << "row " << i;
+  }
+  EXPECT_GE(server.metrics().rows_scored.load(), total_rows);
+  server.Shutdown();
+}
+
+TEST(ServeTest, BitIdentical32ClientsOneThread) {
+  RunBitIdentityTest(/*server_threads=*/1, /*batching=*/true,
+                     /*clients=*/32);
+}
+
+TEST(ServeTest, BitIdentical32ClientsTwoThreads) {
+  RunBitIdentityTest(/*server_threads=*/2, /*batching=*/true,
+                     /*clients=*/32);
+}
+
+TEST(ServeTest, BitIdentical32ClientsEightThreads) {
+  RunBitIdentityTest(/*server_threads=*/8, /*batching=*/true,
+                     /*clients=*/32);
+}
+
+TEST(ServeTest, BitIdenticalWithBatchingDisabled) {
+  RunBitIdentityTest(/*server_threads=*/4, /*batching=*/false,
+                     /*clients=*/32);
+}
+
+TEST(ServeTest, MalformedRequestsAnswer4xx) {
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_threads = 2;
+  config.max_body_bytes = 4096;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client = MustConnect(server.port());
+
+  // Unparseable JSON.
+  auto response = client.Roundtrip("POST", "/v1/predict", "not json");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 400);
+
+  // Unknown model.
+  response = client.Roundtrip("POST", "/v1/predict",
+                               "{\"model\":\"nope\",\"rows\":[]}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 404);
+  EXPECT_NE(response->body.find("nope"), std::string::npos);
+
+  // Row missing an attribute (error names the row and the attribute).
+  response = client.Roundtrip("POST", "/v1/predict",
+                               "{\"model\":\"m\",\"rows\":[{}]}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+  EXPECT_NE(response->body.find("row 0"), std::string::npos);
+
+  // Wrong type in a numeric cell.
+  response = client.Roundtrip(
+      "POST", "/v1/predict",
+      "{\"model\":\"m\",\"rows\":[{\"n0\":true,\"n1\":0,\"n2\":0,"
+      "\"n3\":0,\"c0\":\"x\",\"c1\":\"x\",\"c2\":\"x\",\"c3\":\"x\"}]}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+
+  // Wrong method / unknown path.
+  response = client.Roundtrip("GET", "/v1/predict");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 405);
+  response = client.Roundtrip("GET", "/bogus");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 404);
+
+  // Body over the configured bound answers 413.
+  response = client.Roundtrip("POST", "/v1/predict",
+                               std::string(8192, 'x'));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 413);
+
+  // 413 closes the connection; a malformed request line on a fresh one
+  // answers 400.
+  HttpClient raw = MustConnect(server.port());
+  ASSERT_TRUE(raw.SendRaw("GARBAGE\r\n\r\n").ok());
+  response = raw.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 400);
+
+  EXPECT_GE(server.metrics().endpoint_predict().errors_4xx.load(), 4u);
+  server.Shutdown();
+}
+
+TEST(ServeTest, UtilityEndpoints) {
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_threads = 2;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client = MustConnect(server.port());
+
+  auto response = client.Roundtrip("GET", "/healthz");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "ok\n");
+
+  response = client.Roundtrip("GET", "/v1/models");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("\"name\":\"m\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"version\":1"), std::string::npos);
+
+  // The "model" field may be omitted when exactly one model is loaded.
+  const Served& served = GetServed();
+  std::string body = PredictBody(served.data.test, 0, 4);
+  const size_t pos = body.find("\"model\":\"m\",");
+  ASSERT_NE(pos, std::string::npos);
+  body.erase(pos, std::string("\"model\":\"m\",").size());
+  response = client.Roundtrip("POST", "/v1/predict", body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+
+  response = client.Roundtrip("GET", "/metrics");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("pnr_requests_total"), std::string::npos);
+  EXPECT_NE(response->body.find("pnr_rows_scored_total 4"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServeTest, SaturationAnswers503AndDrainCompletesInFlight) {
+  const Served& served = GetServed();
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+
+  // A batcher that admits at most 4 queued rows and holds open batches for
+  // a long delay: the first request parks its rows, the second then
+  // overflows admission deterministically.
+  ServerConfig config;
+  config.port = 0;
+  config.num_threads = 2;
+  config.request_deadline_ms = 30000;
+  config.batcher.max_batch_rows = 1024;
+  config.batcher.max_delay_us = 20'000'000;
+  config.batcher.max_queue_rows = 4;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread parked([&] {
+    HttpClient client = MustConnect(server.port());
+    auto response = client.Roundtrip(
+        "POST", "/v1/predict", PredictBody(served.data.test, 0, 4),
+        /*timeout_ms=*/30000);
+    // The drain below flushes the batch: the parked request must get its
+    // real (bit-identical) scores, not an error.
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200);
+    const ParsedPrediction parsed = ParsePrediction(response->body);
+    ASSERT_EQ(parsed.scores.size(), 4u);
+    std::vector<RowId> rows = {0, 1, 2, 3};
+    std::vector<double> expected(4);
+    served.model.ScoreBatch(served.data.test, rows.data(), 4,
+                            expected.data());
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(parsed.scores[i], expected[i]) << "row " << i;
+    }
+  });
+
+  // Wait until the 4 rows are parked in the open batch.
+  while (server.metrics().queue_rows.load() < 4) {
+    std::this_thread::yield();
+  }
+
+  HttpClient client = MustConnect(server.port());
+  auto response = client.Roundtrip("POST", "/v1/predict",
+                                    PredictBody(served.data.test, 4, 5));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 503);
+  EXPECT_EQ(response->Header("Retry-After"), "1");
+  EXPECT_GE(server.metrics().rejected_total.load(), 1u);
+
+  // Graceful drain: flushes the parked batch, completes the in-flight
+  // request, then joins every thread.
+  server.Shutdown();
+  parked.join();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeTest, ShutdownIsIdempotentAndRefusesNewConnections) {
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  server.Shutdown();
+  server.Shutdown();  // second call is a no-op
+  auto client = HttpClient::Connect(port);
+  EXPECT_FALSE(client.ok());
+}
+
+}  // namespace
+}  // namespace pnr

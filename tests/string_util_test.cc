@@ -14,6 +14,16 @@ TEST(StringUtilTest, SplitBasics) {
   EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
 }
 
+TEST(StringUtilTest, SplitWhitespaceCollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("a b c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitWhitespace("  a \t b\r\n"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitWhitespace(""), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitWhitespace(" \t "), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitWhitespace("one"), (std::vector<std::string>{"one"}));
+}
+
 TEST(StringUtilTest, TrimWhitespace) {
   EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
   EXPECT_EQ(TrimWhitespace("abc"), "abc");

@@ -75,6 +75,44 @@ TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
   EXPECT_EQ(total.load(), 200L * 17L);
 }
 
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDegradesToInline) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.ParallelFor(100, [&](size_t) { total++; });
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  EXPECT_EQ(pool.num_threads(), 0u);
+  // Work enqueued after shutdown still completes (inline).
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(32);
+  pool.ParallelFor(ids.size(), [&](size_t i) {
+    total++;
+    ids[i] = std::this_thread::get_id();
+  });
+  EXPECT_EQ(total.load(), 132);
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ShutdownFromAnotherThreadDropsNoWork) {
+  // The SIGTERM shape: a service thread keeps issuing jobs while another
+  // thread shuts the pool down. Every enqueued index must still run
+  // exactly once — in-flight jobs drain, later jobs run inline.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::atomic<bool> stop{false};
+  std::thread driver([&] {
+    for (int round = 0; round < 400 && !stop.load(); ++round) {
+      pool.ParallelFor(64, [&](size_t) { total++; });
+    }
+    stop = true;
+  });
+  while (total.load() < 64 * 5) std::this_thread::yield();
+  pool.Shutdown();  // concurrent with the driver's ParallelFor loop
+  driver.join();
+  EXPECT_EQ(total.load() % 64, 0) << "a job was torn mid-flight";
+  EXPECT_GE(total.load(), 64L * 5);
+}
+
 TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
   EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);

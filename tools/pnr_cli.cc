@@ -9,9 +9,17 @@
 //               [--class-column label]
 //   pnr predict --data new.csv --target fraud --model model.txt
 //               [--class-column label]   (prints one score per row)
+//   pnr serve   --models name=model.txt[,name2=other.txt] [--port 8080]
+//               [--threads 4] [--max-batch 1024] [--max-delay-us 2000]
+//               [--no-batching]
 //
 // `--target` is the class value treated as positive. Training prints the
 // learned rules; eval prints recall / precision / F and ranking areas.
+// `serve` loads each model with its `<model>.schema` sidecar (written by
+// train) and answers POST /v1/predict until SIGTERM/SIGINT, then drains
+// in-flight requests before exiting (see docs/API.md).
+
+#include <signal.h>
 
 #include <cstdio>
 #include <cstring>
@@ -20,12 +28,15 @@
 #include <string>
 #include <vector>
 
+#include "common/net.h"
 #include "common/string_util.h"
 #include "data/csv.h"
+#include "data/schema_io.h"
 #include "eval/curves.h"
 #include "eval/metrics.h"
 #include "pnrule/model_io.h"
 #include "pnrule/pnrule.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -35,6 +46,7 @@ struct Args {
   std::string command;
   std::map<std::string, std::string> options;
   bool p1 = false;
+  bool no_batching = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -44,6 +56,8 @@ Args ParseArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--p1") {
       args.p1 = true;
+    } else if (arg == "--no-batching") {
+      args.no_batching = true;
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[arg.substr(2)] = argv[++i];
     } else {
@@ -60,6 +74,10 @@ int Usage() {
                "           [--rp <f>] [--rn <f>] [--min-support <f>] "
                "[--p1] [--threshold <f>]\n"
                "           [--threads <n>] [--class-column <name>]\n"
+               "       pnr serve --models <name=model.txt,...> "
+               "[--port <p>] [--threads <n>]\n"
+               "           [--max-batch <rows>] [--max-delay-us <us>] "
+               "[--no-batching]\n"
                "  --threads: worker threads for data loading, condition "
                "search (train),\n"
                "             and batch scoring (eval/predict); 1 = serial, "
@@ -148,7 +166,16 @@ int Train(const Args& args) {
       std::fprintf(stderr, "%s\n", saved.ToString().c_str());
       return 1;
     }
-    std::printf("model written to %s\n", model_it->second.c_str());
+    // The schema sidecar lets `pnr serve` load this model without any
+    // training data on hand.
+    const std::string schema_path = model_it->second + ".schema";
+    saved = SaveSchema(data->schema(), schema_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("model written to %s (schema sidecar: %s)\n",
+                model_it->second.c_str(), schema_path.c_str());
   }
   return 0;
 }
@@ -218,6 +245,93 @@ int Predict(const Args& args) {
   return 0;
 }
 
+// SIGTERM/SIGINT handling: the handler may only touch async-signal-safe
+// state, so it writes one byte to a pipe; the main thread blocks on the
+// read end and runs the (mutex-taking) graceful Shutdown itself.
+WakePipe* g_signal_pipe = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_signal_pipe != nullptr) g_signal_pipe->Wake();
+}
+
+int Serve(const Args& args) {
+  const auto models_it = args.options.find("models");
+  if (models_it == args.options.end()) {
+    std::fprintf(stderr,
+                 "--models is required, e.g. --models fraud=model.txt\n");
+    return 2;
+  }
+  ModelRegistry registry;
+  for (const std::string& spec : SplitString(models_it->second, ',')) {
+    if (spec.empty()) continue;
+    const size_t eq = spec.find('=');
+    std::string name;
+    std::string path;
+    if (eq == std::string::npos) {
+      path = spec;
+      // Bare path: the name is the filename without directories/extension.
+      const size_t slash = path.find_last_of('/');
+      const size_t start = slash == std::string::npos ? 0 : slash + 1;
+      const size_t dot = path.find('.', start);
+      name = path.substr(start, dot == std::string::npos ? std::string::npos
+                                                         : dot - start);
+    } else {
+      name = spec.substr(0, eq);
+      path = spec.substr(eq + 1);
+    }
+    const Status loaded = registry.Load(name, path, path + ".schema");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "loading '%s': %s\n", name.c_str(),
+                   loaded.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded model '%s' from %s\n", name.c_str(), path.c_str());
+  }
+
+  ServerConfig config;
+  config.port = static_cast<uint16_t>(OptionOr(args, "port", 8080.0));
+  config.num_threads = static_cast<size_t>(OptionOr(args, "threads", 4.0));
+  config.batcher.enabled = !args.no_batching;
+  config.batcher.max_batch_rows =
+      static_cast<size_t>(OptionOr(args, "max-batch", 1024.0));
+  config.batcher.max_delay_us =
+      static_cast<uint64_t>(OptionOr(args, "max-delay-us", 2000.0));
+
+  PredictionServer server(config, &registry);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu model(s) on 127.0.0.1:%u (%zu threads, "
+              "batching %s)\n",
+              registry.size(), server.port(), config.num_threads,
+              config.batcher.enabled ? "on" : "off");
+  std::fflush(stdout);
+
+  auto pipe = MakeWakePipe();
+  if (!pipe.ok()) {
+    std::fprintf(stderr, "%s\n", pipe.status().ToString().c_str());
+    return 1;
+  }
+  WakePipe signal_pipe = std::move(pipe).value();
+  g_signal_pipe = &signal_pipe;
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  (void)WaitReadable(signal_pipe.read_end.get(), -1);
+  std::printf("shutdown signal received, draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  g_signal_pipe = nullptr;
+  std::printf("drained; %llu requests served\n",
+              static_cast<unsigned long long>(
+                  server.metrics().endpoint_predict().requests.load()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,5 +339,6 @@ int main(int argc, char** argv) {
   if (args.command == "train") return Train(args);
   if (args.command == "eval") return Eval(args);
   if (args.command == "predict") return Predict(args);
+  if (args.command == "serve") return Serve(args);
   return Usage();
 }

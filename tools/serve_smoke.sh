@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke: trains a tiny model with the CLI, starts
+# `pnr serve`, exercises every endpoint over real HTTP, and checks that
+# SIGTERM drains gracefully. Run by the CI serving job; needs only bash,
+# awk, and curl.
+#
+# Usage: tools/serve_smoke.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+pnr="$build_dir/tools/pnr"
+[ -x "$pnr" ] || { echo "missing $pnr — build first" >&2; exit 2; }
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# A trivially learnable dataset: positive iff x is large.
+awk 'BEGIN {
+  print "x,y,label";
+  for (i = 0; i < 400; ++i) {
+    x = (i % 100) / 100.0;
+    y = ((i * 7) % 100) / 100.0;
+    print x "," y "," (x >= 0.8 ? "pos" : "neg");
+  }
+}' > "$workdir/train.csv"
+
+echo "== train =="
+"$pnr" train --data "$workdir/train.csv" --target pos \
+       --model "$workdir/m.txt" > "$workdir/train.log"
+grep -q "schema sidecar" "$workdir/train.log"
+[ -f "$workdir/m.txt.schema" ] || { echo "no schema sidecar" >&2; exit 1; }
+
+port=18437
+echo "== serve (port $port) =="
+"$pnr" serve --models m="$workdir/m.txt" --port "$port" --threads 2 \
+       > "$workdir/serve.log" &
+server_pid=$!
+
+base="http://127.0.0.1:$port"
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" > /dev/null 2>&1 && break
+  kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+curl -sf "$base/healthz" | grep -q ok
+
+echo "== endpoints =="
+curl -sf "$base/v1/models" | grep -q '"name":"m"'
+
+predict_body='{"model":"m","rows":[{"x":0.95,"y":0.1},{"x":0.05,"y":0.9}]}'
+response="$(curl -sf -X POST -d "$predict_body" "$base/v1/predict")"
+echo "predict: $response"
+echo "$response" | grep -q '"scores"'
+echo "$response" | grep -q '"predicted":\[1,0\]'
+
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d 'not json' \
+        "$base/v1/predict")"
+[ "$code" = 400 ] || { echo "expected 400 for bad JSON, got $code" >&2; exit 1; }
+
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/nope")"
+[ "$code" = 404 ] || { echo "expected 404, got $code" >&2; exit 1; }
+
+curl -sf "$base/metrics" | grep -q 'pnr_rows_scored_total 2'
+
+echo "== graceful drain =="
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+grep -q "drained" "$workdir/serve.log"
+
+echo "serve smoke passed"
