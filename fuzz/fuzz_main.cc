@@ -1,0 +1,97 @@
+// Entry points for the fuzz targets (fuzz_targets.h), built two ways:
+//
+//   * PNR_FUZZ_LIBFUZZER (set by -DPNR_FUZZ=ON, clang only): one libFuzzer
+//     binary per target; PNR_FUZZ_TARGET selects which. Run with the seed
+//     corpus:  ./fuzz_http fuzz/corpus/http -max_total_time=30
+//
+//   * otherwise (any compiler): the corpus-replay runner ctest invokes —
+//     ./fuzz_replay <target> <file-or-dir>... runs every corpus file
+//     through the target once. This is what keeps the checked-in corpora
+//     (including every regression input from past findings) continuously
+//     replayed under the sanitizer matrix without needing clang.
+
+#include <cstdint>
+#include <cstdio>
+
+#include "fuzz_targets.h"
+
+#ifdef PNR_FUZZ_LIBFUZZER
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const pnr::fuzz::TargetFn target =
+      pnr::fuzz::FindTarget(PNR_FUZZ_TARGET);
+  target(data, size);
+  return 0;
+}
+
+#else  // corpus-replay runner
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <target> <corpus-file-or-dir>...\n", argv0);
+  std::fprintf(stderr, "targets: %s\n", pnr::fuzz::TargetNames());
+  return 2;
+}
+
+// Expands files and (recursively) directories into a sorted file list, so a
+// replay failure is reproducible by name and independent of readdir order.
+std::vector<std::string> CollectFiles(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const fs::path path(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(path.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const pnr::fuzz::TargetFn target = pnr::fuzz::FindTarget(argv[1]);
+  if (target == nullptr) {
+    std::fprintf(stderr, "unknown fuzz target '%s'\n", argv[1]);
+    return Usage(argv[0]);
+  }
+  const std::vector<std::string> files = CollectFiles(argc, argv);
+  if (files.empty()) {
+    std::fprintf(stderr, "no corpus files found\n");
+    return 2;
+  }
+  for (const std::string& file : files) {
+    auto bytes = pnr::ReadFileToString(file);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "cannot read corpus file %s: %s\n", file.c_str(),
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    // An invariant violation aborts inside the target, naming the file last
+    // printed here.
+    std::fprintf(stderr, "replay %s (%zu bytes)\n", file.c_str(),
+                 bytes->size());
+    target(reinterpret_cast<const uint8_t*>(bytes->data()), bytes->size());
+  }
+  std::printf("replayed %zu inputs through '%s' with no findings\n",
+              files.size(), argv[1]);
+  return 0;
+}
+
+#endif  // PNR_FUZZ_LIBFUZZER

@@ -1,0 +1,393 @@
+#include "fuzz_targets.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/arff.h"
+#include "data/csv.h"
+#include "data/ingest.h"
+#include "data/schema_io.h"
+#include "pnrule/model_io.h"
+#include "serve/http.h"
+#include "serve/json.h"
+
+namespace pnr {
+namespace fuzz {
+namespace {
+
+// Aborting check: both libFuzzer and the replay runner treat abort() as a
+// finding, and the message names the violated invariant.
+#define FUZZ_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "fuzz invariant violated at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, msg);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Inputs past this size only slow exploration down without reaching new
+// grammar states; both modes skip them (libFuzzer additionally uses
+// -max_len, but replay must bound itself).
+constexpr size_t kMaxInput = 1 << 18;
+
+std::string_view AsText(const uint8_t* data, size_t size) {
+  return std::string_view(reinterpret_cast<const char*>(data), size);
+}
+
+// Bitwise dataset equality — the fuzz-side mirror of the ingest test's
+// ExpectBitwiseEqual, collapsed to a bool.
+bool DatasetsBitwiseEqual(const Dataset& a, const Dataset& b) {
+  const Schema& sa = a.schema();
+  const Schema& sb = b.schema();
+  if (sa.num_attributes() != sb.num_attributes()) return false;
+  for (size_t i = 0; i < sa.num_attributes(); ++i) {
+    const Attribute& attr_a = sa.attribute(static_cast<AttrIndex>(i));
+    const Attribute& attr_b = sb.attribute(static_cast<AttrIndex>(i));
+    if (attr_a.name() != attr_b.name()) return false;
+    if (attr_a.type() != attr_b.type()) return false;
+    if (attr_a.num_categories() != attr_b.num_categories()) return false;
+    for (size_t c = 0; c < attr_a.num_categories(); ++c) {
+      if (attr_a.CategoryName(static_cast<CategoryId>(c)) !=
+          attr_b.CategoryName(static_cast<CategoryId>(c))) {
+        return false;
+      }
+    }
+  }
+  if (sa.num_classes() != sb.num_classes()) return false;
+  for (size_t c = 0; c < sa.num_classes(); ++c) {
+    if (sa.class_attr().CategoryName(static_cast<CategoryId>(c)) !=
+        sb.class_attr().CategoryName(static_cast<CategoryId>(c))) {
+      return false;
+    }
+  }
+  if (a.num_rows() != b.num_rows()) return false;
+  for (RowId r = 0; r < a.num_rows(); ++r) {
+    for (size_t i = 0; i < sa.num_attributes(); ++i) {
+      const AttrIndex attr = static_cast<AttrIndex>(i);
+      if (sa.attribute(attr).is_numeric()) {
+        if (std::bit_cast<uint64_t>(a.numeric(r, attr)) !=
+            std::bit_cast<uint64_t>(b.numeric(r, attr))) {
+          return false;
+        }
+      } else if (a.categorical(r, attr) != b.categorical(r, attr)) {
+        return false;
+      }
+    }
+    if (a.label(r) != b.label(r)) return false;
+  }
+  return a.weights() == b.weights();
+}
+
+// The fixed schema the model target parses against: models reference
+// attributes by name, so a hostile model file exercises unknown-attribute,
+// unknown-category and wrong-type paths against these.
+Schema ModelHarnessSchema() {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("a"));
+  schema.AddAttribute(Attribute::Numeric("b"));
+  schema.AddAttribute(
+      Attribute::Categorical("color", {"red", "green", "blue"}));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  return schema;
+}
+
+// A rejected parse must say *where*: every located error in model/schema
+// text names a line; the only unlocated rejection is version skew.
+bool ErrorIsLocated(const Status& status) {
+  const std::string text = status.ToString();
+  return text.find("line") != std::string::npos ||
+         text.find("version") != std::string::npos;
+}
+
+// Renders a parsed JSON tree back to text, reusing each number's original
+// token so render→reparse→render is a byte fixpoint.
+void RenderJson(const JsonValue& value, std::string* out) {
+  switch (value.type) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out += value.bool_value ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber:
+      *out += value.text;
+      break;
+    case JsonValue::Type::kString:
+      AppendJsonString(out, value.text);
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.array) {
+        if (!first) out->push_back(',');
+        first = false;
+        RenderJson(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : value.object) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonString(out, key);
+        out->push_back(':');
+        RenderJson(item, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+bool JsonTreesEqual(const JsonValue& a, const JsonValue& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case JsonValue::Type::kNull:
+      return true;
+    case JsonValue::Type::kBool:
+      return a.bool_value == b.bool_value;
+    case JsonValue::Type::kNumber:
+      return std::bit_cast<uint64_t>(a.number_value) ==
+                 std::bit_cast<uint64_t>(b.number_value) &&
+             a.text == b.text;
+    case JsonValue::Type::kString:
+      return a.text == b.text;
+    case JsonValue::Type::kArray: {
+      if (a.array.size() != b.array.size()) return false;
+      for (size_t i = 0; i < a.array.size(); ++i) {
+        if (!JsonTreesEqual(a.array[i], b.array[i])) return false;
+      }
+      return true;
+    }
+    case JsonValue::Type::kObject: {
+      if (a.object.size() != b.object.size()) return false;
+      for (size_t i = 0; i < a.object.size(); ++i) {
+        if (a.object[i].first != b.object[i].first) return false;
+        if (!JsonTreesEqual(a.object[i].second, b.object[i].second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void FuzzCsv(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const std::string text(AsText(data, size));
+  CsvReadOptions options;
+  auto serial = IngestCsvSerial(text, options);
+  // Aggressively small chunks push records across chunk seams — the place
+  // where the parallel scanner's quote/newline handling can diverge.
+  IngestOptions ingest;
+  ingest.num_threads = 3;
+  ingest.chunk_bytes = 7;
+  auto parallel = IngestCsvParallel(text, options, ingest);
+  FUZZ_CHECK(serial.ok() == parallel.ok(),
+             "serial and parallel CSV parses disagree on acceptance");
+  if (serial.ok()) {
+    FUZZ_CHECK(DatasetsBitwiseEqual(*serial, *parallel),
+               "serial and parallel CSV datasets differ");
+  } else {
+    FUZZ_CHECK(!serial.status().ToString().empty(),
+               "CSV rejection with empty error");
+    FUZZ_CHECK(serial.status().ToString() == parallel.status().ToString(),
+               "serial and parallel CSV error text differ");
+  }
+}
+
+void FuzzArff(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const std::string text(AsText(data, size));
+  ArffReadOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = ReadArffFromString(text, serial_options);
+  IngestOptions ingest;
+  ingest.num_threads = 3;
+  ingest.chunk_bytes = 7;
+  auto parallel = IngestEngine(ingest).ParseArff(text, ArffReadOptions{});
+  FUZZ_CHECK(serial.ok() == parallel.ok(),
+             "serial and parallel ARFF parses disagree on acceptance");
+  if (serial.ok()) {
+    FUZZ_CHECK(DatasetsBitwiseEqual(*serial, *parallel),
+               "serial and parallel ARFF datasets differ");
+  } else {
+    FUZZ_CHECK(!serial.status().ToString().empty(),
+               "ARFF rejection with empty error");
+    FUZZ_CHECK(serial.status().ToString() == parallel.status().ToString(),
+               "serial and parallel ARFF error text differ");
+  }
+}
+
+void FuzzModel(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const Schema schema = ModelHarnessSchema();
+  const std::string text(AsText(data, size));
+  auto model = ParsePnruleModel(text, schema);
+  if (!model.ok()) {
+    FUZZ_CHECK(ErrorIsLocated(model.status()),
+               "model rejection without a location");
+    return;
+  }
+  // Accepted input must reach a serialization fixpoint: what the writer
+  // emits for the parsed model reparses to a byte-identical second write.
+  const std::string first = SerializePnruleModel(*model, schema);
+  auto reparsed = ParsePnruleModel(first, schema);
+  FUZZ_CHECK(reparsed.ok(), "serialized model does not reparse");
+  FUZZ_CHECK(SerializePnruleModel(*reparsed, schema) == first,
+             "model serialize/reparse is not a fixpoint");
+}
+
+void FuzzSchema(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const std::string text(AsText(data, size));
+  auto schema = ParseSchema(text);
+  if (!schema.ok()) {
+    FUZZ_CHECK(ErrorIsLocated(schema.status()),
+               "schema rejection without a location");
+    return;
+  }
+  const std::string first = SerializeSchema(*schema);
+  auto reparsed = ParseSchema(first);
+  FUZZ_CHECK(reparsed.ok(), "serialized schema does not reparse");
+  FUZZ_CHECK(SerializeSchema(*reparsed) == first,
+             "schema serialize/reparse is not a fixpoint");
+}
+
+namespace {
+
+bool RequestsEqual(const HttpRequest& a, const HttpRequest& b) {
+  return a.method == b.method && a.target == b.target &&
+         a.version == b.version && a.headers == b.headers && a.body == b.body;
+}
+
+// Feeds `text` to a parser in `step`-byte slices, draining every completed
+// request with Take the way the server's connection loop does. Returns the
+// completed requests; the parser is left in its final state.
+std::vector<HttpRequest> RunHttpParser(HttpRequestParser* parser,
+                                       std::string_view text, size_t step) {
+  std::vector<HttpRequest> requests;
+  for (size_t offset = 0;
+       offset < text.size() &&
+       parser->state() != HttpRequestParser::State::kError;
+       offset += step) {
+    parser->Consume(text.substr(offset, step));
+    while (parser->state() == HttpRequestParser::State::kDone) {
+      requests.push_back(parser->Take());
+    }
+  }
+  return requests;
+}
+
+}  // namespace
+
+void FuzzHttp(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const std::string_view text = AsText(data, size);
+  // Small limits make head/body overflow reachable with fuzz-sized inputs.
+  HttpRequestParser::Limits limits;
+  limits.max_head_bytes = 1024;
+  limits.max_body_bytes = 4096;
+
+  // The server feeds the parser from arbitrarily fragmented socket reads;
+  // one whole-buffer write and the byte-at-a-time worst case must complete
+  // the same requests and land in the same final state.
+  HttpRequestParser batch(limits);
+  const std::vector<HttpRequest> batch_requests =
+      RunHttpParser(&batch, text, text.size());
+  HttpRequestParser incremental(limits);
+  const std::vector<HttpRequest> incremental_requests =
+      RunHttpParser(&incremental, text, 1);
+
+  FUZZ_CHECK(batch.state() == incremental.state(),
+             "batch and incremental HTTP parses reach different states");
+  FUZZ_CHECK(batch_requests.size() == incremental_requests.size(),
+             "batch and incremental HTTP request counts differ");
+  for (size_t i = 0; i < batch_requests.size(); ++i) {
+    FUZZ_CHECK(RequestsEqual(batch_requests[i], incremental_requests[i]),
+               "batch and incremental HTTP requests differ");
+    // A parsed request must never smuggle two body framings.
+    size_t content_lengths = 0;
+    bool transfer_encoding = false;
+    for (const auto& [key, value] : batch_requests[i].headers) {
+      std::string lower;
+      for (const char c : key) {
+        lower.push_back(
+            static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+      }
+      if (lower == "content-length") ++content_lengths;
+      if (lower == "transfer-encoding") transfer_encoding = true;
+    }
+    FUZZ_CHECK(content_lengths <= 1,
+               "accepted request carries duplicate Content-Length");
+    FUZZ_CHECK(!(content_lengths == 1 && transfer_encoding),
+               "accepted request mixes Content-Length and Transfer-Encoding");
+  }
+  if (batch.state() == HttpRequestParser::State::kError) {
+    FUZZ_CHECK(batch.error_status() == incremental.error_status(),
+               "batch and incremental HTTP error codes differ");
+    FUZZ_CHECK(batch.error_message() == incremental.error_message(),
+               "batch and incremental HTTP error messages differ");
+    FUZZ_CHECK(
+        batch.error_status() == 400 || batch.error_status() == 413,
+        "HTTP parser error status outside the documented {400, 413}");
+    FUZZ_CHECK(!batch.error_message().empty(), "HTTP error without message");
+  }
+}
+
+void FuzzJson(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const std::string text(AsText(data, size));
+  auto value = ParseJson(text);
+  if (!value.ok()) {
+    const std::string error = value.status().ToString();
+    FUZZ_CHECK(error.find("offset") != std::string::npos,
+               "JSON rejection without an offset location");
+    return;
+  }
+  std::string first;
+  RenderJson(*value, &first);
+  auto reparsed = ParseJson(first);
+  FUZZ_CHECK(reparsed.ok(), "rendered JSON does not reparse");
+  FUZZ_CHECK(JsonTreesEqual(*value, *reparsed),
+             "JSON parse/render/reparse changed the tree");
+}
+
+namespace {
+
+struct Target {
+  const char* name;
+  TargetFn fn;
+};
+
+constexpr Target kTargets[] = {
+    {"csv", FuzzCsv},     {"arff", FuzzArff}, {"model", FuzzModel},
+    {"schema", FuzzSchema}, {"http", FuzzHttp}, {"json", FuzzJson},
+};
+
+}  // namespace
+
+TargetFn FindTarget(std::string_view name) {
+  for (const Target& target : kTargets) {
+    if (name == target.name) return target.fn;
+  }
+  return nullptr;
+}
+
+const char* TargetNames() { return "csv arff model schema http json"; }
+
+}  // namespace fuzz
+}  // namespace pnr

@@ -1,0 +1,50 @@
+// Structure-aware fuzz targets over every untrusted-input surface.
+//
+// One function per surface (CSV/ARFF ingest, model_io, schema_io, the HTTP
+// request parser, the serve JSON parser). Each target consumes an arbitrary
+// byte string and asserts the surface's hardening contract:
+//
+//   * no crash, hang, or sanitizer report on any input;
+//   * a rejected input yields an error Status (or parser error state) whose
+//     message is non-empty — never a silent empty success;
+//   * an accepted input round-trips: reparse of the serialized result is a
+//     fixpoint (model/schema/json), serial and parallel parses are
+//     bitwise-identical including their error text (ingest), incremental
+//     and batch feeding reach the same state (http).
+//
+// The same functions back two binaries (see fuzz_main.cc): libFuzzer
+// entry points in a -DPNR_FUZZ=ON clang build, and the corpus-replay
+// runner that ctest executes on every checked-in seed in any build.
+
+#ifndef PNR_FUZZ_FUZZ_TARGETS_H_
+#define PNR_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pnr {
+namespace fuzz {
+
+/// A fuzz entry point: consumes arbitrary bytes, aborts on any invariant
+/// violation, returns normally otherwise.
+using TargetFn = void (*)(const uint8_t* data, size_t size);
+
+void FuzzCsv(const uint8_t* data, size_t size);
+void FuzzArff(const uint8_t* data, size_t size);
+void FuzzModel(const uint8_t* data, size_t size);
+void FuzzSchema(const uint8_t* data, size_t size);
+void FuzzHttp(const uint8_t* data, size_t size);
+void FuzzJson(const uint8_t* data, size_t size);
+
+/// Looks a target up by its corpus name ("csv", "arff", "model", "schema",
+/// "http", "json"); nullptr when unknown.
+TargetFn FindTarget(std::string_view name);
+
+/// Space-separated list of valid target names (for usage messages).
+const char* TargetNames();
+
+}  // namespace fuzz
+}  // namespace pnr
+
+#endif  // PNR_FUZZ_FUZZ_TARGETS_H_

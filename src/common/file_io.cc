@@ -1,0 +1,73 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/io_hooks.h"
+
+namespace pnr {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("cannot open", path);
+  struct stat st = {};
+  size_t size_hint = 0;
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    size_hint = static_cast<size_t>(st.st_size);
+  }
+  if (!io::AllocOk(size_hint)) {
+    ::close(fd);
+    return Errno("cannot allocate buffer for", path);
+  }
+  std::string out;
+  out.reserve(size_hint);
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = io::Read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // EOF: every byte accounted for
+    if (errno == EINTR) continue;
+    const Status status = Errno("read of", path);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteStringToFile(const std::string& content,
+                         const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot open for write", path);
+  const char* p = content.data();
+  size_t remaining = content.size();
+  while (remaining > 0) {
+    const ssize_t n = io::Write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("write to", path);
+      ::close(fd);
+      return status;
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (::close(fd) != 0) return Errno("close of", path);
+  return Status::OK();
+}
+
+}  // namespace pnr

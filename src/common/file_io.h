@@ -1,0 +1,30 @@
+// Whole-file reads and writes over the hookable syscall boundary.
+//
+// The model/schema loaders and the mapped-file streaming fallback read
+// files through ReadFileToString rather than iostreams: POSIX read(2) in a
+// loop, EINTR retried, short reads accumulated, every byte accounted for —
+// and because the loop runs on common/io_hooks.h, the fault tests can
+// inject EINTR storms, short reads, mid-file failures and allocation
+// failure and assert a clean IOError Status (never a partial parse).
+
+#ifndef PNR_COMMON_FILE_IO_H_
+#define PNR_COMMON_FILE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace pnr {
+
+/// Reads the entire file at `path`. IOError (with the path and the errno
+/// text) on open/read/allocation failure; truncation mid-read is an error,
+/// never a silent prefix.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` (created/truncated). IOError on any failure;
+/// short writes are retried until complete.
+Status WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace pnr
+
+#endif  // PNR_COMMON_FILE_IO_H_

@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/io_hooks.h"
+
 namespace pnr {
 namespace {
 
@@ -72,7 +74,7 @@ StatusOr<UniqueFd> ConnectLoopback(uint16_t port) {
 
 StatusOr<UniqueFd> AcceptConnection(int listen_fd) {
   for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd = io::Accept(listen_fd);
     if (fd >= 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -89,7 +91,7 @@ StatusOr<UniqueFd> AcceptConnection(int listen_fd) {
 Status SendAll(int fd, std::string_view data) {
   while (!data.empty()) {
     const ssize_t n =
-        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        io::Send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("send");
@@ -139,7 +141,7 @@ StatusOr<size_t> RecvSome(int fd, char* buf, size_t cap, int timeout_ms) {
   if (!readable.ok()) return readable.status();
   if (!*readable) return Status::IOError("read timeout");
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, cap, 0);
+    const ssize_t n = io::Recv(fd, buf, cap, 0);
     if (n >= 0) return static_cast<size_t>(n);
     if (errno == EINTR) continue;
     return Errno("recv");

@@ -1,8 +1,8 @@
 #include "data/mapped_file.h"
 
-#include <fstream>
-#include <sstream>
 #include <utility>
+
+#include "common/file_io.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PNR_HAVE_MMAP 1
@@ -10,21 +10,11 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "common/io_hooks.h"
 #endif
 
 namespace pnr {
-namespace {
-
-StatusOr<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) return Status::IOError("read of '" + path + "' failed");
-  return std::move(buffer).str();
-}
-
-}  // namespace
 
 MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
 
@@ -66,8 +56,10 @@ StatusOr<MappedFile> MappedFile::Open(const std::string& path,
       ::close(fd);
       return MappedFile();  // mmap of length 0 is invalid; empty view
     } else {
-      void* addr = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
-                          MAP_PRIVATE, fd, 0);
+      // A failed map (including an injected failure) falls through to the
+      // streaming read below — mmap is an optimization, never a requirement.
+      void* addr = io::Mmap(nullptr, static_cast<size_t>(st.st_size),
+                            PROT_READ, MAP_PRIVATE, fd, 0);
       ::close(fd);
       if (addr != MAP_FAILED) {
 #ifdef MADV_SEQUENTIAL
@@ -84,7 +76,7 @@ StatusOr<MappedFile> MappedFile::Open(const std::string& path,
 #else
   (void)allow_mmap;
 #endif
-  auto content = ReadWholeFile(path);
+  auto content = ReadFileToString(path);
   if (!content.ok()) return content.status();
   MappedFile file;
   file.buffer_ = std::move(content).value();

@@ -1,37 +1,54 @@
 #include "data/schema_io.h"
 
-#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/string_util.h"
 
 namespace pnr {
 namespace {
 
-Status ParseError(const std::string& detail) {
-  return Status::InvalidArgument("schema parse error: " + detail);
+// Error on the content of line `line` (1-based physical line number).
+Status ParseError(size_t line, const std::string& detail) {
+  return Status::InvalidArgument("schema parse error at line " +
+                                 std::to_string(line) + ": " + detail);
 }
 
 // Line cursor tolerating CRLF and trailing whitespace (every line is
 // trimmed before use). Unlike the model reader this one must preserve
 // blank *suffixes* of keyword lines ("value" with an empty value), so it
-// does not skip lines that trim to a bare keyword.
+// does not skip lines that trim to a bare keyword. Tracks the 1-based
+// physical line number so parse errors can name where they happened.
 class LineReader {
  public:
   explicit LineReader(const std::string& text) : stream_(text) {}
 
   bool Next(std::string* line) {
     while (std::getline(stream_, *line)) {
+      ++line_;
       *line = std::string(TrimWhitespace(*line));
       if (!line->empty()) return true;
     }
     return false;
   }
 
+  /// Physical line of the last line Next returned (0 before the first).
+  size_t line() const { return line_; }
+
  private:
   std::istringstream stream_;
+  size_t line_ = 0;
 };
+
+// Error for input that ended mid-record: names the last line that existed
+// and the token the parser was still waiting for, so a truncated file is
+// distinguishable from a malformed one.
+Status TruncatedError(const LineReader& reader, const std::string& expected) {
+  return Status::InvalidArgument(
+      "schema parse error: unexpected end of input after line " +
+      std::to_string(reader.line()) + ": expected " + expected);
+}
 
 // Splits a trimmed line into its first token and the trimmed remainder
 // ("categorical 3 proto type" -> "categorical", "3 proto type").
@@ -86,90 +103,116 @@ StatusOr<Schema> ParseSchema(const std::string& text) {
   std::string line;
   std::string keyword;
   std::string rest;
-  if (!reader.Next(&line)) return ParseError("empty input");
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'pnrule-schema v1' header");
+  }
   SplitKeyword(line, &keyword, &rest);
   if (keyword != "pnrule-schema") {
-    return ParseError("missing 'pnrule-schema v1' header");
+    return ParseError(reader.line(), "missing 'pnrule-schema v1' header");
   }
   if (rest != "v1") {
     return Status::InvalidArgument("unsupported schema format version '" +
                                    rest + "' (this build reads v1)");
   }
 
-  if (!reader.Next(&line)) return ParseError("truncated input");
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'attributes <n>'");
+  }
   SplitKeyword(line, &keyword, &rest);
   long long num_attrs = 0;
   if (keyword != "attributes" || !ParseInt64(rest, &num_attrs) ||
       num_attrs < 0) {
-    return ParseError("expected 'attributes <n>'");
+    return ParseError(reader.line(), "expected 'attributes <n>'");
   }
 
   Schema schema;
   for (long long a = 0; a < num_attrs; ++a) {
-    if (!reader.Next(&line)) return ParseError("truncated attribute list");
+    if (!reader.Next(&line)) {
+      return TruncatedError(reader, "attribute " + std::to_string(a + 1) +
+                                        " of " + std::to_string(num_attrs));
+    }
     SplitKeyword(line, &keyword, &rest);
     if (keyword == "numeric") {
-      if (rest.empty()) return ParseError("numeric attribute without name");
+      if (rest.empty()) {
+        return ParseError(reader.line(), "numeric attribute without name");
+      }
       schema.AddAttribute(Attribute::Numeric(rest));
       continue;
     }
     if (keyword != "categorical") {
-      return ParseError("expected 'numeric' or 'categorical', got '" +
-                        keyword + "'");
+      return ParseError(reader.line(),
+                        "expected 'numeric' or 'categorical', got '" +
+                            keyword + "'");
     }
     long long num_values = 0;
     std::string name;
     if (!SplitCount(rest, &num_values, &name) || name.empty()) {
-      return ParseError("expected 'categorical <k> <name>'");
+      return ParseError(reader.line(), "expected 'categorical <k> <name>'");
     }
     std::vector<std::string> values;
     values.reserve(static_cast<size_t>(num_values));
     for (long long v = 0; v < num_values; ++v) {
-      if (!reader.Next(&line)) return ParseError("truncated value list");
+      if (!reader.Next(&line)) {
+        return TruncatedError(reader, "value " + std::to_string(v + 1) +
+                                          " of " +
+                                          std::to_string(num_values) +
+                                          " for attribute '" + name + "'");
+      }
       SplitKeyword(line, &keyword, &rest);
-      if (keyword != "value") return ParseError("expected 'value <v>'");
+      if (keyword != "value") {
+        return ParseError(reader.line(), "expected 'value <v>'");
+      }
       values.push_back(rest);
     }
     schema.AddAttribute(Attribute::Categorical(name, std::move(values)));
   }
 
-  if (!reader.Next(&line)) return ParseError("truncated input");
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'class <k> <name>'");
+  }
   SplitKeyword(line, &keyword, &rest);
   long long num_labels = 0;
   std::string class_name;
   if (keyword != "class" || !SplitCount(rest, &num_labels, &class_name) ||
       class_name.empty()) {
-    return ParseError("expected 'class <k> <name>'");
+    return ParseError(reader.line(), "expected 'class <k> <name>'");
   }
   // The default-constructed class attribute is named "class"; rebuild it
   // with the recorded name so round-trips are exact.
   schema.class_attr() = Attribute::Categorical(class_name);
   for (long long v = 0; v < num_labels; ++v) {
-    if (!reader.Next(&line)) return ParseError("truncated label list");
+    if (!reader.Next(&line)) {
+      return TruncatedError(reader, "label " + std::to_string(v + 1) +
+                                        " of " + std::to_string(num_labels));
+    }
     SplitKeyword(line, &keyword, &rest);
-    if (keyword != "label") return ParseError("expected 'label <v>'");
+    if (keyword != "label") {
+      return ParseError(reader.line(), "expected 'label <v>'");
+    }
     schema.GetOrAddClass(rest);
   }
-  if (!reader.Next(&line) || line != "end") {
-    return ParseError("missing 'end' marker");
+  if (!reader.Next(&line)) return TruncatedError(reader, "'end' marker");
+  if (line != "end") {
+    return ParseError(reader.line(), "missing 'end' marker");
+  }
+  // Content after 'end' means concatenation or corruption; reject rather
+  // than silently ignore.
+  if (reader.Next(&line)) {
+    return ParseError(reader.line(), "trailing content after 'end'");
   }
   return schema;
 }
 
 Status SaveSchema(const Schema& schema, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "' for write");
-  file << SerializeSchema(schema);
-  if (!file) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  // Routed through file_io so fault-injection tests can exercise failed and
+  // short writes; a failed save surfaces as a clean IOError.
+  return WriteStringToFile(SerializeSchema(schema), path);
 }
 
 StatusOr<Schema> LoadSchema(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseSchema(buffer.str());
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseSchema(*text);
 }
 
 }  // namespace pnr

@@ -22,7 +22,9 @@ struct CurvePoint {
 
 /// All distinct operating points of `classifier` on `dataset`, ordered by
 /// ascending threshold (descending recall). Scores run through the batch
-/// engine; `options` tunes it.
+/// engine; `options` tunes it. Score ties inherit ThresholdSweep's
+/// contract: records sharing a score form one operating point, predicted
+/// positive iff score > threshold.
 std::vector<CurvePoint> OperatingPoints(
     const BinaryClassifier& classifier, const Dataset& dataset,
     CategoryId target, const BatchScoreOptions& options = {});

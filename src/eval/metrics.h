@@ -38,6 +38,12 @@ BinaryMetrics Metrics(const Confusion& confusion);
 /// (threshold, confusion) pairs for every distinct score cut, sorted by
 /// threshold. Useful for recall/precision trade-off curves. Scores run
 /// through ScoreBatch.
+///
+/// Tie-break: a record is predicted positive iff its score is strictly
+/// greater than the threshold, so all records sharing a score flip together
+/// and every distinct score yields exactly one sweep point — ties are never
+/// split across operating points (no arbitrary intra-tie ordering can leak
+/// into the curve).
 std::vector<std::pair<double, Confusion>> ThresholdSweep(
     const BinaryClassifier& classifier, const Dataset& dataset,
     CategoryId target, const BatchScoreOptions& options = {});

@@ -1,8 +1,8 @@
 #include "pnrule/model_io.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/file_io.h"
 #include "common/string_util.h"
 
 namespace pnr {
@@ -46,7 +46,8 @@ void WriteRuleSet(std::ostringstream* out, const RuleSet& rules,
 // Line-cursor over the serialized text. Trimming each line makes the
 // parser indifferent to CRLF endings and trailing whitespace — model files
 // that round-tripped through Windows editors or copy-paste parse the same
-// as pristine ones.
+// as pristine ones. Tracks the 1-based physical line number so every parse
+// error (including EOF mid-record) can name where it happened.
 class LineReader {
  public:
   explicit LineReader(const std::string& text) : stream_(text) {}
@@ -54,55 +55,75 @@ class LineReader {
   /// Next non-empty line (trimmed); false at end of input.
   bool Next(std::string* line) {
     while (std::getline(stream_, *line)) {
+      ++line_;
       *line = std::string(TrimWhitespace(*line));
       if (!line->empty()) return true;
     }
     return false;
   }
 
+  /// Physical line of the last line Next returned (0 before the first).
+  size_t line() const { return line_; }
+
  private:
   std::istringstream stream_;
+  size_t line_ = 0;
 };
 
-Status ParseError(const std::string& detail) {
-  return Status::InvalidArgument("model parse error: " + detail);
+// Error on the content of line `line`.
+Status ParseError(size_t line, const std::string& detail) {
+  return Status::InvalidArgument("model parse error at line " +
+                                 std::to_string(line) + ": " + detail);
+}
+
+// Error for input that ended mid-record: names the last line that existed
+// and what the parser was still waiting for, so a truncated file is
+// distinguishable from a malformed one.
+Status TruncatedError(const LineReader& reader, const std::string& expected) {
+  return Status::InvalidArgument(
+      "model parse error: unexpected end of input after line " +
+      std::to_string(reader.line()) + ": expected " + expected);
 }
 
 StatusOr<Condition> ParseCondition(const std::vector<std::string>& tokens,
-                                   const Schema& schema) {
+                                   const Schema& schema, size_t line) {
   if (tokens.size() < 4 || tokens[0] != "cond") {
-    return ParseError("expected a condition line");
+    return ParseError(line, "expected a condition line");
   }
   auto attr_or = schema.FindAttribute(tokens[2]);
-  if (!attr_or.ok()) return attr_or.status();
+  if (!attr_or.ok()) {
+    return ParseError(line, "unknown attribute '" + tokens[2] + "'");
+  }
   const AttrIndex attr = *attr_or;
   const std::string& kind = tokens[1];
   if (kind == "cat") {
     if (!schema.attribute(attr).is_categorical()) {
-      return ParseError("'" + tokens[2] + "' is not categorical");
+      return ParseError(line, "'" + tokens[2] + "' is not categorical");
     }
     const CategoryId value = schema.attribute(attr).FindCategory(tokens[3]);
     if (value == kInvalidCategory) {
-      return Status::NotFound("category '" + tokens[3] +
-                              "' not in attribute '" + tokens[2] + "'");
+      return Status::NotFound("model parse error at line " +
+                              std::to_string(line) + ": category '" +
+                              tokens[3] + "' not in attribute '" + tokens[2] +
+                              "'");
     }
     return Condition::CatEqual(attr, value);
   }
   if (!schema.attribute(attr).is_numeric()) {
-    return ParseError("'" + tokens[2] + "' is not numeric");
+    return ParseError(line, "'" + tokens[2] + "' is not numeric");
   }
   double a = 0.0;
-  if (!ParseDouble(tokens[3], &a)) return ParseError("bad number");
+  if (!ParseDouble(tokens[3], &a)) return ParseError(line, "bad number");
   if (kind == "le") return Condition::LessEqual(attr, a);
   if (kind == "gt") return Condition::Greater(attr, a);
   if (kind == "range") {
     double b = 0.0;
     if (tokens.size() < 5 || !ParseDouble(tokens[4], &b) || b < a) {
-      return ParseError("bad range bounds");
+      return ParseError(line, "bad range bounds");
     }
     return Condition::InRange(attr, a, b);
   }
-  return ParseError("unknown condition kind '" + kind + "'");
+  return ParseError(line, "unknown condition kind '" + kind + "'");
 }
 
 StatusOr<RuleSet> ParseRuleSet(LineReader* reader, const Schema& schema,
@@ -112,13 +133,18 @@ StatusOr<RuleSet> ParseRuleSet(LineReader* reader, const Schema& schema,
   long long count = 0;
   if (header.size() != 2 || header[0] != expected_header ||
       !ParseInt64(header[1], &count) || count < 0) {
-    return ParseError(std::string("expected '") + expected_header +
-                      " <count>'");
+    return ParseError(reader->line(), std::string("expected '") +
+                                          expected_header + " <count>'");
   }
   RuleSet rules;
   std::string line;
   for (long long r = 0; r < count; ++r) {
-    if (!reader->Next(&line)) return ParseError("truncated rule list");
+    if (!reader->Next(&line)) {
+      return TruncatedError(*reader,
+                            "rule " + std::to_string(r + 1) + " of " +
+                                std::to_string(count) + " in " +
+                                expected_header);
+    }
     const auto rule_header = SplitWhitespace(line);
     long long num_conditions = 0;
     double covered = 0.0;
@@ -126,13 +152,18 @@ StatusOr<RuleSet> ParseRuleSet(LineReader* reader, const Schema& schema,
     if (rule_header.size() != 4 || rule_header[0] != "rule" ||
         !ParseInt64(rule_header[1], &num_conditions) ||
         !ParseDouble(rule_header[2], &covered) ||
-        !ParseDouble(rule_header[3], &positive)) {
-      return ParseError("bad rule header '" + line + "'");
+        !ParseDouble(rule_header[3], &positive) || num_conditions < 0) {
+      return ParseError(reader->line(), "bad rule header '" + line + "'");
     }
     Rule rule;
     for (long long c = 0; c < num_conditions; ++c) {
-      if (!reader->Next(&line)) return ParseError("truncated conditions");
-      auto condition = ParseCondition(SplitWhitespace(line), schema);
+      if (!reader->Next(&line)) {
+        return TruncatedError(*reader,
+                              "condition " + std::to_string(c + 1) + " of " +
+                                  std::to_string(num_conditions));
+      }
+      auto condition =
+          ParseCondition(SplitWhitespace(line), schema, reader->line());
       if (!condition.ok()) return condition.status();
       rule.AddCondition(*condition);
     }
@@ -173,11 +204,11 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
   LineReader reader(text);
   std::string line;
   if (!reader.Next(&line)) {
-    return ParseError("missing 'pnrule-model v1' header");
+    return TruncatedError(reader, "'pnrule-model v1' header");
   }
   const auto header = SplitWhitespace(line);
   if (header.size() != 2 || header[0] != "pnrule-model") {
-    return ParseError("missing 'pnrule-model v1' header");
+    return ParseError(reader.line(), "missing 'pnrule-model v1' header");
   }
   if (header[1] != "v1") {
     // Name the version so the operator knows it is a reader/writer skew,
@@ -185,29 +216,37 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
     return Status::InvalidArgument("unsupported model format version '" +
                                    header[1] + "' (this build reads v1)");
   }
-  if (!reader.Next(&line)) return ParseError("truncated input");
+  if (!reader.Next(&line)) return TruncatedError(reader, "'threshold <t>'");
   auto tokens = SplitWhitespace(line);
   double threshold = 0.5;
   if (tokens.size() != 2 || tokens[0] != "threshold" ||
       !ParseDouble(tokens[1], &threshold)) {
-    return ParseError("expected 'threshold <t>'");
+    return ParseError(reader.line(), "expected 'threshold <t>'");
   }
-  if (!reader.Next(&line)) return ParseError("truncated input");
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'use_score_matrix <0|1>'");
+  }
   tokens = SplitWhitespace(line);
   long long use_matrix = 1;
   if (tokens.size() != 2 || tokens[0] != "use_score_matrix" ||
       !ParseInt64(tokens[1], &use_matrix)) {
-    return ParseError("expected 'use_score_matrix <0|1>'");
+    return ParseError(reader.line(), "expected 'use_score_matrix <0|1>'");
   }
 
-  if (!reader.Next(&line)) return ParseError("truncated input");
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'p-rules <count>'");
+  }
   auto p_rules = ParseRuleSet(&reader, schema, line, "p-rules");
   if (!p_rules.ok()) return p_rules.status();
-  if (!reader.Next(&line)) return ParseError("truncated input");
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'n-rules <count>'");
+  }
   auto n_rules = ParseRuleSet(&reader, schema, line, "n-rules");
   if (!n_rules.ok()) return n_rules.status();
 
-  if (!reader.Next(&line)) return ParseError("truncated input");
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'scores <p> <n>' header");
+  }
   tokens = SplitWhitespace(line);
   long long num_p = 0;
   long long num_n = 0;
@@ -215,16 +254,19 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
       !ParseInt64(tokens[1], &num_p) || !ParseInt64(tokens[2], &num_n) ||
       num_p != static_cast<long long>(p_rules->size()) ||
       num_n != static_cast<long long>(n_rules->size())) {
-    return ParseError("score matrix header mismatch");
+    return ParseError(reader.line(), "score matrix header mismatch");
   }
   std::vector<double> scores;
   std::vector<double> weights;
   scores.reserve(static_cast<size_t>(num_p * (num_n + 1)));
   for (long long p = 0; p < num_p; ++p) {
-    if (!reader.Next(&line)) return ParseError("truncated score matrix");
+    if (!reader.Next(&line)) {
+      return TruncatedError(reader, "score row " + std::to_string(p + 1) +
+                                        " of " + std::to_string(num_p));
+    }
     const auto cells = SplitWhitespace(line);
     if (cells.size() != static_cast<size_t>(num_n + 1)) {
-      return ParseError("wrong score-row arity");
+      return ParseError(reader.line(), "wrong score-row arity");
     }
     for (const std::string& cell : cells) {
       const auto parts = SplitString(cell, ':');
@@ -232,14 +274,19 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
       double weight = 0.0;
       if (parts.size() != 2 || !ParseDouble(parts[0], &score) ||
           !ParseDouble(parts[1], &weight)) {
-        return ParseError("bad score cell '" + cell + "'");
+        return ParseError(reader.line(), "bad score cell '" + cell + "'");
       }
       scores.push_back(score);
       weights.push_back(weight);
     }
   }
-  if (!reader.Next(&line) || line != "end") {
-    return ParseError("missing 'end' marker");
+  if (!reader.Next(&line)) return TruncatedError(reader, "'end' marker");
+  if (line != "end") return ParseError(reader.line(), "missing 'end' marker");
+  // Anything after 'end' means the file was concatenated or corrupted;
+  // silently ignoring it would mask exactly the truncation/garbling bugs
+  // this parser exists to catch.
+  if (reader.Next(&line)) {
+    return ParseError(reader.line(), "trailing content after 'end'");
   }
 
   PnruleClassifier model(
@@ -254,20 +301,17 @@ StatusOr<PnruleClassifier> ParsePnruleModel(const std::string& text,
 
 Status SavePnruleModel(const PnruleClassifier& model, const Schema& schema,
                        const std::string& path) {
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "' for write");
-  file << SerializePnruleModel(model, schema);
-  if (!file) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  // Goes through file_io so fault-injection tests can exercise failed and
+  // short writes; a failed save must surface as a clean IOError, never as a
+  // silently truncated model file mistaken for success.
+  return WriteStringToFile(SerializePnruleModel(model, schema), path);
 }
 
 StatusOr<PnruleClassifier> LoadPnruleModel(const std::string& path,
                                            const Schema& schema) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParsePnruleModel(buffer.str(), schema);
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParsePnruleModel(*text, schema);
 }
 
 }  // namespace pnr

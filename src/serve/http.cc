@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 
 #include "common/string_util.h"
 
@@ -26,6 +27,26 @@ std::string_view FindHeader(
     if (EqualsIgnoreCase(key, name)) return value;
   }
   return {};
+}
+
+// Strict Content-Length grammar (RFC 9110 §8.6): one or more ASCII digits,
+// nothing else — no sign, no inner whitespace, no thousands grouping — and
+// any value that overflows size_t is malformed rather than clamped. The
+// permissive ParseInt64 (which trims and accepts '-') is exactly what let
+// " 5", "+5" and "-0" through before.
+bool ParseContentLength(std::string_view text, size_t* out) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (std::numeric_limits<size_t>::max() - digit) / 10) {
+      return false;  // would overflow size_t
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -153,17 +174,35 @@ HttpRequestParser::State HttpRequestParser::Advance() {
     }
     if (first) return Fail(400, "empty request head");
 
-    const std::string_view length = request_.Header("Content-Length");
+    // Body framing. Content-Length is the only framing this subset speaks,
+    // and it is parsed strictly: request smuggling lives exactly in the
+    // corners where two framings disagree, so duplicate headers (even with
+    // identical values) and Content-Length next to Transfer-Encoding are
+    // both rejected outright.
+    size_t content_length_headers = 0;
+    std::string_view length;
+    for (const auto& [key, value] : request_.headers) {
+      if (EqualsIgnoreCase(key, "Content-Length")) {
+        ++content_length_headers;
+        length = value;
+      }
+    }
+    if (content_length_headers > 1) {
+      return Fail(400, "duplicate Content-Length");
+    }
     body_needed_ = 0;
-    if (!length.empty()) {
-      long long parsed = 0;
-      if (!ParseInt64(length, &parsed) || parsed < 0) {
+    if (content_length_headers == 1) {
+      if (!request_.Header("Transfer-Encoding").empty()) {
+        return Fail(400, "Content-Length alongside Transfer-Encoding");
+      }
+      size_t parsed = 0;
+      if (!ParseContentLength(length, &parsed)) {
         return Fail(400, "bad Content-Length");
       }
-      if (static_cast<size_t>(parsed) > limits_.max_body_bytes) {
+      if (parsed > limits_.max_body_bytes) {
         return Fail(413, "request body too large");
       }
-      body_needed_ = static_cast<size_t>(parsed);
+      body_needed_ = parsed;
     } else if (!request_.Header("Transfer-Encoding").empty()) {
       return Fail(400, "chunked bodies not supported");
     }

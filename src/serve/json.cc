@@ -240,7 +240,12 @@ class Parser {
     }
     const std::string_view token = text_.substr(start, pos_ - start);
     double value = 0.0;
-    if (!ParseDouble(token, &value)) {
+    // The lexer admits only sign/digit/dot/exponent runs, so bare
+    // NaN/Infinity tokens never reach ParseDouble here — which matters
+    // because ParseDouble itself (shared with CSV ingest) accepts "nan" and
+    // "inf" spellings. The finiteness check keeps tokens whose exponent
+    // overflows to infinity out as well: JSON has no non-finite numbers.
+    if (!ParseDouble(token, &value) || !std::isfinite(value)) {
       pos_ = start;
       return Error("bad number");
     }

@@ -1,0 +1,100 @@
+#include "testing/fault.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace pnr {
+namespace fault {
+namespace {
+
+// SplitMix64: tiny, seedable, and good enough for schedule draws.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double NextUnit(uint64_t* state) {
+  return static_cast<double>(NextRandom(state) >> 11) * 0x1.0p-53;
+}
+
+struct InjectorState {
+  FaultPlan plan;
+  uint64_t rng = 1;
+  uint64_t hard_failures = 0;
+  FaultStats stats;
+};
+
+std::mutex g_mutex;
+InjectorState* g_state = nullptr;  // guarded by g_mutex
+
+}  // namespace
+
+FaultDecision Decide(FaultOp op, int* error_number) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state == nullptr) return FaultDecision::kPass;
+  InjectorState& s = *g_state;
+  const int i = static_cast<int>(op);
+  if ((s.plan.ops & OpBit(op)) == 0) return FaultDecision::kPass;
+  const uint64_t call = ++s.stats.calls[i];
+
+  const bool hard_budget_left =
+      s.plan.max_hard_failures < 0 ||
+      s.hard_failures < static_cast<uint64_t>(s.plan.max_hard_failures);
+  if (s.plan.fail_nth[i] != 0 && call == s.plan.fail_nth[i] &&
+      hard_budget_left) {
+    ++s.hard_failures;
+    ++s.stats.failures[i];
+    *error_number = s.plan.error_number;
+    return FaultDecision::kFail;
+  }
+  if (s.plan.eintr_prob > 0.0 && NextUnit(&s.rng) < s.plan.eintr_prob) {
+    ++s.stats.eintrs[i];
+    *error_number = EINTR;
+    return FaultDecision::kEintr;
+  }
+  if (s.plan.short_prob > 0.0 &&
+      (op == FaultOp::kRead || op == FaultOp::kRecv ||
+       op == FaultOp::kSend) &&
+      NextUnit(&s.rng) < s.plan.short_prob) {
+    ++s.stats.shorts[i];
+    return FaultDecision::kShort;
+  }
+  if (s.plan.fail_prob > 0.0 && hard_budget_left &&
+      NextUnit(&s.rng) < s.plan.fail_prob) {
+    ++s.hard_failures;
+    ++s.stats.failures[i];
+    *error_number = s.plan.error_number;
+    return FaultDecision::kFail;
+  }
+  return FaultDecision::kPass;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state != nullptr) {
+    std::fprintf(stderr, "ScopedFaultPlan: a plan is already installed\n");
+    std::abort();
+  }
+  auto* state = new InjectorState;
+  state->plan = plan;
+  state->rng = plan.seed ? plan.seed : 1;
+  g_state = state;
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  delete g_state;
+  g_state = nullptr;
+}
+
+FaultStats ScopedFaultPlan::stats() const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_state != nullptr ? g_state->stats : FaultStats{};
+}
+
+}  // namespace fault
+}  // namespace pnr

@@ -89,6 +89,41 @@ TEST(CurvesTest, PnruleRanksRareClassWell) {
   EXPECT_LT(summary.pr_auc, summary.roc_auc);
 }
 
+TEST(CurvesTest, TiedScoresCollapseToOneOperatingPoint) {
+  // Six rows tie at score 0.5 (3 positive, 3 negative); two positives sit
+  // above at 0.9. The documented tie-break — predicted positive iff
+  // score > threshold — means the whole tied block flips together, so the
+  // sweep has exactly one point per distinct score and no point that
+  // splits the tie by some arbitrary intra-tie order.
+  const Dataset dataset = MakeNumericDataset(
+      1, {{{5.0}, true}, {{5.0}, false}, {{5.0}, true}, {{5.0}, false},
+          {{5.0}, true}, {{5.0}, false}, {{9.0}, true}, {{9.0}, true}});
+  ScoreByX classifier;
+  const auto sweep = ThresholdSweep(classifier, dataset, kPos);
+  // Distinct scores {0.5, 0.9} plus the below-everything baseline.
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep[0].second.true_positives, 5.0);
+  EXPECT_DOUBLE_EQ(sweep[0].second.false_positives, 3.0);
+  // Threshold at the tied score: all six tied records (and only they)
+  // become negative in one step.
+  EXPECT_DOUBLE_EQ(sweep[1].first, 0.5);
+  EXPECT_DOUBLE_EQ(sweep[1].second.true_positives, 2.0);
+  EXPECT_DOUBLE_EQ(sweep[1].second.false_positives, 0.0);
+  EXPECT_DOUBLE_EQ(sweep[1].second.false_negatives, 3.0);
+  EXPECT_DOUBLE_EQ(sweep[1].second.true_negatives, 3.0);
+  // Threshold at the top score: nothing predicted positive.
+  EXPECT_DOUBLE_EQ(sweep[2].first, 0.9);
+  EXPECT_DOUBLE_EQ(sweep[2].second.true_positives, 0.0);
+  EXPECT_DOUBLE_EQ(sweep[2].second.false_positives, 0.0);
+
+  // The same collapse seen through OperatingPoints: one point per distinct
+  // score, recall stepping over the whole tied block at once.
+  const auto points = OperatingPoints(classifier, dataset, kPos);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_NEAR(points[1].recall, 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(points[1].precision, 1.0, 1e-12);
+}
+
 TEST(CurvesTest, DegenerateInputs) {
   EXPECT_DOUBLE_EQ(RocAuc({}), 0.0);
   EXPECT_DOUBLE_EQ(PrAuc({}), 0.0);

@@ -1,0 +1,214 @@
+// Fault-injection coverage of the file-I/O boundary (common/file_io.h,
+// data/mapped_file.h, the model/schema loaders): under injected EINTR
+// storms, short reads, mid-transfer failures and allocation failure, every
+// surface must either complete with the exact bytes or fail with a clean
+// IOError — never crash, hang, or silently deliver a prefix.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/file_io.h"
+#include "data/mapped_file.h"
+#include "data/schema_io.h"
+#include "pnrule/model_io.h"
+#include "testing/fault.h"
+
+namespace pnr {
+namespace {
+
+using fault::FaultOp;
+using fault::FaultPlan;
+using fault::OpBit;
+using fault::ScopedFaultPlan;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// 150 KiB of patterned bytes: large enough for several 64 KiB read() calls,
+// so mid-file schedules actually land mid-file.
+std::string PatternContent() {
+  std::string content;
+  content.reserve(150 * 1024);
+  for (size_t i = 0; content.size() < 150 * 1024; ++i) {
+    content += "line " + std::to_string(i) + " of patterned payload\n";
+  }
+  return content;
+}
+
+void WriteFixture(const std::string& path, const std::string& content) {
+  ASSERT_TRUE(WriteStringToFile(content, path).ok());
+}
+
+Schema HarnessSchema() {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("a"));
+  schema.AddAttribute(
+      Attribute::Categorical("color", {"red", "green", "blue"}));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  return schema;
+}
+
+TEST(FaultInjectionTest, ReadSurvivesEintrStormAndShortReads) {
+  const std::string path = TempPath("fault_read_storm");
+  const std::string content = PatternContent();
+  WriteFixture(path, content);
+
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.ops = OpBit(FaultOp::kRead);
+  plan.eintr_prob = 0.3;
+  plan.short_prob = 0.6;
+  ScopedFaultPlan scoped(plan);
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  // Exact bytes despite the storm: retries and short-read accumulation must
+  // not drop, duplicate, or reorder anything.
+  EXPECT_EQ(*read, content);
+  const auto stats = scoped.stats();
+  EXPECT_GT(stats.eintrs[static_cast<int>(FaultOp::kRead)], 0u);
+  EXPECT_GT(stats.shorts[static_cast<int>(FaultOp::kRead)], 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, ReadFailingMidFileIsCleanIOError) {
+  const std::string path = TempPath("fault_read_midfile");
+  WriteFixture(path, PatternContent());
+
+  FaultPlan plan;
+  plan.ops = OpBit(FaultOp::kRead);
+  plan.fail_nth[static_cast<int>(FaultOp::kRead)] = 2;  // second read() dies
+  ScopedFaultPlan scoped(plan);
+  auto read = ReadFileToString(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  // The error names the file; a partial buffer is never returned.
+  EXPECT_NE(read.status().ToString().find(path), std::string::npos);
+  EXPECT_EQ(scoped.stats().failures[static_cast<int>(FaultOp::kRead)], 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, AllocationFailureIsCleanIOError) {
+  const std::string path = TempPath("fault_alloc");
+  WriteFixture(path, "small file\n");
+
+  FaultPlan plan;
+  plan.ops = OpBit(FaultOp::kAlloc);
+  plan.fail_nth[static_cast<int>(FaultOp::kAlloc)] = 1;
+  ScopedFaultPlan scoped(plan);
+  auto read = ReadFileToString(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  EXPECT_NE(read.status().ToString().find("allocate"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, WriteRetriesEintrAndFailsCleanly) {
+  const std::string path = TempPath("fault_write");
+  const std::string content = PatternContent();
+  {
+    // EINTR-only schedule: the write loop must retry to completion.
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.ops = OpBit(FaultOp::kWrite);
+    plan.eintr_prob = 0.4;
+    ScopedFaultPlan scoped(plan);
+    ASSERT_TRUE(WriteStringToFile(content, path).ok());
+    EXPECT_GT(scoped.stats().eintrs[static_cast<int>(FaultOp::kWrite)], 0u);
+  }
+  auto read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, content);
+  {
+    FaultPlan plan;
+    plan.ops = OpBit(FaultOp::kWrite);
+    plan.fail_nth[static_cast<int>(FaultOp::kWrite)] = 1;
+    ScopedFaultPlan scoped(plan);
+    const Status status = WriteStringToFile(content, path);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIOError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, MmapFailureFallsBackToStreaming) {
+  const std::string path = TempPath("fault_mmap");
+  const std::string content = PatternContent();
+  WriteFixture(path, content);
+
+  FaultPlan plan;
+  plan.ops = OpBit(FaultOp::kMmap);
+  plan.fail_nth[static_cast<int>(FaultOp::kMmap)] = 1;
+  ScopedFaultPlan scoped(plan);
+  auto file = MappedFile::Open(path, /*allow_mmap=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  // mmap is an optimization: its injected failure must degrade to the
+  // streaming read with identical bytes, not surface to the caller.
+  EXPECT_FALSE(file->is_mapped());
+  EXPECT_EQ(std::string(file->bytes()), content);
+  EXPECT_EQ(scoped.stats().failures[static_cast<int>(FaultOp::kMmap)], 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, ModelAndSchemaLoadSurfaceCleanIOError) {
+  const std::string schema_path = TempPath("fault_schema.schema");
+  const std::string model_path = TempPath("fault_model.model");
+  const Schema schema = HarnessSchema();
+  ASSERT_TRUE(SaveSchema(schema, schema_path).ok());
+  auto model = ParsePnruleModel(
+      "pnrule-model v1\nthreshold 0.5\nuse_score_matrix 0\n"
+      "p-rules 1\nrule 1 3 2\ncond le a 1.5\nn-rules 0\nscores 1 0\n"
+      "0.9:3\nend\n",
+      schema);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(SavePnruleModel(*model, schema, model_path).ok());
+
+  {
+    FaultPlan plan;
+    plan.ops = OpBit(FaultOp::kRead);
+    plan.fail_nth[static_cast<int>(FaultOp::kRead)] = 1;
+    ScopedFaultPlan scoped(plan);
+    auto loaded = LoadSchema(schema_path);
+    ASSERT_FALSE(loaded.ok());
+    // An I/O failure must be distinguishable from a corrupt file: IOError,
+    // not a parse InvalidArgument over half a document.
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  }
+  {
+    FaultPlan plan;
+    plan.ops = OpBit(FaultOp::kRead);
+    plan.fail_nth[static_cast<int>(FaultOp::kRead)] = 1;
+    ScopedFaultPlan scoped(plan);
+    auto loaded = LoadPnruleModel(model_path, schema);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  }
+  // Without a plan the same files load fine.
+  EXPECT_TRUE(LoadSchema(schema_path).ok());
+  EXPECT_TRUE(LoadPnruleModel(model_path, schema).ok());
+  std::remove(schema_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST(FaultInjectionTest, PlanScopedToOtherOpsIsInert) {
+  const std::string path = TempPath("fault_inert");
+  const std::string content = "untouched by a socket-only plan\n";
+  WriteFixture(path, content);
+
+  FaultPlan plan;
+  plan.ops = OpBit(FaultOp::kRecv) | OpBit(FaultOp::kSend);
+  plan.eintr_prob = 1.0;
+  plan.fail_prob = 1.0;
+  ScopedFaultPlan scoped(plan);
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, content);
+  EXPECT_EQ(scoped.stats().total_injected(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pnr

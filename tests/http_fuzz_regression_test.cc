@@ -1,0 +1,163 @@
+// Regression suite for HttpRequestParser findings from the fuzz/hardening
+// pass — every case here is also a checked-in corpus file under
+// tests/http_fuzz_regressions/ that the fuzz replay target re-runs, so a
+// fixed parser bug cannot quietly regress in either harness.
+//
+// Corpus file names encode the expectation: `400-<slug>.http` must be
+// rejected with that status, `ok-<slug>.http` must complete a request.
+
+#include "serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+
+namespace pnr {
+namespace {
+
+// Feeds `raw` to a fresh parser all at once and byte-at-a-time; asserts the
+// two agree, then returns the batch parser's final state.
+struct ParseOutcome {
+  HttpRequestParser::State state;
+  int error_status = 0;
+  std::string error_message;
+  HttpRequest request;
+};
+
+ParseOutcome ParseBothWays(const std::string& raw) {
+  HttpRequestParser batch;
+  batch.Consume(raw);
+  HttpRequestParser incremental;
+  for (size_t i = 0;
+       i < raw.size() &&
+       incremental.state() == HttpRequestParser::State::kNeedMore;
+       ++i) {
+    incremental.Consume(std::string_view(raw).substr(i, 1));
+  }
+  EXPECT_EQ(batch.state(), incremental.state());
+  ParseOutcome outcome;
+  outcome.state = batch.state();
+  if (batch.state() == HttpRequestParser::State::kError) {
+    EXPECT_EQ(batch.error_status(), incremental.error_status());
+    EXPECT_EQ(batch.error_message(), incremental.error_message());
+    outcome.error_status = batch.error_status();
+    outcome.error_message = batch.error_message();
+  } else if (batch.state() == HttpRequestParser::State::kDone) {
+    outcome.request = batch.Take();
+  }
+  return outcome;
+}
+
+// -- Named regressions: the Content-Length leniencies the fuzz pass found --
+
+TEST(HttpFuzzRegressionTest, DuplicateContentLengthRejected) {
+  // Before the fix, duplicate headers silently used the first value — the
+  // classic request-smuggling vector. Identical values are rejected too:
+  // agreement between duplicates is still two framings.
+  const auto outcome = ParseBothWays(
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi");
+  ASSERT_EQ(outcome.state, HttpRequestParser::State::kError);
+  EXPECT_EQ(outcome.error_status, 400);
+  EXPECT_NE(outcome.error_message.find("duplicate Content-Length"),
+            std::string::npos);
+}
+
+TEST(HttpFuzzRegressionTest, ConflictingContentLengthRejected) {
+  const auto outcome = ParseBothWays(
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi!");
+  ASSERT_EQ(outcome.state, HttpRequestParser::State::kError);
+  EXPECT_EQ(outcome.error_status, 400);
+}
+
+TEST(HttpFuzzRegressionTest, SignedContentLengthRejected) {
+  // ParseInt64 accepts '-' and '+'; the strict grammar must not.
+  for (const char* value : {"+5", "-5", "-0"}) {
+    const auto outcome = ParseBothWays(std::string("POST / HTTP/1.1\r\n") +
+                                       "Content-Length: " + value +
+                                       "\r\n\r\nhello");
+    ASSERT_EQ(outcome.state, HttpRequestParser::State::kError) << value;
+    EXPECT_EQ(outcome.error_status, 400) << value;
+    EXPECT_NE(outcome.error_message.find("bad Content-Length"),
+              std::string::npos)
+        << value;
+  }
+}
+
+TEST(HttpFuzzRegressionTest, NonDigitContentLengthRejected) {
+  // Inner whitespace, trailing junk, hex, empty: all violate 1*DIGIT.
+  for (const char* value : {"1 2", "12abc", "0x10", "", "2,2", "5."}) {
+    const auto outcome = ParseBothWays(std::string("POST / HTTP/1.1\r\n") +
+                                       "Content-Length: " + value +
+                                       "\r\n\r\n");
+    ASSERT_EQ(outcome.state, HttpRequestParser::State::kError)
+        << "value '" << value << "'";
+    EXPECT_EQ(outcome.error_status, 400) << "value '" << value << "'";
+  }
+}
+
+TEST(HttpFuzzRegressionTest, OverflowingContentLengthRejected) {
+  // 2^64 + 1: wrapped to 1 by a naive accumulator, which would make the
+  // parser wait for a 1-byte body of a request claiming 18 exabytes.
+  const auto outcome = ParseBothWays(
+      "POST / HTTP/1.1\r\nContent-Length: 18446744073709551617\r\n\r\n");
+  ASSERT_EQ(outcome.state, HttpRequestParser::State::kError);
+  EXPECT_EQ(outcome.error_status, 400);
+  EXPECT_NE(outcome.error_message.find("bad Content-Length"),
+            std::string::npos);
+}
+
+TEST(HttpFuzzRegressionTest, ContentLengthWithTransferEncodingRejected) {
+  const auto outcome = ParseBothWays(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+      "Transfer-Encoding: chunked\r\n\r\nabcd");
+  ASSERT_EQ(outcome.state, HttpRequestParser::State::kError);
+  EXPECT_EQ(outcome.error_status, 400);
+  EXPECT_NE(outcome.error_message.find("Transfer-Encoding"),
+            std::string::npos);
+}
+
+TEST(HttpFuzzRegressionTest, ValidContentLengthsStillAccepted) {
+  // Leading zeros satisfy 1*DIGIT; surrounding OWS is stripped with every
+  // other header value before the strict parse sees it.
+  for (const char* value : {"5", "005", " 5 "}) {
+    const auto outcome = ParseBothWays(std::string("POST / HTTP/1.1\r\n") +
+                                       "Content-Length: " + value +
+                                       "\r\n\r\nhello");
+    ASSERT_EQ(outcome.state, HttpRequestParser::State::kDone)
+        << "value '" << value << "'";
+    EXPECT_EQ(outcome.request.body, "hello") << "value '" << value << "'";
+  }
+}
+
+// -- Corpus replay: every checked-in .http file honors its filename ---------
+
+TEST(HttpFuzzRegressionTest, CorpusFilesHonorTheirFilenames) {
+  namespace fs = std::filesystem;
+  const fs::path dir(PNR_HTTP_REGRESSION_DIR);
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  ASSERT_GE(files.size(), 10u) << "regression corpus missing from " << dir;
+  for (const fs::path& file : files) {
+    const std::string name = file.filename().string();
+    auto raw = ReadFileToString(file.string());
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    const auto outcome = ParseBothWays(*raw);
+    if (name.rfind("ok-", 0) == 0) {
+      EXPECT_EQ(outcome.state, HttpRequestParser::State::kDone) << name;
+    } else {
+      const int expected = std::stoi(name.substr(0, name.find('-')));
+      ASSERT_EQ(outcome.state, HttpRequestParser::State::kError) << name;
+      EXPECT_EQ(outcome.error_status, expected) << name;
+      EXPECT_FALSE(outcome.error_message.empty()) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnr

@@ -289,15 +289,74 @@ TEST(IngestEngineTest, MmapAndStreamingTransportsAgree) {
 TEST(IngestEngineTest, EmptyFileReportsEmptyInput) {
   const std::string path = ::testing::TempDir() + "/pnr_ingest_empty.csv";
   { std::ofstream file(path); }
+  // A zero-byte file takes a special path through MappedFile (mmap of
+  // length 0 is not attempted); the mmap and streaming transports must
+  // still produce the identical diagnostic, not just the same code.
+  std::string first_error;
   for (const bool allow_mmap : {true, false}) {
     IngestOptions options;
     options.allow_mmap = allow_mmap;
     options.num_threads = 2;
     auto dataset = IngestEngine(options).LoadCsv(path);
-    EXPECT_FALSE(dataset.ok());
+    ASSERT_FALSE(dataset.ok());
     EXPECT_EQ(dataset.status().code(), StatusCode::kInvalidArgument);
+    if (first_error.empty()) {
+      first_error = dataset.status().ToString();
+    } else {
+      EXPECT_EQ(dataset.status().ToString(), first_error);
+    }
+  }
+  EXPECT_NE(first_error.find("empty CSV input"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IngestEngineTest, QuotedFieldAtEofWithoutNewlineAgreesAcrossTransports) {
+  // The last byte of the file is the closing quote of a quoted field — no
+  // trailing newline. EOF is a record end, so this must parse, and the
+  // mmap transport (which hands the parser a non-NUL-terminated view) must
+  // agree byte-for-byte with streaming and with the in-memory parse.
+  const std::string text =
+      "x,label\n"
+      "\"multi\nline\",pos\n"
+      "7,\"neg\"";
+  const Dataset in_memory = ExpectAllPathsAgree(text, {}, 8);
+  ASSERT_EQ(in_memory.num_rows(), 2u);
+  EXPECT_EQ(in_memory.schema().class_attr().CategoryName(in_memory.label(1)),
+            "neg");
+
+  const std::string path = ::testing::TempDir() + "/pnr_ingest_qeof.csv";
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << text;
+  }
+  for (const bool allow_mmap : {true, false}) {
+    IngestOptions options;
+    options.allow_mmap = allow_mmap;
+    options.num_threads = 2;
+    options.chunk_bytes = 8;
+    auto loaded = IngestEngine(options).LoadCsv(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectBitwiseEqual(in_memory, loaded.value());
   }
   std::remove(path.c_str());
+}
+
+TEST(IngestCsvTest, LoneCarriageReturnIsFieldSpaceNotARecordSeparator) {
+  // Classic-Mac '\r'-only endings are NOT record separators in this
+  // grammar: '\r' is field-space, so a file with no '\n' is one record.
+  // With a header that record is consumed and the parse fails — but it
+  // must fail identically on every path, never split differently between
+  // the serial reference and a chunked parallel parse.
+  const Status status = ExpectAllPathsReject("x,label\r1,a\r2,b\r", {}, 4);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("no data rows"), std::string::npos);
+
+  // A trailing lone '\r' at EOF (after a normal final record) is trimmed
+  // like any other field-space.
+  const Dataset dataset = ExpectAllPathsAgree("x,label\n1,a\n2,b\r", {}, 4);
+  ASSERT_EQ(dataset.num_rows(), 2u);
+  EXPECT_EQ(dataset.schema().class_attr().CategoryName(dataset.label(1)),
+            "b");
 }
 
 TEST(IngestEngineTest, MissingFileIsIOError) {

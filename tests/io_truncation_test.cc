@@ -1,0 +1,179 @@
+// Truncation hardening for the two text formats that persist state:
+// pnrule models (pnrule/model_io.h) and schemas (data/schema_io.h). A file
+// lopped at any byte — a torn copy, a full disk, a killed writer — must
+// produce a located error naming the line and the token the parser was
+// still expecting, or (only when the cut lands exactly at the end of the
+// final record) parse to the identical document. Silent prefix-acceptance
+// is the failure mode these sweeps exist to rule out.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "data/schema_io.h"
+#include "pnrule/model_io.h"
+
+namespace pnr {
+namespace {
+
+Schema HarnessSchema() {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("a"));
+  schema.AddAttribute(Attribute::Numeric("b"));
+  schema.AddAttribute(
+      Attribute::Categorical("color", {"red", "green", "blue"}));
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  return schema;
+}
+
+const char kModelText[] =
+    "pnrule-model v1\n"
+    "threshold 0.5\n"
+    "use_score_matrix 1\n"
+    "p-rules 2\n"
+    "rule 2 10 7\n"
+    "cond le a 3.5\n"
+    "cond cat color red\n"
+    "rule 1 4 2\n"
+    "cond range b 0.25 0.75\n"
+    "n-rules 1\n"
+    "rule 1 5 1\n"
+    "cond gt b 0.25\n"
+    "scores 2 1\n"
+    "0.7:10 0.3:5\n"
+    "0.6:4 0.2:2\n"
+    "end\n";
+
+// Every rejection must carry a location: a line number for content and
+// truncation errors, or the version token for reader/writer skew.
+void ExpectLocated(const Status& status, const std::string& context) {
+  EXPECT_FALSE(status.ok()) << context;
+  const std::string text = status.ToString();
+  EXPECT_TRUE(text.find("line") != std::string::npos ||
+              text.find("version") != std::string::npos)
+      << context << ": unlocated error '" << text << "'";
+}
+
+TEST(ModelTruncationTest, EveryBytePrefixIsLocatedErrorOrExactDocument) {
+  const Schema schema = HarnessSchema();
+  auto full = ParsePnruleModel(kModelText, schema);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  const std::string canonical = SerializePnruleModel(*full, schema);
+
+  const std::string text(kModelText);
+  size_t accepted = 0;
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    const std::string prefix = text.substr(0, cut);
+    auto parsed = ParsePnruleModel(prefix, schema);
+    if (parsed.ok()) {
+      // Only a cut that preserves the complete final record may parse —
+      // and then it must mean exactly what the full document means.
+      ++accepted;
+      EXPECT_EQ(SerializePnruleModel(*parsed, schema), canonical)
+          << "prefix of " << cut << " bytes parsed to a different model";
+    } else {
+      ExpectLocated(parsed.status(),
+                    "model prefix of " + std::to_string(cut) + " bytes");
+    }
+  }
+  // Exactly one proper prefix is complete: the one ending at "end" with the
+  // trailing newline cut off.
+  EXPECT_EQ(accepted, 1u);
+}
+
+TEST(ModelTruncationTest, EofMidRecordNamesLineAndExpectedToken) {
+  const Schema schema = HarnessSchema();
+  // Cut after "rule 2 10 7\n": the parser is owed two conditions.
+  const std::string cut_rule =
+      "pnrule-model v1\nthreshold 0.5\nuse_score_matrix 1\n"
+      "p-rules 2\nrule 2 10 7\n";
+  auto parsed = ParsePnruleModel(cut_rule, schema);
+  ASSERT_FALSE(parsed.ok());
+  const std::string error = parsed.status().ToString();
+  EXPECT_NE(error.find("unexpected end of input after line 5"),
+            std::string::npos)
+      << error;
+  EXPECT_NE(error.find("expected condition 1 of 2"), std::string::npos)
+      << error;
+
+  // Cut inside the score matrix: the error names which row is missing.
+  const std::string text(kModelText);
+  const size_t second_row = text.find("0.6:4");
+  ASSERT_NE(second_row, std::string::npos) << "fixture drifted";
+  parsed = ParsePnruleModel(text.substr(0, second_row), schema);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("expected score row 2 of 2"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ModelTruncationTest, TrailingContentAfterEndRejected) {
+  const Schema schema = HarnessSchema();
+  auto parsed =
+      ParsePnruleModel(std::string(kModelText) + "leftover\n", schema);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("trailing content after 'end'"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SchemaTruncationTest, EveryBytePrefixIsLocatedErrorOrExactDocument) {
+  const std::string canonical = SerializeSchema(HarnessSchema());
+  size_t accepted = 0;
+  for (size_t cut = 0; cut < canonical.size(); ++cut) {
+    const std::string prefix = canonical.substr(0, cut);
+    auto parsed = ParseSchema(prefix);
+    if (parsed.ok()) {
+      ++accepted;
+      EXPECT_EQ(SerializeSchema(*parsed), canonical)
+          << "prefix of " << cut << " bytes parsed to a different schema";
+    } else {
+      ExpectLocated(parsed.status(),
+                    "schema prefix of " + std::to_string(cut) + " bytes");
+    }
+  }
+  EXPECT_EQ(accepted, 1u);
+}
+
+TEST(SchemaTruncationTest, EofMidRecordNamesLineAndExpectedToken) {
+  // Declared 3 categories, file ends after the first value line.
+  auto parsed = ParseSchema(
+      "pnrule-schema v1\nattributes 1\ncategorical 3 color\nvalue red\n");
+  ASSERT_FALSE(parsed.ok());
+  const std::string error = parsed.status().ToString();
+  EXPECT_NE(error.find("unexpected end of input after line 4"),
+            std::string::npos)
+      << error;
+  EXPECT_NE(error.find("expected value 2 of 3 for attribute 'color'"),
+            std::string::npos)
+      << error;
+}
+
+TEST(SchemaTruncationTest, TrailingContentAfterEndRejected) {
+  const std::string canonical = SerializeSchema(HarnessSchema());
+  auto parsed = ParseSchema(canonical + "garbage\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("trailing content after 'end'"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SchemaTruncationTest, SaveLoadRoundTripsThroughFileIo) {
+  const std::string path =
+      testing::TempDir() + "/pnr_schema_roundtrip.schema";
+  const Schema schema = HarnessSchema();
+  ASSERT_TRUE(SaveSchema(schema, path).ok());
+  auto loaded = LoadSchema(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(SerializeSchema(*loaded), SerializeSchema(schema));
+  std::remove(path.c_str());
+
+  auto missing = LoadSchema(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace pnr

@@ -264,6 +264,43 @@ TEST(ServeTest, MalformedRequestsAnswer4xx) {
   server.Shutdown();
 }
 
+// Satellite hardening of the JSON boundary: hostile documents that are
+// syntactically "almost JSON" must come back as clean 400s with a located,
+// specific error — never a crash, hang, or accepted non-finite number.
+TEST(ServeTest, JsonHardeningAnswers400) {
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_threads = 2;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client = MustConnect(server.port());
+
+  // Nesting past the parser's depth bound: 400 naming the reason, not a
+  // stack overflow.
+  std::string deep = "{\"model\":\"m\",\"rows\":";
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  deep += '}';
+  auto response = client.Roundtrip("POST", "/v1/predict", deep);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 400);
+  EXPECT_NE(response->body.find("nesting too deep"), std::string::npos);
+
+  // Bare NaN/Infinity tokens: JSON has no non-finite numbers, and the
+  // shared ParseDouble (which ingest uses for CSV cells, where "nan" IS
+  // valid) must not leak that permissiveness into this boundary.
+  for (const char* bad :
+       {"{\"x\":NaN}", "{\"x\":Infinity}", "{\"x\":-Infinity}",
+        "{\"x\":nan}", "{\"x\":1e999}"}) {
+    response = client.Roundtrip("POST", "/v1/predict", bad);
+    ASSERT_TRUE(response.ok()) << bad;
+    EXPECT_EQ(response->status, 400) << bad;
+  }
+
+  server.Shutdown();
+}
+
 TEST(ServeTest, UtilityEndpoints) {
   std::unique_ptr<ModelRegistry> registry(MakeRegistry());
   ServerConfig config;

@@ -32,7 +32,8 @@ for san in "${sanitizers[@]}"; do
   cmake --build "$build_dir" -j"$(nproc)" --target \
         thread_pool_test sorted_column_cache_test \
         condition_search_oracle_test parallel_determinism_test \
-        batch_score_test ingest_test serve_test
+        batch_score_test ingest_test serve_test \
+        fault_injection_test serve_fault_test fuzz_replay
   if [ ${#label_args[@]} -eq 0 ]; then
     cmake --build "$build_dir" -j"$(nproc)"
   fi
