@@ -1,0 +1,319 @@
+// Flagship tuning race: tuned PNrule (winner of the 24-point default grid
+// raced by src/tune/) against default-config PNrule, RIPPER, and C4.5rules
+// on the simulated KDDCUP'99 data, with the rare class re-subsampled to
+// three imbalance ratios — roughly 1%, 0.3%, and 0.1% of the training
+// records.
+//
+// For each ratio the bench races ConfigSpace::Default() over stratified
+// 5-fold CV on the training split (successive halving + confidence-bound
+// elimination, exactly what `pnr tune` runs), then trains the winner and
+// every baseline on the full training split and scores the shifted-
+// distribution test split. The tuned and default rows also report their
+// cross-validation recall/precision as mean ± sd over the folds each arm
+// survived — the error bars behind the point estimates.
+//
+// Flags: --paper-scale | --scale=<f> | --quick | --seed=<n>
+// Env:   PNR_BENCH_JSON=<path> — write the race + test numbers as JSON
+//        (the committed BENCH_tune.json is this file at default scale).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "synth/kdd_sim.h"
+#include "tune/report.h"
+
+namespace pnr {
+namespace {
+
+// Fraction of rows labeled `target`.
+double TargetFraction(const Dataset& dataset, CategoryId target) {
+  size_t count = 0;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    count += dataset.label(r) == target;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(dataset.num_rows());
+}
+
+// Keeps every non-target row and a `target_fraction` sample of the target
+// rows — the mirror image of SubsampleNonTarget, for lowering a class's
+// ratio below its natural rate.
+Dataset ThinTarget(const Dataset& source, CategoryId target,
+                   double target_fraction, Rng* rng) {
+  Dataset out(source.schema());
+  const Schema& schema = source.schema();
+  for (RowId r = 0; r < source.num_rows(); ++r) {
+    if (source.label(r) == target && !rng->NextBool(target_fraction)) {
+      continue;
+    }
+    const RowId nr = out.AddRow();
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttrIndex attr = static_cast<AttrIndex>(a);
+      if (schema.attribute(attr).is_numeric()) {
+        out.set_numeric(nr, attr, source.numeric(r, attr));
+      } else {
+        out.set_categorical(nr, attr, source.categorical(r, attr));
+      }
+    }
+    out.set_label(nr, source.label(r));
+    out.set_weight(nr, source.weight(r));
+  }
+  return out;
+}
+
+// Re-subsamples `base` so the target class makes up ~`ratio` of the
+// training split: thins non-target rows to raise the ratio, target rows to
+// lower it. Both splits get the same transform so the test distribution
+// shift stays comparable across ratios.
+TrainTestPair AtRatio(const TrainTestPair& base, CategoryId target,
+                      double ratio, uint64_t seed) {
+  const double p = TargetFraction(base.train, target);
+  if (ratio >= p) {
+    const double keep = p * (1.0 - ratio) / (ratio * (1.0 - p));
+    return SubsamplePair(base, target, std::min(1.0, keep), seed);
+  }
+  const double keep = ratio * (1.0 - p) / (p * (1.0 - ratio));
+  Rng rng(seed);
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  return TrainTestPair{ThinTarget(base.train, target, keep, &train_rng),
+                       ThinTarget(base.test, target, keep, &test_rng)};
+}
+
+struct CvStats {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+CvStats Summarize(const std::vector<FoldEval>& folds,
+                  double (*pick)(const FoldEval&)) {
+  CvStats out;
+  if (folds.empty()) return out;
+  for (const FoldEval& f : folds) out.mean += pick(f);
+  out.mean /= static_cast<double>(folds.size());
+  if (folds.size() >= 2) {
+    double sq = 0.0;
+    for (const FoldEval& f : folds) {
+      const double d = pick(f) - out.mean;
+      sq += d * d;
+    }
+    out.sd = std::sqrt(sq / static_cast<double>(folds.size() - 1));
+  }
+  return out;
+}
+
+std::string CvCell(const std::vector<FoldEval>& folds,
+                   double (*pick)(const FoldEval&)) {
+  const CvStats stats = Summarize(folds, pick);
+  return FormatDouble(stats.mean, 3) + "±" + FormatDouble(stats.sd, 3);
+}
+
+double PickRecall(const FoldEval& f) { return f.recall; }
+double PickPrecision(const FoldEval& f) { return f.precision; }
+
+// Index of the stock PnruleConfig inside the enumerated default grid.
+size_t DefaultConfigIndex(const std::vector<TrialConfig>& configs) {
+  const PnruleConfig stock;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const PnruleConfig& c = configs[i].config;
+    if (c.min_coverage_fraction == stock.min_coverage_fraction &&
+        c.n_recall_lower_limit == stock.n_recall_lower_limit &&
+        c.min_support_fraction == stock.min_support_fraction &&
+        c.max_p_rule_length == stock.max_p_rule_length &&
+        c.metric == stock.metric) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+struct RatioOutcome {
+  double ratio = 0.0;
+  size_t train_rows = 0;
+  size_t target_rows = 0;
+  RaceResult race;
+  std::vector<TrialConfig> configs;
+  std::vector<VariantResult> test_results;  // C, R, P-default, P-tuned
+};
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+  }
+  return out;
+}
+
+void AppendVariantJson(const VariantResult& result, std::string* out) {
+  *out += "{\"variant\": \"" + JsonEscape(result.variant) +
+          "\", \"recall\": " + FormatDouble(result.metrics.recall, 6) +
+          ", \"precision\": " + FormatDouble(result.metrics.precision, 6) +
+          ", \"f\": " + FormatDouble(result.metrics.f_measure, 6) + "}";
+}
+
+std::string RenderJson(const std::vector<RatioOutcome>& outcomes,
+                       const ExperimentScale& scale) {
+  std::string out = "{\n  \"tool\": \"tune_race bench\",\n";
+  out += "  \"dataset\": \"kdd_sim r2l\",\n";
+  out += "  \"scale\": " + FormatDouble(scale.factor, 4) + ",\n";
+  out += "  \"seed\": " + std::to_string(scale.seed) + ",\n";
+  out += "  \"ratios\": [\n";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const RatioOutcome& outcome = outcomes[i];
+    out += "    {\"ratio\": " + FormatDouble(outcome.ratio, 4) +
+           ", \"train_rows\": " + std::to_string(outcome.train_rows) +
+           ", \"target_rows\": " + std::to_string(outcome.target_rows) +
+           ",\n     \"winner\": \"" +
+           JsonEscape(outcome.configs[outcome.race.best_config].Describe()) +
+           "\", \"evals_used\": " +
+           std::to_string(outcome.race.evals_used) + ",\n     \"test\": [";
+    for (size_t v = 0; v < outcome.test_results.size(); ++v) {
+      if (v != 0) out += ", ";
+      AppendVariantJson(outcome.test_results[v], &out);
+    }
+    out += "]}";
+    out += i + 1 == outcomes.size() ? "\n" : ",\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const ExperimentScale scale = ScaleFromArgs(argc, argv);
+  std::printf("Tuning race: PNrule (tuned vs default) vs RIPPER vs C4.5 "
+              "on kdd_sim r2l (%s)\n\n",
+              DescribeScale(scale).c_str());
+
+  KddSimParams params;
+  params.train_records = scale.train_records;
+  params.test_records = scale.test_records;
+  params.seed = scale.seed;
+  auto data_or = GenerateKddSim(params);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "kdd_sim: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  KddSimData kdd = std::move(data_or).value();
+  const TrainTestPair base{std::move(kdd.train), std::move(kdd.test)};
+  const CategoryId target =
+      base.train.schema().class_attr().FindCategory("r2l");
+
+  const std::vector<TrialConfig> configs =
+      ConfigSpace::Default().Enumerate(PnruleConfig{});
+  const size_t default_index = DefaultConfigIndex(configs);
+
+  std::vector<RatioOutcome> outcomes;
+  for (double ratio : {0.01, 0.003, 0.001}) {
+    const TrainTestPair data = AtRatio(base, target, ratio, scale.seed);
+    RatioOutcome outcome;
+    outcome.ratio = ratio;
+    outcome.train_rows = data.train.num_rows();
+    outcome.target_rows = static_cast<size_t>(
+        TargetFraction(data.train, target) *
+            static_cast<double>(data.train.num_rows()) +
+        0.5);
+    std::printf("ratio %.2f%%: %zu train rows, %zu rare\n", ratio * 100.0,
+                outcome.train_rows, outcome.target_rows);
+    std::fflush(stdout);
+
+    RacerOptions options;
+    options.num_folds = 5;
+    options.seed = scale.seed;
+    options.metric = TuneMetric::kFMeasure;
+    options.num_threads = 0;  // hardware
+    Racer racer(options);
+    auto race = racer.Race(data.train, target, configs);
+    if (!race.ok()) {
+      std::fprintf(stderr, "race: %s\n", race.status().ToString().c_str());
+      return 1;
+    }
+    outcome.race = std::move(race).value();
+    outcome.configs = configs;
+
+    // Test-split comparison: baselines, stock PNrule, tuned PNrule.
+    for (const std::string& variant : {std::string("C"), std::string("R")}) {
+      auto result = RunVariant(variant, data, "r2l", scale.seed);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", variant.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      outcome.test_results.push_back(std::move(result).value());
+    }
+    const size_t picks[] = {default_index, outcome.race.best_config};
+    for (size_t v = 0; v < 2; ++v) {
+      auto result =
+          RunPnruleConfigured(configs[picks[v]].config, data, "r2l");
+      if (!result.ok()) {
+        std::fprintf(stderr, "PNrule: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      VariantResult configured = std::move(result).value();
+      configured.variant = v == 0 ? "P-default" : "P-tuned";
+      configured.detail = configs[picks[v]].Describe();
+      outcome.test_results.push_back(std::move(configured));
+    }
+    // The grid contains the stock config, so "tuned" can never lose the
+    // race to it — but it can tie (best_config == default_index).
+    outcomes.push_back(std::move(outcome));
+  }
+
+  for (const RatioOutcome& outcome : outcomes) {
+    std::printf("\n== rare-class ratio %.2f%% (%zu/%zu rare train rows) "
+                "==\n\n",
+                outcome.ratio * 100.0, outcome.target_rows,
+                outcome.train_rows);
+    const size_t evals_full = configs.size() * 5;
+    std::printf("race: %zu/%zu evals (%.0f%% saved), winner `%s`\n\n",
+                outcome.race.evals_used, evals_full,
+                100.0 * (1.0 - static_cast<double>(outcome.race.evals_used) /
+                                   static_cast<double>(evals_full)),
+                outcome.configs[outcome.race.best_config].Describe().c_str());
+    TablePrinter table({"M", "Rec", "Prec", "F", "cv Rec", "cv Prec"});
+    for (const VariantResult& result : outcome.test_results) {
+      std::vector<std::string> row = {result.variant};
+      AppendMetricsCells(result, &row);
+      if (result.variant == "P-default") {
+        const TrialState& trial = outcome.race.trials[default_index];
+        row.push_back(CvCell(trial.folds, PickRecall));
+        row.push_back(CvCell(trial.folds, PickPrecision));
+      } else if (result.variant == "P-tuned") {
+        const TrialState& trial =
+            outcome.race.trials[outcome.race.best_config];
+        row.push_back(CvCell(trial.folds, PickRecall));
+        row.push_back(CvCell(trial.folds, PickPrecision));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+
+  if (const char* json_path = std::getenv("PNR_BENCH_JSON")) {
+    const Status written =
+        WriteStringToFile(RenderJson(outcomes, scale), json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nJSON written to %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pnr
+
+int main(int argc, char** argv) { return pnr::Run(argc, argv); }

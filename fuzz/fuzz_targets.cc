@@ -15,6 +15,7 @@
 #include "pnrule/model_io.h"
 #include "serve/http.h"
 #include "serve/json.h"
+#include "tune/config_space.h"
 
 namespace pnr {
 namespace fuzz {
@@ -366,6 +367,33 @@ void FuzzJson(const uint8_t* data, size_t size) {
              "JSON parse/render/reparse changed the tree");
 }
 
+void FuzzTune(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const std::string text(AsText(data, size));
+  auto space = ConfigSpace::Parse(text);
+  if (!space.ok()) {
+    // Every rejection locates itself: either a specific line or the
+    // file-level "tune config:" prefix for whole-file problems.
+    const std::string error = space.status().ToString();
+    FUZZ_CHECK(error.find("tune config") != std::string::npos,
+               "tune config rejection without a located message");
+    // Parsing is deterministic: the same bytes reject identically.
+    auto again = ConfigSpace::Parse(text);
+    FUZZ_CHECK(!again.ok() && again.status().ToString() == error,
+               "tune config rejection is not deterministic");
+    return;
+  }
+  // An accepted grid respects the enumeration cap and its advertised size.
+  FUZZ_CHECK(space->size() <= ConfigSpace::kMaxConfigs,
+             "accepted tune grid exceeds kMaxConfigs");
+  const std::vector<TrialConfig> configs = space->Enumerate(PnruleConfig{});
+  FUZZ_CHECK(configs.size() == space->size(),
+             "enumerated grid size disagrees with size()");
+  for (const TrialConfig& trial : configs) {
+    FUZZ_CHECK(!trial.Describe().empty(), "config with empty description");
+  }
+}
+
 namespace {
 
 struct Target {
@@ -376,6 +404,7 @@ struct Target {
 constexpr Target kTargets[] = {
     {"csv", FuzzCsv},     {"arff", FuzzArff}, {"model", FuzzModel},
     {"schema", FuzzSchema}, {"http", FuzzHttp}, {"json", FuzzJson},
+    {"tune", FuzzTune},
 };
 
 }  // namespace
@@ -387,7 +416,7 @@ TargetFn FindTarget(std::string_view name) {
   return nullptr;
 }
 
-const char* TargetNames() { return "csv arff model schema http json"; }
+const char* TargetNames() { return "csv arff model schema http json tune"; }
 
 }  // namespace fuzz
 }  // namespace pnr

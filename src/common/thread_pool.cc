@@ -101,4 +101,42 @@ void ThreadPool::ParallelFor(size_t count,
   }
 }
 
+ThreadBudget::ThreadBudget(size_t total_threads)
+    : total_(ThreadPool::ResolveThreadCount(total_threads)) {}
+
+size_t ThreadBudget::Reserve(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t granted = std::min(count, total_ - in_use_);
+  in_use_ += granted;
+  return granted;
+}
+
+ThreadBudget::Lease ThreadBudget::Acquire(size_t want) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t extras =
+      want > 1 ? std::min(want - 1, total_ - in_use_) : 0;
+  in_use_ += extras;
+  return Lease(this, 1 + extras);
+}
+
+size_t ThreadBudget::in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+void ThreadBudget::ReleaseExtras(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_use_ -= count;
+}
+
+ThreadBudget::Lease::Lease(Lease&& other) noexcept
+    : budget_(other.budget_), count_(other.count_) {
+  other.budget_ = nullptr;
+  other.count_ = 1;
+}
+
+ThreadBudget::Lease::~Lease() {
+  if (budget_ != nullptr && count_ > 1) budget_->ReleaseExtras(count_ - 1);
+}
+
 }  // namespace pnr

@@ -100,6 +100,76 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// Cooperative thread budget for nested fan-outs.
+///
+/// ThreadPool forbids nesting, so engines that compose — the tuning racer
+/// fanning config×fold tasks out over one pool while each task trains a
+/// learner whose ConditionSearchEngine owns another pool — would naively
+/// multiply their thread counts (an outer width of 8 running 8-thread
+/// learners is 64 live workers on an 8-core box). A shared ThreadBudget
+/// caps the *sum* instead: the orchestrator reserves its outer workers
+/// up front with Reserve(), and each task leases the inner width it may
+/// use through Acquire(). Leases always grant at least 1 (the task's own
+/// thread, already covered by the reservation) plus whatever unreserved
+/// capacity remains, so total live workers never exceed the budget and no
+/// task can starve.
+///
+/// Determinism: the granted width varies with timing, but every engine in
+/// this library produces bit-identical results at any thread count, so a
+/// budget only ever changes speed — never bytes. Only sub-tasks whose
+/// output is thread-count-invariant may size themselves from a lease.
+class ThreadBudget {
+ public:
+  /// Creates a budget of `total_threads` concurrently live workers
+  /// (0 = hardware concurrency).
+  explicit ThreadBudget(size_t total_threads);
+
+  /// Permanently sets aside `count` threads (an outer pool's workers plus
+  /// its participating caller). Returns the number actually reserved —
+  /// clamped to the remaining capacity, so callers can size an outer pool
+  /// as `Reserve(desired)` and never overdraw.
+  size_t Reserve(size_t count);
+
+  /// A RAII lease of worker threads; releases its extras on destruction.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    /// Threads this task may run concurrently (>= 1): its own thread plus
+    /// the granted extras. Pass as a learner's num_threads knob.
+    size_t count() const { return count_; }
+
+   private:
+    friend class ThreadBudget;
+    Lease(ThreadBudget* budget, size_t count)
+        : budget_(budget), count_(count) {}
+    ThreadBudget* budget_;
+    size_t count_;
+  };
+
+  /// Leases up to `want` threads: 1 for the calling task itself (assumed
+  /// covered by a prior Reserve) plus at most `want - 1` extras from the
+  /// unleased remainder. Never blocks and never grants less than 1.
+  Lease Acquire(size_t want);
+
+  /// The budget's total capacity.
+  size_t total() const { return total_; }
+
+  /// Currently reserved + leased threads (test/diagnostic hook).
+  size_t in_use() const;
+
+ private:
+  void ReleaseExtras(size_t count);
+
+  const size_t total_;
+  mutable std::mutex mutex_;
+  size_t in_use_ = 0;
+};
+
 }  // namespace pnr
 
 #endif  // PNR_COMMON_THREAD_POOL_H_

@@ -1,0 +1,79 @@
+#include "eval/stratified_cv.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace pnr {
+namespace {
+
+// Independent per-class stream: the class index is mixed into the seed with
+// splitmix64's constant so neighbouring classes get uncorrelated shuffles.
+// A function of (seed, cls) only — never of thread scheduling.
+Rng ClassRng(uint64_t seed, size_t cls) {
+  return Rng(seed ^ ((cls + 1) * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace
+
+StatusOr<StratifiedKFold> StratifiedKFold::Split(
+    const Dataset& dataset, const StratifiedKFoldOptions& options) {
+  const size_t rows = dataset.num_rows();
+  if (options.num_folds < 2) {
+    return Status::InvalidArgument("num_folds must be at least 2");
+  }
+  if (options.num_folds > rows) {
+    return Status::InvalidArgument(
+        "num_folds (" + std::to_string(options.num_folds) +
+        ") exceeds the number of rows (" + std::to_string(rows) + ")");
+  }
+
+  // Bucket rows by class in ascending row order (the shuffle's input order
+  // must not depend on anything but the data).
+  const size_t num_classes = dataset.schema().num_classes();
+  std::vector<RowSubset> class_rows(num_classes);
+  for (RowId row = 0; row < rows; ++row) {
+    class_rows[dataset.label(row)].push_back(row);
+  }
+
+  std::vector<uint32_t> fold_of_row(rows, 0);
+  const size_t threads =
+      ThreadPool::ClampThreadsForRows(options.num_threads, rows);
+  ThreadPool pool(threads);
+  pool.ParallelFor(num_classes, [&](size_t cls) {
+    RowSubset& members = class_rows[cls];
+    if (members.empty()) return;
+    Rng rng = ClassRng(options.seed, cls);
+    rng.Shuffle(&members);
+    // Dealing round-robin from a seed-drawn offset: per-fold counts are
+    // floor/ceil(n/K), and classes smaller than K (rare classes at quick
+    // scales, singletons in the limit) spread across folds instead of
+    // stacking up in fold 0.
+    const size_t start = rng.NextBelow(options.num_folds);
+    for (size_t i = 0; i < members.size(); ++i) {
+      fold_of_row[members[i]] =
+          static_cast<uint32_t>((start + i) % options.num_folds);
+    }
+  });
+
+  return StratifiedKFold(options.num_folds, std::move(fold_of_row));
+}
+
+RowSubset StratifiedKFold::TestRows(size_t fold) const {
+  RowSubset rows;
+  for (RowId row = 0; row < fold_of_row_.size(); ++row) {
+    if (fold_of_row_[row] == fold) rows.push_back(row);
+  }
+  return rows;
+}
+
+RowSubset StratifiedKFold::TrainRows(size_t fold) const {
+  RowSubset rows;
+  for (RowId row = 0; row < fold_of_row_.size(); ++row) {
+    if (fold_of_row_[row] != fold) rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace pnr

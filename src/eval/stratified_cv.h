@@ -1,0 +1,77 @@
+// Stratified K-fold cross-validation splitter.
+//
+// The tuning racer (src/tune/) scores hyperparameter configurations by
+// per-fold rare-class recall/precision, so the folds themselves must be
+// beyond suspicion: every fold carries the same class proportions as the
+// full set (exact to ±1 record per class), down to classes with a handful
+// of records — or one. A plain random split would routinely produce folds
+// with zero positives at the paper's 0.1-0.3% class rates.
+//
+// Determinism contract: the fold assignment is a pure function of
+// (labels, num_folds, seed). Per-class dealing fans out over a thread pool,
+// but each class derives its own Rng stream from the seed and writes only
+// its own rows' slots, so any `num_threads` yields byte-identical
+// assignments — the same guarantee the condition-search and ingest engines
+// give, extended to experiment design.
+
+#ifndef PNR_EVAL_STRATIFIED_CV_H_
+#define PNR_EVAL_STRATIFIED_CV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Options for StratifiedKFold::Split.
+struct StratifiedKFoldOptions {
+  /// Number of folds K; must be in [2, num_rows].
+  size_t num_folds = 5;
+  /// Seed for the per-class shuffles and fold-offset draws.
+  uint64_t seed = 20010521;
+  /// Threads for the per-class dealing loop (1 = serial, 0 = hardware).
+  /// The assignment is byte-identical for any value.
+  size_t num_threads = 1;
+};
+
+/// An immutable stratified fold assignment over a dataset's rows.
+class StratifiedKFold {
+ public:
+  /// Splits `dataset`'s rows into `options.num_folds` stratified folds.
+  ///
+  /// Per class: the class's rows are shuffled with a class-specific stream
+  /// derived from the seed, then dealt round-robin starting at a
+  /// seed-drawn fold offset. Round-robin makes per-fold class counts exact
+  /// to ±1; the random offset keeps sub-K classes (including singletons)
+  /// from all landing in fold 0.
+  static StatusOr<StratifiedKFold> Split(const Dataset& dataset,
+                                         const StratifiedKFoldOptions& options);
+
+  size_t num_folds() const { return num_folds_; }
+  size_t num_rows() const { return fold_of_row_.size(); }
+
+  /// Fold holding `row` as a test record (in [0, num_folds)).
+  uint32_t fold_of(RowId row) const { return fold_of_row_[row]; }
+
+  /// The whole assignment vector (row id -> fold).
+  const std::vector<uint32_t>& assignments() const { return fold_of_row_; }
+
+  /// Rows held out by `fold` (its test split), in ascending row order.
+  RowSubset TestRows(size_t fold) const;
+
+  /// Rows available to train against `fold` (every other fold), ascending.
+  RowSubset TrainRows(size_t fold) const;
+
+ private:
+  StratifiedKFold(size_t num_folds, std::vector<uint32_t> fold_of_row)
+      : num_folds_(num_folds), fold_of_row_(std::move(fold_of_row)) {}
+
+  size_t num_folds_;
+  std::vector<uint32_t> fold_of_row_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_EVAL_STRATIFIED_CV_H_

@@ -1,0 +1,239 @@
+#include "tune/config_space.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pnr {
+namespace {
+
+// Parse-time representation of one `key = values` line.
+struct ParsedLine {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+Status LineError(size_t line_no, const std::string& message) {
+  return Status::InvalidArgument("tune config line " +
+                                 std::to_string(line_no) + ": " + message);
+}
+
+// Splits the value list on commas and whitespace; never yields empties.
+std::vector<std::string> SplitValues(std::string_view text) {
+  std::vector<std::string> values;
+  std::string current;
+  for (char c : text) {
+    if (c == ',' || c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) values.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) values.push_back(std::move(current));
+  return values;
+}
+
+Status ParseDoubles(const ParsedLine& line, size_t line_no, double lo,
+                    double hi, bool lo_exclusive, std::vector<double>* out) {
+  out->clear();
+  for (const std::string& token : line.values) {
+    double value = 0.0;
+    if (!ParseDouble(token, &value)) {
+      return LineError(line_no, "invalid number '" + token + "' for key '" +
+                                    line.key + "'");
+    }
+    const bool below = lo_exclusive ? value <= lo : value < lo;
+    if (below || value > hi) {
+      return LineError(line_no, "value " + token + " for key '" + line.key +
+                                    "' is outside " +
+                                    (lo_exclusive ? "(" : "[") +
+                                    FormatDouble(lo, 2) + ", " +
+                                    FormatDouble(hi, 2) + "]");
+    }
+    out->push_back(value);
+  }
+  return Status::OK();
+}
+
+Status ParseLengths(const ParsedLine& line, size_t line_no,
+                    std::vector<size_t>* out) {
+  out->clear();
+  for (const std::string& token : line.values) {
+    long long value = 0;
+    if (!ParseInt64(token, &value) || value < 0 || value > 64) {
+      return LineError(line_no, "value '" + token + "' for key '" + line.key +
+                                    "' must be an integer in [0, 64]");
+    }
+    out->push_back(static_cast<size_t>(value));
+  }
+  return Status::OK();
+}
+
+Status ParseMetrics(const ParsedLine& line, size_t line_no,
+                    std::vector<RuleMetricKind>* out) {
+  static constexpr RuleMetricKind kKinds[] = {
+      RuleMetricKind::kZNumber, RuleMetricKind::kInfoGain,
+      RuleMetricKind::kGainRatio, RuleMetricKind::kGini,
+      RuleMetricKind::kChiSquared};
+  out->clear();
+  for (const std::string& token : line.values) {
+    bool found = false;
+    for (RuleMetricKind kind : kKinds) {
+      if (token == RuleMetricKindName(kind)) {
+        out->push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return LineError(line_no, "unknown metric '" + token +
+                                    "' (valid: z-number info-gain "
+                                    "gain-ratio gini chi-squared)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string TrimComment(std::string_view line) {
+  const size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return std::string(TrimWhitespace(line));
+}
+
+}  // namespace
+
+std::string TrialConfig::Describe() const {
+  std::string out = "rp=" + FormatDouble(config.min_coverage_fraction, 3);
+  out += " rn=" + FormatDouble(config.n_recall_lower_limit, 3);
+  out += " sup=" + FormatDouble(config.min_support_fraction, 3);
+  out += " len=" + (config.max_p_rule_length == 0
+                        ? std::string("-")
+                        : std::to_string(config.max_p_rule_length));
+  out += " " + std::string(RuleMetricKindName(config.metric));
+  out += " thr=" + FormatDouble(threshold, 2);
+  return out;
+}
+
+StatusOr<ConfigSpace> ConfigSpace::Parse(std::string_view text) {
+  ConfigSpace space;
+  std::vector<std::string> seen_keys;
+  size_t line_no = 0;
+  size_t parsed_keys = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const size_t newline = text.find('\n');
+    const std::string_view raw =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+
+    const std::string stripped = TrimComment(raw);
+    if (stripped.empty()) continue;
+    const size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      return LineError(line_no, "expected 'key = value, value, ...', got '" +
+                                    stripped + "'");
+    }
+    ParsedLine line;
+    line.key = std::string(TrimWhitespace(stripped.substr(0, eq)));
+    line.values = SplitValues(stripped.substr(eq + 1));
+    if (line.key.empty()) return LineError(line_no, "missing key before '='");
+    if (std::find(seen_keys.begin(), seen_keys.end(), line.key) !=
+        seen_keys.end()) {
+      return LineError(line_no, "duplicate key '" + line.key + "'");
+    }
+    seen_keys.push_back(line.key);
+    if (line.values.empty()) {
+      return LineError(line_no, "empty grid for key '" + line.key + "'");
+    }
+
+    Status status;
+    if (line.key == "rp") {
+      status = ParseDoubles(line, line_no, 0.0, 1.0, /*lo_exclusive=*/true,
+                            &space.rp_);
+    } else if (line.key == "rn") {
+      status = ParseDoubles(line, line_no, 0.0, 1.0, /*lo_exclusive=*/false,
+                            &space.rn_);
+    } else if (line.key == "min_support") {
+      status = ParseDoubles(line, line_no, 0.0, 1.0, /*lo_exclusive=*/false,
+                            &space.min_support_);
+    } else if (line.key == "threshold") {
+      status = ParseDoubles(line, line_no, 0.0, 1.0, /*lo_exclusive=*/false,
+                            &space.threshold_);
+    } else if (line.key == "max_p_len") {
+      status = ParseLengths(line, line_no, &space.max_p_len_);
+    } else if (line.key == "metric") {
+      status = ParseMetrics(line, line_no, &space.metric_);
+    } else {
+      return LineError(line_no, "unknown key '" + line.key +
+                                    "' (valid: rp rn min_support max_p_len "
+                                    "metric threshold)");
+    }
+    if (!status.ok()) return status;
+    ++parsed_keys;
+  }
+  if (parsed_keys == 0) {
+    return Status::InvalidArgument(
+        "tune config: no parameter lines found (expected 'key = values')");
+  }
+  if (space.size() > kMaxConfigs) {
+    return Status::InvalidArgument(
+        "tune config: grid has " + std::to_string(space.size()) +
+        " configurations, more than the maximum " +
+        std::to_string(kMaxConfigs));
+  }
+  return space;
+}
+
+ConfigSpace ConfigSpace::Default() {
+  ConfigSpace space;
+  space.rp_ = {0.95, 0.99, 0.995};
+  space.rn_ = {0.7, 0.9, 0.95, 0.995};
+  space.max_p_len_ = {0, 1};
+  return space;
+}
+
+size_t ConfigSpace::size() const {
+  // Saturating product: a hostile config file can make each list thousands
+  // of entries long, so the naive product overflows size_t long before
+  // Parse's kMaxConfigs check sees it.
+  size_t product = 1;
+  for (size_t n : {rp_.size(), rn_.size(), min_support_.size(),
+                   max_p_len_.size(), metric_.size(), threshold_.size()}) {
+    if (n == 0) return 0;
+    if (product > kMaxConfigs) return product;  // already over the cap
+    product *= n;
+  }
+  return product;
+}
+
+std::vector<TrialConfig> ConfigSpace::Enumerate(
+    const PnruleConfig& base) const {
+  std::vector<TrialConfig> configs;
+  configs.reserve(size());
+  for (double rp : rp_) {
+    for (double rn : rn_) {
+      for (double support : min_support_) {
+        for (size_t len : max_p_len_) {
+          for (RuleMetricKind metric : metric_) {
+            for (double threshold : threshold_) {
+              TrialConfig trial;
+              trial.config = base;
+              trial.config.min_coverage_fraction = rp;
+              trial.config.n_recall_lower_limit = rn;
+              trial.config.min_support_fraction = support;
+              trial.config.max_p_rule_length = len;
+              trial.config.metric = metric;
+              trial.threshold = threshold;
+              configs.push_back(std::move(trial));
+            }
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace pnr

@@ -1,0 +1,82 @@
+// Hyperparameter configuration space for the tuning racer.
+//
+// A ConfigSpace is a small grid over the PNrule knobs the paper fixes by
+// hand: rp / rn (the recall controls), the minimum rule support, the
+// P-rule length cap, the rule-growth metric, and the ScoreMatrix decision
+// threshold. Spaces come from a line-oriented config file
+// (`pnr tune --config grid.cfg`):
+//
+//     # one key per line; values comma- or space-separated
+//     rp        = 0.95, 0.99, 0.995
+//     rn        = 0.7, 0.9, 0.95
+//     max_p_len = 0, 1
+//     metric    = z-number
+//     threshold = 0.5
+//
+// or from Default(), the built-in 24-point grid the flagship sweep races.
+//
+// Parsing is an untrusted-input surface (config files are user-written and
+// fuzzed — see fuzz/fuzz_targets.h): every rejection names the offending
+// line, out-of-range values and unknown or duplicate keys are errors, and
+// the enumerated grid is capped at kMaxConfigs so a hostile file cannot
+// request a combinatorial explosion.
+
+#ifndef PNR_TUNE_CONFIG_SPACE_H_
+#define PNR_TUNE_CONFIG_SPACE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "induction/metric.h"
+#include "pnrule/config.h"
+
+namespace pnr {
+
+/// One raced configuration: a full PnruleConfig plus the decision threshold
+/// applied to the trained classifier.
+struct TrialConfig {
+  PnruleConfig config;
+  double threshold = 0.5;
+
+  /// Compact cell for report tables, e.g.
+  /// "rp=.99 rn=.9 sup=.01 len=1 z-number thr=.5".
+  std::string Describe() const;
+};
+
+/// A cartesian grid over the tunable PNrule parameters.
+class ConfigSpace {
+ public:
+  /// Largest grid Enumerate will produce; Parse rejects bigger requests.
+  static constexpr size_t kMaxConfigs = 4096;
+
+  /// Parses a config-file's contents. Errors name the offending line
+  /// ("tune config line 3: unknown key 'foo'").
+  static StatusOr<ConfigSpace> Parse(std::string_view text);
+
+  /// The built-in grid raced by the flagship sweep:
+  /// rp {.95, .99, .995} x rn {.7, .9, .95, .995} x max_p_len {0, 1}.
+  static ConfigSpace Default();
+
+  /// Number of configurations in the grid (product of the value lists).
+  size_t size() const;
+
+  /// Expands the grid over `base` (every non-swept parameter keeps the
+  /// base's value) in a fixed canonical order: rp outermost, then rn,
+  /// min_support, max_p_len, metric, threshold.
+  std::vector<TrialConfig> Enumerate(const PnruleConfig& base) const;
+
+ private:
+  std::vector<double> rp_ = {0.99};
+  std::vector<double> rn_ = {0.9};
+  std::vector<double> min_support_ = {0.01};
+  std::vector<size_t> max_p_len_ = {0};
+  std::vector<RuleMetricKind> metric_ = {RuleMetricKind::kZNumber};
+  std::vector<double> threshold_ = {0.5};
+};
+
+}  // namespace pnr
+
+#endif  // PNR_TUNE_CONFIG_SPACE_H_

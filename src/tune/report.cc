@@ -1,0 +1,226 @@
+#include "tune/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/file_io.h"
+#include "common/string_util.h"
+#include "harness/table.h"
+
+namespace pnr {
+namespace {
+
+struct MeanSd {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+MeanSd Summarize(const std::vector<FoldEval>& folds,
+                 double (*pick)(const FoldEval&)) {
+  MeanSd out;
+  if (folds.empty()) return out;
+  for (const FoldEval& f : folds) out.mean += pick(f);
+  out.mean /= static_cast<double>(folds.size());
+  if (folds.size() >= 2) {
+    double sq = 0.0;
+    for (const FoldEval& f : folds) {
+      const double d = pick(f) - out.mean;
+      sq += d * d;
+    }
+    out.sd = std::sqrt(sq / static_cast<double>(folds.size() - 1));
+  }
+  return out;
+}
+
+double PickRecall(const FoldEval& f) { return f.recall; }
+double PickPrecision(const FoldEval& f) { return f.precision; }
+double PickF(const FoldEval& f) { return f.f_measure; }
+
+std::string Cell(const MeanSd& stats) {
+  return FormatDouble(stats.mean, 4) + " ±" + FormatDouble(stats.sd, 4);
+}
+
+std::string StatusCell(const TrialState& trial, size_t best_index) {
+  if (trial.config_index == best_index) return "winner";
+  if (trial.eliminated_at_rung == kNeverEliminated) return "survivor";
+  return "elim@r" + std::to_string(trial.eliminated_at_rung);
+}
+
+// Leaderboard order: winner first, then surviving and eliminated trials by
+// descending mean, config index breaking ties — a total order, so the
+// rendered bytes never depend on container internals.
+std::vector<size_t> LeaderboardOrder(const TuneReport& report) {
+  std::vector<size_t> order(report.result.trials.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto& trials = report.result.trials;
+  const size_t best = report.result.best_config;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if ((a == best) != (b == best)) return a == best;
+    const bool a_alive = trials[a].eliminated_at_rung == kNeverEliminated;
+    const bool b_alive = trials[b].eliminated_at_rung == kNeverEliminated;
+    if (a_alive != b_alive) return a_alive;
+    if (trials[a].mean != trials[b].mean) {
+      return trials[a].mean > trials[b].mean;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderTuneMarkdown(const TuneReport& report) {
+  const RacerOptions& options = report.options;
+  const RaceResult& result = report.result;
+
+  std::string out = "# Tune race — " + report.dataset + "\n\n";
+  out += "Target class `" + report.target + "`, objective " +
+         TuneMetricName(options.metric) + ", " +
+         std::to_string(report.configs.size()) + " configurations, " +
+         std::to_string(options.num_folds) + "-fold stratified CV, seed " +
+         std::to_string(options.seed) + ".\n";
+  out += "Elimination: confidence z=" + FormatDouble(options.confidence_z, 2) +
+         ", halving keep=" + FormatDouble(options.keep_fraction, 2) +
+         ", budget " +
+         (options.max_evals == 0 ? std::string("unlimited")
+                                 : std::to_string(options.max_evals)) +
+         " evals; used " + std::to_string(result.evals_used) +
+         (result.budget_exhausted ? " (budget stopped the race early)"
+                                  : "") +
+         ".\n\n";
+
+  out += "## Rungs\n\n";
+  TablePrinter rungs({"rung", "folds", "entrants", "evals", "elim(bound)",
+                      "elim(halving)"});
+  for (size_t r = 0; r < result.rungs.size(); ++r) {
+    const RungSummary& rung = result.rungs[r];
+    rungs.AddRow({std::to_string(r), std::to_string(rung.folds_cumulative),
+                  std::to_string(rung.entrants), std::to_string(rung.evals),
+                  std::to_string(rung.eliminated_bound),
+                  std::to_string(rung.eliminated_halving)});
+  }
+  out += rungs.Render() + "\n";
+
+  out += "## Leaderboard (mean ± sd over evaluated folds)\n\n";
+  TablePrinter board(
+      {"config", "folds", "Rec", "Prec", "F", "status"});
+  for (size_t index : LeaderboardOrder(report)) {
+    const TrialState& trial = result.trials[index];
+    board.AddRow({report.configs[index].Describe(),
+                  std::to_string(trial.folds.size()),
+                  Cell(Summarize(trial.folds, PickRecall)),
+                  Cell(Summarize(trial.folds, PickPrecision)),
+                  Cell(Summarize(trial.folds, PickF)),
+                  StatusCell(trial, result.best_config)});
+  }
+  out += board.Render() + "\n";
+
+  const TrialState& best = result.trials[result.best_config];
+  out += "Winner: `" + report.configs[result.best_config].Describe() +
+         "` with " + TuneMetricName(options.metric) + " " +
+         FormatDouble(best.mean, 4) + " ±" + FormatDouble(best.stddev, 4) +
+         " over " + std::to_string(best.folds.size()) + " folds.\n";
+  return out;
+}
+
+std::string RenderTuneJson(const TuneReport& report) {
+  const RacerOptions& options = report.options;
+  const RaceResult& result = report.result;
+  std::string out = "{\n";
+  out += "  \"tool\": \"pnr tune\",\n";
+  out += "  \"dataset\": \"" + JsonEscape(report.dataset) + "\",\n";
+  out += "  \"target\": \"" + JsonEscape(report.target) + "\",\n";
+  out += "  \"metric\": \"" + std::string(TuneMetricName(options.metric)) +
+         "\",\n";
+  out += "  \"folds\": " + std::to_string(options.num_folds) + ",\n";
+  out += "  \"seed\": " + std::to_string(options.seed) + ",\n";
+  out += "  \"max_evals\": " + std::to_string(options.max_evals) + ",\n";
+  out += "  \"confidence_z\": " + FormatDouble(options.confidence_z, 4) +
+         ",\n";
+  out += "  \"keep_fraction\": " + FormatDouble(options.keep_fraction, 4) +
+         ",\n";
+  out += "  \"num_configs\": " + std::to_string(report.configs.size()) +
+         ",\n";
+  out += "  \"evals_used\": " + std::to_string(result.evals_used) + ",\n";
+  out += std::string("  \"budget_exhausted\": ") +
+         (result.budget_exhausted ? "true" : "false") + ",\n";
+
+  out += "  \"rungs\": [";
+  for (size_t r = 0; r < result.rungs.size(); ++r) {
+    const RungSummary& rung = result.rungs[r];
+    if (r != 0) out += ", ";
+    out += "{\"folds\": " + std::to_string(rung.folds_cumulative) +
+           ", \"entrants\": " + std::to_string(rung.entrants) +
+           ", \"evals\": " + std::to_string(rung.evals) +
+           ", \"eliminated_bound\": " +
+           std::to_string(rung.eliminated_bound) +
+           ", \"eliminated_halving\": " +
+           std::to_string(rung.eliminated_halving) + "}";
+  }
+  out += "],\n";
+
+  out += "  \"best\": {\"index\": " + std::to_string(result.best_config) +
+         ", \"config\": \"" +
+         JsonEscape(report.configs[result.best_config].Describe()) +
+         "\", \"mean\": " +
+         FormatDouble(result.trials[result.best_config].mean, 6) +
+         ", \"stddev\": " +
+         FormatDouble(result.trials[result.best_config].stddev, 6) + "},\n";
+
+  out += "  \"trials\": [\n";
+  for (size_t i = 0; i < result.trials.size(); ++i) {
+    const TrialState& trial = result.trials[i];
+    const MeanSd recall = Summarize(trial.folds, PickRecall);
+    const MeanSd precision = Summarize(trial.folds, PickPrecision);
+    const MeanSd f = Summarize(trial.folds, PickF);
+    out += "    {\"index\": " + std::to_string(i) + ", \"config\": \"" +
+           JsonEscape(report.configs[i].Describe()) +
+           "\", \"folds\": " + std::to_string(trial.folds.size()) +
+           ", \"eliminated_at_rung\": " +
+           (trial.eliminated_at_rung == kNeverEliminated
+                ? std::string("null")
+                : std::to_string(trial.eliminated_at_rung)) +
+           ", \"recall\": [" + FormatDouble(recall.mean, 6) + ", " +
+           FormatDouble(recall.sd, 6) + "], \"precision\": [" +
+           FormatDouble(precision.mean, 6) + ", " +
+           FormatDouble(precision.sd, 6) + "], \"f\": [" +
+           FormatDouble(f.mean, 6) + ", " + FormatDouble(f.sd, 6) + "]}";
+    out += i + 1 == result.trials.size() ? "\n" : ",\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Status WriteTuneArtifacts(const TuneReport& report,
+                          const std::string& out_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create output directory '" + out_dir +
+                           "': " + ec.message());
+  }
+  Status status = WriteStringToFile(RenderTuneMarkdown(report),
+                                    out_dir + "/EXPERIMENTS.md");
+  if (!status.ok()) return status;
+  return WriteStringToFile(RenderTuneJson(report),
+                           out_dir + "/BENCH_tune.json");
+}
+
+}  // namespace pnr

@@ -1,0 +1,47 @@
+// Artifact writer for tuning races: EXPERIMENTS.md-style tables and a
+// machine-readable BENCH_tune.json.
+//
+// Byte-identity contract: rendered artifacts contain no wall-clock times,
+// hostnames, or thread counts-in-effect — only race inputs and results,
+// all of which are thread-count-invariant (see tune/racer.h). Running the
+// same race with --threads 1 and --threads 8 must produce byte-identical
+// files; the tune tests and the `tune_smoke` ctest pin this.
+
+#ifndef PNR_TUNE_REPORT_H_
+#define PNR_TUNE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tune/racer.h"
+
+namespace pnr {
+
+/// Everything the renderers need about a finished race.
+struct TuneReport {
+  /// One-line dataset description, e.g. "kdd_sim train=20000 (seed 7)".
+  std::string dataset;
+  /// Positive-class name.
+  std::string target;
+  RacerOptions options;
+  std::vector<TrialConfig> configs;
+  RaceResult result;
+};
+
+/// Renders the markdown report: header, rung accounting table, and the
+/// full leaderboard with per-fold dispersion (mean ± sd of recall /
+/// precision / F per configuration).
+std::string RenderTuneMarkdown(const TuneReport& report);
+
+/// Renders the JSON artifact (stable key order, fixed float formatting).
+std::string RenderTuneJson(const TuneReport& report);
+
+/// Writes `<out_dir>/EXPERIMENTS.md` and `<out_dir>/BENCH_tune.json`,
+/// creating `out_dir` if needed.
+Status WriteTuneArtifacts(const TuneReport& report,
+                          const std::string& out_dir);
+
+}  // namespace pnr
+
+#endif  // PNR_TUNE_REPORT_H_

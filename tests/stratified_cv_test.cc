@@ -1,0 +1,176 @@
+// StratifiedKFold: exact per-fold class proportions, deterministic
+// singleton placement, thread-count-invariant assignments, and the basic
+// partition laws (disjoint, covering) across many seeds.
+
+#include "eval/stratified_cv.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace pnr {
+namespace {
+
+// A label-only dataset: class `c` gets `counts[c]` rows, interleaved so
+// that class blocks are not contiguous in row order.
+Dataset MakeLabeledDataset(const std::vector<size_t>& counts) {
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  for (size_t c = 0; c < counts.size(); ++c) {
+    schema.GetOrAddClass("class" + std::to_string(c));
+  }
+  Dataset dataset(std::move(schema));
+  std::vector<size_t> remaining = counts;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (size_t c = 0; c < remaining.size(); ++c) {
+      if (remaining[c] == 0) continue;
+      any = true;
+      --remaining[c];
+      const RowId r = dataset.AddRow();
+      dataset.set_numeric(r, 0, static_cast<double>(r));
+      dataset.set_label(r, static_cast<CategoryId>(c));
+    }
+  }
+  return dataset;
+}
+
+// fold -> class -> count for an assignment.
+std::vector<std::map<CategoryId, size_t>> FoldClassCounts(
+    const Dataset& dataset, const StratifiedKFold& folds) {
+  std::vector<std::map<CategoryId, size_t>> counts(folds.num_folds());
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    counts[folds.fold_of(r)][dataset.label(r)]++;
+  }
+  return counts;
+}
+
+TEST(StratifiedKFoldTest, BalancedClassesSplitExactly) {
+  // 3 classes x 50 rows, 5 folds: every fold must hold exactly 10 of each.
+  const Dataset dataset = MakeLabeledDataset({50, 50, 50});
+  StratifiedKFoldOptions options;
+  options.num_folds = 5;
+  auto folds = StratifiedKFold::Split(dataset, options);
+  ASSERT_TRUE(folds.ok()) << folds.status().ToString();
+  for (const auto& per_class : FoldClassCounts(dataset, *folds)) {
+    for (CategoryId c = 0; c < 3; ++c) {
+      EXPECT_EQ(per_class.at(c), 10u);
+    }
+  }
+}
+
+TEST(StratifiedKFoldTest, RareClassCountsExactToPlusMinusOne) {
+  // Paper-scale imbalance: 9986 majority, 14 rare (0.14%), 5 folds. Every
+  // fold must carry 2 or 3 rare rows — never 0, never a pile-up.
+  const Dataset dataset = MakeLabeledDataset({9986, 14});
+  StratifiedKFoldOptions options;
+  options.num_folds = 5;
+  auto folds = StratifiedKFold::Split(dataset, options);
+  ASSERT_TRUE(folds.ok()) << folds.status().ToString();
+  size_t rare_total = 0;
+  for (const auto& per_class : FoldClassCounts(dataset, *folds)) {
+    const size_t rare = per_class.count(1) ? per_class.at(1) : 0;
+    EXPECT_GE(rare, 2u);
+    EXPECT_LE(rare, 3u);
+    rare_total += rare;
+    const size_t majority = per_class.at(0);
+    EXPECT_GE(majority, 9986u / 5);
+    EXPECT_LE(majority, 9986u / 5 + 1);
+  }
+  EXPECT_EQ(rare_total, 14u);
+}
+
+TEST(StratifiedKFoldTest, SingletonPlacementIsDeterministic) {
+  // A one-row class lands in a seed-chosen fold; the same seed always
+  // picks the same fold, and different seeds spread it around.
+  const Dataset dataset = MakeLabeledDataset({40, 1});
+  const RowId singleton = [&] {
+    for (RowId r = 0; r < dataset.num_rows(); ++r) {
+      if (dataset.label(r) == 1) return r;
+    }
+    return RowId{0};
+  }();
+
+  StratifiedKFoldOptions options;
+  options.num_folds = 4;
+  options.seed = 7;
+  auto first = StratifiedKFold::Split(dataset, options);
+  auto second = StratifiedKFold::Split(dataset, options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->fold_of(singleton), second->fold_of(singleton));
+
+  std::vector<bool> seen(options.num_folds, false);
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    options.seed = seed;
+    auto folds = StratifiedKFold::Split(dataset, options);
+    ASSERT_TRUE(folds.ok());
+    seen[folds->fold_of(singleton)] = true;
+  }
+  // 64 seeds over 4 folds: all folds should have hosted the singleton.
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(StratifiedKFoldTest, AssignmentIsThreadCountInvariant) {
+  const Dataset dataset = MakeLabeledDataset({3000, 700, 80, 9, 1});
+  StratifiedKFoldOptions options;
+  options.num_folds = 7;
+  options.seed = 42;
+  options.num_threads = 1;
+  auto serial = StratifiedKFold::Split(dataset, options);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    auto parallel = StratifiedKFold::Split(dataset, options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->assignments(), parallel->assignments())
+        << "threads=" << threads;
+  }
+}
+
+TEST(StratifiedKFoldTest, FoldsPartitionTheRowsForManySeeds) {
+  const Dataset dataset = MakeLabeledDataset({211, 37, 5});
+  StratifiedKFoldOptions options;
+  options.num_folds = 6;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    options.seed = seed;
+    auto folds = StratifiedKFold::Split(dataset, options);
+    ASSERT_TRUE(folds.ok());
+    // Test splits are disjoint and cover every row exactly once.
+    std::vector<int> hits(dataset.num_rows(), 0);
+    for (size_t fold = 0; fold < options.num_folds; ++fold) {
+      const RowSubset test = folds->TestRows(fold);
+      EXPECT_TRUE(std::is_sorted(test.begin(), test.end()));
+      for (RowId r : test) hits[r]++;
+      // Train/test of the same fold partition all rows.
+      const RowSubset train = folds->TrainRows(fold);
+      EXPECT_EQ(train.size() + test.size(), dataset.num_rows());
+      for (RowId r : train) EXPECT_NE(folds->fold_of(r), fold);
+    }
+    for (RowId r = 0; r < dataset.num_rows(); ++r) {
+      EXPECT_EQ(hits[r], 1) << "row " << r << " seed " << seed;
+    }
+  }
+}
+
+TEST(StratifiedKFoldTest, RejectsDegenerateFoldCounts) {
+  const Dataset dataset = MakeLabeledDataset({4});
+  StratifiedKFoldOptions options;
+  options.num_folds = 1;
+  EXPECT_FALSE(StratifiedKFold::Split(dataset, options).ok());
+  options.num_folds = 5;  // more folds than rows
+  EXPECT_FALSE(StratifiedKFold::Split(dataset, options).ok());
+  options.num_folds = 4;  // == rows: allowed (leave-one-out)
+  auto folds = StratifiedKFold::Split(dataset, options);
+  ASSERT_TRUE(folds.ok());
+  for (size_t fold = 0; fold < 4; ++fold) {
+    EXPECT_EQ(folds->TestRows(fold).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pnr

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -117,6 +118,67 @@ TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
   EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
   EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);  // auto: >= 1
+}
+
+TEST(ThreadBudgetTest, ReserveClampsToCapacity) {
+  ThreadBudget budget(4);
+  EXPECT_EQ(budget.total(), 4u);
+  EXPECT_EQ(budget.Reserve(3), 3u);
+  EXPECT_EQ(budget.in_use(), 3u);
+  EXPECT_EQ(budget.Reserve(10), 1u);  // only 1 left
+  EXPECT_EQ(budget.Reserve(5), 0u);   // nothing left
+  EXPECT_EQ(budget.in_use(), 4u);
+}
+
+TEST(ThreadBudgetTest, AcquireNeverGrantsLessThanOne) {
+  ThreadBudget budget(2);
+  EXPECT_EQ(budget.Reserve(2), 2u);  // budget exhausted by the outer pool
+  ThreadBudget::Lease lease = budget.Acquire(8);
+  // The task's own (already-reserved) thread is always granted.
+  EXPECT_EQ(lease.count(), 1u);
+  EXPECT_EQ(budget.in_use(), 2u);  // no extras were available
+}
+
+TEST(ThreadBudgetTest, LeaseReturnsExtrasOnDestruction) {
+  ThreadBudget budget(8);
+  EXPECT_EQ(budget.Reserve(2), 2u);
+  {
+    ThreadBudget::Lease lease = budget.Acquire(8);
+    EXPECT_EQ(lease.count(), 7u);  // 1 own + 6 extras
+    EXPECT_EQ(budget.in_use(), 8u);
+    ThreadBudget::Lease second = budget.Acquire(8);
+    EXPECT_EQ(second.count(), 1u);  // pool drained; still >= 1
+  }
+  EXPECT_EQ(budget.in_use(), 2u);  // extras back, reservation persists
+}
+
+TEST(ThreadBudgetTest, NestedFanOutNeverOversubscribes) {
+  // The racer's composition: an outer pool fans tasks out, every task
+  // leases inner width for its training. The invariant that fixes the old
+  // T x T oversubscription: at any instant the nominal live thread count —
+  // outer workers plus every lease's extras — never exceeds the budget.
+  const size_t kBudget = 6;
+  const size_t kOuter = 3;
+  ThreadBudget budget(kBudget);
+  ASSERT_EQ(budget.Reserve(kOuter), kOuter);
+
+  ThreadPool pool(kOuter);
+  std::atomic<size_t> live{kOuter};  // the outer workers themselves
+  std::atomic<size_t> high_water{kOuter};
+  pool.ParallelFor(64, [&](size_t) {
+    ThreadBudget::Lease lease = budget.Acquire(kBudget);
+    EXPECT_GE(lease.count(), 1u);
+    const size_t extras = lease.count() - 1;
+    size_t now = live.fetch_add(extras) + extras;
+    size_t seen = high_water.load();
+    while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+    }
+    // Simulate the inner training using its granted width.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    live.fetch_sub(extras);
+  });
+  EXPECT_LE(high_water.load(), kBudget);
+  EXPECT_EQ(budget.in_use(), kOuter);  // every lease returned its extras
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// Tuning racer: grid parsing with located errors, budget accounting,
+// best-arm safety under the confidence schedule, degenerate races, and
+// the thread-count byte-identity contract for rendered artifacts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/kdd_sim.h"
+#include "tune/config_space.h"
+#include "tune/racer.h"
+#include "tune/report.h"
+
+namespace pnr {
+namespace {
+
+// Deterministic per-(config, fold) noise in [0, 0.1): a pure function, so
+// the synthetic races below are reproducible and thread-safe.
+double Noise(size_t config, size_t fold) {
+  uint64_t h = (config + 1) * 0x9E3779B97F4A7C15ULL + fold * 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 31;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 29;
+  return static_cast<double>(h % 1024) / 10240.0;
+}
+
+FoldEval Flat(double value) {
+  FoldEval eval;
+  eval.recall = value;
+  eval.precision = value;
+  eval.f_measure = value;
+  return eval;
+}
+
+std::vector<TrialConfig> DummyConfigs(size_t n) {
+  return std::vector<TrialConfig>(n);
+}
+
+TEST(ConfigSpaceTest, DefaultGridHasTwentyFourConfigs) {
+  const ConfigSpace space = ConfigSpace::Default();
+  EXPECT_EQ(space.size(), 24u);
+  EXPECT_EQ(space.Enumerate(PnruleConfig{}).size(), 24u);
+}
+
+TEST(ConfigSpaceTest, ParseErrorsAreLocated) {
+  // Unknown key, with its line number.
+  auto unknown = ConfigSpace::Parse("rp = 0.9\nbogus = 1\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("line 2"), std::string::npos)
+      << unknown.status().ToString();
+
+  // Out-of-range rp.
+  auto range = ConfigSpace::Parse("rp = 1.5\n");
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.status().ToString().find("line 1"), std::string::npos)
+      << range.status().ToString();
+
+  // Empty grid for a key.
+  auto empty = ConfigSpace::Parse("rn =\n");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().ToString().find("line 1"), std::string::npos)
+      << empty.status().ToString();
+
+  // A file with only comments defines no grid at all.
+  EXPECT_FALSE(ConfigSpace::Parse("# nothing here\n").ok());
+}
+
+TEST(RacerTest, RungScheduleDoublesToK) {
+  EXPECT_EQ(Racer::RungSchedule(5), (std::vector<size_t>{1, 2, 4, 5}));
+  EXPECT_EQ(Racer::RungSchedule(2), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(Racer::RungSchedule(8), (std::vector<size_t>{1, 2, 4, 8}));
+}
+
+TEST(RacerTest, BudgetIsNeverExceeded) {
+  RacerOptions options;
+  options.num_folds = 8;
+  options.max_evals = 30;  // covers rung 0 (16) + rung 1 (8), not rung 2
+  options.num_threads = 2;
+  Racer racer(options);
+  auto result = racer.RaceWithEval(
+      DummyConfigs(16), [](const TrialConfig&, size_t config, size_t fold) {
+        return StatusOr<FoldEval>(Flat(0.5 + Noise(config, fold)));
+      });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->evals_used, options.max_evals);
+  EXPECT_TRUE(result->budget_exhausted);
+}
+
+TEST(RacerTest, BudgetBelowRungZeroIsRejected) {
+  RacerOptions options;
+  options.num_folds = 5;
+  options.max_evals = 7;  // 8 configs need 8 evals for rung 0 alone
+  Racer racer(options);
+  auto result = racer.RaceWithEval(
+      DummyConfigs(8), [](const TrialConfig&, size_t, size_t) {
+        return StatusOr<FoldEval>(Flat(0.5));
+      });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RacerTest, PlantedBestArmIsNeverEliminated) {
+  // Arm 11 dominates every fold by a wide margin; noisy mediocre arms fill
+  // the rest. Under the default (generous) confidence schedule the best
+  // arm must survive every rung and win, for many seeds of noise.
+  const size_t kPlanted = 11;
+  RacerOptions options;
+  options.num_folds = 8;
+  options.confidence_z = 2.0;
+  options.keep_fraction = 0.5;
+  Racer racer(options);
+  for (size_t shift = 0; shift < 20; ++shift) {
+    auto result = racer.RaceWithEval(
+        DummyConfigs(16),
+        [shift](const TrialConfig&, size_t config, size_t fold) {
+          const double base = config == kPlanted ? 0.85 : 0.45;
+          return StatusOr<FoldEval>(
+              Flat(base + Noise(config, fold + shift * 100)));
+        });
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->trials[kPlanted].eliminated_at_rung, kNeverEliminated)
+        << "shift " << shift;
+    EXPECT_EQ(result->best_config, kPlanted) << "shift " << shift;
+    // The race must actually prune: at least half the arms are gone.
+    size_t eliminated = 0;
+    for (const TrialState& trial : result->trials) {
+      eliminated += trial.eliminated_at_rung != kNeverEliminated;
+    }
+    EXPECT_GE(eliminated, 8u) << "shift " << shift;
+  }
+}
+
+TEST(RacerTest, DegenerateRacesTerminate) {
+  RacerOptions options;
+  options.num_folds = 4;
+  Racer racer(options);
+
+  // One config: no one to race against; it still evaluates all folds.
+  auto lone = racer.RaceWithEval(
+      DummyConfigs(1), [](const TrialConfig&, size_t, size_t fold) {
+        return StatusOr<FoldEval>(Flat(0.5 + 0.01 * static_cast<double>(fold)));
+      });
+  ASSERT_TRUE(lone.ok()) << lone.status().ToString();
+  EXPECT_EQ(lone->best_config, 0u);
+  EXPECT_EQ(lone->trials[0].folds.size(), 4u);
+  EXPECT_EQ(lone->evals_used, 4u);
+
+  // All ties: confidence bounds never separate, halving still prunes by
+  // index, and the lowest index wins.
+  auto ties = racer.RaceWithEval(
+      DummyConfigs(6), [](const TrialConfig&, size_t, size_t) {
+        return StatusOr<FoldEval>(Flat(0.7));
+      });
+  ASSERT_TRUE(ties.ok()) << ties.status().ToString();
+  EXPECT_EQ(ties->best_config, 0u);
+  for (const RungSummary& rung : ties->rungs) {
+    EXPECT_EQ(rung.eliminated_bound, 0u);
+  }
+
+  // Zero configs and one fold are invalid, not hangs.
+  EXPECT_FALSE(racer.RaceWithEval(DummyConfigs(0),
+                                  [](const TrialConfig&, size_t, size_t) {
+                                    return StatusOr<FoldEval>(Flat(0.5));
+                                  })
+                   .ok());
+  RacerOptions one_fold;
+  one_fold.num_folds = 1;
+  EXPECT_FALSE(Racer(one_fold)
+                   .RaceWithEval(DummyConfigs(3),
+                                 [](const TrialConfig&, size_t, size_t) {
+                                   return StatusOr<FoldEval>(Flat(0.5));
+                                 })
+                   .ok());
+}
+
+TEST(RacerTest, EvalErrorsPropagate) {
+  RacerOptions options;
+  options.num_folds = 2;
+  Racer racer(options);
+  auto result = racer.RaceWithEval(
+      DummyConfigs(3), [](const TrialConfig&, size_t config, size_t) {
+        if (config == 1) {
+          return StatusOr<FoldEval>(Status::Internal("training exploded"));
+        }
+        return StatusOr<FoldEval>(Flat(0.5));
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("training exploded"),
+            std::string::npos);
+}
+
+// End-to-end on real data: same seed must give byte-identical artifacts —
+// survivors, winner, markdown and JSON — no matter how many threads run
+// the race. This is the contract the `pnr tune` CLI exposes as
+// --threads-independence.
+TEST(RacerTest, ArtifactsAreByteIdenticalAcrossThreadCounts) {
+  KddSimParams params;
+  params.train_records = 3000;
+  params.test_records = 1000;
+  auto data = GenerateKddSim(params);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  const Dataset& train = data->train;
+  const CategoryId target = train.schema().class_attr().FindCategory("probe");
+  ASSERT_NE(target, kInvalidCategory);
+
+  auto space = ConfigSpace::Parse(
+      "rp = 0.95 0.99\nrn = 0.7 0.9\nmax_p_len = 0 1\n");
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+  const std::vector<TrialConfig> configs = space->Enumerate(PnruleConfig{});
+  ASSERT_EQ(configs.size(), 8u);
+
+  auto run = [&](size_t threads) {
+    RacerOptions options;
+    options.num_folds = 4;
+    options.seed = 99;
+    options.num_threads = threads;
+    Racer racer(options);
+    auto result = racer.Race(train, target, configs);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    TuneReport report;
+    report.dataset = "kdd_sim";
+    report.target = "probe";
+    report.options = options;
+    // The report embeds num_threads nowhere; zero it to make that explicit.
+    report.options.num_threads = 0;
+    report.configs = configs;
+    report.result = std::move(result).value();
+    return RenderTuneMarkdown(report) + "\n---\n" + RenderTuneJson(report);
+  };
+
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+}
+
+}  // namespace
+}  // namespace pnr

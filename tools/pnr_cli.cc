@@ -12,12 +12,19 @@
 //   pnr serve   --models name=model.txt[,name2=other.txt] [--port 8080]
 //               [--threads 4] [--max-batch 1024] [--max-delay-us 2000]
 //               [--no-batching]
+//   pnr tune    (--data train.csv | --synth kdd) --target fraud
+//               [--config grid.cfg] [--folds 5] [--budget N]
+//               [--metric recall|precision|f] [--z 2.0] [--keep 0.5]
+//               [--seed n] [--threads n] [--out DIR]
 //
 // `--target` is the class value treated as positive. Training prints the
 // learned rules; eval prints recall / precision / F and ranking areas.
 // `serve` loads each model with its `<model>.schema` sidecar (written by
 // train) and answers POST /v1/predict until SIGTERM/SIGINT, then drains
-// in-flight requests before exiting (see docs/API.md).
+// in-flight requests before exiting (see docs/API.md). `tune` races a
+// hyperparameter grid over stratified CV with successive-halving /
+// confidence-bound elimination and writes EXPERIMENTS.md + BENCH_tune.json
+// artifacts to --out (byte-identical for any --threads; see DESIGN.md §12).
 
 #include <signal.h>
 
@@ -28,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/net.h"
 #include "common/string_util.h"
 #include "data/csv.h"
@@ -37,6 +45,8 @@
 #include "pnrule/model_io.h"
 #include "pnrule/pnrule.h"
 #include "serve/server.h"
+#include "synth/kdd_sim.h"
+#include "tune/report.h"
 
 namespace {
 
@@ -78,6 +88,12 @@ int Usage() {
                "[--port <p>] [--threads <n>]\n"
                "           [--max-batch <rows>] [--max-delay-us <us>] "
                "[--no-batching]\n"
+               "       pnr tune (--data <csv> | --synth kdd) --target "
+               "<class> [--config <file>]\n"
+               "           [--folds <k>] [--budget <evals>] [--metric "
+               "recall|precision|f]\n"
+               "           [--z <f>] [--keep <f>] [--seed <n>] "
+               "[--threads <n>] [--out <dir>]\n"
                "  --threads: worker threads for data loading, condition "
                "search (train),\n"
                "             and batch scoring (eval/predict); 1 = serial, "
@@ -245,6 +261,169 @@ int Predict(const Args& args) {
   return 0;
 }
 
+// `pnr tune`: race a hyperparameter grid over stratified CV.
+//
+// With --synth kdd the racer runs on a generated kdd_sim training split and
+// the winner is additionally compared against the default configuration on
+// the (shifted-distribution) test split — the quick way to reproduce the
+// paper-style tuned-vs-default numbers without any data on disk. The
+// written artifacts cover the race only, so they are byte-identical for
+// any --threads value.
+int Tune(const Args& args) {
+  const auto target_it = args.options.find("target");
+  if (target_it == args.options.end()) {
+    std::fprintf(stderr, "--target is required\n");
+    return 2;
+  }
+
+  // Data: a CSV file or the kdd_sim generator.
+  Dataset train(Schema{});
+  Dataset test(Schema{});
+  bool have_test = false;
+  std::string dataset_desc;
+  const auto synth_it = args.options.find("synth");
+  if (synth_it != args.options.end()) {
+    if (synth_it->second != "kdd") {
+      std::fprintf(stderr, "unknown --synth generator '%s' (valid: kdd)\n",
+                   synth_it->second.c_str());
+      return 2;
+    }
+    KddSimParams params;
+    params.train_records =
+        static_cast<size_t>(OptionOr(args, "synth-train", 20000.0));
+    params.test_records =
+        static_cast<size_t>(OptionOr(args, "synth-test", 12000.0));
+    params.seed = static_cast<uint64_t>(OptionOr(args, "seed", 20010521.0));
+    auto data = GenerateKddSim(params);
+    if (!data.ok()) {
+      std::fprintf(stderr, "kdd_sim: %s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    KddSimData sim = std::move(data).value();
+    train = std::move(sim.train);
+    test = std::move(sim.test);
+    have_test = true;
+    dataset_desc = "kdd_sim train=" + std::to_string(params.train_records) +
+                   " test=" + std::to_string(params.test_records);
+  } else {
+    auto data = LoadData(args);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    train = std::move(data).value();
+    dataset_desc = args.options.at("data") + " rows=" +
+                   std::to_string(train.num_rows());
+  }
+  const CategoryId target =
+      train.schema().class_attr().FindCategory(target_it->second);
+  if (target == kInvalidCategory) {
+    std::fprintf(stderr, "class '%s' does not occur in the data\n",
+                 target_it->second.c_str());
+    return 1;
+  }
+
+  // Grid: --config file or the built-in default space.
+  ConfigSpace space = ConfigSpace::Default();
+  const auto config_it = args.options.find("config");
+  if (config_it != args.options.end()) {
+    auto text = ReadFileToString(config_it->second);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed = ConfigSpace::Parse(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    space = std::move(parsed).value();
+  }
+  const std::vector<TrialConfig> configs = space.Enumerate(PnruleConfig{});
+
+  RacerOptions options;
+  options.num_folds = static_cast<size_t>(OptionOr(args, "folds", 5.0));
+  options.seed = static_cast<uint64_t>(OptionOr(args, "seed", 20010521.0));
+  options.max_evals = static_cast<size_t>(OptionOr(args, "budget", 0.0));
+  options.confidence_z = OptionOr(args, "z", 2.0);
+  options.keep_fraction = OptionOr(args, "keep", 0.5);
+  options.num_threads = static_cast<size_t>(OptionOr(args, "threads", 1.0));
+  const auto metric_it = args.options.find("metric");
+  if (metric_it != args.options.end() &&
+      !ParseTuneMetric(metric_it->second, &options.metric)) {
+    std::fprintf(stderr,
+                 "unknown --metric '%s' (valid: recall precision f)\n",
+                 metric_it->second.c_str());
+    return 2;
+  }
+
+  std::printf("racing %zu configurations over %zu folds on %s "
+              "(objective %s)...\n",
+              configs.size(), options.num_folds, dataset_desc.c_str(),
+              TuneMetricName(options.metric));
+  std::fflush(stdout);
+  Racer racer(options);
+  auto result = racer.Race(train, target, configs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  TuneReport report;
+  report.dataset = dataset_desc;
+  report.target = target_it->second;
+  report.options = options;
+  report.configs = configs;
+  report.result = std::move(result).value();
+  std::printf("%s", RenderTuneMarkdown(report).c_str());
+
+  // Held-out comparison (synth mode): winner vs default config, trained on
+  // the full training split, evaluated on the shifted test split.
+  if (have_test) {
+    const CategoryId test_target =
+        test.schema().class_attr().FindCategory(target_it->second);
+    struct Contender {
+      const char* name;
+      TrialConfig trial;
+    };
+    const Contender contenders[] = {
+        {"tuned", report.configs[report.result.best_config]},
+        {"default", TrialConfig{}},
+    };
+    std::printf("\nheld-out test split (%zu rows):\n", test.num_rows());
+    for (const Contender& contender : contenders) {
+      PnruleConfig config = contender.trial.config;
+      config.num_threads = options.num_threads;
+      auto model = PnruleLearner(config).Train(train, target);
+      if (!model.ok()) {
+        std::fprintf(stderr, "training failed: %s\n",
+                     model.status().ToString().c_str());
+        return 1;
+      }
+      PnruleClassifier classifier = std::move(model).value();
+      classifier.set_threshold(contender.trial.threshold);
+      BatchScoreOptions batch;
+      batch.num_threads = options.num_threads;
+      const Confusion c =
+          EvaluateClassifier(classifier, test, test_target, batch);
+      std::printf("  %-8s %s\n", contender.name, c.ToString().c_str());
+    }
+  }
+
+  const auto out_it = args.options.find("out");
+  if (out_it != args.options.end()) {
+    const Status written = WriteTuneArtifacts(report, out_it->second);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nartifacts written to %s/EXPERIMENTS.md and "
+                "%s/BENCH_tune.json\n",
+                out_it->second.c_str(), out_it->second.c_str());
+  }
+  return 0;
+}
+
 // SIGTERM/SIGINT handling: the handler may only touch async-signal-safe
 // state, so it writes one byte to a pipe; the main thread blocks on the
 // read end and runs the (mutex-taking) graceful Shutdown itself.
@@ -340,5 +519,6 @@ int main(int argc, char** argv) {
   if (args.command == "eval") return Eval(args);
   if (args.command == "predict") return Predict(args);
   if (args.command == "serve") return Serve(args);
+  if (args.command == "tune") return Tune(args);
   return Usage();
 }
