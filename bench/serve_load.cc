@@ -1,21 +1,26 @@
-// Load generator for the prediction server: measures end-to-end request
-// latency (p50/p99) and row throughput at 1 / 8 / 64 concurrent
-// connections, with micro-batching on vs off, against an in-process server
-// scoring a trained syngen model.
+// Load generator for the sharded serving fleet: measures end-to-end
+// latency (p50/p99) and aggregate row throughput across --shards 1/2/4/8
+// at 64 pipelined keep-alive connections, plus the single-connection
+// batching case (the PR 6 regression) and a compact-binary-protocol run,
+// against an in-process fleet scoring a trained syngen model.
 //
-// Every response is checked bit-for-bit against offline ScoreBatch of the
-// same rows; the JSON writer (PNR_BENCH_JSON=<path>) refuses to write — and
-// the binary exits nonzero — if any served score ever differed, so the
-// committed numbers double as an equivalence proof.
+// Every response is checked bit-for-bit (memcmp on the raw doubles)
+// against offline ScoreBatch of the same rows; the JSON writer
+// (PNR_BENCH_JSON=<path>) refuses to write — and the binary exits
+// nonzero — if any served score ever differed, so the committed numbers
+// double as an equivalence proof.
 //
 // Requests carry one row each (the adversarial shape for a scoring
-// service: maximal per-request overhead), and the batched runs use
-// max_batch_rows = connections, the documented tuning of batch size to
-// expected concurrency. The syngen schema uses a 500-value categorical
-// vocabulary — the high-cardinality shape of production fraud/intrusion
-// features — which makes the per-ScoreBatch-call setup cost (materializing
-// the rows as a Dataset over the model schema) visible: that setup is what
+// service: maximal per-request overhead). Pipelined runs keep `depth`
+// requests in flight per connection, sent as one write per burst — the
+// shape the reactor's end-of-round batch flush is built for. The syngen
+// schema uses a 500-value categorical vocabulary — the high-cardinality
+// shape of production fraud/intrusion features — which makes the
+// per-ScoreBatch-call setup cost visible: that setup is what
 // micro-batching amortizes.
+//
+// The box's core count is recorded in the JSON (`cores`): shard scaling
+// is only meaningful relative to the parallelism the box actually has.
 //
 // Flags: --quick (short runs) | --seconds=<f> | --seed=<n>
 
@@ -25,12 +30,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/net.h"
 #include "common/string_util.h"
+#include "serve/binary.h"
 #include "serve/json.h"
 #include "serve/server.h"
 #include "synth/sweep.h"
@@ -39,11 +47,19 @@ namespace {
 
 using namespace pnr;
 
+constexpr double kPr4BaselineRowsPerS = 29379;  // 64 conns, thread pool
+
+struct LoadSpec {
+  const char* protocol = "json";  // "json" | "binary"
+  size_t shards = 1;
+  size_t connections = 1;
+  size_t depth = 1;  // pipelined requests in flight per connection
+  bool batching = true;
+};
+
 struct LoadResult {
-  size_t connections = 0;
-  bool batching = false;
+  LoadSpec spec;
   size_t requests = 0;
-  size_t rows = 0;
   double seconds = 0;
   double rows_per_s = 0;
   double p50_us = 0;
@@ -83,17 +99,54 @@ std::string RowBody(const Dataset& data, RowId row) {
   return body;
 }
 
+// Full pipelinable HTTP request frame for one row.
+std::string JsonFrame(const Dataset& data, RowId row) {
+  const std::string body = RowBody(data, row);
+  std::string frame = "POST /v1/predict HTTP/1.1\r\nHost: bench\r\n";
+  frame += "Content-Type: application/json\r\n";
+  frame += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  frame += body;
+  return frame;
+}
+
+// Binary request frame for one row.
+std::string BinaryFrame(const Dataset& data, RowId row) {
+  std::string payload;
+  EncodeBinaryRows(data, row, row + 1, &payload);
+  return EncodeBinaryRequest("m", payload);
+}
+
+// Checks one served score against the offline reference, bit-for-bit.
+bool SameBits(double served, double expected) {
+  return std::memcmp(&served, &expected, sizeof(double)) == 0;
+}
+
+// One pipelined JSON connection: bursts of `depth` pre-rendered frames in
+// a single send, then reads and verifies `depth` in-order responses.
+struct JsonConn {
+  explicit JsonConn(HttpClient client) : http(std::move(client)) {}
+  HttpClient http;
+  size_t next_row = 0;
+  std::deque<size_t> inflight;
+};
+
+// One pipelined binary connection over a raw socket.
+struct BinaryConn {
+  explicit BinaryConn(UniqueFd socket) : fd(std::move(socket)) {}
+  UniqueFd fd;
+  std::string inbuf;
+  size_t next_row = 0;
+  std::deque<size_t> inflight;
+};
+
 LoadResult RunLoad(ModelRegistry* registry, const Dataset& test,
-                   const std::vector<double>& expected, size_t connections,
-                   bool batching, double seconds) {
+                   const std::vector<double>& expected, const LoadSpec& spec,
+                   double seconds) {
   ServerConfig config;
   config.port = 0;
-  // Thread-per-connection so every client can have a request in flight —
-  // the shape that lets an open batch actually fill.
-  config.num_threads = connections;
-  config.batcher.enabled = batching;
-  config.batcher.max_batch_rows = connections;
-  config.batcher.max_delay_us = 1000;
+  config.num_shards = spec.shards;
+  config.max_pipeline_depth = std::max<size_t>(64, 2 * spec.depth);
+  config.batcher.enabled = spec.batching;
   PredictionServer server(config, registry);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -101,53 +154,129 @@ LoadResult RunLoad(ModelRegistry* registry, const Dataset& test,
     std::exit(1);
   }
 
-  // Pre-render the request bodies (the generator must not be the
-  // bottleneck); each client walks its own stride of the test set.
-  const size_t num_bodies = test.num_rows();
-  std::vector<std::string> bodies(num_bodies);
-  for (RowId row = 0; row < num_bodies; ++row) {
-    bodies[row] = RowBody(test, row);
+  // Pre-render the request frames (the generator must not be the
+  // bottleneck); each connection walks its own stride of the test set.
+  const bool binary = std::strcmp(spec.protocol, "binary") == 0;
+  const size_t num_rows = test.num_rows();
+  std::vector<std::string> frames(num_rows);
+  for (RowId row = 0; row < num_rows; ++row) {
+    frames[row] = binary ? BinaryFrame(test, row) : JsonFrame(test, row);
   }
 
+  // A few client threads multiplex the connections: on a small box the
+  // client competes with the server for cores, so thread-per-connection
+  // on the client side would measure scheduler thrash, not the fleet.
+  const size_t num_threads = std::min<size_t>(spec.connections, 4);
   std::atomic<bool> stop{false};
   std::atomic<bool> mismatch{false};
   std::atomic<size_t> total_requests{0};
-  std::vector<std::vector<uint64_t>> latencies(connections);
+  std::vector<std::vector<uint64_t>> latencies(num_threads);
   std::vector<std::thread> clients;
-  clients.reserve(connections);
+  clients.reserve(num_threads);
   const auto bench_start = std::chrono::steady_clock::now();
-  for (size_t c = 0; c < connections; ++c) {
-    clients.emplace_back([&, c] {
-      auto connect = HttpClient::Connect(server.port());
-      if (!connect.ok()) {
-        mismatch.store(true);
-        return;
-      }
-      HttpClient client = std::move(connect).value();
-      size_t row = c;  // stride the test set per client
+
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t conns_here =
+        spec.connections / num_threads +
+        (t < spec.connections % num_threads ? 1 : 0);
+    clients.emplace_back([&, t, conns_here] {
       size_t sent = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        row = (row + connections) % num_bodies;
-        const auto start = std::chrono::steady_clock::now();
-        auto response =
-            client.Roundtrip("POST", "/v1/predict", bodies[row]);
-        const auto elapsed =
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-        if (!response.ok() || response->status != 200) {
-          mismatch.store(true);
-          return;
+      if (binary) {
+        std::vector<BinaryConn> conns;
+        for (size_t c = 0; c < conns_here; ++c) {
+          auto fd = ConnectLoopback(server.port());
+          if (!fd.ok()) { mismatch.store(true); return; }
+          conns.emplace_back(std::move(fd).value());
+          conns.back().next_row = (t * conns_here + c) % num_rows;
         }
-        auto doc = ParseJson(response->body);
-        const JsonValue* scores = doc.ok() ? doc->Find("scores") : nullptr;
-        if (scores == nullptr || scores->array.size() != 1 ||
-            scores->array[0].number_value != expected[row]) {
-          mismatch.store(true);
-          return;
+        char buf[16384];
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (BinaryConn& conn : conns) {
+            std::string burst;
+            for (size_t i = 0; i < spec.depth; ++i) {
+              burst += frames[conn.next_row];
+              conn.inflight.push_back(conn.next_row);
+              conn.next_row = (conn.next_row + spec.connections) % num_rows;
+            }
+            const auto start = std::chrono::steady_clock::now();
+            if (!SendAll(conn.fd.get(), burst).ok()) {
+              mismatch.store(true);
+              return;
+            }
+            while (!conn.inflight.empty()) {
+              BinaryResponse response;
+              size_t consumed = 0;
+              const Status parsed =
+                  ParseBinaryResponse(conn.inbuf, &response, &consumed);
+              if (!parsed.ok()) { mismatch.store(true); return; }
+              if (consumed == 0) {
+                auto n = RecvSome(conn.fd.get(), buf, sizeof(buf), 30000);
+                if (!n.ok() || *n == 0) { mismatch.store(true); return; }
+                conn.inbuf.append(buf, *n);
+                continue;
+              }
+              conn.inbuf.erase(0, consumed);
+              const size_t row = conn.inflight.front();
+              conn.inflight.pop_front();
+              if (response.status != BinaryStatus::kOk ||
+                  response.scores.size() != 1 ||
+                  !SameBits(response.scores[0], expected[row])) {
+                mismatch.store(true);
+                return;
+              }
+              latencies[t].push_back(static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count()));
+              ++sent;
+            }
+          }
         }
-        latencies[c].push_back(static_cast<uint64_t>(elapsed));
-        ++sent;
+      } else {
+        std::vector<JsonConn> conns;
+        for (size_t c = 0; c < conns_here; ++c) {
+          auto connect = HttpClient::Connect(server.port());
+          if (!connect.ok()) { mismatch.store(true); return; }
+          conns.emplace_back(std::move(connect).value());
+          conns.back().next_row = (t * conns_here + c) % num_rows;
+        }
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (JsonConn& conn : conns) {
+            std::string burst;
+            for (size_t i = 0; i < spec.depth; ++i) {
+              burst += frames[conn.next_row];
+              conn.inflight.push_back(conn.next_row);
+              conn.next_row = (conn.next_row + spec.connections) % num_rows;
+            }
+            const auto start = std::chrono::steady_clock::now();
+            if (!conn.http.SendRaw(burst).ok()) {
+              mismatch.store(true);
+              return;
+            }
+            while (!conn.inflight.empty()) {
+              auto response = conn.http.ReadResponse();
+              const size_t row = conn.inflight.front();
+              conn.inflight.pop_front();
+              if (!response.ok() || response->status != 200) {
+                mismatch.store(true);
+                return;
+              }
+              auto doc = ParseJson(response->body);
+              const JsonValue* scores =
+                  doc.ok() ? doc->Find("scores") : nullptr;
+              if (scores == nullptr || scores->array.size() != 1 ||
+                  !SameBits(scores->array[0].number_value, expected[row])) {
+                mismatch.store(true);
+                return;
+              }
+              latencies[t].push_back(static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count()));
+              ++sent;
+            }
+          }
+        }
       }
       total_requests.fetch_add(sent);
     });
@@ -159,27 +288,25 @@ LoadResult RunLoad(ModelRegistry* registry, const Dataset& test,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     bench_start)
           .count();
+  const MetricsSnapshot totals = server.Totals();
   server.Shutdown();
 
   LoadResult result;
-  result.connections = connections;
-  result.batching = batching;
+  result.spec = spec;
   result.requests = total_requests.load();
-  result.rows = result.requests;  // one row per request
   result.seconds = elapsed;
-  result.rows_per_s = static_cast<double>(result.rows) / elapsed;
+  result.rows_per_s = static_cast<double>(result.requests) / elapsed;
   std::vector<uint64_t> all;
-  for (const auto& per_client : latencies) {
-    all.insert(all.end(), per_client.begin(), per_client.end());
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
   }
   result.p50_us = Percentile(&all, 0.50);
   result.p99_us = Percentile(&all, 0.99);
-  const uint64_t flushed = server.metrics().batches_flushed.load();
   result.mean_batch_rows =
-      flushed == 0 ? 0
-                   : static_cast<double>(
-                         server.metrics().batch_rows.sum()) /
-                         static_cast<double>(flushed);
+      totals.batches_flushed == 0
+          ? 0
+          : static_cast<double>(totals.batch_rows.sum) /
+                static_cast<double>(totals.batches_flushed);
   result.scores_identical = !mismatch.load();
   return result;
 }
@@ -220,38 +347,72 @@ int main(int argc, char** argv) {
   ModelRegistry registry;
   registry.Install("m", data.train.schema(), std::move(model).value());
 
-  std::printf("serve_load: 1-row requests, %.2fs per run, "
-              "threads = connections, max_batch = connections\n\n",
-              seconds);
-  std::printf("%5s %9s %10s %10s %10s %12s\n", "conns", "batching",
-              "p50_us", "p99_us", "rows/s", "batch_rows");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("serve_load: 1-row requests, %.2fs per run, %u core(s)\n\n",
+              seconds, cores);
+  std::printf("%7s %7s %6s %6s %9s %10s %10s %10s %12s\n", "proto",
+              "shards", "conns", "depth", "batching", "p50_us", "p99_us",
+              "rows/s", "batch_rows");
+
+  // The matrix: the single-connection regression pair (batching on must
+  // not lose to off — the PR 6 fix), the shard sweep at 64 pipelined
+  // connections over JSON, and the binary protocol at one and four shards.
+  const LoadSpec kSpecs[] = {
+      {"json", 1, 1, 1, false},
+      {"json", 1, 1, 1, true},
+      {"json", 1, 64, 16, true},
+      {"json", 2, 64, 16, true},
+      {"json", 4, 64, 16, true},
+      {"json", 8, 64, 16, true},
+      {"binary", 1, 64, 32, true},
+      {"binary", 4, 64, 32, true},
+  };
   std::vector<LoadResult> results;
   bool all_identical = true;
-  for (size_t connections : {1, 8, 64}) {
-    for (bool batching : {false, true}) {
-      LoadResult r = RunLoad(&registry, data.test, expected, connections,
-                             batching, seconds);
-      all_identical = all_identical && r.scores_identical;
-      std::printf("%5zu %9s %10.0f %10.0f %10.0f %12.1f%s\n",
-                  r.connections, r.batching ? "on" : "off", r.p50_us,
-                  r.p99_us, r.rows_per_s, r.mean_batch_rows,
-                  r.scores_identical ? "" : "  SCORE MISMATCH");
-      results.push_back(r);
-    }
+  for (const LoadSpec& spec : kSpecs) {
+    LoadResult r = RunLoad(&registry, data.test, expected, spec, seconds);
+    all_identical = all_identical && r.scores_identical;
+    std::printf("%7s %7zu %6zu %6zu %9s %10.0f %10.0f %10.0f %12.1f%s\n",
+                r.spec.protocol, r.spec.shards, r.spec.connections,
+                r.spec.depth, r.spec.batching ? "on" : "off", r.p50_us,
+                r.p99_us, r.rows_per_s, r.mean_batch_rows,
+                r.scores_identical ? "" : "  SCORE MISMATCH");
+    results.push_back(r);
   }
 
-  double speedup_64 = 0;
-  for (const LoadResult& r : results) {
-    if (r.connections == 64 && r.batching) {
-      for (const LoadResult& base : results) {
-        if (base.connections == 64 && !base.batching &&
-            base.rows_per_s > 0) {
-          speedup_64 = r.rows_per_s / base.rows_per_s;
-        }
+  auto find = [&](const char* proto, size_t shards, size_t conns,
+                  bool batching) -> const LoadResult* {
+    for (const LoadResult& r : results) {
+      if (std::strcmp(r.spec.protocol, proto) == 0 &&
+          r.spec.shards == shards && r.spec.connections == conns &&
+          r.spec.batching == batching) {
+        return &r;
       }
     }
+    return nullptr;
+  };
+  const LoadResult* one_off = find("json", 1, 1, false);
+  const LoadResult* one_on = find("json", 1, 1, true);
+  const LoadResult* json1 = find("json", 1, 64, true);
+  const LoadResult* json4 = find("json", 4, 64, true);
+  const LoadResult* bin4 = find("binary", 4, 64, true);
+  auto rate = [](const LoadResult* r) { return r ? r->rows_per_s : 0.0; };
+  const double lone_ratio =
+      rate(one_off) > 0 ? rate(one_on) / rate(one_off) : 0;
+  const double scaling_1_to_4 =
+      rate(json1) > 0 ? rate(json4) / rate(json1) : 0;
+  double best_64 = 0;
+  for (const LoadResult& r : results) {
+    if (r.spec.connections == 64) best_64 = std::max(best_64, r.rows_per_s);
   }
-  std::printf("\nbatching speedup at 64 connections: %.2fx\n", speedup_64);
+  const double speedup_vs_pr4 = best_64 / kPr4BaselineRowsPerS;
+  std::printf(
+      "\nsingle-connection batching on/off: %.2fx\n"
+      "json shard scaling 1 -> 4: %.2fx (on %u core(s))\n"
+      "best 64-connection rows/s: %.0f (json %.0f, binary %.0f) = %.2fx "
+      "the PR 4 baseline %.0f\n",
+      lone_ratio, scaling_1_to_4, cores, best_64, rate(json4),
+      rate(bin4), speedup_vs_pr4, kPr4BaselineRowsPerS);
 
   if (!all_identical) {
     std::fprintf(stderr,
@@ -271,25 +432,35 @@ int main(int argc, char** argv) {
                  "  \"request_shape\": \"1 row, 8 attributes "
                  "(categorical vocab 500)\",\n"
                  "  \"seconds_per_run\": %.2f,\n"
-                 "  \"server\": {\"threads\": \"= connections\", "
-                 "\"max_batch_rows\": \"= connections\", "
-                 "\"max_delay_us\": 1000},\n  \"runs\": [\n",
-                 seconds);
+                 "  \"cores\": %u,\n"
+                 "  \"server\": {\"transport\": \"sharded epoll reactor\", "
+                 "\"pipelining\": true, \"max_batch_rows\": 1024},\n"
+                 "  \"runs\": [\n",
+                 seconds, cores);
     for (size_t i = 0; i < results.size(); ++i) {
       const LoadResult& r = results[i];
-      std::fprintf(out,
-                   "    {\"connections\": %zu, \"batching\": %s, "
-                   "\"requests\": %zu, \"p50_us\": %.0f, \"p99_us\": %.0f, "
-                   "\"rows_per_s\": %.0f, \"mean_batch_rows\": %.1f, "
-                   "\"scores_identical\": true}%s\n",
-                   r.connections, r.batching ? "true" : "false", r.requests,
-                   r.p50_us, r.p99_us, r.rows_per_s, r.mean_batch_rows,
-                   i + 1 < results.size() ? "," : "");
+      std::fprintf(
+          out,
+          "    {\"protocol\": \"%s\", \"shards\": %zu, "
+          "\"connections\": %zu, \"pipeline_depth\": %zu, "
+          "\"batching\": %s, \"requests\": %zu, \"p50_us\": %.0f, "
+          "\"p99_us\": %.0f, \"rows_per_s\": %.0f, "
+          "\"mean_batch_rows\": %.1f, \"scores_identical\": true}%s\n",
+          r.spec.protocol, r.spec.shards, r.spec.connections, r.spec.depth,
+          r.spec.batching ? "true" : "false", r.requests, r.p50_us,
+          r.p99_us, r.rows_per_s, r.mean_batch_rows,
+          i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(out,
-                 "  ],\n  \"batching_speedup_at_64_connections\": %.2f,\n"
-                 "  \"bit_identical_to_offline\": true\n}\n",
-                 speedup_64);
+    std::fprintf(
+        out,
+        "  ],\n  \"single_connection_batching_on_over_off\": %.2f,\n"
+        "  \"json_shard_scaling_1_to_4\": %.2f,\n"
+        "  \"pr4_baseline_rows_per_s\": %.0f,\n"
+        "  \"best_64_connection_rows_per_s\": %.0f,\n"
+        "  \"speedup_vs_pr4_baseline\": %.2f,\n"
+        "  \"bit_identical_to_offline\": true\n}\n",
+        lone_ratio, scaling_1_to_4, kPr4BaselineRowsPerS, best_64,
+        speedup_vs_pr4);
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }

@@ -13,6 +13,7 @@
 #include "data/ingest.h"
 #include "data/schema_io.h"
 #include "pnrule/model_io.h"
+#include "serve/binary.h"
 #include "serve/http.h"
 #include "serve/json.h"
 #include "tune/config_space.h"
@@ -349,6 +350,121 @@ void FuzzHttp(const uint8_t* data, size_t size) {
   }
 }
 
+namespace {
+
+// Drives a BinaryRequestParser over `text` in `step`-sized chunks, Taking
+// completed frames; the parser is left in its final state.
+std::vector<BinaryRequest> RunBinaryParser(BinaryRequestParser* parser,
+                                           std::string_view text,
+                                           size_t step) {
+  std::vector<BinaryRequest> requests;
+  for (size_t offset = 0;
+       offset < text.size() &&
+       parser->state() != BinaryRequestParser::State::kError;
+       offset += step) {
+    parser->Consume(text.substr(offset, step));
+    while (parser->state() == BinaryRequestParser::State::kDone) {
+      requests.push_back(parser->Take());
+    }
+  }
+  return requests;
+}
+
+// A fixed mixed-type schema so accepted frames exercise both the raw-f64
+// and the length-prefixed-string column decoders.
+const Schema& FuzzBinarySchema() {
+  static const Schema* schema = [] {
+    auto* s = new Schema;
+    s->AddAttribute(Attribute::Numeric("x"));
+    s->AddAttribute(Attribute::Categorical("color", {"red", "green"}));
+    s->GetOrAddClass("neg");
+    s->GetOrAddClass("pos");
+    return s;
+  }();
+  return *schema;
+}
+
+}  // namespace
+
+void FuzzServeBinary(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  const std::string_view text = AsText(data, size);
+  // Small limits make the oversize-length rejections reachable with
+  // fuzz-sized inputs.
+  BinaryRequestParser::Limits limits;
+  limits.max_name_bytes = 64;
+  limits.max_payload_bytes = 4096;
+
+  // The shard feeds the parser from arbitrarily fragmented socket reads;
+  // one whole-buffer write and the byte-at-a-time worst case must complete
+  // the same frames and land in the same final state.
+  BinaryRequestParser batch(limits);
+  const std::vector<BinaryRequest> batch_requests =
+      RunBinaryParser(&batch, text, text.size());
+  BinaryRequestParser incremental(limits);
+  const std::vector<BinaryRequest> incremental_requests =
+      RunBinaryParser(&incremental, text, 1);
+
+  FUZZ_CHECK(batch.state() == incremental.state(),
+             "batch and incremental binary parses reach different states");
+  FUZZ_CHECK(batch_requests.size() == incremental_requests.size(),
+             "batch and incremental binary frame counts differ");
+  for (size_t i = 0; i < batch_requests.size(); ++i) {
+    FUZZ_CHECK(batch_requests[i].model == incremental_requests[i].model,
+               "batch and incremental frame model names differ");
+    FUZZ_CHECK(batch_requests[i].payload == incremental_requests[i].payload,
+               "batch and incremental frame payloads differ");
+    // Every accepted frame's payload goes through the row decoder: hostile
+    // row counts and truncated columns must reject with a located error,
+    // never crash, over-read, or silently succeed.
+    RowBlock rows;
+    const Status decoded =
+        DecodeBinaryRows(batch_requests[i].payload, FuzzBinarySchema(), &rows);
+    if (decoded.ok()) {
+      // InitFor sizes both column tables to num_attributes; only the slot
+      // matching each attribute's type is populated.
+      FUZZ_CHECK(rows.numeric.size() == 2 && rows.categorical.size() == 2,
+                 "decoded RowBlock shape disagrees with the schema");
+      FUZZ_CHECK(rows.numeric[0].size() == rows.num_rows &&
+                     rows.categorical[1].size() == rows.num_rows,
+                 "decoded column length disagrees with num_rows");
+    } else {
+      FUZZ_CHECK(!decoded.ToString().empty(),
+                 "binary payload rejection without a message");
+    }
+  }
+  if (batch.state() == BinaryRequestParser::State::kError) {
+    FUZZ_CHECK(batch.error_code() == incremental.error_code(),
+               "batch and incremental binary error codes differ");
+    FUZZ_CHECK(batch.error_message() == incremental.error_message(),
+               "batch and incremental binary error messages differ");
+    FUZZ_CHECK(!batch.error_message().empty(),
+               "binary framing error without message");
+    // A framing error renders a response frame the client parser accepts.
+    BinaryResponse echoed;
+    size_t echoed_consumed = 0;
+    const std::string rendered =
+        RenderBinaryError(batch.error_code(), batch.error_message());
+    const Status reparse =
+        ParseBinaryResponse(rendered, &echoed, &echoed_consumed);
+    FUZZ_CHECK(reparse.ok() && echoed_consumed == rendered.size(),
+               "rendered binary error frame does not reparse");
+    FUZZ_CHECK(echoed.status == batch.error_code(),
+               "rendered binary error frame changed the status code");
+  }
+
+  // The client-side response parser sees whatever a (possibly hostile)
+  // server sends; arbitrary bytes must never crash it, and an accepted ok
+  // frame is internally consistent.
+  BinaryResponse response;
+  size_t consumed = 0;
+  const Status parsed = ParseBinaryResponse(text, &response, &consumed);
+  if (parsed.ok() && consumed > 0 && response.status == BinaryStatus::kOk) {
+    FUZZ_CHECK(response.scores.size() == response.predicted.size(),
+               "ok response frame with mismatched score/predicted counts");
+  }
+}
+
 void FuzzJson(const uint8_t* data, size_t size) {
   if (size > kMaxInput) return;
   const std::string text(AsText(data, size));
@@ -402,9 +518,9 @@ struct Target {
 };
 
 constexpr Target kTargets[] = {
-    {"csv", FuzzCsv},     {"arff", FuzzArff}, {"model", FuzzModel},
+    {"csv", FuzzCsv},       {"arff", FuzzArff}, {"model", FuzzModel},
     {"schema", FuzzSchema}, {"http", FuzzHttp}, {"json", FuzzJson},
-    {"tune", FuzzTune},
+    {"serve_binary", FuzzServeBinary},          {"tune", FuzzTune},
 };
 
 }  // namespace
@@ -416,7 +532,9 @@ TargetFn FindTarget(std::string_view name) {
   return nullptr;
 }
 
-const char* TargetNames() { return "csv arff model schema http json tune"; }
+const char* TargetNames() {
+  return "csv arff model schema http json serve_binary tune";
+}
 
 }  // namespace fuzz
 }  // namespace pnr

@@ -1,7 +1,8 @@
 // Structure-aware fuzz targets over every untrusted-input surface.
 //
 // One function per surface (CSV/ARFF ingest, model_io, schema_io, the HTTP
-// request parser, the serve JSON parser, the tune config-space parser).
+// request parser, the serve JSON parser, the binary predict protocol, the
+// tune config-space parser).
 // Each target consumes an arbitrary
 // byte string and asserts the surface's hardening contract:
 //
@@ -37,10 +38,11 @@ void FuzzModel(const uint8_t* data, size_t size);
 void FuzzSchema(const uint8_t* data, size_t size);
 void FuzzHttp(const uint8_t* data, size_t size);
 void FuzzJson(const uint8_t* data, size_t size);
+void FuzzServeBinary(const uint8_t* data, size_t size);
 void FuzzTune(const uint8_t* data, size_t size);
 
 /// Looks a target up by its corpus name ("csv", "arff", "model", "schema",
-/// "http", "json", "tune"); nullptr when unknown.
+/// "http", "json", "serve_binary", "tune"); nullptr when unknown.
 TargetFn FindTarget(std::string_view name);
 
 /// Space-separated list of valid target names (for usage messages).

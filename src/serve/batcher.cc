@@ -7,14 +7,6 @@
 
 namespace pnr {
 
-namespace {
-
-std::chrono::steady_clock::duration DelayOf(const BatcherConfig& config) {
-  return std::chrono::microseconds(config.max_delay_us);
-}
-
-}  // namespace
-
 void RowBlock::InitFor(const Schema& schema) {
   num_rows = 0;
   numeric.assign(schema.num_attributes(), {});
@@ -32,156 +24,93 @@ void RowBlock::Append(const RowBlock& other) {
 }
 
 MicroBatcher::MicroBatcher(BatcherConfig config, ServerMetrics* metrics)
-    : config_(config), metrics_(metrics) {
-  if (config_.enabled && config_.max_batch_rows > 1) {
-    timer_ = std::thread([this] { TimerLoop(); });
-  }
-}
+    : config_(config), metrics_(metrics) {}
 
 MicroBatcher::~MicroBatcher() { Shutdown(); }
 
-void MicroBatcher::Shutdown() {
-  std::vector<PendingBatch> drained;
-  std::thread timer;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_) return;
-    shutdown_ = true;
-    for (auto& [key, batch] : pending_) drained.push_back(std::move(batch));
-    pending_.clear();
-    pending_rows_ = 0;
-    if (metrics_ != nullptr) metrics_->queue_rows.store(0);
-    timer.swap(timer_);
+void MicroBatcher::UpdateQueueGauge() {
+  if (metrics_ != nullptr) {
+    metrics_->queue_rows.store(static_cast<int64_t>(pending_rows_),
+                               std::memory_order_relaxed);
   }
-  timer_cv_.notify_all();
-  if (timer.joinable()) timer.join();
-  // Graceful drain: rows accepted before shutdown still get scored.
-  for (auto& batch : drained) Execute(std::move(batch));
 }
 
-Status MicroBatcher::Score(std::shared_ptr<const ServedModel> model,
-                           RowBlock rows,
-                           std::chrono::steady_clock::time_point deadline,
-                           Result* out) {
+void MicroBatcher::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  // Graceful drain: rows accepted before shutdown still get scored.
+  Flush();
+}
+
+Status MicroBatcher::Enqueue(std::shared_ptr<const ServedModel> model,
+                             RowBlock rows, Callback done) {
+  if (shutdown_) return Status::Unavailable("server shutting down");
   if (rows.num_rows == 0) {
-    out->scores.clear();
-    out->predicted.clear();
+    done(Status::OK(), Result{});
     return Status::OK();
   }
 
-  // Per-request baseline: no coalescing, no queueing.
+  // Per-request baseline: no coalescing.
   if (!config_.enabled || config_.max_batch_rows <= 1) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (shutdown_) return Status::Unavailable("server shutting down");
-    }
-    auto waiter = std::make_shared<Waiter>();
     PendingBatch batch;
     batch.model = std::move(model);
-    batch.rows = std::move(rows);
-    batch.slices.push_back(Slice{waiter, 0, batch.rows.num_rows});
+    const size_t n = rows.num_rows;
+    batch.blocks.push_back(std::move(rows));
+    batch.slices.push_back(Slice{std::move(done), 0, n});
+    batch.total_rows = n;
     Execute(std::move(batch));
-    *out = std::move(waiter->result);
-    return waiter->status;
+    return Status::OK();
   }
 
-  auto waiter = std::make_shared<Waiter>();
-  bool lead = false;
-  PendingBatch to_flush;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_) return Status::Unavailable("server shutting down");
-    if (pending_rows_ + rows.num_rows > config_.max_queue_rows) {
-      if (metrics_ != nullptr) {
-        metrics_->rejected_total.fetch_add(1, std::memory_order_relaxed);
-      }
-      return Status::Unavailable("batch queue full");
-    }
-    PendingBatch& batch = pending_[model.get()];
-    if (batch.slices.empty()) {
-      batch.model = model;
-      batch.rows.InitFor(model->schema);
-      batch.opened_at = std::chrono::steady_clock::now();
-    }
-    batch.slices.push_back(
-        Slice{waiter, batch.rows.num_rows, rows.num_rows});
-    batch.rows.Append(rows);
-    pending_rows_ += rows.num_rows;
+  if (pending_rows_ + rows.num_rows > config_.max_queue_rows) {
     if (metrics_ != nullptr) {
-      metrics_->queue_rows.store(static_cast<int64_t>(pending_rows_),
-                                 std::memory_order_relaxed);
+      metrics_->rejected_total.fetch_add(1, std::memory_order_relaxed);
     }
-    if (batch.rows.num_rows >= config_.max_batch_rows) {
-      // This request fills the batch: it becomes the leader and scores.
-      lead = true;
-      to_flush = std::move(batch);
-      pending_.erase(model.get());
-      pending_rows_ -= to_flush.rows.num_rows;
-      if (metrics_ != nullptr) {
-        metrics_->queue_rows.store(static_cast<int64_t>(pending_rows_),
-                                   std::memory_order_relaxed);
-      }
-    }
+    return Status::Unavailable("batch queue full");
   }
 
-  if (lead) {
-    Execute(std::move(to_flush));
-  } else {
-    timer_cv_.notify_one();  // batch opened/updated: recompute next flush
-  }
+  PendingBatch& batch = pending_[model.get()];
+  if (batch.slices.empty()) batch.model = model;
+  batch.slices.push_back(Slice{std::move(done), batch.total_rows,
+                               rows.num_rows});
+  batch.total_rows += rows.num_rows;
+  batch.blocks.push_back(std::move(rows));
+  pending_rows_ += batch.blocks.back().num_rows;
+  UpdateQueueGauge();
 
-  std::unique_lock<std::mutex> lock(waiter->mutex);
-  if (!waiter->cv.wait_until(lock, deadline, [&] { return waiter->done; })) {
-    if (metrics_ != nullptr) {
-      metrics_->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-    }
-    return Status::DeadlineExceeded("request deadline exceeded");
+  if (batch.total_rows >= config_.max_batch_rows) {
+    PendingBatch full = std::move(batch);
+    pending_.erase(model.get());
+    pending_rows_ -= full.total_rows;
+    UpdateQueueGauge();
+    Execute(std::move(full));
   }
-  *out = std::move(waiter->result);
-  return waiter->status;
+  return Status::OK();
 }
 
-void MicroBatcher::TimerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    if (shutdown_) return;
-    if (pending_.empty()) {
-      timer_cv_.wait(lock,
-                     [this] { return shutdown_ || !pending_.empty(); });
-      continue;
-    }
-    auto next_flush = std::chrono::steady_clock::time_point::max();
-    for (const auto& [key, batch] : pending_) {
-      next_flush = std::min(next_flush, batch.opened_at + DelayOf(config_));
-    }
-    if (std::chrono::steady_clock::now() < next_flush) {
-      timer_cv_.wait_until(lock, next_flush);
-      continue;  // re-evaluate: batches may have been flushed by leaders
-    }
-    // Collect everything past its delay bound, then score unlocked.
-    std::vector<PendingBatch> due;
-    const auto now = std::chrono::steady_clock::now();
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      if (it->second.opened_at + DelayOf(config_) <= now) {
-        pending_rows_ -= it->second.rows.num_rows;
-        due.push_back(std::move(it->second));
-        it = pending_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    if (metrics_ != nullptr) {
-      metrics_->queue_rows.store(static_cast<int64_t>(pending_rows_),
-                                 std::memory_order_relaxed);
-    }
-    lock.unlock();
-    for (auto& batch : due) Execute(std::move(batch));
-    lock.lock();
+void MicroBatcher::Flush() {
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    PendingBatch batch = std::move(it->second);
+    pending_.erase(it);
+    pending_rows_ -= batch.total_rows;
+    UpdateQueueGauge();
+    Execute(std::move(batch));
   }
 }
 
 void MicroBatcher::Execute(PendingBatch batch) {
-  const size_t n = batch.rows.num_rows;
+  // Coalesce at the last moment: the common lone-request batch skips the
+  // copy entirely and scores the block it arrived in.
+  RowBlock coalesced;
+  if (batch.blocks.size() == 1) {
+    coalesced = std::move(batch.blocks.front());
+  } else {
+    if (!batch.blocks.empty()) coalesced.InitFor(batch.model->schema);
+    for (RowBlock& block : batch.blocks) coalesced.Append(block);
+  }
+  const RowBlock& rows = coalesced;
+  const size_t n = rows.num_rows;
   Status status;
   std::vector<double> scores(n, 0.0);
   std::vector<uint8_t> predicted(n, 0);
@@ -195,12 +124,12 @@ void MicroBatcher::Execute(PendingBatch batch) {
       const auto attr = static_cast<AttrIndex>(a);
       if (schema.attribute(attr).is_numeric()) {
         double* column = data.mutable_numeric_data(attr);
-        std::copy(batch.rows.numeric[a].begin(), batch.rows.numeric[a].end(),
+        std::copy(rows.numeric[a].begin(), rows.numeric[a].end(),
                   column);
       } else {
         CategoryId* column = data.mutable_categorical_data(attr);
-        std::copy(batch.rows.categorical[a].begin(),
-                  batch.rows.categorical[a].end(), column);
+        std::copy(rows.categorical[a].begin(),
+                  rows.categorical[a].end(), column);
       }
     }
     std::vector<RowId> row_ids(n);
@@ -222,23 +151,17 @@ void MicroBatcher::Execute(PendingBatch batch) {
   }
 
   for (Slice& slice : batch.slices) {
-    Waiter& waiter = *slice.waiter;
-    {
-      std::lock_guard<std::mutex> lock(waiter.mutex);
-      waiter.status = status;
-      if (status.ok()) {
-        waiter.result.scores.assign(
-            scores.begin() + static_cast<ptrdiff_t>(slice.offset),
-            scores.begin() + static_cast<ptrdiff_t>(slice.offset +
-                                                    slice.count));
-        waiter.result.predicted.assign(
-            predicted.begin() + static_cast<ptrdiff_t>(slice.offset),
-            predicted.begin() + static_cast<ptrdiff_t>(slice.offset +
-                                                       slice.count));
-      }
-      waiter.done = true;
+    Result result;
+    if (status.ok()) {
+      result.scores.assign(
+          scores.begin() + static_cast<ptrdiff_t>(slice.offset),
+          scores.begin() + static_cast<ptrdiff_t>(slice.offset + slice.count));
+      result.predicted.assign(
+          predicted.begin() + static_cast<ptrdiff_t>(slice.offset),
+          predicted.begin() +
+              static_cast<ptrdiff_t>(slice.offset + slice.count));
     }
-    waiter.cv.notify_all();
+    slice.done(status, std::move(result));
   }
 }
 

@@ -1,16 +1,18 @@
-// Dynamic micro-batcher: coalesces concurrent predict requests into row
-// blocks and scores each block with one CompiledRuleSet/ScoreBatch call.
+// Reactor-native micro-batcher: coalesces the predict requests one shard
+// drained in a single epoll round and scores them with one compiled
+// ScoreBatch call per model.
 //
 // Why: the compiled scorers (rules/compiled_rule_set.h) are columnar —
 // their SIMD span kernels amortize over rows, so scoring 256 rows in one
-// call is far cheaper than 256 one-row calls. A server receiving many
-// small concurrent requests recovers that batch shape by *waiting a tiny
-// bounded time* for peers: rows append to a per-model open batch, and the
-// batch flushes when it reaches `max_batch_rows` (the arriving request
-// becomes the leader and scores it) or when it turns `max_delay_us` old
-// (a timer thread flushes it). Under load batches fill instantly and the
-// delay bound never binds; when idle a lone request pays at most
-// max_delay_us extra latency.
+// call is far cheaper than 256 one-row calls. The old batcher recovered
+// batch shape by *waiting* (a timer thread flushed batches max_delay_us
+// old), which taxed lone requests with the full delay. The reactor gives
+// the same shape for free: every request that was readable in one
+// epoll_wait round lands in the open batch, and the shard calls Flush()
+// at end of round. Under load a round drains dozens of sockets and
+// batches fill; an idle connection's lone request is flushed in the same
+// round it arrived — zero added latency, no timer, no thread, no lock
+// (the batcher is shard-private and single-threaded).
 //
 // Batching never changes results: ScoreBatch output is bit-identical per
 // row for any batch composition, thread count, and block size (the PR 2
@@ -18,23 +20,19 @@
 // with 4095 strangers.
 //
 // Backpressure: rows waiting in open batches are bounded by
-// `max_queue_rows`; past that, Score returns Unavailable immediately
+// `max_queue_rows`; past that, Enqueue returns Unavailable immediately
 // (the server answers 503 + Retry-After) instead of queueing unboundedly.
-// Deadlines: a request whose deadline passes while its batch is queued
-// gets DeadlineExceeded; its rows still flush with the batch, the result
-// is simply discarded (waiters are shared_ptr, so late completion writes
-// to live memory).
+// Completion is a callback, invoked synchronously from Flush/Enqueue on
+// the shard thread — callees queue bytes on the connection, they never
+// block.
 
 #ifndef PNR_SERVE_BATCHER_H_
 #define PNR_SERVE_BATCHER_H_
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -45,13 +43,11 @@
 namespace pnr {
 
 struct BatcherConfig {
-  /// false = score every request immediately on its own thread (the
-  /// per-request baseline the load generator compares against).
+  /// false = score every request immediately on arrival (the per-request
+  /// baseline the load generator compares against).
   bool enabled = true;
-  /// Flush an open batch when it reaches this many rows.
+  /// Flush an open batch early when it reaches this many rows.
   size_t max_batch_rows = 1024;
-  /// Flush an open batch when its oldest row is this old.
-  uint64_t max_delay_us = 2000;
   /// Admission bound on rows waiting in open batches (503 beyond).
   size_t max_queue_rows = 1 << 16;
   /// Threads/block size for the ScoreBatch call itself.
@@ -79,55 +75,61 @@ class MicroBatcher {
     std::vector<uint8_t> predicted;
   };
 
+  /// Invoked exactly once per accepted Enqueue, always on the shard
+  /// thread, possibly synchronously from Enqueue itself.
+  using Callback = std::function<void(const Status&, Result)>;
+
   MicroBatcher(BatcherConfig config, ServerMetrics* metrics);
   ~MicroBatcher();
 
-  /// Flushes every open batch and stops the timer thread. Idempotent;
-  /// Score calls after shutdown fail with Unavailable.
+  /// Adds `rows` to the open batch for `model`. Returns Unavailable when
+  /// the queue bound would be exceeded or after Shutdown — the callback is
+  /// NOT invoked in that case. With batching disabled (or max_batch_rows
+  /// <= 1) the rows score immediately and the callback fires before
+  /// Enqueue returns.
+  Status Enqueue(std::shared_ptr<const ServedModel> model, RowBlock rows,
+                 Callback done);
+
+  /// Scores every open batch. The shard calls this at the end of each
+  /// reactor round, so no request waits past the round it arrived in.
+  void Flush();
+
+  /// Flushes outstanding work and rejects further Enqueues. Idempotent.
   void Shutdown();
 
-  /// Scores `rows` against `model`, blocking until the enclosing batch
-  /// flushed (bounded by max_delay_us) or `deadline` passed.
-  Status Score(std::shared_ptr<const ServedModel> model, RowBlock rows,
-               std::chrono::steady_clock::time_point deadline, Result* out);
+  /// Rows currently waiting in open batches.
+  size_t pending_rows() const { return pending_rows_; }
 
   const BatcherConfig& config() const { return config_; }
 
  private:
-  struct Waiter {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    Status status;
-    Result result;
-  };
   struct Slice {
-    std::shared_ptr<Waiter> waiter;
+    Callback done;
     size_t offset = 0;
     size_t count = 0;
   };
+  /// Requests keep their own RowBlocks until flush: a batch of one (the
+  /// lone-request case) moves its block straight into Execute with zero
+  /// coalescing cost, so enabling batching never taxes an idle connection.
   struct PendingBatch {
     std::shared_ptr<const ServedModel> model;
-    RowBlock rows;
+    std::vector<RowBlock> blocks;
     std::vector<Slice> slices;
-    std::chrono::steady_clock::time_point opened_at;
+    size_t total_rows = 0;
   };
 
-  void TimerLoop();
-  /// Scores a batch and completes its waiters. Runs outside the lock.
+  /// Scores a batch and runs its callbacks.
   void Execute(PendingBatch batch);
+  void UpdateQueueGauge();
 
   BatcherConfig config_;
   ServerMetrics* metrics_;
 
-  std::mutex mutex_;
-  std::condition_variable timer_cv_;
   /// Open batches keyed by model snapshot — a hot-swap naturally starts a
   /// fresh batch while the old snapshot's batch drains.
   std::map<const ServedModel*, PendingBatch> pending_;
   size_t pending_rows_ = 0;
   bool shutdown_ = false;
-  std::thread timer_;
 };
 
 }  // namespace pnr

@@ -1,0 +1,336 @@
+#include "serve/binary.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace pnr {
+
+namespace {
+
+// Little-endian readers/writers over untrusted buffers. memcpy keeps them
+// alignment-safe; the callers bounds-check before every read.
+uint16_t ReadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+double ReadF64(const char* p) {
+  double v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendF64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+int HttpStatusOf(BinaryStatus code) {
+  switch (code) {
+    case BinaryStatus::kOk:
+      return 200;
+    case BinaryStatus::kBadRequest:
+      return 400;
+    case BinaryStatus::kNotFound:
+      return 404;
+    case BinaryStatus::kUnavailable:
+      return 503;
+    case BinaryStatus::kDeadlineExceeded:
+      return 504;
+    case BinaryStatus::kInternal:
+      return 500;
+    case BinaryStatus::kTooLarge:
+      return 413;
+  }
+  return 500;
+}
+
+BinaryRequestParser::State BinaryRequestParser::Fail(BinaryStatus code,
+                                                     std::string message) {
+  state_ = State::kError;
+  error_code_ = code;
+  error_message_ = std::move(message);
+  return state_;
+}
+
+BinaryRequestParser::State BinaryRequestParser::Consume(
+    std::string_view data) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  if (state_ == State::kDone) return state_;
+  return Advance();
+}
+
+BinaryRequestParser::State BinaryRequestParser::Advance() {
+  if (!header_done_) {
+    if (buffer_.size() < kBinaryHeaderBytes) return state_;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+    if (bytes[0] != kBinaryRequestMagic) {
+      return Fail(BinaryStatus::kBadRequest, "bad frame magic");
+    }
+    if (bytes[1] != kBinaryVersion) {
+      return Fail(BinaryStatus::kBadRequest, "unsupported protocol version");
+    }
+    name_len_ = ReadU16(buffer_.data() + 2);
+    const uint32_t payload_len = ReadU32(buffer_.data() + 4);
+    if (name_len_ > limits_.max_name_bytes) {
+      return Fail(BinaryStatus::kTooLarge, "model name too long");
+    }
+    if (payload_len < name_len_) {
+      return Fail(BinaryStatus::kBadRequest,
+                  "payload length shorter than model name");
+    }
+    if (payload_len - name_len_ > limits_.max_payload_bytes) {
+      return Fail(BinaryStatus::kTooLarge, "frame payload too large");
+    }
+    frame_needed_ = payload_len;
+    header_done_ = true;
+  }
+  if (buffer_.size() < kBinaryHeaderBytes + frame_needed_) return state_;
+  request_.model.assign(buffer_, kBinaryHeaderBytes, name_len_);
+  request_.payload.assign(buffer_, kBinaryHeaderBytes + name_len_,
+                          frame_needed_ - name_len_);
+  state_ = State::kDone;
+  return state_;
+}
+
+BinaryRequest BinaryRequestParser::Take() {
+  BinaryRequest out = std::move(request_);
+  request_ = BinaryRequest{};
+  buffer_.erase(0, kBinaryHeaderBytes + frame_needed_);
+  frame_needed_ = 0;
+  name_len_ = 0;
+  header_done_ = false;
+  state_ = State::kNeedMore;
+  // A pipelined next frame may already be complete in the buffer.
+  if (!buffer_.empty()) Advance();
+  return out;
+}
+
+Status DecodeBinaryRows(std::string_view payload, const Schema& schema,
+                        RowBlock* out) {
+  if (payload.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument("payload truncated before row count");
+  }
+  const uint32_t num_rows = ReadU32(payload.data());
+  size_t pos = sizeof(uint32_t);
+
+  // Cheap admission check before any allocation: even with empty
+  // categorical strings, R rows need 8R bytes per numeric column and 2R per
+  // categorical, so a huge claimed row count on a short payload dies here.
+  size_t floor_per_row = 0;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    floor_per_row +=
+        schema.attribute(static_cast<AttrIndex>(a)).is_numeric() ? 8 : 2;
+  }
+  if (num_rows > 0 && floor_per_row > 0 &&
+      (payload.size() - pos) / num_rows < floor_per_row) {
+    return Status::InvalidArgument("row count exceeds payload capacity");
+  }
+
+  out->InitFor(schema);
+  out->num_rows = num_rows;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(static_cast<AttrIndex>(a));
+    if (attr.is_numeric()) {
+      if (payload.size() - pos < 8 * static_cast<size_t>(num_rows)) {
+        return Status::InvalidArgument("payload truncated in numeric column " +
+                                       attr.name());
+      }
+      auto& column = out->numeric[a];
+      column.resize(num_rows);
+      for (uint32_t r = 0; r < num_rows; ++r) {
+        column[r] = ReadF64(payload.data() + pos);
+        pos += 8;
+      }
+    } else {
+      auto& column = out->categorical[a];
+      column.resize(num_rows);
+      for (uint32_t r = 0; r < num_rows; ++r) {
+        if (payload.size() - pos < 2) {
+          return Status::InvalidArgument(
+              "payload truncated in categorical column " + attr.name());
+        }
+        const uint16_t len = ReadU16(payload.data() + pos);
+        pos += 2;
+        if (payload.size() - pos < len) {
+          return Status::InvalidArgument(
+              "payload truncated in categorical column " + attr.name());
+        }
+        // Same unknown-value semantics as the JSON path: absent dictionary
+        // entries become the no-match sentinel, not an error.
+        column[r] = attr.FindCategory(payload.substr(pos, len));
+        pos += len;
+      }
+    }
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("trailing bytes after row data");
+  }
+  return Status::OK();
+}
+
+void EncodeBinaryRows(const Dataset& data, RowId begin, RowId end,
+                      std::string* out) {
+  const Schema& schema = data.schema();
+  AppendU32(out, static_cast<uint32_t>(end - begin));
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    if (schema.attribute(attr).is_numeric()) {
+      for (RowId r = begin; r < end; ++r) {
+        AppendF64(out, data.numeric(r, attr));
+      }
+    } else {
+      const Attribute& meta = schema.attribute(attr);
+      for (RowId r = begin; r < end; ++r) {
+        const CategoryId id = data.categorical(r, attr);
+        if (id == kInvalidCategory) {
+          AppendU16(out, 0);
+          continue;
+        }
+        const std::string& name = meta.CategoryName(id);
+        AppendU16(out, static_cast<uint16_t>(name.size()));
+        out->append(name);
+      }
+    }
+  }
+}
+
+Status EncodeBinaryRowFromText(
+    const Schema& schema,
+    const std::vector<std::pair<std::string, std::string>>& cells,
+    std::string* out) {
+  for (const auto& cell : cells) {
+    if (!schema.FindAttribute(cell.first).ok()) {
+      return Status::InvalidArgument("unknown attribute: " + cell.first);
+    }
+  }
+  AppendU32(out, 1);
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(static_cast<AttrIndex>(a));
+    const std::string* value = nullptr;
+    for (const auto& cell : cells) {
+      if (cell.first == attr.name()) value = &cell.second;
+    }
+    if (attr.is_numeric()) {
+      double parsed = std::numeric_limits<double>::quiet_NaN();
+      if (value != nullptr && !ParseDouble(*value, &parsed)) {
+        return Status::InvalidArgument("non-numeric value for attribute " +
+                                       attr.name() + ": " + *value);
+      }
+      AppendF64(out, parsed);
+    } else if (value == nullptr) {
+      AppendU16(out, 0);
+    } else {
+      if (value->size() > std::numeric_limits<uint16_t>::max()) {
+        return Status::InvalidArgument("categorical value too long for " +
+                                       attr.name());
+      }
+      AppendU16(out, static_cast<uint16_t>(value->size()));
+      out->append(*value);
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeBinaryRequest(std::string_view model,
+                                std::string_view payload) {
+  std::string out;
+  out.reserve(kBinaryHeaderBytes + model.size() + payload.size());
+  out.push_back(static_cast<char>(kBinaryRequestMagic));
+  out.push_back(static_cast<char>(kBinaryVersion));
+  AppendU16(&out, static_cast<uint16_t>(model.size()));
+  AppendU32(&out, static_cast<uint32_t>(model.size() + payload.size()));
+  out.append(model);
+  out.append(payload);
+  return out;
+}
+
+namespace {
+
+std::string ResponseFrame(BinaryStatus status, std::string_view payload) {
+  std::string out;
+  out.reserve(kBinaryHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kBinaryResponseMagic));
+  out.push_back(static_cast<char>(status));
+  AppendU16(&out, 0);
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
+std::string RenderBinaryOk(const std::vector<double>& scores,
+                           const std::vector<uint8_t>& predicted) {
+  std::string payload;
+  payload.reserve(sizeof(uint32_t) + 9 * scores.size());
+  AppendU32(&payload, static_cast<uint32_t>(scores.size()));
+  for (const double score : scores) AppendF64(&payload, score);
+  payload.append(reinterpret_cast<const char*>(predicted.data()),
+                 predicted.size());
+  return ResponseFrame(BinaryStatus::kOk, payload);
+}
+
+std::string RenderBinaryError(BinaryStatus code, std::string_view message) {
+  return ResponseFrame(code, message);
+}
+
+Status ParseBinaryResponse(std::string_view data, BinaryResponse* out,
+                           size_t* consumed) {
+  *consumed = 0;
+  if (data.size() < kBinaryHeaderBytes) return Status::OK();
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  if (bytes[0] != kBinaryResponseMagic) {
+    return Status::InvalidArgument("bad response magic");
+  }
+  const uint32_t payload_len = ReadU32(data.data() + 4);
+  if (data.size() - kBinaryHeaderBytes < payload_len) return Status::OK();
+  const std::string_view payload = data.substr(kBinaryHeaderBytes, payload_len);
+  out->status = static_cast<BinaryStatus>(bytes[1]);
+  out->scores.clear();
+  out->predicted.clear();
+  out->error.clear();
+  if (out->status != BinaryStatus::kOk) {
+    out->error.assign(payload);
+    *consumed = kBinaryHeaderBytes + payload_len;
+    return Status::OK();
+  }
+  if (payload.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument("ok response truncated before row count");
+  }
+  const uint32_t num_rows = ReadU32(payload.data());
+  if (payload.size() != sizeof(uint32_t) + 9 * static_cast<size_t>(num_rows)) {
+    return Status::InvalidArgument("ok response payload size mismatch");
+  }
+  out->scores.resize(num_rows);
+  out->predicted.resize(num_rows);
+  size_t pos = sizeof(uint32_t);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    out->scores[r] = ReadF64(payload.data() + pos);
+    pos += 8;
+  }
+  std::memcpy(out->predicted.data(), payload.data() + pos, num_rows);
+  *consumed = kBinaryHeaderBytes + payload_len;
+  return Status::OK();
+}
+
+}  // namespace pnr

@@ -1,0 +1,164 @@
+// Compact binary wire protocol for high-volume predict callers.
+//
+// JSON predict bodies spend most of their serving cost on text: number
+// formatting/parsing and per-cell key lookups dominate once scoring is
+// compiled. This protocol removes both. A request is one length-prefixed
+// frame carrying column-major row data; numerics travel as raw IEEE-754
+// doubles (bit-identity to offline scoring is trivial — the very bits the
+// caller holds are the bits ScoreBatch reads), categoricals as
+// length-prefixed strings resolved against the model schema exactly like
+// the JSON path (unknown categories map to the no-match sentinel).
+//
+// Binary rides the same port as HTTP: the first byte a connection sends is
+// sniffed, and 0xB5 — a value no HTTP method, or any ASCII text, starts
+// with — selects this protocol for the connection's lifetime.
+//
+// All integers are little-endian. Frame layout:
+//
+//   request:  u8 magic=0xB5 | u8 version=1 | u16 name_len | u32 payload_len
+//             name_len bytes of model name (empty = the sole loaded model)
+//             payload (payload_len - name_len bytes):
+//               u32 num_rows
+//               per schema attribute, in schema order:
+//                 numeric:     num_rows x f64 (raw bits)
+//                 categorical: num_rows x (u16 byte_len | bytes)
+//
+//   response: u8 magic=0xB6 | u8 status | u16 reserved=0 | u32 payload_len
+//             status 0 (ok): u32 num_rows | num_rows x f64 scores
+//                            | num_rows x u8 predicted
+//             status != 0:   UTF-8 error message
+//
+// Framing errors (bad magic/version, oversize lengths) poison the
+// connection: the server answers an error frame and closes, because the
+// stream offset can no longer be trusted. Content errors (unknown model,
+// malformed payload) answer an error frame and keep the connection — the
+// frame boundary is intact, the next frame parses normally.
+
+#ifndef PNR_SERVE_BINARY_H_
+#define PNR_SERVE_BINARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "serve/batcher.h"
+
+namespace pnr {
+
+inline constexpr uint8_t kBinaryRequestMagic = 0xB5;
+inline constexpr uint8_t kBinaryResponseMagic = 0xB6;
+inline constexpr uint8_t kBinaryVersion = 1;
+inline constexpr size_t kBinaryHeaderBytes = 8;
+
+/// Response status codes (u8 on the wire).
+enum class BinaryStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,        // malformed frame or payload (HTTP 400)
+  kNotFound = 2,          // unknown model (HTTP 404)
+  kUnavailable = 3,       // backpressure, retry later (HTTP 503)
+  kDeadlineExceeded = 4,  // request older than its deadline (HTTP 504)
+  kInternal = 5,          // scoring failure (HTTP 500)
+  kTooLarge = 6,          // frame over the configured bound (HTTP 413)
+};
+
+/// One parsed request frame; `payload` excludes the model name.
+struct BinaryRequest {
+  std::string model;
+  std::string payload;
+};
+
+/// Incremental frame parser, the binary twin of HttpRequestParser: feed
+/// bytes with Consume until kDone or kError; Take yields the request and
+/// re-arms for the next frame on the same connection (pipelined leftover
+/// bytes are kept). kError is terminal — framing is unrecoverable.
+class BinaryRequestParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  struct Limits {
+    size_t max_name_bytes = 1024;
+    size_t max_payload_bytes = 8 * 1024 * 1024;
+  };
+
+  BinaryRequestParser() = default;
+  explicit BinaryRequestParser(Limits limits) : limits_(limits) {}
+
+  State Consume(std::string_view data);
+  State state() const { return state_; }
+
+  /// True when no bytes of a next frame are buffered.
+  bool idle() const { return buffer_.empty() && state_ == State::kNeedMore; }
+
+  BinaryStatus error_code() const { return error_code_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// On kDone: moves the request out and advances to any pipelined frame.
+  BinaryRequest Take();
+
+ private:
+  State Fail(BinaryStatus code, std::string message);
+  State Advance();
+
+  Limits limits_;
+  std::string buffer_;
+  BinaryRequest request_;
+  size_t frame_needed_ = 0;  ///< name + payload bytes once the header parsed
+  size_t name_len_ = 0;
+  bool header_done_ = false;
+  State state_ = State::kNeedMore;
+  BinaryStatus error_code_ = BinaryStatus::kBadRequest;
+  std::string error_message_;
+};
+
+/// Decodes a request payload (everything after the model name) against
+/// `schema` into column-major rows. Strictly bounds-checked: any read past
+/// the payload, trailing bytes, or row count the payload cannot hold is an
+/// InvalidArgument naming the offending attribute.
+Status DecodeBinaryRows(std::string_view payload, const Schema& schema,
+                        RowBlock* out);
+
+/// Client-side encoders (bench, probe CLI, tests).
+/// Appends the column-major payload for rows [begin, end) of `data`.
+void EncodeBinaryRows(const Dataset& data, RowId begin, RowId end,
+                      std::string* out);
+/// Wraps an encoded payload into a full request frame for `model`.
+std::string EncodeBinaryRequest(std::string_view model,
+                                std::string_view payload);
+/// Encodes a single-row payload from textual (name, value) cells matched
+/// against `schema` — the probe CLI's entry point. Numeric values must
+/// parse as doubles; categorical values travel as-is. Unknown attribute
+/// names are an error; attributes without a cell get NaN / empty string.
+Status EncodeBinaryRowFromText(
+    const Schema& schema,
+    const std::vector<std::pair<std::string, std::string>>& cells,
+    std::string* out);
+
+/// Server-side response rendering.
+std::string RenderBinaryOk(const std::vector<double>& scores,
+                           const std::vector<uint8_t>& predicted);
+std::string RenderBinaryError(BinaryStatus code, std::string_view message);
+
+/// Client-side response frame parse. Consumes exactly one frame from the
+/// front of `data` when complete: sets `*consumed` and returns OK, or
+/// returns OK with `*consumed == 0` when more bytes are needed. Malformed
+/// frames are InvalidArgument.
+struct BinaryResponse {
+  BinaryStatus status = BinaryStatus::kOk;
+  std::vector<double> scores;
+  std::vector<uint8_t> predicted;
+  std::string error;
+};
+Status ParseBinaryResponse(std::string_view data, BinaryResponse* out,
+                           size_t* consumed);
+
+/// The HTTP status equivalent of a binary code (metrics bucketing).
+int HttpStatusOf(BinaryStatus code);
+
+}  // namespace pnr
+
+#endif  // PNR_SERVE_BINARY_H_

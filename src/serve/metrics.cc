@@ -23,43 +23,74 @@ void AppendCounter(std::string* out, const char* name, const char* labels,
   *out += buf;
 }
 
-void AppendGauge(std::string* out, const char* name, int64_t value) {
+void AppendGauge(std::string* out, const char* name, const char* labels,
+                 int64_t value) {
   char buf[160];
-  std::snprintf(buf, sizeof(buf), "%s %lld\n", name,
+  std::snprintf(buf, sizeof(buf), "%s%s %lld\n", name, labels,
                 static_cast<long long>(value));
   *out += buf;
 }
 
-void AppendQuantiles(std::string* out, const char* name, const char* endpoint,
-                     const BucketHistogram& histogram) {
-  char buf[200];
-  for (const double q : {0.5, 0.9, 0.99}) {
-    std::snprintf(buf, sizeof(buf),
-                  "%s{endpoint=\"%s\",quantile=\"%g\"} %.1f\n", name,
-                  endpoint, q, histogram.Quantile(q));
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+
+// `labels` is the inner label list without braces ("endpoint=\"predict\"");
+// the quantile label is appended to it.
+void AppendQuantiles(std::string* out, const char* name, const char* labels,
+                     const BucketHistogram::Snapshot& histogram) {
+  char buf[240];
+  for (const double q : kQuantiles) {
+    std::snprintf(buf, sizeof(buf), "%s{%s,quantile=\"%g\"} %.1f\n", name,
+                  labels, q, histogram.Quantile(q));
     *out += buf;
   }
-  std::snprintf(buf, sizeof(buf), "%s_count{endpoint=\"%s\"} %llu\n", name,
-                endpoint,
-                static_cast<unsigned long long>(histogram.count()));
+  std::snprintf(buf, sizeof(buf), "%s_count{%s} %llu\n", name, labels,
+                static_cast<unsigned long long>(histogram.count));
   *out += buf;
-  std::snprintf(buf, sizeof(buf), "%s_sum{endpoint=\"%s\"} %llu\n", name,
-                endpoint, static_cast<unsigned long long>(histogram.sum()));
+  std::snprintf(buf, sizeof(buf), "%s_sum{%s} %llu\n", name, labels,
+                static_cast<unsigned long long>(histogram.sum));
   *out += buf;
 }
 
 void AppendEndpoint(std::string* out, const char* endpoint,
-                    const EndpointMetrics& metrics) {
+                    const EndpointSnapshot& snap) {
   char labels[64];
   std::snprintf(labels, sizeof(labels), "{endpoint=\"%s\"}", endpoint);
-  AppendCounter(out, "pnr_requests_total", labels,
-                metrics.requests.load(std::memory_order_relaxed));
-  AppendCounter(out, "pnr_errors_4xx_total", labels,
-                metrics.errors_4xx.load(std::memory_order_relaxed));
-  AppendCounter(out, "pnr_errors_5xx_total", labels,
-                metrics.errors_5xx.load(std::memory_order_relaxed));
-  AppendQuantiles(out, "pnr_request_latency_us", endpoint,
-                  metrics.latency_us);
+  AppendCounter(out, "pnr_requests_total", labels, snap.requests);
+  AppendCounter(out, "pnr_errors_4xx_total", labels, snap.errors_4xx);
+  AppendCounter(out, "pnr_errors_5xx_total", labels, snap.errors_5xx);
+  char inner[64];
+  std::snprintf(inner, sizeof(inner), "endpoint=\"%s\"", endpoint);
+  AppendQuantiles(out, "pnr_request_latency_us", inner, snap.latency_us);
+}
+
+EndpointSnapshot SnapEndpoint(const EndpointMetrics& metrics) {
+  EndpointSnapshot snap;
+  snap.requests = metrics.requests.load(std::memory_order_relaxed);
+  snap.errors_4xx = metrics.errors_4xx.load(std::memory_order_relaxed);
+  snap.errors_5xx = metrics.errors_5xx.load(std::memory_order_relaxed);
+  snap.latency_us = metrics.latency_us.Snap();
+  return snap;
+}
+
+void RenderAggregate(std::string* out, const MetricsSnapshot& snap) {
+  *out += "# TYPE pnr_requests_total counter\n";
+  *out += "# TYPE pnr_request_latency_us summary\n";
+  AppendEndpoint(out, "predict", snap.predict);
+  AppendEndpoint(out, "models", snap.models);
+  AppendEndpoint(out, "healthz", snap.healthz);
+  AppendEndpoint(out, "metrics", snap.metrics);
+  AppendEndpoint(out, "other", snap.other);
+
+  AppendCounter(out, "pnr_rows_scored_total", "", snap.rows_scored);
+  AppendCounter(out, "pnr_batches_flushed_total", "", snap.batches_flushed);
+  AppendQuantiles(out, "pnr_batch_rows", "endpoint=\"predict\"",
+                  snap.batch_rows);
+  AppendGauge(out, "pnr_queue_rows", "", snap.queue_rows);
+  AppendCounter(out, "pnr_rejected_total", "", snap.rejected_total);
+  AppendCounter(out, "pnr_deadline_exceeded_total", "",
+                snap.deadline_exceeded);
+  AppendGauge(out, "pnr_connections_active", "", snap.connections_active);
+  AppendCounter(out, "pnr_connections_total", "", snap.connections_total);
 }
 
 }  // namespace
@@ -70,16 +101,30 @@ void BucketHistogram::Record(uint64_t value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
-double BucketHistogram::Quantile(double q) const {
-  const uint64_t total = count();
-  if (total == 0) return 0.0;
+BucketHistogram::Snapshot BucketHistogram::Snap() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void BucketHistogram::Snapshot::Merge(const Snapshot& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+double BucketHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const double rank = q * static_cast<double>(total);
+  const double rank = q * static_cast<double>(count);
   double seen = 0.0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    const double in_bucket = static_cast<double>(
-        buckets_[i].load(std::memory_order_relaxed));
+    const double in_bucket = static_cast<double>(buckets[i]);
     if (in_bucket == 0.0) continue;
     if (seen + in_bucket >= rank) {
       const double lo = (i == 0) ? 0.0 : static_cast<double>(uint64_t{1} << i);
@@ -89,7 +134,7 @@ double BucketHistogram::Quantile(double q) const {
     }
     seen += in_bucket;
   }
-  return static_cast<double>(sum()) / static_cast<double>(total);
+  return static_cast<double>(sum) / static_cast<double>(count);
 }
 
 void EndpointMetrics::Record(int http_status, uint64_t latency_us_value) {
@@ -102,32 +147,97 @@ void EndpointMetrics::Record(int http_status, uint64_t latency_us_value) {
   latency_us.Record(latency_us_value);
 }
 
+void EndpointSnapshot::Merge(const EndpointSnapshot& other) {
+  requests += other.requests;
+  errors_4xx += other.errors_4xx;
+  errors_5xx += other.errors_5xx;
+  latency_us.Merge(other.latency_us);
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  predict.Merge(other.predict);
+  models.Merge(other.models);
+  healthz.Merge(other.healthz);
+  metrics.Merge(other.metrics);
+  this->other.Merge(other.other);
+  rows_scored += other.rows_scored;
+  batches_flushed += other.batches_flushed;
+  batch_rows.Merge(other.batch_rows);
+  queue_rows += other.queue_rows;
+  rejected_total += other.rejected_total;
+  deadline_exceeded += other.deadline_exceeded;
+  connections_active += other.connections_active;
+  connections_total += other.connections_total;
+}
+
+MetricsSnapshot ServerMetrics::Snap() const {
+  MetricsSnapshot snap;
+  snap.predict = SnapEndpoint(predict_);
+  snap.models = SnapEndpoint(models_);
+  snap.healthz = SnapEndpoint(healthz_);
+  snap.metrics = SnapEndpoint(metrics_);
+  snap.other = SnapEndpoint(other_);
+  snap.rows_scored = rows_scored.load(std::memory_order_relaxed);
+  snap.batches_flushed = batches_flushed.load(std::memory_order_relaxed);
+  snap.batch_rows = batch_rows.Snap();
+  snap.queue_rows = queue_rows.load(std::memory_order_relaxed);
+  snap.rejected_total = rejected_total.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
+  snap.connections_active =
+      connections_active.load(std::memory_order_relaxed);
+  snap.connections_total = connections_total.load(std::memory_order_relaxed);
+  return snap;
+}
+
 std::string ServerMetrics::Render() const {
   std::string out;
   out.reserve(4096);
-  out += "# TYPE pnr_requests_total counter\n";
-  out += "# TYPE pnr_request_latency_us summary\n";
-  AppendEndpoint(&out, "predict", predict_);
-  AppendEndpoint(&out, "models", models_);
-  AppendEndpoint(&out, "healthz", healthz_);
-  AppendEndpoint(&out, "metrics", metrics_);
-  AppendEndpoint(&out, "other", other_);
+  RenderAggregate(&out, Snap());
+  return out;
+}
 
-  AppendCounter(&out, "pnr_rows_scored_total", "",
-                rows_scored.load(std::memory_order_relaxed));
-  AppendCounter(&out, "pnr_batches_flushed_total", "",
-                batches_flushed.load(std::memory_order_relaxed));
-  AppendQuantiles(&out, "pnr_batch_rows", "predict", batch_rows);
-  AppendGauge(&out, "pnr_queue_rows",
-              queue_rows.load(std::memory_order_relaxed));
-  AppendCounter(&out, "pnr_rejected_total", "",
-                rejected_total.load(std::memory_order_relaxed));
-  AppendCounter(&out, "pnr_deadline_exceeded_total", "",
-                deadline_exceeded.load(std::memory_order_relaxed));
-  AppendGauge(&out, "pnr_connections_active",
-              connections_active.load(std::memory_order_relaxed));
-  AppendCounter(&out, "pnr_connections_total", "",
-                connections_total.load(std::memory_order_relaxed));
+std::string RenderFleetMetrics(
+    const std::vector<const ServerMetrics*>& shards) {
+  std::vector<MetricsSnapshot> snaps;
+  snaps.reserve(shards.size());
+  for (const ServerMetrics* shard : shards) snaps.push_back(shard->Snap());
+
+  MetricsSnapshot total;
+  for (const MetricsSnapshot& snap : snaps) total.Merge(snap);
+
+  std::string out;
+  out.reserve(4096 + 1024 * snaps.size());
+  RenderAggregate(&out, total);
+
+  out += "# TYPE pnr_serve_shard_requests_total counter\n";
+  out += "# TYPE pnr_serve_shard_latency_us summary\n";
+  char labels[64];
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const MetricsSnapshot& snap = snaps[i];
+    std::snprintf(labels, sizeof(labels), "{shard=\"%zu\"}", i);
+    // One request total per shard across all endpoints; predict dominates
+    // and per-endpoint splits already exist at the fleet level.
+    const uint64_t requests = snap.predict.requests + snap.models.requests +
+                              snap.healthz.requests + snap.metrics.requests +
+                              snap.other.requests;
+    AppendCounter(&out, "pnr_serve_shard_requests_total", labels, requests);
+    AppendCounter(&out, "pnr_serve_shard_rows_scored_total", labels,
+                  snap.rows_scored);
+    AppendCounter(&out, "pnr_serve_shard_batches_flushed_total", labels,
+                  snap.batches_flushed);
+    AppendCounter(&out, "pnr_serve_shard_rejected_total", labels,
+                  snap.rejected_total);
+    AppendCounter(&out, "pnr_serve_shard_deadline_exceeded_total", labels,
+                  snap.deadline_exceeded);
+    AppendGauge(&out, "pnr_serve_shard_connections_active", labels,
+                snap.connections_active);
+    AppendCounter(&out, "pnr_serve_shard_connections_total", labels,
+                  snap.connections_total);
+    char inner[64];
+    std::snprintf(inner, sizeof(inner), "shard=\"%zu\"", i);
+    AppendQuantiles(&out, "pnr_serve_shard_latency_us", inner,
+                    snap.predict.latency_us);
+  }
   return out;
 }
 

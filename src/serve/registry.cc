@@ -42,11 +42,14 @@ void ModelRegistry::InstallLocked(const std::string& name,
   if (it != models_.end()) entry->version = it->second->version + 1;
   models_[name] = std::move(entry);  // atomic swap: old snapshot lives on
                                      // until its last in-flight user drops it
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 bool ModelRegistry::Remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return models_.erase(name) > 0;
+  if (models_.erase(name) == 0) return false;
+  epoch_.fetch_add(1, std::memory_order_release);
+  return true;
 }
 
 std::shared_ptr<const ServedModel> ModelRegistry::Get(
@@ -67,6 +70,30 @@ std::vector<std::shared_ptr<const ServedModel>> ModelRegistry::List() const {
 size_t ModelRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return models_.size();
+}
+
+void SnapshotCache::Refresh() {
+  if (registry_->epoch_.load(std::memory_order_acquire) == seen_epoch_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(registry_->mutex_);
+  models_ = registry_->models_;
+  ordered_.clear();
+  ordered_.reserve(models_.size());
+  for (const auto& [name, entry] : models_) ordered_.push_back(entry);
+  // Read the epoch under the mutex: a swap racing with this copy either
+  // landed in the table we just copied or bumps the epoch we re-read here,
+  // forcing another refresh next round. Either way no update is skipped.
+  seen_epoch_ = registry_->epoch_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const ServedModel> SnapshotCache::Get(
+    const std::string& name) const {
+  if (name.empty()) {
+    return models_.size() == 1 ? ordered_.front() : nullptr;
+  }
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
 }
 
 }  // namespace pnr

@@ -10,10 +10,20 @@
 // Loading is schema-checked: the model text is parsed against the schema
 // sidecar (data/schema_io.h), so attribute/category references that do not
 // resolve fail the Load, never a request.
+//
+// Sharded serving never takes the registry mutex on the hot path. The
+// registry carries a monotonically increasing epoch, bumped by every
+// mutation (Install/Load/Remove); each shard keeps a SnapshotCache whose
+// Refresh() compares a relaxed epoch load against the epoch it last copied
+// and re-reads the table under the mutex only when they differ. Between
+// swaps — i.e. almost always — a lookup is one relaxed atomic load plus a
+// local map probe, and the shared_ptr snapshots themselves guarantee a
+// shard can never observe a torn model.
 
 #ifndef PNR_SERVE_REGISTRY_H_
 #define PNR_SERVE_REGISTRY_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,12 +73,46 @@ class ModelRegistry {
 
   size_t size() const;
 
+  /// Monotone mutation counter; bumped by Load/Install/Remove. Readable
+  /// without the mutex.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
  private:
+  friend class SnapshotCache;
+
   void InstallLocked(const std::string& name,
                      std::shared_ptr<ServedModel> entry);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+  std::atomic<uint64_t> epoch_{1};
+};
+
+/// A shard-private view of the registry. Not thread-safe — each shard owns
+/// exactly one and touches it only from its reactor thread.
+class SnapshotCache {
+ public:
+  explicit SnapshotCache(const ModelRegistry* registry)
+      : registry_(registry) {}
+
+  /// Re-copies the table iff the registry epoch moved. One relaxed atomic
+  /// load when nothing changed.
+  void Refresh();
+
+  /// Snapshot for `name`, or the sole model when `name` is empty and
+  /// exactly one is loaded, or nullptr. Call Refresh() first.
+  std::shared_ptr<const ServedModel> Get(const std::string& name) const;
+
+  /// All cached snapshots, ordered by name.
+  const std::vector<std::shared_ptr<const ServedModel>>& List() const {
+    return ordered_;
+  }
+
+ private:
+  const ModelRegistry* registry_;
+  uint64_t seen_epoch_ = 0;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+  std::vector<std::shared_ptr<const ServedModel>> ordered_;
 };
 
 }  // namespace pnr

@@ -1,80 +1,77 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
-
-#include "common/string_util.h"
-#include "serve/json.h"
 
 namespace pnr {
 namespace {
 
-// Poll slice for idle keep-alive connections: short enough that one worker
-// round-robins dozens of connections responsively, long enough not to spin.
-constexpr int kIdlePollMs = 10;
-
-// Response sent straight from the acceptor when the connection queue is
-// full — the cheapest possible rejection (no parsing, no worker).
-constexpr char kQueueFull503[] =
-    "HTTP/1.1 503 Service Unavailable\r\n"
-    "Retry-After: 1\r\n"
-    "Content-Length: 22\r\n"
-    "Content-Type: application/json\r\n"
-    "Connection: close\r\n"
-    "\r\n"
-    "{\"error\":\"queue full\"}";
-
-uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - since)
-          .count());
-}
-
-HttpResponse JsonError(int status, const std::string& message) {
-  HttpResponse response;
-  response.status = status;
-  response.headers.emplace_back("Content-Type", "application/json");
-  response.body = "{\"error\":";
-  AppendJsonString(&response.body, message);
-  response.body += "}";
-  if (status == 503) response.headers.emplace_back("Retry-After", "1");
-  return response;
-}
-
-std::string_view PathOf(const HttpRequest& request) {
-  std::string_view target = request.target;
-  const size_t query = target.find('?');
-  if (query != std::string_view::npos) target = target.substr(0, query);
-  return target;
+ShardOptions ShardOptionsFrom(const ServerConfig& config) {
+  ShardOptions options;
+  options.max_connections = config.max_connections_per_shard;
+  options.max_body_bytes = config.max_body_bytes;
+  options.request_deadline_ms = config.request_deadline_ms;
+  options.idle_timeout_ms = config.idle_timeout_ms;
+  options.max_pipeline_depth = config.max_pipeline_depth;
+  options.max_outbuf_bytes = config.max_outbuf_bytes;
+  options.batcher = config.batcher;
+  return options;
 }
 
 }  // namespace
 
 PredictionServer::PredictionServer(ServerConfig config,
                                    ModelRegistry* registry)
-    : config_(config),
-      registry_(registry),
-      batcher_(config.batcher, &metrics_) {}
+    : config_(config), registry_(registry) {}
 
 PredictionServer::~PredictionServer() { Shutdown(); }
 
 Status PredictionServer::Start() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   if (started_) return Status::FailedPrecondition("server already started");
-  auto listen = ListenTcp(config_.port, /*backlog=*/128, &port_);
-  if (!listen.ok()) return listen.status();
-  auto wake = MakeWakePipe();
-  if (!wake.ok()) return wake.status();
-  listen_fd_ = std::move(listen).value();
-  wake_ = std::move(wake).value();
-  started_ = true;
-  acceptor_ = std::thread([this] { AcceptLoop(); });
-  const size_t num_workers = std::max<size_t>(1, config_.num_threads);
-  workers_.reserve(num_workers);
-  for (size_t i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+
+  size_t num_shards = config_.num_shards;
+  if (num_shards == 0) {
+    num_shards = std::max(1u, std::thread::hardware_concurrency());
   }
+
+  // The fleet /metrics renderer aggregates every shard; it reads only
+  // relaxed atomics, so any shard can serve it without coordination.
+  auto render = [this] { return RenderMetricsText(); };
+
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<ServeShard>(
+        i, ShardOptionsFrom(config_), registry_, render));
+  }
+
+  // Shard 0 binds first: with config.port == 0 it draws the ephemeral
+  // port, and the remaining shards bind the same port via SO_REUSEPORT.
+  const bool reuse_port = num_shards > 1;
+  Status st = shards_[0]->Listen(config_.port, &port_, reuse_port);
+  if (!st.ok()) {
+    shards_.clear();
+    return st;
+  }
+  for (size_t i = 1; i < num_shards; ++i) {
+    uint16_t bound = 0;
+    st = shards_[i]->Listen(port_, &bound, reuse_port);
+    if (!st.ok()) {
+      shards_.clear();
+      return st;
+    }
+  }
+  for (auto& shard : shards_) {
+    st = shard->Start();
+    if (!st.ok()) {
+      for (auto& started : shards_) started->RequestStop();
+      for (auto& started : shards_) started->Join();
+      shards_.clear();
+      return st;
+    }
+  }
+  started_ = true;
   return Status::OK();
 }
 
@@ -82,335 +79,23 @@ void PredictionServer::Shutdown() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   if (!started_) return;
   stopping_.store(true);
-  wake_.Wake();
-  if (acceptor_.joinable()) acceptor_.join();
-  listen_fd_.Reset();  // refuse new connections from here on
-  // Flush open batches *before* joining: workers blocked in Score get their
-  // results now (in-flight requests finish with real responses) instead of
-  // waiting out max_delay_us; a request submitted after this point answers
-  // 503, which is correct drain behaviour.
-  batcher_.Shutdown();
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
+  // Signal every shard first, then join: the fleet drains in parallel and
+  // total drain time is one shard's, not the sum.
+  for (auto& shard : shards_) shard->RequestStop();
+  for (auto& shard : shards_) shard->Join();
 }
 
-void PredictionServer::AcceptLoop() {
-  const int fds[2] = {listen_fd_.get(), wake_.read_end.get()};
-  while (!stopping_.load()) {
-    auto ready = WaitAnyReadable(fds, 2, /*timeout_ms=*/-1);
-    if (!ready.ok()) return;
-    if (*ready != 0) return;  // wake pipe: shutdown
-    auto accepted = AcceptConnection(listen_fd_.get());
-    if (!accepted.ok()) {
-      if (accepted.status().code() == StatusCode::kNotFound) return;
-      continue;  // transient accept failure
-    }
-    metrics_.connections_total.fetch_add(1, std::memory_order_relaxed);
-    auto conn = std::make_unique<Conn>();
-    conn->fd = std::move(accepted).value();
-    conn->parser = HttpRequestParser(
-        HttpRequestParser::Limits{16 * 1024, config_.max_body_bytes});
-    conn->last_active = std::chrono::steady_clock::now();
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (queue_.size() >= config_.max_queued_connections) {
-        metrics_.rejected_total.fetch_add(1, std::memory_order_relaxed);
-        SendAll(conn->fd.get(), kQueueFull503);
-        continue;  // conn closes as it goes out of scope
-      }
-      metrics_.connections_active.fetch_add(1, std::memory_order_relaxed);
-      queue_.push_back(std::move(conn));
-    }
-    queue_cv_.notify_one();
-  }
+MetricsSnapshot PredictionServer::Totals() const {
+  MetricsSnapshot total;
+  for (const auto& shard : shards_) total.Merge(shard->metrics().Snap());
+  return total;
 }
 
-void PredictionServer::WorkerLoop() {
-  for (;;) {
-    std::unique_ptr<Conn> conn;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load() || !queue_.empty();
-      });
-      if (queue_.empty()) {
-        if (stopping_.load()) return;
-        continue;
-      }
-      conn = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    if (ServeConnection(conn.get())) {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      queue_.push_back(std::move(conn));
-      // No notify: if every worker is busy the requeued connection is
-      // picked up on the next pop; notifying here would thundering-herd.
-    } else {
-      CloseConnection(std::move(conn));
-    }
-  }
-}
-
-void PredictionServer::CloseConnection(std::unique_ptr<Conn> conn) {
-  metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-  conn.reset();
-}
-
-bool PredictionServer::CompleteRequest(Conn* conn) {
-  // A request head has started arriving: block on this connection until the
-  // full request is in (bounded by the request deadline), rather than
-  // requeueing a half-read parse.
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(config_.request_deadline_ms);
-  char buf[16384];
-  while (conn->parser.state() == HttpRequestParser::State::kNeedMore) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return false;
-    const int remaining_ms = static_cast<int>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
-            .count());
-    auto n = RecvSome(conn->fd.get(), buf, sizeof(buf),
-                      std::max(1, remaining_ms));
-    if (!n.ok() || *n == 0) return false;
-    conn->parser.Consume(std::string_view(buf, *n));
-  }
-  return true;
-}
-
-bool PredictionServer::ServeConnection(Conn* conn) {
-  char buf[16384];
-  for (;;) {
-    const bool stopping = stopping_.load();
-    if (conn->parser.state() == HttpRequestParser::State::kError) {
-      HttpResponse response = JsonError(conn->parser.error_status(),
-                                        conn->parser.error_message());
-      response.close_connection = true;
-      metrics_.endpoint_other().Record(response.status, 0);
-      SendAll(conn->fd.get(), RenderHttpResponse(response));
-      return false;
-    }
-    if (conn->parser.state() == HttpRequestParser::State::kDone) {
-      const HttpRequest request = conn->parser.Take();
-      const auto start = std::chrono::steady_clock::now();
-      HttpResponse response = Route(request);
-      response.close_connection = stopping || !request.keep_alive();
-      const Status sent =
-          SendAll(conn->fd.get(), RenderHttpResponse(response));
-      (void)ElapsedUs(start);  // latency recorded inside Route per endpoint
-      if (!sent.ok() || response.close_connection) return false;
-      conn->last_active = std::chrono::steady_clock::now();
-      continue;  // a pipelined request may already be buffered
-    }
-    // NeedMore. A partially-read request blocks here until complete; an
-    // idle connection gets one short poll slice, then is requeued so the
-    // worker can serve other connections.
-    if (!conn->parser.idle()) {
-      if (!CompleteRequest(conn)) return false;
-      continue;
-    }
-    auto readable = WaitReadable(conn->fd.get(), stopping ? 0 : kIdlePollMs);
-    if (!readable.ok()) return false;
-    if (!*readable) {
-      if (stopping) return false;  // drain: drop idle keep-alive conns
-      const auto idle_for = std::chrono::steady_clock::now() -
-                            conn->last_active;
-      return idle_for < std::chrono::milliseconds(config_.idle_timeout_ms);
-    }
-    auto n = RecvSome(conn->fd.get(), buf, sizeof(buf), 0);
-    if (!n.ok() || *n == 0) return false;  // EOF or error
-    conn->parser.Consume(std::string_view(buf, *n));
-  }
-}
-
-HttpResponse PredictionServer::Route(const HttpRequest& request) {
-  const std::string_view path = PathOf(request);
-  const auto start = std::chrono::steady_clock::now();
-  HttpResponse response;
-  EndpointMetrics* endpoint = &metrics_.endpoint_other();
-  if (path == "/healthz") {
-    endpoint = &metrics_.endpoint_healthz();
-    if (request.method != "GET") {
-      response = JsonError(405, "healthz is GET-only");
-    } else {
-      response.headers.emplace_back("Content-Type", "text/plain");
-      response.body = "ok\n";
-    }
-  } else if (path == "/metrics") {
-    endpoint = &metrics_.endpoint_metrics();
-    if (request.method != "GET") {
-      response = JsonError(405, "metrics is GET-only");
-    } else {
-      response.headers.emplace_back("Content-Type",
-                                    "text/plain; version=0.0.4");
-      response.body = metrics_.Render();
-    }
-  } else if (path == "/v1/models") {
-    endpoint = &metrics_.endpoint_models();
-    response = request.method == "GET"
-                   ? HandleModels()
-                   : JsonError(405, "models is GET-only");
-  } else if (path == "/v1/predict") {
-    endpoint = &metrics_.endpoint_predict();
-    response = request.method == "POST"
-                   ? HandlePredict(request)
-                   : JsonError(405, "predict is POST-only");
-  } else {
-    response = JsonError(404, "no such endpoint: " + std::string(path));
-  }
-  endpoint->Record(response.status, ElapsedUs(start));
-  return response;
-}
-
-HttpResponse PredictionServer::HandleModels() {
-  std::string body = "{\"models\":[";
-  bool first = true;
-  for (const auto& entry : registry_->List()) {
-    if (!first) body += ',';
-    first = false;
-    body += "{\"name\":";
-    AppendJsonString(&body, entry->name);
-    body += ",\"p_rules\":" + std::to_string(entry->model.p_rules().size());
-    body += ",\"n_rules\":" + std::to_string(entry->model.n_rules().size());
-    body += ",\"threshold\":";
-    AppendJsonNumber(&body, entry->model.threshold());
-    body += ",\"attributes\":" +
-            std::to_string(entry->schema.num_attributes());
-    body += ",\"version\":" + std::to_string(entry->version);
-    body += '}';
-  }
-  body += "]}";
-  HttpResponse response;
-  response.headers.emplace_back("Content-Type", "application/json");
-  response.body = std::move(body);
-  return response;
-}
-
-HttpResponse PredictionServer::HandlePredict(const HttpRequest& request) {
-  auto doc = ParseJson(request.body);
-  if (!doc.ok()) return JsonError(400, doc.status().message());
-  if (!doc->is_object()) return JsonError(400, "body must be a JSON object");
-
-  // Resolve the model: explicit name, or the sole loaded model.
-  std::string name;
-  if (const JsonValue* model_field = doc->Find("model")) {
-    if (!model_field->is_string()) {
-      return JsonError(400, "\"model\" must be a string");
-    }
-    name = model_field->text;
-  } else {
-    const auto all = registry_->List();
-    if (all.size() != 1) {
-      return JsonError(400,
-                       "\"model\" is required when several models are "
-                       "loaded");
-    }
-    name = all[0]->name;
-  }
-  std::shared_ptr<const ServedModel> model = registry_->Get(name);
-  if (model == nullptr) {
-    return JsonError(404, "unknown model '" + name + "'");
-  }
-
-  const JsonValue* rows = doc->Find("rows");
-  if (rows == nullptr || !rows->is_array()) {
-    return JsonError(400, "\"rows\" must be an array of objects");
-  }
-
-  const Schema& schema = model->schema;
-  RowBlock block;
-  block.InitFor(schema);
-  for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    const auto attr = static_cast<AttrIndex>(a);
-    if (schema.attribute(attr).is_numeric()) {
-      block.numeric[a].reserve(rows->array.size());
-    } else {
-      block.categorical[a].reserve(rows->array.size());
-    }
-  }
-  for (size_t r = 0; r < rows->array.size(); ++r) {
-    const JsonValue& row = rows->array[r];
-    if (!row.is_object()) {
-      return JsonError(400, "row " + std::to_string(r) +
-                                " is not an object");
-    }
-    for (size_t a = 0; a < schema.num_attributes(); ++a) {
-      const auto attr = static_cast<AttrIndex>(a);
-      const Attribute& attribute = schema.attribute(attr);
-      const JsonValue* cell = row.Find(attribute.name());
-      if (cell == nullptr) {
-        return JsonError(400, "row " + std::to_string(r) +
-                                  " is missing attribute '" +
-                                  attribute.name() + "'");
-      }
-      if (attribute.is_numeric()) {
-        double value = 0.0;
-        // Numbers arrive as JSON numbers or numeric strings; both re-parse
-        // through ParseDouble, the same path CSV ingestion uses, which
-        // keeps served scores bit-identical to offline scoring.
-        if (!cell->is_number() &&
-            !(cell->is_string() && ParseDouble(cell->text, &value))) {
-          return JsonError(400, "row " + std::to_string(r) +
-                                    ": attribute '" + attribute.name() +
-                                    "' must be numeric");
-        }
-        if (cell->is_number()) value = cell->number_value;
-        block.numeric[a].push_back(value);
-      } else {
-        if (!cell->is_string() && !cell->is_number()) {
-          return JsonError(400, "row " + std::to_string(r) +
-                                    ": attribute '" + attribute.name() +
-                                    "' must be a string");
-        }
-        // Unknown categories map to the no-match sentinel: conditions on
-        // the attribute simply never fire, mirroring offline behaviour for
-        // values unseen at training time.
-        block.categorical[a].push_back(
-            attribute.FindCategory(cell->text));
-      }
-    }
-  }
-  block.num_rows = rows->array.size();
-
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(config_.request_deadline_ms);
-  MicroBatcher::Result result;
-  const Status scored =
-      batcher_.Score(std::move(model), std::move(block), deadline, &result);
-  if (!scored.ok()) {
-    switch (scored.code()) {
-      case StatusCode::kUnavailable:
-        return JsonError(503, scored.message());
-      case StatusCode::kDeadlineExceeded:
-        return JsonError(504, scored.message());
-      default:
-        return JsonError(500, scored.message());
-    }
-  }
-
-  std::string body;
-  body.reserve(32 + result.scores.size() * 12);
-  body += "{\"model\":";
-  AppendJsonString(&body, name);
-  body += ",\"scores\":[";
-  for (size_t i = 0; i < result.scores.size(); ++i) {
-    if (i > 0) body += ',';
-    AppendJsonNumber(&body, result.scores[i]);
-  }
-  body += "],\"predicted\":[";
-  for (size_t i = 0; i < result.predicted.size(); ++i) {
-    if (i > 0) body += ',';
-    body += result.predicted[i] ? '1' : '0';
-  }
-  body += "]}";
-  HttpResponse response;
-  response.headers.emplace_back("Content-Type", "application/json");
-  response.body = std::move(body);
-  return response;
+std::string PredictionServer::RenderMetricsText() const {
+  std::vector<const ServerMetrics*> metrics;
+  metrics.reserve(shards_.size());
+  for (const auto& shard : shards_) metrics.push_back(&shard->metrics());
+  return RenderFleetMetrics(metrics);
 }
 
 }  // namespace pnr

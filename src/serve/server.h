@@ -1,67 +1,68 @@
-// PredictionServer: the online inference front end.
+// PredictionServer: the online inference front end — a fleet of
+// shared-nothing ServeShard reactors.
 //
-// A multi-threaded TCP server speaking the HTTP/1.1 subset in
-// serve/http.h. One acceptor thread feeds a bounded connection queue;
-// `num_threads` workers pop connections, parse one request at a time, and
-// route:
+// Start() binds `num_shards` SO_REUSEPORT listeners on one port (shard 0
+// binds first and fixes the ephemeral port when config.port is 0) and
+// launches one reactor thread per shard. The kernel distributes incoming
+// connections across the listeners by 4-tuple hash, so no acceptor thread,
+// no connection queue, and no cross-shard handoff exists: a connection is
+// born on a shard and lives its whole life there.
+//
+// Every shard speaks both wire protocols on the same port:
 //
 //   POST /v1/predict   {"model": "<name>", "rows": [{attr: value, ...}]}
 //                      -> {"model", "scores": [...], "predicted": [...]}
 //   GET  /v1/models    registry listing (name, rules, threshold, version)
 //   GET  /healthz      liveness probe
-//   GET  /metrics      Prometheus text exposition (serve/metrics.h)
+//   GET  /metrics      Prometheus text exposition, aggregated fleet-wide
+//                      plus per-shard pnr_serve_shard_* series
+//   binary frames      length-prefixed predict protocol (serve/binary.h),
+//                      selected by the 0xB5 first byte
 //
-// Predict rows are resolved against the model's schema and submitted to
-// the MicroBatcher, so concurrent requests share compiled ScoreBatch
-// calls. Keep-alive connections are cooperatively scheduled: a worker that
-// finds its connection idle requeues it and serves another, which is how
-// 64 open connections make progress on 4 threads.
-//
-// Backpressure is layered: a full connection queue answers a canned 503 at
-// accept time; a full batcher queue answers 503 + Retry-After per request;
-// requests older than their deadline answer 504. Shutdown() (the SIGTERM
-// path) stops the acceptor, lets in-flight requests finish, flushes the
-// batcher, and joins every thread — callers get complete responses, new
-// connections are refused.
+// HTTP/1.1 keep-alive is fully pipelined: clients may write many requests
+// before reading; responses return in order. Backpressure, deadlines, and
+// graceful drain are per shard (see serve/shard.h). Hot-swaps via the
+// ModelRegistry reach shards through epoch-versioned snapshot refresh —
+// never a lock on the request path.
 
 #ifndef PNR_SERVE_SERVER_H_
 #define PNR_SERVE_SERVER_H_
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "common/net.h"
 #include "common/status.h"
 #include "serve/batcher.h"
-#include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/registry.h"
+#include "serve/shard.h"
 
 namespace pnr {
 
 struct ServerConfig {
   /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see port()).
   uint16_t port = 8080;
-  /// HTTP worker threads.
-  size_t num_threads = 4;
-  /// Bound on accepted-but-unserved connections; beyond it new connections
-  /// get an immediate canned 503.
-  size_t max_queued_connections = 256;
+  /// Reactor shards (one thread + listener + batcher each); 0 = one per
+  /// hardware thread.
+  size_t num_shards = 1;
+  /// Open connections per shard; beyond it new connections get an
+  /// immediate canned 503.
+  size_t max_connections_per_shard = 1024;
   /// Request body bound (413 beyond).
   size_t max_body_bytes = 8 * 1024 * 1024;
-  /// Per-request deadline: parse + batch wait + score (504 beyond).
+  /// Per-request deadline: batch wait + score (504 beyond).
   uint64_t request_deadline_ms = 5000;
   /// Keep-alive connections idle longer than this are closed.
   uint64_t idle_timeout_ms = 60000;
-  /// Micro-batching policy.
+  /// In-flight pipelined requests per connection before reads pause.
+  size_t max_pipeline_depth = 64;
+  /// Unflushed response bytes per connection before reads pause.
+  size_t max_outbuf_bytes = 4 * 1024 * 1024;
+  /// Micro-batching policy (each shard gets its own batcher).
   BatcherConfig batcher;
 };
 
@@ -71,7 +72,7 @@ class PredictionServer {
   PredictionServer(ServerConfig config, ModelRegistry* registry);
   ~PredictionServer();
 
-  /// Binds, listens, and starts the acceptor and worker threads.
+  /// Binds every shard listener and starts the reactor threads.
   Status Start();
 
   /// The bound port (differs from config.port when that was 0).
@@ -82,45 +83,26 @@ class PredictionServer {
 
   bool running() const { return started_ && !stopping_.load(); }
 
-  ServerMetrics& metrics() { return metrics_; }
+  size_t num_shards() const { return shards_.size(); }
+  ServerMetrics& shard_metrics(size_t shard) {
+    return shards_[shard]->metrics();
+  }
+
+  /// Fleet-wide counter totals (every shard's snapshot merged).
+  MetricsSnapshot Totals() const;
+
+  /// The /metrics exposition body (aggregate + per-shard series).
+  std::string RenderMetricsText() const;
 
  private:
-  struct Conn {
-    UniqueFd fd;
-    HttpRequestParser parser;
-    std::chrono::steady_clock::time_point last_active;
-  };
-
-  void AcceptLoop();
-  void WorkerLoop();
-  /// Serves requests on `conn` until it would block, closes, or errors.
-  /// Returns true when the connection should be requeued.
-  bool ServeConnection(Conn* conn);
-  /// Reads until the in-progress request completes; false closes the conn.
-  bool CompleteRequest(Conn* conn);
-  HttpResponse Route(const HttpRequest& request);
-  HttpResponse HandlePredict(const HttpRequest& request);
-  HttpResponse HandleModels();
-  void CloseConnection(std::unique_ptr<Conn> conn);
-
   ServerConfig config_;
   ModelRegistry* registry_;
-  ServerMetrics metrics_;
-  MicroBatcher batcher_;
 
-  UniqueFd listen_fd_;
-  WakePipe wake_;
+  std::vector<std::unique_ptr<ServeShard>> shards_;
   uint16_t port_ = 0;
   bool started_ = false;
   std::atomic<bool> stopping_{false};
-
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::unique_ptr<Conn>> queue_;
-
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
-  std::mutex lifecycle_mutex_;  ///< serializes Shutdown callers
+  std::mutex lifecycle_mutex_;  ///< serializes Start/Shutdown callers
 };
 
 }  // namespace pnr

@@ -1,0 +1,785 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "serve/json.h"
+
+namespace pnr {
+namespace {
+
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kStopTag = 1;
+
+// Per-connection read cap per reactor round: enough to drain a deep
+// pipeline burst, bounded so one firehose connection cannot starve the
+// round (level-triggered epoll re-reports whatever is left).
+constexpr int kMaxReadsPerRound = 8;
+
+// Sent straight from accept when the shard is at max_connections — the
+// cheapest possible rejection (no parse, no registration).
+constexpr char kOverCapacity503[] =
+    "HTTP/1.1 503 Service Unavailable\r\n"
+    "Retry-After: 1\r\n"
+    "Content-Length: 22\r\n"
+    "Content-Type: application/json\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+    "{\"error\":\"queue full\"}";
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.headers.emplace_back("Content-Type", "application/json");
+  response.body = "{\"error\":";
+  AppendJsonString(&response.body, message);
+  response.body += "}";
+  if (status == 503) response.headers.emplace_back("Retry-After", "1");
+  return response;
+}
+
+std::string_view PathOf(const HttpRequest& request) {
+  std::string_view target = request.target;
+  const size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  return target;
+}
+
+/// Resolves one JSON predict body into (model, rows). Returns a rendered
+/// error response via `*error` on failure.
+bool ResolvePredictBody(const HttpRequest& request,
+                        const SnapshotCache& snapshots,
+                        std::shared_ptr<const ServedModel>* model_out,
+                        RowBlock* block_out, std::string* name_out,
+                        HttpResponse* error) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    *error = JsonError(400, doc.status().message());
+    return false;
+  }
+  if (!doc->is_object()) {
+    *error = JsonError(400, "body must be a JSON object");
+    return false;
+  }
+
+  // Resolve the model: explicit name, or the sole loaded model.
+  std::string name;
+  if (const JsonValue* model_field = doc->Find("model")) {
+    if (!model_field->is_string()) {
+      *error = JsonError(400, "\"model\" must be a string");
+      return false;
+    }
+    name = model_field->text;
+  } else {
+    const auto& all = snapshots.List();
+    if (all.size() != 1) {
+      *error = JsonError(
+          400, "\"model\" is required when several models are loaded");
+      return false;
+    }
+    name = all[0]->name;
+  }
+  std::shared_ptr<const ServedModel> model = snapshots.Get(name);
+  if (model == nullptr) {
+    *error = JsonError(404, "unknown model '" + name + "'");
+    return false;
+  }
+
+  const JsonValue* rows = doc->Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    *error = JsonError(400, "\"rows\" must be an array of objects");
+    return false;
+  }
+
+  const Schema& schema = model->schema;
+  RowBlock block;
+  block.InitFor(schema);
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    if (schema.attribute(attr).is_numeric()) {
+      block.numeric[a].reserve(rows->array.size());
+    } else {
+      block.categorical[a].reserve(rows->array.size());
+    }
+  }
+  for (size_t r = 0; r < rows->array.size(); ++r) {
+    const JsonValue& row = rows->array[r];
+    if (!row.is_object()) {
+      *error = JsonError(400, "row " + std::to_string(r) +
+                                  " is not an object");
+      return false;
+    }
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const auto attr = static_cast<AttrIndex>(a);
+      const Attribute& attribute = schema.attribute(attr);
+      const JsonValue* cell = row.Find(attribute.name());
+      if (cell == nullptr) {
+        *error = JsonError(400, "row " + std::to_string(r) +
+                                    " is missing attribute '" +
+                                    attribute.name() + "'");
+        return false;
+      }
+      if (attribute.is_numeric()) {
+        double value = 0.0;
+        // Numbers arrive as JSON numbers or numeric strings; both re-parse
+        // through ParseDouble, the same path CSV ingestion uses, which
+        // keeps served scores bit-identical to offline scoring.
+        if (!cell->is_number() &&
+            !(cell->is_string() && ParseDouble(cell->text, &value))) {
+          *error = JsonError(400, "row " + std::to_string(r) +
+                                      ": attribute '" + attribute.name() +
+                                      "' must be numeric");
+          return false;
+        }
+        if (cell->is_number()) value = cell->number_value;
+        block.numeric[a].push_back(value);
+      } else {
+        if (!cell->is_string() && !cell->is_number()) {
+          *error = JsonError(400, "row " + std::to_string(r) +
+                                      ": attribute '" + attribute.name() +
+                                      "' must be a string");
+          return false;
+        }
+        // Unknown categories map to the no-match sentinel: conditions on
+        // the attribute simply never fire, mirroring offline behaviour for
+        // values unseen at training time.
+        block.categorical[a].push_back(attribute.FindCategory(cell->text));
+      }
+    }
+  }
+  block.num_rows = rows->array.size();
+
+  *model_out = std::move(model);
+  *block_out = std::move(block);
+  *name_out = std::move(name);
+  return true;
+}
+
+std::string RenderPredictBody(const std::string& name,
+                              const MicroBatcher::Result& result) {
+  std::string body;
+  body.reserve(32 + result.scores.size() * 12);
+  body += "{\"model\":";
+  AppendJsonString(&body, name);
+  body += ",\"scores\":[";
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    if (i > 0) body += ',';
+    AppendJsonNumber(&body, result.scores[i]);
+  }
+  body += "],\"predicted\":[";
+  for (size_t i = 0; i < result.predicted.size(); ++i) {
+    if (i > 0) body += ',';
+    body += result.predicted[i] ? '1' : '0';
+  }
+  body += "]}";
+  return body;
+}
+
+}  // namespace
+
+ServeShard::ServeShard(size_t index, ShardOptions options,
+                       ModelRegistry* registry,
+                       std::function<std::string()> render_metrics)
+    : index_(index),
+      options_(std::move(options)),
+      registry_(registry),
+      render_metrics_(std::move(render_metrics)),
+      batcher_(options_.batcher, &metrics_),
+      snapshots_(registry) {}
+
+ServeShard::~ServeShard() {
+  if (thread_.joinable()) {
+    RequestStop();
+    Join();
+  }
+}
+
+Status ServeShard::Listen(uint16_t port, uint16_t* bound_port,
+                          bool reuse_port) {
+  auto listen = ListenTcp(port, /*backlog=*/512, bound_port, reuse_port);
+  if (!listen.ok()) return listen.status();
+  listen_fd_ = std::move(listen).value();
+  return SetNonBlocking(listen_fd_.get());
+}
+
+Status ServeShard::Start() {
+  if (!listen_fd_.valid()) {
+    return Status::FailedPrecondition("shard has no listener");
+  }
+  auto stop_event = EventFd::Create();
+  if (!stop_event.ok()) return stop_event.status();
+  stop_event_ = std::move(stop_event).value();
+  auto epoll = EpollSet::Create();
+  if (!epoll.ok()) return epoll.status();
+  epoll_ = std::move(epoll).value();
+  Status st = epoll_.Add(listen_fd_.get(), EPOLLIN, kListenerTag);
+  if (!st.ok()) return st;
+  st = epoll_.Add(stop_event_.fd(), EPOLLIN, kStopTag);
+  if (!st.ok()) return st;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void ServeShard::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (stop_event_.fd() >= 0) stop_event_.Signal();
+}
+
+void ServeShard::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ServeShard::Run() {
+  epoll_event events[64];
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    if (!draining_ && stop_requested_.load(std::memory_order_acquire)) {
+      draining_ = true;
+      drain_deadline_ =
+          now + std::chrono::milliseconds(options_.request_deadline_ms);
+      if (listen_fd_.valid()) {
+        // Connections the kernel already completed are real clients mid
+        // first request: accept them now, then refuse everything later.
+        HandleAccept();
+        epoll_.Del(listen_fd_.get());
+        listen_fd_.Reset();
+      }
+      // Pipelined requests already on the wire when the stop landed are
+      // in-flight work: read them now, or the Sweep below would mistake
+      // their connections for idle and reset them (close() with unread
+      // bytes sends RST, discarding any responses in the client's buffer).
+      std::vector<uint64_t> ids;
+      ids.reserve(conns_.size());
+      for (const auto& [id, conn] : conns_) ids.push_back(id);
+      for (const uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) HandleReadable(it->second.get());
+      }
+      Sweep(now);  // idle keep-alive connections drop immediately
+    }
+    if (draining_ && conns_.empty()) break;
+
+    auto ready = epoll_.Wait(events, 64, ComputeWaitMs(now));
+    if (!ready.ok()) break;
+    for (int i = 0; i < *ready; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kStopTag) {
+        stop_event_.Drain();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this round
+      Conn* conn = it->second.get();
+      if ((events[i].events & EPOLLERR) != 0) {
+        CloseConn(tag);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        HandleWritable(conn);
+        if (conns_.find(tag) == conns_.end()) continue;
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLHUP)) != 0) {
+        HandleReadable(conn);
+      }
+    }
+
+    // End of round: everything that arrived this round scores now, in one
+    // ScoreBatch call per model. This is what makes a lone request as fast
+    // as the no-batching path while bursts still coalesce.
+    batcher_.Flush();
+
+    for (size_t i = 0; i < dirty_.size(); ++i) {
+      auto it = conns_.find(dirty_[i]);
+      if (it == conns_.end()) continue;
+      it->second->dirty = false;
+      PumpConn(it->second.get());
+    }
+    dirty_.clear();
+
+    Sweep(std::chrono::steady_clock::now());
+  }
+
+  std::vector<uint64_t> open;
+  open.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) open.push_back(id);
+  for (const uint64_t id : open) CloseConn(id);
+  batcher_.Shutdown();
+}
+
+int ServeShard::ComputeWaitMs(
+    std::chrono::steady_clock::time_point now) const {
+  // Rows enqueued outside the normal event flow (the drain-entry read
+  // pass) must flush next round, not after a timeout.
+  if (batcher_.pending_rows() > 0) return 0;
+  auto next = std::chrono::steady_clock::time_point::max();
+  if (draining_) next = std::min(next, drain_deadline_);
+  const auto deadline = std::chrono::milliseconds(options_.request_deadline_ms);
+  const auto idle = std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (const auto& [id, conn] : conns_) {
+    const bool mid_request =
+        (conn->proto == Proto::kHttp && !conn->http.idle()) ||
+        (conn->proto == Proto::kBinary && !conn->binary.idle());
+    next = std::min(next,
+                    conn->last_active + (mid_request ? deadline : idle));
+  }
+  if (next == std::chrono::steady_clock::time_point::max()) return -1;
+  if (next <= now) return 0;
+  const auto wait =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next - now)
+          .count() +
+      1;
+  return static_cast<int>(std::min<long long>(wait, 60000));
+}
+
+void ServeShard::Sweep(std::chrono::steady_clock::time_point now) {
+  const bool force = draining_ && now >= drain_deadline_;
+  const auto deadline = std::chrono::milliseconds(options_.request_deadline_ms);
+  const auto idle = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<uint64_t> to_close;
+  for (const auto& [id, conn] : conns_) {
+    if (force) {
+      to_close.push_back(id);
+      continue;
+    }
+    const bool mid_request =
+        (conn->proto == Proto::kHttp && !conn->http.idle()) ||
+        (conn->proto == Proto::kBinary && !conn->binary.idle());
+    const bool quiescent = !mid_request && conn->slots.empty() &&
+                           conn->outpos >= conn->outbuf.size();
+    if (draining_ && quiescent) {
+      to_close.push_back(id);
+      continue;
+    }
+    // A request trickling in slower than the request deadline, or a
+    // keep-alive connection idle past its timeout, is dropped.
+    if (mid_request && now - conn->last_active >= deadline) {
+      to_close.push_back(id);
+    } else if (quiescent && now - conn->last_active >= idle) {
+      to_close.push_back(id);
+    }
+  }
+  for (const uint64_t id : to_close) CloseConn(id);
+}
+
+void ServeShard::HandleAccept() {
+  for (;;) {
+    auto accepted = AcceptNb(listen_fd_.get());
+    if (!accepted.ok()) return;  // would-block, closed, or transient error
+    metrics_.connections_total.fetch_add(1, std::memory_order_relaxed);
+    if (conns_.size() >= options_.max_connections) {
+      metrics_.rejected_total.fetch_add(1, std::memory_order_relaxed);
+      SendNb(accepted->get(), kOverCapacity503);  // best-effort, then close
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = std::move(accepted).value();
+    conn->http = HttpRequestParser(
+        HttpRequestParser::Limits{16 * 1024, options_.max_body_bytes});
+    conn->binary = BinaryRequestParser(
+        BinaryRequestParser::Limits{1024, options_.max_body_bytes});
+    conn->last_active = std::chrono::steady_clock::now();
+    conn->armed_events = EPOLLIN;
+    const Status added = epoll_.Add(conn->fd.get(), EPOLLIN, conn->id);
+    if (!added.ok()) continue;  // conn closes as it goes out of scope
+    metrics_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void ServeShard::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  epoll_.Del(it->second->fd.get());
+  metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  conns_.erase(it);
+}
+
+void ServeShard::HandleReadable(Conn* conn) {
+  const uint64_t id = conn->id;
+  char buf[16384];
+  for (int round = 0; round < kMaxReadsPerRound && !conn->paused; ++round) {
+    auto r = RecvNb(conn->fd.get(), buf, sizeof(buf));
+    if (!r.ok()) {
+      CloseConn(id);
+      return;
+    }
+    if (r->would_block) break;
+    if (r->eof) {
+      // Peer finished sending. Flush what is in flight, then close.
+      conn->want_close = true;
+      MarkDirty(conn);
+      break;
+    }
+    conn->last_active = std::chrono::steady_clock::now();
+    FeedConn(conn, std::string_view(buf, r->bytes));
+    if (conns_.find(id) == conns_.end()) return;
+    if (r->bytes < sizeof(buf)) break;  // socket drained
+  }
+  if (!conn->paused && ShouldPauseReads(conn)) {
+    conn->paused = true;
+    UpdateInterest(conn);
+  }
+}
+
+void ServeShard::HandleWritable(Conn* conn) { PumpConn(conn); }
+
+void ServeShard::FeedConn(Conn* conn, std::string_view data) {
+  if (data.empty()) return;
+  if (conn->proto == Proto::kUnknown) {
+    // Protocol sniff: no HTTP method (indeed, no ASCII text) starts with
+    // 0xB5, so the first byte decides the connection's protocol for life.
+    conn->proto = static_cast<unsigned char>(data.front()) ==
+                          kBinaryRequestMagic
+                      ? Proto::kBinary
+                      : Proto::kHttp;
+  }
+  if (conn->proto == Proto::kHttp) {
+    conn->http.Consume(data);
+    while (conn->http.state() == HttpRequestParser::State::kDone) {
+      DispatchHttp(conn, conn->http.Take());
+    }
+    if (conn->http.state() == HttpRequestParser::State::kError) {
+      HttpResponse response = JsonError(conn->http.error_status(),
+                                        conn->http.error_message());
+      response.close_connection = true;
+      metrics_.endpoint_other().Record(response.status, 0);
+      const uint64_t seq = ClaimSlot(conn);
+      CompleteSlot(conn->id, seq, RenderHttpResponse(response),
+                   /*close_after=*/true);
+      // The stream is unframed from here; stop reading it.
+      conn->paused = true;
+      UpdateInterest(conn);
+    }
+  } else {
+    conn->binary.Consume(data);
+    while (conn->binary.state() == BinaryRequestParser::State::kDone) {
+      DispatchBinary(conn, conn->binary.Take());
+    }
+    if (conn->binary.state() == BinaryRequestParser::State::kError) {
+      metrics_.endpoint_other().Record(
+          HttpStatusOf(conn->binary.error_code()), 0);
+      const uint64_t seq = ClaimSlot(conn);
+      CompleteSlot(conn->id, seq,
+                   RenderBinaryError(conn->binary.error_code(),
+                                     conn->binary.error_message()),
+                   /*close_after=*/true);
+      conn->paused = true;
+      UpdateInterest(conn);
+    }
+  }
+}
+
+uint64_t ServeShard::ClaimSlot(Conn* conn) {
+  conn->slots.emplace_back();
+  return conn->next_seq++;
+}
+
+void ServeShard::CompleteSlot(uint64_t conn_id, uint64_t seq,
+                              std::string bytes, bool close_after) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // connection died while the batch ran
+  Conn* conn = it->second.get();
+  const uint64_t index = seq - conn->base_seq;
+  if (index >= conn->slots.size()) return;  // slot abandoned by a close
+  Slot& slot = conn->slots[index];
+  slot.ready = true;
+  slot.bytes = std::move(bytes);
+  slot.close_after = close_after;
+  MarkDirty(conn);
+}
+
+void ServeShard::MarkDirty(Conn* conn) {
+  if (conn->dirty) return;
+  conn->dirty = true;
+  dirty_.push_back(conn->id);
+}
+
+bool ServeShard::ShouldPauseReads(const Conn* conn) const {
+  return conn->slots.size() >= options_.max_pipeline_depth ||
+         conn->outbuf.size() - conn->outpos >= options_.max_outbuf_bytes;
+}
+
+void ServeShard::UpdateInterest(Conn* conn) {
+  const bool needs_write = conn->outpos < conn->outbuf.size();
+  const uint32_t desired =
+      (conn->paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+      (needs_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  if (desired == conn->armed_events) return;
+  if (epoll_.Mod(conn->fd.get(), desired, conn->id).ok()) {
+    conn->armed_events = desired;
+  }
+}
+
+void ServeShard::PumpConn(Conn* conn) {
+  const uint64_t id = conn->id;
+  // Responses leave in request order: only the contiguous ready prefix of
+  // slots may be written.
+  while (!conn->slots.empty() && conn->slots.front().ready) {
+    Slot& slot = conn->slots.front();
+    conn->outbuf.append(slot.bytes);
+    const bool close_after = slot.close_after;
+    conn->slots.pop_front();
+    ++conn->base_seq;
+    if (close_after) {
+      // Nothing responds after a Connection: close; in-flight later slots
+      // are abandoned (their completions find no slot and drop).
+      conn->want_close = true;
+      conn->base_seq += conn->slots.size();
+      conn->slots.clear();
+      break;
+    }
+  }
+
+  if (conn->outpos < conn->outbuf.size()) {
+    auto sent = SendNb(conn->fd.get(),
+                       std::string_view(conn->outbuf).substr(conn->outpos));
+    if (!sent.ok()) {
+      CloseConn(id);
+      return;
+    }
+    conn->outpos += sent->bytes;
+    if (conn->outpos >= conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->outpos = 0;
+    } else if (conn->outpos > (1u << 20)) {
+      conn->outbuf.erase(0, conn->outpos);
+      conn->outpos = 0;
+    }
+  }
+
+  const bool flushed = conn->outpos >= conn->outbuf.size();
+  if (flushed && conn->want_close && conn->slots.empty()) {
+    CloseConn(id);
+    return;
+  }
+  if (conn->paused && !conn->want_close && !ShouldPauseReads(conn) &&
+      conn->http.state() != HttpRequestParser::State::kError &&
+      conn->binary.state() != BinaryRequestParser::State::kError) {
+    conn->paused = false;
+    // Re-arming EPOLLIN re-reports any bytes that arrived while paused
+    // (level-triggered), so nothing is lost by the pause.
+  }
+  UpdateInterest(conn);
+}
+
+std::string ServeShard::RenderModels() {
+  std::string body = "{\"models\":[";
+  bool first = true;
+  for (const auto& entry : snapshots_.List()) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"name\":";
+    AppendJsonString(&body, entry->name);
+    body += ",\"p_rules\":" + std::to_string(entry->model.p_rules().size());
+    body += ",\"n_rules\":" + std::to_string(entry->model.n_rules().size());
+    body += ",\"threshold\":";
+    AppendJsonNumber(&body, entry->model.threshold());
+    body += ",\"attributes\":" +
+            std::to_string(entry->schema.num_attributes());
+    body += ",\"version\":" + std::to_string(entry->version);
+    body += '}';
+  }
+  body += "]}";
+  return body;
+}
+
+void ServeShard::DispatchHttp(Conn* conn, HttpRequest request) {
+  const auto start = std::chrono::steady_clock::now();
+  // During drain every connection closes — but only after its last
+  // buffered pipelined request, or the earlier responses' close would
+  // abandon the rest (the parser holds a further complete request in
+  // state kDone right now if there is one).
+  const bool more_buffered =
+      conn->http.state() == HttpRequestParser::State::kDone;
+  const bool close_after =
+      (draining_ && !more_buffered) || !request.keep_alive();
+  const uint64_t seq = ClaimSlot(conn);
+  const std::string_view path = PathOf(request);
+
+  if (path == "/v1/predict") {
+    if (request.method != "POST") {
+      HttpResponse response = JsonError(405, "predict is POST-only");
+      response.close_connection = close_after;
+      metrics_.endpoint_predict().Record(response.status, ElapsedUs(start));
+      CompleteSlot(conn->id, seq, RenderHttpResponse(response), close_after);
+      return;
+    }
+    PredictJson(conn, seq, request, close_after);
+    return;
+  }
+
+  HttpResponse response;
+  EndpointMetrics* endpoint = &metrics_.endpoint_other();
+  if (path == "/healthz") {
+    endpoint = &metrics_.endpoint_healthz();
+    if (request.method != "GET") {
+      response = JsonError(405, "healthz is GET-only");
+    } else {
+      response.headers.emplace_back("Content-Type", "text/plain");
+      response.body = "ok\n";
+    }
+  } else if (path == "/metrics") {
+    endpoint = &metrics_.endpoint_metrics();
+    if (request.method != "GET") {
+      response = JsonError(405, "metrics is GET-only");
+    } else {
+      response.headers.emplace_back("Content-Type",
+                                    "text/plain; version=0.0.4");
+      response.body = render_metrics_();
+    }
+  } else if (path == "/v1/models") {
+    endpoint = &metrics_.endpoint_models();
+    if (request.method != "GET") {
+      response = JsonError(405, "models is GET-only");
+    } else {
+      snapshots_.Refresh();
+      response.headers.emplace_back("Content-Type", "application/json");
+      response.body = RenderModels();
+    }
+  } else {
+    response = JsonError(404, "no such endpoint: " + std::string(path));
+  }
+  response.close_connection = close_after;
+  endpoint->Record(response.status, ElapsedUs(start));
+  CompleteSlot(conn->id, seq, RenderHttpResponse(response), close_after);
+}
+
+void ServeShard::PredictJson(Conn* conn, uint64_t seq,
+                             const HttpRequest& request, bool close_after) {
+  const auto start = std::chrono::steady_clock::now();
+  snapshots_.Refresh();
+
+  std::shared_ptr<const ServedModel> model;
+  RowBlock block;
+  std::string name;
+  HttpResponse error;
+  if (!ResolvePredictBody(request, snapshots_, &model, &block, &name,
+                          &error)) {
+    error.close_connection = close_after;
+    metrics_.endpoint_predict().Record(error.status, ElapsedUs(start));
+    CompleteSlot(conn->id, seq, RenderHttpResponse(error), close_after);
+    return;
+  }
+
+  const auto deadline =
+      start + std::chrono::milliseconds(options_.request_deadline_ms);
+  const uint64_t conn_id = conn->id;
+  const Status queued = batcher_.Enqueue(
+      std::move(model), std::move(block),
+      [this, conn_id, seq, close_after, start, deadline,
+       name = std::move(name)](const Status& status,
+                               MicroBatcher::Result result) {
+        HttpResponse response;
+        if (!status.ok()) {
+          response = JsonError(
+              status.code() == StatusCode::kUnavailable ? 503 : 500,
+              status.message());
+        } else if (std::chrono::steady_clock::now() > deadline) {
+          metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          response = JsonError(504, "request deadline exceeded");
+        } else {
+          response.headers.emplace_back("Content-Type", "application/json");
+          response.body = RenderPredictBody(name, result);
+        }
+        response.close_connection = close_after;
+        metrics_.endpoint_predict().Record(response.status, ElapsedUs(start));
+        CompleteSlot(conn_id, seq, RenderHttpResponse(response), close_after);
+      });
+  if (!queued.ok()) {
+    HttpResponse response =
+        JsonError(queued.code() == StatusCode::kUnavailable ? 503 : 500,
+                  queued.message());
+    response.close_connection = close_after;
+    metrics_.endpoint_predict().Record(response.status, ElapsedUs(start));
+    CompleteSlot(conn_id, seq, RenderHttpResponse(response), close_after);
+  }
+}
+
+void ServeShard::DispatchBinary(Conn* conn, BinaryRequest request) {
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t seq = ClaimSlot(conn);
+  const uint64_t conn_id = conn->id;
+  const bool close_after =
+      draining_ &&
+      conn->binary.state() != BinaryRequestParser::State::kDone;
+  snapshots_.Refresh();
+
+  auto fail = [&](BinaryStatus code, const std::string& message) {
+    metrics_.endpoint_predict().Record(HttpStatusOf(code), ElapsedUs(start));
+    CompleteSlot(conn_id, seq, RenderBinaryError(code, message), close_after);
+  };
+
+  std::shared_ptr<const ServedModel> model;
+  if (request.model.empty()) {
+    const auto& all = snapshots_.List();
+    if (all.size() != 1) {
+      fail(BinaryStatus::kBadRequest,
+           "model name is required when several models are loaded");
+      return;
+    }
+    model = all[0];
+  } else {
+    model = snapshots_.Get(request.model);
+    if (model == nullptr) {
+      fail(BinaryStatus::kNotFound,
+           "unknown model '" + request.model + "'");
+      return;
+    }
+  }
+
+  RowBlock block;
+  const Status decoded =
+      DecodeBinaryRows(request.payload, model->schema, &block);
+  if (!decoded.ok()) {
+    fail(BinaryStatus::kBadRequest, decoded.message());
+    return;
+  }
+
+  const auto deadline =
+      start + std::chrono::milliseconds(options_.request_deadline_ms);
+  const Status queued = batcher_.Enqueue(
+      std::move(model), std::move(block),
+      [this, conn_id, seq, close_after, start, deadline](
+          const Status& status, MicroBatcher::Result result) {
+        std::string frame;
+        int http_status;
+        if (!status.ok()) {
+          const BinaryStatus code = status.code() == StatusCode::kUnavailable
+                                        ? BinaryStatus::kUnavailable
+                                        : BinaryStatus::kInternal;
+          frame = RenderBinaryError(code, std::string(status.message()));
+          http_status = HttpStatusOf(code);
+        } else if (std::chrono::steady_clock::now() > deadline) {
+          metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          frame = RenderBinaryError(BinaryStatus::kDeadlineExceeded,
+                                    "request deadline exceeded");
+          http_status = 504;
+        } else {
+          frame = RenderBinaryOk(result.scores, result.predicted);
+          http_status = 200;
+        }
+        metrics_.endpoint_predict().Record(http_status, ElapsedUs(start));
+        CompleteSlot(conn_id, seq, std::move(frame), close_after);
+      });
+  if (!queued.ok()) {
+    fail(queued.code() == StatusCode::kUnavailable
+             ? BinaryStatus::kUnavailable
+             : BinaryStatus::kInternal,
+         std::string(queued.message()));
+  }
+}
+
+}  // namespace pnr

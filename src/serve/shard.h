@@ -1,0 +1,192 @@
+// ServeShard: one shared-nothing serving reactor.
+//
+// A shard is a single thread owning everything its traffic touches: an
+// epoll set, a SO_REUSEPORT listening socket (the kernel load-balances
+// connections across shards by 4-tuple hash), a MicroBatcher, a
+// shard-private SnapshotCache of the model registry, and a ServerMetrics
+// instance. Nothing on the request path takes a lock or writes memory
+// another shard reads — cross-shard coordination is limited to the
+// registry's epoch atomic (one relaxed load per request) and the
+// stop eventfd.
+//
+// The event loop is level-triggered epoll. Each round drains every ready
+// socket, parses as many complete requests as arrived (HTTP/1.1 pipelined
+// keep-alive or binary frames — the first byte a connection ever sends
+// picks the protocol), dispatches them into the batcher, then calls
+// MicroBatcher::Flush() once: every request readable in a round scores in
+// that round, so a lone request never waits on a timer and concurrent
+// requests coalesce into one compiled ScoreBatch call per model.
+//
+// Responses go out in request order per connection: each request claims a
+// sequence slot at parse time; completions (which may land out of order
+// when a healthz interleaves with a batched predict) fill their slot, and
+// bytes are written only from the contiguous ready prefix.
+//
+// Backpressure is layered and read-shaped: when a connection has
+// `max_pipeline_depth` requests in flight or `max_outbuf_bytes` of
+// unflushed response bytes, the shard drops EPOLLIN interest (mandatory
+// under level-triggering — a paused-but-armed socket would spin) until
+// the client drains; a full batcher queue answers 503 + Retry-After; a
+// completion past its deadline answers 504.
+//
+// Drain (RequestStop): the listener closes, buffered pipelined requests
+// finish with `Connection: close`, idle connections drop immediately, and
+// anything still open at the drain deadline is force-closed.
+
+#ifndef PNR_SERVE_SHARD_H_
+#define PNR_SERVE_SHARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/net.h"
+#include "common/status.h"
+#include "serve/batcher.h"
+#include "serve/binary.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+
+namespace pnr {
+
+struct ShardOptions {
+  /// Open connections per shard; beyond it new connections get an
+  /// immediate canned 503 and close.
+  size_t max_connections = 1024;
+  /// Request body bound (413 beyond).
+  size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Per-request deadline: batch wait + score (504 beyond). Also bounds
+  /// how long a partially-received request may trickle, and the drain.
+  uint64_t request_deadline_ms = 5000;
+  /// Keep-alive connections idle longer than this are closed.
+  uint64_t idle_timeout_ms = 60000;
+  /// In-flight pipelined requests per connection before reads pause.
+  size_t max_pipeline_depth = 64;
+  /// Unflushed response bytes per connection before reads pause.
+  size_t max_outbuf_bytes = 4 * 1024 * 1024;
+  /// Micro-batching policy (per shard).
+  BatcherConfig batcher;
+};
+
+class ServeShard {
+ public:
+  /// `registry` must outlive the shard. `render_metrics` produces the
+  /// /metrics body (the fleet injects a renderer that aggregates every
+  /// shard, keeping this layer free of fleet knowledge).
+  ServeShard(size_t index, ShardOptions options, ModelRegistry* registry,
+             std::function<std::string()> render_metrics);
+  ~ServeShard();
+
+  /// Binds the shard's listener on 127.0.0.1:`port` (SO_REUSEPORT when
+  /// `reuse_port`), non-blocking. `*bound_port` receives the actual port.
+  Status Listen(uint16_t port, uint16_t* bound_port, bool reuse_port);
+
+  /// Starts the reactor thread.
+  Status Start();
+
+  /// Begins graceful drain; returns immediately. Safe from any thread and
+  /// from signal-adjacent contexts (one atomic store + eventfd write).
+  void RequestStop();
+
+  void Join();
+
+  size_t index() const { return index_; }
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+
+ private:
+  enum class Proto : uint8_t { kUnknown, kHttp, kBinary };
+
+  /// One response slot: claimed per request in arrival order, filled by
+  /// its completion, written only from the contiguous ready prefix.
+  struct Slot {
+    bool ready = false;
+    bool close_after = false;
+    std::string bytes;
+  };
+
+  struct Conn {
+    uint64_t id = 0;
+    UniqueFd fd;
+    Proto proto = Proto::kUnknown;
+    HttpRequestParser http;
+    BinaryRequestParser binary;
+    std::deque<Slot> slots;
+    uint64_t base_seq = 0;  ///< sequence number of slots.front()
+    uint64_t next_seq = 0;  ///< claimed by the next parsed request
+    std::string outbuf;
+    size_t outpos = 0;
+    bool want_close = false;  ///< close once slots and outbuf are empty
+    bool paused = false;      ///< EPOLLIN interest dropped (backpressure)
+    uint32_t armed_events = 0;  ///< events currently registered in epoll
+    bool dirty = false;       ///< queued for the end-of-round pump
+    std::chrono::steady_clock::time_point last_active;
+  };
+
+  void Run();
+  void HandleAccept();
+  void HandleReadable(Conn* conn);
+  void HandleWritable(Conn* conn);
+  /// Feeds freshly-read bytes into the connection's protocol parser and
+  /// dispatches every complete request.
+  void FeedConn(Conn* conn, std::string_view data);
+  void DispatchHttp(Conn* conn, HttpRequest request);
+  void DispatchBinary(Conn* conn, BinaryRequest request);
+  /// Builds the RowBlock for a JSON predict body; returns an error
+  /// response string on failure (empty string = ok).
+  void PredictJson(Conn* conn, uint64_t seq, const HttpRequest& request,
+                   bool close_after);
+  std::string RenderModels();
+
+  /// Claims the next slot on `conn` and returns its sequence number.
+  uint64_t ClaimSlot(Conn* conn);
+  /// Fills slot `seq` of connection `conn_id` (drops silently when the
+  /// connection is gone) and queues the connection for pumping.
+  void CompleteSlot(uint64_t conn_id, uint64_t seq, std::string bytes,
+                    bool close_after);
+  /// Moves the ready prefix of slots into outbuf, writes what the socket
+  /// accepts, updates epoll interest, and closes when finished+want_close.
+  void PumpConn(Conn* conn);
+  void MarkDirty(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  bool ShouldPauseReads(const Conn* conn) const;
+  void CloseConn(uint64_t conn_id);
+  /// Closes trickling requests past the deadline, idle keep-alives past
+  /// the idle timeout, and (in drain) finished connections.
+  void Sweep(std::chrono::steady_clock::time_point now);
+  int ComputeWaitMs(std::chrono::steady_clock::time_point now) const;
+
+  const size_t index_;
+  const ShardOptions options_;
+  ModelRegistry* const registry_;
+  const std::function<std::string()> render_metrics_;
+
+  ServerMetrics metrics_;
+  MicroBatcher batcher_;
+  SnapshotCache snapshots_;
+
+  UniqueFd listen_fd_;
+  EventFd stop_event_;
+  EpollSet epoll_;
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  uint64_t next_conn_id_ = 16;  ///< 0 = listener tag, 1 = eventfd tag
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<uint64_t> dirty_;
+
+  std::thread thread_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_SERVE_SHARD_H_

@@ -1,0 +1,350 @@
+// The compact binary predict protocol: frame parser discipline (truncated
+// headers, oversize lengths, pipelined leftovers, byte-at-a-time feeds),
+// payload decoding against a schema, and loopback integration — binary
+// scores must be bit-identical to offline ScoreBatch, frames pipeline in
+// order, content errors keep the connection, framing errors poison it, and
+// HTTP stays available on the same port.
+
+#include "serve/binary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/net.h"
+#include "serve/server.h"
+#include "synth/sweep.h"
+
+namespace pnr {
+namespace {
+
+struct Served {
+  TrainTestPair data;
+  PnruleClassifier model;
+};
+
+const Served& GetServed() {
+  static const Served* served = [] {
+    GeneralModelParams params;
+    params.target_fraction = 0.05;
+    TrainTestPair data = MakeGeneralPair(params, 8000, 2000, 17);
+    const CategoryId target =
+        data.train.schema().class_attr().FindCategory("C");
+    auto model = PnruleLearner().Train(data.train, target);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return new Served{std::move(data), std::move(model).value()};
+  }();
+  return *served;
+}
+
+ModelRegistry* MakeRegistry() {
+  auto* registry = new ModelRegistry;
+  const Served& served = GetServed();
+  registry->Install("m", served.data.train.schema(), served.model);
+  return registry;
+}
+
+// A blocking loopback client for raw binary frames.
+class BinaryClient {
+ public:
+  static BinaryClient Connect(uint16_t port) {
+    auto fd = ConnectLoopback(port);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return BinaryClient(std::move(fd).value());
+  }
+
+  Status Send(std::string_view bytes) { return SendAll(fd_.get(), bytes); }
+
+  /// Reads one response frame; fails the test on timeout or malformed data.
+  BinaryResponse ReadResponse() {
+    BinaryResponse response;
+    size_t consumed = 0;
+    char buf[16384];
+    for (;;) {
+      Status parsed = ParseBinaryResponse(leftover_, &response, &consumed);
+      EXPECT_TRUE(parsed.ok()) << parsed.ToString();
+      if (!parsed.ok() || consumed > 0) break;
+      auto n = RecvSome(fd_.get(), buf, sizeof(buf), 30000);
+      EXPECT_TRUE(n.ok()) << n.status().ToString();
+      if (!n.ok() || *n == 0) break;
+      leftover_.append(buf, *n);
+    }
+    leftover_.erase(0, consumed);
+    return response;
+  }
+
+  /// True when the server closed the connection (EOF).
+  bool ReadEof() {
+    char buf[64];
+    auto n = RecvSome(fd_.get(), buf, sizeof(buf), 30000);
+    return n.ok() && *n == 0;
+  }
+
+ private:
+  explicit BinaryClient(UniqueFd fd) : fd_(std::move(fd)) {}
+  UniqueFd fd_;
+  std::string leftover_;
+};
+
+TEST(BinaryParserTest, ParsesFrameFedByteAtATime) {
+  const std::string frame = EncodeBinaryRequest("m", "payload");
+  BinaryRequestParser parser;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(parser.state(), BinaryRequestParser::State::kNeedMore)
+        << "byte " << i;
+    parser.Consume(frame.substr(i, 1));
+  }
+  ASSERT_EQ(parser.state(), BinaryRequestParser::State::kDone);
+  const BinaryRequest request = parser.Take();
+  EXPECT_EQ(request.model, "m");
+  EXPECT_EQ(request.payload, "payload");
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(BinaryParserTest, PipelinedFramesTakeInSequence) {
+  const std::string burst = EncodeBinaryRequest("a", "one") +
+                            EncodeBinaryRequest("b", "two");
+  BinaryRequestParser parser;
+  ASSERT_EQ(parser.Consume(burst), BinaryRequestParser::State::kDone);
+  EXPECT_EQ(parser.Take().model, "a");
+  // Take() advances straight into the buffered second frame.
+  ASSERT_EQ(parser.state(), BinaryRequestParser::State::kDone);
+  EXPECT_EQ(parser.Take().model, "b");
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(BinaryParserTest, RejectsBadMagicVersionAndOversizeLengths) {
+  {
+    BinaryRequestParser parser;
+    EXPECT_EQ(parser.Consume(std::string(8, '\x00')),
+              BinaryRequestParser::State::kError);
+    EXPECT_EQ(parser.error_code(), BinaryStatus::kBadRequest);
+  }
+  {
+    std::string frame = EncodeBinaryRequest("m", "x");
+    frame[1] = 9;  // unsupported version
+    BinaryRequestParser parser;
+    EXPECT_EQ(parser.Consume(frame), BinaryRequestParser::State::kError);
+    EXPECT_EQ(parser.error_code(), BinaryStatus::kBadRequest);
+  }
+  {
+    // name_len over the limit.
+    std::string frame = EncodeBinaryRequest(std::string(64, 'n'), "");
+    BinaryRequestParser parser(BinaryRequestParser::Limits{16, 1024});
+    EXPECT_EQ(parser.Consume(frame), BinaryRequestParser::State::kError);
+    EXPECT_EQ(parser.error_code(), BinaryStatus::kTooLarge);
+  }
+  {
+    // payload_len < name_len is internally inconsistent.
+    std::string frame = EncodeBinaryRequest("name", "");
+    const uint32_t bogus = 1;
+    std::memcpy(&frame[4], &bogus, sizeof(bogus));
+    BinaryRequestParser parser;
+    EXPECT_EQ(parser.Consume(frame), BinaryRequestParser::State::kError);
+    EXPECT_EQ(parser.error_code(), BinaryStatus::kBadRequest);
+  }
+  {
+    // Oversize payload dies on the header alone — no buffering of the body.
+    std::string frame = EncodeBinaryRequest("m", "");
+    const uint32_t huge = 1 << 30;
+    std::memcpy(&frame[4], &huge, sizeof(huge));
+    BinaryRequestParser parser(BinaryRequestParser::Limits{16, 1024});
+    EXPECT_EQ(parser.Consume(frame.substr(0, 8)),
+              BinaryRequestParser::State::kError);
+    EXPECT_EQ(parser.error_code(), BinaryStatus::kTooLarge);
+  }
+}
+
+TEST(BinaryCodecTest, EncodeDecodeRoundtripsRows) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+  std::string payload;
+  EncodeBinaryRows(test, 0, 16, &payload);
+
+  RowBlock block;
+  const Status decoded = DecodeBinaryRows(payload, test.schema(), &block);
+  ASSERT_TRUE(decoded.ok()) << decoded.ToString();
+  ASSERT_EQ(block.num_rows, 16u);
+  const Schema& schema = test.schema();
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    for (RowId r = 0; r < 16; ++r) {
+      if (schema.attribute(attr).is_numeric()) {
+        // Bit-identity, not value equality: raw f64 travel untouched.
+        double sent = test.numeric(r, attr);
+        double got = block.numeric[a][r];
+        EXPECT_EQ(std::memcmp(&sent, &got, sizeof(double)), 0)
+            << "attr " << a << " row " << r;
+      } else {
+        EXPECT_EQ(block.categorical[a][r], test.categorical(r, attr))
+            << "attr " << a << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(BinaryCodecTest, DecodeRejectsHostilePayloads) {
+  const Schema& schema = GetServed().data.test.schema();
+  RowBlock block;
+
+  // Truncated before the row count.
+  EXPECT_FALSE(DecodeBinaryRows("\x01", schema, &block).ok());
+
+  // A huge claimed row count on a short payload dies in the admission
+  // check, before any allocation.
+  std::string bomb;
+  const uint32_t rows = 0x7FFFFFFF;
+  bomb.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  bomb.append(64, '\x00');
+  EXPECT_FALSE(DecodeBinaryRows(bomb, schema, &block).ok());
+
+  // Trailing bytes after the last column are rejected.
+  std::string payload;
+  EncodeBinaryRows(GetServed().data.test, 0, 2, &payload);
+  EXPECT_TRUE(DecodeBinaryRows(payload, schema, &block).ok());
+  payload += '\x00';
+  EXPECT_FALSE(DecodeBinaryRows(payload, schema, &block).ok());
+}
+
+TEST(BinaryCodecTest, EncodeRowFromTextMatchesDatasetEncoding) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+  const Schema& schema = test.schema();
+
+  std::vector<std::pair<std::string, std::string>> cells;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const auto attr = static_cast<AttrIndex>(a);
+    const Attribute& attribute = schema.attribute(attr);
+    if (attribute.is_numeric()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", test.numeric(0, attr));
+      cells.emplace_back(attribute.name(), buf);
+    } else {
+      cells.emplace_back(attribute.name(),
+                         attribute.CategoryName(test.categorical(0, attr)));
+    }
+  }
+  std::string from_text;
+  ASSERT_TRUE(EncodeBinaryRowFromText(schema, cells, &from_text).ok());
+  std::string from_dataset;
+  EncodeBinaryRows(test, 0, 1, &from_dataset);
+  // %.17g roundtrips doubles exactly, so the two encodings agree bitwise.
+  EXPECT_EQ(from_text, from_dataset);
+
+  std::string out;
+  EXPECT_FALSE(EncodeBinaryRowFromText(
+                   schema, {{"no_such_attr", "1"}}, &out)
+                   .ok());
+  out.clear();
+  EXPECT_FALSE(
+      EncodeBinaryRowFromText(schema, {{"n0", "not-a-number"}}, &out).ok());
+}
+
+// Loopback integration: binary scores are bit-identical to offline,
+// pipelined frames answer in order, and the protocol coexists with HTTP.
+TEST(BinaryServeTest, ScoresBitIdenticalAndPipelined) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_shards = 2;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kFrames = 4;
+  constexpr size_t kRowsEach = 8;
+  std::string burst;
+  for (size_t f = 0; f < kFrames; ++f) {
+    std::string payload;
+    EncodeBinaryRows(test, static_cast<RowId>(f * kRowsEach),
+                     static_cast<RowId>((f + 1) * kRowsEach), &payload);
+    burst += EncodeBinaryRequest("m", payload);
+  }
+
+  BinaryClient client = BinaryClient::Connect(server.port());
+  ASSERT_TRUE(client.Send(burst).ok());
+
+  std::vector<RowId> rows(kFrames * kRowsEach);
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<double> expected(rows.size());
+  served.model.ScoreBatch(test, rows.data(), rows.size(), expected.data());
+
+  for (size_t f = 0; f < kFrames; ++f) {
+    const BinaryResponse response = client.ReadResponse();
+    ASSERT_EQ(response.status, BinaryStatus::kOk) << response.error;
+    ASSERT_EQ(response.scores.size(), kRowsEach) << "frame " << f;
+    for (size_t i = 0; i < kRowsEach; ++i) {
+      EXPECT_EQ(response.scores[i], expected[f * kRowsEach + i])
+          << "frame " << f << " row " << i;
+      EXPECT_EQ(response.predicted[i],
+                expected[f * kRowsEach + i] > served.model.threshold() ? 1
+                                                                       : 0);
+    }
+  }
+
+  // HTTP still answers on the same port, on a different connection.
+  auto http = HttpClient::Connect(server.port());
+  ASSERT_TRUE(http.ok());
+  HttpClient http_client = std::move(http).value();
+  auto health = http_client.Roundtrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+
+  server.Shutdown();
+}
+
+TEST(BinaryServeTest, ContentErrorsKeepConnectionFramingErrorsCloseIt) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_shards = 1;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  BinaryClient client = BinaryClient::Connect(server.port());
+
+  // Unknown model: an error frame, but the frame boundary held — the next
+  // request on the same connection succeeds.
+  ASSERT_TRUE(client.Send(EncodeBinaryRequest("nope", "")).ok());
+  BinaryResponse response = client.ReadResponse();
+  EXPECT_EQ(response.status, BinaryStatus::kNotFound);
+  EXPECT_NE(response.error.find("nope"), std::string::npos);
+
+  // Malformed payload (claims 5 rows, carries none): same story.
+  ASSERT_TRUE(
+      client.Send(EncodeBinaryRequest("m", std::string("\x05\x00\x00\x00", 4)))
+          .ok());
+  response = client.ReadResponse();
+  EXPECT_EQ(response.status, BinaryStatus::kBadRequest);
+
+  std::string payload;
+  EncodeBinaryRows(test, 0, 2, &payload);
+  ASSERT_TRUE(client.Send(EncodeBinaryRequest("m", payload)).ok());
+  response = client.ReadResponse();
+  ASSERT_EQ(response.status, BinaryStatus::kOk) << response.error;
+  std::vector<RowId> rows = {0, 1};
+  std::vector<double> expected(2);
+  served.model.ScoreBatch(test, rows.data(), 2, expected.data());
+  ASSERT_EQ(response.scores.size(), 2u);
+  EXPECT_EQ(response.scores[0], expected[0]);
+  EXPECT_EQ(response.scores[1], expected[1]);
+
+  // Framing error: a second "frame" whose magic byte is wrong. The stream
+  // offset is untrustworthy from here, so the server answers an error frame
+  // and closes the connection.
+  ASSERT_TRUE(client.Send(std::string(8, '\x00')).ok());
+  response = client.ReadResponse();
+  EXPECT_EQ(response.status, BinaryStatus::kBadRequest);
+  EXPECT_TRUE(client.ReadEof());
+
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace pnr

@@ -73,7 +73,7 @@ TEST(ServeFaultTest, ServerDegradesCleanlyUnderNetworkFaultStorm) {
   std::unique_ptr<ModelRegistry> registry(MakeTinyRegistry());
   ServerConfig config;
   config.port = 0;
-  config.num_threads = 2;
+  config.num_shards = 2;
   PredictionServer server(config, registry.get());
   ASSERT_TRUE(server.Start().ok());
   const uint16_t port = server.port();
@@ -130,7 +130,7 @@ TEST(ServeFaultTest, AcceptEintrStormDoesNotDropConnections) {
   std::unique_ptr<ModelRegistry> registry(MakeTinyRegistry());
   ServerConfig config;
   config.port = 0;
-  config.num_threads = 2;
+  config.num_shards = 2;
   PredictionServer server(config, registry.get());
   ASSERT_TRUE(server.Start().ok());
 
@@ -144,7 +144,7 @@ TEST(ServeFaultTest, AcceptEintrStormDoesNotDropConnections) {
     int status = 0;
     if (TryPredict(server.port(), &status) && status == 200) ++ok_200;
   }
-  // EINTR is retried inside AcceptConnection: every connection lands.
+  // EINTR is retried inside AcceptNb: every connection lands.
   EXPECT_EQ(ok_200, 20u);
   EXPECT_GT(scoped.stats().eintrs[static_cast<int>(FaultOp::kAccept)], 0u);
   server.Shutdown();

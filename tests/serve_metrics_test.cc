@@ -1,0 +1,184 @@
+// Metrics layer tests: histogram bucket/quantile math, cross-shard
+// snapshot merging, and — the satellite gate — validity of the Prometheus
+// text exposition the fleet renders: every line parses, every label set is
+// well-formed, per-shard series exist for every shard, and the aggregate
+// equals the sum of the shards.
+
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "serve/server.h"
+#include "synth/sweep.h"
+
+namespace pnr {
+namespace {
+
+TEST(BucketHistogramTest, QuantilesBracketRecordedValues) {
+  BucketHistogram histogram;
+  for (uint64_t v = 0; v < 1000; ++v) histogram.Record(v);
+  EXPECT_EQ(histogram.count(), 1000u);
+  // Power-of-two buckets: quantiles are approximate but must bracket the
+  // true value within one bucket (factor of two).
+  const double p50 = histogram.Quantile(0.5);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  const double p999 = histogram.Quantile(0.999);
+  EXPECT_GE(p999, 512.0);
+  EXPECT_LE(p999, 2048.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(histogram.Quantile(0.5), histogram.Quantile(0.9));
+  EXPECT_LE(histogram.Quantile(0.9), histogram.Quantile(0.99));
+  EXPECT_LE(histogram.Quantile(0.99), histogram.Quantile(0.999));
+}
+
+TEST(BucketHistogramTest, EmptyHistogramQuantileIsZero) {
+  BucketHistogram histogram;
+  EXPECT_EQ(histogram.Quantile(0.99), 0.0);
+}
+
+TEST(BucketHistogramTest, SnapshotMergeIsAdditive) {
+  BucketHistogram a;
+  BucketHistogram b;
+  for (uint64_t v = 0; v < 100; ++v) a.Record(v);
+  for (uint64_t v = 100; v < 300; ++v) b.Record(v);
+  BucketHistogram::Snapshot merged = a.Snap();
+  merged.Merge(b.Snap());
+  EXPECT_EQ(merged.count, 300u);
+  EXPECT_EQ(merged.sum, a.sum() + b.sum());
+  // The merged p999 reflects b's tail, which a alone never saw.
+  EXPECT_GT(merged.Quantile(0.999), a.Snap().Quantile(0.999));
+}
+
+TEST(MetricsSnapshotTest, MergeSumsEveryCounter) {
+  ServerMetrics a;
+  ServerMetrics b;
+  a.endpoint_predict().Record(200, 10);
+  a.endpoint_predict().Record(400, 20);
+  a.rows_scored.fetch_add(7);
+  a.connections_total.fetch_add(2);
+  b.endpoint_predict().Record(500, 30);
+  b.endpoint_healthz().Record(200, 1);
+  b.rows_scored.fetch_add(5);
+  b.rejected_total.fetch_add(1);
+
+  MetricsSnapshot total = a.Snap();
+  total.Merge(b.Snap());
+  EXPECT_EQ(total.predict.requests, 3u);
+  EXPECT_EQ(total.predict.errors_4xx, 1u);
+  EXPECT_EQ(total.predict.errors_5xx, 1u);
+  EXPECT_EQ(total.predict.latency_us.count, 3u);
+  EXPECT_EQ(total.predict.latency_us.sum, 60u);
+  EXPECT_EQ(total.healthz.requests, 1u);
+  EXPECT_EQ(total.rows_scored, 12u);
+  EXPECT_EQ(total.connections_total, 2u);
+  EXPECT_EQ(total.rejected_total, 1u);
+}
+
+// Validates one Prometheus text-format body: every line is a comment or a
+// `name[{labels}] value` sample with a parseable value and well-formed
+// label pairs. Returns the sample names seen.
+std::vector<std::string> ValidateExposition(const std::string& body) {
+  static const std::regex kSample(
+      R"(^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$)");
+  static const std::regex kComment(R"(^# (HELP|TYPE) [a-zA-Z_:].*$)");
+  std::vector<std::string> names;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, kComment)) << "bad comment: " << line;
+      continue;
+    }
+    std::smatch match;
+    EXPECT_TRUE(std::regex_match(line, match, kSample))
+        << "bad sample line: " << line;
+    if (!match.empty()) names.push_back(match[1].str());
+  }
+  EXPECT_FALSE(names.empty()) << "exposition had no samples";
+  return names;
+}
+
+// Pulls `name{...} value` samples matching a name from the body.
+uint64_t SumSamples(const std::string& body, const std::string& name) {
+  uint64_t total = 0;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name, 0) != 0) continue;
+    const char next = line.size() > name.size() ? line[name.size()] : '\0';
+    if (next != ' ' && next != '{') continue;
+    const size_t space = line.rfind(' ');
+    long long value = 0;
+    if (ParseInt64(std::string_view(line).substr(space + 1), &value)) {
+      total += static_cast<uint64_t>(value);
+    }
+  }
+  return total;
+}
+
+TEST(MetricsExpositionTest, FleetRenderIsValidAndConsistent) {
+  GeneralModelParams params;
+  params.target_fraction = 0.05;
+  TrainTestPair data = MakeGeneralPair(params, 4000, 100, 11);
+  const CategoryId target = data.train.schema().class_attr().FindCategory("C");
+  auto model = PnruleLearner().Train(data.train, target);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  ModelRegistry registry;
+  registry.Install("m", data.train.schema(), std::move(model).value());
+  ServerConfig config;
+  config.port = 0;
+  config.num_shards = 2;
+  PredictionServer server(config, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connect = HttpClient::Connect(server.port());
+  ASSERT_TRUE(connect.ok());
+  HttpClient client = std::move(connect).value();
+  for (int i = 0; i < 3; ++i) {
+    auto health = client.Roundtrip("GET", "/healthz");
+    ASSERT_TRUE(health.ok());
+    ASSERT_EQ(health->status, 200);
+  }
+  auto response = client.Roundtrip("GET", "/metrics");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  const std::string& body = response->body;
+
+  const std::vector<std::string> names = ValidateExposition(body);
+  // Aggregate series under the established names, plus per-shard series for
+  // every shard in the fleet.
+  for (const char* required :
+       {"pnr_requests_total", "pnr_request_latency_us",
+        "pnr_rows_scored_total", "pnr_connections_total",
+        "pnr_serve_shard_requests_total", "pnr_serve_shard_latency_us_count",
+        "pnr_serve_shard_connections_total"}) {
+    EXPECT_NE(body.find(required), std::string::npos) << required;
+  }
+  EXPECT_NE(body.find("pnr_serve_shard_requests_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("pnr_serve_shard_requests_total{shard=\"1\"}"),
+            std::string::npos);
+  // p999 appears explicitly for latency summaries.
+  EXPECT_NE(body.find("quantile=\"0.999\""), std::string::npos);
+
+  // The aggregate is rendered by merging the same per-shard snapshots the
+  // shard series come from, so the two views must agree exactly.
+  const uint64_t aggregate = SumSamples(body, "pnr_requests_total");
+  const uint64_t sharded = SumSamples(body, "pnr_serve_shard_requests_total");
+  EXPECT_EQ(aggregate, sharded);
+  EXPECT_GE(aggregate, 3u);
+
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace pnr

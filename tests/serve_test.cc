@@ -1,7 +1,9 @@
-// Loopback integration tests for the prediction server: bit-identical
-// scores vs offline ScoreBatch under heavy client concurrency, the
-// malformed-request 4xx paths, deterministic 503 under batcher saturation,
-// and graceful drain. Runs under TSan via the `sanitize` ctest label.
+// Loopback integration tests for the sharded prediction server:
+// bit-identical scores vs offline ScoreBatch for 1/2/8 reactor shards,
+// pipelined keep-alive ordering, deterministic 503 under batcher
+// saturation, hot-swap under load (no torn snapshot), and graceful drain
+// of in-flight pipelined requests. Runs under TSan via the `sanitize`
+// ctest label.
 
 #include "serve/server.h"
 
@@ -74,6 +76,14 @@ std::string PredictBody(const Dataset& data, RowId begin, RowId end) {
   return body;
 }
 
+std::string PredictRequestFrame(const Dataset& data, RowId begin, RowId end) {
+  const std::string body = PredictBody(data, begin, end);
+  std::string out = "POST /v1/predict HTTP/1.1\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
 struct ParsedPrediction {
   std::vector<double> scores;
   std::vector<int> predicted;
@@ -104,17 +114,16 @@ ParsedPrediction ParsePrediction(const std::string& body) {
 
 // The acceptance gate: `clients` concurrent connections, each scoring its
 // share of the test set in several keep-alive requests, must receive
-// byte-for-byte the scores offline ScoreBatch computes — for any server
-// thread count and batcher setting.
-void RunBitIdentityTest(size_t server_threads, bool batching,
-                        size_t clients) {
+// byte-for-byte the scores offline ScoreBatch computes — for any shard
+// count and batcher setting.
+void RunBitIdentityTest(size_t num_shards, bool batching, size_t clients) {
   const Served& served = GetServed();
   const Dataset& test = served.data.test;
   std::unique_ptr<ModelRegistry> registry(MakeRegistry());
 
   ServerConfig config;
   config.port = 0;
-  config.num_threads = server_threads;
+  config.num_shards = num_shards;
   config.batcher.enabled = batching;
   PredictionServer server(config, registry.get());
   ASSERT_TRUE(server.Start().ok());
@@ -170,41 +179,81 @@ void RunBitIdentityTest(size_t server_threads, bool batching,
   served.model.ScoreBatch(test, rows.data(), rows.size(), expected.data());
   for (size_t i = 0; i < total_rows; ++i) {
     ASSERT_EQ(got_scores[i], expected[i])
-        << "row " << i << " (threads=" << server_threads
+        << "row " << i << " (shards=" << num_shards
         << " batching=" << batching << ")";
     ASSERT_EQ(got_predicted[i],
               expected[i] > served.model.threshold() ? 1 : 0)
         << "row " << i;
   }
-  EXPECT_GE(server.metrics().rows_scored.load(), total_rows);
+  EXPECT_GE(server.Totals().rows_scored, total_rows);
   server.Shutdown();
 }
 
-TEST(ServeTest, BitIdentical32ClientsOneThread) {
-  RunBitIdentityTest(/*server_threads=*/1, /*batching=*/true,
-                     /*clients=*/32);
+TEST(ServeTest, BitIdentical32ClientsOneShard) {
+  RunBitIdentityTest(/*num_shards=*/1, /*batching=*/true, /*clients=*/32);
 }
 
-TEST(ServeTest, BitIdentical32ClientsTwoThreads) {
-  RunBitIdentityTest(/*server_threads=*/2, /*batching=*/true,
-                     /*clients=*/32);
+TEST(ServeTest, BitIdentical32ClientsTwoShards) {
+  RunBitIdentityTest(/*num_shards=*/2, /*batching=*/true, /*clients=*/32);
 }
 
-TEST(ServeTest, BitIdentical32ClientsEightThreads) {
-  RunBitIdentityTest(/*server_threads=*/8, /*batching=*/true,
-                     /*clients=*/32);
+TEST(ServeTest, BitIdentical32ClientsEightShards) {
+  RunBitIdentityTest(/*num_shards=*/8, /*batching=*/true, /*clients=*/32);
 }
 
 TEST(ServeTest, BitIdenticalWithBatchingDisabled) {
-  RunBitIdentityTest(/*server_threads=*/4, /*batching=*/false,
-                     /*clients=*/32);
+  RunBitIdentityTest(/*num_shards=*/4, /*batching=*/false, /*clients=*/32);
+}
+
+// Pipelined keep-alive: many requests written before any response is read
+// must come back complete, valid, and in request order.
+TEST(ServeTest, PipelinedRequestsAnswerInOrder) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_shards = 1;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kRequests = 8;
+  constexpr size_t kRowsEach = 3;
+  std::string burst;
+  for (size_t r = 0; r < kRequests; ++r) {
+    const RowId begin = static_cast<RowId>(r * kRowsEach);
+    burst += PredictRequestFrame(test, begin,
+                                 begin + static_cast<RowId>(kRowsEach));
+  }
+  HttpClient client = MustConnect(server.port());
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+
+  std::vector<double> expected(kRequests * kRowsEach);
+  std::vector<RowId> rows(kRequests * kRowsEach);
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  served.model.ScoreBatch(test, rows.data(), rows.size(), expected.data());
+
+  // Responses must arrive in request order: the i-th response carries the
+  // i-th request's rows, which the distinct expected scores prove.
+  for (size_t r = 0; r < kRequests; ++r) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200) << "response " << r;
+    const ParsedPrediction parsed = ParsePrediction(response->body);
+    ASSERT_EQ(parsed.scores.size(), kRowsEach);
+    for (size_t i = 0; i < kRowsEach; ++i) {
+      EXPECT_EQ(parsed.scores[i], expected[r * kRowsEach + i])
+          << "response " << r << " row " << i;
+    }
+  }
+  server.Shutdown();
 }
 
 TEST(ServeTest, MalformedRequestsAnswer4xx) {
   std::unique_ptr<ModelRegistry> registry(MakeRegistry());
   ServerConfig config;
   config.port = 0;
-  config.num_threads = 2;
+  config.num_shards = 2;
   config.max_body_bytes = 4096;
   PredictionServer server(config, registry.get());
   ASSERT_TRUE(server.Start().ok());
@@ -260,7 +309,7 @@ TEST(ServeTest, MalformedRequestsAnswer4xx) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status, 400);
 
-  EXPECT_GE(server.metrics().endpoint_predict().errors_4xx.load(), 4u);
+  EXPECT_GE(server.Totals().predict.errors_4xx, 4u);
   server.Shutdown();
 }
 
@@ -271,7 +320,7 @@ TEST(ServeTest, JsonHardeningAnswers400) {
   std::unique_ptr<ModelRegistry> registry(MakeRegistry());
   ServerConfig config;
   config.port = 0;
-  config.num_threads = 2;
+  config.num_shards = 2;
   PredictionServer server(config, registry.get());
   ASSERT_TRUE(server.Start().ok());
   HttpClient client = MustConnect(server.port());
@@ -305,7 +354,7 @@ TEST(ServeTest, UtilityEndpoints) {
   std::unique_ptr<ModelRegistry> registry(MakeRegistry());
   ServerConfig config;
   config.port = 0;
-  config.num_threads = 2;
+  config.num_shards = 2;
   PredictionServer server(config, registry.get());
   ASSERT_TRUE(server.Start().ok());
 
@@ -338,64 +387,163 @@ TEST(ServeTest, UtilityEndpoints) {
   EXPECT_NE(response->body.find("pnr_requests_total"), std::string::npos);
   EXPECT_NE(response->body.find("pnr_rows_scored_total 4"),
             std::string::npos);
+  // The fleet exposition carries one series group per shard.
+  EXPECT_NE(response->body.find(
+                "pnr_serve_shard_requests_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(response->body.find(
+                "pnr_serve_shard_requests_total{shard=\"1\"}"),
+            std::string::npos);
   server.Shutdown();
 }
 
-TEST(ServeTest, SaturationAnswers503AndDrainCompletesInFlight) {
+// Backpressure is deterministic in the reactor: a request whose rows can
+// never fit the admission bound answers 503 immediately, and the keep-alive
+// connection stays usable for the next (admissible) request.
+TEST(ServeTest, QueueOverflowAnswers503AndConnectionSurvives) {
   const Served& served = GetServed();
   std::unique_ptr<ModelRegistry> registry(MakeRegistry());
 
-  // A batcher that admits at most 4 queued rows and holds open batches for
-  // a long delay: the first request parks its rows, the second then
-  // overflows admission deterministically.
   ServerConfig config;
   config.port = 0;
-  config.num_threads = 2;
-  config.request_deadline_ms = 30000;
+  config.num_shards = 1;
   config.batcher.max_batch_rows = 1024;
-  config.batcher.max_delay_us = 20'000'000;
   config.batcher.max_queue_rows = 4;
   PredictionServer server(config, registry.get());
   ASSERT_TRUE(server.Start().ok());
 
-  std::thread parked([&] {
-    HttpClient client = MustConnect(server.port());
-    auto response = client.Roundtrip(
-        "POST", "/v1/predict", PredictBody(served.data.test, 0, 4),
-        /*timeout_ms=*/30000);
-    // The drain below flushes the batch: the parked request must get its
-    // real (bit-identical) scores, not an error.
-    ASSERT_TRUE(response.ok()) << response.status().ToString();
-    ASSERT_EQ(response->status, 200);
-    const ParsedPrediction parsed = ParsePrediction(response->body);
-    ASSERT_EQ(parsed.scores.size(), 4u);
-    std::vector<RowId> rows = {0, 1, 2, 3};
-    std::vector<double> expected(4);
-    served.model.ScoreBatch(served.data.test, rows.data(), 4,
-                            expected.data());
-    for (size_t i = 0; i < 4; ++i) {
-      EXPECT_EQ(parsed.scores[i], expected[i]) << "row " << i;
-    }
-  });
-
-  // Wait until the 4 rows are parked in the open batch.
-  while (server.metrics().queue_rows.load() < 4) {
-    std::this_thread::yield();
-  }
-
   HttpClient client = MustConnect(server.port());
   auto response = client.Roundtrip("POST", "/v1/predict",
-                                    PredictBody(served.data.test, 4, 5));
+                                    PredictBody(served.data.test, 0, 5));
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status, 503);
   EXPECT_EQ(response->Header("Retry-After"), "1");
-  EXPECT_GE(server.metrics().rejected_total.load(), 1u);
+  EXPECT_GE(server.Totals().rejected_total, 1u);
 
-  // Graceful drain: flushes the parked batch, completes the in-flight
-  // request, then joins every thread.
+  // Within the bound the same connection scores normally — the 503 did not
+  // poison it.
+  response = client.Roundtrip("POST", "/v1/predict",
+                               PredictBody(served.data.test, 0, 4));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  const ParsedPrediction parsed = ParsePrediction(response->body);
+  ASSERT_EQ(parsed.scores.size(), 4u);
+  std::vector<RowId> rows = {0, 1, 2, 3};
+  std::vector<double> expected(4);
+  served.model.ScoreBatch(served.data.test, rows.data(), 4, expected.data());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(parsed.scores[i], expected[i]) << "row " << i;
+  }
   server.Shutdown();
-  parked.join();
+}
+
+// Graceful drain completes pipelined requests already on the wire: both
+// responses arrive (marked Connection: close), then the socket closes.
+TEST(ServeTest, DrainCompletesInFlightPipelinedRequests) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_shards = 1;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client = MustConnect(server.port());
+  std::string burst = PredictRequestFrame(test, 0, 4);
+  burst += PredictRequestFrame(test, 4, 8);
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+
+  // Shutdown blocks until the shard drained — the responses must already
+  // sit in the socket buffer when it returns.
+  server.Shutdown();
   EXPECT_FALSE(server.running());
+
+  std::vector<RowId> rows(8);
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<double> expected(8);
+  served.model.ScoreBatch(test, rows.data(), 8, expected.data());
+  for (size_t r = 0; r < 2; ++r) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200) << "response " << r;
+    const ParsedPrediction parsed = ParsePrediction(response->body);
+    ASSERT_EQ(parsed.scores.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(parsed.scores[i], expected[r * 4 + i])
+          << "response " << r << " row " << i;
+    }
+  }
+}
+
+// Hot-swapping a model while clients hammer it must never serve a torn
+// snapshot: every response is a 200 whose score matches one of the two
+// installed versions exactly. (TSan guards the memory-order claims.)
+TEST(ServeTest, HotSwapUnderLoadNeverServesTornSnapshot) {
+  const Served& served = GetServed();
+  const Dataset& test = served.data.test;
+
+  // A second, deliberately different model trained on a different seed.
+  GeneralModelParams params;
+  params.target_fraction = 0.05;
+  TrainTestPair other_data = MakeGeneralPair(params, 4000, 10, 23);
+  const CategoryId target =
+      other_data.train.schema().class_attr().FindCategory("C");
+  auto other = PnruleLearner().Train(other_data.train, target);
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+
+  std::unique_ptr<ModelRegistry> registry(MakeRegistry());
+  ServerConfig config;
+  config.port = 0;
+  config.num_shards = 2;
+  PredictionServer server(config, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Expected scores for row 0 under both versions. The schemas are
+  // identical by construction (same generator), so either model scores the
+  // request.
+  std::vector<RowId> row0 = {0};
+  double score_a = 0.0;
+  double score_b = 0.0;
+  served.model.ScoreBatch(test, row0.data(), 1, &score_a);
+  other->ScoreBatch(test, row0.data(), 1, &score_b);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread hammer([&] {
+    auto connect = HttpClient::Connect(server.port());
+    if (!connect.ok()) {
+      bad.fetch_add(1);
+      return;
+    }
+    HttpClient client = std::move(connect).value();
+    const std::string body = PredictBody(test, 0, 1);
+    while (!stop.load()) {
+      auto response = client.Roundtrip("POST", "/v1/predict", body);
+      if (!response.ok() || response->status != 200) {
+        bad.fetch_add(1);
+        return;
+      }
+      const ParsedPrediction parsed = ParsePrediction(response->body);
+      if (parsed.scores.size() != 1 ||
+          (parsed.scores[0] != score_a && parsed.scores[0] != score_b)) {
+        bad.fetch_add(1);
+        return;
+      }
+    }
+  });
+
+  for (int swap = 0; swap < 50; ++swap) {
+    if (swap % 2 == 0) {
+      registry->Install("m", other_data.train.schema(), *other);
+    } else {
+      registry->Install("m", served.data.train.schema(), served.model);
+    }
+  }
+  stop.store(true);
+  hammer.join();
+  EXPECT_EQ(bad.load(), 0);
+  server.Shutdown();
 }
 
 TEST(ServeTest, ShutdownIsIdempotentAndRefusesNewConnections) {
@@ -408,7 +556,13 @@ TEST(ServeTest, ShutdownIsIdempotentAndRefusesNewConnections) {
   server.Shutdown();
   server.Shutdown();  // second call is a no-op
   auto client = HttpClient::Connect(port);
-  EXPECT_FALSE(client.ok());
+  if (client.ok()) {
+    // The kernel may still complete the TCP handshake against a closed
+    // listener's backlog; a request must then fail or get an empty close.
+    HttpClient c = std::move(client).value();
+    auto response = c.Roundtrip("GET", "/healthz");
+    EXPECT_FALSE(response.ok());
+  }
 }
 
 }  // namespace

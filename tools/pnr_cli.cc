@@ -10,8 +10,9 @@
 //   pnr predict --data new.csv --target fraud --model model.txt
 //               [--class-column label]   (prints one score per row)
 //   pnr serve   --models name=model.txt[,name2=other.txt] [--port 8080]
-//               [--threads 4] [--max-batch 1024] [--max-delay-us 2000]
-//               [--no-batching]
+//               [--shards 0] [--max-batch 1024] [--no-batching]
+//   pnr probe   --port 8080 --row "attr=value,..." [--model name]
+//               [--schema model.txt.schema --binary]
 //   pnr tune    (--data train.csv | --synth kdd) --target fraud
 //               [--config grid.cfg] [--folds 5] [--budget N]
 //               [--metric recall|precision|f] [--z 2.0] [--keep 0.5]
@@ -20,13 +21,20 @@
 // `--target` is the class value treated as positive. Training prints the
 // learned rules; eval prints recall / precision / F and ranking areas.
 // `serve` loads each model with its `<model>.schema` sidecar (written by
-// train) and answers POST /v1/predict until SIGTERM/SIGINT, then drains
-// in-flight requests before exiting (see docs/API.md). `tune` races a
+// train) and answers POST /v1/predict (plus the binary protocol on the
+// same port) across `--shards` reactor shards until SIGTERM/SIGINT, then
+// drains in-flight requests before exiting (see docs/API.md). `probe`
+// sends one predict request — JSON by default, the compact binary frame
+// with --binary — and prints the score. `tune` races a
 // hyperparameter grid over stratified CV with successive-halving /
 // confidence-bound elimination and writes EXPERIMENTS.md + BENCH_tune.json
 // artifacts to --out (byte-identical for any --threads; see DESIGN.md §12).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -44,6 +52,9 @@
 #include "eval/metrics.h"
 #include "pnrule/model_io.h"
 #include "pnrule/pnrule.h"
+#include "serve/binary.h"
+#include "serve/http.h"
+#include "serve/json.h"
 #include "serve/server.h"
 #include "synth/kdd_sim.h"
 #include "tune/report.h"
@@ -57,6 +68,7 @@ struct Args {
   std::map<std::string, std::string> options;
   bool p1 = false;
   bool no_batching = false;
+  bool binary = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -68,6 +80,8 @@ Args ParseArgs(int argc, char** argv) {
       args.p1 = true;
     } else if (arg == "--no-batching") {
       args.no_batching = true;
+    } else if (arg == "--binary") {
+      args.binary = true;
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[arg.substr(2)] = argv[++i];
     } else {
@@ -85,9 +99,11 @@ int Usage() {
                "[--p1] [--threshold <f>]\n"
                "           [--threads <n>] [--class-column <name>]\n"
                "       pnr serve --models <name=model.txt,...> "
-               "[--port <p>] [--threads <n>]\n"
-               "           [--max-batch <rows>] [--max-delay-us <us>] "
-               "[--no-batching]\n"
+               "[--port <p>] [--shards <n>]\n"
+               "           [--max-batch <rows>] [--no-batching]\n"
+               "       pnr probe --port <p> --row <attr=value,...> "
+               "[--model <name>]\n"
+               "           [--schema <file> --binary]\n"
                "       pnr tune (--data <csv> | --synth kdd) --target "
                "<class> [--config <file>]\n"
                "           [--folds <k>] [--budget <evals>] [--metric "
@@ -469,12 +485,11 @@ int Serve(const Args& args) {
 
   ServerConfig config;
   config.port = static_cast<uint16_t>(OptionOr(args, "port", 8080.0));
-  config.num_threads = static_cast<size_t>(OptionOr(args, "threads", 4.0));
+  // 0 = one shard per hardware thread.
+  config.num_shards = static_cast<size_t>(OptionOr(args, "shards", 0.0));
   config.batcher.enabled = !args.no_batching;
   config.batcher.max_batch_rows =
       static_cast<size_t>(OptionOr(args, "max-batch", 1024.0));
-  config.batcher.max_delay_us =
-      static_cast<uint64_t>(OptionOr(args, "max-delay-us", 2000.0));
 
   PredictionServer server(config, &registry);
   const Status started = server.Start();
@@ -482,9 +497,9 @@ int Serve(const Args& args) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("serving %zu model(s) on 127.0.0.1:%u (%zu threads, "
+  std::printf("serving %zu model(s) on 127.0.0.1:%u (%zu shards, "
               "batching %s)\n",
-              registry.size(), server.port(), config.num_threads,
+              registry.size(), server.port(), server.num_shards(),
               config.batcher.enabled ? "on" : "off");
   std::fflush(stdout);
 
@@ -507,8 +522,143 @@ int Serve(const Args& args) {
   g_signal_pipe = nullptr;
   std::printf("drained; %llu requests served\n",
               static_cast<unsigned long long>(
-                  server.metrics().endpoint_predict().requests.load()));
+                  server.Totals().predict.requests));
   return 0;
+}
+
+// One predict request against a running server: JSON by default, the
+// compact binary frame with --binary (which needs the schema sidecar to
+// lay out columns). The smoke test drives both protocols through this.
+int Probe(const Args& args) {
+  const uint16_t port = static_cast<uint16_t>(OptionOr(args, "port", 8080.0));
+  const auto row_it = args.options.find("row");
+  if (row_it == args.options.end()) {
+    std::fprintf(stderr, "--row is required, e.g. --row \"x=0.5,color=red\"\n");
+    return 2;
+  }
+  std::vector<std::pair<std::string, std::string>> cells;
+  for (const std::string& part : SplitString(row_it->second, ',')) {
+    if (part.empty()) continue;
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "--row entry '%s' is not attr=value\n",
+                   part.c_str());
+      return 2;
+    }
+    cells.emplace_back(part.substr(0, eq), part.substr(eq + 1));
+  }
+  const auto model_it = args.options.find("model");
+  const std::string model =
+      model_it == args.options.end() ? "" : model_it->second;
+
+  if (args.options.count("binary") != 0 || args.binary) {
+    const auto schema_it = args.options.find("schema");
+    if (schema_it == args.options.end()) {
+      std::fprintf(stderr, "--binary needs --schema <model>.schema\n");
+      return 2;
+    }
+    auto schema = LoadSchema(schema_it->second);
+    if (!schema.ok()) {
+      std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+      return 1;
+    }
+    std::string payload;
+    const Status encoded = EncodeBinaryRowFromText(*schema, cells, &payload);
+    if (!encoded.ok()) {
+      std::fprintf(stderr, "%s\n", encoded.ToString().c_str());
+      return 1;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::perror("socket");
+      return 1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      std::perror("connect");
+      ::close(fd);
+      return 1;
+    }
+    const std::string frame = EncodeBinaryRequest(model, payload);
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, 0);
+      if (n <= 0) {
+        std::perror("send");
+        ::close(fd);
+        return 1;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    std::string data;
+    char buf[4096];
+    BinaryResponse response;
+    size_t consumed = 0;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        std::perror("recv");
+        ::close(fd);
+        return 1;
+      }
+      if (n == 0) {
+        std::fprintf(stderr, "connection closed mid-response\n");
+        ::close(fd);
+        return 1;
+      }
+      data.append(buf, static_cast<size_t>(n));
+      const Status parsed = ParseBinaryResponse(data, &response, &consumed);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+        ::close(fd);
+        return 1;
+      }
+      if (consumed > 0) break;
+    }
+    ::close(fd);
+    if (response.status != BinaryStatus::kOk) {
+      std::fprintf(stderr, "binary status %d: %s\n",
+                   static_cast<int>(response.status),
+                   response.error.c_str());
+      return 1;
+    }
+    std::printf("binary ok: score %.17g predicted %d\n", response.scores[0],
+                static_cast<int>(response.predicted[0]));
+    return 0;
+  }
+
+  // JSON path: every value travels as a string — the server re-parses
+  // numerics through ParseDouble, so typed encoding is unnecessary here.
+  std::string body = "{";
+  if (!model.empty()) {
+    body += "\"model\":";
+    AppendJsonString(&body, model);
+    body += ',';
+  }
+  body += "\"rows\":[{";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) body += ',';
+    AppendJsonString(&body, cells[i].first);
+    body += ':';
+    AppendJsonString(&body, cells[i].second);
+  }
+  body += "}]}";
+  auto connect = HttpClient::Connect(port);
+  if (!connect.ok()) {
+    std::fprintf(stderr, "%s\n", connect.status().ToString().c_str());
+    return 1;
+  }
+  HttpClient client = std::move(connect).value();
+  auto response = client.Roundtrip("POST", "/v1/predict", body);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("HTTP %d %s\n", response->status, response->body.c_str());
+  return response->status == 200 ? 0 : 1;
 }
 
 }  // namespace
@@ -519,6 +669,7 @@ int main(int argc, char** argv) {
   if (args.command == "eval") return Eval(args);
   if (args.command == "predict") return Predict(args);
   if (args.command == "serve") return Serve(args);
+  if (args.command == "probe") return Probe(args);
   if (args.command == "tune") return Tune(args);
   return Usage();
 }

@@ -33,6 +33,7 @@ for san in "${sanitizers[@]}"; do
         thread_pool_test sorted_column_cache_test \
         condition_search_oracle_test parallel_determinism_test \
         batch_score_test ingest_test serve_test \
+        serve_binary_test serve_metrics_test \
         fault_injection_test serve_fault_test fuzz_replay \
         stratified_cv_test tune_test pnr_cli
   if [ ${#label_args[@]} -eq 0 ]; then

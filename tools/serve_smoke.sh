@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke: trains a tiny model with the CLI, starts
-# `pnr serve`, exercises every endpoint over real HTTP, and checks that
-# SIGTERM drains gracefully. Run by the CI serving job; needs only bash,
-# awk, and curl.
+# `pnr serve --shards 4`, exercises every endpoint over real HTTP, sends
+# one binary-protocol request through `pnr probe --binary`, and checks
+# that SIGTERM drains gracefully. Run by the CI serving job; needs only
+# bash, awk, and curl.
 #
 # Usage: tools/serve_smoke.sh [build-dir]   (default: build)
 
@@ -37,8 +38,8 @@ grep -q "schema sidecar" "$workdir/train.log"
 [ -f "$workdir/m.txt.schema" ] || { echo "no schema sidecar" >&2; exit 1; }
 
 port=18437
-echo "== serve (port $port) =="
-"$pnr" serve --models m="$workdir/m.txt" --port "$port" --threads 2 \
+echo "== serve (port $port, 4 shards) =="
+"$pnr" serve --models m="$workdir/m.txt" --port "$port" --shards 4 \
        > "$workdir/serve.log" &
 server_pid=$!
 
@@ -66,7 +67,20 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d 'not json' \
 code="$(curl -s -o /dev/null -w '%{http_code}' "$base/nope")"
 [ "$code" = 404 ] || { echo "expected 404, got $code" >&2; exit 1; }
 
-curl -sf "$base/metrics" | grep -q 'pnr_rows_scored_total 2'
+metrics="$(curl -sf "$base/metrics")"
+echo "$metrics" | grep -q 'pnr_rows_scored_total 2'
+echo "$metrics" | grep -q 'pnr_serve_shard_requests_total{shard="0"}'
+echo "$metrics" | grep -q 'pnr_serve_shard_requests_total{shard="3"}'
+
+echo "== binary protocol probe =="
+probe_out="$("$pnr" probe --port "$port" --model m \
+             --row "x=0.95,y=0.1" \
+             --schema "$workdir/m.txt.schema" --binary)"
+echo "probe: $probe_out"
+echo "$probe_out" | grep -q 'binary ok'
+echo "$probe_out" | grep -q 'predicted 1'
+metrics="$(curl -sf "$base/metrics")"
+echo "$metrics" | grep -q 'pnr_rows_scored_total 3'
 
 echo "== graceful drain =="
 kill -TERM "$server_pid"
