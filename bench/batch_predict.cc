@@ -29,6 +29,7 @@
 #include "c45/tree_classifier.h"
 #include "common/thread_pool.h"
 #include "eval/classifier.h"
+#include "pnrule/multiclass.h"
 #include "pnrule/pnrule.h"
 #include "ripper/ripper.h"
 #include "synth/kdd_sim.h"
@@ -139,6 +140,76 @@ void BM_C45TreeCompiled(benchmark::State& state) {
 BENCHMARK(BM_C45TreeCompiled)->Arg(1)->Arg(2)->Arg(8)->Unit(
     benchmark::kMillisecond);
 
+// One-vs-rest committee shared by the multiclass benchmarks. `zero_weight`
+// gives the majority class weight 0, which ClassifyBatch answers by
+// skipping that class's whole ScoreBatch pass.
+const MultiClassPnruleClassifier& SharedMultiClass(bool zero_weight) {
+  auto train = [](bool zeroed) {
+    MultiClassPnruleLearner learner;
+    if (zeroed) {
+      const Schema& schema = SharedKdd().schema();
+      std::vector<double> weights(schema.num_classes(), 1.0);
+      const CategoryId normal = schema.class_attr().FindCategory("normal");
+      weights[static_cast<size_t>(normal)] = 0.0;
+      learner.set_class_weights(std::move(weights));
+    }
+    auto trained = learner.Train(SharedKdd());
+    if (!trained.ok()) {
+      std::fprintf(stderr, "multiclass training failed: %s\n",
+                   trained.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(trained).value();
+  };
+  static const auto all = train(false);
+  static const auto zeroed = train(true);
+  return zero_weight ? zeroed : all;
+}
+
+void BM_MultiClassPerRow(benchmark::State& state) {
+  const Dataset& data = SharedKdd();
+  const MultiClassPnruleClassifier& model = SharedMultiClass(false);
+  for (auto _ : state) {
+    size_t agree = 0;
+    for (RowId row = 0; row < data.num_rows(); ++row) {
+      if (model.Classify(data, row) == data.label(row)) ++agree;
+    }
+    benchmark::DoNotOptimize(agree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_MultiClassPerRow)->Unit(benchmark::kMillisecond);
+
+void MultiClassBatchBody(benchmark::State& state, bool zero_weight) {
+  const Dataset& data = SharedKdd();
+  const MultiClassPnruleClassifier& model = SharedMultiClass(zero_weight);
+  std::vector<RowId> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<CategoryId> predicted(rows.size());
+  BatchScoreOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    model.ClassifyBatch(data, rows.data(), rows.size(), predicted.data(),
+                        options);
+    benchmark::DoNotOptimize(predicted.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.num_rows()));
+}
+
+void BM_MultiClassCompiledBatch(benchmark::State& state) {
+  MultiClassBatchBody(state, /*zero_weight=*/false);
+}
+BENCHMARK(BM_MultiClassCompiledBatch)->Arg(1)->Arg(2)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MultiClassCompiledBatchZeroWeight(benchmark::State& state) {
+  MultiClassBatchBody(state, /*zero_weight=*/true);
+}
+BENCHMARK(BM_MultiClassCompiledBatchZeroWeight)
+    ->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // Interpreted-vs-compiled comparison written as JSON (acceptance evidence).
 
@@ -242,6 +313,99 @@ ModelReport CompareModel(const std::string& name,
   return report;
 }
 
+struct MultiClassReport {
+  std::string json;
+  bool matches_per_row = false;
+  bool identical_across_threads = false;
+};
+
+// Per-row Classify against the batched ClassifyBatch path (which hoists its
+// score scratch into thread_locals and skips zero-weight classes outright).
+// Also times the committee with the majority class zero-weighted: the skip
+// drops that class's entire ScoreBatch pass, so the delta against the
+// all-weights committee is the pass it no longer pays for.
+MultiClassReport CompareMultiClass(int iterations) {
+  const Dataset& data = SharedKdd();
+  std::vector<RowId> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  const MultiClassPnruleClassifier& model = SharedMultiClass(false);
+  const MultiClassPnruleClassifier& zeroed = SharedMultiClass(true);
+
+  std::vector<CategoryId> per_row(rows.size());
+  const double per_row_ms = MillisPerCall(
+      [&] {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          per_row[i] = model.Classify(data, rows[i]);
+        }
+      },
+      iterations);
+
+  MultiClassReport report;
+  report.matches_per_row = true;
+  report.identical_across_threads = true;
+  report.json = "  \"multiclass\": {\n";
+  report.json += "    \"classes\": " +
+                 std::to_string(model.num_classes()) + ",\n";
+  report.json += "    \"per_row_ms_per_pass\": " + Fmt("%.4f", per_row_ms) +
+                 ",\n";
+  report.json += "    \"batched\": [\n";
+  std::vector<CategoryId> reference;
+  const size_t thread_counts[] = {1, 2, 8};
+  for (size_t t = 0; t < 3; ++t) {
+    BatchScoreOptions options;
+    options.num_threads = thread_counts[t];
+    std::vector<CategoryId> predicted(rows.size());
+    const double ms = MillisPerCall(
+        [&] {
+          model.ClassifyBatch(data, rows.data(), rows.size(),
+                              predicted.data(), options);
+        },
+        iterations);
+    const bool vs_per_row = predicted == per_row;
+    report.matches_per_row = report.matches_per_row && vs_per_row;
+    if (t == 0) {
+      reference = predicted;
+    } else {
+      report.identical_across_threads =
+          report.identical_across_threads && predicted == reference;
+    }
+    report.json += "      {\"threads\": " + std::to_string(thread_counts[t]) +
+                   ", \"ms_per_pass\": " + Fmt("%.4f", ms) +
+                   ", \"speedup_vs_per_row\": " +
+                   Fmt("%.2f", ms > 0.0 ? per_row_ms / ms : 0.0) +
+                   ", \"identical_to_per_row\": " +
+                   (vs_per_row ? "true" : "false") + "}";
+    report.json += t + 1 < 3 ? ",\n" : "\n";
+  }
+  report.json += "    ],\n";
+
+  // The zero-weight committee is a different model (its own predictions),
+  // so it is gated on batched-equals-per-row for itself, not on `model`.
+  std::vector<CategoryId> zero_per_row(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    zero_per_row[i] = zeroed.Classify(data, rows[i]);
+  }
+  std::vector<CategoryId> zero_batched(rows.size());
+  const double zero_ms = MillisPerCall(
+      [&] {
+        zeroed.ClassifyBatch(data, rows.data(), rows.size(),
+                             zero_batched.data(), BatchScoreOptions{});
+      },
+      iterations);
+  report.matches_per_row =
+      report.matches_per_row && zero_batched == zero_per_row;
+  report.json += "    \"majority_zero_weight_ms_per_pass\": " +
+                 Fmt("%.4f", zero_ms) + ",\n";
+  report.json +=
+      std::string("    \"identical_to_per_row\": ") +
+      (report.matches_per_row ? "true" : "false") + ",\n";
+  report.json +=
+      std::string("    \"identical_across_threads\": ") +
+      (report.identical_across_threads ? "true" : "false") + "\n";
+  report.json += "  },\n";
+  return report;
+}
+
 int WriteBatchPredictComparison(const char* path) {
   const int iterations = [] {
     const char* s = std::getenv("PNR_BENCH_COMPARE_ITERS");
@@ -283,6 +447,10 @@ int WriteBatchPredictComparison(const char* path) {
         all_deterministic && reports[i].identical_across_threads;
   }
   json += "  ],\n";
+  const MultiClassReport multiclass = CompareMultiClass(iterations);
+  json += multiclass.json;
+  all_exact = all_exact && multiclass.matches_per_row;
+  all_deterministic = all_deterministic && multiclass.identical_across_threads;
   json += "  \"min_single_thread_speedup\": " + Fmt("%.2f", min_speedup) +
           ",\n";
   json += std::string("  \"bitwise_equal_to_interpreted\": ") +

@@ -12,6 +12,7 @@
 #include "data/csv.h"
 #include "data/ingest.h"
 #include "data/schema_io.h"
+#include "data/shard_store.h"
 #include "pnrule/model_io.h"
 #include "serve/binary.h"
 #include "serve/http.h"
@@ -510,6 +511,54 @@ void FuzzTune(const uint8_t* data, size_t size) {
   }
 }
 
+void FuzzShard(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return;
+  std::string bytes(AsText(data, size));
+  auto reader = ShardStoreReader::OpenBuffer(bytes, "fuzz.pns");
+  // Open is deterministic: the same bytes reject with the same message.
+  auto again = ShardStoreReader::OpenBuffer(std::move(bytes), "fuzz.pns");
+  FUZZ_CHECK(reader.ok() == again.ok(),
+             "shard store Open verdict is not deterministic");
+  if (!reader.ok()) {
+    const std::string error = reader.status().ToString();
+    FUZZ_CHECK(error.find("shard_store") != std::string::npos,
+               "shard store rejection without a located message");
+    FUZZ_CHECK(error == again.status().ToString(),
+               "shard store rejection text is not deterministic");
+    return;
+  }
+  // Open only validates the directory; payload corruption (checksums,
+  // zonemaps, bit-packed codes) must surface as a located error here.
+  auto loaded = (*reader)->LoadDataset();
+  if (!loaded.ok()) {
+    FUZZ_CHECK(
+        loaded.status().ToString().find("shard_store") != std::string::npos,
+        "shard store decode rejection without a located message");
+    return;
+  }
+  // Accepted input must reach a serialization fixpoint at the same shard
+  // count: serialize(load(x)) reopens, reloads bitwise-equal, and
+  // reserializes byte-identical.
+  ShardStoreWriteOptions options;
+  options.num_shards = (*reader)->num_shards();
+  auto first = SerializeShardStore(*loaded, options);
+  FUZZ_CHECK(first.ok(), "loaded shard store does not reserialize");
+  auto reopened = ShardStoreReader::OpenBuffer(*first, "fixpoint.pns");
+  FUZZ_CHECK(reopened.ok(), "reserialized shard store does not reopen");
+  auto reloaded = (*reopened)->LoadDataset();
+  FUZZ_CHECK(reloaded.ok(), "reserialized shard store does not reload");
+  FUZZ_CHECK(DatasetsBitwiseEqual(*loaded, *reloaded),
+             "shard store reload changed the dataset");
+  auto second = SerializeShardStore(*reloaded, options);
+  FUZZ_CHECK(second.ok() && *second == *first,
+             "shard store serialize/load is not a fixpoint");
+  // The demand-paged view must decode the same cells as the in-RAM load.
+  auto paged = MakePagedDataset(*reopened, (*reopened)->column_bytes());
+  FUZZ_CHECK(paged.ok(), "reserialized shard store does not page");
+  FUZZ_CHECK(DatasetsBitwiseEqual(*loaded, *paged),
+             "paged view differs from the in-RAM load");
+}
+
 namespace {
 
 struct Target {
@@ -521,6 +570,7 @@ constexpr Target kTargets[] = {
     {"csv", FuzzCsv},       {"arff", FuzzArff}, {"model", FuzzModel},
     {"schema", FuzzSchema}, {"http", FuzzHttp}, {"json", FuzzJson},
     {"serve_binary", FuzzServeBinary},          {"tune", FuzzTune},
+    {"shard", FuzzShard},
 };
 
 }  // namespace
@@ -533,7 +583,7 @@ TargetFn FindTarget(std::string_view name) {
 }
 
 const char* TargetNames() {
-  return "csv arff model schema http json serve_binary tune";
+  return "csv arff model schema http json serve_binary tune shard";
 }
 
 }  // namespace fuzz

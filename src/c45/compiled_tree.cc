@@ -57,19 +57,26 @@ void CompiledTree::RouteBlock(const Dataset& dataset, const RowId* rows,
 
   // Hoist raw column pointers once per block; the per-row walk then reads
   // cells with plain indexing instead of an accessor call per tree level.
+  // On a demand-paged dataset the hoist would dangle — faulting one column
+  // in can evict an earlier-hoisted one — so the split loops refetch each
+  // node's column instead: one fault per segment, pointer taken right
+  // after it, and nothing else faults during that segment's pass.
+  const bool paged = dataset.paged();
   size_t max_attr = 0;
   for (const UsedAttr& u : used_attrs_) {
     max_attr = std::max(max_attr, static_cast<size_t>(u.attr));
   }
   std::vector<const double*> numeric_cols(max_attr + 1, nullptr);
   std::vector<const CategoryId*> categorical_cols(max_attr + 1, nullptr);
-  for (const UsedAttr& u : used_attrs_) {
-    if (u.is_numeric) {
-      numeric_cols[static_cast<size_t>(u.attr)] =
-          dataset.numeric_column(u.attr).data();
-    } else {
-      categorical_cols[static_cast<size_t>(u.attr)] =
-          dataset.categorical_column(u.attr).data();
+  if (!paged) {
+    for (const UsedAttr& u : used_attrs_) {
+      if (u.is_numeric) {
+        numeric_cols[static_cast<size_t>(u.attr)] =
+            dataset.numeric_column(u.attr).data();
+      } else {
+        categorical_cols[static_cast<size_t>(u.attr)] =
+            dataset.categorical_column(u.attr).data();
+      }
     }
   }
 
@@ -116,7 +123,9 @@ void CompiledTree::RouteBlock(const Dataset& dataset, const RowId* rows,
     }
 
     if (node.is_numeric) {
-      const double* col = numeric_cols[static_cast<size_t>(node.attr)];
+      const double* col =
+          paged ? dataset.numeric_column(node.attr).data()
+                : numeric_cols[static_cast<size_t>(node.attr)];
       const double threshold = node.threshold;
       uint32_t nl = 0;
       uint32_t nh = seg.len;
@@ -151,7 +160,9 @@ void CompiledTree::RouteBlock(const Dataset& dataset, const RowId* rows,
     // Categorical split: counting partition into one bucket per seen
     // category plus an overflow bucket (missing / unseen values), which
     // routes to the largest-child fallback.
-    const CategoryId* col = categorical_cols[static_cast<size_t>(node.attr)];
+    const CategoryId* col =
+        paged ? dataset.categorical_column(node.attr).data()
+              : categorical_cols[static_cast<size_t>(node.attr)];
     const uint32_t fanout = node.cat_count + 1;
     const auto bucket_of = [&](uint32_t s) -> uint32_t {
       const CategoryId c = col[rows[s]];

@@ -65,7 +65,8 @@ bool C45RulesClassifier::Predict(const Dataset& dataset, RowId row) const {
 void C45RulesClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
                                     size_t count, double* out,
                                     const BatchScoreOptions& options) const {
-  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+  ForEachRowBlock(count, ClampOptionsForDataset(dataset, options),
+                  [&](size_t begin, size_t end) {
     const size_t n = end - begin;
     // thread_local so consecutive blocks on a worker reuse the scratch
     // masks instead of reallocating them; scratch contents never affect
@@ -88,7 +89,8 @@ void C45RulesClassifier::PredictBatch(const Dataset& dataset,
                                       uint8_t* out,
                                       const BatchScoreOptions& options) const {
   const uint8_t default_positive = default_class_ == target_ ? 1 : 0;
-  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+  ForEachRowBlock(count, ClampOptionsForDataset(dataset, options),
+                  [&](size_t begin, size_t end) {
     const size_t n = end - begin;
     thread_local CompiledRuleSet::Scratch scratch;
     thread_local std::vector<int32_t> first;

@@ -402,7 +402,12 @@ StatusOr<DecisionTree> BuildC45Tree(const Dataset& dataset,
   }
   DecisionTree tree;
   tree.set_num_classes(dataset.schema().num_classes());
-  const size_t num_threads = ThreadPool::ResolveThreadCount(config.num_threads);
+  // Paged datasets drop to a serial build: the per-node attribute scans
+  // read columns without pinning them, which would race with fault-driven
+  // eviction. Serial and parallel builds are bit-identical regardless.
+  const size_t num_threads =
+      dataset.paged() ? 1
+                      : ThreadPool::ResolveThreadCount(config.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
   Builder builder{dataset, config, &tree, dataset.schema().num_classes(),

@@ -37,7 +37,8 @@ void C45TreeClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
                                    size_t count, double* out,
                                    const BatchScoreOptions& options) const {
   const CompiledTree compiled = CompiledTree::Compile(tree_, dataset.schema());
-  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+  ForEachRowBlock(count, ClampOptionsForDataset(dataset, options),
+                  [&](size_t begin, size_t end) {
     const size_t n = end - begin;
     std::vector<int32_t> leaves(n);
     compiled.RouteBlock(dataset, rows + begin, n, leaves.data());
@@ -53,7 +54,8 @@ void C45TreeClassifier::PredictBatch(const Dataset& dataset,
                                      uint8_t* out,
                                      const BatchScoreOptions& options) const {
   const CompiledTree compiled = CompiledTree::Compile(tree_, dataset.schema());
-  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+  ForEachRowBlock(count, ClampOptionsForDataset(dataset, options),
+                  [&](size_t begin, size_t end) {
     const size_t n = end - begin;
     std::vector<int32_t> leaves(n);
     compiled.RouteBlock(dataset, rows + begin, n, leaves.data());

@@ -108,6 +108,7 @@ size_t ThreadBudget::Reserve(size_t count) {
   std::lock_guard<std::mutex> lock(mutex_);
   const size_t granted = std::min(count, total_ - in_use_);
   in_use_ += granted;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
   return granted;
 }
 
@@ -116,12 +117,18 @@ ThreadBudget::Lease ThreadBudget::Acquire(size_t want) {
   const size_t extras =
       want > 1 ? std::min(want - 1, total_ - in_use_) : 0;
   in_use_ += extras;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
   return Lease(this, 1 + extras);
 }
 
 size_t ThreadBudget::in_use() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return in_use_;
+}
+
+size_t ThreadBudget::peak_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_in_use_;
 }
 
 void ThreadBudget::ReleaseExtras(size_t count) {

@@ -162,12 +162,18 @@ class ThreadBudget {
   /// Currently reserved + leased threads (test/diagnostic hook).
   size_t in_use() const;
 
+  /// High-water mark of in_use() over the budget's lifetime. Lets tests
+  /// assert a fan-out never exceeded its cap — the composition guarantee
+  /// the budget exists to provide.
+  size_t peak_in_use() const;
+
  private:
   void ReleaseExtras(size_t count);
 
   const size_t total_;
   mutable std::mutex mutex_;
   size_t in_use_ = 0;
+  size_t peak_in_use_ = 0;
 };
 
 }  // namespace pnr

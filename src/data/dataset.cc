@@ -1,6 +1,8 @@
 #include "data/dataset.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace pnr {
 
@@ -8,7 +10,35 @@ Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_attributes());
 }
 
+Dataset::Dataset(const Dataset& other)
+    : schema_(other.schema_),
+      columns_(other.columns_),
+      labels_(other.labels_),
+      weights_(other.weights_),
+      data_version_(other.data_version_),
+      weight_version_(other.weight_version_),
+      numeric_range_hints_(other.numeric_range_hints_) {
+  assert(other.pager_state_ == nullptr &&
+         "copying a paged dataset is unsupported; use ClonePagedView");
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  assert(other.pager_state_ == nullptr &&
+         "copying a paged dataset is unsupported; use ClonePagedView");
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  columns_ = other.columns_;
+  labels_ = other.labels_;
+  weights_ = other.weights_;
+  data_version_ = other.data_version_;
+  weight_version_ = other.weight_version_;
+  numeric_range_hints_ = other.numeric_range_hints_;
+  pager_state_.reset();
+  return *this;
+}
+
 RowId Dataset::AddRow() {
+  assert(!paged() && "cannot mutate rows of a paged dataset");
   const RowId row = static_cast<RowId>(num_rows());
   for (size_t i = 0; i < columns_.size(); ++i) {
     const Attribute& attr = schema_.attribute(static_cast<AttrIndex>(i));
@@ -26,6 +56,7 @@ RowId Dataset::AddRow() {
 }
 
 RowId Dataset::AppendRows(size_t n) {
+  assert(!paged() && "cannot mutate rows of a paged dataset");
   const RowId first = static_cast<RowId>(num_rows());
   const size_t total = num_rows() + n;
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -44,6 +75,7 @@ RowId Dataset::AppendRows(size_t n) {
 }
 
 void Dataset::Reserve(size_t n) {
+  assert(!paged() && "cannot mutate rows of a paged dataset");
   for (size_t i = 0; i < columns_.size(); ++i) {
     const Attribute& attr = schema_.attribute(static_cast<AttrIndex>(i));
     if (attr.is_numeric()) {
@@ -59,10 +91,12 @@ void Dataset::Reserve(size_t n) {
 double Dataset::numeric(RowId row, AttrIndex attr) const {
   assert(schema_.attribute(attr).is_numeric());
   assert(row < num_rows());
+  EnsureResident(attr);
   return columns_[static_cast<size_t>(attr)].numeric[row];
 }
 
 void Dataset::set_numeric(RowId row, AttrIndex attr, double value) {
+  assert(!paged() && "cannot mutate feature cells of a paged dataset");
   assert(schema_.attribute(attr).is_numeric());
   assert(row < num_rows());
   columns_[static_cast<size_t>(attr)].numeric[row] = value;
@@ -72,10 +106,12 @@ void Dataset::set_numeric(RowId row, AttrIndex attr, double value) {
 CategoryId Dataset::categorical(RowId row, AttrIndex attr) const {
   assert(schema_.attribute(attr).is_categorical());
   assert(row < num_rows());
+  EnsureResident(attr);
   return columns_[static_cast<size_t>(attr)].categorical[row];
 }
 
 void Dataset::set_categorical(RowId row, AttrIndex attr, CategoryId value) {
+  assert(!paged() && "cannot mutate feature cells of a paged dataset");
   assert(schema_.attribute(attr).is_categorical());
   assert(row < num_rows());
   columns_[static_cast<size_t>(attr)].categorical[row] = value;
@@ -84,22 +120,26 @@ void Dataset::set_categorical(RowId row, AttrIndex attr, CategoryId value) {
 
 const std::vector<double>& Dataset::numeric_column(AttrIndex attr) const {
   assert(schema_.attribute(attr).is_numeric());
+  EnsureResident(attr);
   return columns_[static_cast<size_t>(attr)].numeric;
 }
 
 const std::vector<CategoryId>& Dataset::categorical_column(
     AttrIndex attr) const {
   assert(schema_.attribute(attr).is_categorical());
+  EnsureResident(attr);
   return columns_[static_cast<size_t>(attr)].categorical;
 }
 
 double* Dataset::mutable_numeric_data(AttrIndex attr) {
+  assert(!paged() && "cannot mutate feature cells of a paged dataset");
   assert(schema_.attribute(attr).is_numeric());
   ++data_version_;
   return columns_[static_cast<size_t>(attr)].numeric.data();
 }
 
 CategoryId* Dataset::mutable_categorical_data(AttrIndex attr) {
+  assert(!paged() && "cannot mutate feature cells of a paged dataset");
   assert(schema_.attribute(attr).is_categorical());
   ++data_version_;
   return columns_[static_cast<size_t>(attr)].categorical.data();
@@ -120,6 +160,187 @@ void Dataset::ResetWeights() {
   weights_.assign(num_rows(), 1.0);
   ++weight_version_;
 }
+
+// -- Demand paging ----------------------------------------------------------
+
+void Dataset::AttachPager(std::shared_ptr<const ColumnPager> pager,
+                          size_t num_rows, size_t budget_bytes) {
+  assert(pager != nullptr);
+  assert(!paged() && "pager already attached");
+  assert(this->num_rows() == 0 && "AttachPager requires an empty dataset");
+  labels_.assign(num_rows, 0);
+  weights_.assign(num_rows, 1.0);
+  for (Column& column : columns_) {
+    std::vector<double>().swap(column.numeric);
+    std::vector<CategoryId>().swap(column.categorical);
+  }
+  auto state = std::make_unique<PagerState>();
+  state->pager = std::move(pager);
+  state->budget_bytes = budget_bytes;
+  const size_t n = columns_.size();
+  state->resident = std::make_unique<std::atomic<bool>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    state->resident[i].store(false, std::memory_order_relaxed);
+  }
+  state->pins.assign(n, 0);
+  state->last_use.assign(n, 0);
+  state->bytes.assign(n, 0);
+  pager_state_ = std::move(state);
+  ++data_version_;
+}
+
+Dataset Dataset::ClonePagedView() const {
+  assert(paged());
+  Dataset clone(schema_);
+  clone.AttachPager(pager_state_->pager, num_rows(),
+                    pager_state_->budget_bytes);
+  clone.labels_ = labels_;
+  clone.weights_ = weights_;
+  clone.numeric_range_hints_ = numeric_range_hints_;
+  return clone;
+}
+
+size_t Dataset::ColumnByteSize(AttrIndex attr) const {
+  const Column& column = columns_[static_cast<size_t>(attr)];
+  return column.numeric.size() * sizeof(double) +
+         column.categorical.size() * sizeof(CategoryId);
+}
+
+void Dataset::EnsureResident(AttrIndex attr) const {
+  PagerState* state = pager_state_.get();
+  if (state == nullptr) return;
+  if (state->resident[static_cast<size_t>(attr)].load(
+          std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state->mutex);
+  FaultColumnLocked(attr);
+}
+
+void Dataset::FaultColumnLocked(AttrIndex attr) const {
+  PagerState* state = pager_state_.get();
+  const size_t idx = static_cast<size_t>(attr);
+  if (state->resident[idx].load(std::memory_order_relaxed)) {
+    state->last_use[idx] = ++state->tick;
+    return;
+  }
+  Column& column = columns_[idx];
+  const Attribute& attribute = schema_.attribute(attr);
+  const Status status =
+      attribute.is_numeric()
+          ? state->pager->FillNumeric(attr, &column.numeric)
+          : state->pager->FillCategorical(attr, &column.categorical);
+  if (!status.ok()) {
+    // The backing store was fully validated when it was opened, so a fault
+    // failure means the file changed underneath us or the device failed —
+    // there is no caller to surface a Status to from a cell accessor.
+    std::fprintf(stderr, "pnr: fatal: column fault failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  const size_t filled = attribute.is_numeric() ? column.numeric.size()
+                                               : column.categorical.size();
+  assert(filled == num_rows() && "pager filled wrong row count");
+  (void)filled;
+  state->bytes[idx] = ColumnByteSize(attr);
+  state->resident_bytes += state->bytes[idx];
+  if (state->resident_bytes > state->peak_resident_bytes) {
+    state->peak_resident_bytes = state->resident_bytes;
+  }
+  ++state->fault_count;
+  state->last_use[idx] = ++state->tick;
+  state->resident[idx].store(true, std::memory_order_release);
+  EvictToBudgetLocked(attr);
+}
+
+void Dataset::EvictToBudgetLocked(AttrIndex exclude) const {
+  PagerState* state = pager_state_.get();
+  while (state->resident_bytes > state->budget_bytes) {
+    size_t victim = columns_.size();
+    uint64_t oldest = 0;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i == static_cast<size_t>(exclude)) continue;
+      if (!state->resident[i].load(std::memory_order_relaxed)) continue;
+      if (state->pins[i] > 0) continue;
+      if (victim == columns_.size() || state->last_use[i] < oldest) {
+        victim = i;
+        oldest = state->last_use[i];
+      }
+    }
+    if (victim == columns_.size()) return;  // everything left is pinned
+    state->resident[victim].store(false, std::memory_order_release);
+    Column& column = columns_[victim];
+    std::vector<double>().swap(column.numeric);
+    std::vector<CategoryId>().swap(column.categorical);
+    state->resident_bytes -= state->bytes[victim];
+    state->bytes[victim] = 0;
+    ++state->evict_count;
+  }
+}
+
+Dataset::ColumnPin Dataset::PinColumn(AttrIndex attr) const {
+  PagerState* state = pager_state_.get();
+  if (state == nullptr) return ColumnPin();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  FaultColumnLocked(attr);
+  ++state->pins[static_cast<size_t>(attr)];
+  return ColumnPin(this, attr);
+}
+
+void Dataset::UnpinColumn(AttrIndex attr) const {
+  PagerState* state = pager_state_.get();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  assert(state->pins[static_cast<size_t>(attr)] > 0);
+  --state->pins[static_cast<size_t>(attr)];
+}
+
+void Dataset::ColumnPin::Release() {
+  if (dataset_ == nullptr) return;
+  dataset_->UnpinColumn(attr_);
+  dataset_ = nullptr;
+}
+
+size_t Dataset::resident_column_bytes() const {
+  PagerState* state = pager_state_.get();
+  if (state == nullptr) {
+    size_t total = 0;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      total += ColumnByteSize(static_cast<AttrIndex>(i));
+    }
+    return total;
+  }
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->resident_bytes;
+}
+
+size_t Dataset::peak_resident_column_bytes() const {
+  PagerState* state = pager_state_.get();
+  if (state == nullptr) return resident_column_bytes();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->peak_resident_bytes;
+}
+
+uint64_t Dataset::column_fault_count() const {
+  PagerState* state = pager_state_.get();
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->fault_count;
+}
+
+uint64_t Dataset::column_evict_count() const {
+  PagerState* state = pager_state_.get();
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->evict_count;
+}
+
+void Dataset::SetNumericRangeHints(
+    std::vector<std::pair<double, double>> hints) {
+  assert(hints.empty() || hints.size() == schema_.num_attributes());
+  numeric_range_hints_ = std::move(hints);
+}
+
+// -- Aggregates -------------------------------------------------------------
 
 double Dataset::ClassWeight(const RowSubset& rows, CategoryId cls) const {
   double total = 0.0;

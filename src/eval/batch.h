@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "data/dataset.h"
+
 namespace pnr {
 
 /// Knobs for batch scoring. The defaults (serial, 4096-row blocks) match
@@ -34,6 +36,17 @@ struct BatchScoreOptions {
 /// only state disjoint per row.
 void ForEachRowBlock(size_t count, const BatchScoreOptions& options,
                      const std::function<void(size_t, size_t)>& fn);
+
+/// `options` with the thread count forced to 1 when `dataset` is
+/// demand-paged: block workers read feature columns without pinning them,
+/// which would race with fault-driven eviction. Serial scoring on a paged
+/// dataset is bit-identical (the parallel path already is), just slower.
+inline BatchScoreOptions ClampOptionsForDataset(
+    const Dataset& dataset, const BatchScoreOptions& options) {
+  BatchScoreOptions clamped = options;
+  if (dataset.paged()) clamped.num_threads = 1;
+  return clamped;
+}
 
 }  // namespace pnr
 

@@ -5,7 +5,8 @@ namespace pnr {
 void BinaryClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
                                   size_t count, double* out,
                                   const BatchScoreOptions& options) const {
-  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+  ForEachRowBlock(count, ClampOptionsForDataset(dataset, options),
+                  [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) out[i] = Score(dataset, rows[i]);
   });
 }

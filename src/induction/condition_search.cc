@@ -154,11 +154,13 @@ bool CandidateBetter(const CandidateCondition& a, const CandidateCondition& b) {
 }
 
 ConditionSearchEngine::ConditionSearchEngine(const Dataset& dataset,
-                                            size_t num_threads)
+                                            size_t num_threads,
+                                            size_t cache_budget_bytes)
     : dataset_(dataset),
       num_threads_(ThreadPool::ResolveThreadCount(num_threads)),
       cache_(dataset),
       scratch_columns_(dataset.schema().num_attributes()) {
+  cache_.set_memory_budget(cache_budget_bytes);
   if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
 }
 
@@ -180,6 +182,8 @@ std::optional<CandidateCondition> ConditionSearchEngine::FindBest(
   }
 
   // Per-attribute winners: each slot written by exactly one task.
+  const std::vector<std::pair<double, double>>& hints =
+      dataset_.numeric_range_hints();
   std::vector<std::optional<CandidateCondition>> results(num_attrs);
   const auto scan_attribute = [&](size_t a) {
     const AttrIndex attr = static_cast<AttrIndex>(a);
@@ -188,8 +192,21 @@ std::optional<CandidateCondition> ConditionSearchEngine::FindBest(
     state.options = &options;
     state.total_weight = total_weight;
     if (schema.attribute(attr).is_categorical()) {
+      // Pin the column so a concurrent scan's fault can't evict it from a
+      // paged dataset mid-read (no-op on plain in-RAM datasets).
+      Dataset::ColumnPin column_pin = dataset_.PinColumn(attr);
       ScanCategorical(dataset_, rows, target, attr, &state);
     } else {
+      // Zonemap pruning: a constant column has no boundaries and thus no
+      // candidates, so when the range hint is a single finite point the
+      // scan is skipped without faulting or sorting the column.
+      if (!hints.empty() && std::isfinite(hints[a].first) &&
+          hints[a].first == hints[a].second) {
+        pruned_attr_scans_.fetch_add(1);
+        return;
+      }
+      Dataset::ColumnPin column_pin = dataset_.PinColumn(attr);
+      SortedColumnCache::AttrPin cache_pin = cache_.Pin(attr);
       const SortedColumn& col = cache_.Column(attr, target, rows, membership_,
                                               &scratch_columns_[a]);
       ScanNumeric(col, attr, &state);

@@ -22,6 +22,7 @@
 #ifndef PNR_INDUCTION_CONDITION_SEARCH_H_
 #define PNR_INDUCTION_CONDITION_SEARCH_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -79,8 +80,13 @@ struct ConditionSearchOptions {
 class ConditionSearchEngine {
  public:
   /// `num_threads`: 1 = serial, 0 = hardware concurrency, n = n workers.
+  /// `cache_budget_bytes` caps the sorted-column cache's resident bytes
+  /// (0 = unbounded); out-of-core training sets it so the cache spills
+  /// instead of growing to O(attrs x rows). Any budget yields bit-identical
+  /// results — evicted slots are rebuilt deterministically.
   explicit ConditionSearchEngine(const Dataset& dataset,
-                                 size_t num_threads = 1);
+                                 size_t num_threads = 1,
+                                 size_t cache_budget_bytes = 0);
 
   const Dataset& dataset() const { return dataset_; }
 
@@ -98,6 +104,12 @@ class ConditionSearchEngine {
       const RowSubset& rows, CategoryId target, const ConditionScorer& scorer,
       const ConditionSearchOptions& options = {});
 
+  /// Numeric attribute scans skipped because the dataset's zonemap range
+  /// hint proves the column constant (a constant column yields no
+  /// boundaries, hence no candidates — skipping it never changes the
+  /// result, but avoids faulting and sorting the column).
+  uint64_t pruned_attr_scans() const { return pruned_attr_scans_.load(); }
+
  private:
   const Dataset& dataset_;
   size_t num_threads_;
@@ -105,6 +117,7 @@ class ConditionSearchEngine {
   std::unique_ptr<ThreadPool> pool_;          ///< null when serial
   std::vector<SortedColumn> scratch_columns_; ///< one per attribute
   std::vector<uint8_t> membership_;           ///< row mask scratch
+  std::atomic<uint64_t> pruned_attr_scans_{0};
 };
 
 /// One-shot convenience wrapper: builds a transient engine (thread count

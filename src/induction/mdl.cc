@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <unordered_set>
+#include <vector>
 
 #include "common/math_util.h"
 
@@ -89,10 +90,42 @@ double RuleSetDescriptionLength(const Dataset& dataset, const RowSubset& rows,
   double uncover = 0.0;
   double fp = 0.0;
   double fn = 0.0;
-  for (RowId row : rows) {
+  // On a demand-paged dataset a per-row AnyMatch walk alternates columns
+  // every row, and each alternation on a tight budget is a whole-column
+  // decode. Precompute the coverage bitmap rule-major instead (each rule's
+  // CoveredRows is condition-major when paged, so it faults each referenced
+  // column once), then accumulate in the same row order as the plain walk —
+  // the float sums see identical values in identical order either way.
+  std::vector<bool> matched;
+  if (dataset.paged() && !rules.empty()) {
+    matched.assign(rows.size(), false);
+    RowSubset unmatched = rows;
+    for (const Rule& rule : rules.rules()) {
+      const RowSubset covered = rule.CoveredRows(dataset, unmatched);
+      // Both lists are subsequences of `rows`; merge-mark and merge-subtract.
+      RowSubset next;
+      next.reserve(unmatched.size() - covered.size());
+      size_t c = 0, r = 0;
+      for (RowId row : unmatched) {
+        while (r < rows.size() && rows[r] != row) ++r;
+        if (c < covered.size() && covered[c] == row) {
+          ++c;
+          matched[r] = true;
+        } else {
+          next.push_back(row);
+        }
+      }
+      unmatched = std::move(next);
+      if (unmatched.empty()) break;
+    }
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowId row = rows[i];
     const double w = dataset.weight(row);
     const bool positive = (dataset.label(row) == target) != invert_target;
-    if (rules.AnyMatch(dataset, row)) {
+    const bool covered_row =
+        matched.empty() ? rules.AnyMatch(dataset, row) : matched[i];
+    if (covered_row) {
       cover += w;
       if (!positive) fp += w;
     } else {

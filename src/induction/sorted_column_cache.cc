@@ -49,8 +49,76 @@ const std::vector<RowId>& SortedColumnCache::SortedOrder(AttrIndex attr) {
   PerAttr& slot = per_attr_[static_cast<size_t>(attr)];
   if (!slot.order_valid || slot.order_version != dataset_.data_version()) {
     BuildOrder(attr, &slot);
+    AccountAndEvict(attr);
   }
   return slot.order;
+}
+
+size_t SortedColumnCache::SlotBytes(const PerAttr& slot) {
+  return slot.order.size() * sizeof(RowId) +
+         slot.full.values.size() * sizeof(double) +
+         slot.full.prefix_weight.size() * sizeof(double) +
+         slot.full.prefix_positive.size() * sizeof(double) +
+         slot.full.boundaries.size() * sizeof(size_t);
+}
+
+void SortedColumnCache::AccountAndEvict(AttrIndex attr) {
+  if (budget_bytes_ == 0) return;
+  std::lock_guard<std::mutex> lock(budget_mutex_);
+  PerAttr& slot = per_attr_[static_cast<size_t>(attr)];
+  const size_t now = SlotBytes(slot);
+  resident_bytes_ += now - slot.bytes;
+  slot.bytes = now;
+  slot.last_use = ++tick_;
+  while (resident_bytes_ > budget_bytes_) {
+    size_t victim = per_attr_.size();
+    uint64_t oldest = 0;
+    for (size_t i = 0; i < per_attr_.size(); ++i) {
+      if (i == static_cast<size_t>(attr)) continue;
+      const PerAttr& candidate = per_attr_[i];
+      if (candidate.bytes == 0 || candidate.pins > 0) continue;
+      if (victim == per_attr_.size() || candidate.last_use < oldest) {
+        victim = i;
+        oldest = candidate.last_use;
+      }
+    }
+    if (victim == per_attr_.size()) return;  // everything else is pinned
+    PerAttr& evicted = per_attr_[victim];
+    std::vector<RowId>().swap(evicted.order);
+    evicted.order_valid = false;
+    evicted.full = SortedColumn();
+    evicted.full_valid = false;
+    resident_bytes_ -= evicted.bytes;
+    evicted.bytes = 0;
+    evict_count_.fetch_add(1);
+  }
+}
+
+SortedColumnCache::AttrPin SortedColumnCache::Pin(AttrIndex attr) {
+  if (budget_bytes_ == 0) return AttrPin();
+  std::lock_guard<std::mutex> lock(budget_mutex_);
+  PerAttr& slot = per_attr_[static_cast<size_t>(attr)];
+  ++slot.pins;
+  slot.last_use = ++tick_;
+  return AttrPin(this, attr);
+}
+
+void SortedColumnCache::Unpin(AttrIndex attr) {
+  std::lock_guard<std::mutex> lock(budget_mutex_);
+  PerAttr& slot = per_attr_[static_cast<size_t>(attr)];
+  assert(slot.pins > 0);
+  --slot.pins;
+}
+
+void SortedColumnCache::AttrPin::Release() {
+  if (cache_ == nullptr) return;
+  cache_->Unpin(attr_);
+  cache_ = nullptr;
+}
+
+size_t SortedColumnCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(budget_mutex_);
+  return resident_bytes_;
 }
 
 void SortedColumnCache::FinishColumn(SortedColumn* out) {
@@ -148,6 +216,7 @@ const SortedColumn& SortedColumnCache::Column(AttrIndex attr,
   slot.full_data_version = dataset_.data_version();
   slot.full_valid = true;
   full_build_count_.fetch_add(1);
+  AccountAndEvict(attr);
   return slot.full;
 }
 

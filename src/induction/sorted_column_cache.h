@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "data/dataset.h"
@@ -65,9 +66,54 @@ struct SortedColumn {
 /// concurrent calls are allowed only for *distinct* attributes; the per-attr
 /// state is independent. The dataset must not be mutated during a batch of
 /// concurrent calls.
+///
+/// Bounded-memory mode: set_memory_budget(bytes) caps the resident bytes of
+/// cached orders and prefix columns. Slots are evicted LRU when a build
+/// pushes the cache over budget; an evicted slot is simply rebuilt on next
+/// use, deterministically, so results stay bit-identical at any budget.
+/// With a budget set, a caller must hold a Pin on an attribute for as long
+/// as it uses a reference returned for that attribute — eviction skips
+/// pinned slots. With no budget (the default) pins are no-ops and nothing
+/// is ever evicted.
 class SortedColumnCache {
  public:
   explicit SortedColumnCache(const Dataset& dataset);
+
+  /// Caps resident cache bytes; 0 (default) disables eviction entirely.
+  /// Set before the first Column/SortedOrder call.
+  void set_memory_budget(size_t bytes) { budget_bytes_ = bytes; }
+  size_t memory_budget() const { return budget_bytes_; }
+
+  /// Keeps `attr`'s slot out of eviction while alive (no-op when the cache
+  /// is unbounded).
+  class AttrPin {
+   public:
+    AttrPin() = default;
+    AttrPin(AttrPin&& other) noexcept
+        : cache_(other.cache_), attr_(other.attr_) {
+      other.cache_ = nullptr;
+    }
+    AttrPin& operator=(AttrPin&& other) noexcept {
+      Release();
+      cache_ = other.cache_;
+      attr_ = other.attr_;
+      other.cache_ = nullptr;
+      return *this;
+    }
+    AttrPin(const AttrPin&) = delete;
+    AttrPin& operator=(const AttrPin&) = delete;
+    ~AttrPin() { Release(); }
+
+   private:
+    friend class SortedColumnCache;
+    AttrPin(SortedColumnCache* cache, AttrIndex attr)
+        : cache_(cache), attr_(attr) {}
+    void Release();
+    SortedColumnCache* cache_ = nullptr;
+    AttrIndex attr_ = 0;
+  };
+
+  AttrPin Pin(AttrIndex attr);
 
   const Dataset& dataset() const { return dataset_; }
 
@@ -95,6 +141,10 @@ class SortedColumnCache {
   uint64_t sort_count() const { return sort_count_.load(); }
   /// Number of full-dataset prefix-sum (re)builds performed so far.
   uint64_t full_build_count() const { return full_build_count_.load(); }
+  /// Number of slots evicted by the memory budget so far.
+  uint64_t evict_count() const { return evict_count_.load(); }
+  /// Current resident bytes under budget accounting (0 when unbounded).
+  size_t resident_bytes() const;
 
  private:
   struct PerAttr {
@@ -107,9 +157,20 @@ class SortedColumnCache {
     uint64_t full_weight_version = 0;
     uint64_t full_data_version = 0;
     bool full_valid = false;
+
+    // Budget-mode bookkeeping (guarded by budget_mutex_).
+    int pins = 0;
+    uint64_t last_use = 0;
+    size_t bytes = 0;
   };
 
   void BuildOrder(AttrIndex attr, PerAttr* slot);
+  /// Refreshes `attr`'s byte accounting after a build and evicts LRU
+  /// unpinned slots (never `attr` itself) until the budget holds. No-op
+  /// when unbounded.
+  void AccountAndEvict(AttrIndex attr);
+  void Unpin(AttrIndex attr);
+  static size_t SlotBytes(const PerAttr& slot);
   /// Fills `out` for the subset case; entries appear in (value, row id)
   /// order regardless of the build strategy.
   void BuildSubsetColumn(AttrIndex attr, CategoryId target,
@@ -121,6 +182,11 @@ class SortedColumnCache {
   std::vector<PerAttr> per_attr_;
   std::atomic<uint64_t> sort_count_{0};
   std::atomic<uint64_t> full_build_count_{0};
+  std::atomic<uint64_t> evict_count_{0};
+  size_t budget_bytes_ = 0;
+  mutable std::mutex budget_mutex_;  ///< guards pins/last_use/bytes/resident_bytes_
+  size_t resident_bytes_ = 0;
+  uint64_t tick_ = 0;
 };
 
 }  // namespace pnr

@@ -81,6 +81,11 @@ struct PnruleConfig {
   /// produces bit-identical models (deterministic parallel reduction).
   size_t num_threads = 1;
 
+  /// Byte cap on the search engine's sorted-column cache (0 = unbounded).
+  /// Out-of-core training sets this so the cache spills instead of holding
+  /// every attribute's sorted order resident; any value is bit-identical.
+  size_t search_cache_budget_bytes = 0;
+
   // ----- Scoring ------------------------------------------------------------
 
   /// Minimum training weight a ScoreMatrix cell needs before its empirical

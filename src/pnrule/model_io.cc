@@ -1,5 +1,6 @@
 #include "pnrule/model_io.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/file_io.h"
@@ -312,6 +313,148 @@ StatusOr<PnruleClassifier> LoadPnruleModel(const std::string& path,
   auto text = ReadFileToString(path);
   if (!text.ok()) return text.status();
   return ParsePnruleModel(*text, schema);
+}
+
+std::string SerializeMultiClassModel(const MultiClassPnruleClassifier& model,
+                                     const Schema& schema) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "pnrule-multiclass v1\n";
+  out << "classes " << model.num_classes() << '\n';
+  out << "default "
+      << schema.class_attr().CategoryName(model.default_class()) << '\n';
+  for (size_t cls = 0; cls < model.num_classes(); ++cls) {
+    const double weight = model.class_weights()[cls];
+    const PnruleClassifier* binary =
+        model.model_for(static_cast<CategoryId>(cls));
+    if (binary == nullptr) {
+      out << "class " << cls << ' ' << weight << " absent\n";
+      continue;
+    }
+    // Prefix the embedded block with its exact line count so the parser
+    // never confuses the block's own "end" with the wrapper's.
+    const std::string block = SerializePnruleModel(*binary, schema);
+    const size_t lines =
+        static_cast<size_t>(std::count(block.begin(), block.end(), '\n'));
+    out << "class " << cls << ' ' << weight << " model " << lines << '\n';
+    out << block;
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<MultiClassPnruleClassifier> ParseMultiClassModel(
+    const std::string& text, const Schema& schema) {
+  LineReader reader(text);
+  std::string line;
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'pnrule-multiclass v1' header");
+  }
+  auto tokens = SplitWhitespace(line);
+  if (tokens.size() != 2 || tokens[0] != "pnrule-multiclass") {
+    return ParseError(reader.line(),
+                      "missing 'pnrule-multiclass v1' header");
+  }
+  if (tokens[1] != "v1") {
+    return Status::InvalidArgument(
+        "unsupported multiclass model format version '" + tokens[1] +
+        "' (this build reads v1)");
+  }
+  if (!reader.Next(&line)) return TruncatedError(reader, "'classes <n>'");
+  tokens = SplitWhitespace(line);
+  long long num_classes = 0;
+  if (tokens.size() != 2 || tokens[0] != "classes" ||
+      !ParseInt64(tokens[1], &num_classes) || num_classes < 2) {
+    return ParseError(reader.line(), "expected 'classes <n>' with n >= 2");
+  }
+  if (num_classes != static_cast<long long>(schema.num_classes())) {
+    return ParseError(reader.line(),
+                      "model has " + std::to_string(num_classes) +
+                          " classes but the schema has " +
+                          std::to_string(schema.num_classes()));
+  }
+  if (!reader.Next(&line)) {
+    return TruncatedError(reader, "'default <class name>'");
+  }
+  tokens = SplitWhitespace(line);
+  if (tokens.size() != 2 || tokens[0] != "default") {
+    return ParseError(reader.line(), "expected 'default <class name>'");
+  }
+  const CategoryId default_class = schema.class_attr().FindCategory(tokens[1]);
+  if (default_class == kInvalidCategory) {
+    return Status::NotFound("model parse error at line " +
+                            std::to_string(reader.line()) +
+                            ": default class '" + tokens[1] +
+                            "' not in the schema");
+  }
+
+  std::vector<std::optional<PnruleClassifier>> models(
+      static_cast<size_t>(num_classes));
+  std::vector<double> weights(static_cast<size_t>(num_classes), 1.0);
+  for (long long cls = 0; cls < num_classes; ++cls) {
+    if (!reader.Next(&line)) {
+      return TruncatedError(reader, "record for class " + std::to_string(cls));
+    }
+    tokens = SplitWhitespace(line);
+    long long index = -1;
+    double weight = 1.0;
+    if (tokens.size() < 4 || tokens[0] != "class" ||
+        !ParseInt64(tokens[1], &index) || index != cls ||
+        !ParseDouble(tokens[2], &weight)) {
+      return ParseError(reader.line(), "expected 'class " +
+                                           std::to_string(cls) +
+                                           " <weight> absent|model <lines>'");
+    }
+    weights[static_cast<size_t>(cls)] = weight;
+    if (tokens[3] == "absent") {
+      if (tokens.size() != 4) {
+        return ParseError(reader.line(), "trailing tokens after 'absent'");
+      }
+      continue;
+    }
+    long long block_lines = 0;
+    if (tokens.size() != 5 || tokens[3] != "model" ||
+        !ParseInt64(tokens[4], &block_lines) || block_lines <= 0) {
+      return ParseError(reader.line(), "expected 'model <lines>'");
+    }
+    std::string block;
+    for (long long i = 0; i < block_lines; ++i) {
+      if (!reader.Next(&line)) {
+        return TruncatedError(reader, "line " + std::to_string(i + 1) +
+                                          " of " + std::to_string(block_lines) +
+                                          " of class " + std::to_string(cls) +
+                                          "'s model");
+      }
+      block += line;
+      block += '\n';
+    }
+    auto binary = ParsePnruleModel(block, schema);
+    if (!binary.ok()) {
+      return Status::InvalidArgument("class " + std::to_string(cls) +
+                                     "'s embedded model: " +
+                                     binary.status().message());
+    }
+    models[static_cast<size_t>(cls)] = std::move(binary).value();
+  }
+  if (!reader.Next(&line)) return TruncatedError(reader, "'end' marker");
+  if (line != "end") return ParseError(reader.line(), "missing 'end' marker");
+  if (reader.Next(&line)) {
+    return ParseError(reader.line(), "trailing content after 'end'");
+  }
+  return MultiClassPnruleClassifier(std::move(models), std::move(weights),
+                                    default_class);
+}
+
+Status SaveMultiClassModel(const MultiClassPnruleClassifier& model,
+                           const Schema& schema, const std::string& path) {
+  return WriteStringToFile(SerializeMultiClassModel(model, schema), path);
+}
+
+StatusOr<MultiClassPnruleClassifier> LoadMultiClassModel(
+    const std::string& path, const Schema& schema) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseMultiClassModel(*text, schema);
 }
 
 }  // namespace pnr

@@ -21,11 +21,24 @@
 //   <num_p lines of num_n+1 "score:weight" cells>
 //   end
 
+// Multi-class committees use a wrapper format (v1) that embeds one binary
+// model block per trained class. Each block is prefixed with its exact line
+// count, so the parser never has to guess where an embedded model's "end"
+// stops and the wrapper resumes:
+//   pnrule-multiclass v1
+//   classes <n>
+//   default <class name>
+//   class <i> <weight> absent              | class <i> <weight> model <k>
+//   <k verbatim lines of a pnrule-model v1 block>
+//   ...
+//   end
+
 #ifndef PNR_PNRULE_MODEL_IO_H_
 #define PNR_PNRULE_MODEL_IO_H_
 
 #include <string>
 
+#include "pnrule/multiclass.h"
 #include "pnrule/pnrule.h"
 
 namespace pnr {
@@ -46,6 +59,25 @@ Status SavePnruleModel(const PnruleClassifier& model, const Schema& schema,
                        const std::string& path);
 StatusOr<PnruleClassifier> LoadPnruleModel(const std::string& path,
                                            const Schema& schema);
+
+/// Renders a one-vs-rest committee in the multiclass v1 wrapper format.
+/// The serialization is a pure function of the committee, so bitwise
+/// comparison of two serializations is the byte-identity check the
+/// determinism tests and benches rely on.
+std::string SerializeMultiClassModel(const MultiClassPnruleClassifier& model,
+                                     const Schema& schema);
+
+/// Parses a multiclass v1 committee against `schema`. The file's class
+/// count must match the schema's, and the default class and every embedded
+/// model must resolve against it.
+StatusOr<MultiClassPnruleClassifier> ParseMultiClassModel(
+    const std::string& text, const Schema& schema);
+
+/// Convenience wrappers writing to / reading from a file.
+Status SaveMultiClassModel(const MultiClassPnruleClassifier& model,
+                           const Schema& schema, const std::string& path);
+StatusOr<MultiClassPnruleClassifier> LoadMultiClassModel(
+    const std::string& path, const Schema& schema);
 
 }  // namespace pnr
 

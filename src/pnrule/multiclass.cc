@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <utility>
 #include <vector>
+
+#include "common/timer.h"
 
 namespace pnr {
 
@@ -46,12 +49,22 @@ void MultiClassPnruleClassifier::ClassifyBatch(
     const BatchScoreOptions& options) const {
   if (count == 0) return;
   std::fill(out, out + count, default_class_);
-  std::vector<double> best_score(count, 0.0);
-  std::vector<double> cls_score(count);
+  // thread_local so a caller classifying block after block (the CLI's
+  // prediction loop, MultiClassAccuracy) reuses the score scratch instead
+  // of allocating two vectors per call. Both are fully re-initialized
+  // below, so reuse cannot perturb predictions.
+  thread_local std::vector<double> best_score;
+  thread_local std::vector<double> cls_score;
+  best_score.assign(count, 0.0);
+  cls_score.resize(count);
   for (size_t cls = 0; cls < models_.size(); ++cls) {
     if (!models_[cls].has_value()) continue;
-    models_[cls]->ScoreBatch(dataset, rows, count, cls_score.data(), options);
     const double weight = class_weights_[cls];
+    // A zero-weight class can never win: scores are non-negative, the
+    // running best starts at 0, and the comparison is strict. Skip its
+    // whole ScoreBatch pass.
+    if (weight == 0.0) continue;
+    models_[cls]->ScoreBatch(dataset, rows, count, cls_score.data(), options);
     for (size_t i = 0; i < count; ++i) {
       const double score = weight * cls_score[i];
       if (score > best_score[i]) {
@@ -73,7 +86,7 @@ MultiClassPnruleLearner::MultiClassPnruleLearner(PnruleConfig config)
     : config_(std::move(config)) {}
 
 StatusOr<MultiClassPnruleClassifier> MultiClassPnruleLearner::Train(
-    const Dataset& dataset) const {
+    const Dataset& dataset, MultiClassTrainReport* report) const {
   Status status = config_.Validate();
   if (!status.ok()) return status;
   const size_t num_classes = dataset.schema().num_classes();
@@ -85,25 +98,101 @@ StatusOr<MultiClassPnruleClassifier> MultiClassPnruleLearner::Train(
         "class_weights must match the number of classes");
   }
 
-  std::vector<std::optional<PnruleClassifier>> models(num_classes);
-  size_t trained = 0;
+  MultiClassTrainReport local_report;
+  MultiClassTrainReport& rep = report != nullptr ? *report : local_report;
+  rep.classes.assign(num_classes, ClassTrainStatus{});
+  rep.trained = 0;
+
   CategoryId majority = 0;
   size_t majority_count = 0;
-  PnruleLearner learner(config_);
+  std::vector<size_t> trainable;
   for (size_t cls = 0; cls < num_classes; ++cls) {
     const CategoryId target = static_cast<CategoryId>(cls);
-    const size_t count = dataset.CountClass(target);
-    if (count > majority_count) {
-      majority_count = count;
+    ClassTrainStatus& entry = rep.classes[cls];
+    entry.cls = target;
+    entry.class_name = dataset.schema().class_attr().CategoryName(target);
+    entry.rows = dataset.CountClass(target);
+    if (entry.rows > majority_count) {
+      majority_count = entry.rows;
       majority = target;
     }
-    if (count == 0 || count == dataset.num_rows()) continue;
-    auto model = learner.Train(dataset, target);
-    if (!model.ok()) continue;  // untrainable class: committee falls back
-    models[cls] = std::move(model).value();
-    ++trained;
+    if (entry.rows == 0) {
+      entry.status =
+          Status::FailedPrecondition("class has no training examples");
+    } else if (entry.rows == dataset.num_rows()) {
+      entry.status =
+          Status::FailedPrecondition("class covers every training row");
+    } else {
+      trainable.push_back(cls);
+    }
   }
-  if (trained == 0) {
+
+  std::vector<std::optional<PnruleClassifier>> models(num_classes);
+
+  // Trains one class against `data`, recording the outcome — model slot,
+  // rule counts, or the learner's failure Status — in the class's report
+  // entry. Every write is to per-class slots, so class tasks may run
+  // concurrently.
+  const auto train_class = [&](size_t cls, const PnruleConfig& config,
+                               const Dataset& data) {
+    ClassTrainStatus& entry = rep.classes[cls];
+    Timer timer;
+    PnruleTrainInfo info;
+    PnruleLearner learner(config);
+    auto model = learner.TrainOnRows(data, data.AllRows(),
+                                     static_cast<CategoryId>(cls), &info);
+    entry.train_seconds = timer.ElapsedSeconds();
+    if (!model.ok()) {
+      entry.status = model.status();  // committee falls back on this class
+      return;
+    }
+    entry.status = Status::OK();
+    entry.num_p_rules = info.num_p_rules;
+    entry.num_n_rules = info.num_n_rules;
+    models[cls] = std::move(model).value();
+  };
+
+  const size_t outer_request = ThreadPool::ResolveThreadCount(train_threads_);
+  if (outer_request <= 1 && budget_ == nullptr) {
+    // Serial class loop — the exact historical path, config untouched.
+    for (size_t cls : trainable) train_class(cls, config_, dataset);
+  } else if (!trainable.empty()) {
+    // Fan the class loop out. A shared budget caps the *sum* of outer
+    // class-workers and inner search threads: the outer width is reserved
+    // up front and every class task sizes its engine from a lease. The
+    // committee does not depend on the grants — each binary learner is
+    // bit-identical at any thread count and writes only its own slot.
+    std::shared_ptr<ThreadBudget> budget = budget_;
+    if (budget == nullptr) {
+      budget = std::make_shared<ThreadBudget>(
+          std::max(outer_request,
+                   ThreadPool::ResolveThreadCount(config_.num_threads)));
+    }
+    const size_t outer_width =
+        std::min(std::min(outer_request, trainable.size()), budget->total());
+    budget->Reserve(outer_width);
+    ThreadPool pool(outer_width);
+    // Concurrent learners on one demand-paged dataset would fight over a
+    // single resident set (one task's fault evicting another's pinned-out
+    // columns); give each task its own paged view of the shared store.
+    const bool clone_paged = dataset.paged() && outer_width > 1;
+    pool.ParallelFor(trainable.size(), [&](size_t t) {
+      ThreadBudget::Lease lease = budget->Acquire(budget->total());
+      PnruleConfig config = config_;
+      config.num_threads = lease.count();
+      if (clone_paged) {
+        const Dataset view = dataset.ClonePagedView();
+        train_class(trainable[t], config, view);
+      } else {
+        train_class(trainable[t], config, dataset);
+      }
+    });
+  }
+
+  for (const auto& model : models) {
+    if (model.has_value()) ++rep.trained;
+  }
+  if (rep.trained == 0) {
     return Status::FailedPrecondition("no class produced a trainable model");
   }
   return MultiClassPnruleClassifier(std::move(models), class_weights_,

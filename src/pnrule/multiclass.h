@@ -6,13 +6,24 @@
 // per class and predicts the class with the highest (optionally
 // cost-weighted) score — falling back to the training-majority class when
 // no model fires.
+//
+// The per-class models are independent, so Train can fan the class loop out
+// over a thread pool (set_train_threads). Each binary learner is
+// thread-count-invariant and writes only its own class slot, so the
+// committee is bit-identical at any train_threads x num_threads
+// combination. A shared ThreadBudget (set_thread_budget) caps the *sum* of
+// outer class-workers and inner search threads when the caller — e.g. the
+// tuning racer — already fans out above us.
 
 #ifndef PNR_PNRULE_MULTICLASS_H_
 #define PNR_PNRULE_MULTICLASS_H_
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "pnrule/pnrule.h"
 
 namespace pnr {
@@ -35,7 +46,8 @@ class MultiClassPnruleClassifier {
   /// Batched Classify: one compiled ScoreBatch pass per class over the
   /// whole row block instead of scoring every class per row. Bit-identical
   /// to Classify (same weight multiply, same ascending-class strict-`>`
-  /// tie-break).
+  /// tie-break). Zero-weight classes are skipped outright — their scores
+  /// can never beat the non-negative running best.
   void ClassifyBatch(const Dataset& dataset, const RowId* rows, size_t count,
                      CategoryId* out,
                      const BatchScoreOptions& options = {}) const;
@@ -49,10 +61,32 @@ class MultiClassPnruleClassifier {
 
   CategoryId default_class() const { return default_class_; }
 
+  /// The per-class score weights (always sized num_classes()).
+  const std::vector<double>& class_weights() const { return class_weights_; }
+
  private:
   std::vector<std::optional<PnruleClassifier>> models_;  // by class id
   std::vector<double> class_weights_;
   CategoryId default_class_;
+};
+
+/// Outcome of one class's training attempt, for the training report.
+struct ClassTrainStatus {
+  CategoryId cls = 0;
+  std::string class_name;
+  size_t rows = 0;        ///< training examples of the class
+  Status status;          ///< OK when a model was trained; why not otherwise
+  size_t num_p_rules = 0;
+  size_t num_n_rules = 0;
+  double train_seconds = 0.0;  ///< wall clock (diagnostic only)
+};
+
+/// Per-class account of a one-vs-rest training run. Surfaces classes the
+/// committee silently falls back on (no examples, degenerate, or learner
+/// failure) instead of burying them in a `continue`.
+struct MultiClassTrainReport {
+  std::vector<ClassTrainStatus> classes;  ///< one entry per class id
+  size_t trained = 0;                     ///< classes with a model
 };
 
 /// Trains one-vs-rest PNrule committees.
@@ -66,13 +100,32 @@ class MultiClassPnruleLearner {
     class_weights_ = std::move(weights);
   }
 
+  /// Outer parallelism across classes: 1 = serial class loop (the
+  /// default), 0 = hardware concurrency, n = up to n concurrent class
+  /// learners. The committee is bit-identical for any value.
+  void set_train_threads(size_t threads) { train_threads_ = threads; }
+
+  /// Shares a thread budget with an enclosing fan-out (e.g. the tuning
+  /// racer): class tasks size their search engines from budget leases so
+  /// the total of live workers never exceeds the budget. Null (default)
+  /// makes Train build its own budget when train_threads > 1.
+  void set_thread_budget(std::shared_ptr<ThreadBudget> budget) {
+    budget_ = std::move(budget);
+  }
+
   /// Trains a binary model for every class of the schema that has at least
-  /// one training example. Fails only if *no* class is trainable.
-  StatusOr<MultiClassPnruleClassifier> Train(const Dataset& dataset) const;
+  /// one training example. Fails only if *no* class is trainable. When
+  /// `report` is non-null it receives one entry per class — including the
+  /// failure Status of every class the committee will fall back on — and
+  /// is filled even when Train itself fails.
+  StatusOr<MultiClassPnruleClassifier> Train(
+      const Dataset& dataset, MultiClassTrainReport* report = nullptr) const;
 
  private:
   PnruleConfig config_;
   std::vector<double> class_weights_;
+  size_t train_threads_ = 1;
+  std::shared_ptr<ThreadBudget> budget_;
 };
 
 /// Multiclass accuracy of `classifier` over all rows of `dataset`

@@ -32,7 +32,8 @@ double PnruleClassifier::Score(const Dataset& dataset, RowId row) const {
 void PnruleClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
                                   size_t count, double* out,
                                   const BatchScoreOptions& options) const {
-  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+  ForEachRowBlock(count, ClampOptionsForDataset(dataset, options),
+                  [&](size_t begin, size_t end) {
     const size_t n = end - begin;
     // thread_local so consecutive blocks on a worker reuse the scratch
     // masks instead of reallocating them; scratch contents never affect
@@ -115,7 +116,8 @@ StatusOr<PnruleClassifier> PnruleLearner::TrainOnRows(
 
   // One engine for the whole run: the sorted-column cache survives across
   // every refinement of both phases, and the thread pool is spun up once.
-  ConditionSearchEngine engine(dataset, config_.num_threads);
+  ConditionSearchEngine engine(dataset, config_.num_threads,
+                               config_.search_cache_budget_bytes);
   PPhaseResult p_phase = RunPPhase(engine, rows, target, config_);
   NPhaseResult n_phase =
       RunNPhase(engine, p_phase.covered_rows, target,

@@ -43,7 +43,8 @@ double RipperClassifier::Score(const Dataset& dataset, RowId row) const {
 void RipperClassifier::ScoreBatch(const Dataset& dataset, const RowId* rows,
                                   size_t count, double* out,
                                   const BatchScoreOptions& options) const {
-  ForEachRowBlock(count, options, [&](size_t begin, size_t end) {
+  ForEachRowBlock(count, ClampOptionsForDataset(dataset, options),
+                  [&](size_t begin, size_t end) {
     const size_t n = end - begin;
     // thread_local so consecutive blocks on a worker reuse the scratch
     // masks instead of reallocating them; scratch contents never affect

@@ -564,7 +564,18 @@ void CompiledRuleSet::FirstMatchBlock(const Dataset& dataset,
   std::fill(out, out + count, static_cast<int32_t>(kNoRule));
   if (count == 0 || rules_.empty()) return;
 
-  if (candidates != nullptr) {
+  // A demand-paged dataset can evict column A while column B faults in, so
+  // the hoisted raw pointers of BuildColumnTable may dangle mid-block —
+  // and every fault decodes a whole column, so per-row walks that touch
+  // many columns thrash the pager. Paged blocks therefore always run the
+  // dense path with full mask materialization: each condition faults its
+  // column at most once per block, takes the pointer right after its own
+  // fault, and sweeps it with nothing else faulting in between. The sparse
+  // shortcuts (identical results, different evaluation order) stay
+  // pointer-hoisted and are skipped when paged.
+  const bool paged = dataset.paged();
+
+  if (candidates != nullptr && !paged) {
     const size_t active = candidates->Count();
     if (active == 0) return;
     if (active < count / kSparseDivisor) {
@@ -576,6 +587,7 @@ void CompiledRuleSet::FirstMatchBlock(const Dataset& dataset,
       return;
     }
   }
+  if (candidates != nullptr && paged && !candidates->AnySet()) return;
 
   // First-match-wins resolution over lazily materialized condition masks.
   // `unresolved` tracks rows not yet claimed by an earlier rule; each rule
@@ -585,7 +597,7 @@ void CompiledRuleSet::FirstMatchBlock(const Dataset& dataset,
   // row-by-row on just the surviving rows.
   scratch->condition_masks.resize(conditions_.size());
   scratch->evaluated.assign(conditions_.size(), 0);
-  BuildColumnTable(dataset, scratch);
+  if (!paged) BuildColumnTable(dataset, scratch);
   scratch->rows_consecutive = true;
   for (size_t i = 1; i < count; ++i) {
     if (rows[i] != rows[0] + i) {
@@ -605,7 +617,7 @@ void CompiledRuleSet::FirstMatchBlock(const Dataset& dataset,
     for (uint32_t i = span.begin; i < span.end; ++i) {
       const uint32_t ci = rule_conditions_[i];
       if (!scratch->evaluated[ci]) {
-        if (rule_mask.Count() * kSparseFinishFactor < count) {
+        if (!paged && rule_mask.Count() * kSparseFinishFactor < count) {
           // Sparse finish: test the remaining conjuncts directly on the
           // few rows still in play.
           rule_mask.ForEachSet([&](size_t slot) {

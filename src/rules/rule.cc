@@ -22,9 +22,45 @@ bool Rule::Matches(const Dataset& dataset, RowId row) const {
   return true;
 }
 
+namespace {
+
+// Condition-major filter for demand-paged datasets: a row-major walk over a
+// multi-condition rule alternates columns per row, and on a tight paging
+// budget every alternation is a whole-column decode. Evaluating one pinned
+// condition at a time over the surviving rows costs one fault per condition
+// instead — identical results, since a conjunction is order-independent.
+RowSubset CoveredConditionMajor(const std::vector<Condition>& conditions,
+                                const Dataset& dataset, const RowSubset& rows) {
+  RowSubset out = rows;
+  for (const Condition& condition : conditions) {
+    const Dataset::ColumnPin pin = dataset.PinColumn(condition.attr);
+    RowSubset next;
+    next.reserve(out.size());
+    for (RowId row : out) {
+      if (condition.Matches(dataset, row)) next.push_back(row);
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+bool UseConditionMajor(const Dataset& dataset, size_t num_conditions) {
+  return dataset.paged() && num_conditions > 1;
+}
+
+}  // namespace
+
 RuleStats Rule::Evaluate(const Dataset& dataset, const RowSubset& rows,
                          CategoryId target) const {
   RuleStats stats;
+  if (UseConditionMajor(dataset, conditions_.size())) {
+    for (RowId row : CoveredConditionMajor(conditions_, dataset, rows)) {
+      const double w = dataset.weight(row);
+      stats.covered += w;
+      if (dataset.label(row) == target) stats.positive += w;
+    }
+    return stats;
+  }
   for (RowId row : rows) {
     if (!Matches(dataset, row)) continue;
     const double w = dataset.weight(row);
@@ -36,6 +72,9 @@ RuleStats Rule::Evaluate(const Dataset& dataset, const RowSubset& rows,
 
 RowSubset Rule::CoveredRows(const Dataset& dataset,
                             const RowSubset& rows) const {
+  if (UseConditionMajor(dataset, conditions_.size())) {
+    return CoveredConditionMajor(conditions_, dataset, rows);
+  }
   RowSubset out;
   for (RowId row : rows) {
     if (Matches(dataset, row)) out.push_back(row);
@@ -45,6 +84,22 @@ RowSubset Rule::CoveredRows(const Dataset& dataset,
 
 RowSubset Rule::UncoveredRows(const Dataset& dataset,
                               const RowSubset& rows) const {
+  if (UseConditionMajor(dataset, conditions_.size())) {
+    // `covered` is a subsequence of `rows`; subtract it in one merge walk.
+    const RowSubset covered =
+        CoveredConditionMajor(conditions_, dataset, rows);
+    RowSubset out;
+    out.reserve(rows.size() - covered.size());
+    size_t c = 0;
+    for (RowId row : rows) {
+      if (c < covered.size() && covered[c] == row) {
+        ++c;
+      } else {
+        out.push_back(row);
+      }
+    }
+    return out;
+  }
   RowSubset out;
   for (RowId row : rows) {
     if (!Matches(dataset, row)) out.push_back(row);

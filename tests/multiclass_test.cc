@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
+#include "pnrule/model_io.h"
 #include "synth/kdd_sim.h"
 
 namespace pnr {
@@ -94,6 +97,123 @@ TEST(MultiClassTest, RejectsSingleClassSchema) {
   dataset.AddRow();
   MultiClassPnruleLearner learner;
   EXPECT_FALSE(learner.Train(dataset).ok());
+}
+
+TEST(MultiClassTest, ReportNamesSkippedClasses) {
+  // Schema knows three classes but the data only ever shows "a" and "b":
+  // "ghost" must be reported as skipped with a reason, not silently absent.
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  const CategoryId a = schema.GetOrAddClass("a");
+  const CategoryId b = schema.GetOrAddClass("b");
+  const CategoryId ghost = schema.GetOrAddClass("ghost");
+  Dataset dataset(std::move(schema));
+  dataset.AppendRows(200);
+  for (RowId row = 0; row < 200; ++row) {
+    dataset.set_numeric(row, 0, row < 60 ? 1.0 : 0.0);
+    dataset.set_label(row, row < 60 ? a : b);
+  }
+  MultiClassPnruleLearner learner;
+  MultiClassTrainReport report;
+  auto committee = learner.Train(dataset, &report);
+  ASSERT_TRUE(committee.ok()) << committee.status().ToString();
+  ASSERT_EQ(report.classes.size(), 3u);
+  EXPECT_TRUE(report.classes[a].status.ok());
+  EXPECT_TRUE(report.classes[b].status.ok());
+  EXPECT_FALSE(report.classes[ghost].status.ok());
+  EXPECT_EQ(report.classes[ghost].class_name, "ghost");
+  EXPECT_EQ(report.classes[ghost].rows, 0u);
+  EXPECT_NE(report.classes[ghost].status.message().find("no training"),
+            std::string::npos);
+  EXPECT_EQ(report.trained, 2u);
+  EXPECT_EQ(committee->model_for(ghost), nullptr);
+}
+
+TEST(MultiClassTest, ReportFilledEvenWhenTrainFails) {
+  // Every row is one class: it covers every row, the other class has none,
+  // so no class is trainable — Train fails but the report explains why.
+  Schema schema;
+  schema.AddAttribute(Attribute::Numeric("x"));
+  const CategoryId all = schema.GetOrAddClass("all");
+  schema.GetOrAddClass("never");
+  Dataset dataset(std::move(schema));
+  dataset.AppendRows(50);
+  for (RowId row = 0; row < 50; ++row) dataset.set_label(row, all);
+  MultiClassPnruleLearner learner;
+  MultiClassTrainReport report;
+  auto committee = learner.Train(dataset, &report);
+  EXPECT_FALSE(committee.ok());
+  ASSERT_EQ(report.classes.size(), 2u);
+  EXPECT_EQ(report.trained, 0u);
+  EXPECT_NE(report.classes[0].status.message().find("every training row"),
+            std::string::npos);
+  EXPECT_NE(report.classes[1].status.message().find("no training"),
+            std::string::npos);
+}
+
+TEST(MultiClassTest, ClassifyBatchMatchesClassifyWithZeroWeights) {
+  const KddSimData kdd = SmallKdd();
+  const Schema& schema = kdd.train.schema();
+  // Zero out one trained class: the batched path skips its ScoreBatch pass
+  // entirely, and must still agree with row-at-a-time Classify.
+  std::vector<double> weights(5, 1.0);
+  weights[static_cast<size_t>(schema.class_attr().FindCategory("dos"))] = 0.0;
+  MultiClassPnruleLearner learner;
+  learner.set_class_weights(weights);
+  auto committee = learner.Train(kdd.train);
+  ASSERT_TRUE(committee.ok());
+
+  std::vector<RowId> rows(kdd.test.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<CategoryId> batched(rows.size());
+  committee->ClassifyBatch(kdd.test, rows.data(), rows.size(),
+                           batched.data());
+  for (RowId row = 0; row < kdd.test.num_rows(); ++row) {
+    ASSERT_EQ(batched[row], committee->Classify(kdd.test, row))
+        << "row " << row;
+  }
+}
+
+TEST(MultiClassTest, ModelRoundTripsThroughText) {
+  const KddSimData kdd = SmallKdd();
+  MultiClassPnruleLearner learner;
+  learner.set_class_weights({1.0, 0.5, 2.0, 1.0, 1.0});
+  auto committee = learner.Train(kdd.train);
+  ASSERT_TRUE(committee.ok());
+  const Schema& schema = kdd.train.schema();
+  const std::string text = SerializeMultiClassModel(*committee, schema);
+  auto parsed = ParseMultiClassModel(text, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeMultiClassModel(*parsed, schema), text);
+  EXPECT_EQ(parsed->default_class(), committee->default_class());
+  // The round-tripped committee predicts identically.
+  for (RowId row = 0; row < 500; ++row) {
+    ASSERT_EQ(parsed->Classify(kdd.test, row),
+              committee->Classify(kdd.test, row));
+  }
+}
+
+TEST(MultiClassTest, ParseRejectsMalformedWrappers) {
+  const KddSimData kdd = SmallKdd();
+  const Schema& schema = kdd.train.schema();
+  MultiClassPnruleLearner learner;
+  auto committee = learner.Train(kdd.train);
+  ASSERT_TRUE(committee.ok());
+  const std::string text = SerializeMultiClassModel(*committee, schema);
+
+  EXPECT_FALSE(ParseMultiClassModel("", schema).ok());
+  EXPECT_FALSE(ParseMultiClassModel("pnrule-multiclass v9\n", schema).ok());
+  // Truncate mid-file: the embedded block's line count no longer adds up.
+  EXPECT_FALSE(
+      ParseMultiClassModel(text.substr(0, text.size() / 2), schema).ok());
+  // Trailing garbage after 'end'.
+  EXPECT_FALSE(ParseMultiClassModel(text + "extra\n", schema).ok());
+  // Class-count mismatch against the schema.
+  Schema two;
+  two.AddAttribute(Attribute::Numeric("x"));
+  two.GetOrAddClass("a");
+  two.GetOrAddClass("b");
+  EXPECT_FALSE(ParseMultiClassModel(text, two).ok());
 }
 
 }  // namespace

@@ -5,10 +5,13 @@
 //   pnr train   --data train.csv --target fraud [--model model.txt]
 //               [--rp 0.99] [--rn 0.9] [--min-support 0.01] [--p1]
 //               [--threads n] [--class-column label]
+//               [--multiclass] [--train-threads n] [--max-resident-mb m]
 //   pnr eval    --data test.csv --target fraud --model model.txt
 //               [--class-column label]
 //   pnr predict --data new.csv --target fraud --model model.txt
 //               [--class-column label]   (prints one score per row)
+//   pnr shard   --data train.csv --out train.pns [--shards n]
+//               [--class-column label] [--threads n]
 //   pnr serve   --models name=model.txt[,name2=other.txt] [--port 8080]
 //               [--shards 0] [--max-batch 1024] [--no-batching]
 //   pnr probe   --port 8080 --row "attr=value,..." [--model name]
@@ -20,6 +23,14 @@
 //
 // `--target` is the class value treated as positive. Training prints the
 // learned rules; eval prints recall / precision / F and ranking areas.
+// `shard` rewrites a dataset as a compressed columnar shard file; every
+// subcommand's `--data` then accepts either format (sniffed by magic).
+// With `--max-resident-mb` a shard-store input is demand-paged instead of
+// fully loaded, so training works on datasets much larger than RAM.
+// `--multiclass` trains a one-vs-rest committee over every class (no
+// `--target` needed), prints a per-class training report, and fans the
+// class loop out over `--train-threads` workers — the model bytes are
+// identical for any thread count and shard count.
 // `serve` loads each model with its `<model>.schema` sidecar (written by
 // train) and answers POST /v1/predict (plus the binary protocol on the
 // same port) across `--shards` reactor shards until SIGTERM/SIGINT, then
@@ -36,11 +47,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/file_io.h"
@@ -48,6 +61,7 @@
 #include "common/string_util.h"
 #include "data/csv.h"
 #include "data/schema_io.h"
+#include "data/shard_store.h"
 #include "eval/curves.h"
 #include "eval/metrics.h"
 #include "pnrule/model_io.h"
@@ -69,6 +83,7 @@ struct Args {
   bool p1 = false;
   bool no_batching = false;
   bool binary = false;
+  bool multiclass = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -82,6 +97,8 @@ Args ParseArgs(int argc, char** argv) {
       args.no_batching = true;
     } else if (arg == "--binary") {
       args.binary = true;
+    } else if (arg == "--multiclass") {
+      args.multiclass = true;
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[arg.substr(2)] = argv[++i];
     } else {
@@ -93,11 +110,15 @@ Args ParseArgs(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pnr <train|eval|predict> --data <csv> --target "
+               "usage: pnr <train|eval|predict> --data <csv|shards> --target "
                "<class> [--model <file>]\n"
                "           [--rp <f>] [--rn <f>] [--min-support <f>] "
                "[--p1] [--threshold <f>]\n"
                "           [--threads <n>] [--class-column <name>]\n"
+               "           [--multiclass] [--train-threads <n>] "
+               "[--max-resident-mb <m>]\n"
+               "       pnr shard --data <csv> --out <file> [--shards <n>] "
+               "[--threads <n>]\n"
                "       pnr serve --models <name=model.txt,...> "
                "[--port <p>] [--shards <n>]\n"
                "           [--max-batch <rows>] [--no-batching]\n"
@@ -116,16 +137,54 @@ int Usage() {
                "0 = all hardware\n"
                "             threads. The loaded data, models, metrics, and "
                "predictions\n"
-               "             are identical for any value.\n");
+               "             are identical for any value.\n"
+               "  --data accepts a CSV file or a `pnr shard` file (sniffed "
+               "by magic).\n"
+               "  --max-resident-mb: demand-page a shard-store input under "
+               "this byte budget\n"
+               "             instead of loading it whole (out-of-core "
+               "training); also caps the\n"
+               "             trainer's sorted-column cache. Models are "
+               "identical for any value.\n"
+               "  --multiclass: train a one-vs-rest committee over every "
+               "class (--target not\n"
+               "             needed); --train-threads fans the class loop "
+               "out. Model bytes are\n"
+               "             identical for any thread or shard count.\n");
   return 2;
 }
 
 double OptionOr(const Args& args, const std::string& key, double fallback);
 
+// True when the file starts with the shard-store magic. A short or
+// unreadable file simply isn't a shard store; the CSV reader then produces
+// the user-facing error.
+bool SniffShardStore(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  char head[8] = {};
+  const size_t n = std::fread(head, 1, sizeof(head), file);
+  std::fclose(file);
+  return LooksLikeShardStore(std::string_view(head, n));
+}
+
+// Paging budget in bytes from --max-resident-mb (0 = load fully).
+size_t ResidentBudgetBytes(const Args& args) {
+  const double mb = OptionOr(args, "max-resident-mb", 0.0);
+  return mb > 0.0 ? static_cast<size_t>(mb * 1024.0 * 1024.0) : 0;
+}
+
 StatusOr<Dataset> LoadData(const Args& args) {
   const auto data_it = args.options.find("data");
   if (data_it == args.options.end()) {
     return Status::InvalidArgument("--data is required");
+  }
+  if (SniffShardStore(data_it->second)) {
+    auto reader = ShardStoreReader::Open(data_it->second);
+    if (!reader.ok()) return reader.status();
+    const size_t budget = ResidentBudgetBytes(args);
+    if (budget > 0) return MakePagedDataset(*reader, budget);
+    return (*reader)->LoadDataset();
   }
   CsvReadOptions options;
   const auto class_it = args.options.find("class-column");
@@ -162,15 +221,62 @@ BatchScoreOptions BatchOptions(const Args& args) {
   return options;
 }
 
+// The per-class account of a one-vs-rest run: every class appears, with
+// either its rule counts or the reason the committee falls back on it.
+void PrintTrainReport(const MultiClassTrainReport& report) {
+  std::printf("per-class training report:\n");
+  std::printf("  %-16s %10s %8s %8s %8s  %s\n", "class", "rows", "p-rules",
+              "n-rules", "seconds", "status");
+  for (const ClassTrainStatus& entry : report.classes) {
+    std::printf("  %-16s %10zu %8zu %8zu %8.2f  %s\n",
+                entry.class_name.c_str(), entry.rows, entry.num_p_rules,
+                entry.num_n_rules, entry.train_seconds,
+                entry.status.ok() ? "ok" : entry.status.ToString().c_str());
+  }
+  std::printf("  trained %zu of %zu classes\n", report.trained,
+              report.classes.size());
+}
+
+int TrainMultiClass(const Args& args, const Dataset& data,
+                    const PnruleConfig& config) {
+  MultiClassPnruleLearner learner(config);
+  learner.set_train_threads(
+      static_cast<size_t>(OptionOr(args, "train-threads", 1.0)));
+  MultiClassTrainReport report;
+  auto model = learner.Train(data, &report);
+  PrintTrainReport(report);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training-set accuracy: %.4f\n",
+              MultiClassAccuracy(*model, data, BatchOptions(args)));
+
+  const auto model_it = args.options.find("model");
+  if (model_it != args.options.end()) {
+    Status saved =
+        SaveMultiClassModel(*model, data.schema(), model_it->second);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    const std::string schema_path = model_it->second + ".schema";
+    saved = SaveSchema(data.schema(), schema_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("model written to %s (schema sidecar: %s)\n",
+                model_it->second.c_str(), schema_path.c_str());
+  }
+  return 0;
+}
+
 int Train(const Args& args) {
   auto data = LoadData(args);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
-    return 1;
-  }
-  auto target = ResolveTarget(args, *data);
-  if (!target.ok()) {
-    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
     return 1;
   }
   PnruleConfig config;
@@ -179,7 +285,18 @@ int Train(const Args& args) {
   config.min_support_fraction = OptionOr(args, "min-support", 0.01);
   config.num_threads =
       static_cast<size_t>(OptionOr(args, "threads", 1.0));
+  // Out-of-core runs bound the search cache by the same budget that pages
+  // the dataset; in-core runs keep it unbounded. Either way the model
+  // bytes are unchanged.
+  config.search_cache_budget_bytes = ResidentBudgetBytes(args);
   if (args.p1) config.max_p_rule_length = 1;
+  if (args.multiclass) return TrainMultiClass(args, *data, config);
+
+  auto target = ResolveTarget(args, *data);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
 
   auto model = PnruleLearner(config).Train(*data, *target);
   if (!model.ok()) {
@@ -225,11 +342,57 @@ StatusOr<PnruleClassifier> LoadModel(const Args& args, const Dataset& data) {
   return classifier;
 }
 
+// `pnr shard`: rewrite --data as a compressed columnar shard file that the
+// other subcommands accept in place of the CSV (and can demand-page).
+int Shard(const Args& args) {
+  const auto out_it = args.options.find("out");
+  if (out_it == args.options.end()) {
+    std::fprintf(stderr, "--out is required, e.g. --out train.pns\n");
+    return 2;
+  }
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  ShardStoreWriteOptions options;
+  options.num_shards = static_cast<uint32_t>(OptionOr(args, "shards", 1.0));
+  const Status written = WriteShardStore(*data, out_it->second, options);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  const uint32_t shards =
+      options.num_shards == 0
+          ? 1
+          : static_cast<uint32_t>(std::min<uint64_t>(options.num_shards,
+                                                     data->num_rows()));
+  std::printf("wrote %zu rows x %zu attrs in %u shard(s) to %s\n",
+              data->num_rows(), data->schema().num_attributes(), shards,
+              out_it->second.c_str());
+  return 0;
+}
+
 int Eval(const Args& args) {
   auto data = LoadData(args);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
+  }
+  if (args.multiclass) {
+    const auto it = args.options.find("model");
+    if (it == args.options.end()) {
+      std::fprintf(stderr, "--model is required\n");
+      return 2;
+    }
+    auto model = LoadMultiClassModel(it->second, data->schema());
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("accuracy: %.4f\n",
+                MultiClassAccuracy(*model, *data, BatchOptions(args)));
+    return 0;
   }
   auto target = ResolveTarget(args, *data);
   if (!target.ok()) {
@@ -668,6 +831,7 @@ int main(int argc, char** argv) {
   if (args.command == "train") return Train(args);
   if (args.command == "eval") return Eval(args);
   if (args.command == "predict") return Predict(args);
+  if (args.command == "shard") return Shard(args);
   if (args.command == "serve") return Serve(args);
   if (args.command == "probe") return Probe(args);
   if (args.command == "tune") return Tune(args);

@@ -35,7 +35,8 @@ for san in "${sanitizers[@]}"; do
         batch_score_test ingest_test serve_test \
         serve_binary_test serve_metrics_test \
         fault_injection_test serve_fault_test fuzz_replay \
-        stratified_cv_test tune_test pnr_cli
+        stratified_cv_test tune_test pnr_cli \
+        shard_store_test train_sharded_test
   if [ ${#label_args[@]} -eq 0 ]; then
     cmake --build "$build_dir" -j"$(nproc)"
   fi
