@@ -1,0 +1,373 @@
+// Streaming scoring-engine benchmark (`pnr stream` core loop).
+//
+// Replays the kdd_sim drift scenario — stationary pre-shift traffic
+// followed by a rare-class surge — through a StreamEngine and measures
+// sustained throughput (events/second: ingest + window scoring + drift
+// detection + journal rendering) at score-thread counts {1, 2, 4}, with
+// drift-triggered retraining on and off.
+//
+// The determinism contract is enforced, not assumed: the binary refuses
+// to write BENCH_stream.json (and exits nonzero) unless, within each
+// retrain mode, every thread count reproduces the serial run's journal
+// byte-for-byte, the same swap count, and — when a retrain fired — a
+// byte-identical retrained model file. The JSON records the machine's
+// core count: wall-clock gains from score-thread fan-out are only
+// observable with cores > 1, and honest single-core numbers are still
+// valid evidence for the identity claims and the retrain behaviour.
+//
+// Knobs:
+//   PNR_BENCH_ROWS           feed events to replay (default 60000)
+//   PNR_BENCH_COMPARE_ITERS  timed runs per configuration, best-of
+//                            (default 1)
+//   PNR_BENCH_JSON           write the machine-readable report here
+//   --quick                  7000 events, 1 iteration (the ctest smoke)
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "pnrule/model_io.h"
+#include "pnrule/pnrule.h"
+#include "serve/registry.h"
+#include "stream/engine.h"
+#include "synth/kdd_sim.h"
+
+namespace {
+
+using namespace pnr;
+
+size_t BenchRows(bool quick) {
+  const char* s = std::getenv("PNR_BENCH_ROWS");
+  const long n = s != nullptr ? std::atol(s) : 0;
+  if (n > 0) return static_cast<size_t>(n);
+  return quick ? 7000 : 60000;
+}
+
+int CompareIters() {
+  const char* s = std::getenv("PNR_BENCH_COMPARE_ITERS");
+  const int n = s != nullptr ? std::atoi(s) : 0;
+  return n > 0 ? n : 1;
+}
+
+std::string Fmt(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return buf;
+}
+
+// The replayed scenario: a base model trained on stationary traffic, and
+// the feed whose back half carries the rare-class surge.
+struct Scenario {
+  Schema schema;
+  CategoryId target = kInvalidCategory;
+  std::string base_model_text;
+  std::vector<ParsedRow> feed;
+  uint64_t window_rows = 0;
+  uint64_t retrain_rows = 0;
+};
+
+ParsedRow RowFromDataset(const Dataset& data, RowId row) {
+  const Schema& schema = data.schema();
+  ParsedRow out;
+  out.numeric.resize(schema.num_attributes(), 0.0);
+  out.categorical.resize(schema.num_attributes(), kInvalidCategory);
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const AttrIndex attr = static_cast<AttrIndex>(a);
+    if (schema.attribute(attr).is_numeric()) {
+      out.numeric[a] = data.numeric(row, attr);
+    } else {
+      out.categorical[a] = data.categorical(row, attr);
+    }
+  }
+  out.label = data.label(row);
+  out.line = row + 2;  // as if parsed from a feed with a header line
+  return out;
+}
+
+Scenario BuildScenario(size_t events) {
+  // Half the generated train split seeds the base model; the other half
+  // plus the shifted test split is the feed. Window and retrain sizes
+  // scale with the feed so the surge always confirms and retrains.
+  Scenario scenario;
+  KddSimParams params;
+  params.train_records = events;
+  params.test_records = (events * 3) / 7;
+  params.seed = 427;
+  auto generated = GenerateKddSim(params);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "kdd_sim generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    std::exit(1);
+  }
+  scenario.schema = generated->train.schema();
+  scenario.target = scenario.schema.class_attr().FindCategory("r2l");
+  if (scenario.target == kInvalidCategory) {
+    std::fprintf(stderr, "kdd_sim schema lost the r2l class\n");
+    std::exit(1);
+  }
+
+  const Dataset& train = generated->train;
+  const RowId base_rows = static_cast<RowId>(train.num_rows() / 2);
+  Dataset base(scenario.schema);
+  for (RowId row = 0; row < base_rows; ++row) {
+    const RowId dst = base.AddRow();
+    for (size_t a = 0; a < scenario.schema.num_attributes(); ++a) {
+      const AttrIndex attr = static_cast<AttrIndex>(a);
+      if (scenario.schema.attribute(attr).is_numeric()) {
+        base.set_numeric(dst, attr, train.numeric(row, attr));
+      } else {
+        base.set_categorical(dst, attr, train.categorical(row, attr));
+      }
+    }
+    base.set_label(dst, train.label(row));
+  }
+  auto model = PnruleLearner(PnruleConfig()).Train(base, scenario.target);
+  if (!model.ok()) {
+    std::fprintf(stderr, "base training failed: %s\n",
+                 model.status().ToString().c_str());
+    std::exit(1);
+  }
+  scenario.base_model_text = SerializePnruleModel(*model, scenario.schema);
+
+  for (RowId row = base_rows; row < train.num_rows(); ++row) {
+    scenario.feed.push_back(RowFromDataset(train, row));
+  }
+  const Dataset& test = generated->test;
+  for (RowId row = 0; row < test.num_rows(); ++row) {
+    scenario.feed.push_back(RowFromDataset(test, row));
+  }
+  scenario.window_rows = scenario.feed.size() / 14;
+  scenario.retrain_rows = scenario.window_rows * 6;
+  return scenario;
+}
+
+// One engine replay's identity-relevant output.
+struct RunOutput {
+  std::string journal;
+  uint64_t swaps = 0;
+  uint64_t windows = 0;
+  std::string model_bytes;  ///< retrained model file, empty when no swap
+  double seconds = 0.0;
+};
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::string();
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+RunOutput ReplayOnce(const Scenario& scenario, size_t score_threads,
+                     bool retrain_enabled, const std::string& out_dir) {
+  ModelRegistry registry;
+  auto base = ParsePnruleModel(scenario.base_model_text, scenario.schema);
+  if (!base.ok()) {
+    std::fprintf(stderr, "base model parse failed: %s\n",
+                 base.status().ToString().c_str());
+    std::exit(1);
+  }
+  registry.Install("stream", scenario.schema, std::move(base).value());
+
+  ThreadBudget budget(score_threads + 2);
+  budget.Reserve(score_threads);
+
+  StreamEngineOptions options;
+  options.window_rows = scenario.window_rows;
+  options.sliding_windows = 5;
+  options.threshold = 0.5;
+  options.score_threads = score_threads;
+  options.target = scenario.target;
+  options.retrain_enabled = retrain_enabled;
+  options.retrain_rows = scenario.retrain_rows;
+  options.model_path = out_dir + "/base_model.txt";
+  options.retrain.out_dir = out_dir;
+  options.retrain.want_threads = 2;
+
+  StreamEngine engine(&scenario.schema, &registry, &budget, options);
+  Status status = engine.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "engine start failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+
+  RunOutput out;
+  Timer timer;
+  for (const ParsedRow& row : scenario.feed) {
+    engine.Ingest(row);
+    status = engine.Pump();
+    if (!status.ok()) {
+      std::fprintf(stderr, "pump failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  status = engine.FinishStream();
+  if (!status.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  out.seconds = timer.ElapsedSeconds();
+  for (const std::string& line : engine.journal()) {
+    out.journal += line;
+    out.journal += '\n';
+  }
+  out.swaps = engine.swaps_done();
+  out.windows = engine.windows_processed();
+  if (out.swaps > 0) out.model_bytes = ReadFileOrEmpty(engine.model_path());
+  return out;
+}
+
+struct ModeReport {
+  std::string json;
+  bool identical = true;
+  uint64_t swaps = 0;
+};
+
+// Times {1,2,4} score threads in one retrain mode; every run must match
+// the mode's serial reference bit-for-bit.
+ModeReport TimeMode(const Scenario& scenario, bool retrain_enabled,
+                    int iterations, const std::string& dir_prefix) {
+  ModeReport report;
+  report.json = std::string("    {\"retrain\": ") +
+                (retrain_enabled ? "true" : "false") + ",\n";
+  report.json += "     \"runs\": [\n";
+  const size_t thread_counts[] = {1, 2, 4};
+  RunOutput reference;
+  double serial_seconds = 0.0;
+  for (size_t t = 0; t < 3; ++t) {
+    const std::string out_dir =
+        dir_prefix + "_t" + std::to_string(thread_counts[t]);
+    ::mkdir(out_dir.c_str(), 0755);
+    RunOutput best;
+    for (int i = 0; i < iterations; ++i) {
+      RunOutput run =
+          ReplayOnce(scenario, thread_counts[t], retrain_enabled, out_dir);
+      if (i == 0 || run.seconds < best.seconds) best = std::move(run);
+    }
+    if (t == 0) {
+      reference = best;
+      serial_seconds = best.seconds;
+      report.swaps = best.swaps;
+    }
+    const bool identical = best.journal == reference.journal &&
+                           best.swaps == reference.swaps &&
+                           best.model_bytes == reference.model_bytes;
+    report.identical = report.identical && identical;
+    const double events_per_second =
+        best.seconds > 0.0 ? scenario.feed.size() / best.seconds : 0.0;
+    const double speedup =
+        best.seconds > 0.0 ? serial_seconds / best.seconds : 0.0;
+    report.json +=
+        "      {\"score_threads\": " + std::to_string(thread_counts[t]) +
+        ", \"wall_seconds\": " + Fmt("%.3f", best.seconds) +
+        ", \"events_per_second\": " + Fmt("%.0f", events_per_second) +
+        ", \"speedup_vs_serial\": " + Fmt("%.2f", speedup) +
+        ", \"bytes_identical_to_reference\": " +
+        (identical ? "true" : "false") + "}";
+    report.json += t + 1 < 3 ? ",\n" : "\n";
+  }
+  report.json += "     ],\n";
+  report.json += "     \"windows\": " + std::to_string(reference.windows) +
+                 ",\n";
+  report.json += "     \"swaps\": " + std::to_string(reference.swaps) + "}";
+  return report;
+}
+
+int Run(bool quick) {
+  const Scenario scenario = BuildScenario(BenchRows(quick));
+  const int iterations = CompareIters();
+
+  char dir_template[] = "/tmp/pnr_stream_bench_XXXXXX";
+  const char* scratch = ::mkdtemp(dir_template);
+  if (scratch == nullptr) {
+    std::fprintf(stderr, "cannot create scratch directory\n");
+    return 1;
+  }
+
+  const ModeReport with_retrain = TimeMode(
+      scenario, true, iterations, std::string(scratch) + "/retrain_on");
+  const ModeReport without_retrain = TimeMode(
+      scenario, false, iterations, std::string(scratch) + "/retrain_off");
+
+  const bool all_identical =
+      with_retrain.identical && without_retrain.identical;
+  const bool retrained = with_retrain.swaps > 0;
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"stream\",\n";
+  json += "  \"dataset\": {\"generator\": \"kdd_sim\", \"events\": " +
+          std::to_string(scenario.feed.size()) +
+          ", \"attributes\": " +
+          std::to_string(scenario.schema.num_attributes()) +
+          ", \"target\": \"r2l\"},\n";
+  json += "  \"window_rows\": " + std::to_string(scenario.window_rows) +
+          ",\n";
+  json += "  \"retrain_rows\": " + std::to_string(scenario.retrain_rows) +
+          ",\n";
+  json += "  \"iterations\": " + std::to_string(iterations) + ",\n";
+  json += "  \"timing\": \"best-of-iterations wall seconds per full feed "
+          "replay (ingest + score + drift + journal + retrain)\",\n";
+  json += "  \"cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"modes\": [\n";
+  json += with_retrain.json + ",\n";
+  json += without_retrain.json + "\n";
+  json += "  ],\n";
+  json += std::string("  \"drift_retrain_fired\": ") +
+          (retrained ? "true" : "false") + ",\n";
+  json += std::string("  \"all_bytes_identical\": ") +
+          (all_identical ? "true" : "false") + "\n";
+  json += "}\n";
+
+  std::printf("%s", json.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: some thread count's journal/model bytes differ from "
+                 "its mode's serial reference\n");
+    return 1;
+  }
+  if (!retrained) {
+    std::fprintf(stderr,
+                 "FAIL: the drift scenario never triggered a retrain — the "
+                 "retrain-on mode measured nothing\n");
+    return 1;
+  }
+
+  const char* json_path = std::getenv("PNR_BENCH_JSON");
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  return Run(quick);
+}

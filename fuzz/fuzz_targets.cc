@@ -1,5 +1,6 @@
 #include "fuzz_targets.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include "serve/binary.h"
 #include "serve/http.h"
 #include "serve/json.h"
+#include "stream/engine.h"
 #include "tune/config_space.h"
 
 namespace pnr {
@@ -559,6 +561,137 @@ void FuzzShard(const uint8_t* data, size_t size) {
              "paged view differs from the in-RAM load");
 }
 
+// -- stream -----------------------------------------------------------------
+
+namespace {
+
+// The fixed schema the stream fuzz modes parse/restore against: one
+// numeric and one categorical feature, two classes.
+const Schema& StreamFuzzSchema() {
+  static const Schema schema = [] {
+    Schema s;
+    s.AddAttribute(Attribute::Numeric("x"));
+    s.AddAttribute(Attribute::Categorical("c", {"a", "b", "c"}));
+    s.GetOrAddClass("neg");
+    s.GetOrAddClass("pos");
+    return s;
+  }();
+  return schema;
+}
+
+// Canonical rendering of everything a FeedParser produced, bit-exact, so
+// two parses compare with one string equality.
+struct FeedTrace {
+  std::string rows;
+  std::vector<std::string> errors;
+  uint64_t error_count = 0;
+  uint64_t lines_seen = 0;
+  uint64_t rows_emitted = 0;
+
+  bool operator==(const FeedTrace& other) const {
+    return rows == other.rows && errors == other.errors &&
+           error_count == other.error_count &&
+           lines_seen == other.lines_seen &&
+           rows_emitted == other.rows_emitted;
+  }
+};
+
+void AppendRowTrace(const ParsedRow& row, std::string* out) {
+  out->append("r ");
+  out->append(std::to_string(row.line));
+  for (const double value : row.numeric) {
+    out->push_back(' ');
+    out->append(std::to_string(std::bit_cast<uint64_t>(value)));
+  }
+  for (const CategoryId id : row.categorical) {
+    out->push_back(' ');
+    out->append(std::to_string(id));
+  }
+  out->push_back(' ');
+  out->append(std::to_string(row.label));
+  out->push_back('\n');
+}
+
+// Parses `text` whole (fragment == 0), in `fragment`-byte pieces, or via
+// AppendParallel (fragment == kParallel).
+constexpr size_t kParallelFeed = ~size_t{0};
+
+FeedTrace ParseFeed(std::string_view text, size_t fragment) {
+  FeedParser parser(&StreamFuzzSchema(), "fuzz");
+  FeedTrace trace;
+  parser.set_row_fn(
+      [&trace](const ParsedRow& row) { AppendRowTrace(row, &trace.rows); });
+  if (fragment == kParallelFeed) {
+    parser.AppendParallel(text, 3);
+  } else if (fragment == 0) {
+    parser.Append(text);
+  } else {
+    for (size_t at = 0; at < text.size(); at += fragment) {
+      parser.Append(text.substr(at, std::min(fragment, text.size() - at)));
+    }
+  }
+  parser.Finish();
+  trace.errors = parser.errors();
+  trace.error_count = parser.error_count();
+  trace.lines_seen = parser.lines_seen();
+  trace.rows_emitted = parser.rows_emitted();
+  return trace;
+}
+
+}  // namespace
+
+void FuzzStream(const uint8_t* data, size_t size) {
+  if (size == 0 || size > kMaxInput) return;
+  // First byte picks the surface; the rest is the input.
+  const bool feed_mode = (data[0] & 1) == 0;
+  const std::string text(AsText(data + 1, size - 1));
+
+  if (feed_mode) {
+    // Feed parser: the same bytes in any fragmentation — including the
+    // chunk-parallel catch-up path — must yield bit-identical rows AND
+    // identical located error text, and every rejection is located.
+    const FeedTrace whole = ParseFeed(text, 0);
+    const size_t fragment = 1 + size % 13;
+    FUZZ_CHECK(whole == ParseFeed(text, fragment),
+               "fragmented feed parse differs from whole parse");
+    FUZZ_CHECK(whole == ParseFeed(text, kParallelFeed),
+               "parallel feed parse differs from whole parse");
+    for (const std::string& error : whole.errors) {
+      FUZZ_CHECK(error.compare(0, 10, "feed:fuzz:") == 0,
+                 "feed rejection without a located message");
+    }
+    return;
+  }
+
+  // Checkpoint: parse is deterministic; a rejection is located; an
+  // accepted checkpoint serializes back byte-identically, and its embedded
+  // drift blob either restores to a serialization fixpoint or rejects with
+  // a located error.
+  auto parsed = ParseStreamCheckpoint(text);
+  auto again = ParseStreamCheckpoint(text);
+  FUZZ_CHECK(parsed.ok() == again.ok(),
+             "checkpoint parse verdict is not deterministic");
+  if (!parsed.ok()) {
+    const std::string error = parsed.status().ToString();
+    FUZZ_CHECK(error.find("stream-checkpoint:") != std::string::npos,
+               "checkpoint rejection without a located message");
+    FUZZ_CHECK(error == again.status().ToString(),
+               "checkpoint rejection text is not deterministic");
+    return;
+  }
+  FUZZ_CHECK(SerializeStreamCheckpoint(*parsed) == text,
+             "accepted checkpoint does not serialize back byte-identically");
+  DriftDetector detector(&StreamFuzzSchema(), DriftOptions());
+  const Status restored = detector.Restore(parsed->drift_blob);
+  if (restored.ok()) {
+    FUZZ_CHECK(detector.Serialize() == parsed->drift_blob,
+               "restored drift state does not serialize back");
+  } else {
+    FUZZ_CHECK(restored.ToString().find("drift-state:") != std::string::npos,
+               "drift blob rejection without a located message");
+  }
+}
+
 namespace {
 
 struct Target {
@@ -570,7 +703,7 @@ constexpr Target kTargets[] = {
     {"csv", FuzzCsv},       {"arff", FuzzArff}, {"model", FuzzModel},
     {"schema", FuzzSchema}, {"http", FuzzHttp}, {"json", FuzzJson},
     {"serve_binary", FuzzServeBinary},          {"tune", FuzzTune},
-    {"shard", FuzzShard},
+    {"shard", FuzzShard},     {"stream", FuzzStream},
 };
 
 }  // namespace
@@ -583,7 +716,7 @@ TargetFn FindTarget(std::string_view name) {
 }
 
 const char* TargetNames() {
-  return "csv arff model schema http json serve_binary tune shard";
+  return "csv arff model schema http json serve_binary tune shard stream";
 }
 
 }  // namespace fuzz

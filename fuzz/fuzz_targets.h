@@ -2,7 +2,8 @@
 //
 // One function per surface (CSV/ARFF ingest, model_io, schema_io, the HTTP
 // request parser, the serve JSON parser, the binary predict protocol, the
-// tune config-space parser, the columnar shard-store reader).
+// tune config-space parser, the columnar shard-store reader, the stream
+// feed parser and checkpoint/drift state).
 // Each target consumes an arbitrary
 // byte string and asserts the surface's hardening contract:
 //
@@ -41,9 +42,11 @@ void FuzzJson(const uint8_t* data, size_t size);
 void FuzzServeBinary(const uint8_t* data, size_t size);
 void FuzzTune(const uint8_t* data, size_t size);
 void FuzzShard(const uint8_t* data, size_t size);
+void FuzzStream(const uint8_t* data, size_t size);
 
 /// Looks a target up by its corpus name ("csv", "arff", "model", "schema",
-/// "http", "json", "serve_binary", "tune", "shard"); nullptr when unknown.
+/// "http", "json", "serve_binary", "tune", "shard", "stream"); nullptr when
+/// unknown.
 TargetFn FindTarget(std::string_view name);
 
 /// Space-separated list of valid target names (for usage messages).

@@ -185,10 +185,15 @@ bool LooksLikeShardStore(std::string_view bytes) {
          std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
 }
 
-StatusOr<std::string> SerializeShardStore(
-    const Dataset& dataset, const ShardStoreWriteOptions& options) {
+// Shared serializer core. `rows` selects the records to write in order;
+// nullptr means the identity list [0, count) (the whole-dataset path, which
+// skips the gather copy for numeric columns). Both paths emit the same
+// bytes for the same logical row sequence.
+static StatusOr<std::string> SerializeRowsImpl(
+    const Dataset& dataset,
+                                        const RowId* rows, uint64_t num_rows,
+                                        const ShardStoreWriteOptions& options) {
   const Schema& schema = dataset.schema();
-  const uint64_t num_rows = dataset.num_rows();
   if (num_rows == 0) {
     return Status::InvalidArgument("shard_store: cannot write an empty dataset");
   }
@@ -197,14 +202,25 @@ StatusOr<std::string> SerializeShardStore(
     return Status::InvalidArgument(
         "shard_store: dataset schema has no class labels");
   }
-  for (CategoryId label : dataset.labels()) {
+  if (rows != nullptr) {
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      if (rows[i] >= dataset.num_rows()) {
+        return Status::InvalidArgument(
+            "shard_store: row id " + std::to_string(rows[i]) +
+            " outside the dataset");
+      }
+    }
+  }
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    const CategoryId label = dataset.labels()[rows ? rows[i] : i];
     if (label < 0 || static_cast<size_t>(label) >= num_classes) {
       return Status::InvalidArgument(
           "shard_store: label outside the class dictionary");
     }
   }
   bool has_weights = options.include_weights;
-  for (double w : dataset.weights()) {
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    const double w = dataset.weights()[rows ? rows[i] : i];
     if (!std::isfinite(w)) {
       return Status::InvalidArgument("shard_store: non-finite record weight");
     }
@@ -227,14 +243,15 @@ StatusOr<std::string> SerializeShardStore(
   std::vector<PendingBlob> label_blobs(num_shards);
   std::vector<uint32_t> codes;
   for (uint32_t s = 0; s < num_shards; ++s) {
-    const size_t rows = ranges[s].second - ranges[s].first;
-    codes.resize(rows);
-    for (size_t i = 0; i < rows; ++i) {
+    const size_t shard_rows = ranges[s].second - ranges[s].first;
+    codes.resize(shard_rows);
+    for (size_t i = 0; i < shard_rows; ++i) {
+      const uint64_t pos = ranges[s].first + i;
       codes[i] = static_cast<uint32_t>(
-          dataset.labels()[ranges[s].first + i]);
+          dataset.labels()[rows ? rows[pos] : pos]);
     }
     std::string payload;
-    PackCodes(codes.data(), rows, label_width, &payload);
+    PackCodes(codes.data(), shard_rows, label_width, &payload);
     label_blobs[s] = EmitBlob(&file, payload);
   }
 
@@ -244,8 +261,8 @@ StatusOr<std::string> SerializeShardStore(
     weight_blobs.resize(num_shards);
     for (uint32_t s = 0; s < num_shards; ++s) {
       std::string payload;
-      for (uint64_t row = ranges[s].first; row < ranges[s].second; ++row) {
-        AppendF64(&payload, dataset.weights()[row]);
+      for (uint64_t pos = ranges[s].first; pos < ranges[s].second; ++pos) {
+        AppendF64(&payload, dataset.weights()[rows ? rows[pos] : pos]);
       }
       weight_blobs[s] = EmitBlob(&file, payload);
     }
@@ -258,6 +275,7 @@ StatusOr<std::string> SerializeShardStore(
     uint32_t cmin = 0, cmax = 0;
   };
   std::vector<std::vector<PendingShard>> column_shards(num_attrs);
+  std::vector<double> gathered;
   for (uint32_t a = 0; a < num_attrs; ++a) {
     const AttrIndex attr = static_cast<AttrIndex>(a);
     const Attribute& attribute = schema.attribute(attr);
@@ -265,14 +283,22 @@ StatusOr<std::string> SerializeShardStore(
     if (attribute.is_numeric()) {
       const std::vector<double>& column = dataset.numeric_column(attr);
       for (uint32_t s = 0; s < num_shards; ++s) {
-        const size_t rows = ranges[s].second - ranges[s].first;
+        const size_t shard_rows = ranges[s].second - ranges[s].first;
+        const double* values;
+        if (rows == nullptr) {
+          values = column.data() + ranges[s].first;
+        } else {
+          gathered.resize(shard_rows);
+          for (size_t i = 0; i < shard_rows; ++i) {
+            gathered[i] = column[rows[ranges[s].first + i]];
+          }
+          values = gathered.data();
+        }
         std::string payload;
-        payload.resize(rows * sizeof(double));
-        std::memcpy(&payload[0], column.data() + ranges[s].first,
-                    rows * sizeof(double));
+        payload.resize(shard_rows * sizeof(double));
+        std::memcpy(&payload[0], values, shard_rows * sizeof(double));
         PendingShard& shard = column_shards[a][s];
-        NumericZone(column.data() + ranges[s].first, rows, &shard.zmin,
-                    &shard.zmax);
+        NumericZone(values, shard_rows, &shard.zmin, &shard.zmax);
         shard.blob = EmitBlob(&file, payload);
       }
     } else {
@@ -281,10 +307,11 @@ StatusOr<std::string> SerializeShardStore(
           static_cast<uint32_t>(attribute.num_categories());
       const uint32_t width = BitsForMaxValue(invalid_code);
       for (uint32_t s = 0; s < num_shards; ++s) {
-        const size_t rows = ranges[s].second - ranges[s].first;
-        codes.resize(rows);
-        for (size_t i = 0; i < rows; ++i) {
-          const CategoryId cell = column[ranges[s].first + i];
+        const size_t shard_rows = ranges[s].second - ranges[s].first;
+        codes.resize(shard_rows);
+        for (size_t i = 0; i < shard_rows; ++i) {
+          const uint64_t pos = ranges[s].first + i;
+          const CategoryId cell = column[rows ? rows[pos] : pos];
           if (cell == kInvalidCategory) {
             codes[i] = invalid_code;
           } else if (cell >= 0 &&
@@ -297,9 +324,9 @@ StatusOr<std::string> SerializeShardStore(
           }
         }
         std::string payload;
-        PackCodes(codes.data(), rows, width, &payload);
+        PackCodes(codes.data(), shard_rows, width, &payload);
         PendingShard& shard = column_shards[a][s];
-        CodeZone(codes.data(), rows, &shard.cmin, &shard.cmax);
+        CodeZone(codes.data(), shard_rows, &shard.cmin, &shard.cmax);
         shard.blob = EmitBlob(&file, payload);
       }
     }
@@ -359,9 +386,30 @@ StatusOr<std::string> SerializeShardStore(
   return file;
 }
 
+StatusOr<std::string> SerializeShardStore(
+    const Dataset& dataset, const ShardStoreWriteOptions& options) {
+  return SerializeRowsImpl(dataset, nullptr, dataset.num_rows(), options);
+}
+
 Status WriteShardStore(const Dataset& dataset, const std::string& path,
                        const ShardStoreWriteOptions& options) {
   StatusOr<std::string> image = SerializeShardStore(dataset, options);
+  if (!image.ok()) return image.status();
+  return WriteStringToFile(*image, path);
+}
+
+StatusOr<std::string> SerializeShardStoreRows(
+    const Dataset& dataset, const RowId* rows, size_t count,
+    const ShardStoreWriteOptions& options) {
+  assert(rows != nullptr || count == 0);
+  return SerializeRowsImpl(dataset, rows, count, options);
+}
+
+Status WriteShardStoreRows(const Dataset& dataset, const RowId* rows,
+                           size_t count, const std::string& path,
+                           const ShardStoreWriteOptions& options) {
+  StatusOr<std::string> image =
+      SerializeShardStoreRows(dataset, rows, count, options);
   if (!image.ok()) return image.status();
   return WriteStringToFile(*image, path);
 }

@@ -90,6 +90,22 @@ StatusOr<std::string> SerializeShardStore(const Dataset& dataset,
 Status WriteShardStore(const Dataset& dataset, const std::string& path,
                        const ShardStoreWriteOptions& options);
 
+/// Renders only the rows `rows[0..count)` of `dataset` (in that order) as a
+/// shard-store file image, without materializing an intermediate Dataset —
+/// the stream retrain orchestrator snapshots a trailing window this way.
+/// Row ids may repeat and appear in any order; each must be < num_rows().
+/// Passing the identity list [0, num_rows) produces bytes identical to
+/// SerializeShardStore. InvalidArgument on an empty or out-of-range list and
+/// under the same label/weight constraints as the full serializer.
+StatusOr<std::string> SerializeShardStoreRows(
+    const Dataset& dataset, const RowId* rows, size_t count,
+    const ShardStoreWriteOptions& options);
+
+/// SerializeShardStoreRows + WriteStringToFile.
+Status WriteShardStoreRows(const Dataset& dataset, const RowId* rows,
+                           size_t count, const std::string& path,
+                           const ShardStoreWriteOptions& options);
+
 /// Returns true when `bytes` begins with the shard-store magic (used by the
 /// CLI to sniff shard files apart from CSV/ARFF).
 bool LooksLikeShardStore(std::string_view bytes);

@@ -91,6 +91,10 @@ void RenderAggregate(std::string* out, const MetricsSnapshot& snap) {
                 snap.deadline_exceeded);
   AppendGauge(out, "pnr_connections_active", "", snap.connections_active);
   AppendCounter(out, "pnr_connections_total", "", snap.connections_total);
+  AppendGauge(out, "pnr_serve_model_version", "",
+              static_cast<int64_t>(snap.model_version));
+  AppendCounter(out, "pnr_serve_model_swaps_total", "",
+                snap.model_swaps_total);
 }
 
 }  // namespace
@@ -168,6 +172,10 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   deadline_exceeded += other.deadline_exceeded;
   connections_active += other.connections_active;
   connections_total += other.connections_total;
+  // The fleet serves whatever the newest shard snapshot serves; swaps are
+  // per-shard observations and sum.
+  if (other.model_version > model_version) model_version = other.model_version;
+  model_swaps_total += other.model_swaps_total;
 }
 
 MetricsSnapshot ServerMetrics::Snap() const {
@@ -186,6 +194,8 @@ MetricsSnapshot ServerMetrics::Snap() const {
   snap.connections_active =
       connections_active.load(std::memory_order_relaxed);
   snap.connections_total = connections_total.load(std::memory_order_relaxed);
+  snap.model_version = model_version.load(std::memory_order_relaxed);
+  snap.model_swaps_total = model_swaps_total.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -233,6 +243,10 @@ std::string RenderFleetMetrics(
                 snap.connections_active);
     AppendCounter(&out, "pnr_serve_shard_connections_total", labels,
                   snap.connections_total);
+    AppendGauge(&out, "pnr_serve_shard_model_version", labels,
+                static_cast<int64_t>(snap.model_version));
+    AppendCounter(&out, "pnr_serve_shard_model_swaps_total", labels,
+                  snap.model_swaps_total);
     char inner[64];
     std::snprintf(inner, sizeof(inner), "shard=\"%zu\"", i);
     AppendQuantiles(&out, "pnr_serve_shard_latency_us", inner,

@@ -91,6 +91,8 @@ struct MetricsSnapshot {
   uint64_t deadline_exceeded = 0;
   int64_t connections_active = 0;
   uint64_t connections_total = 0;
+  uint64_t model_version = 0;      ///< gauge; fleet aggregate is the max
+  uint64_t model_swaps_total = 0;  ///< counter; fleet aggregate is the sum
 
   void Merge(const MetricsSnapshot& other);
 };
@@ -115,6 +117,11 @@ class ServerMetrics {
   std::atomic<uint64_t> deadline_exceeded{0};   ///< 504s
   std::atomic<int64_t> connections_active{0};   ///< gauge
   std::atomic<uint64_t> connections_total{0};
+
+  // Hot-swap observability (fed by the shard's snapshot-cache refresh; the
+  // stream retrain orchestrator's registry installs surface here).
+  std::atomic<uint64_t> model_version{0};     ///< gauge: max cached version
+  std::atomic<uint64_t> model_swaps_total{0};  ///< observed swaps
 
   MetricsSnapshot Snap() const;
 

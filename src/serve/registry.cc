@@ -1,5 +1,6 @@
 #include "serve/registry.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "data/schema_io.h"
@@ -72,10 +73,12 @@ size_t ModelRegistry::size() const {
   return models_.size();
 }
 
-void SnapshotCache::Refresh() {
+size_t SnapshotCache::Refresh() {
   if (registry_->epoch_.load(std::memory_order_acquire) == seen_epoch_) {
-    return;
+    return 0;
   }
+  std::map<std::string, std::shared_ptr<const ServedModel>> previous =
+      std::move(models_);
   std::lock_guard<std::mutex> lock(registry_->mutex_);
   models_ = registry_->models_;
   ordered_.clear();
@@ -85,6 +88,25 @@ void SnapshotCache::Refresh() {
   // landed in the table we just copied or bumps the epoch we re-read here,
   // forcing another refresh next round. Either way no update is skipped.
   seen_epoch_ = registry_->epoch_.load(std::memory_order_acquire);
+  // Swaps observed = version advance of names seen both before and after
+  // (covers several installs landing between two refreshes); a name's first
+  // appearance is a load, not a swap.
+  size_t swaps = 0;
+  for (const auto& [name, entry] : models_) {
+    const auto it = previous.find(name);
+    if (it != previous.end() && entry->version > it->second->version) {
+      swaps += entry->version - it->second->version;
+    }
+  }
+  return swaps;
+}
+
+uint64_t SnapshotCache::max_version() const {
+  uint64_t version = 0;
+  for (const auto& entry : ordered_) {
+    version = std::max(version, entry->version);
+  }
+  return version;
 }
 
 std::shared_ptr<const ServedModel> SnapshotCache::Get(

@@ -96,8 +96,11 @@ class SnapshotCache {
       : registry_(registry) {}
 
   /// Re-copies the table iff the registry epoch moved. One relaxed atomic
-  /// load when nothing changed.
-  void Refresh();
+  /// load when nothing changed. Returns the number of hot-swaps observed:
+  /// the summed version advance of names present both before and after the
+  /// refresh (a first Load of a new name is not a swap). Shards feed this
+  /// into their pnr_serve_model_swaps_total counter.
+  size_t Refresh();
 
   /// Snapshot for `name`, or the sole model when `name` is empty and
   /// exactly one is loaded, or nullptr. Call Refresh() first.
@@ -107,6 +110,10 @@ class SnapshotCache {
   const std::vector<std::shared_ptr<const ServedModel>>& List() const {
     return ordered_;
   }
+
+  /// Highest version among the cached snapshots (0 when none) — the value a
+  /// shard exports as its pnr_serve_model_version gauge.
+  uint64_t max_version() const;
 
  private:
   const ModelRegistry* registry_;

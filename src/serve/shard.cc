@@ -596,6 +596,15 @@ std::string ServeShard::RenderModels() {
   return body;
 }
 
+void ServeShard::RefreshSnapshots() {
+  const size_t swaps = snapshots_.Refresh();
+  if (swaps > 0) {
+    metrics_.model_swaps_total.fetch_add(swaps, std::memory_order_relaxed);
+  }
+  metrics_.model_version.store(snapshots_.max_version(),
+                               std::memory_order_relaxed);
+}
+
 void ServeShard::DispatchHttp(Conn* conn, HttpRequest request) {
   const auto start = std::chrono::steady_clock::now();
   // During drain every connection closes — but only after its last
@@ -645,7 +654,7 @@ void ServeShard::DispatchHttp(Conn* conn, HttpRequest request) {
     if (request.method != "GET") {
       response = JsonError(405, "models is GET-only");
     } else {
-      snapshots_.Refresh();
+      RefreshSnapshots();
       response.headers.emplace_back("Content-Type", "application/json");
       response.body = RenderModels();
     }
@@ -660,7 +669,7 @@ void ServeShard::DispatchHttp(Conn* conn, HttpRequest request) {
 void ServeShard::PredictJson(Conn* conn, uint64_t seq,
                              const HttpRequest& request, bool close_after) {
   const auto start = std::chrono::steady_clock::now();
-  snapshots_.Refresh();
+  RefreshSnapshots();
 
   std::shared_ptr<const ServedModel> model;
   RowBlock block;
@@ -715,7 +724,7 @@ void ServeShard::DispatchBinary(Conn* conn, BinaryRequest request) {
   const bool close_after =
       draining_ &&
       conn->binary.state() != BinaryRequestParser::State::kDone;
-  snapshots_.Refresh();
+  RefreshSnapshots();
 
   auto fail = [&](BinaryStatus code, const std::string& message) {
     metrics_.endpoint_predict().Record(HttpStatusOf(code), ElapsedUs(start));

@@ -145,6 +145,9 @@ class ServeShard {
   void PredictJson(Conn* conn, uint64_t seq, const HttpRequest& request,
                    bool close_after);
   std::string RenderModels();
+  /// Refreshes the snapshot cache and folds observed hot-swaps into the
+  /// shard's model_version gauge / model_swaps_total counter.
+  void RefreshSnapshots();
 
   /// Claims the next slot on `conn` and returns its sequence number.
   uint64_t ClaimSlot(Conn* conn);

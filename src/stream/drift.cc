@@ -1,0 +1,558 @@
+#include "stream/drift.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pnr {
+
+namespace {
+
+Status DriftError(size_t line_number, const std::string& message) {
+  return Status::InvalidArgument(
+      "drift-state:" + std::to_string(line_number) + ": " + message);
+}
+
+}  // namespace
+
+double SmoothedPsi(const std::vector<uint64_t>& reference,
+                   const std::vector<uint64_t>& window) {
+  assert(reference.size() == window.size());
+  const size_t bins = reference.size();
+  if (bins == 0) return 0.0;
+  uint64_t ref_total = 0;
+  uint64_t win_total = 0;
+  for (size_t i = 0; i < bins; ++i) {
+    ref_total += reference[i];
+    win_total += window[i];
+  }
+  const double ref_denom =
+      static_cast<double>(ref_total) + 0.5 * static_cast<double>(bins);
+  const double win_denom =
+      static_cast<double>(win_total) + 0.5 * static_cast<double>(bins);
+  double psi = 0.0;
+  for (size_t i = 0; i < bins; ++i) {
+    const double p = (static_cast<double>(reference[i]) + 0.5) / ref_denom;
+    const double q = (static_cast<double>(window[i]) + 0.5) / win_denom;
+    psi += (q - p) * std::log(q / p);
+  }
+  return psi;
+}
+
+DriftDetector::DriftDetector(const Schema* schema, DriftOptions options)
+    : schema_(schema), options_(options) {
+  assert(schema_ != nullptr);
+  assert(options_.reference_windows > 0);
+  assert(options_.confirm_windows > 0);
+  assert(options_.numeric_bins >= 2);
+  const size_t num_attrs = schema_->num_attributes();
+  numeric_.resize(num_attrs);
+  categorical_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const Attribute& attribute = schema_->attribute(static_cast<AttrIndex>(a));
+    if (!attribute.is_numeric()) {
+      categorical_[a].counts.assign(attribute.num_categories() + 1, 0);
+    }
+  }
+  score_counts_.assign(kStreamScoreBins, 0);
+  label_counts_.assign(2, 0);
+}
+
+void DriftDetector::ResetBaseline() {
+  for (NumericState& state : numeric_) {
+    state.sample.clear();
+    state.edges.clear();
+    state.counts.clear();
+  }
+  for (CategoricalState& state : categorical_) {
+    std::fill(state.counts.begin(), state.counts.end(), 0);
+  }
+  std::fill(score_counts_.begin(), score_counts_.end(), 0);
+  std::fill(label_counts_.begin(), label_counts_.end(), 0);
+  ready_ = false;
+  warmup_seen_ = 0;
+  consecutive_ = 0;
+  ++resets_;
+}
+
+size_t DriftDetector::NumericBin(const NumericState& state,
+                                 double value) const {
+  // First edge strictly greater than `value`: equal values fall into the
+  // lower bin, which keeps binning independent of how ties were sampled.
+  return static_cast<size_t>(
+      std::upper_bound(state.edges.begin(), state.edges.end(), value) -
+      state.edges.begin());
+}
+
+void DriftDetector::FinalizeBaseline() {
+  const size_t bins = options_.numeric_bins;
+  for (size_t a = 0; a < numeric_.size(); ++a) {
+    const Attribute& attribute = schema_->attribute(static_cast<AttrIndex>(a));
+    if (!attribute.is_numeric()) continue;
+    NumericState& state = numeric_[a];
+    // Equi-depth cut points from the sorted reference sample. A constant
+    // column yields equal edges; every value then lands in bin 0 and PSI
+    // only moves when genuinely new values appear.
+    std::vector<double> sorted = state.sample;
+    std::sort(sorted.begin(), sorted.end());
+    state.edges.assign(bins - 1, 0.0);
+    for (size_t k = 0; k + 1 < bins; ++k) {
+      const size_t pos =
+          sorted.empty()
+              ? 0
+              : std::min(sorted.size() - 1, (k + 1) * sorted.size() / bins);
+      state.edges[k] = sorted.empty() ? 0.0 : sorted[pos];
+    }
+    state.counts.assign(bins, 0);
+    for (const double value : state.sample) {
+      ++state.counts[NumericBin(state, value)];
+    }
+    state.sample.clear();
+    state.sample.shrink_to_fit();
+  }
+  ready_ = true;
+}
+
+DriftDetector::WindowReport DriftDetector::Observe(const Dataset& dataset,
+                                                   const RowId* rows,
+                                                   size_t count,
+                                                   const double* scores,
+                                                   CategoryId target) {
+  WindowReport report;
+  const size_t num_attrs = schema_->num_attributes();
+  if (!ready_) {
+    // Warmup: the window extends the reference.
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const Attribute& attribute =
+          schema_->attribute(static_cast<AttrIndex>(a));
+      if (attribute.is_numeric()) {
+        NumericState& state = numeric_[a];
+        for (size_t i = 0; i < count; ++i) {
+          if (state.sample.size() >= options_.max_reference_values) break;
+          state.sample.push_back(
+              dataset.numeric(rows[i], static_cast<AttrIndex>(a)));
+        }
+      } else {
+        CategoricalState& state = categorical_[a];
+        const size_t unseen = state.counts.size() - 1;
+        for (size_t i = 0; i < count; ++i) {
+          const CategoryId value =
+              dataset.categorical(rows[i], static_cast<AttrIndex>(a));
+          ++state.counts[value == kInvalidCategory
+                             ? unseen
+                             : static_cast<size_t>(value)];
+        }
+      }
+    }
+    for (size_t i = 0; i < count; ++i) {
+      ++score_counts_[StreamScoreBin(scores[i])];
+      const CategoryId label = dataset.label(rows[i]);
+      if (label != kInvalidCategory) {
+        ++label_counts_[label == target ? 0 : 1];
+      }
+    }
+    ++warmup_seen_;
+    if (warmup_seen_ >= options_.reference_windows) FinalizeBaseline();
+    report.warmup = true;
+    return report;
+  }
+
+  // Comparison: bin the window and PSI it against the reference.
+  std::vector<uint64_t> window_counts;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const Attribute& attribute = schema_->attribute(static_cast<AttrIndex>(a));
+    double psi = 0.0;
+    if (attribute.is_numeric()) {
+      const NumericState& state = numeric_[a];
+      window_counts.assign(options_.numeric_bins, 0);
+      for (size_t i = 0; i < count; ++i) {
+        ++window_counts[NumericBin(
+            state, dataset.numeric(rows[i], static_cast<AttrIndex>(a)))];
+      }
+      psi = SmoothedPsi(state.counts, window_counts);
+    } else {
+      const CategoricalState& state = categorical_[a];
+      const size_t unseen = state.counts.size() - 1;
+      window_counts.assign(state.counts.size(), 0);
+      for (size_t i = 0; i < count; ++i) {
+        const CategoryId value =
+            dataset.categorical(rows[i], static_cast<AttrIndex>(a));
+        ++window_counts[value == kInvalidCategory ? unseen
+                                                  : static_cast<size_t>(value)];
+      }
+      psi = SmoothedPsi(state.counts, window_counts);
+    }
+    if (psi > report.max_feature_psi) {
+      report.max_feature_psi = psi;
+      report.worst_attr = static_cast<AttrIndex>(a);
+    }
+  }
+  window_counts.assign(kStreamScoreBins, 0);
+  for (size_t i = 0; i < count; ++i) {
+    ++window_counts[StreamScoreBin(scores[i])];
+  }
+  report.score_psi = SmoothedPsi(score_counts_, window_counts);
+
+  std::vector<uint64_t> label_window(2, 0);
+  for (size_t i = 0; i < count; ++i) {
+    const CategoryId label = dataset.label(rows[i]);
+    if (label != kInvalidCategory) ++label_window[label == target ? 0 : 1];
+  }
+  // A window whose labels have not arrived at all says nothing about the
+  // positive rate; comparing all-zero counts against the reference would
+  // manufacture a huge PSI out of the smoothing terms.
+  if (label_window[0] + label_window[1] > 0) {
+    report.label_psi = SmoothedPsi(label_counts_, label_window);
+  }
+
+  report.over_threshold = report.max_feature_psi > options_.psi_threshold ||
+                          report.score_psi > options_.score_psi_threshold ||
+                          report.label_psi > options_.label_psi_threshold;
+  consecutive_ = report.over_threshold ? consecutive_ + 1 : 0;
+  report.consecutive = consecutive_;
+  report.confirmed = consecutive_ >= options_.confirm_windows;
+  return report;
+}
+
+// -- Serialization ------------------------------------------------------------
+//
+// Line-oriented v1 blob, one section per attribute plus the score section:
+//
+//   pnr-stream-drift v1
+//   state <warmup|ready>
+//   warmup_seen <n>
+//   consecutive <n>
+//   resets <n>
+//   attrs <num_attrs>
+//   attr <i> numeric sample <k> [v...]            (warmup)
+//   attr <i> numeric edges <k> [v...] counts <b> [c...]  (ready)
+//   attr <i> cat counts <k> [c...]
+//   score counts <k> [c...]
+//   label counts 2 [c c]
+//   end
+//
+// Doubles render with FormatDouble(x, 17) so restore is exact.
+
+std::string DriftDetector::Serialize() const {
+  std::string out = "pnr-stream-drift v1\n";
+  out += std::string("state ") + (ready_ ? "ready" : "warmup") + "\n";
+  out += "warmup_seen " + std::to_string(warmup_seen_) + "\n";
+  out += "consecutive " + std::to_string(consecutive_) + "\n";
+  out += "resets " + std::to_string(resets_) + "\n";
+  out += "attrs " + std::to_string(schema_->num_attributes()) + "\n";
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attribute = schema_->attribute(static_cast<AttrIndex>(a));
+    out += "attr " + std::to_string(a);
+    if (attribute.is_numeric()) {
+      const NumericState& state = numeric_[a];
+      if (ready_) {
+        out += " numeric edges " + std::to_string(state.edges.size());
+        for (const double edge : state.edges) {
+          out += ' ';
+          out += FormatDouble(edge, 17);
+        }
+        out += " counts " + std::to_string(state.counts.size());
+        for (const uint64_t count : state.counts) {
+          out += ' ';
+          out += std::to_string(count);
+        }
+      } else {
+        out += " numeric sample " + std::to_string(state.sample.size());
+        for (const double value : state.sample) {
+          out += ' ';
+          out += FormatDouble(value, 17);
+        }
+      }
+    } else {
+      const CategoricalState& state = categorical_[a];
+      out += " cat counts " + std::to_string(state.counts.size());
+      for (const uint64_t count : state.counts) {
+        out += ' ';
+        out += std::to_string(count);
+      }
+    }
+    out += '\n';
+  }
+  out += "score counts " + std::to_string(score_counts_.size());
+  for (const uint64_t count : score_counts_) {
+    out += ' ';
+    out += std::to_string(count);
+  }
+  out += "\nlabel counts " + std::to_string(label_counts_.size());
+  for (const uint64_t count : label_counts_) {
+    out += ' ';
+    out += std::to_string(count);
+  }
+  out += "\nend\n";
+  return out;
+}
+
+namespace {
+
+/// Tokenizer over one line: whitespace-split fields consumed in order.
+struct LineFields {
+  std::vector<std::string_view> fields;
+  size_t next = 0;
+
+  bool Take(std::string_view* out) {
+    if (next >= fields.size()) return false;
+    *out = fields[next++];
+    return true;
+  }
+  bool TakeUint(uint64_t* out) {
+    std::string_view field;
+    long long value = 0;
+    if (!Take(&field) || !ParseInt64(field, &value) || value < 0) return false;
+    *out = static_cast<uint64_t>(value);
+    return true;
+  }
+  bool TakeDouble(double* out) {
+    std::string_view field;
+    return Take(&field) && ParseDouble(field, out) && std::isfinite(*out);
+  }
+  bool Exhausted() const { return next >= fields.size(); }
+};
+
+LineFields SplitFields(std::string_view line) {
+  LineFields out;
+  size_t start = 0;
+  while (start < line.size()) {
+    const size_t end = line.find(' ', start);
+    if (end == std::string_view::npos) {
+      out.fields.push_back(line.substr(start));
+      break;
+    }
+    if (end > start) out.fields.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status DriftDetector::Restore(const std::string& text) {
+  std::vector<std::string_view> lines;
+  {
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string_view::npos) end = text.size();
+      lines.push_back(std::string_view(text).substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  size_t at = 0;
+  auto next_line = [&](std::string_view* out) {
+    if (at >= lines.size()) return false;
+    *out = lines[at++];
+    return true;
+  };
+  std::string_view line;
+  if (!next_line(&line) || line != "pnr-stream-drift v1") {
+    return DriftError(1, "expected header 'pnr-stream-drift v1'");
+  }
+
+  // Parse into a scratch copy; commit only on full success.
+  bool ready = false;
+  uint64_t warmup_seen = 0;
+  uint64_t consecutive = 0;
+  uint64_t resets = 0;
+  std::vector<NumericState> numeric(numeric_.size());
+  std::vector<CategoricalState> categorical(categorical_.size());
+  std::vector<uint64_t> score_counts;
+  std::vector<uint64_t> label_counts;
+
+  if (!next_line(&line)) return DriftError(at + 1, "missing 'state' line");
+  {
+    LineFields fields = SplitFields(line);
+    std::string_view keyword;
+    std::string_view value;
+    if (!fields.Take(&keyword) || keyword != "state" || !fields.Take(&value) ||
+        !fields.Exhausted() || (value != "warmup" && value != "ready")) {
+      return DriftError(at, "expected 'state warmup|ready'");
+    }
+    ready = value == "ready";
+  }
+  const auto take_counter = [&](std::string_view name,
+                                uint64_t* out) -> Status {
+    if (!next_line(&line)) {
+      return DriftError(at + 1, "missing '" + std::string(name) + "' line");
+    }
+    LineFields fields = SplitFields(line);
+    std::string_view keyword;
+    if (!fields.Take(&keyword) || keyword != name || !fields.TakeUint(out) ||
+        !fields.Exhausted()) {
+      return DriftError(at, "expected '" + std::string(name) + " <n>'");
+    }
+    return Status::OK();
+  };
+  Status status = take_counter("warmup_seen", &warmup_seen);
+  if (!status.ok()) return status;
+  status = take_counter("consecutive", &consecutive);
+  if (!status.ok()) return status;
+  status = take_counter("resets", &resets);
+  if (!status.ok()) return status;
+  uint64_t attr_count = 0;
+  status = take_counter("attrs", &attr_count);
+  if (!status.ok()) return status;
+  if (attr_count != schema_->num_attributes()) {
+    return DriftError(at, "blob has " + std::to_string(attr_count) +
+                              " attributes, schema has " +
+                              std::to_string(schema_->num_attributes()));
+  }
+  if (ready ? warmup_seen < options_.reference_windows
+            : warmup_seen >= options_.reference_windows) {
+    return DriftError(3, "warmup_seen inconsistent with state");
+  }
+  if (!ready && consecutive != 0) {
+    return DriftError(4, "consecutive must be 0 during warmup");
+  }
+
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attribute = schema_->attribute(static_cast<AttrIndex>(a));
+    if (!next_line(&line)) {
+      return DriftError(at + 1, "missing 'attr " + std::to_string(a) + "'");
+    }
+    LineFields fields = SplitFields(line);
+    std::string_view keyword;
+    uint64_t index = 0;
+    std::string_view kind;
+    if (!fields.Take(&keyword) || keyword != "attr" ||
+        !fields.TakeUint(&index) || index != a || !fields.Take(&kind)) {
+      return DriftError(at, "expected 'attr " + std::to_string(a) + " ...'");
+    }
+    if (attribute.is_numeric()) {
+      if (kind != "numeric") {
+        return DriftError(at, "attribute " + std::to_string(a) +
+                                  " is numeric in the schema");
+      }
+      NumericState& state = numeric[a];
+      std::string_view section;
+      uint64_t size = 0;
+      if (!fields.Take(&section) || !fields.TakeUint(&size)) {
+        return DriftError(at, "malformed numeric section");
+      }
+      if (ready) {
+        if (section != "edges" || size != options_.numeric_bins - 1) {
+          return DriftError(at, "expected 'edges " +
+                                    std::to_string(options_.numeric_bins - 1) +
+                                    "'");
+        }
+        state.edges.resize(size);
+        for (double& edge : state.edges) {
+          if (!fields.TakeDouble(&edge)) {
+            return DriftError(at, "bad edge value");
+          }
+        }
+        if (!std::is_sorted(state.edges.begin(), state.edges.end())) {
+          return DriftError(at, "edges must be ascending");
+        }
+        uint64_t bins = 0;
+        if (!fields.Take(&section) || section != "counts" ||
+            !fields.TakeUint(&bins) || bins != options_.numeric_bins) {
+          return DriftError(at, "expected 'counts " +
+                                    std::to_string(options_.numeric_bins) +
+                                    "'");
+        }
+        state.counts.resize(bins);
+        for (uint64_t& count : state.counts) {
+          if (!fields.TakeUint(&count)) {
+            return DriftError(at, "bad bin count");
+          }
+        }
+      } else {
+        if (section != "sample" || size > options_.max_reference_values) {
+          return DriftError(at, "expected 'sample <k>' with k <= " +
+                                    std::to_string(
+                                        options_.max_reference_values));
+        }
+        state.sample.resize(size);
+        for (double& value : state.sample) {
+          if (!fields.TakeDouble(&value)) {
+            return DriftError(at, "bad sample value");
+          }
+        }
+      }
+    } else {
+      std::string_view section;
+      uint64_t size = 0;
+      const size_t expected = attribute.num_categories() + 1;
+      if (kind != "cat" || !fields.Take(&section) || section != "counts" ||
+          !fields.TakeUint(&size) || size != expected) {
+        return DriftError(at, "expected 'cat counts " +
+                                  std::to_string(expected) + "'");
+      }
+      CategoricalState& state = categorical[a];
+      state.counts.resize(size);
+      for (uint64_t& count : state.counts) {
+        if (!fields.TakeUint(&count)) {
+          return DriftError(at, "bad category count");
+        }
+      }
+    }
+    if (!fields.Exhausted()) {
+      return DriftError(at, "trailing fields on attr line");
+    }
+  }
+
+  if (!next_line(&line)) return DriftError(at + 1, "missing 'score' line");
+  {
+    LineFields fields = SplitFields(line);
+    std::string_view keyword;
+    std::string_view section;
+    uint64_t size = 0;
+    if (!fields.Take(&keyword) || keyword != "score" ||
+        !fields.Take(&section) || section != "counts" ||
+        !fields.TakeUint(&size) || size != kStreamScoreBins) {
+      return DriftError(at, "expected 'score counts " +
+                                std::to_string(kStreamScoreBins) + "'");
+    }
+    score_counts.resize(size);
+    for (uint64_t& count : score_counts) {
+      if (!fields.TakeUint(&count)) return DriftError(at, "bad score count");
+    }
+    if (!fields.Exhausted()) {
+      return DriftError(at, "trailing fields on score line");
+    }
+  }
+  if (!next_line(&line)) return DriftError(at + 1, "missing 'label' line");
+  {
+    LineFields fields = SplitFields(line);
+    std::string_view keyword;
+    std::string_view section;
+    uint64_t size = 0;
+    if (!fields.Take(&keyword) || keyword != "label" ||
+        !fields.Take(&section) || section != "counts" ||
+        !fields.TakeUint(&size) || size != 2) {
+      return DriftError(at, "expected 'label counts 2'");
+    }
+    label_counts.resize(size);
+    for (uint64_t& count : label_counts) {
+      if (!fields.TakeUint(&count)) return DriftError(at, "bad label count");
+    }
+    if (!fields.Exhausted()) {
+      return DriftError(at, "trailing fields on label line");
+    }
+  }
+  if (!next_line(&line) || line != "end") {
+    return DriftError(at + (at < lines.size() ? 0 : 1),
+                      "expected 'end' terminator");
+  }
+  if (at != lines.size()) {
+    return DriftError(at + 1, "trailing content after 'end'");
+  }
+
+  ready_ = ready;
+  warmup_seen_ = warmup_seen;
+  consecutive_ = consecutive;
+  resets_ = resets;
+  numeric_ = std::move(numeric);
+  categorical_ = std::move(categorical);
+  score_counts_ = std::move(score_counts);
+  label_counts_ = std::move(label_counts);
+  return Status::OK();
+}
+
+}  // namespace pnr

@@ -1,0 +1,372 @@
+#include "stream/feed.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/io_hooks.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "data/mapped_file.h"
+
+namespace pnr {
+
+FeedParser::FeedParser(const Schema* schema, std::string name,
+                       Options options)
+    : schema_(schema), name_(std::move(name)), options_(options) {
+  assert(schema_ != nullptr);
+  scratch_.numeric.resize(schema_->num_attributes(), 0.0);
+  scratch_.categorical.resize(schema_->num_attributes(), kInvalidCategory);
+}
+
+std::string FeedParser::Located(uint64_t line_number,
+                                const std::string& message) const {
+  return "feed:" + name_ + ":" + std::to_string(line_number) + ": " + message;
+}
+
+void FeedParser::RecordError(std::string&& message) {
+  ++error_count_;
+  if (errors_.size() < options_.max_errors) {
+    errors_.push_back(std::move(message));
+  }
+}
+
+bool FeedParser::CheckHeader(std::string_view line, uint64_t line_number,
+                             std::string* error) const {
+  const size_t num_attrs = schema_->num_attributes();
+  size_t field = 0;
+  size_t start = 0;
+  while (true) {
+    const size_t end = line.find(options_.delimiter, start);
+    const std::string_view name = TrimWhitespace(
+        line.substr(start, end == std::string_view::npos ? end : end - start));
+    const std::string_view expected =
+        field < num_attrs
+            ? std::string_view(
+                  schema_->attribute(static_cast<AttrIndex>(field)).name())
+            : (field == num_attrs
+                   ? std::string_view(schema_->class_attr().name())
+                   : std::string_view());
+    if (field > num_attrs || name != expected) {
+      *error = Located(line_number,
+                       "header does not match the schema at column " +
+                           std::to_string(field + 1) + " (expected '" +
+                           std::string(expected) + "', got '" +
+                           std::string(name) + "')");
+      return false;
+    }
+    ++field;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  if (field != num_attrs + 1) {
+    *error = Located(line_number,
+                     "header has " + std::to_string(field) + " columns, " +
+                         "schema needs " + std::to_string(num_attrs + 1));
+    return false;
+  }
+  return true;
+}
+
+bool FeedParser::ParseLine(std::string_view line, uint64_t line_number,
+                           ParsedRow* row, std::string* error) const {
+  const size_t num_attrs = schema_->num_attributes();
+  size_t field = 0;
+  size_t start = 0;
+  while (true) {
+    const size_t end = line.find(options_.delimiter, start);
+    const std::string_view cell = TrimWhitespace(
+        line.substr(start, end == std::string_view::npos ? end : end - start));
+    if (field < num_attrs) {
+      const AttrIndex attr = static_cast<AttrIndex>(field);
+      const Attribute& attribute = schema_->attribute(attr);
+      if (attribute.is_numeric()) {
+        double value = 0.0;
+        if (!ParseDouble(cell, &value) || !std::isfinite(value)) {
+          *error = Located(line_number, "bad numeric value '" +
+                                            std::string(cell) +
+                                            "' for attribute '" +
+                                            attribute.name() + "'");
+          return false;
+        }
+        row->numeric[field] = value;
+      } else {
+        // `?` and values outside the dictionary both map to
+        // kInvalidCategory: unseen values are data (the drift detector's
+        // unseen bucket), not defects.
+        row->categorical[field] =
+            cell == "?" ? kInvalidCategory : attribute.FindCategory(cell);
+      }
+    } else if (field == num_attrs) {
+      if (cell == "?") {
+        row->label = kInvalidCategory;  // delayed label
+      } else {
+        const CategoryId label = schema_->class_attr().FindCategory(cell);
+        if (label == kInvalidCategory) {
+          *error = Located(line_number,
+                           "unknown class label '" + std::string(cell) + "'");
+          return false;
+        }
+        row->label = label;
+      }
+    }
+    ++field;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  if (field != num_attrs + 1) {
+    *error =
+        Located(line_number, "expected " + std::to_string(num_attrs + 1) +
+                                 " fields, got " + std::to_string(field));
+    return false;
+  }
+  row->line = line_number;
+  return true;
+}
+
+namespace {
+
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+void FeedParser::Append(std::string_view bytes) {
+  assert(!finished_);
+  size_t start = 0;
+  while (start <= bytes.size()) {
+    const size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      pending_.append(bytes.substr(start));
+      return;
+    }
+    std::string_view line;
+    if (pending_.empty()) {
+      line = bytes.substr(start, nl - start);
+    } else {
+      pending_.append(bytes.substr(start, nl - start));
+      line = pending_;
+    }
+    const uint64_t line_number = ++lines_seen_;
+    line = StripCr(line);
+    std::string error;
+    if (!header_ok_) {
+      if (CheckHeader(line, line_number, &error)) {
+        header_ok_ = true;
+      } else {
+        RecordError(std::move(error));
+      }
+    } else if (line.empty()) {
+      RecordError(Located(line_number, "empty line"));
+    } else if (ParseLine(line, line_number, &scratch_, &error)) {
+      ++rows_emitted_;
+      if (row_fn_) row_fn_(scratch_);
+    } else {
+      RecordError(std::move(error));
+    }
+    pending_.clear();
+    start = nl + 1;
+  }
+}
+
+void FeedParser::AppendParallel(std::string_view bytes, size_t num_threads) {
+  assert(!finished_);
+  // Serial prefix: complete any buffered fragment and consume the header
+  // line; the chunk workers assume a validated header and line-aligned
+  // input.
+  while (!bytes.empty() && (!header_ok_ || !pending_.empty())) {
+    const size_t nl = bytes.find('\n');
+    if (nl == std::string_view::npos) {
+      Append(bytes);
+      return;
+    }
+    Append(bytes.substr(0, nl + 1));
+    bytes.remove_prefix(nl + 1);
+  }
+  const size_t last_nl = bytes.rfind('\n');
+  if (last_nl == std::string_view::npos) {
+    Append(bytes);
+    return;
+  }
+  const std::string_view region = bytes.substr(0, last_nl + 1);
+  const std::string_view tail = bytes.substr(last_nl + 1);
+  const size_t threads =
+      ThreadPool::ClampThreadsForBytes(num_threads, region.size());
+  if (threads <= 1) {
+    Append(region);
+    if (!tail.empty()) Append(tail);
+    return;
+  }
+
+  // Line-aligned chunks, one per worker.
+  struct Chunk {
+    size_t begin = 0;
+    size_t end = 0;
+    uint64_t first_line = 0;  ///< 1-based line number of the chunk's first line
+    std::vector<ParsedRow> rows;
+    std::vector<std::pair<uint64_t, std::string>> errors;
+    uint64_t error_count = 0;
+  };
+  std::vector<Chunk> chunks;
+  chunks.reserve(threads);
+  const size_t target = region.size() / threads;
+  size_t begin = 0;
+  while (begin < region.size()) {
+    size_t end = std::min(begin + std::max<size_t>(target, 1), region.size());
+    const size_t nl = region.find('\n', end == 0 ? 0 : end - 1);
+    end = nl == std::string_view::npos ? region.size() : nl + 1;
+    Chunk chunk;
+    chunk.begin = begin;
+    chunk.end = end;
+    chunks.push_back(std::move(chunk));
+    begin = end;
+  }
+  // Line numbers are a prefix sum of per-chunk newline counts, computed
+  // before the parallel parse so workers can label errors exactly as the
+  // serial path would.
+  uint64_t line = lines_seen_;
+  for (Chunk& chunk : chunks) {
+    chunk.first_line = line + 1;
+    line += static_cast<uint64_t>(
+        std::count(region.begin() + chunk.begin, region.begin() + chunk.end,
+                   '\n'));
+  }
+
+  ThreadPool pool(threads);
+  pool.ParallelFor(chunks.size(), [&](size_t index) {
+    Chunk& chunk = chunks[index];
+    std::string_view text = region.substr(chunk.begin, chunk.end - chunk.begin);
+    uint64_t line_number = chunk.first_line;
+    ParsedRow row;
+    row.numeric.resize(schema_->num_attributes(), 0.0);
+    row.categorical.resize(schema_->num_attributes(), kInvalidCategory);
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t nl = text.find('\n', start);
+      assert(nl != std::string_view::npos);
+      const std::string_view full = text.substr(start, nl - start);
+      const std::string_view line_text = StripCr(full);
+      std::string error;
+      if (line_text.empty()) {
+        ++chunk.error_count;
+        chunk.errors.emplace_back(line_number,
+                                  Located(line_number, "empty line"));
+      } else if (ParseLine(line_text, line_number, &row, &error)) {
+        chunk.rows.push_back(row);
+      } else {
+        ++chunk.error_count;
+        chunk.errors.emplace_back(line_number, std::move(error));
+      }
+      ++line_number;
+      start = nl + 1;
+    }
+  });
+
+  // Deterministic merge in file order.
+  for (Chunk& chunk : chunks) {
+    for (const ParsedRow& row : chunk.rows) {
+      ++rows_emitted_;
+      if (row_fn_) row_fn_(row);
+    }
+    error_count_ += chunk.error_count;
+    for (auto& [line_number, message] : chunk.errors) {
+      (void)line_number;
+      if (errors_.size() < options_.max_errors) {
+        errors_.push_back(std::move(message));
+      }
+    }
+  }
+  lines_seen_ = line;
+  if (!tail.empty()) Append(tail);
+}
+
+void FeedParser::Finish() {
+  if (finished_) return;
+  if (!pending_.empty()) {
+    // Consume the unterminated final line exactly as if the producer had
+    // terminated it.
+    std::string last;
+    last.swap(pending_);
+    last.push_back('\n');
+    Append(last);
+  }
+  finished_ = true;
+}
+
+// -- FeedTailer --------------------------------------------------------------
+
+StatusOr<FeedTailer> FeedTailer::Open(const std::string& path,
+                                      const Schema* schema,
+                                      FeedParser::RowFn fn, Options options) {
+  FeedParser parser(schema, path, options.parser);
+  parser.set_row_fn(std::move(fn));
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("stream feed: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  StatusOr<MappedFile> mapped = MappedFile::Open(path, options.allow_mmap);
+  if (!mapped.ok()) {
+    ::close(fd);
+    return mapped.status();
+  }
+  FeedTailer tailer(std::move(parser), fd);
+  const std::string_view bytes = mapped->bytes();
+  tailer.parser_.AppendParallel(bytes, options.catchup_threads);
+  tailer.bytes_consumed_ = bytes.size();
+  if (::lseek(fd, static_cast<off_t>(bytes.size()), SEEK_SET) < 0) {
+    return Status::IOError("stream feed: cannot seek " + path + ": " +
+                           std::strerror(errno));
+  }
+  return tailer;
+}
+
+FeedTailer::FeedTailer(FeedTailer&& other) noexcept
+    : parser_(std::move(other.parser_)),
+      fd_(other.fd_),
+      bytes_consumed_(other.bytes_consumed_) {
+  other.fd_ = -1;
+}
+
+FeedTailer& FeedTailer::operator=(FeedTailer&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    parser_ = std::move(other.parser_);
+    fd_ = other.fd_;
+    bytes_consumed_ = other.bytes_consumed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FeedTailer::~FeedTailer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<size_t> FeedTailer::Poll() {
+  size_t total = 0;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = io::Read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("stream feed: read failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) break;
+    parser_.Append(std::string_view(buf, static_cast<size_t>(n)));
+    total += static_cast<size_t>(n);
+    bytes_consumed_ += static_cast<size_t>(n);
+  }
+  return total;
+}
+
+}  // namespace pnr

@@ -1,0 +1,135 @@
+#include "stream/retrain.h"
+
+#include <utility>
+
+#include "data/schema_io.h"
+#include "data/shard_store.h"
+#include "pnrule/model_io.h"
+#include "pnrule/pnrule.h"
+
+namespace pnr {
+
+RetrainOrchestrator::RetrainOrchestrator(ModelRegistry* registry,
+                                         ThreadBudget* budget,
+                                         RetrainOptions options)
+    : registry_(registry), budget_(budget), options_(std::move(options)) {}
+
+RetrainOrchestrator::~RetrainOrchestrator() { Wait(); }
+
+Status RetrainOrchestrator::Begin(const Dataset& buffer, const RowId* rows,
+                                  size_t count, CategoryId target,
+                                  uint64_t window_index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::FailedPrecondition(
+          "stream retrain: a retrain is already in flight");
+    }
+  }
+  if (count == 0) {
+    return Status::InvalidArgument(
+        "stream retrain: no labeled rows to train on");
+  }
+  if (worker_.joinable()) worker_.join();  // reap the previous worker
+
+  // Synchronous snapshot: the training set is fixed at the moment of the
+  // drift confirmation, byte-identical across replays.
+  const std::string snapshot_path = options_.out_dir + "/retrain_w" +
+                                    std::to_string(window_index) + ".pns";
+  ShardStoreWriteOptions write_options;
+  write_options.num_shards = options_.snapshot_shards;
+  Status written =
+      WriteShardStoreRows(buffer, rows, count, snapshot_path, write_options);
+  if (!written.ok()) return written;
+  uint64_t positives = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (buffer.label(rows[i]) == target) ++positives;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = true;
+    done_ = false;
+    result_ = Result();
+  }
+  worker_ = std::thread(&RetrainOrchestrator::TrainAndInstall, this,
+                        snapshot_path, target, window_index, positives);
+  return Status::OK();
+}
+
+void RetrainOrchestrator::TrainAndInstall(std::string snapshot_path,
+                                          CategoryId target,
+                                          uint64_t window_index,
+                                          uint64_t positives) {
+  Result result;
+  result.window_index = window_index;
+  result.snapshot_path = snapshot_path;
+  result.positives = positives;
+
+  auto finish = [&](Status status) {
+    result.status = std::move(status);
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = std::move(result);
+    done_ = true;
+  };
+
+  StatusOr<std::shared_ptr<const ShardStoreReader>> reader =
+      ShardStoreReader::Open(snapshot_path);
+  if (!reader.ok()) return finish(reader.status());
+  StatusOr<Dataset> dataset =
+      options_.max_resident_mb > 0
+          ? MakePagedDataset(*reader, options_.max_resident_mb << 20)
+          : (*reader)->LoadDataset();
+  if (!dataset.ok()) return finish(dataset.status());
+  result.trained_rows = dataset->num_rows();
+
+  // Lease training width from the shared budget; the scoring path's
+  // reservation is untouched, so this never blocks and never steals the
+  // reactor's threads. Width affects speed only — training is bit-identical
+  // at any thread count.
+  PnruleConfig config = options_.learner;
+  {
+    ThreadBudget::Lease lease = budget_->Acquire(options_.want_threads);
+    config.num_threads = lease.count();
+    PnruleLearner learner(config);
+    StatusOr<PnruleClassifier> model = learner.Train(*dataset, target);
+    if (!model.ok()) return finish(model.status());
+
+    result.model_path = options_.out_dir + "/model_w" +
+                        std::to_string(window_index) + ".txt";
+    Status saved = SavePnruleModel(*model, dataset->schema(),
+                                   result.model_path);
+    if (!saved.ok()) return finish(saved);
+    // Schema sidecar: lets `pnr serve --load` and checkpoint resume read
+    // the pair straight from disk.
+    saved = SaveSchema(dataset->schema(), result.model_path + ".schema");
+    if (!saved.ok()) return finish(saved);
+
+    registry_->Install(options_.model_name, dataset->schema(),
+                       std::move(*model));
+  }
+  const std::shared_ptr<const ServedModel> installed =
+      registry_->Get(options_.model_name);
+  result.version = installed ? installed->version : 0;
+  finish(Status::OK());
+}
+
+bool RetrainOrchestrator::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+bool RetrainOrchestrator::TryTake(Result* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!running_ || !done_) return false;
+  *out = std::move(result_);
+  running_ = false;
+  done_ = false;
+  return true;
+}
+
+void RetrainOrchestrator::Wait() {
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace pnr

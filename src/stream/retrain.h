@@ -1,0 +1,112 @@
+// Drift-triggered background retraining for the streaming scorer.
+//
+// When the drift detector confirms a shift, the engine hands the trailing
+// labeled rows to a RetrainOrchestrator. The orchestrator:
+//
+//   1. snapshots those rows to a `.pns` shard store *synchronously* via the
+//      row-range writer (data/shard_store.h) — the snapshot bytes are a
+//      pure function of the rows, so replays produce byte-identical
+//      training sets regardless of timing;
+//   2. trains a fresh PnruleClassifier on the snapshot in a background
+//      thread, sized by a ThreadBudget lease so the learner borrows only
+//      unreserved capacity — the scoring path keeps its reserved threads
+//      and never stalls behind training (Acquire never blocks and every
+//      engine is bit-identical at any thread count, so the lease width
+//      changes speed, never bytes);
+//   3. saves the model + schema sidecar next to the snapshot and installs
+//      it into the ModelRegistry, so a live `pnr serve` fleet sharing the
+//      registry hot-swaps on its next SnapshotCache refresh.
+//
+// The engine polls TryTake() at window boundaries: the hand-off point of a
+// finished model is a deterministic stream position (the engine defers
+// window processing, not ingestion, while a retrain is in flight).
+
+#ifndef PNR_STREAM_RETRAIN_H_
+#define PNR_STREAM_RETRAIN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "pnrule/config.h"
+#include "serve/registry.h"
+
+namespace pnr {
+
+struct RetrainOptions {
+  /// Shards of the `.pns` training snapshot.
+  uint32_t snapshot_shards = 4;
+  /// Resident-memory budget for training; 0 loads the snapshot fully in
+  /// RAM, > 0 trains through a demand-paged view capped at this many MiB.
+  size_t max_resident_mb = 0;
+  /// Learner configuration; num_threads is overridden by the budget lease.
+  PnruleConfig learner;
+  /// Threads requested from the budget for training.
+  size_t want_threads = 2;
+  /// Directory receiving snapshots and model files (must exist).
+  std::string out_dir;
+  /// Registry name the retrained model is installed under.
+  std::string model_name = "stream";
+};
+
+class RetrainOrchestrator {
+ public:
+  /// Everything one retrain produced. On failure `status` carries the
+  /// cause and the model/registry fields are unset.
+  struct Result {
+    Status status = Status::OK();
+    uint64_t window_index = 0;  ///< window whose drift confirmation fired
+    uint64_t version = 0;       ///< registry version after the install
+    std::string snapshot_path;
+    std::string model_path;
+    uint64_t trained_rows = 0;
+    uint64_t positives = 0;  ///< target-class rows in the training set
+  };
+
+  /// `registry` and `budget` must outlive the orchestrator.
+  RetrainOrchestrator(ModelRegistry* registry, ThreadBudget* budget,
+                      RetrainOptions options);
+  ~RetrainOrchestrator();
+
+  RetrainOrchestrator(const RetrainOrchestrator&) = delete;
+  RetrainOrchestrator& operator=(const RetrainOrchestrator&) = delete;
+
+  /// Snapshots `rows[0..count)` of `buffer` (all must carry labels) to
+  /// `<out_dir>/retrain_w<window_index>.pns` synchronously, then starts the
+  /// background train. Fails (without starting) when a retrain is already
+  /// running or the snapshot cannot be written.
+  Status Begin(const Dataset& buffer, const RowId* rows, size_t count,
+               CategoryId target, uint64_t window_index);
+
+  /// True while a background train is in flight (result not yet taken).
+  bool running() const;
+
+  /// Claims a finished result; false while still training or idle.
+  bool TryTake(Result* out);
+
+  /// Blocks until the in-flight train (if any) finishes. The result
+  /// remains claimable via TryTake.
+  void Wait();
+
+ private:
+  void TrainAndInstall(std::string snapshot_path, CategoryId target,
+                       uint64_t window_index, uint64_t positives);
+
+  ModelRegistry* registry_;
+  ThreadBudget* budget_;
+  RetrainOptions options_;
+
+  mutable std::mutex mutex_;
+  std::thread worker_;
+  bool running_ = false;  ///< Begin succeeded, result not yet taken
+  bool done_ = false;     ///< worker finished, result_ valid
+  Result result_;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_STREAM_RETRAIN_H_

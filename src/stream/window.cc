@@ -1,0 +1,75 @@
+#include "stream/window.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pnr {
+
+size_t StreamScoreBin(double score) {
+  if (score <= 0.0) return 0;
+  if (score >= 1.0) return kStreamScoreBins - 1;
+  return std::min(kStreamScoreBins - 1,
+                  static_cast<size_t>(score * kStreamScoreBins));
+}
+
+WindowStats ComputeWindowStats(const double* scores, const CategoryId* labels,
+                               uint64_t count, CategoryId target,
+                               double threshold) {
+  WindowStats stats;
+  stats.rows = count;
+  for (uint64_t i = 0; i < count; ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (predicted) ++stats.predicted_positive;
+    ++stats.score_histogram[StreamScoreBin(scores[i])];
+    if (labels[i] == kInvalidCategory) continue;  // label not yet arrived
+    ++stats.labeled_rows;
+    const bool actual = labels[i] == target;
+    if (actual) ++stats.labeled_positive;
+    stats.confusion.Add(actual, predicted);
+  }
+  return stats;
+}
+
+void SlidingAggregate::Push(const WindowStats& window) {
+  windows_.push_back(window);
+  confusion_.Merge(window.confusion);
+  rows_ += window.rows;
+  labeled_positive_ += window.labeled_positive;
+  predicted_positive_ += window.predicted_positive;
+  while (windows_.size() > capacity_) {
+    const WindowStats& old = windows_.front();
+    // Confusion has no subtract; rebuild from the retained windows. K is
+    // small (default 5), so this is a handful of additions per window.
+    rows_ -= old.rows;
+    labeled_positive_ -= old.labeled_positive;
+    predicted_positive_ -= old.predicted_positive;
+    windows_.pop_front();
+    confusion_ = Confusion();
+    for (const WindowStats& kept : windows_) confusion_.Merge(kept.confusion);
+  }
+}
+
+std::string RenderWindowLine(const WindowStats& window,
+                             const SlidingAggregate& sliding) {
+  std::string line = "window " + std::to_string(window.index);
+  line += " rows=" + std::to_string(window.rows);
+  line += " labeled=" + std::to_string(window.labeled_rows);
+  line += " pos=" + std::to_string(window.labeled_positive);
+  line += " pred=" + std::to_string(window.predicted_positive);
+  line += " recall=" + FormatDouble(window.confusion.recall(), 6);
+  line += " precision=" + FormatDouble(window.confusion.precision(), 6);
+  line += " slide_recall=" + FormatDouble(sliding.confusion().recall(), 6);
+  line +=
+      " slide_precision=" + FormatDouble(sliding.confusion().precision(), 6);
+  line += " hist=";
+  for (size_t i = 0; i < kStreamScoreBins; ++i) {
+    if (i > 0) line += ':';
+    line += std::to_string(window.score_histogram[i]);
+  }
+  line += " model=v" + std::to_string(window.model_version);
+  if (window.partial) line += " partial";
+  return line;
+}
+
+}  // namespace pnr

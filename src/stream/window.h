@@ -1,0 +1,89 @@
+// Windowed rare-class metrics for the streaming scorer.
+//
+// The stream is cut into tumbling windows of a fixed row count — window
+// boundaries are a pure function of the number of schema-valid rows
+// consumed, never of wall-clock or thread timing, which is what makes a
+// replay byte-identical at any --threads. Every completed window yields a
+// WindowStats: rare-class support and score histogram over all rows, plus a
+// precision/recall proxy over the rows whose (possibly delayed) labels were
+// present. A SlidingAggregate folds the trailing K windows into the
+// smoothed view the journal reports next to each tumbling line.
+//
+// All rendering is deterministic text: fixed field order, FormatDouble with
+// fixed precision, no timestamps.
+
+#ifndef PNR_STREAM_WINDOW_H_
+#define PNR_STREAM_WINDOW_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "data/attribute.h"
+#include "eval/confusion.h"
+
+namespace pnr {
+
+/// Fixed score-histogram resolution: bin i holds scores in
+/// [i/16, (i+1)/16), with 1.0 clamped into the last bin.
+inline constexpr size_t kStreamScoreBins = 16;
+
+/// Maps a score in [0, 1] to its histogram bin.
+size_t StreamScoreBin(double score);
+
+/// Metrics of one completed tumbling window.
+struct WindowStats {
+  uint64_t index = 0;          ///< tumbling window index (0-based)
+  uint64_t first_ordinal = 0;  ///< stream ordinal of the window's first row
+  uint64_t rows = 0;
+  uint64_t labeled_rows = 0;     ///< rows whose label had arrived
+  uint64_t predicted_positive = 0;  ///< rows scored >= threshold (all rows)
+  uint64_t labeled_positive = 0;    ///< target-class rows among the labeled
+  /// Confusion over labeled rows only (the delayed-label proxy).
+  Confusion confusion;
+  /// Score distribution over all rows.
+  std::array<uint64_t, kStreamScoreBins> score_histogram{};
+  uint64_t model_version = 0;  ///< version of the model that scored it
+  bool partial = false;        ///< end-of-feed remainder (< window_rows rows)
+};
+
+/// Computes one window's stats from parallel arrays: `scores[i]` is row i's
+/// model score, `labels[i]` its class id or kInvalidCategory when the label
+/// has not arrived, `target` the rare class. Pure function — determinism
+/// follows from the inputs.
+WindowStats ComputeWindowStats(const double* scores, const CategoryId* labels,
+                               uint64_t count, CategoryId target,
+                               double threshold);
+
+/// Rolling aggregate of the trailing `capacity` windows.
+class SlidingAggregate {
+ public:
+  explicit SlidingAggregate(size_t capacity) : capacity_(capacity) {}
+
+  void Push(const WindowStats& window);
+
+  size_t size() const { return windows_.size(); }
+  const Confusion& confusion() const { return confusion_; }
+  uint64_t rows() const { return rows_; }
+  uint64_t labeled_positive() const { return labeled_positive_; }
+  uint64_t predicted_positive() const { return predicted_positive_; }
+
+ private:
+  size_t capacity_;
+  std::deque<WindowStats> windows_;
+  Confusion confusion_;
+  uint64_t rows_ = 0;
+  uint64_t labeled_positive_ = 0;
+  uint64_t predicted_positive_ = 0;
+};
+
+/// Renders the deterministic journal line for a completed window:
+///   window <i> rows=... labeled=... pos=... pred=... recall=... precision=...
+///   slide_recall=... slide_precision=... hist=a:b:c... model=v<V>[ partial]
+std::string RenderWindowLine(const WindowStats& window,
+                             const SlidingAggregate& sliding);
+
+}  // namespace pnr
+
+#endif  // PNR_STREAM_WINDOW_H_

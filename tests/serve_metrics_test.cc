@@ -81,6 +81,69 @@ TEST(MetricsSnapshotTest, MergeSumsEveryCounter) {
   EXPECT_EQ(total.rejected_total, 1u);
 }
 
+TEST(MetricsSnapshotTest, ModelVersionMergesAsMaxAndSwapsAsSum) {
+  ServerMetrics a;
+  ServerMetrics b;
+  a.model_version.store(3);
+  a.model_swaps_total.store(2);
+  b.model_version.store(5);
+  b.model_swaps_total.store(4);
+  MetricsSnapshot total = a.Snap();
+  total.Merge(b.Snap());
+  EXPECT_EQ(total.model_version, 5u);
+  EXPECT_EQ(total.model_swaps_total, 6u);
+  // Merging the other way agrees: max is symmetric.
+  MetricsSnapshot reverse = b.Snap();
+  reverse.Merge(a.Snap());
+  EXPECT_EQ(reverse.model_version, 5u);
+  EXPECT_EQ(reverse.model_swaps_total, 6u);
+}
+
+TEST(SnapshotCacheTest, RefreshCountsHotSwapsNotFirstLoads) {
+  GeneralModelParams params;
+  params.target_fraction = 0.05;
+  TrainTestPair data = MakeGeneralPair(params, 1000, 50, 7);
+  const CategoryId target = data.train.schema().class_attr().FindCategory("C");
+  auto model = PnruleLearner().Train(data.train, target);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  ModelRegistry registry;
+  SnapshotCache cache(&registry);
+  EXPECT_EQ(cache.Refresh(), 0u);
+  EXPECT_EQ(cache.max_version(), 0u);
+
+  // First load of a name is not a swap.
+  registry.Install("m", data.train.schema(), *model);
+  EXPECT_EQ(cache.Refresh(), 0u);
+  EXPECT_EQ(cache.max_version(), 1u);
+
+  // One hot-swap observed as one.
+  registry.Install("m", data.train.schema(), *model);
+  EXPECT_EQ(cache.Refresh(), 1u);
+  EXPECT_EQ(cache.max_version(), 2u);
+
+  // Two installs between refreshes are both counted.
+  registry.Install("m", data.train.schema(), *model);
+  registry.Install("m", data.train.schema(), *model);
+  EXPECT_EQ(cache.Refresh(), 2u);
+  EXPECT_EQ(cache.max_version(), 4u);
+
+  // A second name appearing is a load; the existing name's swap still
+  // counts and max_version tracks the highest version across names.
+  registry.Install("other", data.train.schema(), *model);
+  registry.Install("m", data.train.schema(), *model);
+  EXPECT_EQ(cache.Refresh(), 1u);
+  EXPECT_EQ(cache.max_version(), 5u);
+
+  // Removal is not a swap.
+  registry.Remove("other");
+  EXPECT_EQ(cache.Refresh(), 0u);
+  EXPECT_EQ(cache.max_version(), 5u);
+
+  // No mutation: refresh is a no-op.
+  EXPECT_EQ(cache.Refresh(), 0u);
+}
+
 // Validates one Prometheus text-format body: every line is a comment or a
 // `name[{labels}] value` sample with a parseable value and well-formed
 // label pairs. Returns the sample names seen.
@@ -176,6 +239,36 @@ TEST(MetricsExpositionTest, FleetRenderIsValidAndConsistent) {
   const uint64_t sharded = SumSamples(body, "pnr_serve_shard_requests_total");
   EXPECT_EQ(aggregate, sharded);
   EXPECT_GE(aggregate, 3u);
+
+  // Hot-swap observability: before any swap, the version gauge reflects the
+  // loaded model (on whichever shards refreshed) and no swaps are counted.
+  EXPECT_NE(body.find("pnr_serve_model_version"), std::string::npos);
+  EXPECT_NE(body.find("pnr_serve_shard_model_version{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("pnr_serve_shard_model_swaps_total{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_EQ(SumSamples(body, "pnr_serve_model_swaps_total"), 0u);
+
+  // Prime this connection's shard so its cache holds version 1 — a first
+  // refresh after the swap would otherwise (correctly) see a load, not a
+  // swap. Then install the same name again and re-render.
+  auto prime = client.Roundtrip("GET", "/v1/models");
+  ASSERT_TRUE(prime.ok());
+  auto reload = PnruleLearner().Train(data.train, target);
+  ASSERT_TRUE(reload.ok());
+  registry.Install("m", data.train.schema(), std::move(reload).value());
+  auto models = client.Roundtrip("GET", "/v1/models");
+  ASSERT_TRUE(models.ok());
+  ASSERT_EQ(models->status, 200);
+  EXPECT_NE(models->body.find("\"version\":2"), std::string::npos)
+      << models->body;
+  auto after = client.Roundtrip("GET", "/metrics");
+  ASSERT_TRUE(after.ok());
+  ValidateExposition(after->body);
+  // The refreshing shard saw one swap and now serves version 2; the fleet
+  // aggregate is max(version) = 2 and sum(swaps) >= 1.
+  EXPECT_EQ(SumSamples(after->body, "pnr_serve_model_version"), 2u);
+  EXPECT_GE(SumSamples(after->body, "pnr_serve_model_swaps_total"), 1u);
 
   server.Shutdown();
 }

@@ -109,6 +109,80 @@ TEST(ShardStoreTest, SerializeLoadFixpoint) {
   EXPECT_EQ(s1, s2);
 }
 
+TEST(ShardStoreTest, IdentityRowListMatchesFullSerializer) {
+  const Dataset dataset = MixedDataset();
+  std::vector<RowId> identity(dataset.num_rows());
+  for (RowId row = 0; row < dataset.num_rows(); ++row) identity[row] = row;
+  for (uint32_t shards : {1u, 4u, 23u}) {
+    ShardStoreWriteOptions options;
+    options.num_shards = shards;
+    auto full = SerializeShardStore(dataset, options);
+    auto rows = SerializeShardStoreRows(dataset, identity.data(),
+                                        identity.size(), options);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(*full, *rows) << "shards=" << shards;
+  }
+}
+
+TEST(ShardStoreTest, RowSubsetGathersInOrder) {
+  const Dataset dataset = MixedDataset();
+  // Out of order, with a repeat and the missing-cell row included.
+  const std::vector<RowId> picks = {22, 5, 5, 0, 13, 7};
+  ShardStoreWriteOptions options;
+  options.num_shards = 3;
+  auto bytes =
+      SerializeShardStoreRows(dataset, picks.data(), picks.size(), options);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto loaded = MustOpen(std::move(bytes).value())->LoadDataset();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), picks.size());
+  for (size_t i = 0; i < picks.size(); ++i) {
+    const RowId src = picks[i];
+    const RowId dst = static_cast<RowId>(i);
+    EXPECT_EQ(loaded->label(dst), dataset.label(src)) << "row " << i;
+    EXPECT_EQ(loaded->numeric(dst, 0), dataset.numeric(src, 0)) << "row " << i;
+    EXPECT_EQ(loaded->categorical(dst, 1), dataset.categorical(src, 1))
+        << "row " << i;
+  }
+  EXPECT_EQ(loaded->categorical(1, 1), kInvalidCategory);
+}
+
+TEST(ShardStoreTest, RowSubsetRejectsEmptyAndOutOfRange) {
+  const Dataset dataset = MixedDataset();
+  ShardStoreWriteOptions options;
+  const std::vector<RowId> bad = {0, 23};
+  auto out_of_range =
+      SerializeShardStoreRows(dataset, bad.data(), bad.size(), options);
+  EXPECT_FALSE(out_of_range.ok());
+  EXPECT_NE(out_of_range.status().message().find("row id 23"),
+            std::string::npos)
+      << out_of_range.status().message();
+  const RowId one = 0;
+  auto empty = SerializeShardStoreRows(dataset, &one, 0, options);
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST(ShardStoreTest, RowSubsetWeightSectionFollowsSelectedRows) {
+  Dataset dataset = MixedDataset();
+  dataset.set_weight(3, 2.5);  // the only non-unit weight
+  ShardStoreWriteOptions options;
+  // A subset avoiding row 3 is canonical: no weight section.
+  const std::vector<RowId> unweighted = {0, 1, 2, 4};
+  auto plain = SerializeShardStoreRows(dataset, unweighted.data(),
+                                       unweighted.size(), options);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(MustOpen(std::move(plain).value())->has_weights());
+  // Including row 3 writes weights and round-trips the value.
+  const std::vector<RowId> weighted = {2, 3, 4};
+  auto with = SerializeShardStoreRows(dataset, weighted.data(),
+                                      weighted.size(), options);
+  ASSERT_TRUE(with.ok());
+  auto loaded = MustOpen(std::move(with).value())->LoadDataset();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->weight(1), 2.5);
+}
+
 TEST(ShardStoreTest, WeightsRoundTripAndElision) {
   Dataset weighted = MixedDataset();
   weighted.set_weight(3, 2.5);

@@ -20,6 +20,17 @@
 //               [--config grid.cfg] [--folds 5] [--budget N]
 //               [--metric recall|precision|f] [--z 2.0] [--keep 0.5]
 //               [--seed n] [--threads n] [--out DIR]
+//   pnr stream  --data feed.csv --model model.txt --target fraud
+//               [--out-dir DIR] [--window 1000] [--sliding 5]
+//               [--threshold 0.5] [--threads n] [--train-threads n]
+//               [--psi-threshold 0.25] [--score-psi-threshold 0.25]
+//               [--confirm-windows 2] [--reference-windows 4]
+//               [--retrain-rows 6000] [--no-retrain] [--max-swaps n]
+//               [--checkpoint FILE] [--resume] [--journal FILE]
+//               [--follow] [--poll-ms 200] [--idle-exit-polls n]
+//               [--serve-port p] [--serve-shards n] [--model-name stream]
+//   pnr stream  --generate --out-dir DIR [--train 20000] [--pre 12000]
+//               [--post 8000] [--seed n]
 //
 // `--target` is the class value treated as positive. Training prints the
 // learned rules; eval prints recall / precision / F and ranking areas.
@@ -45,12 +56,14 @@
 #include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <string_view>
@@ -70,6 +83,7 @@
 #include "serve/http.h"
 #include "serve/json.h"
 #include "serve/server.h"
+#include "stream/engine.h"
 #include "synth/kdd_sim.h"
 #include "tune/report.h"
 
@@ -84,6 +98,10 @@ struct Args {
   bool no_batching = false;
   bool binary = false;
   bool multiclass = false;
+  bool follow = false;
+  bool resume = false;
+  bool generate = false;
+  bool no_retrain = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -99,6 +117,14 @@ Args ParseArgs(int argc, char** argv) {
       args.binary = true;
     } else if (arg == "--multiclass") {
       args.multiclass = true;
+    } else if (arg == "--follow") {
+      args.follow = true;
+    } else if (arg == "--resume") {
+      args.resume = true;
+    } else if (arg == "--generate") {
+      args.generate = true;
+    } else if (arg == "--no-retrain") {
+      args.no_retrain = true;
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[arg.substr(2)] = argv[++i];
     } else {
@@ -131,6 +157,18 @@ int Usage() {
                "recall|precision|f]\n"
                "           [--z <f>] [--keep <f>] [--seed <n>] "
                "[--threads <n>] [--out <dir>]\n"
+               "       pnr stream --data <feed.csv> --model <file> --target "
+               "<class> [--out-dir <dir>]\n"
+               "           [--window <rows>] [--threshold <f>] "
+               "[--threads <n>] [--train-threads <n>]\n"
+               "           [--psi-threshold <f>] [--confirm-windows <k>] "
+               "[--retrain-rows <n>]\n"
+               "           [--no-retrain] [--checkpoint <file>] [--resume] "
+               "[--journal <file>]\n"
+               "           [--follow [--poll-ms <ms>] "
+               "[--idle-exit-polls <n>]] [--serve-port <p>]\n"
+               "       pnr stream --generate --out-dir <dir> "
+               "[--train <n>] [--pre <n>] [--post <n>]\n"
                "  --threads: worker threads for data loading, condition "
                "search (train),\n"
                "             and batch scoring (eval/predict); 1 = serial, "
@@ -689,6 +727,330 @@ int Serve(const Args& args) {
   return 0;
 }
 
+// -- pnr stream --------------------------------------------------------------
+
+// Appends rows [begin, end) of `src` to `dst` (same schema).
+void CopyRowRange(const Dataset& src, size_t begin, size_t end, Dataset* dst) {
+  const Schema& schema = src.schema();
+  for (size_t r = begin; r < end; ++r) {
+    const RowId from = static_cast<RowId>(r);
+    const RowId to = dst->AddRow();
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttrIndex attr = static_cast<AttrIndex>(a);
+      if (schema.attribute(attr).is_numeric()) {
+        dst->set_numeric(to, attr, src.numeric(from, attr));
+      } else {
+        dst->set_categorical(to, attr, src.categorical(from, attr));
+      }
+    }
+    dst->set_label(to, src.label(from));
+  }
+}
+
+// `pnr stream --generate`: writes the synthetic drift scenario — a training
+// CSV drawn from the kdd_sim training distribution plus a feed whose first
+// --pre rows continue that distribution and whose last --post rows come
+// from the shifted test distribution (novel subclasses included). The feed
+// is what `pnr stream` then replays or tails.
+int StreamGenerate(const Args& args) {
+  const auto out_it = args.options.find("out-dir");
+  if (out_it == args.options.end()) {
+    std::fprintf(stderr, "--generate needs --out-dir <dir>\n");
+    return 2;
+  }
+  const std::string out_dir = out_it->second;
+  ::mkdir(out_dir.c_str(), 0755);  // EEXIST is fine
+  const size_t train_rows = static_cast<size_t>(OptionOr(args, "train", 20000));
+  const size_t pre_rows = static_cast<size_t>(OptionOr(args, "pre", 12000));
+  const size_t post_rows = static_cast<size_t>(OptionOr(args, "post", 8000));
+
+  KddSimParams params;
+  params.train_records = train_rows + pre_rows;
+  params.test_records = post_rows;
+  params.seed = static_cast<uint64_t>(OptionOr(args, "seed", 20010521));
+  auto sim = GenerateKddSim(params);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());
+    return 1;
+  }
+
+  Dataset train(sim->train.schema());
+  CopyRowRange(sim->train, 0, train_rows, &train);
+  Dataset feed(sim->train.schema());
+  CopyRowRange(sim->train, train_rows, train_rows + pre_rows, &feed);
+  CopyRowRange(sim->test, 0, post_rows, &feed);
+
+  const std::string train_path = out_dir + "/train.csv";
+  const std::string feed_path = out_dir + "/feed.csv";
+  Status written = WriteCsv(train, train_path, ',');
+  if (written.ok()) written = WriteCsv(feed, feed_path, ',');
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows) and %s (%zu rows: %zu pre-drift + %zu "
+              "shifted)\n",
+              train_path.c_str(), train.num_rows(), feed_path.c_str(),
+              feed.num_rows(), pre_rows, post_rows);
+  return 0;
+}
+
+// `pnr stream`: replay or tail an append-only CSV feed through a compiled
+// model with windowed rare-class metrics, PSI drift detection, and
+// drift-triggered background retraining + registry hot-swap (DESIGN.md
+// §15). The journal, retrained models, and swap sequence are byte-identical
+// at any --threads.
+int Stream(const Args& args) {
+  if (args.generate) return StreamGenerate(args);
+
+  const auto data_it = args.options.find("data");
+  const auto model_it = args.options.find("model");
+  const auto target_it = args.options.find("target");
+  if (data_it == args.options.end() || model_it == args.options.end() ||
+      target_it == args.options.end()) {
+    std::fprintf(stderr,
+                 "pnr stream needs --data <feed.csv>, --model <file>, and "
+                 "--target <class>\n");
+    return 2;
+  }
+  const std::string out_dir = args.options.count("out-dir")
+                                  ? args.options.at("out-dir")
+                                  : std::string("stream_out");
+  ::mkdir(out_dir.c_str(), 0755);
+
+  auto schema = LoadSchema(model_it->second + ".schema");
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  const CategoryId target =
+      schema->class_attr().FindCategory(target_it->second);
+  if (target == kInvalidCategory) {
+    std::fprintf(stderr, "class '%s' is not in the model schema\n",
+                 target_it->second.c_str());
+    return 1;
+  }
+
+  const std::string model_name = args.options.count("model-name")
+                                     ? args.options.at("model-name")
+                                     : std::string("stream");
+  const std::string checkpoint_path = args.options.count("checkpoint")
+                                          ? args.options.at("checkpoint")
+                                          : std::string();
+
+  // Resume: the checkpoint names the model to reinstall and positions the
+  // stream; otherwise the run starts from --model at window 0.
+  StreamCheckpoint checkpoint;
+  bool resumed = false;
+  if (args.resume) {
+    if (checkpoint_path.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint <file>\n");
+      return 2;
+    }
+    auto text = ReadFileToString(checkpoint_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed = ParseStreamCheckpoint(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    checkpoint = std::move(parsed).value();
+    resumed = true;
+  }
+
+  ModelRegistry registry;
+  const std::string initial_model =
+      resumed ? checkpoint.model_path : model_it->second;
+  Status loaded = registry.Load(model_name, initial_model,
+                                initial_model + ".schema");
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  // Budget: --threads workers are reserved for scoring; retraining leases
+  // up to --train-threads more, so training can never starve the scorer.
+  const size_t score_threads =
+      std::max<size_t>(1, static_cast<size_t>(OptionOr(args, "threads", 1)));
+  const size_t train_threads = std::max<size_t>(
+      1, static_cast<size_t>(OptionOr(args, "train-threads", 2)));
+  ThreadBudget budget(score_threads + train_threads);
+  budget.Reserve(score_threads);
+
+  StreamEngineOptions options;
+  options.window_rows =
+      static_cast<uint64_t>(OptionOr(args, "window", 1000));
+  options.sliding_windows =
+      static_cast<size_t>(OptionOr(args, "sliding", 5));
+  options.threshold = OptionOr(args, "threshold", 0.5);
+  options.score_threads = score_threads;
+  options.target = target;
+  options.retrain_enabled = !args.no_retrain;
+  options.retrain_rows =
+      static_cast<uint64_t>(OptionOr(args, "retrain-rows", 6000));
+  options.max_swaps = static_cast<uint64_t>(
+      OptionOr(args, "max-swaps", static_cast<double>(1ull << 62)));
+  options.model_path = initial_model;
+  options.checkpoint_path = checkpoint_path;
+  options.drift.reference_windows =
+      static_cast<size_t>(OptionOr(args, "reference-windows", 4));
+  options.drift.psi_threshold = OptionOr(args, "psi-threshold", 0.25);
+  options.drift.score_psi_threshold =
+      OptionOr(args, "score-psi-threshold", 0.25);
+  options.drift.label_psi_threshold =
+      OptionOr(args, "label-psi-threshold", 0.05);
+  options.drift.confirm_windows =
+      static_cast<size_t>(OptionOr(args, "confirm-windows", 2));
+  options.retrain.out_dir = out_dir;
+  options.retrain.model_name = model_name;
+  options.retrain.want_threads = train_threads;
+  options.retrain.max_resident_mb =
+      static_cast<size_t>(OptionOr(args, "max-resident-mb", 0));
+  options.retrain.learner.min_support_fraction =
+      OptionOr(args, "min-support", 0.01);
+
+  std::FILE* journal = nullptr;
+  if (args.options.count("journal")) {
+    journal = std::fopen(args.options.at("journal").c_str(),
+                         resumed ? "a" : "w");
+    if (journal == nullptr) {
+      std::fprintf(stderr, "cannot open journal %s\n",
+                   args.options.at("journal").c_str());
+      return 1;
+    }
+  }
+  options.line_fn = [journal](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    if (journal != nullptr) {
+      std::fprintf(journal, "%s\n", line.c_str());
+      std::fflush(journal);
+    }
+  };
+
+  StreamEngine engine(&*schema, &registry, &budget, options);
+  if (resumed) {
+    Status restored = engine.RestoreCheckpoint(checkpoint);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "%s\n", restored.ToString().c_str());
+      if (journal != nullptr) std::fclose(journal);
+      return 1;
+    }
+    std::printf("resumed at window %llu (%llu swaps so far)\n",
+                static_cast<unsigned long long>(checkpoint.windows),
+                static_cast<unsigned long long>(checkpoint.swaps));
+  }
+  Status started = engine.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    if (journal != nullptr) std::fclose(journal);
+    return 1;
+  }
+
+  // Optional co-hosted serving fleet on the same registry: a hot-swap from
+  // the retrain orchestrator is visible to HTTP clients (and in /metrics
+  // as pnr_serve_model_version / pnr_serve_model_swaps_total).
+  std::unique_ptr<PredictionServer> server;
+  if (args.options.count("serve-port")) {
+    ServerConfig config;
+    config.port =
+        static_cast<uint16_t>(OptionOr(args, "serve-port", 8080));
+    config.num_shards =
+        static_cast<size_t>(OptionOr(args, "serve-shards", 1));
+    server = std::make_unique<PredictionServer>(config, &registry);
+    Status serve_started = server->Start();
+    if (!serve_started.ok()) {
+      std::fprintf(stderr, "%s\n", serve_started.ToString().c_str());
+      if (journal != nullptr) std::fclose(journal);
+      return 1;
+    }
+    std::printf("serving on 127.0.0.1:%u while streaming\n", server->port());
+  }
+
+  FeedTailer::Options tail_options;
+  tail_options.catchup_threads = score_threads;
+  auto opened = FeedTailer::Open(
+      data_it->second, &*schema,
+      [&engine](const ParsedRow& row) { engine.Ingest(row); }, tail_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    if (journal != nullptr) std::fclose(journal);
+    return 1;
+  }
+  FeedTailer tailer = std::move(opened).value();
+
+  int exit_code = 0;
+  Status pumped = engine.Pump();
+  if (pumped.ok() && args.follow) {
+    // Tail mode: poll for appended bytes until a stop signal or the idle
+    // limit. Determinism still holds — the journal depends only on the
+    // bytes, not on how polling sliced them.
+    auto pipe = MakeWakePipe();
+    if (!pipe.ok()) {
+      std::fprintf(stderr, "%s\n", pipe.status().ToString().c_str());
+      if (journal != nullptr) std::fclose(journal);
+      return 1;
+    }
+    WakePipe signal_pipe = std::move(pipe).value();
+    g_signal_pipe = &signal_pipe;
+    struct sigaction action {};
+    action.sa_handler = HandleStopSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    const int poll_ms =
+        std::max(1, static_cast<int>(OptionOr(args, "poll-ms", 200)));
+    const int idle_limit =
+        static_cast<int>(OptionOr(args, "idle-exit-polls", 0));
+    int idle_polls = 0;
+    while (pumped.ok()) {
+      auto read = tailer.Poll();
+      if (!read.ok()) {
+        pumped = read.status();
+        break;
+      }
+      if (*read > 0) {
+        idle_polls = 0;
+        pumped = engine.Pump();
+        continue;
+      }
+      ++idle_polls;
+      if (idle_limit > 0 && idle_polls >= idle_limit) break;
+      auto woke = WaitReadable(signal_pipe.read_end.get(), poll_ms);
+      if (woke.ok() && *woke) break;  // SIGTERM/SIGINT
+    }
+    g_signal_pipe = nullptr;
+  }
+  if (pumped.ok()) {
+    auto final_read = tailer.Poll();  // drain anything appended meanwhile
+    if (final_read.ok()) {
+      tailer.Finish();
+      pumped = engine.FinishStream();
+    } else {
+      pumped = final_read.status();
+    }
+  }
+  if (!pumped.ok()) {
+    std::fprintf(stderr, "%s\n", pumped.ToString().c_str());
+    exit_code = 1;
+  }
+
+  const FeedParser& parser = tailer.parser();
+  std::printf("stream done: %llu rows, %llu windows, %llu swaps, %llu "
+              "rejected lines\n",
+              static_cast<unsigned long long>(engine.rows_ingested()),
+              static_cast<unsigned long long>(engine.windows_processed()),
+              static_cast<unsigned long long>(engine.swaps_done()),
+              static_cast<unsigned long long>(parser.error_count()));
+  for (const std::string& error : parser.errors()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+  }
+  if (server != nullptr) server->Shutdown();
+  if (journal != nullptr) std::fclose(journal);
+  return exit_code;
+}
+
 // One predict request against a running server: JSON by default, the
 // compact binary frame with --binary (which needs the schema sidecar to
 // lay out columns). The smoke test drives both protocols through this.
@@ -835,5 +1197,6 @@ int main(int argc, char** argv) {
   if (args.command == "serve") return Serve(args);
   if (args.command == "probe") return Probe(args);
   if (args.command == "tune") return Tune(args);
+  if (args.command == "stream") return Stream(args);
   return Usage();
 }

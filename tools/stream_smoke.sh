@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# End-to-end streaming smoke: generates the synthetic drift scenario with
+# the CLI, trains a base model, tails a live feed through `pnr stream` with
+# a co-hosted serving fleet, and checks the whole loop — drift confirmation
+# on appended shifted traffic, background retrain, registry hot-swap
+# visible over HTTP /metrics, graceful SIGTERM shutdown, and checkpoint
+# resume. Run by the CI streaming job; needs only bash, awk, and curl.
+#
+# Usage: tools/stream_smoke.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+pnr="$build_dir/tools/pnr"
+[ -x "$pnr" ] || { echo "missing $pnr — build first" >&2; exit 2; }
+
+workdir="$(mktemp -d)"
+stream_pid=""
+cleanup() {
+  [ -n "$stream_pid" ] && kill -9 "$stream_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== generate drift scenario =="
+"$pnr" stream --generate --out-dir "$workdir" \
+       --train 6000 --pre 4000 --post 3000 --seed 427 \
+       > "$workdir/generate.log"
+grep -q "4000 pre-drift + 3000 shifted" "$workdir/generate.log"
+
+echo "== train base model =="
+"$pnr" train --data "$workdir/train.csv" --target r2l \
+       --model "$workdir/m.txt" > "$workdir/train.log"
+[ -f "$workdir/m.txt.schema" ] || { echo "no schema sidecar" >&2; exit 1; }
+
+# The stream starts on the stationary half only; the shifted rows arrive
+# later as live appends, so every phase transition below is driven by this
+# script, not by timing.
+head -n 4001 "$workdir/feed.csv" > "$workdir/live.csv"   # header + 4000 pre
+tail -n 3000 "$workdir/feed.csv" > "$workdir/shifted.csv"
+
+port=18457
+echo "== stream (tail mode, serving on port $port) =="
+"$pnr" stream --data "$workdir/live.csv" --model "$workdir/m.txt" \
+       --target r2l --out-dir "$workdir/stream_out" \
+       --window 500 --retrain-rows 3000 \
+       --checkpoint "$workdir/ckpt" --journal "$workdir/journal.txt" \
+       --follow --poll-ms 50 \
+       --serve-port "$port" > "$workdir/stream.log" &
+stream_pid=$!
+
+base="http://127.0.0.1:$port"
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" > /dev/null 2>&1 && break
+  kill -0 "$stream_pid" 2>/dev/null || { cat "$workdir/stream.log"; exit 1; }
+  sleep 0.1
+done
+curl -sf "$base/healthz" | grep -q ok
+
+# One predict against the stationary stream: the serving shard loads the
+# base model, so the later hot-swap registers as an observed version
+# change. The row spec is the first feed record, named per the header.
+row_spec="$(awk -F, 'NR==1 {n=split($0,h,FS); next}
+                     NR==2 {for (i=1; i<n; ++i)
+                              s = s (i>1 ? "," : "") h[i] "=" $i;
+                            print s; exit}' "$workdir/feed.csv")"
+echo "== probe the base model =="
+"$pnr" probe --port "$port" --model stream --row "$row_spec" \
+       --schema "$workdir/m.txt.schema" > "$workdir/probe1.log"
+curl -sf "$base/metrics" | grep -q 'pnr_serve_model_version 1'
+
+echo "== append shifted traffic until drift confirms =="
+head -n 2500 "$workdir/shifted.csv" >> "$workdir/live.csv"
+started=""
+for _ in $(seq 1 200); do
+  if grep -q "retrain start" "$workdir/journal.txt" 2>/dev/null; then
+    started=yes
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$started" ] || { echo "shifted traffic never confirmed drift" >&2;
+                       cat "$workdir/journal.txt" 2>/dev/null; exit 1; }
+
+# The background retrain installs into the registry the moment training
+# finishes; poll /metrics (each probe refreshes the shard snapshot) until
+# the new version is being served.
+echo "== wait for the retrained model to reach the registry =="
+installed=""
+for _ in $(seq 1 200); do
+  "$pnr" probe --port "$port" --model stream --row "$row_spec" \
+         --schema "$workdir/m.txt.schema" > /dev/null
+  if curl -sf "$base/metrics" | grep -q 'pnr_serve_model_version 2'; then
+    installed=yes
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$installed" ] || { echo "retrained model never installed" >&2;
+                         cat "$workdir/journal.txt"; exit 1; }
+curl -sf "$base/metrics" | grep -q 'pnr_serve_model_swaps_total 1'
+
+# The engine claims the finished retrain at its next pump — i.e. when the
+# feed grows again. Append the remaining shifted rows to resolve the swap.
+echo "== append the rest: swap resolves at the next window =="
+tail -n 500 "$workdir/shifted.csv" >> "$workdir/live.csv"
+swapped=""
+for _ in $(seq 1 200); do
+  if grep -q "^swap window=" "$workdir/journal.txt"; then
+    swapped=yes
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$swapped" ] || { echo "hot-swap never journaled" >&2;
+                       cat "$workdir/journal.txt"; exit 1; }
+grep -q "retrain done" "$workdir/journal.txt"
+grep -q "model=v2" "$workdir/journal.txt"
+
+echo "== graceful shutdown =="
+kill -TERM "$stream_pid"
+wait "$stream_pid"
+stream_pid=""
+grep -q "stream done: 7000 rows" "$workdir/stream.log"
+grep -q " 1 swaps, 0 rejected lines" "$workdir/stream.log"
+[ -f "$workdir/ckpt" ] || { echo "no checkpoint written" >&2; exit 1; }
+grep -q "pnr-stream-checkpoint v1" "$workdir/ckpt"
+
+echo "== resume from checkpoint =="
+"$pnr" stream --data "$workdir/live.csv" --model "$workdir/m.txt" \
+       --target r2l --out-dir "$workdir/stream_out" \
+       --window 500 --retrain-rows 3000 \
+       --checkpoint "$workdir/ckpt" --resume \
+       --journal "$workdir/journal2.txt" > "$workdir/resume.log"
+grep -q "resumed at window" "$workdir/resume.log"
+grep -q "stream done: 7000 rows" "$workdir/resume.log"
+
+echo "stream smoke passed"
