@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "assoc/cba.h"
+#include "assoc/model_io.h"
 #include "data/arff.h"
 #include "data/csv.h"
 #include "data/ingest.h"
@@ -692,6 +695,87 @@ void FuzzStream(const uint8_t* data, size_t size) {
   }
 }
 
+// -- mine -------------------------------------------------------------------
+
+void FuzzMine(const uint8_t* data, size_t size) {
+  if (size == 0 || size > kMaxInput) return;
+  // First byte picks the surface; the rest is the input.
+  const bool parse_mode = (data[0] & 1) == 0;
+  const Schema schema = ModelHarnessSchema();
+
+  if (parse_mode) {
+    // Assoc model parser: hostile text either rejects with a located error
+    // or reaches a serialization fixpoint — the same contract as the
+    // PNrule model target.
+    const std::string text(AsText(data + 1, size - 1));
+    auto model = ParseAssocModel(text, schema);
+    if (!model.ok()) {
+      FUZZ_CHECK(ErrorIsLocated(model.status()),
+                 "assoc model rejection without a location");
+      return;
+    }
+    const std::string first = SerializeAssocModel(*model, schema);
+    auto reparsed = ParseAssocModel(first, schema);
+    FUZZ_CHECK(reparsed.ok(), "serialized assoc model does not reparse");
+    FUZZ_CHECK(SerializeAssocModel(*reparsed, schema) == first,
+               "assoc model serialize/reparse is not a fixpoint");
+    return;
+  }
+
+  // Miner mode: decode the bytes into a small dataset (including NaN/inf
+  // cells) and mine it at 1 and 2 threads — the verdicts must agree, an
+  // acceptance must be byte-identical and a model-format fixpoint, and a
+  // rejection must carry a message.
+  Dataset dataset(schema);
+  size_t at = 1;
+  auto cell = [](uint8_t b) -> double {
+    if (b == 255) return std::numeric_limits<double>::quiet_NaN();
+    if (b == 254) return std::numeric_limits<double>::infinity();
+    if (b == 253) return -std::numeric_limits<double>::infinity();
+    return static_cast<double>(b);
+  };
+  while (at + 4 <= size && dataset.num_rows() < 64) {
+    const RowId row = dataset.AddRow();
+    dataset.set_numeric(row, 0, cell(data[at]));
+    dataset.set_numeric(row, 1, cell(data[at + 1]));
+    if (data[at + 2] % 4 != 3) {  // else: leave the categorical cell missing
+      dataset.set_categorical(row, 2, data[at + 2] % 3);
+    }
+    dataset.set_label(row, data[at + 3] % 2);
+    at += 4;
+  }
+  RowSubset rows(dataset.num_rows());
+  for (RowId r = 0; r < dataset.num_rows(); ++r) rows[r] = r;
+
+  AssocMineOptions options;
+  options.min_support = 0.1;
+  options.per_class_min_support = (data[0] & 2) != 0 ? 0.4 : 0.0;
+  options.min_confidence = 0.5;
+  options.max_len = 2;
+  const CategoryId target = 1;  // "pos"
+
+  options.num_threads = 1;
+  auto serial = MineCba(dataset, rows, target, options);
+  options.num_threads = 2;
+  auto parallel = MineCba(dataset, rows, target, options);
+  FUZZ_CHECK(serial.ok() == parallel.ok(),
+             "serial and parallel mining disagree on acceptance");
+  if (!serial.ok()) {
+    FUZZ_CHECK(!serial.status().ToString().empty(),
+               "mining rejection with empty error");
+    FUZZ_CHECK(serial.status().ToString() == parallel.status().ToString(),
+               "serial and parallel mining error text differ");
+    return;
+  }
+  const std::string first = SerializeAssocModel(serial->model, schema);
+  FUZZ_CHECK(SerializeAssocModel(parallel->model, schema) == first,
+             "mined model bytes depend on the thread count");
+  auto reparsed = ParseAssocModel(first, schema);
+  FUZZ_CHECK(reparsed.ok(), "mined model does not reparse");
+  FUZZ_CHECK(SerializeAssocModel(*reparsed, schema) == first,
+             "mined model serialize/reparse is not a fixpoint");
+}
+
 namespace {
 
 struct Target {
@@ -704,6 +788,7 @@ constexpr Target kTargets[] = {
     {"schema", FuzzSchema}, {"http", FuzzHttp}, {"json", FuzzJson},
     {"serve_binary", FuzzServeBinary},          {"tune", FuzzTune},
     {"shard", FuzzShard},     {"stream", FuzzStream},
+    {"mine", FuzzMine},
 };
 
 }  // namespace
@@ -716,7 +801,8 @@ TargetFn FindTarget(std::string_view name) {
 }
 
 const char* TargetNames() {
-  return "csv arff model schema http json serve_binary tune shard stream";
+  return "csv arff model schema http json serve_binary tune shard stream "
+         "mine";
 }
 
 }  // namespace fuzz

@@ -43,10 +43,11 @@ void FuzzServeBinary(const uint8_t* data, size_t size);
 void FuzzTune(const uint8_t* data, size_t size);
 void FuzzShard(const uint8_t* data, size_t size);
 void FuzzStream(const uint8_t* data, size_t size);
+void FuzzMine(const uint8_t* data, size_t size);
 
 /// Looks a target up by its corpus name ("csv", "arff", "model", "schema",
-/// "http", "json", "serve_binary", "tune", "shard", "stream"); nullptr when
-/// unknown.
+/// "http", "json", "serve_binary", "tune", "shard", "stream", "mine");
+/// nullptr when unknown.
 TargetFn FindTarget(std::string_view name);
 
 /// Space-separated list of valid target names (for usage messages).

@@ -1,0 +1,201 @@
+#include "assoc/cba.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pnr {
+namespace {
+
+// Antecedent coverage mask of a candidate rule (AND of its item masks).
+BitMask AntecedentMask(const CandidateRule& rule, const VerticalIndex& index) {
+  BitMask mask = index.item_rows[static_cast<size_t>(rule.items[0])];
+  for (size_t k = 1; k < rule.items.size(); ++k) {
+    mask &= index.item_rows[static_cast<size_t>(rule.items[k])];
+  }
+  return mask;
+}
+
+// Majority class among the rows of `uncovered`; ties and the empty set
+// resolve to the lowest class id (deterministic).
+struct DefaultPick {
+  CategoryId cls = 0;
+  uint64_t count = 0;     ///< rows of the majority class
+  uint64_t uncovered = 0; ///< total uncovered rows
+};
+
+DefaultPick PickDefault(const BitMask& uncovered, const VerticalIndex& index) {
+  DefaultPick pick;
+  pick.uncovered = uncovered.Count();
+  for (size_t c = 0; c < index.class_rows.size(); ++c) {
+    const uint64_t count = uncovered.CountAnd(index.class_rows[c]);
+    if (count > pick.count) {
+      pick.count = count;
+      pick.cls = static_cast<CategoryId>(c);
+    }
+  }
+  return pick;
+}
+
+}  // namespace
+
+void SortByPrecedence(std::vector<CandidateRule>* rules) {
+  std::sort(rules->begin(), rules->end(),
+            [](const CandidateRule& a, const CandidateRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.class_support != b.class_support) {
+                return a.class_support > b.class_support;
+              }
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              if (a.items != b.items) return a.items < b.items;
+              return a.cls < b.cls;
+            });
+}
+
+AssocClassifier SelectCbaRules(std::vector<CandidateRule> rules,
+                               const VerticalIndex& index,
+                               const ItemCatalog& catalog,
+                               const Discretizer& discretizer,
+                               CategoryId target, MineStats* stats) {
+  SortByPrecedence(&rules);
+
+  // M1 walk. Each kept rule removes its covered rows; per kept prefix we
+  // record the error of "prefix + majority default" so the list can be cut
+  // at the global error minimum afterwards.
+  struct Kept {
+    size_t rule = 0;           ///< index into `rules`
+    BitMask antecedent;        ///< full-coverage mask (for target_score)
+    uint64_t rule_errors = 0;  ///< wrong rows among those it newly covered
+    DefaultPick fallback;      ///< default candidate after this prefix
+  };
+
+  BitMask uncovered(index.num_rows, true);
+  const DefaultPick initial = PickDefault(uncovered, index);
+  std::vector<Kept> kept;
+  uint64_t errors_so_far = 0;
+  // Error of the empty prefix: everything rides the initial default.
+  uint64_t best_errors = initial.uncovered - initial.count;
+  size_t best_prefix = 0;
+
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (!uncovered.AnySet()) break;
+    BitMask antecedent = AntecedentMask(rules[r], index);
+    const BitMask newly = antecedent & uncovered;
+    const uint64_t newly_count = newly.Count();
+    if (newly_count == 0) continue;  // covers nothing new: discard
+    const uint64_t correct =
+        newly.CountAnd(index.class_rows[static_cast<size_t>(rules[r].cls)]);
+    uncovered.AndNot(antecedent);
+
+    Kept k;
+    k.rule = r;
+    k.antecedent = std::move(antecedent);
+    k.rule_errors = newly_count - correct;
+    k.fallback = PickDefault(uncovered, index);
+    errors_so_far += k.rule_errors;
+    kept.push_back(std::move(k));
+
+    const uint64_t total =
+        errors_so_far + (kept.back().fallback.uncovered -
+                         kept.back().fallback.count);
+    // Strict < keeps the shortest prefix on ties.
+    if (total < best_errors) {
+      best_errors = total;
+      best_prefix = kept.size();
+    }
+  }
+
+  // Materialize the chosen prefix: rules in precedence order, each with its
+  // conditions in item-id (= schema attribute) order.
+  RuleSet rule_set;
+  std::vector<AssocClassifier::RuleInfo> info;
+  for (size_t i = 0; i < best_prefix; ++i) {
+    const CandidateRule& src = rules[kept[i].rule];
+    Rule rule;
+    for (const int32_t item : src.items) {
+      catalog.AppendConditions(item, discretizer, &rule);
+    }
+    rule.train_stats.covered = static_cast<double>(src.support);
+    rule.train_stats.positive = static_cast<double>(
+        kept[i].antecedent.CountAnd(
+            index.class_rows[static_cast<size_t>(target)]));
+    AssocClassifier::RuleInfo ri;
+    ri.cls = src.cls;
+    ri.support = src.support;
+    ri.class_support = src.class_support;
+    ri.confidence = src.confidence;
+    ri.lift = src.lift;
+    ri.target_score = src.support > 0
+                          ? rule.train_stats.positive /
+                                static_cast<double>(src.support)
+                          : 0.0;
+    info.push_back(ri);
+    rule_set.AddRule(std::move(rule));
+  }
+
+  const DefaultPick fallback =
+      best_prefix == 0 ? initial : kept[best_prefix - 1].fallback;
+  // Score of uncovered records: the target rate among the training rows the
+  // kept prefix leaves uncovered. When selection covered everything, fall
+  // back on the default class's identity.
+  double default_score;
+  if (fallback.uncovered > 0) {
+    BitMask rest(index.num_rows, true);
+    for (size_t i = 0; i < best_prefix; ++i) {
+      rest.AndNot(kept[i].antecedent);
+    }
+    default_score =
+        static_cast<double>(
+            rest.CountAnd(index.class_rows[static_cast<size_t>(target)])) /
+        static_cast<double>(fallback.uncovered);
+  } else {
+    default_score = fallback.cls == target ? 1.0 : 0.0;
+  }
+
+  if (stats != nullptr) stats->rules_selected = best_prefix;
+  return AssocClassifier(std::move(rule_set), std::move(info), target,
+                         fallback.cls, default_score);
+}
+
+StatusOr<AssocMineResult> MineCba(const Dataset& dataset,
+                                  const RowSubset& rows, CategoryId target,
+                                  const AssocMineOptions& options) {
+  Status status = options.Validate();
+  if (!status.ok()) return status;
+  if (target < 0 ||
+      target >= static_cast<CategoryId>(dataset.schema().num_classes())) {
+    return Status::InvalidArgument("assoc miner: target class id " +
+                                   std::to_string(target) +
+                                   " is not in the schema");
+  }
+
+  AssocMineResult result;
+  auto discretizer = Discretizer::Fit(dataset, rows, options.discretize);
+  if (!discretizer.ok()) return discretizer.status();
+  for (AttrIndex a = 0;
+       a < static_cast<AttrIndex>(dataset.schema().num_attributes()); ++a) {
+    if (dataset.schema().attribute(a).is_numeric() &&
+        discretizer->num_bins(a) > 0) {
+      ++result.stats.discretized_attrs;
+    }
+  }
+
+  const ItemCatalog catalog =
+      ItemCatalog::Build(dataset.schema(), *discretizer);
+  result.stats.num_items = catalog.size();
+  const VerticalIndex index = VerticalIndex::Build(
+      dataset, rows, catalog, *discretizer, options.num_threads);
+
+  auto frequent = MineFrequentItemsets(index, options, &result.stats);
+  if (!frequent.ok()) return frequent.status();
+  std::vector<CandidateRule> cars =
+      GenerateRules(*frequent, index, options, &result.stats);
+  result.model = SelectCbaRules(std::move(cars), index, catalog, *discretizer,
+                                target, &result.stats);
+  return result;
+}
+
+}  // namespace pnr

@@ -1,0 +1,57 @@
+// CBA-style rule selection: precedence-ordered database coverage (the M1
+// algorithm of Liu, Hsu & Ma's CBA) over mined class association rules,
+// plus the one-call facade the CLI / tuner / tests mine through.
+//
+// Selection walks the CARs in total precedence order (confidence desc,
+// support desc, shorter antecedent first, then a lexicographic tie-break so
+// the order is a pure function of the rule list). A rule is kept when it
+// covers at least one still-uncovered training row; its covered rows are
+// then removed. After each kept rule the would-be default class (majority
+// of the uncovered remainder) and the total error of "this prefix + that
+// default" are recorded; the final model is the shortest prefix with
+// minimal total error — exactly CBA's error-driven list cut, including the
+// empty prefix (a pure default model) when no rule helps.
+
+#ifndef PNR_ASSOC_CBA_H_
+#define PNR_ASSOC_CBA_H_
+
+#include <vector>
+
+#include "assoc/classifier.h"
+#include "assoc/discretize.h"
+#include "assoc/miner.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pnr {
+
+/// Sorts `rules` into CBA precedence order (in place): confidence desc,
+/// class_support desc, antecedent length asc, items lexicographic asc,
+/// class id asc. Deterministic for any input order.
+void SortByPrecedence(std::vector<CandidateRule>* rules);
+
+/// Database-coverage selection over precedence-sorted CARs, producing the
+/// final classifier bound to `target`. `index` must be the vertical index
+/// the rules were mined from.
+AssocClassifier SelectCbaRules(std::vector<CandidateRule> rules,
+                               const VerticalIndex& index,
+                               const ItemCatalog& catalog,
+                               const Discretizer& discretizer,
+                               CategoryId target, MineStats* stats);
+
+/// Everything MineCba learned, bundled for reports.
+struct AssocMineResult {
+  AssocClassifier model;
+  MineStats stats;
+};
+
+/// The full pipeline: discretize -> build the item catalog and vertical
+/// index -> mine frequent itemsets -> generate CARs -> CBA coverage
+/// selection. Deterministic for any `options.num_threads`.
+StatusOr<AssocMineResult> MineCba(const Dataset& dataset,
+                                  const RowSubset& rows, CategoryId target,
+                                  const AssocMineOptions& options);
+
+}  // namespace pnr
+
+#endif  // PNR_ASSOC_CBA_H_

@@ -1,0 +1,82 @@
+// The CBA-style associative classifier: an ordered list of class
+// association rules applied first-match-wins, with a default class for
+// uncovered records.
+//
+// AssocClassifier plugs into the same BinaryClassifier interface as
+// PNrule/RIPPER/C4.5 — one target class, Score in [0, 1] — so mined models
+// flow through the existing eval metrics, the tune racer, and the serving
+// fleet unchanged. Classification follows CBA (first matching rule's class;
+// default when none matches); the score of a record is the matched rule's
+// empirical P(target | antecedent) from training, which makes ranking
+// metrics (precision/recall at a threshold) meaningful even for rules whose
+// consequent is not the target class.
+//
+// Scoring compiles the rule list through CompiledRuleSet, so a mined model
+// with thousands of CARs rides the same SIMD first-match kernels as the
+// hand-induced learners — the scale test ROADMAP item 5 asks for.
+
+#ifndef PNR_ASSOC_CLASSIFIER_H_
+#define PNR_ASSOC_CLASSIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/classifier.h"
+#include "rules/compiled_rule_set.h"
+#include "rules/rule_set.h"
+
+namespace pnr {
+
+/// A trained associative classifier bound to one target class.
+class AssocClassifier : public BinaryClassifier {
+ public:
+  /// Per-rule consequent and training statistics, parallel to the RuleSet.
+  struct RuleInfo {
+    CategoryId cls = kInvalidCategory;  ///< consequent class
+    uint64_t support = 0;               ///< antecedent coverage on train
+    uint64_t class_support = 0;         ///< antecedent AND consequent
+    double confidence = 0.0;            ///< class_support / support
+    double lift = 0.0;                  ///< confidence / class prior
+    double target_score = 0.0;          ///< P(target | antecedent) on train
+  };
+
+  AssocClassifier() = default;
+
+  /// `info` must have one entry per rule of `rules`. `default_score` is the
+  /// score of records no rule covers (the target rate among uncovered
+  /// training rows).
+  AssocClassifier(RuleSet rules, std::vector<RuleInfo> info, CategoryId target,
+                  CategoryId default_class, double default_score);
+
+  /// First matching rule's target_score; default_score when none matches.
+  double Score(const Dataset& dataset, RowId row) const override;
+
+  /// Compiled block-wise scoring; bit-identical to Score per row.
+  void ScoreBatch(const Dataset& dataset, const RowId* rows, size_t count,
+                  double* out,
+                  const BatchScoreOptions& options = {}) const override;
+
+  /// CBA classification: first matching rule's class, else default_class.
+  CategoryId PredictLabel(const Dataset& dataset, RowId row) const;
+
+  std::string Describe(const Schema& schema) const override;
+
+  const RuleSet& rules() const { return rules_; }
+  const std::vector<RuleInfo>& rule_info() const { return info_; }
+  CategoryId target() const { return target_; }
+  CategoryId default_class() const { return default_class_; }
+  double default_score() const { return default_score_; }
+
+ private:
+  RuleSet rules_;
+  CompiledRuleSet compiled_;
+  std::vector<RuleInfo> info_;
+  CategoryId target_ = kInvalidCategory;
+  CategoryId default_class_ = kInvalidCategory;
+  double default_score_ = 0.0;
+};
+
+}  // namespace pnr
+
+#endif  // PNR_ASSOC_CLASSIFIER_H_

@@ -1,0 +1,271 @@
+#include "assoc/discretize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "common/math_util.h"
+#include "rules/condition.h"
+
+namespace pnr {
+namespace {
+
+// One (value, label) observation; sorted by value (label breaks ties so the
+// order — and therefore everything downstream — is a pure function of the
+// data).
+struct Obs {
+  double value = 0.0;
+  CategoryId label = 0;
+};
+
+// Class counts of rows with value <= cut, one snapshot per candidate cut.
+// counts[i] covers candidates[0..i]; snapshot differencing gives the class
+// histogram of any (cut_a, cut_b] slice in O(num_classes).
+struct PrefixCounts {
+  std::vector<std::vector<uint64_t>> at;  // per candidate: per-class count
+  std::vector<uint64_t> total;            // all rows: per-class count
+};
+
+double Entropy(const std::vector<uint64_t>& counts, uint64_t n) {
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  const double dn = static_cast<double>(n);
+  for (const uint64_t c : counts) {
+    h -= XLog2X(static_cast<double>(c) / dn);
+  }
+  return h;
+}
+
+uint64_t Sum(const std::vector<uint64_t>& counts) {
+  uint64_t n = 0;
+  for (const uint64_t c : counts) n += c;
+  return n;
+}
+
+// A contiguous candidate-index range [lo, hi] delimiting rows
+// (candidates[lo-1], candidates[hi]] — the unit of recursive partitioning.
+// `left_base` is the per-class prefix just below the range.
+struct Range {
+  size_t lo = 0;  // first selectable candidate index
+  size_t hi = 0;  // one past the last selectable candidate index
+};
+
+// Best split of `range`: the candidate cut maximizing information gain of
+// the induced 2-partition. Returns gain < 0 when no candidate splits the
+// range into two non-empty sides.
+struct Split {
+  double gain = -1.0;
+  size_t candidate = 0;
+};
+
+Split BestSplit(const PrefixCounts& prefix, const std::vector<uint64_t>& below,
+                const std::vector<uint64_t>& upto, const Range& range) {
+  // `below`: class counts strictly below the range; `upto`: class counts up
+  // to and including the range (rows <= candidates[range.hi - 1]... the
+  // range's full slice). Gain is evaluated against that slice.
+  const size_t num_classes = below.size();
+  std::vector<uint64_t> slice(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) slice[c] = upto[c] - below[c];
+  const uint64_t n = Sum(slice);
+  if (n == 0) return {};
+  const double h_all = Entropy(slice, n);
+  Split best;
+  std::vector<uint64_t> left(num_classes);
+  std::vector<uint64_t> right(num_classes);
+  for (size_t i = range.lo; i < range.hi; ++i) {
+    uint64_t nl = 0;
+    for (size_t c = 0; c < num_classes; ++c) {
+      left[c] = prefix.at[i][c] - below[c];
+      right[c] = slice[c] - left[c];
+      nl += left[c];
+    }
+    const uint64_t nr = n - nl;
+    if (nl == 0 || nr == 0) continue;
+    const double gain = h_all -
+                        (static_cast<double>(nl) / n) * Entropy(left, nl) -
+                        (static_cast<double>(nr) / n) * Entropy(right, nr);
+    // Strict > keeps the first (lowest-index) best candidate on ties, so
+    // selection is deterministic.
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.candidate = i;
+    }
+  }
+  return best;
+}
+
+// Supervised best-first selection: repeatedly take the candidate cut with
+// the highest information gain anywhere, until max_bins - 1 cuts are chosen
+// or no remaining split reduces impurity.
+std::vector<double> SelectSupervised(const std::vector<double>& candidates,
+                                     const PrefixCounts& prefix,
+                                     size_t max_bins, size_t num_classes) {
+  struct HeapEntry {
+    double gain;
+    size_t candidate;
+    Range range;
+    // Deterministic order: higher gain first, then lower range start.
+    bool operator<(const HeapEntry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return range.lo > other.range.lo;
+    }
+  };
+
+  const std::vector<uint64_t> zero(num_classes, 0);
+  auto upto_of = [&](size_t hi) -> const std::vector<uint64_t>& {
+    return hi == candidates.size() ? prefix.total : prefix.at[hi];
+  };
+  // The full range spans all candidates; below it is the empty prefix and
+  // above it the whole sample (rows past the last candidate included).
+  std::priority_queue<HeapEntry> heap;
+  auto push_range = [&](const Range& range, const std::vector<uint64_t>& below) {
+    if (range.lo >= range.hi) return;
+    const Split split = BestSplit(prefix, below, upto_of(range.hi), range);
+    if (split.gain > 1e-12) heap.push({split.gain, split.candidate, range});
+  };
+  push_range({0, candidates.size()}, zero);
+
+  std::vector<size_t> chosen;
+  while (!heap.empty() && chosen.size() + 1 < max_bins) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    chosen.push_back(top.candidate);
+    const std::vector<uint64_t>& below =
+        top.range.lo == 0 ? zero : prefix.at[top.range.lo - 1];
+    push_range({top.range.lo, top.candidate}, below);
+    push_range({top.candidate + 1, top.range.hi}, prefix.at[top.candidate]);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  std::vector<double> cuts;
+  cuts.reserve(chosen.size());
+  for (const size_t i : chosen) cuts.push_back(candidates[i]);
+  return cuts;
+}
+
+std::vector<double> FitAttribute(std::vector<Obs> obs,
+                                 const DiscretizeOptions& options,
+                                 size_t num_classes) {
+  // obs holds only non-NaN cells; fewer than 2 rows (all-missing or nearly
+  // empty column) cannot support a boundary.
+  if (obs.size() < 2) return {};
+  std::sort(obs.begin(), obs.end(), [](const Obs& a, const Obs& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.label < b.label;
+  });
+  const double lo = obs.front().value;
+  const double hi = obs.back().value;
+  if (lo == hi) return {};  // constant column: no boundary exists
+
+  // Equi-depth candidate boundaries (the shared stream-histogram rule),
+  // deduplicated and clamped below the maximum so every bin keeps at least
+  // one sample row on each side of some cut.
+  std::vector<double> values;
+  values.reserve(obs.size());
+  for (const Obs& o : obs) values.push_back(o.value);
+  std::vector<double> candidates =
+      EquiDepthEdges(values, std::max(options.candidate_bins, options.max_bins));
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  while (!candidates.empty() && candidates.back() >= hi) candidates.pop_back();
+  if (candidates.empty()) return {};
+
+  if (!options.supervised) {
+    std::vector<double> cuts = EquiDepthEdges(values, options.max_bins);
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    while (!cuts.empty() && cuts.back() >= hi) cuts.pop_back();
+    return cuts;
+  }
+
+  // Per-candidate class-count prefixes in one merged walk over the sorted
+  // observations.
+  PrefixCounts prefix;
+  prefix.at.assign(candidates.size(), std::vector<uint64_t>(num_classes, 0));
+  std::vector<uint64_t> running(num_classes, 0);
+  size_t next = 0;
+  for (const Obs& o : obs) {
+    while (next < candidates.size() && o.value > candidates[next]) {
+      prefix.at[next] = running;
+      ++next;
+    }
+    ++running[static_cast<size_t>(o.label)];
+  }
+  while (next < candidates.size()) {
+    prefix.at[next] = running;
+    ++next;
+  }
+  prefix.total = running;
+
+  return SelectSupervised(candidates, prefix, options.max_bins, num_classes);
+}
+
+}  // namespace
+
+Status DiscretizeOptions::Validate() const {
+  if (max_bins < 2) {
+    return Status::InvalidArgument("discretizer max_bins must be >= 2 (got " +
+                                   std::to_string(max_bins) + ")");
+  }
+  if (candidate_bins < 2) {
+    return Status::InvalidArgument(
+        "discretizer candidate_bins must be >= 2 (got " +
+        std::to_string(candidate_bins) + ")");
+  }
+  return Status::OK();
+}
+
+StatusOr<Discretizer> Discretizer::Fit(const Dataset& dataset,
+                                       const RowSubset& rows,
+                                       const DiscretizeOptions& options) {
+  Status status = options.Validate();
+  if (!status.ok()) return status;
+  const Schema& schema = dataset.schema();
+  const size_t num_classes = std::max<size_t>(schema.num_classes(), 1);
+  Discretizer out;
+  out.cuts_.resize(schema.num_attributes());
+  for (AttrIndex a = 0; a < static_cast<AttrIndex>(schema.num_attributes());
+       ++a) {
+    if (!schema.attribute(a).is_numeric()) continue;
+    // Pin the column while scanning so a demand-paged dataset cannot evict
+    // it mid-walk.
+    const Dataset::ColumnPin pin = dataset.PinColumn(a);
+    std::vector<Obs> obs;
+    obs.reserve(rows.size());
+    for (const RowId row : rows) {
+      const double value = dataset.numeric(row, a);
+      if (std::isnan(value)) continue;  // missing: never a cut candidate
+      obs.push_back({value, dataset.label(row)});
+    }
+    out.cuts_[static_cast<size_t>(a)] =
+        FitAttribute(std::move(obs), options, num_classes);
+  }
+  return out;
+}
+
+int Discretizer::BinOf(AttrIndex attr, double value) const {
+  const std::vector<double>& c = cuts_[static_cast<size_t>(attr)];
+  if (c.empty() || std::isnan(value)) return -1;
+  // Bins are upper-closed — bin i is (c[i-1], c[i]] — so a value equal to a
+  // cut belongs to the bin *below*: count the cuts strictly less than it
+  // (lower_bound). upper_bound would disagree with the LessEqual condition
+  // AppendBinConditions emits exactly at the cut values.
+  return static_cast<int>(std::lower_bound(c.begin(), c.end(), value) -
+                          c.begin());
+}
+
+void Discretizer::AppendBinConditions(AttrIndex attr, int bin,
+                                      Rule* rule) const {
+  const std::vector<double>& c = cuts_[static_cast<size_t>(attr)];
+  assert(!c.empty() && bin >= 0 &&
+         static_cast<size_t>(bin) <= c.size());
+  // Upper-closed intervals. An interior bin is Greater + LessEqual (NOT
+  // kInRange, which is closed on both ends and would disagree with BinOf at
+  // the lower boundary).
+  if (bin > 0) rule->AddCondition(Condition::Greater(attr, c[bin - 1]));
+  if (static_cast<size_t>(bin) < c.size()) {
+    rule->AddCondition(Condition::LessEqual(attr, c[bin]));
+  }
+}
+
+}  // namespace pnr

@@ -1,0 +1,104 @@
+// Deterministic supervised discretization of numeric columns for the
+// associative miner.
+//
+// Numeric attributes cannot be items directly; the miner needs a finite
+// per-attribute alphabet. Each numeric column is cut into at most
+// `max_bins` upper-closed intervals:
+//
+//   bin 0:      v <= cut[0]
+//   bin k:      cut[k-1] < v <= cut[k]
+//   bin last:   v >  cut[last-1]
+//
+// Candidate cut points come from the SAME equi-depth rule the stream drift
+// histograms use (EquiDepthEdges in common/math_util.h), so the miner and
+// the PSI monitor agree on where a column's mass boundaries are. In
+// supervised mode (the default) the final cuts are chosen from those
+// candidates by best-first recursive entropy partitioning over the class
+// labels — the boundary that most reduces class impurity is taken first,
+// until max_bins is reached or no split reduces impurity.
+//
+// Edge-case contract (each pinned by tests/assoc_discretize_test.cc):
+//   * a constant column produces no cuts (the attribute yields no items);
+//   * an all-missing (all-NaN) column produces no cuts;
+//   * NaN cells are excluded from cut selection and map to no bin (-1);
+//   * +/-inf cells participate normally (they sort to the extremes);
+//   * single-row classes are fine: entropy is computed over whatever
+//     label distribution exists, never dividing by zero;
+//   * cuts are strictly ascending and every bin is non-empty on the
+//     fitting sample.
+// Fitting is single-threaded per attribute and depends only on the cell
+// values and labels, never on thread count — mined models stay
+// byte-identical at any --threads.
+
+#ifndef PNR_ASSOC_DISCRETIZE_H_
+#define PNR_ASSOC_DISCRETIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "rules/rule.h"
+
+namespace pnr {
+
+/// Knobs for Discretizer::Fit.
+struct DiscretizeOptions {
+  /// Maximum bins per numeric attribute (>= 2).
+  size_t max_bins = 8;
+
+  /// Resolution of the equi-depth candidate grid the supervised search
+  /// selects from (>= max_bins). More candidates = finer boundaries.
+  size_t candidate_bins = 32;
+
+  /// When true (default), pick cuts by recursive entropy partitioning over
+  /// the class labels; when false, keep the plain equi-depth edges.
+  bool supervised = true;
+
+  /// Invalid-argument error when the knobs are out of range.
+  Status Validate() const;
+};
+
+/// Per-attribute numeric cut points fitted on a training sample.
+class Discretizer {
+ public:
+  Discretizer() = default;
+
+  /// Fits cut points for every numeric attribute of `dataset`'s schema over
+  /// `rows`. Categorical attributes get no cuts (they are items already).
+  static StatusOr<Discretizer> Fit(const Dataset& dataset,
+                                   const RowSubset& rows,
+                                   const DiscretizeOptions& options);
+
+  /// Strictly ascending cut points of `attr`; empty when the attribute is
+  /// categorical or unusable (constant / all-missing / too few rows).
+  const std::vector<double>& cuts(AttrIndex attr) const {
+    return cuts_[static_cast<size_t>(attr)];
+  }
+
+  /// Number of bins of `attr`: cuts+1 when usable, 0 otherwise.
+  size_t num_bins(AttrIndex attr) const {
+    const auto& c = cuts_[static_cast<size_t>(attr)];
+    return c.empty() ? 0 : c.size() + 1;
+  }
+
+  /// Bin of `value` under `attr`'s cuts; -1 for NaN or an unusable
+  /// attribute. Agrees exactly with the conditions AppendBinConditions
+  /// emits (upper-closed intervals), including at the cut values.
+  int BinOf(AttrIndex attr, double value) const;
+
+  /// Appends the 1 or 2 numeric conditions expressing `bin` of `attr`
+  /// (LessEqual for the lowest, Greater for the highest, Greater+LessEqual
+  /// for interior bins) to `rule`.
+  void AppendBinConditions(AttrIndex attr, int bin, Rule* rule) const;
+
+  /// Number of attributes covered (== schema.num_attributes()).
+  size_t num_attributes() const { return cuts_.size(); }
+
+ private:
+  std::vector<std::vector<double>> cuts_;  // per attribute, [] = no items
+};
+
+}  // namespace pnr
+
+#endif  // PNR_ASSOC_DISCRETIZE_H_

@@ -1,0 +1,56 @@
+// Serialization of associative-classifier models.
+//
+// Versioned line-oriented text, sibling of the PNrule format
+// (pnrule/model_io.h) and parsed with the same hardening contract: located
+// errors naming the 1-based line, truncation distinguished from
+// malformation, version skew named explicitly, trailing garbage rejected,
+// and parse(serialize(m)) a fixpoint (fuzzed by the `mine` target).
+//
+//   pnr-assoc-model v1
+//   target <class name>
+//   default <class name> <default score>
+//   threshold <t>
+//   rules <count>
+//   rule <num conds> <class name> <support> <class_support> <confidence>
+//        <lift> <target_score>          [one line]
+//   cond ...                            [as in the PNrule format]
+//   end
+//
+// Doubles are written with precision 17, so round-tripping is exact.
+
+#ifndef PNR_ASSOC_MODEL_IO_H_
+#define PNR_ASSOC_MODEL_IO_H_
+
+#include <string>
+
+#include "assoc/classifier.h"
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace pnr {
+
+/// Serializes `model` against `schema` (attribute/category/class names are
+/// resolved by name on load).
+std::string SerializeAssocModel(const AssocClassifier& model,
+                                const Schema& schema);
+
+/// Parses a serialized model; every failure names the offending line.
+StatusOr<AssocClassifier> ParseAssocModel(const std::string& text,
+                                          const Schema& schema);
+
+/// Serialize + write via file_io (fault-injection friendly).
+Status SaveAssocModel(const AssocClassifier& model, const Schema& schema,
+                      const std::string& path);
+
+/// Read + parse.
+StatusOr<AssocClassifier> LoadAssocModel(const std::string& path,
+                                         const Schema& schema);
+
+/// Cheap format sniff: true when `text` starts with the assoc header (after
+/// leading whitespace). Lets loaders accept both model families through one
+/// --model flag without tasting parse errors.
+bool LooksLikeAssocModel(const std::string& text);
+
+}  // namespace pnr
+
+#endif  // PNR_ASSOC_MODEL_IO_H_

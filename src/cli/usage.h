@@ -1,0 +1,35 @@
+// The pnr CLI's subcommand catalog and usage text, factored out of the
+// tool so tests can hold them against the actual dispatch table.
+//
+// The usage text used to live as one literal inside tools/pnr_cli.cc and
+// drifted: subcommands and flags were added to the dispatcher without ever
+// reaching the help screen. Keeping the canonical subcommand list here —
+// with the dispatcher built positionally on top of it (static_assert'ed to
+// the same length) and a test asserting every name appears in the rendered
+// usage — turns that silent drift into a compile- or test-time failure.
+
+#ifndef PNR_CLI_USAGE_H_
+#define PNR_CLI_USAGE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace pnr {
+
+/// Every subcommand `pnr` dispatches, in dispatch order. The CLI's handler
+/// table pairs with this list by position.
+inline constexpr const char* kPnrSubcommands[] = {
+    "train", "eval", "predict", "shard", "mine",
+    "serve", "probe", "tune",   "stream",
+};
+
+inline constexpr size_t kNumPnrSubcommands =
+    sizeof(kPnrSubcommands) / sizeof(kPnrSubcommands[0]);
+
+/// The full usage text printed on no/unknown subcommand. Mentions every
+/// entry of kPnrSubcommands (enforced by cli_usage_test).
+std::string PnrUsageText();
+
+}  // namespace pnr
+
+#endif  // PNR_CLI_USAGE_H_

@@ -156,4 +156,17 @@ bool ApproxEqual(double a, double b, double tol) {
   return std::fabs(a - b) <= tol * scale;
 }
 
+std::vector<double> EquiDepthEdges(const std::vector<double>& sorted,
+                                   size_t bins) {
+  assert(bins >= 1);
+  std::vector<double> edges(bins - 1, 0.0);
+  if (sorted.empty()) return edges;
+  for (size_t k = 0; k + 1 < bins; ++k) {
+    const size_t pos =
+        std::min(sorted.size() - 1, (k + 1) * sorted.size() / bins);
+    edges[k] = sorted[pos];
+  }
+  return edges;
+}
+
 }  // namespace pnr

@@ -7,6 +7,7 @@
 #define PNR_COMMON_MATH_UTIL_H_
 
 #include <cstddef>
+#include <vector>
 
 namespace pnr {
 
@@ -53,6 +54,16 @@ double IntegerCodingBits(double k);
 
 /// True iff |a - b| <= tol * max(1, |a|, |b|).
 bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+/// Equi-depth histogram cut points over a sorted sample. Returns exactly
+/// `bins - 1` upper-closed edges, where edge k is the sample value at rank
+/// min(n - 1, (k + 1) * n / bins); an empty sample yields all-zero edges.
+/// A constant sample yields equal edges (all mass in bin 0). This is the
+/// shared binning rule of the stream drift histograms (DriftDetector) and
+/// the associative-miner discretizer, so both see identical bin boundaries.
+/// Requires `bins >= 1` and `sorted` ascending.
+std::vector<double> EquiDepthEdges(const std::vector<double>& sorted,
+                                   size_t bins);
 
 }  // namespace pnr
 

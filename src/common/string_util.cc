@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <locale>
+#include <sstream>
 
 namespace pnr {
 
@@ -91,11 +93,18 @@ bool ParseDouble(std::string_view text, double* out) {
   *out = value;
   return true;
 #else
-  // Fallback: strtod on a bounded copy.
-  std::string buf(text);
-  char* end = nullptr;
-  const double value = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) return false;
+  // Fallback: an istream imbued with the classic "C" locale. std::strtod is
+  // locale-dependent — under an LC_NUMERIC with a comma decimal separator it
+  // rejects "0.5" (or worse, accepts "0,5") — so parses would silently change
+  // with the process locale. The classic locale pins '.' as the only decimal
+  // separator regardless of the environment.
+  std::istringstream in{std::string(text)};
+  in.imbue(std::locale::classic());
+  double value = 0.0;
+  in >> value;
+  if (in.fail() || in.peek() != std::istringstream::traits_type::eof()) {
+    return false;
+  }
   *out = value;
   return true;
 #endif

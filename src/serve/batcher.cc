@@ -134,7 +134,7 @@ void MicroBatcher::Execute(PendingBatch batch) {
     }
     std::vector<RowId> row_ids(n);
     std::iota(row_ids.begin(), row_ids.end(), RowId{0});
-    const PnruleClassifier& model = batch.model->model;
+    const BinaryClassifier& model = *batch.model->model;
     model.ScoreBatch(data, row_ids.data(), n, scores.data(),
                      config_.score_options);
     // Predict is the score threshold (the classifier's PredictBatch default

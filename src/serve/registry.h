@@ -36,17 +36,41 @@
 
 namespace pnr {
 
-/// An immutable, shareable (model, schema) snapshot.
+/// An immutable, shareable (model, schema) snapshot. The model is held
+/// through the BinaryClassifier interface so any scoring family — PNrule or
+/// the associative classifier — serves through the same fleet; `kind` plus
+/// the rule counts feed the /models introspection endpoint.
 struct ServedModel {
+  /// Wraps a PNrule model (the historical entry point; tests and the
+  /// stream retrainer install through this).
+  ServedModel(std::string name_in, Schema schema_in, PnruleClassifier model_in)
+      : name(std::move(name_in)), schema(std::move(schema_in)) {
+    auto owned =
+        std::make_shared<const PnruleClassifier>(std::move(model_in));
+    kind = "pnrule";
+    primary_rules = owned->p_rules().size();
+    secondary_rules = owned->n_rules().size();
+    model = std::move(owned);
+  }
+
+  /// Wraps any classifier. `primary`/`secondary` are the rule counts shown
+  /// by /models (P/N for PNrule, CARs/0 for assoc, 0/0 when meaningless).
   ServedModel(std::string name_in, Schema schema_in,
-              PnruleClassifier model_in)
+              std::shared_ptr<const BinaryClassifier> model_in,
+              std::string kind_in, size_t primary, size_t secondary)
       : name(std::move(name_in)),
         schema(std::move(schema_in)),
-        model(std::move(model_in)) {}
+        model(std::move(model_in)),
+        kind(std::move(kind_in)),
+        primary_rules(primary),
+        secondary_rules(secondary) {}
 
   std::string name;
   Schema schema;
-  PnruleClassifier model;
+  std::shared_ptr<const BinaryClassifier> model;  ///< never null
+  std::string kind;
+  size_t primary_rules = 0;
+  size_t secondary_rules = 0;
   uint64_t version = 1;  ///< bumped on every hot-swap of this name
 };
 

@@ -583,10 +583,14 @@ std::string ServeShard::RenderModels() {
     first = false;
     body += "{\"name\":";
     AppendJsonString(&body, entry->name);
-    body += ",\"p_rules\":" + std::to_string(entry->model.p_rules().size());
-    body += ",\"n_rules\":" + std::to_string(entry->model.n_rules().size());
+    body += ",\"kind\":";
+    AppendJsonString(&body, entry->kind);
+    // p_rules/n_rules keep their historical names; for non-PNrule kinds they
+    // report the primary (e.g. CAR count) and secondary rule counts.
+    body += ",\"p_rules\":" + std::to_string(entry->primary_rules);
+    body += ",\"n_rules\":" + std::to_string(entry->secondary_rules);
     body += ",\"threshold\":";
-    AppendJsonNumber(&body, entry->model.threshold());
+    AppendJsonNumber(&body, entry->model->threshold());
     body += ",\"attributes\":" +
             std::to_string(entry->schema.num_attributes());
     body += ",\"version\":" + std::to_string(entry->version);

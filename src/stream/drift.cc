@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/math_util.h"
 #include "common/string_util.h"
 
 namespace pnr {
@@ -92,19 +93,13 @@ void DriftDetector::FinalizeBaseline() {
     const Attribute& attribute = schema_->attribute(static_cast<AttrIndex>(a));
     if (!attribute.is_numeric()) continue;
     NumericState& state = numeric_[a];
-    // Equi-depth cut points from the sorted reference sample. A constant
-    // column yields equal edges; every value then lands in bin 0 and PSI
-    // only moves when genuinely new values appear.
+    // Equi-depth cut points from the sorted reference sample (the shared
+    // EquiDepthEdges rule, also used by the associative-miner discretizer).
+    // A constant column yields equal edges; every value then lands in bin 0
+    // and PSI only moves when genuinely new values appear.
     std::vector<double> sorted = state.sample;
     std::sort(sorted.begin(), sorted.end());
-    state.edges.assign(bins - 1, 0.0);
-    for (size_t k = 0; k + 1 < bins; ++k) {
-      const size_t pos =
-          sorted.empty()
-              ? 0
-              : std::min(sorted.size() - 1, (k + 1) * sorted.size() / bins);
-      state.edges[k] = sorted.empty() ? 0.0 : sorted[pos];
-    }
+    state.edges = EquiDepthEdges(sorted, bins);
     state.counts.assign(bins, 0);
     for (const double value : state.sample) {
       ++state.counts[NumericBin(state, value)];

@@ -130,7 +130,7 @@ Status StreamEngine::FinishStream() {
     std::vector<double> scores(count, 0.0);
     BatchScoreOptions score_options;
     score_options.num_threads = options_.score_threads;
-    model_->model.ScoreBatch(buffer_, rows.data(), rows.size(), scores.data(),
+    model_->model->ScoreBatch(buffer_, rows.data(), rows.size(), scores.data(),
                              ClampOptionsForDataset(buffer_, score_options));
     WindowStats stats =
         ComputeWindowStats(scores.data(), labels.data(), count,
@@ -163,7 +163,7 @@ void StreamEngine::ProcessWindow() {
   std::vector<double> scores(count, 0.0);
   BatchScoreOptions score_options;
   score_options.num_threads = options_.score_threads;
-  model_->model.ScoreBatch(buffer_, rows.data(), rows.size(), scores.data(),
+  model_->model->ScoreBatch(buffer_, rows.data(), rows.size(), scores.data(),
                            ClampOptionsForDataset(buffer_, score_options));
 
   WindowStats stats = ComputeWindowStats(scores.data(), labels.data(), count,

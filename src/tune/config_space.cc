@@ -95,6 +95,27 @@ Status ParseMetrics(const ParsedLine& line, size_t line_no,
   return Status::OK();
 }
 
+Status ParseAlgorithms(const ParsedLine& line, size_t line_no,
+                       std::vector<TuneAlgorithm>* out) {
+  out->clear();
+  for (const std::string& token : line.values) {
+    TuneAlgorithm algorithm;
+    if (token == "pnrule") {
+      algorithm = TuneAlgorithm::kPnrule;
+    } else if (token == "cba") {
+      algorithm = TuneAlgorithm::kCba;
+    } else {
+      return LineError(line_no, "unknown algorithm '" + token +
+                                    "' (valid: pnrule cba)");
+    }
+    if (std::find(out->begin(), out->end(), algorithm) != out->end()) {
+      return LineError(line_no, "duplicate algorithm '" + token + "'");
+    }
+    out->push_back(algorithm);
+  }
+  return Status::OK();
+}
+
 std::string TrimComment(std::string_view line) {
   const size_t hash = line.find('#');
   if (hash != std::string_view::npos) line = line.substr(0, hash);
@@ -103,7 +124,25 @@ std::string TrimComment(std::string_view line) {
 
 }  // namespace
 
+const char* TuneAlgorithmName(TuneAlgorithm algorithm) {
+  switch (algorithm) {
+    case TuneAlgorithm::kPnrule:
+      return "pnrule";
+    case TuneAlgorithm::kCba:
+      return "cba";
+  }
+  return "unknown";
+}
+
 std::string TrialConfig::Describe() const {
+  if (algorithm == TuneAlgorithm::kCba) {
+    std::string out = "cba sup=" + FormatDouble(cba.min_support, 3);
+    out += " csup=" + FormatDouble(cba.per_class_min_support, 3);
+    out += " conf=" + FormatDouble(cba.min_confidence, 2);
+    out += " len=" + std::to_string(cba.max_len);
+    out += " thr=" + FormatDouble(threshold, 2);
+    return out;
+  }
   std::string out = "rp=" + FormatDouble(config.min_coverage_fraction, 3);
   out += " rn=" + FormatDouble(config.n_recall_lower_limit, 3);
   out += " sup=" + FormatDouble(config.min_support_fraction, 3);
@@ -165,10 +204,32 @@ StatusOr<ConfigSpace> ConfigSpace::Parse(std::string_view text) {
       status = ParseLengths(line, line_no, &space.max_p_len_);
     } else if (line.key == "metric") {
       status = ParseMetrics(line, line_no, &space.metric_);
+    } else if (line.key == "algorithm") {
+      status = ParseAlgorithms(line, line_no, &space.algorithm_);
+    } else if (line.key == "cba_support") {
+      status = ParseDoubles(line, line_no, 0.0, 1.0, /*lo_exclusive=*/true,
+                            &space.cba_support_);
+    } else if (line.key == "cba_class_support") {
+      status = ParseDoubles(line, line_no, 0.0, 1.0, /*lo_exclusive=*/false,
+                            &space.cba_class_support_);
+    } else if (line.key == "cba_conf") {
+      status = ParseDoubles(line, line_no, 0.0, 1.0, /*lo_exclusive=*/false,
+                            &space.cba_conf_);
+    } else if (line.key == "cba_len") {
+      status = ParseLengths(line, line_no, &space.cba_len_);
+      if (status.ok()) {
+        for (size_t len : space.cba_len_) {
+          if (len == 0) {
+            status = LineError(line_no, "cba_len values must be >= 1");
+            break;
+          }
+        }
+      }
     } else {
       return LineError(line_no, "unknown key '" + line.key +
                                     "' (valid: rp rn min_support max_p_len "
-                                    "metric threshold)");
+                                    "metric threshold algorithm cba_support "
+                                    "cba_class_support cba_conf cba_len)");
     }
     if (!status.ok()) return status;
     ++parsed_keys;
@@ -195,38 +256,77 @@ ConfigSpace ConfigSpace::Default() {
 }
 
 size_t ConfigSpace::size() const {
-  // Saturating product: a hostile config file can make each list thousands
+  // Saturating products: a hostile config file can make each list thousands
   // of entries long, so the naive product overflows size_t long before
   // Parse's kMaxConfigs check sees it.
-  size_t product = 1;
-  for (size_t n : {rp_.size(), rn_.size(), min_support_.size(),
-                   max_p_len_.size(), metric_.size(), threshold_.size()}) {
-    if (n == 0) return 0;
-    if (product > kMaxConfigs) return product;  // already over the cap
-    product *= n;
+  const auto product_of = [](std::initializer_list<size_t> sizes) -> size_t {
+    size_t product = 1;
+    for (size_t n : sizes) {
+      if (n == 0) return 0;
+      if (product > kMaxConfigs) return product;  // already over the cap
+      product *= n;
+    }
+    return product;
+  };
+  size_t total = 0;
+  for (TuneAlgorithm algorithm : algorithm_) {
+    const size_t family =
+        algorithm == TuneAlgorithm::kCba
+            ? product_of({cba_support_.size(), cba_class_support_.size(),
+                          cba_conf_.size(), cba_len_.size(),
+                          threshold_.size()})
+            : product_of({rp_.size(), rn_.size(), min_support_.size(),
+                          max_p_len_.size(), metric_.size(),
+                          threshold_.size()});
+    if (total > kMaxConfigs) return total;
+    total += family;
   }
-  return product;
+  return total;
 }
 
 std::vector<TrialConfig> ConfigSpace::Enumerate(
     const PnruleConfig& base) const {
   std::vector<TrialConfig> configs;
   configs.reserve(size());
-  for (double rp : rp_) {
-    for (double rn : rn_) {
-      for (double support : min_support_) {
-        for (size_t len : max_p_len_) {
-          for (RuleMetricKind metric : metric_) {
-            for (double threshold : threshold_) {
-              TrialConfig trial;
-              trial.config = base;
-              trial.config.min_coverage_fraction = rp;
-              trial.config.n_recall_lower_limit = rn;
-              trial.config.min_support_fraction = support;
-              trial.config.max_p_rule_length = len;
-              trial.config.metric = metric;
-              trial.threshold = threshold;
-              configs.push_back(std::move(trial));
+  for (TuneAlgorithm algorithm : algorithm_) {
+    if (algorithm == TuneAlgorithm::kCba) {
+      for (double support : cba_support_) {
+        for (double class_support : cba_class_support_) {
+          for (double confidence : cba_conf_) {
+            for (size_t len : cba_len_) {
+              for (double threshold : threshold_) {
+                TrialConfig trial;
+                trial.algorithm = TuneAlgorithm::kCba;
+                trial.config = base;
+                trial.cba.min_support = support;
+                trial.cba.per_class_min_support = class_support;
+                trial.cba.min_confidence = confidence;
+                trial.cba.max_len = len;
+                trial.threshold = threshold;
+                configs.push_back(std::move(trial));
+              }
+            }
+          }
+        }
+      }
+      continue;
+    }
+    for (double rp : rp_) {
+      for (double rn : rn_) {
+        for (double support : min_support_) {
+          for (size_t len : max_p_len_) {
+            for (RuleMetricKind metric : metric_) {
+              for (double threshold : threshold_) {
+                TrialConfig trial;
+                trial.config = base;
+                trial.config.min_coverage_fraction = rp;
+                trial.config.n_recall_lower_limit = rn;
+                trial.config.min_support_fraction = support;
+                trial.config.max_p_rule_length = len;
+                trial.config.metric = metric;
+                trial.threshold = threshold;
+                configs.push_back(std::move(trial));
+              }
             }
           }
         }

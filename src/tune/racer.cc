@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "assoc/cba.h"
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
 #include "eval/stratified_cv.h"
@@ -74,6 +75,30 @@ bool ParseTuneMetric(std::string_view text, TuneMetric* out) {
     return false;
   }
   return true;
+}
+
+StatusOr<std::unique_ptr<BinaryClassifier>> TrainTrialClassifier(
+    const TrialConfig& trial, const Dataset& dataset, const RowSubset& rows,
+    CategoryId target, size_t num_threads) {
+  std::unique_ptr<BinaryClassifier> classifier;
+  if (trial.algorithm == TuneAlgorithm::kCba) {
+    AssocMineOptions options = trial.cba;
+    options.num_threads = num_threads;
+    auto mined = MineCba(dataset, rows, target, options);
+    if (!mined.ok()) return mined.status();
+    classifier =
+        std::make_unique<AssocClassifier>(std::move(mined->model));
+  } else {
+    PnruleConfig config = trial.config;
+    config.num_threads = num_threads;
+    PnruleLearner learner(config);
+    auto model = learner.TrainOnRows(dataset, rows, target);
+    if (!model.ok()) return model.status();
+    classifier =
+        std::make_unique<PnruleClassifier>(std::move(model).value());
+  }
+  classifier->set_threshold(trial.threshold);
+  return classifier;
 }
 
 Status RacerOptions::Validate() const {
@@ -277,17 +302,13 @@ StatusOr<RaceResult> Racer::Race(
                       budget](const TrialConfig& trial, size_t /*config*/,
                               size_t fold) -> StatusOr<FoldEval> {
     ThreadBudget::Lease lease = budget->Acquire(budget->total());
-    PnruleConfig config = trial.config;
-    config.num_threads = lease.count();
-    PnruleLearner learner(config);
-    auto model = learner.TrainOnRows(dataset, train_rows[fold], target);
-    if (!model.ok()) return model.status();
-    PnruleClassifier classifier = std::move(model).value();
-    classifier.set_threshold(trial.threshold);
+    auto classifier = TrainTrialClassifier(trial, dataset, train_rows[fold],
+                                           target, lease.count());
+    if (!classifier.ok()) return classifier.status();
     BatchScoreOptions batch;
     batch.num_threads = lease.count();
     const Confusion confusion = EvaluateClassifierOnRows(
-        classifier, dataset, test_rows[fold], target, batch);
+        **classifier, dataset, test_rows[fold], target, batch);
     FoldEval result;
     result.recall = confusion.recall();
     result.precision = confusion.precision();

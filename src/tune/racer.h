@@ -37,8 +37,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "eval/classifier.h"
 
 #include "common/status.h"
 #include "data/dataset.h"
@@ -121,6 +124,15 @@ struct RaceResult {
   /// True when max_evals stopped the race before the full schedule ran.
   bool budget_exhausted = false;
 };
+
+/// Trains the classifier a trial describes — a PNrule model or a CBA-mined
+/// associative classifier — on `rows` of `dataset` with `num_threads`
+/// workers, and applies the trial's threshold. Shared by the racer's fold
+/// evaluations and the CLI's held-out contender path, so both train
+/// bit-identical models.
+StatusOr<std::unique_ptr<BinaryClassifier>> TrainTrialClassifier(
+    const TrialConfig& trial, const Dataset& dataset, const RowSubset& rows,
+    CategoryId target, size_t num_threads);
 
 /// Evaluates one configuration on one fold. Must be thread-safe and
 /// deterministic per (config_index, fold) — the racer may invoke it from

@@ -1,0 +1,217 @@
+// Edge-case contract of the supervised discretizer (assoc/discretize.h):
+// constant columns, all-missing columns, single-row classes, and NaN cells
+// must yield well-defined bins or no bins — never UB — and BinOf must agree
+// exactly with the conditions AppendBinConditions emits, including at the
+// cut values themselves.
+
+#include "assoc/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rules/rule.h"
+
+namespace pnr {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Schema NumericSchema(std::initializer_list<const char*> names) {
+  Schema schema;
+  for (const char* name : names) {
+    schema.AddAttribute(Attribute::Numeric(name));
+  }
+  schema.GetOrAddClass("neg");
+  schema.GetOrAddClass("pos");
+  return schema;
+}
+
+RowSubset AllRows(const Dataset& data) {
+  RowSubset rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  return rows;
+}
+
+// Two interleaved label blocks over x: lows are "neg", highs are "pos" —
+// the supervised search should find the boundary between them.
+Dataset TwoClusterData() {
+  Dataset data(NumericSchema({"x"}));
+  for (int i = 0; i < 50; ++i) {
+    const RowId r = data.AddRow();
+    data.set_numeric(r, 0, static_cast<double>(i));
+    data.set_label(r, i < 25 ? 0 : 1);
+  }
+  return data;
+}
+
+TEST(DiscretizeTest, OptionsValidate) {
+  DiscretizeOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.max_bins = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.max_bins = 8;
+  options.candidate_bins = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(DiscretizeTest, SupervisedFindsTheClassBoundary) {
+  const Dataset data = TwoClusterData();
+  DiscretizeOptions options;
+  options.max_bins = 2;  // exactly one cut
+  auto fitted = Discretizer::Fit(data, AllRows(data), options);
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  const auto& cuts = fitted->cuts(0);
+  ASSERT_EQ(cuts.size(), 1u);
+  // The class boundary is between 24 and 25; the equi-depth candidate grid
+  // quantizes it, so just require the cut to separate the bulk of the two
+  // label blocks.
+  EXPECT_GE(cuts[0], 20.0);
+  EXPECT_LT(cuts[0], 25.0);
+  EXPECT_EQ(fitted->num_bins(0), 2u);
+}
+
+TEST(DiscretizeTest, ConstantColumnYieldsNoBins) {
+  Dataset data(NumericSchema({"c"}));
+  for (int i = 0; i < 20; ++i) {
+    const RowId r = data.AddRow();
+    data.set_numeric(r, 0, 7.0);
+    data.set_label(r, i % 2);
+  }
+  auto fitted = Discretizer::Fit(data, AllRows(data), DiscretizeOptions{});
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_TRUE(fitted->cuts(0).empty());
+  EXPECT_EQ(fitted->num_bins(0), 0u);
+  EXPECT_EQ(fitted->BinOf(0, 7.0), -1);  // unusable attribute: no bin
+}
+
+TEST(DiscretizeTest, AllMissingColumnYieldsNoBins) {
+  Dataset data(NumericSchema({"m", "x"}));
+  for (int i = 0; i < 20; ++i) {
+    const RowId r = data.AddRow();
+    data.set_numeric(r, 0, kNaN);
+    data.set_numeric(r, 1, static_cast<double>(i));
+    data.set_label(r, i < 10 ? 0 : 1);
+  }
+  auto fitted = Discretizer::Fit(data, AllRows(data), DiscretizeOptions{});
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_EQ(fitted->num_bins(0), 0u);      // all-NaN: nothing to cut
+  EXPECT_GE(fitted->num_bins(1), 2u);      // the healthy column still bins
+}
+
+TEST(DiscretizeTest, NaNCellsAreSkippedNotPropagated) {
+  Dataset data(NumericSchema({"x"}));
+  for (int i = 0; i < 40; ++i) {
+    const RowId r = data.AddRow();
+    data.set_numeric(r, 0, i % 5 == 0 ? kNaN : static_cast<double>(i));
+    data.set_label(r, i < 20 ? 0 : 1);
+  }
+  auto fitted = Discretizer::Fit(data, AllRows(data), DiscretizeOptions{});
+  ASSERT_TRUE(fitted.ok());
+  ASSERT_GE(fitted->num_bins(0), 2u);
+  for (const double cut : fitted->cuts(0)) {
+    EXPECT_FALSE(std::isnan(cut));
+  }
+  EXPECT_EQ(fitted->BinOf(0, kNaN), -1);  // missing cell maps to no bin
+}
+
+TEST(DiscretizeTest, SingleRowClassDoesNotBreakEntropy) {
+  Dataset data(NumericSchema({"x"}));
+  for (int i = 0; i < 30; ++i) {
+    const RowId r = data.AddRow();
+    data.set_numeric(r, 0, static_cast<double>(i));
+    data.set_label(r, i == 29 ? 1 : 0);  // "pos" has exactly one row
+  }
+  auto fitted = Discretizer::Fit(data, AllRows(data), DiscretizeOptions{});
+  ASSERT_TRUE(fitted.ok());
+  const auto& cuts = fitted->cuts(0);
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_LT(cuts[i - 1], cuts[i]);  // strictly ascending
+  }
+}
+
+TEST(DiscretizeTest, InfinitiesSortToTheExtremes) {
+  Dataset data(NumericSchema({"x"}));
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 30; ++i) {
+    const RowId r = data.AddRow();
+    double v = static_cast<double>(i);
+    if (i == 0) v = -inf;
+    if (i == 29) v = inf;
+    data.set_numeric(r, 0, v);
+    data.set_label(r, i < 15 ? 0 : 1);
+  }
+  auto fitted = Discretizer::Fit(data, AllRows(data), DiscretizeOptions{});
+  ASSERT_TRUE(fitted.ok());
+  ASSERT_GE(fitted->num_bins(0), 2u);
+  EXPECT_EQ(fitted->BinOf(0, -inf), 0);
+  EXPECT_EQ(fitted->BinOf(0, inf),
+            static_cast<int>(fitted->cuts(0).size()));
+}
+
+TEST(DiscretizeTest, TooFewRowsYieldNoBins) {
+  Dataset data(NumericSchema({"x"}));
+  const RowId r = data.AddRow();
+  data.set_numeric(r, 0, 1.0);
+  data.set_label(r, 0);
+  auto fitted = Discretizer::Fit(data, AllRows(data), DiscretizeOptions{});
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_EQ(fitted->num_bins(0), 0u);
+}
+
+// The boundary contract: for every fitted bin, the conditions emitted by
+// AppendBinConditions must match exactly the rows BinOf assigns to it —
+// including values that sit precisely on a cut.
+TEST(DiscretizeTest, BinOfAgreesWithEmittedConditions) {
+  const Dataset data = TwoClusterData();
+  DiscretizeOptions options;
+  options.max_bins = 4;
+  auto fitted = Discretizer::Fit(data, AllRows(data), options);
+  ASSERT_TRUE(fitted.ok());
+  const auto& cuts = fitted->cuts(0);
+  ASSERT_GE(cuts.size(), 1u);
+
+  // Probe values: every cell, every cut, and just-above-cut values.
+  std::vector<double> probes;
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    probes.push_back(data.numeric(r, 0));
+  }
+  for (const double cut : cuts) {
+    probes.push_back(cut);
+    probes.push_back(std::nextafter(cut, 1e300));
+  }
+
+  Dataset probe_data(data.schema());
+  for (const double v : probes) {
+    const RowId r = probe_data.AddRow();
+    probe_data.set_numeric(r, 0, v);
+  }
+  for (int bin = 0; bin <= static_cast<int>(cuts.size()); ++bin) {
+    Rule rule;
+    fitted->AppendBinConditions(0, bin, &rule);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const bool in_bin = fitted->BinOf(0, probes[i]) == bin;
+      EXPECT_EQ(rule.Matches(probe_data, static_cast<RowId>(i)), in_bin)
+          << "value " << probes[i] << " bin " << bin;
+    }
+  }
+}
+
+// Determinism: two fits over the same rows produce identical cuts (the fit
+// is a pure function of cells + labels).
+TEST(DiscretizeTest, FitIsDeterministic) {
+  const Dataset data = TwoClusterData();
+  DiscretizeOptions options;
+  auto a = Discretizer::Fit(data, AllRows(data), options);
+  auto b = Discretizer::Fit(data, AllRows(data), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cuts(0), b->cuts(0));
+}
+
+}  // namespace
+}  // namespace pnr

@@ -1,0 +1,55 @@
+// The CLI usage text and the dispatch table share one source of truth
+// (cli/usage.h): every dispatched subcommand must be documented, so the
+// usage text can never silently drift behind `main` again.
+
+#include "cli/usage.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pnr {
+namespace {
+
+// A subcommand is "documented" when it appears after "pnr " or inside an
+// alternative group like "pnr <train|eval|predict>".
+bool UsageDocuments(const std::string& usage, const std::string& name) {
+  return usage.find("pnr " + name) != std::string::npos ||
+         usage.find("<" + name) != std::string::npos ||
+         usage.find("|" + name) != std::string::npos;
+}
+
+TEST(CliUsageTest, EveryDispatchedSubcommandAppearsInUsage) {
+  const std::string usage = PnrUsageText();
+  ASSERT_FALSE(usage.empty());
+  for (size_t i = 0; i < kNumPnrSubcommands; ++i) {
+    EXPECT_TRUE(UsageDocuments(usage, kPnrSubcommands[i]))
+        << "subcommand '" << kPnrSubcommands[i]
+        << "' is dispatched but missing from the usage text";
+  }
+}
+
+TEST(CliUsageTest, SubcommandListHasNoDuplicates) {
+  for (size_t i = 0; i < kNumPnrSubcommands; ++i) {
+    for (size_t j = i + 1; j < kNumPnrSubcommands; ++j) {
+      EXPECT_STRNE(kPnrSubcommands[i], kPnrSubcommands[j]);
+    }
+  }
+}
+
+// Flags that previously drifted out of the usage text: pin the ones the
+// dispatchers actually read.
+TEST(CliUsageTest, KnownFlagsAreDocumented) {
+  const std::string usage = PnrUsageText();
+  for (const char* flag :
+       {"--sliding", "--reference-windows", "--score-psi-threshold",
+        "--label-psi-threshold", "--max-swaps", "--serve-shards",
+        "--model-name", "--synth-train", "--synth-test", "--min-support",
+        "--per-class-support", "--min-conf", "--min-lift", "--max-len"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos)
+        << "flag '" << flag << "' missing from the usage text";
+  }
+}
+
+}  // namespace
+}  // namespace pnr

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <locale>
+
 namespace pnr {
 namespace {
 
@@ -59,6 +62,38 @@ TEST(StringUtilTest, ParseDouble) {
   EXPECT_FALSE(ParseDouble("abc", &v));
   EXPECT_FALSE(ParseDouble("1.5x", &v));
   EXPECT_FALSE(ParseDouble("", &v));
+}
+
+// ParseDouble must be locale-independent: under a comma-decimal locale
+// (e.g. de_DE) a locale-sensitive fallback would read "3.5" as 3 and
+// accept "3,5" — model files and CSVs are always dot-decimal.
+TEST(StringUtilTest, ParseDoubleIgnoresACommaDecimalLocale) {
+  std::locale original;
+  std::locale comma_locale;
+  bool have_locale = false;
+  for (const char* name : {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR"}) {
+    try {
+      comma_locale = std::locale(name);
+      have_locale = true;
+      break;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  if (!have_locale) {
+    GTEST_SKIP() << "no comma-decimal locale installed in this environment";
+  }
+  std::locale::global(comma_locale);
+  std::setlocale(LC_ALL, comma_locale.name().c_str());
+
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-1.25e2", &v));
+  EXPECT_DOUBLE_EQ(v, -125.0);
+  EXPECT_FALSE(ParseDouble("3,5", &v));  // comma is never a decimal point
+
+  std::locale::global(original);
+  std::setlocale(LC_ALL, "C");
 }
 
 TEST(StringUtilTest, ParseInt64) {

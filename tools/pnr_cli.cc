@@ -12,6 +12,10 @@
 //               [--class-column label]   (prints one score per row)
 //   pnr shard   --data train.csv --out train.pns [--shards n]
 //               [--class-column label] [--threads n]
+//   pnr mine    --data train.csv --target fraud [--model model.txt]
+//               [--min-support 0.01] [--per-class-support 0.05]
+//               [--min-conf 0.5] [--min-lift 1.0] [--max-len 3]
+//               [--bins 8] [--threads n] [--class-column label]
 //   pnr serve   --models name=model.txt[,name2=other.txt] [--port 8080]
 //               [--shards 0] [--max-batch 1024] [--no-batching]
 //   pnr probe   --port 8080 --row "attr=value,..." [--model name]
@@ -69,6 +73,9 @@
 #include <string_view>
 #include <vector>
 
+#include "assoc/cba.h"
+#include "assoc/model_io.h"
+#include "cli/usage.h"
 #include "common/file_io.h"
 #include "common/net.h"
 #include "common/string_util.h"
@@ -135,60 +142,7 @@ Args ParseArgs(int argc, char** argv) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: pnr <train|eval|predict> --data <csv|shards> --target "
-               "<class> [--model <file>]\n"
-               "           [--rp <f>] [--rn <f>] [--min-support <f>] "
-               "[--p1] [--threshold <f>]\n"
-               "           [--threads <n>] [--class-column <name>]\n"
-               "           [--multiclass] [--train-threads <n>] "
-               "[--max-resident-mb <m>]\n"
-               "       pnr shard --data <csv> --out <file> [--shards <n>] "
-               "[--threads <n>]\n"
-               "       pnr serve --models <name=model.txt,...> "
-               "[--port <p>] [--shards <n>]\n"
-               "           [--max-batch <rows>] [--no-batching]\n"
-               "       pnr probe --port <p> --row <attr=value,...> "
-               "[--model <name>]\n"
-               "           [--schema <file> --binary]\n"
-               "       pnr tune (--data <csv> | --synth kdd) --target "
-               "<class> [--config <file>]\n"
-               "           [--folds <k>] [--budget <evals>] [--metric "
-               "recall|precision|f]\n"
-               "           [--z <f>] [--keep <f>] [--seed <n>] "
-               "[--threads <n>] [--out <dir>]\n"
-               "       pnr stream --data <feed.csv> --model <file> --target "
-               "<class> [--out-dir <dir>]\n"
-               "           [--window <rows>] [--threshold <f>] "
-               "[--threads <n>] [--train-threads <n>]\n"
-               "           [--psi-threshold <f>] [--confirm-windows <k>] "
-               "[--retrain-rows <n>]\n"
-               "           [--no-retrain] [--checkpoint <file>] [--resume] "
-               "[--journal <file>]\n"
-               "           [--follow [--poll-ms <ms>] "
-               "[--idle-exit-polls <n>]] [--serve-port <p>]\n"
-               "       pnr stream --generate --out-dir <dir> "
-               "[--train <n>] [--pre <n>] [--post <n>]\n"
-               "  --threads: worker threads for data loading, condition "
-               "search (train),\n"
-               "             and batch scoring (eval/predict); 1 = serial, "
-               "0 = all hardware\n"
-               "             threads. The loaded data, models, metrics, and "
-               "predictions\n"
-               "             are identical for any value.\n"
-               "  --data accepts a CSV file or a `pnr shard` file (sniffed "
-               "by magic).\n"
-               "  --max-resident-mb: demand-page a shard-store input under "
-               "this byte budget\n"
-               "             instead of loading it whole (out-of-core "
-               "training); also caps the\n"
-               "             trainer's sorted-column cache. Models are "
-               "identical for any value.\n"
-               "  --multiclass: train a one-vs-rest committee over every "
-               "class (--target not\n"
-               "             needed); --train-threads fans the class loop "
-               "out. Model bytes are\n"
-               "             identical for any thread or shard count.\n");
+  std::fprintf(stderr, "%s", PnrUsageText().c_str());
   return 2;
 }
 
@@ -367,16 +321,29 @@ int Train(const Args& args) {
   return 0;
 }
 
-StatusOr<PnruleClassifier> LoadModel(const Args& args, const Dataset& data) {
+// Loads either model family through one --model flag: the file header is
+// sniffed, so `pnr eval`/`pnr predict` score PNrule and mined associative
+// models interchangeably.
+StatusOr<std::unique_ptr<BinaryClassifier>> LoadModel(const Args& args,
+                                                      const Dataset& data) {
   const auto it = args.options.find("model");
   if (it == args.options.end()) {
     return Status::InvalidArgument("--model is required");
   }
-  auto model = LoadPnruleModel(it->second, data.schema());
-  if (!model.ok()) return model.status();
-  PnruleClassifier classifier = std::move(model).value();
-  classifier.set_threshold(
-      OptionOr(args, "threshold", classifier.threshold()));
+  auto text = ReadFileToString(it->second);
+  if (!text.ok()) return text.status();
+  std::unique_ptr<BinaryClassifier> classifier;
+  if (LooksLikeAssocModel(*text)) {
+    auto model = ParseAssocModel(*text, data.schema());
+    if (!model.ok()) return model.status();
+    classifier = std::make_unique<AssocClassifier>(std::move(model).value());
+  } else {
+    auto model = ParsePnruleModel(*text, data.schema());
+    if (!model.ok()) return model.status();
+    classifier = std::make_unique<PnruleClassifier>(std::move(model).value());
+  }
+  classifier->set_threshold(
+      OptionOr(args, "threshold", classifier->threshold()));
   return classifier;
 }
 
@@ -443,10 +410,10 @@ int Eval(const Args& args) {
     return 1;
   }
   const BatchScoreOptions batch = BatchOptions(args);
-  const Confusion c = EvaluateClassifier(*model, *data, *target, batch);
+  const Confusion c = EvaluateClassifier(**model, *data, *target, batch);
   std::printf("%s\n", c.ToString().c_str());
   const RankingSummary ranking =
-      SummarizeRanking(*model, *data, *target, batch);
+      SummarizeRanking(**model, *data, *target, batch);
   std::printf("ROC-AUC=%.4f PR-AUC=%.4f\n", ranking.roc_auc,
               ranking.pr_auc);
   return 0;
@@ -468,9 +435,9 @@ int Predict(const Args& args) {
   std::iota(rows.begin(), rows.end(), RowId{0});
   std::vector<double> scores(rows.size());
   std::vector<uint8_t> predicted(rows.size());
-  model->ScoreBatch(*data, rows.data(), rows.size(), scores.data(), batch);
-  model->PredictBatch(*data, rows.data(), rows.size(), predicted.data(),
-                      batch);
+  (*model)->ScoreBatch(*data, rows.data(), rows.size(), scores.data(), batch);
+  (*model)->PredictBatch(*data, rows.data(), rows.size(), predicted.data(),
+                         batch);
   std::printf("row,score,predicted\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     std::printf("%u,%.6f,%d\n", rows[i], scores[i], predicted[i] ? 1 : 0);
@@ -608,21 +575,22 @@ int Tune(const Args& args) {
         {"default", TrialConfig{}},
     };
     std::printf("\nheld-out test split (%zu rows):\n", test.num_rows());
+    std::vector<RowId> all_rows(train.num_rows());
+    std::iota(all_rows.begin(), all_rows.end(), RowId{0});
     for (const Contender& contender : contenders) {
-      PnruleConfig config = contender.trial.config;
-      config.num_threads = options.num_threads;
-      auto model = PnruleLearner(config).Train(train, target);
-      if (!model.ok()) {
+      // Same trainer the racer's folds use, so the winner reproduces its
+      // raced configuration exactly — including mined CBA winners.
+      auto classifier = TrainTrialClassifier(contender.trial, train, all_rows,
+                                             target, options.num_threads);
+      if (!classifier.ok()) {
         std::fprintf(stderr, "training failed: %s\n",
-                     model.status().ToString().c_str());
+                     classifier.status().ToString().c_str());
         return 1;
       }
-      PnruleClassifier classifier = std::move(model).value();
-      classifier.set_threshold(contender.trial.threshold);
       BatchScoreOptions batch;
       batch.num_threads = options.num_threads;
       const Confusion c =
-          EvaluateClassifier(classifier, test, test_target, batch);
+          EvaluateClassifier(**classifier, test, test_target, batch);
       std::printf("  %-8s %s\n", contender.name, c.ToString().c_str());
     }
   }
@@ -637,6 +605,80 @@ int Tune(const Args& args) {
     std::printf("\nartifacts written to %s/EXPERIMENTS.md and "
                 "%s/BENCH_tune.json\n",
                 out_it->second.c_str(), out_it->second.c_str());
+  }
+  return 0;
+}
+
+// `pnr mine`: CBA-style associative classifier for a rare target class
+// (DESIGN.md §16). Numerics are discretized with the supervised equi-depth/
+// entropy discretizer, frequent itemsets are mined with a per-class minimum
+// support so rare-class rules survive the global floor, and database-
+// coverage selection orders the surviving rules into a model that scores
+// through the same compiled rule path as PNrule. The mined model bytes are
+// identical for any --threads and for in-RAM vs demand-paged input.
+int Mine(const Args& args) {
+  auto data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto target = ResolveTarget(args, *data);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
+
+  AssocMineOptions options;
+  options.min_support = OptionOr(args, "min-support", options.min_support);
+  options.per_class_min_support =
+      OptionOr(args, "per-class-support", options.per_class_min_support);
+  options.min_confidence = OptionOr(args, "min-conf", options.min_confidence);
+  options.min_lift = OptionOr(args, "min-lift", options.min_lift);
+  options.max_len = static_cast<size_t>(
+      OptionOr(args, "max-len", static_cast<double>(options.max_len)));
+  options.discretize.max_bins = static_cast<size_t>(OptionOr(
+      args, "bins", static_cast<double>(options.discretize.max_bins)));
+  options.num_threads = static_cast<size_t>(OptionOr(args, "threads", 1.0));
+
+  std::vector<RowId> rows(data->num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  auto mined = MineCba(*data, rows, *target, options);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  AssocClassifier model = std::move(mined->model);
+  model.set_threshold(OptionOr(args, "threshold", model.threshold()));
+  const MineStats& stats = mined->stats;
+  std::printf("mined %zu items (%zu numeric attrs discretized), "
+              "%zu frequent itemsets (%zu rescued by per-class support),\n"
+              "      %zu candidate rules -> %zu selected\n",
+              stats.num_items, stats.discretized_attrs,
+              stats.frequent_itemsets, stats.itemsets_rescued,
+              stats.rules_generated, stats.rules_selected);
+  std::printf("%s", model.Describe(data->schema()).c_str());
+  const Confusion train_eval =
+      EvaluateClassifier(model, *data, *target, BatchOptions(args));
+  std::printf("training-set fit: %s\n", train_eval.ToString().c_str());
+
+  const auto model_it = args.options.find("model");
+  if (model_it != args.options.end()) {
+    Status saved = SaveAssocModel(model, data->schema(), model_it->second);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    // Schema sidecar, as for train: `pnr serve` loads the mined model with
+    // no training data on hand.
+    const std::string schema_path = model_it->second + ".schema";
+    saved = SaveSchema(data->schema(), schema_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("model written to %s (schema sidecar: %s)\n",
+                model_it->second.c_str(), schema_path.c_str());
   }
   return 0;
 }
@@ -1188,15 +1230,19 @@ int Probe(const Args& args) {
 
 }  // namespace
 
+// Handlers paired positionally with kPnrSubcommands (cli/usage.h); the
+// static_assert keeps the two tables the same length, and cli_usage_test
+// keeps every listed subcommand present in the usage text.
+int (*const kHandlers[])(const Args&) = {
+    Train, Eval, Predict, Shard, Mine, Serve, Probe, Tune, Stream,
+};
+static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) == kNumPnrSubcommands,
+              "dispatch table out of sync with kPnrSubcommands");
+
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
-  if (args.command == "train") return Train(args);
-  if (args.command == "eval") return Eval(args);
-  if (args.command == "predict") return Predict(args);
-  if (args.command == "shard") return Shard(args);
-  if (args.command == "serve") return Serve(args);
-  if (args.command == "probe") return Probe(args);
-  if (args.command == "tune") return Tune(args);
-  if (args.command == "stream") return Stream(args);
+  for (size_t i = 0; i < kNumPnrSubcommands; ++i) {
+    if (args.command == kPnrSubcommands[i]) return kHandlers[i](args);
+  }
   return Usage();
 }
